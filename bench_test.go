@@ -1,0 +1,601 @@
+// Package rumba's repository-level benchmarks regenerate every table and
+// figure of the paper's evaluation (one testing.B benchmark per experiment;
+// see the per-experiment index in DESIGN.md) plus ablation benches for the
+// design choices the paper discusses. Custom b.ReportMetric values carry the
+// reproduced headline numbers alongside the usual ns/op:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks run on reduced datasets so the whole suite finishes in
+// minutes; `go run ./cmd/rumba-bench` regenerates the paper-sized numbers.
+package rumba
+
+import (
+	"sync"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/energy"
+	"rumba/internal/experiments"
+	"rumba/internal/nn"
+	"rumba/internal/pipeline"
+	"rumba/internal/predictor"
+	"rumba/internal/purity"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+	"rumba/internal/trainer"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+)
+
+// benchCtx trains the per-benchmark artifacts once; individual benchmarks
+// then measure the experiment harnesses on the prepared context.
+func benchCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	ctxOnce.Do(func() {
+		ctx = experiments.NewContext(experiments.ReducedSizes())
+		for _, name := range bench.Names() {
+			if _, err := ctx.Prepare(name); err != nil {
+				b.Fatalf("prepare %s: %v", name, err)
+			}
+		}
+	})
+	return ctx
+}
+
+func BenchmarkTable1Applications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Table1(); len(tab.Rows) != 7 {
+			b.Fatal("Table 1 must list 7 applications")
+		}
+	}
+}
+
+func BenchmarkTable2Microarchitecture(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := experiments.Table2(); len(tab.Rows) == 0 {
+			b.Fatal("empty Table 2")
+		}
+	}
+}
+
+func BenchmarkFig01ErrorCDF(b *testing.B) {
+	c := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(c, "inversek2j"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02ErrorDistribution(b *testing.B) {
+	c := benchCtx(b)
+	var last experiments.Fig2Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig2(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.LargeFracConcentrated, "%large-errors-concentrated")
+	b.ReportMetric(100*last.LargeFracSpread, "%large-errors-spread")
+}
+
+func BenchmarkFig03Mosaic(b *testing.B) {
+	c := benchCtx(b)
+	var last bench.MosaicResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig3(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Mean, "%mean-error")
+	b.ReportMetric(last.Max, "%max-error")
+}
+
+func BenchmarkFig05EVPvsEEP(b *testing.B) {
+	c := benchCtx(b)
+	var last experiments.Fig5Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig5(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Ratio, "EVP/EEP-distance-ratio")
+}
+
+func BenchmarkFig10FixSweep(b *testing.B) {
+	c := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range bench.Names() {
+			if _, _, err := experiments.Fig10(c, name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig11FalsePositives(b *testing.B) {
+	c := benchCtx(b)
+	var tree, random float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig11(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, random = 0, 0
+		for _, per := range res {
+			tree += per[core.SchemeTree]
+			random += per[core.SchemeRandom]
+		}
+		tree /= float64(len(res))
+		random /= float64(len(res))
+	}
+	b.ReportMetric(100*tree, "%FP-treeErrors")
+	b.ReportMetric(100*random, "%FP-Random")
+}
+
+func BenchmarkFig12FixedElements(b *testing.B) {
+	c := benchCtx(b)
+	var ideal, tree float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig12(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ideal, tree = 0, 0
+		for _, per := range res {
+			ideal += per[core.SchemeIdeal]
+			tree += per[core.SchemeTree]
+		}
+		ideal /= float64(len(res))
+		tree /= float64(len(res))
+	}
+	b.ReportMetric(100*ideal, "%fixed-Ideal")
+	b.ReportMetric(100*tree, "%fixed-treeErrors")
+}
+
+func BenchmarkFig13Coverage(b *testing.B) {
+	c := benchCtx(b)
+	var tree float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig13(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree = 0
+		for _, per := range res {
+			tree += per[core.SchemeTree]
+		}
+		tree /= float64(len(res))
+	}
+	b.ReportMetric(100*tree, "%coverage-treeErrors")
+}
+
+func BenchmarkFig14Energy(b *testing.B) {
+	c := benchCtx(b)
+	var npu, tree float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig14(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		npu, tree = 0, 0
+		for _, per := range res {
+			npu += per["NPU"]
+			tree += per["treeErrors"]
+		}
+		npu /= float64(len(res))
+		tree /= float64(len(res))
+	}
+	b.ReportMetric(npu, "x-energy-NPU")
+	b.ReportMetric(tree, "x-energy-treeErrors")
+}
+
+func BenchmarkFig15Speedup(b *testing.B) {
+	c := benchCtx(b)
+	var npu, tree float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig15(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		npu, tree = 0, 0
+		for _, per := range res {
+			npu += per["NPU"]
+			tree += per["treeErrors"]
+		}
+		npu /= float64(len(res))
+		tree /= float64(len(res))
+	}
+	b.ReportMetric(npu, "x-speedup-NPU")
+	b.ReportMetric(tree, "x-speedup-treeErrors")
+}
+
+func BenchmarkFig16EnergyVsTarget(b *testing.B) {
+	c := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig16(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17PredictionTime(b *testing.B) {
+	c := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig17(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18CPUActivity(b *testing.B) {
+	c := benchCtx(b)
+	var last experiments.Fig18Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig18(c, "inversek2j")
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(100*last.FlaggedFrac, "%flagged")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	c := benchCtx(b)
+	var last experiments.HeadlineResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Headline(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ErrorReduction, "x-error-reduction")
+	b.ReportMetric(last.NPUEnergy, "x-energy-NPU")
+	b.ReportMetric(last.RumbaEnergy, "x-energy-Rumba")
+}
+
+// --- Ablation benches: the DESIGN.md design-choice studies -----------------
+
+// BenchmarkAblationEVPvsEEP quantifies Section 3.2's choice of predicting
+// errors directly instead of predicting values.
+func BenchmarkAblationEVPvsEEP(b *testing.B) {
+	c := benchCtx(b)
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, res, err := experiments.Fig5(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Ratio
+	}
+	b.ReportMetric(ratio, "EVP/EEP-ratio")
+}
+
+// BenchmarkAblationPlacement compares the Figure 9 detector placements on
+// the same workload: serial saves accelerator energy, parallel saves
+// latency.
+func BenchmarkAblationPlacement(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("inversek2j")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var serialE, parallelE float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, placement := range []accel.Placement{accel.PlacementSerial, accel.PlacementParallel} {
+			tuner, err := core.NewTuner(core.ModeTOQ, 0.10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := core.NewSystem(core.Config{
+				Spec: p.Spec, Accel: p.RumbaAccel, Checker: p.Preds.Linear,
+				Tuner: tuner, Placement: placement,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := sys.Run(p.Test)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if placement == accel.PlacementSerial {
+				serialE = rep.Energy.Savings
+			} else {
+				parallelE = rep.Energy.Savings
+			}
+		}
+	}
+	b.ReportMetric(serialE, "x-energy-serial")
+	b.ReportMetric(parallelE, "x-energy-parallel")
+}
+
+// BenchmarkAblationTreeDepth sweeps the decision-tree depth cap (the paper
+// fixes 7) and reports the fix count needed for 90% quality at each depth.
+func BenchmarkAblationTreeDepth(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("inversek2j")
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := trainer.Observe(p.Spec, p.RumbaAccel, p.Train)
+	depths := []int{1, 3, 5, 7}
+	fixes := make([]float64, len(depths))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d, depth := range depths {
+			tree, err := predictor.FitTree(p.Train.Inputs, obs.Errors, p.Spec.RumbaFeatures,
+				predictor.TreeConfig{MaxDepth: depth})
+			if err != nil {
+				b.Fatal(err)
+			}
+			preds := make([]float64, len(p.Test.Inputs))
+			for j := range p.Test.Inputs {
+				preds[j] = tree.PredictError(p.Test.Inputs[j], nil)
+			}
+			op := core.FixesForTarget(p.RumbaObs.Errors, preds, experiments.TargetError)
+			fixes[d] = 100 * float64(len(op.Fixed)) / float64(len(p.Test.Inputs))
+		}
+	}
+	for d, depth := range depths {
+		b.ReportMetric(fixes[d], "%fixed-depth"+string(rune('0'+depth)))
+	}
+}
+
+// BenchmarkAblationPipelineOverlap compares the Figure 8 overlapped recovery
+// against naively serialising every recompute behind the accelerator.
+func BenchmarkAblationPipelineOverlap(b *testing.B) {
+	r := rng.NewNamed("bench/overlap")
+	flags := make([]bool, 20000)
+	for i := range flags {
+		flags[i] = r.Bool(0.12)
+	}
+	params := pipeline.Params{AccelCyclesPerIter: 20, CPURecomputeCycles: 120}
+	var overlapped, serial float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.Simulate(flags, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlapped = res.TotalCycles
+		serial = res.AccelCycles + res.CPUBusyCycles
+	}
+	b.ReportMetric(serial/overlapped, "x-overlap-gain")
+}
+
+// --- Micro benches for the hot paths ---------------------------------------
+
+func BenchmarkNNForward(b *testing.B) {
+	net := nn.New(nn.MustTopology("18->32->8->2"), nn.Sigmoid, nn.Sigmoid, rng.New(1))
+	in := make([]float64, 18)
+	for i := range in {
+		in[i] = 0.3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(in)
+	}
+}
+
+func BenchmarkAcceleratorInvoke(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := p.Test.Inputs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RumbaAccel.Invoke(in)
+	}
+}
+
+func BenchmarkLinearPredict(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := p.Test.Inputs[0]
+	out := p.RumbaObs.Approx[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Preds.Linear.PredictError(in, out)
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := p.Test.Inputs[0]
+	out := p.RumbaObs.Approx[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Preds.Tree.PredictError(in, out)
+	}
+}
+
+func BenchmarkSystemRun(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuner, err := core.NewTuner(core.ModeTOQ, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := core.NewSystem(core.Config{Spec: p.Spec, Accel: p.RumbaAccel, Checker: p.Preds.Tree, Tuner: tuner})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(p.Test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnergyModel(b *testing.B) {
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := energy.DefaultModel()
+	act := energy.Activity{
+		Elements: 10000, Recomputed: 1200, AccelInvocations: 10000,
+		NPUMACsPerInvocation: 80, QueueWordsPerInvocation: 10,
+		Checker: predictor.Cost{Compares: 8},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := energy.WholeAppEnergy(spec.Cost, act, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFixedPoint measures how much error the NPU's fixed-point
+// datapath adds over idealised float execution (Q6.10 vs float64).
+func BenchmarkAblationFixedPoint(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("inversek2j")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var floatErr, fixedErr float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		floatErr, fixedErr = 0, 0
+		acc := p.RumbaAccel
+		if err := acc.SetFixedPoint(nn.FixedFormat{}); err != nil {
+			b.Fatal(err)
+		}
+		for j := range p.Test.Inputs {
+			out := acc.Invoke(p.Test.Inputs[j])
+			floatErr += quality.ElementError(p.Spec.Metric, p.Test.Targets[j], out, p.Spec.Scale)
+		}
+		if err := acc.SetFixedPoint(nn.DefaultFixedFormat); err != nil {
+			b.Fatal(err)
+		}
+		for j := range p.Test.Inputs {
+			out := acc.Invoke(p.Test.Inputs[j])
+			fixedErr += quality.ElementError(p.Spec.Metric, p.Test.Targets[j], out, p.Spec.Scale)
+		}
+		if err := acc.SetFixedPoint(nn.FixedFormat{}); err != nil {
+			b.Fatal(err)
+		}
+		n := float64(len(p.Test.Inputs))
+		floatErr /= n
+		fixedErr /= n
+	}
+	b.ReportMetric(100*floatErr, "%err-float")
+	b.ReportMetric(100*fixedErr, "%err-fixedQ6.10")
+}
+
+// BenchmarkExpSampling regenerates the quality-sampling comparison.
+func BenchmarkExpSampling(b *testing.B) {
+	c := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExpSampling(c, "inversek2j"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpMargin regenerates the margin-checker extension study.
+func BenchmarkExpMargin(b *testing.B) {
+	c := benchCtx(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExpMargin(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPurityAnalysis runs the Section 2.2 static analysis over the
+// benchmark package.
+func BenchmarkPurityAnalysis(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rep, err := purity.AnalyzeDir("internal/bench", "imageutil.Clamp255")
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = rep.PureFraction()
+	}
+	b.ReportMetric(100*frac, "%provably-pure")
+}
+
+// BenchmarkStreamRuntime measures the concurrent streaming runtime
+// end-to-end (detection goroutine, recovery workers, in-order merger).
+func BenchmarkStreamRuntime(b *testing.B) {
+	c := benchCtx(b)
+	p, err := c.Prepare("fft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tuner, err := core.NewTuner(core.ModeTOQ, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := core.NewStream(core.Config{
+			Spec: p.Spec, Accel: p.RumbaAccel, Checker: p.Preds.Tree, Tuner: tuner,
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inputs := make(chan []float64, 64)
+		go func() {
+			for _, in := range p.Test.Inputs {
+				inputs <- in
+			}
+			close(inputs)
+		}()
+		n := 0
+		for range st.Process(inputs) {
+			n++
+		}
+		if n != len(p.Test.Inputs) {
+			b.Fatalf("stream delivered %d of %d", n, len(p.Test.Inputs))
+		}
+	}
+}

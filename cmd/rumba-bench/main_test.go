@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rumba/internal/experiments"
+)
+
+func TestRegistryCoversExperimentOrder(t *testing.T) {
+	for _, id := range experimentOrder {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("-exp all references %q but the registry has no runner", id)
+		}
+	}
+}
+
+func TestSplitBench(t *testing.T) {
+	if got := splitBench(""); got != nil {
+		t.Fatalf("empty input = %v, want nil", got)
+	}
+	got := splitBench("fft,sobel")
+	if len(got) != 2 || got[0] != "fft" || got[1] != "sobel" {
+		t.Fatalf("splitBench = %v", got)
+	}
+}
+
+func TestAllBenchmarksListsSeven(t *testing.T) {
+	if got := allBenchmarks(); len(got) != 7 {
+		t.Fatalf("allBenchmarks = %v", got)
+	}
+}
+
+func TestRenderModes(t *testing.T) {
+	tab := &experiments.Table{Title: "T", Header: []string{"a"}}
+	tab.AddRow("x")
+
+	renderMode = "text"
+	out, err := render(tab, nil)
+	if err != nil || !strings.Contains(out, "T\n") {
+		t.Fatalf("text render: %q, %v", out, err)
+	}
+	renderMode = "md"
+	out, err = render(tab, nil)
+	if err != nil || !strings.HasPrefix(out, "### T") {
+		t.Fatalf("md render: %q, %v", out, err)
+	}
+	renderMode = "text"
+}
+
+func TestRenderPropagatesError(t *testing.T) {
+	wantErr := errSentinel{}
+	if _, err := render(nil, wantErr); err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+func TestFastRunnersExecute(t *testing.T) {
+	// table1/table2 need no training; run them through the registry the
+	// same way main does.
+	for _, id := range []string{"table1", "table2"} {
+		out, err := registry[id](nil, "")
+		if err != nil || out == "" {
+			t.Fatalf("%s: %q, %v", id, out, err)
+		}
+	}
+}

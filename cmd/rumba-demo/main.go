@@ -1,0 +1,131 @@
+// Command rumba-demo runs one benchmark end-to-end through the Rumba
+// execution subsystem and prints a quality/energy/performance report:
+//
+//	rumba-demo -benchmark sobel -mode toq -target 0.10
+//	rumba-demo -benchmark blackscholes -mode energy -target 0.15
+//	rumba-demo -benchmark inversek2j -mode quality -checker linear
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/core"
+	"rumba/internal/predictor"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	name := flag.String("benchmark", "sobel", "benchmark to run")
+	mode := flag.String("mode", "toq", "tuner mode: toq, energy, quality")
+	target := flag.Float64("target", 0.10, "mode target: error bound (toq), iteration budget (energy), keep-up fraction (quality)")
+	checker := flag.String("checker", "tree", "checker: linear, tree, ema, none")
+	trainN := flag.Int("train", 0, "training samples (0 = Table 1 size)")
+	testN := flag.Int("test", 0, "test samples (0 = Table 1 size)")
+	bundlePath := flag.String("bundle", "", "load a rumba-train bundle instead of training")
+	flag.Parse()
+
+	if err := run(*name, *mode, *checker, *target, *trainN, *testN, *bundlePath); err != nil {
+		fmt.Fprintln(os.Stderr, "rumba-demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, mode, checker string, target float64, trainN, testN int, bundlePath string) error {
+	var (
+		spec  *bench.Spec
+		acc   *accel.Accelerator
+		preds trainer.PredictorSet
+		err   error
+	)
+	if bundlePath != "" {
+		var b *bundle.Bundle
+		b, spec, err = bundle.Load(bundlePath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== offline: loaded %s bundle from %s\n", spec.Name, bundlePath)
+		if acc, err = b.Accelerator(); err != nil {
+			return err
+		}
+		preds = b.Predictors()
+	} else {
+		if spec, err = bench.Get(name); err != nil {
+			return err
+		}
+		fmt.Printf("== offline: training the %s accelerator (%s) and checkers\n", name, spec.RumbaTopo)
+		train := spec.GenTrain(trainN)
+		acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, trainer.DefaultAccelTrainConfig(name))
+		if err != nil {
+			return err
+		}
+		if acc, err = accel.New(acfg, 0); err != nil {
+			return err
+		}
+		if preds, err = trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train)); err != nil {
+			return err
+		}
+	}
+
+	var p predictor.Predictor
+	switch checker {
+	case "linear":
+		p = preds.Linear
+	case "tree":
+		p = preds.Tree
+	case "ema":
+		p = preds.EMA
+	case "none":
+		p = nil
+	default:
+		return fmt.Errorf("unknown checker %q", checker)
+	}
+
+	var tm core.TunerMode
+	switch mode {
+	case "toq":
+		tm = core.ModeTOQ
+	case "energy":
+		tm = core.ModeEnergy
+	case "quality":
+		tm = core.ModeQuality
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	var tuner *core.Tuner
+	if p != nil {
+		if tuner, err = core.NewTuner(tm, target); err != nil {
+			return err
+		}
+	}
+	sys, err := core.NewSystem(core.Config{
+		Spec: spec, Accel: acc, Checker: p, Tuner: tuner,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("== online: running %s elements through the accelerator\n", spec.TestDesc)
+	rep, err := sys.Run(spec.GenTest(testN))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nelements            %d\n", rep.Elements)
+	fmt.Printf("re-executed         %d (%.1f%%)\n", rep.Fixed, 100*float64(rep.Fixed)/float64(rep.Elements))
+	fmt.Printf("unchecked error     %.2f%%\n", 100*rep.UncheckedError)
+	fmt.Printf("output error        %.2f%%\n", 100*rep.OutputError)
+	fmt.Printf("energy savings      %.2fx vs CPU (accel %.0f, checker %.0f, recompute %.0f, non-approx %.0f)\n",
+		rep.Energy.Savings, rep.Energy.Accelerator, rep.Energy.Checker, rep.Energy.Recompute, rep.Energy.NonApprox)
+	fmt.Printf("speedup             %.2fx vs CPU (CPU recovery utilisation %.0f%%)\n",
+		rep.Speedup, 100*rep.Pipeline.CPUUtilisation)
+	if len(rep.ThresholdTrace) > 0 {
+		fmt.Printf("threshold trace     first %.4f  last %.4f over %d invocations\n",
+			rep.ThresholdTrace[0], rep.ThresholdTrace[len(rep.ThresholdTrace)-1], len(rep.ThresholdTrace))
+	}
+	return nil
+}

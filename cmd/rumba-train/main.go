@@ -1,0 +1,98 @@
+// Command rumba-train runs the offline half of the Rumba system (Figure 4)
+// for one benchmark: it trains the approximate-accelerator network and the
+// error predictors, reports their quality, and writes the configuration that
+// would be embedded in the application binary to a JSON file.
+//
+//	rumba-train -benchmark sobel -out sobel.json
+//	rumba-train -benchmark fft -search          # topology search instead of Table 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/quality"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	name := flag.String("benchmark", "sobel", "benchmark to train (see rumba-bench -exp table1)")
+	out := flag.String("out", "", "write the training bundle (accelerator + checkers) JSON to this file")
+	trainN := flag.Int("train", 0, "training samples (0 = Table 1 size)")
+	testN := flag.Int("test", 0, "test samples (0 = Table 1 size)")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = default)")
+	search := flag.Bool("search", false, "run the NPU topology search instead of using the Table 1 topology")
+	flag.Parse()
+
+	if err := run(*name, *out, *trainN, *testN, *epochs, *search); err != nil {
+		fmt.Fprintln(os.Stderr, "rumba-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, out string, trainN, testN, epochs int, search bool) error {
+	spec, err := bench.Get(name)
+	if err != nil {
+		return err
+	}
+	train := spec.GenTrain(trainN)
+	test := spec.GenTest(testN)
+	cfg := trainer.DefaultAccelTrainConfig(name)
+	if epochs > 0 {
+		cfg.NN.Epochs = epochs
+	}
+
+	topo := spec.RumbaTopo
+	if search {
+		best, all, err := trainer.SearchTopology(spec, train, nil, 0.15, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("topology search over %d candidates:\n", len(all))
+		for _, r := range all {
+			fmt.Printf("  %-14s %5d MACs  held-out error %.2f%%\n", r.Topo, r.MACs, 100*r.Error)
+		}
+		fmt.Printf("selected: %s\n\n", best.Topo)
+		topo = best.Topo
+	}
+
+	fmt.Printf("training %s accelerator (%s) on %d samples, %d epochs\n",
+		name, topo, train.Len(), cfg.NN.Epochs)
+	acfg, err := trainer.TrainAccelerator(spec, topo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		return err
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		return err
+	}
+
+	trainObs := trainer.Observe(spec, acc, train)
+	preds, err := trainer.TrainPredictors(spec, train, trainObs)
+	if err != nil {
+		return err
+	}
+
+	testObs := trainer.Observe(spec, acc, test)
+	sum := quality.Summarize(testObs.Errors)
+	fmt.Printf("test-set output error: %.2f%% (max %.1f%%, %.1f%% of elements above the %.0f%% large-error bound)\n",
+		100*sum.Mean, 100*sum.Max, 100*sum.LargeFraction, 100*quality.LargeErrorThreshold)
+	fmt.Printf("checkers: linear %d-weight model; tree depth %d, %d leaves; EMA history %d\n",
+		len(preds.Linear.Weights), preds.Tree.Depth, preds.Tree.LeafCount(), preds.EMA.N)
+
+	if out != "" {
+		b, err := bundle.New(spec, acfg, preds)
+		if err != nil {
+			return err
+		}
+		if err := bundle.Save(out, b); err != nil {
+			return err
+		}
+		fmt.Printf("training bundle (accelerator + checkers) written to %s\n", out)
+	}
+	return nil
+}

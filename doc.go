@@ -1,0 +1,17 @@
+// Package rumba is a from-scratch Go reproduction of "Rumba: An Online
+// Quality Management System for Approximate Computing" (Khudia, Zamirai,
+// Samadi, Mahlke — ISCA 2015).
+//
+// The library lives under internal/: the Rumba runtime (internal/core), the
+// NPU accelerator model (internal/accel), the light-weight error checkers
+// (internal/predictor), the offline trainers (internal/trainer), the seven
+// Table 1 benchmarks (internal/bench) and the analytical energy/latency
+// models (internal/energy, internal/pipeline). The executables under cmd/
+// regenerate every table and figure of the paper's evaluation; runnable
+// examples live under examples/.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// substitutions made for the paper's infrastructure, and EXPERIMENTS.md for
+// the paper-vs-measured record. The repository-level benchmarks in
+// bench_test.go regenerate each experiment via `go test -bench=.`.
+package rumba

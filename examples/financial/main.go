@@ -1,0 +1,73 @@
+// Financial analytics under an energy budget (tuner Energy mode).
+//
+// A pricing service wants approximate Black-Scholes evaluation but has a
+// hard budget on how much exact CPU re-execution it can afford. Rumba's
+// Energy-mode tuner adapts the firing threshold between accelerator
+// invocations so the re-execution rate converges to the budget, spending the
+// fixes on the options the checker predicts are worst.
+//
+//	go run ./examples/financial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	spec, err := bench.Get("blackscholes")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train := spec.GenTrain(5000)
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train,
+		trainer.DefaultAccelTrainConfig(spec.Name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pricing 5000 option batches under different re-execution budgets")
+	fmt.Printf("%-10s %-12s %-14s %-14s %-12s\n", "budget", "re-executed", "output error", "unchecked err", "energy")
+	for _, budget := range []float64{0.05, 0.15, 0.30} {
+		tuner, err := core.NewTuner(core.ModeEnergy, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.NewSystem(core.Config{
+			Spec:           spec,
+			Accel:          acc,
+			Checker:        preds.Linear,
+			Tuner:          tuner,
+			InvocationSize: 250, // the tuner adapts every 250 options
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(spec.GenTest(5000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-12s %-14s %-14s %-12s\n",
+			fmt.Sprintf("%.0f%%", 100*budget),
+			fmt.Sprintf("%.1f%%", 100*float64(rep.Fixed)/float64(rep.Elements)),
+			fmt.Sprintf("%.2f%%", 100*rep.OutputError),
+			fmt.Sprintf("%.2f%%", 100*rep.UncheckedError),
+			fmt.Sprintf("%.2fx", rep.Energy.Savings))
+	}
+	fmt.Println("\na larger budget buys lower output error; the tuner keeps the")
+	fmt.Println("re-execution rate at the budget without any offline re-profiling.")
+}

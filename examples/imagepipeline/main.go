@@ -1,0 +1,131 @@
+// Image pipeline: the paper's multimedia motivation made concrete.
+//
+// An edge-detection pipeline runs the sobel kernel over a full image on the
+// approximate accelerator. The example renders three PGM images — the exact
+// result, the unchecked accelerator result, and the Rumba-corrected result —
+// plus a report of how the error tail (the perceptible artefacts of
+// Figure 2) shrinks under Rumba.
+//
+//	go run ./examples/imagepipeline -out /tmp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/imageutil"
+	"rumba/internal/quality"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	outDir := flag.String("out", "", "directory for exact/approx/rumba PGM renders (empty: skip writing)")
+	size := flag.Int("size", 192, "image side length")
+	flag.Parse()
+	if err := run(*outDir, *size); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(outDir string, size int) error {
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		return err
+	}
+
+	// Offline training on the benchmark's training image.
+	train := spec.GenTrain(6000)
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train,
+		trainer.DefaultAccelTrainConfig(spec.Name))
+	if err != nil {
+		return err
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		return err
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		return err
+	}
+
+	// The pipeline input: a fresh scene the accelerator never saw.
+	img := imageutil.Synthetic(size, size, "imagepipeline/scene")
+	exact := bench.SobelImage(img)
+
+	// Run every pixel's 3x3 window through the accelerator, with the tree
+	// checker deciding which pixels the CPU recomputes. The per-element
+	// bound of 20% targets exactly the perceptible artefacts: pixels whose
+	// predicted error exceeds 20% of the pixel range.
+	tuner, err := core.NewTuner(core.ModeTOQ, 0.20)
+	if err != nil {
+		return err
+	}
+	approx := imageutil.NewGray(size, size)
+	rumba := imageutil.NewGray(size, size)
+	preds.Tree.Reset()
+	fixed := 0
+	var uncheckedErrs, rumbaErrs []float64
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			window := make([]float64, 9)
+			k := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					window[k] = img.At(x+dx, y+dy)
+					k++
+				}
+			}
+			out := acc.Invoke(window)
+			approx.Set(x, y, imageutil.Clamp255(out[0]))
+			ex := spec.Exact(window)
+			e := quality.ElementError(spec.Metric, ex, out, spec.Scale)
+			uncheckedErrs = append(uncheckedErrs, e)
+			if preds.Tree.PredictError(window, out) > tuner.Threshold {
+				// Recovery: the pure kernel re-executes on the CPU and the
+				// merger commits the exact pixel.
+				rumba.Set(x, y, ex[0])
+				rumbaErrs = append(rumbaErrs, 0)
+				fixed++
+			} else {
+				rumba.Set(x, y, imageutil.Clamp255(out[0]))
+				rumbaErrs = append(rumbaErrs, e)
+			}
+		}
+	}
+
+	un := quality.Summarize(uncheckedErrs)
+	ru := quality.Summarize(rumbaErrs)
+	fmt.Printf("edge-detection pipeline on a %dx%d scene\n", size, size)
+	fmt.Printf("  %-22s %8s %8s %14s\n", "", "mean err", "max err", ">20% err pixels")
+	fmt.Printf("  %-22s %7.2f%% %7.1f%% %13.2f%%\n", "unchecked accelerator", 100*un.Mean, 100*un.Max, 100*un.LargeFraction)
+	fmt.Printf("  %-22s %7.2f%% %7.1f%% %13.2f%%\n", "Rumba (treeErrors)", 100*ru.Mean, 100*ru.Max, 100*ru.LargeFraction)
+	fmt.Printf("  pixels re-executed: %.1f%%\n", 100*float64(fixed)/float64(size*size))
+
+	if outDir != "" {
+		for name, g := range map[string]*imageutil.Gray{
+			"sobel_exact.pgm": exact, "sobel_approx.pgm": approx, "sobel_rumba.pgm": rumba,
+		} {
+			path := filepath.Join(outDir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := g.WritePGM(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+	return nil
+}

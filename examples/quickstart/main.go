@@ -1,0 +1,81 @@
+// Quickstart: the smallest complete Rumba flow.
+//
+// It compiles the sobel kernel to an approximate accelerator, trains the
+// decision-tree error checker, and runs a test image's pixels through the
+// online system with a 90% target output quality — then prints what Rumba
+// bought: a much lower output error than the unchecked accelerator at a
+// bounded energy cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	// 1. Pick a benchmark kernel. Every Table 1 application is in the
+	//    registry; sobel is the 3x3 edge-detection stencil.
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Offline: train the accelerator network on the kernel's training
+	//    image, then train the error checkers on the errors the trained
+	//    accelerator actually makes.
+	train := spec.GenTrain(6000)
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train,
+		trainer.DefaultAccelTrainConfig(spec.Name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Online: assemble the Rumba system — accelerator + tree checker +
+	//    TOQ-mode tuner. The TOQ bound is per element: any element whose
+	//    predicted error exceeds 20% is re-executed exactly, which trims
+	//    the long tail of large errors (Figure 1) without re-running
+	//    everything.
+	tuner, err := core.NewTuner(core.ModeTOQ, 0.20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Spec:    spec,
+		Accel:   acc,
+		Checker: preds.Tree,
+		Tuner:   tuner,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Run(spec.GenTest(20000))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. What Rumba did.
+	fmt.Printf("sobel on a synthetic 512x512 test image (%d pixels sampled)\n", rep.Elements)
+	fmt.Printf("  unchecked accelerator error : %5.2f%%\n", 100*rep.UncheckedError)
+	fmt.Printf("  Rumba output error          : %5.2f%%\n", 100*rep.OutputError)
+	fmt.Printf("  elements re-executed on CPU : %5.2f%%\n", 100*float64(rep.Fixed)/float64(rep.Elements))
+	fmt.Printf("  energy savings vs CPU       : %5.2fx\n", rep.Energy.Savings)
+	fmt.Printf("  speedup vs CPU              : %5.2fx\n", rep.Speedup)
+	if rep.OutputError > 0 && rep.OutputError < rep.UncheckedError {
+		fmt.Printf("error reduced %.1fx by selective re-execution\n", rep.UncheckedError/rep.OutputError)
+	}
+}

@@ -1,0 +1,103 @@
+// Robotics inverse kinematics: comparing the three checkers (and Quality
+// mode).
+//
+// A 2-joint arm controller offloads inverse kinematics to the approximate
+// accelerator. Large joint-angle errors are exactly the "few noticeable
+// errors" the paper targets: one wild angle ruins a trajectory even when the
+// average error is fine. The example runs the same workload under each
+// light-weight checker and under the oracle, then shows Quality mode —
+// maximum fixing while the CPU still hides behind the accelerator.
+//
+//	go run ./examples/robotics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/predictor"
+	"rumba/internal/quality"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	spec, err := bench.Get("inversek2j")
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := spec.GenTrain(8000)
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train,
+		trainer.DefaultAccelTrainConfig(spec.Name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := spec.GenTest(8000)
+
+	fmt.Println("inverse kinematics for 8000 target points, 90% target output quality")
+	fmt.Printf("%-14s %-12s %-14s %-16s %-10s\n", "checker", "re-executed", "output error", ">20% errors left", "energy")
+	checkers := []struct {
+		name string
+		p    predictor.Predictor
+	}{
+		{"linearErrors", preds.Linear},
+		{"treeErrors", preds.Tree},
+		{"EMA", preds.EMA},
+	}
+	for _, c := range checkers {
+		tuner, err := core.NewTuner(core.ModeTOQ, 0.10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.NewSystem(core.Config{Spec: spec, Accel: acc, Checker: c.p, Tuner: tuner})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		large := 0
+		for _, o := range rep.Outcomes {
+			if !o.Fixed && o.TrueError > quality.LargeErrorThreshold {
+				large++
+			}
+		}
+		fmt.Printf("%-14s %-12s %-14s %-16s %-10s\n",
+			c.name,
+			fmt.Sprintf("%.1f%%", 100*float64(rep.Fixed)/float64(rep.Elements)),
+			fmt.Sprintf("%.2f%%", 100*rep.OutputError),
+			fmt.Sprintf("%d", large),
+			fmt.Sprintf("%.2fx", rep.Energy.Savings))
+	}
+
+	// Quality mode: fix as much as the CPU can hide behind the accelerator.
+	keepUp := acc.CyclesPerInvocation() / spec.Cost.CPUOps
+	if keepUp > 1 {
+		keepUp = 1
+	}
+	tuner, err := core.NewTuner(core.ModeQuality, keepUp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{Spec: spec, Accel: acc, Checker: preds.Tree, Tuner: tuner, InvocationSize: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Run(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQuality mode (keep-up fraction %.1f%%): re-executed %.1f%%, error %.2f%% -> speedup %.2fx retained\n",
+		100*keepUp, 100*float64(rep.Fixed)/float64(rep.Elements), 100*rep.OutputError, rep.Speedup)
+}

@@ -1,0 +1,94 @@
+// Software approximation under Rumba (no accelerator at all).
+//
+// The paper's quality-management design is not tied to the NPU: "all these
+// software approximation techniques need a quality management system". This
+// example approximates the sobel kernel with two Paraprox-style software
+// techniques — tile approximation and fuzzy memoization — and puts Rumba's
+// checker/recovery loop on top of each. The same detection machinery that
+// guards the hardware accelerator guards the software approximators.
+//
+//	go run ./examples/software
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumba/internal/approx"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/exec"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := spec.GenTrain(8000)
+	test := spec.GenTest(20000)
+
+	tile, err := approx.NewTile(spec, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	memo, err := approx.NewMemo(spec, 5, train.Inputs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warm the memo table on the training inputs (its offline phase).
+	for _, in := range train.Inputs {
+		memo.Invoke(in)
+	}
+
+	fmt.Println("sobel approximated in software, managed by Rumba (treeErrors, 20% element bound)")
+	fmt.Printf("%-22s %-12s %-14s %-12s %-10s\n",
+		"approximator", "unchecked", "with Rumba", "re-executed", "energy")
+	for _, entry := range []struct {
+		name string
+		eng  exec.Executor
+	}{
+		{"tile (stride 4)", tile},
+		{"fuzzy memoization", memo},
+	} {
+		// Offline: observe the approximator's errors on the training set
+		// and fit the checkers to them — the same flow as for the NPU.
+		obs := trainer.Observe(spec, entry.eng, train)
+		preds, err := trainer.TrainPredictors(spec, train, obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r, ok := entry.eng.(interface{ Reset() }); ok {
+			r.Reset()
+		}
+		if entry.name == "fuzzy memoization" {
+			// Re-warm after reset so the online phase sees steady state.
+			for _, in := range train.Inputs {
+				memo.Invoke(in)
+			}
+		}
+		tuner, err := core.NewTuner(core.ModeTOQ, 0.20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := core.NewSystem(core.Config{
+			Spec: spec, Accel: entry.eng, Checker: preds.Tree, Tuner: tuner,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-12s %-14s %-12s %-10s\n",
+			entry.name,
+			fmt.Sprintf("%.2f%%", 100*rep.UncheckedError),
+			fmt.Sprintf("%.2f%%", 100*rep.OutputError),
+			fmt.Sprintf("%.1f%%", 100*float64(rep.Fixed)/float64(rep.Elements)),
+			fmt.Sprintf("%.2fx", rep.Energy.Savings))
+	}
+	fmt.Println("\nthe same checkers, tuner and recovery loop manage hardware and software")
+	fmt.Println("approximation alike — only the executor behind the interface changed.")
+}

@@ -1,0 +1,106 @@
+// Spectrum analysis with an approximate twiddle accelerator.
+//
+// The fft benchmark approximates the FFT's twiddle-factor kernel; this
+// example runs the *whole* signal-processing application — a radix-2 FFT of
+// a multi-tone signal — three ways:
+//
+//  1. exact twiddles (the reference spectrum),
+//  2. the unchecked accelerator's twiddles,
+//  3. Rumba-managed twiddles: the tree checker inspects every accelerator
+//     output and the CPU recomputes the flagged ones.
+//
+// Per-element kernel errors become an application-level spectrum SNR, which
+// is what a user of the signal chain actually cares about.
+//
+//	go run ./examples/spectrum
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	spec, err := bench.Get("fft")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Offline phase: accelerator + checkers for the twiddle kernel.
+	train := spec.GenTrain(5000)
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train,
+		trainer.DefaultAccelTrainConfig(spec.Name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := core.NewTuner(core.ModeTOQ, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The input signal: three tones plus a little noise.
+	const n = 4096
+	signal := make([]complex128, n)
+	for i := range signal {
+		t := float64(i) / n
+		v := math.Sin(2*math.Pi*50*t) + 0.5*math.Sin(2*math.Pi*200*t) + 0.25*math.Sin(2*math.Pi*431*t)
+		signal[i] = complex(v, 0)
+	}
+
+	reference := clone(signal)
+	if err := bench.RadixFFT(reference, bench.ExactTwiddle); err != nil {
+		log.Fatal(err)
+	}
+
+	// Unchecked accelerator twiddles.
+	unchecked := clone(signal)
+	if err := bench.RadixFFT(unchecked, func(x float64) (float64, float64) {
+		out := acc.Invoke([]float64{x})
+		return out[0], out[1]
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Rumba-managed twiddles: check every accelerator output, recompute the
+	// suspicious ones exactly on the CPU.
+	fixes, total := 0, 0
+	preds.Tree.Reset()
+	managed := clone(signal)
+	if err := bench.RadixFFT(managed, func(x float64) (float64, float64) {
+		total++
+		in := []float64{x}
+		out := acc.Invoke(in)
+		if preds.Tree.PredictError(in, out) > tuner.Threshold {
+			fixes++
+			exact := spec.Exact(in)
+			return exact[0], exact[1]
+		}
+		return out[0], out[1]
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("radix-2 FFT of a %d-sample three-tone signal\n", n)
+	fmt.Printf("  %-28s %10s\n", "twiddle source", "SNR vs exact")
+	fmt.Printf("  %-28s %9.1f dB\n", "unchecked accelerator", bench.SpectrumSNR(reference, unchecked))
+	fmt.Printf("  %-28s %9.1f dB\n", "Rumba (treeErrors, 10% TOQ)", bench.SpectrumSNR(reference, managed))
+	fmt.Printf("  twiddle invocations checked: %d, re-executed: %d (%.1f%%)\n",
+		total, fixes, 100*float64(fixes)/float64(total))
+}
+
+func clone(x []complex128) []complex128 {
+	return append([]complex128(nil), x...)
+}

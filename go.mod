@@ -1,0 +1,3 @@
+module rumba
+
+go 1.22

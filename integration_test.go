@@ -1,0 +1,194 @@
+package rumba
+
+// End-to-end integration tests across the whole stack: offline training →
+// bundle serialisation → batch and streaming online runs → cost accounting.
+// These are the repository's "does the system hold together" checks; the
+// per-package tests cover the parts.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/approx"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/core"
+	"rumba/internal/exec"
+	"rumba/internal/nn"
+	"rumba/internal/trainer"
+)
+
+// trainStack builds the full offline artifact set for one benchmark at test
+// scale.
+func trainStack(t *testing.T, name string, n, epochs int) (*bench.Spec, *accel.Accelerator, trainer.PredictorSet, nn.Dataset) {
+	t.Helper()
+	spec, err := bench.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(n)
+	cfg := trainer.DefaultAccelTrainConfig(name)
+	cfg.NN.Epochs = epochs
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, acc, preds, spec.GenTest(n)
+}
+
+// TestEndToEndTrainBundleRun exercises the full offline→artifact→online
+// path: a bundle written to disk must reproduce the exact same online run
+// as the in-memory artifacts it came from.
+func TestEndToEndTrainBundleRun(t *testing.T) {
+	spec, acc, preds, test := trainStack(t, "inversek2j", 1000, 30)
+
+	b, err := bundle.New(spec, acc.Config(), preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ik.json")
+	if err := bundle.Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, loadedSpec, err := bundle.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedAcc, err := loaded.Accelerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(a *accel.Accelerator, ps trainer.PredictorSet) *core.Report {
+		tuner, err := core.NewTuner(core.ModeTOQ, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(core.Config{Spec: loadedSpec, Accel: a, Checker: ps.Tree, Tuner: tuner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Run(test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	orig := run(acc, preds)
+	reloaded := run(loadedAcc, loaded.Predictors())
+	if orig.Fixed != reloaded.Fixed {
+		t.Fatalf("fix counts differ after bundle round trip: %d vs %d", orig.Fixed, reloaded.Fixed)
+	}
+	if math.Abs(orig.OutputError-reloaded.OutputError) > 1e-12 {
+		t.Fatalf("output errors differ: %v vs %v", orig.OutputError, reloaded.OutputError)
+	}
+}
+
+// TestEndToEndSoftwareExecutors runs the Rumba system over every software
+// approximator on the same kernel: the managed output error must improve on
+// the unchecked error whenever the checker fires.
+func TestEndToEndSoftwareExecutors(t *testing.T) {
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(2000)
+	test := spec.GenTest(3000)
+
+	tile, err := approx.NewTile(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := approx.NewMemo(spec, 5, train.Inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := approx.NewPrecision(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []struct {
+		name string
+		eng  exec.Executor
+	}{
+		{"tile", tile},
+		{"memo", memo},
+		{"precision", prec},
+	}
+	for _, e := range engines {
+		obs := trainer.Observe(spec, e.eng, train)
+		preds, err := trainer.TrainPredictors(spec, train, obs)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if r, can := e.eng.(interface{ Reset() }); can {
+			r.Reset()
+		}
+		tuner, err := core.NewTuner(core.ModeTOQ, 0.20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(core.Config{Spec: spec, Accel: e.eng, Checker: preds.Tree, Tuner: tuner})
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		rep, err := sys.Run(test)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if rep.Fixed > 0 && rep.OutputError >= rep.UncheckedError {
+			t.Errorf("%s: recovery did not improve quality (%v vs %v)", e.name, rep.OutputError, rep.UncheckedError)
+		}
+		if rep.Energy.Savings <= 0 || rep.Speedup <= 0 {
+			t.Errorf("%s: missing cost accounting", e.name)
+		}
+	}
+}
+
+// TestEndToEndStreamEqualsBatch cross-checks the concurrent streaming
+// runtime against the batch runtime on a fresh benchmark stack.
+func TestEndToEndStreamEqualsBatch(t *testing.T) {
+	spec, acc, preds, test := trainStack(t, "fft", 800, 30)
+
+	t1, _ := core.NewTuner(core.ModeTOQ, 0.12)
+	sys, err := core.NewSystem(core.Config{Spec: spec, Accel: acc, Checker: preds.Linear, Tuner: t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t2, _ := core.NewTuner(core.ModeTOQ, 0.12)
+	st, err := core.NewStream(core.Config{Spec: spec, Accel: acc, Checker: preds.Linear, Tuner: t2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make(chan []float64)
+	go func() {
+		defer close(inputs)
+		for _, in := range test.Inputs {
+			inputs <- in
+		}
+	}()
+	stats, err := core.EvaluateStream(st.Process(inputs), test.Targets, spec.Metric, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fixed != batch.Fixed || math.Abs(stats.OutputError-batch.OutputError) > 1e-12 {
+		t.Fatalf("stream (%d fixed, err %v) != batch (%d fixed, err %v)",
+			stats.Fixed, stats.OutputError, batch.Fixed, batch.OutputError)
+	}
+}

@@ -1,0 +1,214 @@
+// Package accel models the NPU-style approximate accelerator of the Rumba
+// execution subsystem (Figure 4): an 8-processing-element neural unit that
+// executes a trained MLP per invocation, fed through input/output queues and
+// configured through a config queue, optionally augmented with the error
+// predictor hardware of Figure 7.
+//
+// The model is functional + analytical: it produces the exact numerical
+// outputs the hardware would (the MLP forward pass) and accounts cycles and
+// MAC counts that the energy/latency packages consume. See DESIGN.md for the
+// gem5 substitution rationale.
+package accel
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"rumba/internal/energy"
+	"rumba/internal/nn"
+)
+
+// Config is the accelerator configuration the offline trainer embeds in the
+// application binary: the trained network, the input/output normalisation,
+// and the input-feature projection (nil = use all kernel inputs).
+type Config struct {
+	Net      *nn.Network
+	Scaler   *nn.Scaler
+	Features []int
+}
+
+// MarshalJSON serialises the configuration (the "embedded in the binary"
+// form of Figure 4).
+func (c Config) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Net      *nn.Network `json:"net"`
+		Scaler   *nn.Scaler  `json:"scaler"`
+		Features []int       `json:"features,omitempty"`
+	}{c.Net, c.Scaler, c.Features})
+}
+
+// UnmarshalJSON restores a serialised configuration.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Net      *nn.Network `json:"net"`
+		Scaler   *nn.Scaler  `json:"scaler"`
+		Features []int       `json:"features,omitempty"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Net == nil || raw.Scaler == nil {
+		return fmt.Errorf("accel: config missing network or scaler")
+	}
+	c.Net, c.Scaler, c.Features = raw.Net, raw.Scaler, raw.Features
+	return nil
+}
+
+// Placement selects where an input-based error detector sits relative to the
+// accelerator (Figure 9).
+type Placement int
+
+const (
+	// PlacementParallel starts the error detector and the accelerator on
+	// the inputs simultaneously (Figure 9(b), Configuration 2): no added
+	// latency, but accelerator energy is spent even on invocations that
+	// will be re-executed. This is the configuration the paper evaluates.
+	PlacementParallel Placement = iota
+	// PlacementSerial runs the detector before invoking the accelerator
+	// (Figure 9(a), Configuration 1): saves the accelerator invocation
+	// when the check fires, but adds the detector latency to every
+	// invocation.
+	PlacementSerial
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	if p == PlacementSerial {
+		return "serial (Fig. 9a)"
+	}
+	return "parallel (Fig. 9b)"
+}
+
+// Stats accumulates activity counters for the energy model.
+type Stats struct {
+	Invocations int
+	MACs        int
+	InputWords  int
+	OutputWords int
+}
+
+// Accelerator executes invocations of a configured network. It is a
+// deliberately sequential model: the PE-level parallelism shows up in the
+// cycle count, not in host concurrency.
+type Accelerator struct {
+	cfg   Config
+	PEs   int
+	stats Stats
+	// fixed, when non-nil, routes inference through the quantised
+	// fixed-point datapath instead of float64 (see SetFixedPoint).
+	fixed *nn.FixedNetwork
+}
+
+// DefaultPEs is the number of processing elements in the paper's NPU.
+const DefaultPEs = 8
+
+// New builds an accelerator from a configuration. PEs <= 0 selects the
+// 8-PE design of the paper.
+func New(cfg Config, pes int) (*Accelerator, error) {
+	if cfg.Net == nil || cfg.Scaler == nil {
+		return nil, fmt.Errorf("accel: incomplete config")
+	}
+	if cfg.Features != nil && len(cfg.Features) != cfg.Net.Topo.Inputs() {
+		return nil, fmt.Errorf("accel: %d projected features but network wants %d inputs",
+			len(cfg.Features), cfg.Net.Topo.Inputs())
+	}
+	if pes <= 0 {
+		pes = DefaultPEs
+	}
+	return &Accelerator{cfg: cfg, PEs: pes}, nil
+}
+
+// Config returns the accelerator's configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// project applies the feature projection.
+func (a *Accelerator) project(in []float64) []float64 {
+	if a.cfg.Features == nil {
+		return in
+	}
+	out := make([]float64, len(a.cfg.Features))
+	for i, idx := range a.cfg.Features {
+		out[i] = in[idx]
+	}
+	return out
+}
+
+// SetFixedPoint switches the accelerator to quantised Q(m.n) inference —
+// the arithmetic a hardware NPU datapath actually performs. Passing the
+// zero format restores float64 execution.
+func (a *Accelerator) SetFixedPoint(f nn.FixedFormat) error {
+	if f == (nn.FixedFormat{}) {
+		a.fixed = nil
+		return nil
+	}
+	q, err := nn.Quantize(a.cfg.Net, f)
+	if err != nil {
+		return err
+	}
+	a.fixed = q
+	return nil
+}
+
+// Invoke runs one accelerator invocation: project, normalise, forward pass,
+// denormalise. It updates the activity counters.
+func (a *Accelerator) Invoke(in []float64) []float64 {
+	proj := a.project(in)
+	scaled := a.cfg.Scaler.ScaleIn(proj)
+	var raw []float64
+	if a.fixed != nil {
+		raw = a.fixed.Forward(scaled)
+	} else {
+		raw = a.cfg.Net.Forward(scaled)
+	}
+	out := a.cfg.Scaler.UnscaleOut(raw)
+	a.stats.Invocations++
+	a.stats.MACs += a.cfg.Net.Topo.MACs()
+	a.stats.InputWords += len(proj)
+	a.stats.OutputWords += len(out)
+	return out
+}
+
+// InvokeAll runs the accelerator over a whole input set, returning one
+// output vector per input.
+func (a *Accelerator) InvokeAll(inputs [][]float64) [][]float64 {
+	out := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		out[i] = a.Invoke(in)
+	}
+	return out
+}
+
+// Stats returns a copy of the activity counters.
+func (a *Accelerator) Stats() Stats { return a.stats }
+
+// ResetStats clears the activity counters.
+func (a *Accelerator) ResetStats() { a.stats = Stats{} }
+
+// CyclesPerInvocation is the accelerator's latency for one invocation,
+// taken from the PE-level schedule model (see Schedule): neurons partitioned
+// across PEs, one MAC per PE per cycle, per-layer sigmoid and bus
+// turnaround, and queue transfer cycles.
+func (a *Accelerator) CyclesPerInvocation() float64 {
+	return ScheduleCycles(a.cfg.Net.Topo, a.PEs)
+}
+
+// EnergyPerInvocation prices one invocation under the analytical model; it
+// makes *Accelerator satisfy the runtime's executor contract
+// (internal/exec.Executor).
+func (a *Accelerator) EnergyPerInvocation(m energy.Model) float64 {
+	t := a.cfg.Net.Topo
+	return energy.NPUInvocationEnergy(t.MACs(), t.Inputs()+t.Outputs(), m)
+}
+
+// ConfigWords is the one-time configuration transfer over the config queue
+// (Figure 4): every weight and bias, plus the checker coefficients when a
+// hardware predictor is attached (the paper sends both over the same
+// queue). It is charged once per application run, not per invocation.
+func (a *Accelerator) ConfigWords() int {
+	return a.cfg.Net.WeightCount()
+}
+
+// SetupEnergy prices the one-time configuration transfer.
+func (a *Accelerator) SetupEnergy(m energy.Model) float64 {
+	return float64(a.ConfigWords()) * m.QueueEnergyPerWord
+}

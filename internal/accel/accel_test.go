@@ -1,0 +1,242 @@
+package accel
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/energy"
+	"rumba/internal/nn"
+	"rumba/internal/rng"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	inputs := [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
+	targets := [][]float64{{0}, {2}, {1}}
+	return Config{
+		Net:    nn.New(nn.MustTopology("2->3->1"), nn.Sigmoid, nn.Linear, rng.New(1)),
+		Scaler: nn.FitScaler(inputs, targets),
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}, 8); err == nil {
+		t.Fatal("empty config must be rejected")
+	}
+	cfg := testConfig(t)
+	cfg.Features = []int{0} // 1 feature but net wants 2 inputs
+	if _, err := New(cfg, 8); err == nil {
+		t.Fatal("feature/input mismatch must be rejected")
+	}
+}
+
+func TestInvokeCountsStats(t *testing.T) {
+	a, err := New(testConfig(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PEs != DefaultPEs {
+		t.Fatalf("PEs = %d, want %d", a.PEs, DefaultPEs)
+	}
+	out := a.Invoke([]float64{0.5, 0.5})
+	if len(out) != 1 {
+		t.Fatalf("output len %d", len(out))
+	}
+	st := a.Stats()
+	if st.Invocations != 1 || st.MACs != a.Config().Net.Topo.MACs() {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.InputWords != 2 || st.OutputWords != 1 {
+		t.Fatalf("word counts = %+v", st)
+	}
+	a.ResetStats()
+	if a.Stats().Invocations != 0 {
+		t.Fatal("ResetStats must clear counters")
+	}
+}
+
+func TestInvokeDeterministic(t *testing.T) {
+	a, _ := New(testConfig(t), 8)
+	x := []float64{0.3, 0.8}
+	if a.Invoke(x)[0] != a.Invoke(x)[0] {
+		t.Fatal("Invoke must be deterministic")
+	}
+}
+
+func TestInvokeAll(t *testing.T) {
+	a, _ := New(testConfig(t), 8)
+	outs := a.InvokeAll([][]float64{{0, 0}, {1, 1}})
+	if len(outs) != 2 || a.Stats().Invocations != 2 {
+		t.Fatalf("InvokeAll produced %d outputs, %d invocations", len(outs), a.Stats().Invocations)
+	}
+}
+
+func TestFeatureProjection(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Features = []int{0, 2} // project a 3-wide kernel input to 2 net inputs
+	a, err := New(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := a.Invoke([]float64{0.1, 999, 0.9})
+	direct := a.Invoke([]float64{0.1, -999, 0.9})
+	if full[0] != direct[0] {
+		t.Fatal("projected-away input must not influence the output")
+	}
+}
+
+func TestCyclesPerInvocationScalesWithPEs(t *testing.T) {
+	cfg := testConfig(t)
+	a8, _ := New(cfg, 8)
+	a1, _ := New(cfg, 1)
+	if a1.CyclesPerInvocation() <= a8.CyclesPerInvocation() {
+		t.Fatal("fewer PEs must mean more cycles")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Features = []int{1, 0}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	aOrig, _ := New(cfg, 8)
+	aBack, _ := New(back, 8)
+	in := []float64{0.2, 0.7}
+	if o1, o2 := aOrig.Invoke(in)[0], aBack.Invoke(in)[0]; math.Abs(o1-o2) > 1e-15 {
+		t.Fatalf("round-tripped config differs: %v vs %v", o1, o2)
+	}
+}
+
+func TestConfigUnmarshalRejectsIncomplete(t *testing.T) {
+	var c Config
+	if err := json.Unmarshal([]byte(`{"net":null,"scaler":null}`), &c); err == nil {
+		t.Fatal("expected error for incomplete config")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](3)
+	for i := 1; i <= 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	if q.Push(4) {
+		t.Fatal("Push into a full queue must fail")
+	}
+	if !q.Full() || q.Len() != 3 || q.Cap() != 3 {
+		t.Fatalf("queue state: len=%d cap=%d", q.Len(), q.Cap())
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop from empty must fail")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Push(1)
+	q.Push(2)
+	q.Pop()
+	q.Push(3) // wraps
+	if got := q.Drain(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Drain = %v, want [2 3]", got)
+	}
+}
+
+func TestQueuePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewQueue[int](0)
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order.
+func TestQueueFIFOProperty(t *testing.T) {
+	r := rng.New(33)
+	f := func(opsRaw uint8) bool {
+		q := NewQueue[int](8)
+		next := 0
+		var expect []int
+		for op := 0; op < int(opsRaw)%100+20; op++ {
+			if r.Bool(0.6) {
+				if q.Push(next) {
+					expect = append(expect, next)
+				}
+				next++
+			} else if v, ok := q.Pop(); ok {
+				if len(expect) == 0 || v != expect[0] {
+					return false
+				}
+				expect = expect[1:]
+			}
+		}
+		return q.Len() == len(expect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlacementParallel.String() == PlacementSerial.String() {
+		t.Fatal("placements must stringify differently")
+	}
+}
+
+func TestSetFixedPointChangesOutputsSlightly(t *testing.T) {
+	a, _ := New(testConfig(t), 8)
+	in := []float64{0.3, 0.8}
+	float := a.Invoke(in)[0]
+	if err := a.SetFixedPoint(nn.DefaultFixedFormat); err != nil {
+		t.Fatal(err)
+	}
+	fixed := a.Invoke(in)[0]
+	if float == fixed {
+		t.Log("fixed-point output happened to match float; acceptable but rare")
+	}
+	if math.Abs(float-fixed) > 0.05 {
+		t.Fatalf("fixed-point output too far from float: %v vs %v", fixed, float)
+	}
+	// Restoring float mode reproduces the original output.
+	if err := a.SetFixedPoint(nn.FixedFormat{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Invoke(in)[0]; got != float {
+		t.Fatal("clearing fixed point must restore float execution")
+	}
+}
+
+func TestSetFixedPointRejectsBadFormat(t *testing.T) {
+	a, _ := New(testConfig(t), 8)
+	if err := a.SetFixedPoint(nn.FixedFormat{IntBits: -1, FracBits: 99}); err == nil {
+		t.Fatal("expected format error")
+	}
+}
+
+func TestConfigWordsAndSetupEnergy(t *testing.T) {
+	a, _ := New(testConfig(t), 8)
+	// 2->3->1: (2*3+3) + (3*1+1) = 13 parameters.
+	if got := a.ConfigWords(); got != 13 {
+		t.Fatalf("ConfigWords = %d, want 13", got)
+	}
+	m := energy.DefaultModel()
+	if got := a.SetupEnergy(m); got != 13*m.QueueEnergyPerWord {
+		t.Fatalf("SetupEnergy = %v", got)
+	}
+}

@@ -1,0 +1,75 @@
+package accel
+
+import "fmt"
+
+// Queue is the bounded FIFO used for CPU/accelerator communication in
+// Figure 4: the config queue, the input and output data queues, and the
+// recovery queue that carries recovery bits back to the CPU. It is a plain
+// ring buffer; the latency/energy cost of queue traffic is accounted by the
+// energy package, not here.
+type Queue[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// NewQueue allocates a queue with the given capacity.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("accel: queue capacity %d must be positive", capacity))
+	}
+	return &Queue[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Full reports whether a Push would fail.
+func (q *Queue[T]) Full() bool { return q.size == len(q.buf) }
+
+// Push enqueues an item; it reports false when the queue is full (the
+// producer must stall, which the pipeline model charges as back-pressure).
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	return true
+}
+
+// Pop dequeues the oldest item; ok is false when the queue is empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// Drain pops everything currently queued, in FIFO order.
+func (q *Queue[T]) Drain() []T {
+	out := make([]T, 0, q.size)
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// RecoveryBit is the message carried on the recovery queue: the iteration ID
+// whose output element the detector flagged for exact re-execution.
+type RecoveryBit struct {
+	Iteration int
+	// PredictedError is the detector's error estimate, kept for the
+	// tuner's bookkeeping and the Figure 18 trace.
+	PredictedError float64
+}

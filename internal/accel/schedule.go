@@ -1,0 +1,84 @@
+package accel
+
+import "rumba/internal/nn"
+
+// This file models the NPU's internal execution schedule at the
+// processing-element level, following the NPU design the paper builds on:
+// the PEs compute a layer's neurons in parallel (neurons are partitioned
+// across PEs), each neuron accumulates its fan-in one multiply-accumulate
+// per cycle, the sigmoid unit finishes a neuron after its accumulation, and
+// layers are separated by a bus turnaround that redistributes activations.
+
+// LayerSchedule is the timing of one layer on the PE array.
+type LayerSchedule struct {
+	// Neurons and FanIn describe the layer.
+	Neurons, FanIn int
+	// NeuronsPerPE is the worst-case number of neurons mapped to one PE
+	// (ceil division — the array is only as fast as its busiest PE).
+	NeuronsPerPE int
+	// MACCycles is the busiest PE's accumulation time.
+	MACCycles int
+	// Cycles is the layer's total latency: accumulation, the sigmoid
+	// evaluation of the final neuron, and the bus turnaround.
+	Cycles int
+}
+
+// Timing constants of the PE array.
+const (
+	// sigmoidCycles is the lookup-table sigmoid latency; it is paid once
+	// per layer (evaluation of earlier neurons overlaps later MACs).
+	sigmoidCycles = 2
+	// busCycles is the inter-layer activation broadcast.
+	busCycles = 2
+	// wordCycles is the I/O queue transfer rate: two words per cycle.
+	wordCycles = 0.5
+)
+
+// Schedule computes the per-layer timing of a topology on a PE array.
+func Schedule(t nn.Topology, pes int) []LayerSchedule {
+	if pes <= 0 {
+		pes = DefaultPEs
+	}
+	layers := make([]LayerSchedule, 0, len(t.Sizes)-1)
+	for i := 0; i+1 < len(t.Sizes); i++ {
+		fanIn, neurons := t.Sizes[i], t.Sizes[i+1]
+		perPE := (neurons + pes - 1) / pes
+		mac := perPE * fanIn
+		layers = append(layers, LayerSchedule{
+			Neurons:      neurons,
+			FanIn:        fanIn,
+			NeuronsPerPE: perPE,
+			MACCycles:    mac,
+			Cycles:       mac + sigmoidCycles + busCycles,
+		})
+	}
+	return layers
+}
+
+// ScheduleCycles is the whole-invocation latency of a topology: the layer
+// pipeline plus the input/output queue transfers.
+func ScheduleCycles(t nn.Topology, pes int) float64 {
+	total := 0.0
+	for _, l := range Schedule(t, pes) {
+		total += float64(l.Cycles)
+	}
+	return total + wordCycles*float64(t.Inputs()+t.Outputs())
+}
+
+// PEUtilisation reports how evenly the busiest layer loads the array: the
+// average over layers of (neurons / (PEs * neuronsPerPE)). 1.0 means every
+// PE is busy every accumulation cycle; small output layers waste PEs.
+func PEUtilisation(t nn.Topology, pes int) float64 {
+	if pes <= 0 {
+		pes = DefaultPEs
+	}
+	layers := Schedule(t, pes)
+	if len(layers) == 0 {
+		return 0
+	}
+	var s float64
+	for _, l := range layers {
+		s += float64(l.Neurons) / float64(pes*l.NeuronsPerPE)
+	}
+	return s / float64(len(layers))
+}

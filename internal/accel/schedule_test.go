@@ -1,0 +1,92 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/nn"
+)
+
+func TestScheduleLayerTiming(t *testing.T) {
+	// 9->8->1 on 8 PEs: layer 1 maps one 9-fan-in neuron per PE (9 MAC
+	// cycles); layer 2 is a single 8-fan-in neuron on one PE (8 cycles).
+	layers := Schedule(nn.MustTopology("9->8->1"), 8)
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d", len(layers))
+	}
+	if layers[0].NeuronsPerPE != 1 || layers[0].MACCycles != 9 {
+		t.Fatalf("layer 1 = %+v", layers[0])
+	}
+	if layers[1].NeuronsPerPE != 1 || layers[1].MACCycles != 8 {
+		t.Fatalf("layer 2 = %+v", layers[1])
+	}
+	// Each layer pays the sigmoid + bus overhead.
+	if layers[0].Cycles != 9+sigmoidCycles+busCycles {
+		t.Fatalf("layer 1 cycles = %d", layers[0].Cycles)
+	}
+}
+
+func TestScheduleCeilPartitioning(t *testing.T) {
+	// 32 neurons on 8 PEs: 4 each; 18-wide fan-in: 72 MAC cycles.
+	layers := Schedule(nn.MustTopology("18->32->2"), 8)
+	if layers[0].NeuronsPerPE != 4 || layers[0].MACCycles != 72 {
+		t.Fatalf("layer 1 = %+v", layers[0])
+	}
+	// 9 neurons on 8 PEs must round up to 2 per PE.
+	layers = Schedule(nn.Topology{Sizes: []int{4, 9, 1}}, 8)
+	if layers[0].NeuronsPerPE != 2 {
+		t.Fatalf("ceil partitioning broken: %+v", layers[0])
+	}
+}
+
+func TestScheduleCyclesIncludesQueues(t *testing.T) {
+	topo := nn.MustTopology("4->4->2")
+	base := 0.0
+	for _, l := range Schedule(topo, 8) {
+		base += float64(l.Cycles)
+	}
+	got := ScheduleCycles(topo, 8)
+	if got != base+wordCycles*6 {
+		t.Fatalf("ScheduleCycles = %v, want %v", got, base+wordCycles*6)
+	}
+}
+
+// Property: more PEs never makes any layer slower, and the schedule is
+// always at least MACs/PEs cycles (the work bound).
+func TestScheduleMonotoneInPEsProperty(t *testing.T) {
+	f := func(inRaw, hidRaw, outRaw, pesRaw uint8) bool {
+		in := int(inRaw)%16 + 1
+		hid := int(hidRaw)%32 + 1
+		out := int(outRaw)%8 + 1
+		pes := int(pesRaw)%15 + 1
+		topo := nn.Topology{Sizes: []int{in, hid, out}}
+		c1 := ScheduleCycles(topo, pes)
+		c2 := ScheduleCycles(topo, pes+1)
+		workBound := float64(topo.MACs()) / float64(pes)
+		return c2 <= c1+1e-9 && c1 >= workBound-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPEUtilisation(t *testing.T) {
+	// A 8-neuron layer on 8 PEs is perfectly utilised; a 1-neuron output
+	// layer uses 1/8 of the array.
+	u := PEUtilisation(nn.MustTopology("9->8->1"), 8)
+	want := (1.0 + 1.0/8) / 2
+	if u != want {
+		t.Fatalf("utilisation = %v, want %v", u, want)
+	}
+	if PEUtilisation(nn.Topology{Sizes: []int{4}}, 8) != 0 {
+		t.Fatal("degenerate topology utilisation must be 0")
+	}
+}
+
+func TestDefaultPEsUsedForNonPositive(t *testing.T) {
+	a := ScheduleCycles(nn.MustTopology("9->8->1"), 0)
+	b := ScheduleCycles(nn.MustTopology("9->8->1"), DefaultPEs)
+	if a != b {
+		t.Fatal("pes <= 0 must select the default array")
+	}
+}

@@ -1,0 +1,250 @@
+// Package approx implements approximation techniques from the paper's
+// related work — Paraprox-style approximate memoization and tile
+// approximation, and EnerJ-style precision reduction — as executors the
+// Rumba runtime can manage. The paper
+// notes that "all these software approximation techniques need a quality
+// management system to monitor the output quality and control the
+// aggressiveness of the approximation during execution"; plugging them into
+// internal/core demonstrates exactly that.
+//
+// Both techniques run on the host CPU (there is no accelerator), so their
+// energy/latency advantage is algorithmic: a memo hit or a reused tile costs
+// a few table operations instead of the exact kernel.
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"rumba/internal/bench"
+	"rumba/internal/energy"
+)
+
+// lookupOps is the CPU cost of a memo-table probe or tile reuse, in
+// normalised CPU operations: input quantisation, hash, and a copy.
+const lookupOps = 12.0
+
+// Memo is fuzzy (approximate) memoization: kernel inputs are quantised onto
+// a grid and a table maps quantised inputs to previously computed exact
+// outputs. A hit returns the cached neighbour's output — approximately
+// correct when the kernel is smooth; a miss computes the exact kernel and
+// caches it. Hardware fuzzy memoization (Alvarez et al., refs [2, 3]) works
+// the same way.
+type Memo struct {
+	spec *bench.Spec
+	// CellSize is the quantisation step per input dimension, in units of
+	// the input range observed offline. Larger cells mean more hits and
+	// more error.
+	cellSize []float64
+	origin   []float64
+	// MaxEntries bounds the table; when full, new misses are not cached
+	// (the steady-state behaviour of a fixed-size hardware table).
+	maxEntries int
+
+	table  map[string][]float64
+	hits   int
+	misses int
+}
+
+// NewMemo builds a memoizing executor. cells is the number of quantisation
+// cells per input dimension across the observed input range (smaller =
+// coarser = more approximate); samples must be representative inputs used to
+// size the grid. maxEntries <= 0 means 1<<16 entries.
+func NewMemo(spec *bench.Spec, cells int, samples [][]float64, maxEntries int) (*Memo, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("approx: cells must be positive")
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("approx: memoization needs range samples")
+	}
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	d := spec.InDim
+	lo := append([]float64(nil), samples[0]...)
+	hi := append([]float64(nil), samples[0]...)
+	for _, s := range samples[1:] {
+		for j, v := range s {
+			lo[j] = math.Min(lo[j], v)
+			hi[j] = math.Max(hi[j], v)
+		}
+	}
+	cell := make([]float64, d)
+	for j := range cell {
+		span := hi[j] - lo[j]
+		if span <= 0 {
+			span = 1
+		}
+		cell[j] = span / float64(cells)
+	}
+	return &Memo{
+		spec:       spec,
+		cellSize:   cell,
+		origin:     lo,
+		maxEntries: maxEntries,
+		table:      make(map[string][]float64),
+	}, nil
+}
+
+// key quantises an input onto the grid.
+func (mo *Memo) key(in []float64) string {
+	// Small inputs (<= 64 dims in this suite): build a compact key.
+	buf := make([]byte, 0, len(in)*3)
+	for j, v := range in {
+		q := int32(math.Floor((v - mo.origin[j]) / mo.cellSize[j]))
+		buf = append(buf, byte(q), byte(q>>8), byte(q>>16))
+	}
+	return string(buf)
+}
+
+// Invoke implements exec.Executor.
+func (mo *Memo) Invoke(in []float64) []float64 {
+	k := mo.key(in)
+	if out, ok := mo.table[k]; ok {
+		mo.hits++
+		return out
+	}
+	mo.misses++
+	out := mo.spec.Exact(in)
+	if len(mo.table) < mo.maxEntries {
+		mo.table[k] = out
+	}
+	return out
+}
+
+// HitRate returns the fraction of invocations served from the table.
+func (mo *Memo) HitRate() float64 {
+	total := mo.hits + mo.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(mo.hits) / float64(total)
+}
+
+// CyclesPerInvocation implements exec.Executor: the expected latency given
+// the measured hit rate (a lookup on hits; a lookup plus the exact kernel on
+// misses).
+func (mo *Memo) CyclesPerInvocation() float64 {
+	h := mo.HitRate()
+	return lookupOps + (1-h)*mo.spec.Cost.CPUOps
+}
+
+// EnergyPerInvocation implements exec.Executor.
+func (mo *Memo) EnergyPerInvocation(m energy.Model) float64 {
+	h := mo.HitRate()
+	return (lookupOps + (1-h)*mo.spec.Cost.CPUOps) * m.CPUEnergyPerOp
+}
+
+// Reset clears the table and the hit counters.
+func (mo *Memo) Reset() {
+	mo.table = make(map[string][]float64)
+	mo.hits, mo.misses = 0, 0
+}
+
+// Tile is tile approximation (Paraprox, ref [31]): the exact kernel runs for
+// one element out of every Stride, and its output is reused for the
+// following Stride-1 elements. On locally smooth input streams (pixels in
+// raster order) the reused value is close; across discontinuities it is
+// wrong — which is precisely the error pattern Rumba's checkers catch.
+type Tile struct {
+	spec   *bench.Spec
+	stride int
+
+	count int
+	last  []float64
+}
+
+// NewTile builds a tile-approximation executor. stride 1 degenerates to the
+// exact kernel.
+func NewTile(spec *bench.Spec, stride int) (*Tile, error) {
+	if stride <= 0 {
+		return nil, fmt.Errorf("approx: tile stride must be positive")
+	}
+	return &Tile{spec: spec, stride: stride}, nil
+}
+
+// Invoke implements exec.Executor.
+func (t *Tile) Invoke(in []float64) []float64 {
+	if t.count%t.stride == 0 || t.last == nil {
+		t.last = t.spec.Exact(in)
+	}
+	t.count++
+	return t.last
+}
+
+// CyclesPerInvocation implements exec.Executor: the amortised latency of one
+// exact execution per stride.
+func (t *Tile) CyclesPerInvocation() float64 {
+	return lookupOps + t.spec.Cost.CPUOps/float64(t.stride)
+}
+
+// EnergyPerInvocation implements exec.Executor.
+func (t *Tile) EnergyPerInvocation(m energy.Model) float64 {
+	return t.CyclesPerInvocation() * m.CPUEnergyPerOp
+}
+
+// Reset clears the tile state.
+func (t *Tile) Reset() {
+	t.count = 0
+	t.last = nil
+}
+
+// Precision is storage/datapath width reduction (EnerJ-style, refs [34, 35]
+// of the paper): the exact kernel algorithm runs, but its inputs and outputs
+// pass through reduced-precision storage that keeps only MantissaBits of
+// each float's mantissa. Energy is saved in the memory system and datapath
+// width rather than by skipping work.
+type Precision struct {
+	spec *bench.Spec
+	// MantissaBits is the retained mantissa width (float64 has 52).
+	MantissaBits int
+}
+
+// NewPrecision builds a precision-scaled executor. bits must be in [1, 52].
+func NewPrecision(spec *bench.Spec, bits int) (*Precision, error) {
+	if bits < 1 || bits > 52 {
+		return nil, fmt.Errorf("approx: mantissa bits %d out of [1, 52]", bits)
+	}
+	return &Precision{spec: spec, MantissaBits: bits}, nil
+}
+
+// truncate drops the low mantissa bits of v.
+func (p *Precision) truncate(v float64) float64 {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	bits := math.Float64bits(v)
+	drop := uint(52 - p.MantissaBits)
+	bits &^= (1 << drop) - 1
+	return math.Float64frombits(bits)
+}
+
+// Invoke implements exec.Executor.
+func (p *Precision) Invoke(in []float64) []float64 {
+	trunc := make([]float64, len(in))
+	for i, v := range in {
+		trunc[i] = p.truncate(v)
+	}
+	out := p.spec.Exact(trunc)
+	for i, v := range out {
+		out[i] = p.truncate(v)
+	}
+	return out
+}
+
+// precisionSavings is the fraction of kernel energy/latency saved by the
+// narrow datapath; scales with the dropped width (a 21-bit kernel saves
+// roughly the back half of a double-precision FPU and its operand traffic).
+func (p *Precision) precisionSavings() float64 {
+	return 0.5 * float64(52-p.MantissaBits) / 52
+}
+
+// CyclesPerInvocation implements exec.Executor.
+func (p *Precision) CyclesPerInvocation() float64 {
+	return p.spec.Cost.CPUOps * (1 - p.precisionSavings())
+}
+
+// EnergyPerInvocation implements exec.Executor.
+func (p *Precision) EnergyPerInvocation(m energy.Model) float64 {
+	return p.CyclesPerInvocation() * m.CPUEnergyPerOp
+}

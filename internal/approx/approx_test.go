@@ -1,0 +1,280 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"rumba/internal/bench"
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+)
+
+// Compile-time checks: both approximators satisfy the executor contract.
+var (
+	_ exec.Executor = (*Memo)(nil)
+	_ exec.Executor = (*Tile)(nil)
+)
+
+func sobelSpec(t *testing.T) (*bench.Spec, [][]float64) {
+	t.Helper()
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, spec.GenTest(500).Inputs
+}
+
+func TestNewMemoValidation(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	if _, err := NewMemo(spec, 0, samples, 0); err == nil {
+		t.Fatal("zero cells must fail")
+	}
+	if _, err := NewMemo(spec, 8, nil, 0); err == nil {
+		t.Fatal("missing samples must fail")
+	}
+}
+
+func TestMemoMissesAreExact(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	mo, err := NewMemo(spec, 64, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The very first invocation is always a miss: exact output.
+	in := samples[0]
+	got := mo.Invoke(in)
+	want := spec.Exact(in)
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("miss must be exact: %v vs %v", got, want)
+		}
+	}
+	if mo.HitRate() != 0 {
+		t.Fatalf("hit rate after one miss = %v", mo.HitRate())
+	}
+}
+
+func TestMemoRepeatHits(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	mo, err := NewMemo(spec, 32, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := samples[1]
+	first := mo.Invoke(in)
+	second := mo.Invoke(in) // identical input: guaranteed hit
+	if mo.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", mo.HitRate())
+	}
+	for j := range first {
+		if first[j] != second[j] {
+			t.Fatal("hit must return the cached output")
+		}
+	}
+}
+
+func TestMemoApproximatesNeighbours(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	// Very coarse grid: plenty of hits with bounded error on the smooth
+	// parts of the stream.
+	mo, err := NewMemo(spec, 6, samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, in := range samples {
+		mo.Invoke(in)
+	}
+	if mo.HitRate() == 0 {
+		t.Fatal("a 6-cell grid over 500 windows must produce some hits")
+	}
+	_ = hits
+}
+
+func TestMemoEnergyTracksHitRate(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	mo, _ := NewMemo(spec, 4, samples, 0)
+	m := energy.DefaultModel()
+	cold := mo.EnergyPerInvocation(m) // hit rate 0: lookup + full kernel
+	if math.Abs(cold-(lookupOps+spec.Cost.CPUOps)) > 1e-9 {
+		t.Fatalf("cold energy = %v", cold)
+	}
+	for _, in := range samples {
+		mo.Invoke(in)
+	}
+	warm := mo.EnergyPerInvocation(m)
+	if warm >= cold {
+		t.Fatalf("warm energy %v must beat cold %v", warm, cold)
+	}
+}
+
+func TestMemoBoundedTable(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	mo, _ := NewMemo(spec, 1024, samples, 3) // effectively unique keys, 3 slots
+	for _, in := range samples {
+		mo.Invoke(in)
+	}
+	if len(mo.table) > 3 {
+		t.Fatalf("table grew to %d entries, cap 3", len(mo.table))
+	}
+}
+
+func TestMemoReset(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	mo, _ := NewMemo(spec, 32, samples, 0)
+	mo.Invoke(samples[0])
+	mo.Invoke(samples[0])
+	mo.Reset()
+	if mo.HitRate() != 0 || len(mo.table) != 0 {
+		t.Fatal("Reset must clear state")
+	}
+}
+
+func TestNewTileValidation(t *testing.T) {
+	spec, _ := sobelSpec(t)
+	if _, err := NewTile(spec, 0); err == nil {
+		t.Fatal("zero stride must fail")
+	}
+}
+
+func TestTileStride1IsExact(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	tile, err := NewTile(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range samples[:50] {
+		got := tile.Invoke(in)
+		want := spec.Exact(in)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatal("stride-1 tile must be exact")
+			}
+		}
+	}
+}
+
+func TestTileReusesWithinStride(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	tile, _ := NewTile(spec, 4)
+	first := tile.Invoke(samples[0])
+	for i := 1; i < 4; i++ {
+		got := tile.Invoke(samples[i])
+		for j := range first {
+			if got[j] != first[j] {
+				t.Fatalf("element %d within the tile must reuse the tile value", i)
+			}
+		}
+	}
+	// The 5th element starts a new tile.
+	fresh := tile.Invoke(samples[4])
+	want := spec.Exact(samples[4])
+	for j := range want {
+		if fresh[j] != want[j] {
+			t.Fatal("new tile must recompute exactly")
+		}
+	}
+}
+
+func TestTileCostAmortises(t *testing.T) {
+	spec, _ := sobelSpec(t)
+	t1, _ := NewTile(spec, 1)
+	t8, _ := NewTile(spec, 8)
+	if t8.CyclesPerInvocation() >= t1.CyclesPerInvocation() {
+		t.Fatal("wider tiles must be cheaper per invocation")
+	}
+	m := energy.DefaultModel()
+	if t8.EnergyPerInvocation(m) >= t1.EnergyPerInvocation(m) {
+		t.Fatal("wider tiles must cost less energy per invocation")
+	}
+}
+
+func TestTileReset(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	tile, _ := NewTile(spec, 4)
+	tile.Invoke(samples[0])
+	tile.Reset()
+	got := tile.Invoke(samples[5])
+	want := spec.Exact(samples[5])
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatal("post-reset invocation must recompute")
+		}
+	}
+}
+
+var _ exec.Executor = (*Precision)(nil)
+
+func TestNewPrecisionValidation(t *testing.T) {
+	spec, _ := sobelSpec(t)
+	for _, bad := range []int{0, -3, 53} {
+		if _, err := NewPrecision(spec, bad); err == nil {
+			t.Fatalf("bits=%d must fail", bad)
+		}
+	}
+}
+
+func TestPrecisionFullWidthNearExact(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	p, err := NewPrecision(spec, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range samples[:50] {
+		got := p.Invoke(in)
+		want := spec.Exact(in)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatal("52-bit precision must be exact")
+			}
+		}
+	}
+}
+
+func TestPrecisionNarrowWidthApproximates(t *testing.T) {
+	spec, samples := sobelSpec(t)
+	narrow, _ := NewPrecision(spec, 6)
+	wide, _ := NewPrecision(spec, 40)
+	var errNarrow, errWide float64
+	for _, in := range samples[:200] {
+		want := spec.Exact(in)
+		n := narrow.Invoke(in)
+		w := wide.Invoke(in)
+		for j := range want {
+			errNarrow += math.Abs(n[j] - want[j])
+			errWide += math.Abs(w[j] - want[j])
+		}
+	}
+	if errNarrow == 0 {
+		t.Fatal("6-bit mantissas must introduce error")
+	}
+	if errWide >= errNarrow {
+		t.Fatalf("wider mantissas must be more accurate: %v vs %v", errWide, errNarrow)
+	}
+}
+
+func TestPrecisionCostScalesWithWidth(t *testing.T) {
+	spec, _ := sobelSpec(t)
+	narrow, _ := NewPrecision(spec, 6)
+	wide, _ := NewPrecision(spec, 44)
+	if narrow.CyclesPerInvocation() >= wide.CyclesPerInvocation() {
+		t.Fatal("narrower datapaths must be cheaper")
+	}
+	m := energy.DefaultModel()
+	if narrow.EnergyPerInvocation(m) >= wide.EnergyPerInvocation(m) {
+		t.Fatal("narrower datapaths must cost less energy")
+	}
+}
+
+func TestPrecisionTruncateSpecials(t *testing.T) {
+	spec, _ := sobelSpec(t)
+	p, _ := NewPrecision(spec, 8)
+	for _, v := range []float64{0, math.Inf(1), math.Inf(-1)} {
+		if got := p.truncate(v); got != v {
+			t.Fatalf("truncate(%v) = %v", v, got)
+		}
+	}
+	if !math.IsNaN(p.truncate(math.NaN())) {
+		t.Fatal("NaN must stay NaN")
+	}
+}

@@ -1,0 +1,33 @@
+package approx_test
+
+import (
+	"fmt"
+
+	"rumba/internal/approx"
+	"rumba/internal/bench"
+)
+
+// ExampleNewTile shows tile approximation reusing one exact result across a
+// stride of invocations.
+func ExampleNewTile() {
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		panic(err)
+	}
+	tile, err := approx.NewTile(spec, 4)
+	if err != nil {
+		panic(err)
+	}
+	inputs := spec.GenTest(8).Inputs
+	exactCalls := 0
+	for i, in := range inputs {
+		out := tile.Invoke(in)
+		if i%4 == 0 {
+			exactCalls++
+		}
+		_ = out
+	}
+	fmt.Printf("8 invocations, %d exact executions\n", exactCalls)
+	// Output:
+	// 8 invocations, 2 exact executions
+}

@@ -1,0 +1,180 @@
+// Package bench implements the application benchmarks of Table 1 —
+// blackscholes, fft, inversek2j, jmeint, jpeg, kmeans and sobel — plus the
+// mosaic case study of Figure 3. Every benchmark provides the exact kernel
+// (the code the CPU runs), dataset generators matching Table 1's train/test
+// data, the paper's NN topologies for both the Rumba and the unchecked-NPU
+// accelerator configurations, the application-specific quality metric, and a
+// cost model consumed by the energy/latency packages.
+//
+// All kernels are pure: they read only their input slice and write only
+// their returned output, which is the property Rumba's selective
+// re-execution relies on (Section 2.2).
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+)
+
+// CostModel captures the per-invocation cost parameters of a kernel used by
+// the analytical energy and latency models (the gem5/McPAT substitution; see
+// DESIGN.md).
+type CostModel struct {
+	// CPUOps is the approximate dynamic operation count of one exact
+	// kernel invocation on the Table 2 x86-64 core, in normalised "CPU
+	// operation" units (transcendental calls are weighted by their
+	// latency). It drives both CPU energy and CPU latency.
+	CPUOps float64
+	// ApproxFraction is the fraction of whole-application energy/time
+	// spent inside the approximable region; the remainder always runs
+	// exactly on the CPU (Amdahl term of Figures 14 and 15).
+	ApproxFraction float64
+}
+
+// Spec describes one benchmark. Fields mirror the columns of Table 1.
+type Spec struct {
+	Name   string
+	Domain string
+
+	// InDim/OutDim are the kernel's input and output vector sizes.
+	InDim, OutDim int
+
+	// Exact computes the precise kernel output; it must be pure.
+	Exact func(in []float64) []float64
+
+	// Metric and Scale define the application-specific error metric
+	// (Scale is the output range used by the *Diff metrics).
+	Metric quality.Metric
+	Scale  float64
+
+	// RumbaTopo and NPUTopo are the Table 1 NN topologies. RumbaFeatures
+	// lists the input indices consumed by the Rumba network when it is
+	// smaller than the kernel input (blackscholes: 3 of 6 inputs); nil
+	// means all inputs.
+	RumbaTopo     nn.Topology
+	NPUTopo       nn.Topology
+	RumbaFeatures []int
+
+	// TrainDesc and TestDesc are the Table 1 dataset descriptions.
+	TrainDesc, TestDesc string
+
+	// GenTrain and GenTest generate the datasets. n <= 0 requests the
+	// paper-sized dataset; tests pass a small n.
+	GenTrain func(n int) nn.Dataset
+	GenTest  func(n int) nn.Dataset
+
+	Cost CostModel
+}
+
+// Project extracts the Rumba-network feature subset from a kernel input.
+// With no feature list the input is returned unchanged.
+func (s *Spec) Project(in []float64) []float64 {
+	if s.RumbaFeatures == nil {
+		return in
+	}
+	out := make([]float64, len(s.RumbaFeatures))
+	for i, idx := range s.RumbaFeatures {
+		out[i] = in[idx]
+	}
+	return out
+}
+
+// Validate checks internal consistency of the spec (topology dimensions,
+// feature projection, metric scale).
+func (s *Spec) Validate() error {
+	if s.Exact == nil || s.GenTrain == nil || s.GenTest == nil {
+		return fmt.Errorf("bench %s: missing functions", s.Name)
+	}
+	if err := s.RumbaTopo.Validate(); err != nil {
+		return fmt.Errorf("bench %s: rumba topology: %w", s.Name, err)
+	}
+	if err := s.NPUTopo.Validate(); err != nil {
+		return fmt.Errorf("bench %s: npu topology: %w", s.Name, err)
+	}
+	wantRumbaIn := s.InDim
+	if s.RumbaFeatures != nil {
+		wantRumbaIn = len(s.RumbaFeatures)
+		for _, idx := range s.RumbaFeatures {
+			if idx < 0 || idx >= s.InDim {
+				return fmt.Errorf("bench %s: feature index %d out of range", s.Name, idx)
+			}
+		}
+	}
+	if s.RumbaTopo.Inputs() != wantRumbaIn {
+		return fmt.Errorf("bench %s: rumba topology inputs %d != projected kernel inputs %d",
+			s.Name, s.RumbaTopo.Inputs(), wantRumbaIn)
+	}
+	if s.NPUTopo.Inputs() != s.InDim {
+		return fmt.Errorf("bench %s: npu topology inputs %d != kernel inputs %d",
+			s.Name, s.NPUTopo.Inputs(), s.InDim)
+	}
+	if s.RumbaTopo.Outputs() != s.OutDim || s.NPUTopo.Outputs() != s.OutDim {
+		return fmt.Errorf("bench %s: topology outputs mismatch kernel outputs %d", s.Name, s.OutDim)
+	}
+	if s.Cost.CPUOps <= 0 || s.Cost.ApproxFraction <= 0 || s.Cost.ApproxFraction > 1 {
+		return fmt.Errorf("bench %s: invalid cost model %+v", s.Name, s.Cost)
+	}
+	return nil
+}
+
+var registry = map[string]*Spec{}
+
+func register(s *Spec) *Spec {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic("bench: duplicate benchmark " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// Get returns the benchmark with the given name.
+func Get(name string) (*Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	return s, nil
+}
+
+// Names returns all benchmark names in the paper's (alphabetical) order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all benchmark specs in Names() order.
+func All() []*Spec {
+	names := Names()
+	out := make([]*Spec, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
+	}
+	return out
+}
+
+// exactTargets runs the exact kernel over a set of inputs to produce a
+// supervised dataset.
+func exactTargets(spec func(in []float64) []float64, inputs [][]float64) nn.Dataset {
+	d := nn.Dataset{Inputs: inputs, Targets: make([][]float64, len(inputs))}
+	for i, in := range inputs {
+		d.Targets[i] = spec(in)
+	}
+	return d
+}
+
+func sizeOr(n, def int) int {
+	if n <= 0 {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,482 @@
+package bench
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/imageutil"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"blackscholes", "fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	s, err := Get("sobel")
+	if err != nil || s.Name != "sobel" {
+		t.Fatalf("Get(sobel) = %v, %v", s, err)
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestAllSpecsMatchTable1Topologies(t *testing.T) {
+	want := map[string][2]string{
+		"blackscholes": {"3->8->8->1", "6->8->8->1"},
+		"fft":          {"1->1->2", "1->4->4->2"},
+		"inversek2j":   {"2->2->2", "2->8->2"},
+		"jmeint":       {"18->32->2->2", "18->32->8->2"},
+		"jpeg":         {"64->16->64", "64->16->64"},
+		"kmeans":       {"6->4->4->1", "6->8->4->1"},
+		"sobel":        {"9->8->1", "9->8->1"},
+	}
+	for _, s := range All() {
+		w := want[s.Name]
+		if s.RumbaTopo.String() != w[0] || s.NPUTopo.String() != w[1] {
+			t.Errorf("%s topologies = %s / %s, want %s / %s",
+				s.Name, s.RumbaTopo, s.NPUTopo, w[0], w[1])
+		}
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	for _, s := range All() {
+		d := s.GenTrain(50)
+		if d.Len() != 50 {
+			t.Errorf("%s: train len = %d, want 50", s.Name, d.Len())
+		}
+		for i := range d.Inputs {
+			if len(d.Inputs[i]) != s.InDim || len(d.Targets[i]) != s.OutDim {
+				t.Fatalf("%s: sample %d dims %d->%d, want %d->%d",
+					s.Name, i, len(d.Inputs[i]), len(d.Targets[i]), s.InDim, s.OutDim)
+			}
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a := s.GenTest(20)
+		b := s.GenTest(20)
+		for i := range a.Inputs {
+			for j := range a.Inputs[i] {
+				if a.Inputs[i][j] != b.Inputs[i][j] {
+					t.Fatalf("%s: test dataset not deterministic", s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainTestDisjoint(t *testing.T) {
+	// Train and test generators must not produce the identical sequence.
+	for _, s := range All() {
+		if s.Name == "jpeg" || s.Name == "sobel" || s.Name == "kmeans" {
+			continue // image-derived, different images by construction
+		}
+		tr := s.GenTrain(10)
+		te := s.GenTest(10)
+		same := true
+		for i := range tr.Inputs {
+			for j := range tr.Inputs[i] {
+				if tr.Inputs[i][j] != te.Inputs[i][j] {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: train and test datasets identical", s.Name)
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	in := []float64{10, 20, 30, 40, 50, 60}
+	got := BlackScholes.Project(in)
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 50 {
+		t.Fatalf("Project = %v, want [10 20 50]", got)
+	}
+	// Identity projection for kernels without a feature list.
+	nine := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if out := Sobel.Project(nine); len(out) != 9 || out[8] != 9 {
+		t.Fatal("identity projection must keep all inputs")
+	}
+}
+
+func TestExactKernelsArePure(t *testing.T) {
+	// Calling Exact must not mutate the input and must be deterministic —
+	// the purity property selective re-execution relies on.
+	for _, s := range All() {
+		d := s.GenTest(5)
+		for _, in := range d.Inputs {
+			orig := append([]float64(nil), in...)
+			out1 := s.Exact(in)
+			out2 := s.Exact(in)
+			for j := range in {
+				if in[j] != orig[j] {
+					t.Fatalf("%s: Exact mutated its input", s.Name)
+				}
+			}
+			for j := range out1 {
+				if out1[j] != out2[j] {
+					t.Fatalf("%s: Exact not deterministic", s.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// S=100, K=100, r=0.05, sigma=0.2, T=1: call = 10.4506 (textbook).
+	got := blackScholesExact([]float64{100, 100, 0.05, 0.2, 1, 0})[0]
+	if math.Abs(got-10.4506) > 1e-3 {
+		t.Fatalf("call price = %v, want 10.4506", got)
+	}
+	// Put-call parity: C - P = S - K e^{-rT}.
+	put := blackScholesExact([]float64{100, 100, 0.05, 0.2, 1, 1})[0]
+	parity := got - put
+	want := 100 - 100*math.Exp(-0.05)
+	if math.Abs(parity-want) > 1e-9 {
+		t.Fatalf("put-call parity violated: %v vs %v", parity, want)
+	}
+}
+
+func TestFFTTwiddleIdentity(t *testing.T) {
+	// cos^2 + sin^2 == 1 for any input.
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		out := fftTwiddleExact([]float64{r.Float64()})
+		if math.Abs(out[0]*out[0]+out[1]*out[1]-1) > 1e-12 {
+			t.Fatalf("twiddle not on unit circle: %v", out)
+		}
+	}
+	// Endpoints.
+	if out := fftTwiddleExact([]float64{0}); math.Abs(out[0]-1) > 1e-12 || math.Abs(out[1]) > 1e-12 {
+		t.Fatalf("twiddle(0) = %v", out)
+	}
+}
+
+func TestInverseK2JRoundTrip(t *testing.T) {
+	// inverse(forward(t1, t2)) must recover the joint angles.
+	r := rng.New(6)
+	for i := 0; i < 200; i++ {
+		t1 := r.Range(0.1, math.Pi/2-0.1)
+		t2 := r.Range(0.1, math.Pi-0.2)
+		x, y := ikForward(t1, t2)
+		got := inverseK2JExact([]float64{x, y})
+		if math.Abs(got[0]-t1) > 1e-9 || math.Abs(got[1]-t2) > 1e-9 {
+			t.Fatalf("ik round trip: want (%v,%v), got (%v,%v)", t1, t2, got[0], got[1])
+		}
+	}
+}
+
+func TestJMEIntKnownCases(t *testing.T) {
+	// Two clearly interpenetrating triangles.
+	intersecting := []float64{
+		0, 0, 0, 2, 0, 0, 0, 2, 0, // triangle in z=0 plane
+		0.5, 0.5, -1, 0.5, 0.5, 1, 1.5, 0.5, 0, // pierces it
+	}
+	if out := jmeintExact(intersecting); out[0] != 1 {
+		t.Fatalf("expected intersection, got %v", out)
+	}
+	// Two far-apart triangles.
+	disjoint := []float64{
+		0, 0, 0, 1, 0, 0, 0, 1, 0,
+		10, 10, 10, 11, 10, 10, 10, 11, 10,
+	}
+	if out := jmeintExact(disjoint); out[1] != 1 {
+		t.Fatalf("expected disjoint, got %v", out)
+	}
+	// Parallel planes, overlapping in xy but separated in z.
+	parallel := []float64{
+		0, 0, 0, 1, 0, 0, 0, 1, 0,
+		0, 0, 1, 1, 0, 1, 0, 1, 1,
+	}
+	if out := jmeintExact(parallel); out[1] != 1 {
+		t.Fatalf("expected parallel disjoint, got %v", out)
+	}
+	// Coplanar overlapping triangles.
+	coplanar := []float64{
+		0, 0, 0, 2, 0, 0, 0, 2, 0,
+		0.2, 0.2, 0, 1, 0.2, 0, 0.2, 1, 0,
+	}
+	if out := jmeintExact(coplanar); out[0] != 1 {
+		t.Fatalf("expected coplanar intersection, got %v", out)
+	}
+	// Coplanar disjoint triangles.
+	coplanarFar := []float64{
+		0, 0, 0, 1, 0, 0, 0, 1, 0,
+		5, 5, 0, 6, 5, 0, 5, 6, 0,
+	}
+	if out := jmeintExact(coplanarFar); out[1] != 1 {
+		t.Fatalf("expected coplanar disjoint, got %v", out)
+	}
+}
+
+func TestJMEIntSymmetric(t *testing.T) {
+	// The test must be symmetric in its two triangles.
+	d := JMEInt.GenTest(200)
+	for _, in := range d.Inputs {
+		swapped := append(append([]float64{}, in[9:]...), in[:9]...)
+		a := jmeintExact(in)
+		b := jmeintExact(swapped)
+		if a[0] != b[0] {
+			t.Fatalf("asymmetric intersection result for %v", in)
+		}
+	}
+}
+
+func TestJMEIntClassBalance(t *testing.T) {
+	d := JMEInt.GenTest(1000)
+	pos := 0
+	for _, tgt := range d.Targets {
+		if tgt[0] == 1 {
+			pos++
+		}
+	}
+	if pos < 200 || pos > 800 {
+		t.Fatalf("intersection class balance %d/1000 too skewed for training", pos)
+	}
+}
+
+func TestJPEGReconstructionReasonable(t *testing.T) {
+	// The codec must roughly reconstruct blocks: quantisation error on
+	// natural-image blocks is small relative to the pixel range.
+	d := JPEG.GenTest(20)
+	for i, in := range d.Inputs {
+		out := d.Targets[i]
+		e := quality.ElementError(quality.MeanPixelDiff, in, out, 255)
+		if e > 0.15 {
+			t.Fatalf("block %d reconstruction error %v too large", i, e)
+		}
+	}
+}
+
+func TestJPEGFlatBlockExact(t *testing.T) {
+	// A flat block survives the codec exactly: only the DC coefficient is
+	// non-zero and it is a multiple-friendly value after rounding.
+	in := make([]float64, 64)
+	for i := range in {
+		in[i] = 128
+	}
+	out := jpegExact(in)
+	for i := range out {
+		if math.Abs(out[i]-128) > 1.0 {
+			t.Fatalf("flat block pixel %d = %v", i, out[i])
+		}
+	}
+}
+
+func TestDCTRoundTripWithoutQuantisation(t *testing.T) {
+	r := rng.New(9)
+	var block [64]float64
+	for i := range block {
+		block[i] = r.Range(-128, 127)
+	}
+	coef := forwardDCT(&block)
+	rec := inverseDCT(&coef)
+	for i := range block {
+		if math.Abs(rec[i]-block[i]) > 1e-9 {
+			t.Fatalf("DCT round trip pixel %d: %v vs %v", i, rec[i], block[i])
+		}
+	}
+}
+
+func TestKMeansDistance(t *testing.T) {
+	out := kmeansExact([]float64{0, 0, 0, 3, 4, 0})
+	if out[0] != 5 {
+		t.Fatalf("distance = %v, want 5", out[0])
+	}
+	if out := kmeansExact([]float64{10, 20, 30, 10, 20, 30}); out[0] != 0 {
+		t.Fatalf("zero distance = %v", out[0])
+	}
+}
+
+func TestSobelKnownGradients(t *testing.T) {
+	// Flat window: zero gradient.
+	flat := []float64{50, 50, 50, 50, 50, 50, 50, 50, 50}
+	if out := sobelExact(flat); out[0] != 0 {
+		t.Fatalf("flat gradient = %v", out[0])
+	}
+	// Vertical step edge: |gx| = 4*step, gy = 0.
+	edge := []float64{0, 0, 100, 0, 0, 100, 0, 0, 100}
+	if out := sobelExact(edge); out[0] != 255 { // 400 clamped to 255
+		t.Fatalf("edge gradient = %v, want 255 (clamped)", out[0])
+	}
+}
+
+func TestSobelImageShape(t *testing.T) {
+	img := SobelImage(mustSynthetic(t, 16, 12))
+	if img.W != 16 || img.H != 12 {
+		t.Fatalf("shape %dx%d", img.W, img.H)
+	}
+	for _, p := range img.Pix {
+		if p < 0 || p > 255 {
+			t.Fatalf("pixel %v out of range", p)
+		}
+	}
+}
+
+func TestRunMosaicShape(t *testing.T) {
+	res := RunMosaic(40, 32, 32, 2)
+	if len(res.Errors) != 40 {
+		t.Fatalf("errors len = %d", len(res.Errors))
+	}
+	if res.Max < res.Mean {
+		t.Fatal("max must be >= mean")
+	}
+	// Input dependence: the error spread must be non-trivial.
+	if res.Max < 2*res.Mean {
+		t.Fatalf("mosaic errors too uniform: mean %v max %v", res.Mean, res.Max)
+	}
+}
+
+func TestRunMosaicPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RunMosaic(0, 8, 8, 2)
+}
+
+func mustSynthetic(t *testing.T, w, h int) *imageutil.Gray {
+	t.Helper()
+	return imageutil.Synthetic(w, h, "bench-test")
+}
+
+func TestBuildMosaicExactChoices(t *testing.T) {
+	target := imageutil.Synthetic(32, 32, "mosaic-target")
+	tiles := make([]*imageutil.Gray, 12)
+	for i := range tiles {
+		tiles[i] = imageutil.SyntheticFlower(16, 16, i)
+	}
+	exactFn := func(g *imageutil.Gray) float64 { return g.MeanBrightness() }
+	out := BuildMosaic(target, tiles, 8, exactFn)
+	if out.CellsX != 4 || out.CellsY != 4 || len(out.Choices) != 16 {
+		t.Fatalf("mosaic shape: %dx%d, %d choices", out.CellsX, out.CellsY, len(out.Choices))
+	}
+	if out.Image.W != 32 || out.Image.H != 32 {
+		t.Fatalf("image shape %dx%d", out.Image.W, out.Image.H)
+	}
+	// Deterministic.
+	again := BuildMosaic(target, tiles, 8, exactFn)
+	if MosaicMismatch(out, again) != 0 {
+		t.Fatal("exact mosaic must be deterministic")
+	}
+}
+
+func TestBuildMosaicPerforationChangesChoices(t *testing.T) {
+	target := imageutil.Synthetic(64, 64, "mosaic-target2")
+	tiles := make([]*imageutil.Gray, 40)
+	for i := range tiles {
+		tiles[i] = imageutil.SyntheticFlower(24, 24, i)
+	}
+	exact := BuildMosaic(target, tiles, 8, func(g *imageutil.Gray) float64 { return g.MeanBrightness() })
+	approx := BuildMosaic(target, tiles, 8, func(g *imageutil.Gray) float64 {
+		return g.MeanBrightnessPerforated(2, 0)
+	})
+	mm := MosaicMismatch(exact, approx)
+	if mm == 0 {
+		t.Skip("perforation happened to pick identical tiles on this seed")
+	}
+	if mm > 0.9 {
+		t.Fatalf("mismatch %v implausibly high", mm)
+	}
+}
+
+func TestBuildMosaicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildMosaic(imageutil.NewGray(8, 8), nil, 4, nil)
+}
+
+func TestMosaicMismatchPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MosaicMismatch(MosaicOutput{Choices: []int{1}}, MosaicOutput{})
+}
+
+// Property: the triangle-triangle test is invariant under swapping the two
+// triangles and under rigid translation of both.
+func TestJMEIntInvarianceProperty(t *testing.T) {
+	r := rng.New(404)
+	f := func(seed uint16) bool {
+		in := make([]float64, 18)
+		for j := range in {
+			in[j] = r.Range(-1, 1)
+		}
+		base := jmeintExact(in)
+		// Swap invariance.
+		swapped := append(append([]float64{}, in[9:]...), in[:9]...)
+		if jmeintExact(swapped)[0] != base[0] {
+			return false
+		}
+		// Translation invariance.
+		dx, dy, dz := r.Range(-5, 5), r.Range(-5, 5), r.Range(-5, 5)
+		moved := make([]float64, 18)
+		for v := 0; v < 6; v++ {
+			moved[3*v+0] = in[3*v+0] + dx
+			moved[3*v+1] = in[3*v+1] + dy
+			moved[3*v+2] = in[3*v+2] + dz
+		}
+		return jmeintExact(moved)[0] == base[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a triangle always intersects itself, and a pair far apart never
+// intersects.
+func TestJMEIntSelfAndFarProperty(t *testing.T) {
+	r := rng.New(405)
+	f := func(seed uint16) bool {
+		tri := make([]float64, 9)
+		for j := range tri {
+			tri[j] = r.Range(-1, 1)
+		}
+		self := append(append([]float64{}, tri...), tri...)
+		if jmeintExact(self)[0] != 1 {
+			return false
+		}
+		far := make([]float64, 18)
+		copy(far, tri)
+		for v := 0; v < 3; v++ {
+			far[9+3*v+0] = tri[3*v+0] + 100
+			far[9+3*v+1] = tri[3*v+1] + 100
+			far[9+3*v+2] = tri[3*v+2] + 100
+		}
+		return jmeintExact(far)[1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

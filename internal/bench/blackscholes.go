@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+// Black-Scholes European option pricing (financial analysis, Table 1).
+//
+// Kernel input layout (6 values, the NPU network's view):
+//
+//	[0] S      spot price
+//	[1] K      strike price
+//	[2] r      risk-free rate      (fixed across the dataset)
+//	[3] sigma  volatility          (fixed across the dataset)
+//	[4] T      time to maturity
+//	[5] otype  0 = call, 1 = put   (fixed to call across the dataset)
+//
+// The Rumba network uses only the three varying inputs (S, K, T), which is
+// why Table 1 lists a 3->8->8->1 Rumba topology against the NPU's
+// 6->8->8->1: Rumba's error-detection safety net lets it pick the smaller,
+// more efficient network.
+const (
+	bsRate  = 0.10
+	bsSigma = 0.30
+)
+
+// blackScholesExact prices a European option with the closed-form solution.
+func blackScholesExact(in []float64) []float64 {
+	s, k, r, sigma, tm, otype := in[0], in[1], in[2], in[3], in[4], in[5]
+	sqrtT := math.Sqrt(tm)
+	d1 := (math.Log(s/k) + (r+0.5*sigma*sigma)*tm) / (sigma * sqrtT)
+	d2 := d1 - sigma*sqrtT
+	if otype < 0.5 { // call
+		return []float64{s*cndf(d1) - k*math.Exp(-r*tm)*cndf(d2)}
+	}
+	return []float64{k*math.Exp(-r*tm)*cndf(-d2) - s*cndf(-d1)}
+}
+
+// cndf is the cumulative standard normal distribution function.
+func cndf(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+func blackScholesInputs(n int, stream string) [][]float64 {
+	r := rng.NewNamed(stream)
+	out := make([][]float64, n)
+	for i := range out {
+		s := r.Range(20, 120)
+		k := r.Range(20, 120)
+		t := r.Range(0.1, 2.0)
+		out[i] = []float64{s, k, bsRate, bsSigma, t, 0}
+	}
+	return out
+}
+
+// BlackScholes is the blackscholes benchmark spec.
+var BlackScholes = register(&Spec{
+	Name:          "blackscholes",
+	Domain:        "Financial Analysis",
+	InDim:         6,
+	OutDim:        1,
+	Exact:         blackScholesExact,
+	Metric:        quality.MeanRelativeError,
+	Scale:         60, // typical option-price magnitude
+	RumbaTopo:     nn.MustTopology("3->8->8->1"),
+	NPUTopo:       nn.MustTopology("6->8->8->1"),
+	RumbaFeatures: []int{0, 1, 4}, // S, K, T
+	TrainDesc:     "5K inputs",
+	TestDesc:      "5K outputs",
+	GenTrain: func(n int) nn.Dataset {
+		return exactTargets(blackScholesExact, blackScholesInputs(sizeOr(n, 5000), "bench/blackscholes/train"))
+	},
+	GenTest: func(n int) nn.Dataset {
+		return exactTargets(blackScholesExact, blackScholesInputs(sizeOr(n, 5000), "bench/blackscholes/test"))
+	},
+	// The exact kernel executes log, exp, sqrt, two erfc calls and ~25
+	// arithmetic ops; transcendentals weighted ~40 CPU ops each.
+	Cost: CostModel{CPUOps: 240, ApproxFraction: 0.88},
+})

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+// fft (signal processing, Table 1) approximates the twiddle-factor kernel of
+// a radix-2 FFT: given a normalised butterfly angle x in [0, 1), compute the
+// first-quadrant complex exponential (cos(pi/2*x), sin(pi/2*x)); symmetry
+// folds every other quadrant onto this one, which is how real FFT
+// implementations index their twiddle tables. This is the code region the
+// NPU work offloads for its fft benchmark (1 input, 2 outputs).
+func fftTwiddleExact(in []float64) []float64 {
+	angle := 0.5 * math.Pi * in[0]
+	s, c := math.Sincos(angle)
+	return []float64{c, s}
+}
+
+func fftInputs(n int, stream string) [][]float64 {
+	r := rng.NewNamed(stream)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{r.Float64()} // "5K random fp numbers"
+	}
+	return out
+}
+
+// FFT is the fft benchmark spec. The Rumba topology (1->1->2) is far smaller
+// than the unchecked NPU's (1->4->4->2): Rumba's detection/recovery safety
+// net absorbs the extra approximation error of the cheaper network.
+var FFT = register(&Spec{
+	Name:      "fft",
+	Domain:    "Signal Processing",
+	InDim:     1,
+	OutDim:    2,
+	Exact:     fftTwiddleExact,
+	Metric:    quality.MeanRelativeError,
+	Scale:     1, // unit-circle outputs; floors the relative error near zero crossings
+	RumbaTopo: nn.MustTopology("1->1->2"),
+	NPUTopo:   nn.MustTopology("1->4->4->2"),
+	TrainDesc: "5K random fp numbers",
+	TestDesc:  "5K random fp numbers",
+	GenTrain: func(n int) nn.Dataset {
+		return exactTargets(fftTwiddleExact, fftInputs(sizeOr(n, 5000), "bench/fft/train"))
+	},
+	GenTest: func(n int) nn.Dataset {
+		return exactTargets(fftTwiddleExact, fftInputs(sizeOr(n, 5000), "bench/fft/test"))
+	},
+	// One sincos call plus butterfly arithmetic.
+	Cost: CostModel{CPUOps: 80, ApproxFraction: 0.80},
+})

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// The fft *benchmark* approximates the twiddle-factor kernel; this file is
+// the surrounding signal-processing application — a complete radix-2
+// decimation-in-time FFT whose twiddle factors come from a pluggable
+// provider. Running the full transform with exact, accelerator-approximated
+// and Rumba-managed twiddles turns per-element kernel errors into an
+// application-level quality number (spectrum SNR), the same whole-application
+// view the paper's evaluation takes.
+
+// TwiddleProvider returns the complex exponential for a normalised
+// first-quadrant angle x in [0, 1) — the fft benchmark kernel's contract
+// (see fftTwiddleExact). The full-circle factor is reconstructed from
+// quadrant symmetry, exactly as twiddle ROM compression does in hardware.
+type TwiddleProvider func(x float64) (re, im float64)
+
+// ExactTwiddle adapts the benchmark's exact kernel.
+func ExactTwiddle(x float64) (re, im float64) {
+	out := fftTwiddleExact([]float64{x})
+	return out[0], out[1]
+}
+
+// twiddleFull returns e^{-2πi k/n} via the quadrant provider.
+func twiddleFull(provider TwiddleProvider, k, n int) complex128 {
+	// Reduce k/n in [0,1) to a first-quadrant angle plus symmetry flips.
+	frac := float64(k%n) / float64(n) // in [0,1)
+	quadrant := int(frac * 4)
+	x := frac*4 - float64(quadrant)
+	c, s := provider(x)
+	// e^{-2πi·frac}: cos(2π·frac) - i·sin(2π·frac), built from the
+	// quadrant values cos(π/2·x), sin(π/2·x).
+	var re, im float64
+	switch quadrant {
+	case 0:
+		re, im = c, -s
+	case 1:
+		re, im = -s, -c
+	case 2:
+		re, im = -c, s
+	default:
+		re, im = s, c
+	}
+	return complex(re, im)
+}
+
+// RadixFFT computes the radix-2 DIT FFT of x in place using the given twiddle
+// provider. len(x) must be a power of two.
+func RadixFFT(x []complex128, provider TwiddleProvider) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("bench: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := twiddleFull(provider, k, size)
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+	return nil
+}
+
+// SpectrumSNR compares an approximate spectrum against the reference in dB:
+// 10 log10(signal power / error power). Identical spectra yield +Inf.
+func SpectrumSNR(reference, approx []complex128) float64 {
+	if len(reference) != len(approx) {
+		panic("bench: SpectrumSNR length mismatch")
+	}
+	var sig, noise float64
+	for i := range reference {
+		sig += real(reference[i])*real(reference[i]) + imag(reference[i])*imag(reference[i])
+		d := reference[i] - approx[i]
+		noise += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	if sig == 0 {
+		return 0
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// DFT is the O(n^2) reference transform used to validate RadixFFT.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}

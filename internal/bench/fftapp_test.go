@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"rumba/internal/rng"
+)
+
+func randomSignal(n int, seed string) []complex128 {
+	r := rng.NewNamed(seed)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Range(-1, 1), r.Range(-1, 1))
+	}
+	return x
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 256} {
+		x := randomSignal(n, "fftapp/match")
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := RadixFFT(got, ExactTwiddle); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if cmplx.Abs(want[i]-got[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d bin %d: FFT %v vs DFT %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 12, 100} {
+		if err := RadixFFT(make([]complex128, n), ExactTwiddle); err == nil {
+			t.Fatalf("length %d must be rejected", n)
+		}
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	if err := RadixFFT(x, ExactTwiddle); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	x := randomSignal(128, "fftapp/parseval")
+	var timePower float64
+	for _, v := range x {
+		timePower += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if err := RadixFFT(x, ExactTwiddle); err != nil {
+		t.Fatal(err)
+	}
+	var freqPower float64
+	for _, v := range x {
+		freqPower += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqPower/float64(len(x))-timePower) > 1e-8 {
+		t.Fatalf("Parseval violated: %v vs %v", freqPower/float64(len(x)), timePower)
+	}
+}
+
+func TestTwiddleFullQuadrants(t *testing.T) {
+	// The quadrant reconstruction must match the direct exponential.
+	n := 32
+	for k := 0; k < n; k++ {
+		got := twiddleFull(ExactTwiddle, k, n)
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		want := cmplx.Exp(complex(0, angle))
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Fatalf("twiddle k=%d/%d: %v vs %v", k, n, got, want)
+		}
+	}
+}
+
+func TestSpectrumSNR(t *testing.T) {
+	ref := []complex128{1, 2i, 3}
+	if !math.IsInf(SpectrumSNR(ref, ref), 1) {
+		t.Fatal("identical spectra must give infinite SNR")
+	}
+	noisy := []complex128{1.1, 2i, 3}
+	lessNoisy := []complex128{1.01, 2i, 3}
+	if SpectrumSNR(ref, lessNoisy) <= SpectrumSNR(ref, noisy) {
+		t.Fatal("smaller error must mean higher SNR")
+	}
+}
+
+func TestApproxTwiddleDegradesSNR(t *testing.T) {
+	// A crude twiddle provider (quantised angle) must lose SNR relative to
+	// the exact transform but still resemble it.
+	crude := func(x float64) (float64, float64) {
+		q := math.Round(x*8) / 8
+		return ExactTwiddle(q)
+	}
+	x := randomSignal(256, "fftapp/crude")
+	exact := append([]complex128(nil), x...)
+	if err := RadixFFT(exact, ExactTwiddle); err != nil {
+		t.Fatal(err)
+	}
+	approx := append([]complex128(nil), x...)
+	if err := RadixFFT(approx, crude); err != nil {
+		t.Fatal(err)
+	}
+	snr := SpectrumSNR(exact, approx)
+	if math.IsInf(snr, 1) {
+		t.Fatal("crude twiddles must introduce error")
+	}
+	if snr < 5 {
+		t.Fatalf("SNR %v dB implausibly bad for 1/8-quantised angles", snr)
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+// inversek2j (robotics, Table 1): inverse kinematics for a planar 2-joint
+// arm. Given the end-effector position (x, y) the kernel computes the joint
+// angles (theta1, theta2) in closed form.
+const (
+	ikL1 = 0.5 // upper-arm length
+	ikL2 = 0.5 // forearm length
+)
+
+// ikForward computes the end-effector position from joint angles; the data
+// generator uses it so every sampled point is reachable.
+func ikForward(t1, t2 float64) (x, y float64) {
+	x = ikL1*math.Cos(t1) + ikL2*math.Cos(t1+t2)
+	y = ikL1*math.Sin(t1) + ikL2*math.Sin(t1+t2)
+	return
+}
+
+// inverseK2JExact is the exact closed-form inverse kinematics kernel.
+func inverseK2JExact(in []float64) []float64 {
+	x, y := in[0], in[1]
+	d2 := x*x + y*y
+	// cos(theta2) by the law of cosines, clamped for numerical safety at
+	// the workspace boundary.
+	c2 := (d2 - ikL1*ikL1 - ikL2*ikL2) / (2 * ikL1 * ikL2)
+	if c2 > 1 {
+		c2 = 1
+	}
+	if c2 < -1 {
+		c2 = -1
+	}
+	t2 := math.Acos(c2)
+	t1 := math.Atan2(y, x) - math.Atan2(ikL2*math.Sin(t2), ikL1+ikL2*math.Cos(t2))
+	return []float64{t1, t2}
+}
+
+func inverseK2JInputs(n int, stream string) [][]float64 {
+	r := rng.NewNamed(stream)
+	out := make([][]float64, n)
+	for i := range out {
+		// Sample joint space, project to task space: every input is a
+		// reachable (x, y) point. Angle ranges keep the arm in its
+		// elbow-up configuration so the inverse is unique.
+		t1 := r.Range(0.1, math.Pi/2-0.1)
+		t2 := r.Range(0.1, math.Pi-0.2)
+		x, y := ikForward(t1, t2)
+		out[i] = []float64{x, y}
+	}
+	return out
+}
+
+// InverseK2J is the inversek2j benchmark spec.
+var InverseK2J = register(&Spec{
+	Name:      "inversek2j",
+	Domain:    "Robotics",
+	InDim:     2,
+	OutDim:    2,
+	Exact:     inverseK2JExact,
+	Metric:    quality.MeanRelativeError,
+	Scale:     3, // joint angles span about [-1, 3] radians
+	RumbaTopo: nn.MustTopology("2->2->2"),
+	NPUTopo:   nn.MustTopology("2->8->2"),
+	TrainDesc: "10K random (x, y) points",
+	TestDesc:  "10K random (x, y) points",
+	GenTrain: func(n int) nn.Dataset {
+		return exactTargets(inverseK2JExact, inverseK2JInputs(sizeOr(n, 10000), "bench/inversek2j/train"))
+	},
+	GenTest: func(n int) nn.Dataset {
+		return exactTargets(inverseK2JExact, inverseK2JInputs(sizeOr(n, 10000), "bench/inversek2j/test"))
+	},
+	// acos, two atan2, sincos, sqrt-free distance: heavy transcendental
+	// kernel — this is the benchmark where the NPU shines.
+	Cost: CostModel{CPUOps: 300, ApproxFraction: 0.95},
+})

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+// jmeint (3D gaming, Table 1): triangle-triangle intersection, the inner
+// kernel of the jMonkeyEngine collision detector. Input is a pair of 3D
+// triangles (18 floats); output is a one-hot pair [intersect, disjoint],
+// scored with the mismatch metric. The exact kernel is Moller's fast
+// triangle-triangle interval-overlap test, including the coplanar case.
+
+type vec3 [3]float64
+
+func sub(a, b vec3) vec3 { return vec3{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+func cross(a, b vec3) vec3 {
+	return vec3{a[1]*b[2] - a[2]*b[1], a[2]*b[0] - a[0]*b[2], a[0]*b[1] - a[1]*b[0]}
+}
+func dot3(a, b vec3) float64 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+const jmeintEps = 1e-9
+
+// triTriIntersect implements Moller's 1997 interval-overlap test.
+func triTriIntersect(v0, v1, v2, u0, u1, u2 vec3) bool {
+	// Plane of triangle (v0, v1, v2): n1 . x + d1 = 0.
+	e1 := sub(v1, v0)
+	e2 := sub(v2, v0)
+	n1 := cross(e1, e2)
+	d1 := -dot3(n1, v0)
+
+	du0 := dot3(n1, u0) + d1
+	du1 := dot3(n1, u1) + d1
+	du2 := dot3(n1, u2) + d1
+	if math.Abs(du0) < jmeintEps {
+		du0 = 0
+	}
+	if math.Abs(du1) < jmeintEps {
+		du1 = 0
+	}
+	if math.Abs(du2) < jmeintEps {
+		du2 = 0
+	}
+	du0du1 := du0 * du1
+	du0du2 := du0 * du2
+	if du0du1 > 0 && du0du2 > 0 {
+		return false // all of U on one side of V's plane
+	}
+
+	// Plane of triangle (u0, u1, u2).
+	e1 = sub(u1, u0)
+	e2 = sub(u2, u0)
+	n2 := cross(e1, e2)
+	d2 := -dot3(n2, u0)
+
+	dv0 := dot3(n2, v0) + d2
+	dv1 := dot3(n2, v1) + d2
+	dv2 := dot3(n2, v2) + d2
+	if math.Abs(dv0) < jmeintEps {
+		dv0 = 0
+	}
+	if math.Abs(dv1) < jmeintEps {
+		dv1 = 0
+	}
+	if math.Abs(dv2) < jmeintEps {
+		dv2 = 0
+	}
+	dv0dv1 := dv0 * dv1
+	dv0dv2 := dv0 * dv2
+	if dv0dv1 > 0 && dv0dv2 > 0 {
+		return false
+	}
+
+	// Direction of the intersection line.
+	d := cross(n1, n2)
+
+	// Coplanar triangles.
+	if dv0 == 0 && dv1 == 0 && dv2 == 0 {
+		return coplanarTriTri(n1, v0, v1, v2, u0, u1, u2)
+	}
+
+	// Project onto the largest component of d.
+	maxc := math.Abs(d[0])
+	index := 0
+	if b := math.Abs(d[1]); b > maxc {
+		maxc, index = b, 1
+	}
+	if c := math.Abs(d[2]); c > maxc {
+		index = 2
+	}
+	vp0, vp1, vp2 := v0[index], v1[index], v2[index]
+	up0, up1, up2 := u0[index], u1[index], u2[index]
+
+	isect1, ok1 := computeIntervals(vp0, vp1, vp2, dv0, dv1, dv2, dv0dv1, dv0dv2)
+	if !ok1 {
+		return coplanarTriTri(n1, v0, v1, v2, u0, u1, u2)
+	}
+	isect2, ok2 := computeIntervals(up0, up1, up2, du0, du1, du2, du0du1, du0du2)
+	if !ok2 {
+		return coplanarTriTri(n1, v0, v1, v2, u0, u1, u2)
+	}
+
+	if isect1[0] > isect1[1] {
+		isect1[0], isect1[1] = isect1[1], isect1[0]
+	}
+	if isect2[0] > isect2[1] {
+		isect2[0], isect2[1] = isect2[1], isect2[0]
+	}
+	return isect1[1] >= isect2[0] && isect2[1] >= isect1[0]
+}
+
+// computeIntervals computes the scalar interval where the triangle crosses
+// the intersection line. ok is false if the triangle is degenerate/coplanar.
+func computeIntervals(vv0, vv1, vv2, d0, d1, d2, d0d1, d0d2 float64) ([2]float64, bool) {
+	switch {
+	case d0d1 > 0:
+		// d0, d1 same side, d2 on the other (or on the plane).
+		return isect(vv2, vv0, vv1, d2, d0, d1), true
+	case d0d2 > 0:
+		return isect(vv1, vv0, vv2, d1, d0, d2), true
+	case d1*d2 > 0 || d0 != 0:
+		return isect(vv0, vv1, vv2, d0, d1, d2), true
+	case d1 != 0:
+		return isect(vv1, vv0, vv2, d1, d0, d2), true
+	case d2 != 0:
+		return isect(vv2, vv0, vv1, d2, d0, d1), true
+	default:
+		return [2]float64{}, false // coplanar
+	}
+}
+
+func isect(vv0, vv1, vv2, d0, d1, d2 float64) [2]float64 {
+	return [2]float64{
+		vv0 + (vv1-vv0)*d0/(d0-d1),
+		vv0 + (vv2-vv0)*d0/(d0-d2),
+	}
+}
+
+// coplanarTriTri tests two coplanar triangles by 2D edge tests and
+// containment, projecting away the dominant normal axis.
+func coplanarTriTri(n, v0, v1, v2, u0, u1, u2 vec3) bool {
+	// Choose the projection plane maximising area.
+	a := [3]float64{math.Abs(n[0]), math.Abs(n[1]), math.Abs(n[2])}
+	var i0, i1 int
+	switch {
+	case a[0] >= a[1] && a[0] >= a[2]:
+		i0, i1 = 1, 2
+	case a[1] >= a[2]:
+		i0, i1 = 0, 2
+	default:
+		i0, i1 = 0, 1
+	}
+	p := func(v vec3) [2]float64 { return [2]float64{v[i0], v[i1]} }
+	tv := [3][2]float64{p(v0), p(v1), p(v2)}
+	tu := [3][2]float64{p(u0), p(u1), p(u2)}
+	// Any edge pair intersecting?
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if segIntersect(tv[i], tv[(i+1)%3], tu[j], tu[(j+1)%3]) {
+				return true
+			}
+		}
+	}
+	// Full containment either way.
+	return pointInTri2(tv[0], tu) || pointInTri2(tu[0], tv)
+}
+
+func segIntersect(p1, p2, q1, q2 [2]float64) bool {
+	o := func(a, b, c [2]float64) float64 {
+		return (b[0]-a[0])*(c[1]-a[1]) - (b[1]-a[1])*(c[0]-a[0])
+	}
+	d1 := o(q1, q2, p1)
+	d2 := o(q1, q2, p2)
+	d3 := o(p1, p2, q1)
+	d4 := o(p1, p2, q2)
+	return d1*d2 <= 0 && d3*d4 <= 0 && (d1 != 0 || d2 != 0 || d3 != 0 || d4 != 0)
+}
+
+func pointInTri2(pt [2]float64, tri [3][2]float64) bool {
+	sign := func(a, b, c [2]float64) float64 {
+		return (a[0]-c[0])*(b[1]-c[1]) - (b[0]-c[0])*(a[1]-c[1])
+	}
+	d1 := sign(pt, tri[0], tri[1])
+	d2 := sign(pt, tri[1], tri[2])
+	d3 := sign(pt, tri[2], tri[0])
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+// jmeintExact wraps the geometric test in the kernel signature: 18 inputs,
+// one-hot [intersect, disjoint] output.
+func jmeintExact(in []float64) []float64 {
+	var t [6]vec3
+	for i := 0; i < 6; i++ {
+		t[i] = vec3{in[3*i], in[3*i+1], in[3*i+2]}
+	}
+	if triTriIntersect(t[0], t[1], t[2], t[3], t[4], t[5]) {
+		return []float64{1, 0}
+	}
+	return []float64{0, 1}
+}
+
+func jmeintInputs(n int, stream string) [][]float64 {
+	r := rng.NewNamed(stream)
+	out := make([][]float64, n)
+	for i := range out {
+		in := make([]float64, 18)
+		// First triangle in the unit cube.
+		for j := 0; j < 9; j++ {
+			in[j] = r.Float64()
+		}
+		// Second triangle centred near the first triangle's centroid with
+		// a random offset, so roughly half of the pairs intersect.
+		cx := (in[0] + in[3] + in[6]) / 3
+		cy := (in[1] + in[4] + in[7]) / 3
+		cz := (in[2] + in[5] + in[8]) / 3
+		off := r.Range(0, 0.7)
+		dirX, dirY, dirZ := r.Range(-1, 1), r.Range(-1, 1), r.Range(-1, 1)
+		norm := math.Sqrt(dirX*dirX+dirY*dirY+dirZ*dirZ) + 1e-9
+		for v := 0; v < 3; v++ {
+			in[9+3*v+0] = cx + off*dirX/norm + r.Range(-0.55, 0.55)
+			in[9+3*v+1] = cy + off*dirY/norm + r.Range(-0.55, 0.55)
+			in[9+3*v+2] = cz + off*dirZ/norm + r.Range(-0.55, 0.55)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// JMEInt is the jmeint benchmark spec.
+var JMEInt = register(&Spec{
+	Name:      "jmeint",
+	Domain:    "3D Gaming",
+	InDim:     18,
+	OutDim:    2,
+	Exact:     jmeintExact,
+	Metric:    quality.MismatchRate,
+	RumbaTopo: nn.MustTopology("18->32->2->2"),
+	NPUTopo:   nn.MustTopology("18->32->8->2"),
+	TrainDesc: "10K pairs of 3D triangles",
+	TestDesc:  "10K pairs of 3D triangles",
+	GenTrain: func(n int) nn.Dataset {
+		return exactTargets(jmeintExact, jmeintInputs(sizeOr(n, 10000), "bench/jmeint/train"))
+	},
+	GenTest: func(n int) nn.Dataset {
+		return exactTargets(jmeintExact, jmeintInputs(sizeOr(n, 10000), "bench/jmeint/test"))
+	},
+	// Two plane setups, interval computations and possibly the coplanar
+	// path: branch-heavy geometry.
+	Cost: CostModel{CPUOps: 260, ApproxFraction: 0.90},
+})

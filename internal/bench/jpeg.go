@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/imageutil"
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+)
+
+// jpeg (compression, Table 1): the 8x8-block DCT codec kernel — forward
+// 2D DCT-II, quantisation with the standard JPEG luminance table, then
+// dequantisation and inverse DCT. One kernel invocation encodes and decodes
+// one block (64 inputs, 64 outputs); the quality metric is mean pixel diff.
+
+// jpegQuantTable is the Annex K luminance quantisation table.
+var jpegQuantTable = [64]float64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// dctCos[u][x] = cos((2x+1) u pi / 16), precomputed at init.
+var dctCos [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			dctCos[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func dctAlpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// forwardDCT computes the 2D DCT-II of a level-shifted 8x8 block.
+func forwardDCT(block *[64]float64) [64]float64 {
+	var out [64]float64
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					s += block[y*8+x] * dctCos[u][x] * dctCos[v][y]
+				}
+			}
+			out[v*8+u] = 0.25 * dctAlpha(u) * dctAlpha(v) * s
+		}
+	}
+	return out
+}
+
+// inverseDCT computes the 2D DCT-III (inverse) of an 8x8 coefficient block.
+func inverseDCT(coef *[64]float64) [64]float64 {
+	var out [64]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				for u := 0; u < 8; u++ {
+					s += dctAlpha(u) * dctAlpha(v) * coef[v*8+u] * dctCos[u][x] * dctCos[v][y]
+				}
+			}
+			out[y*8+x] = 0.25 * s
+		}
+	}
+	return out
+}
+
+// jpegExact encodes and decodes one 8x8 pixel block.
+func jpegExact(in []float64) []float64 {
+	var block [64]float64
+	for i := 0; i < 64; i++ {
+		block[i] = in[i] - 128 // level shift
+	}
+	coef := forwardDCT(&block)
+	for i := 0; i < 64; i++ {
+		coef[i] = math.Round(coef[i]/jpegQuantTable[i]) * jpegQuantTable[i]
+	}
+	rec := inverseDCT(&coef)
+	out := make([]float64, 64)
+	for i := 0; i < 64; i++ {
+		out[i] = imageutil.Clamp255(rec[i] + 128)
+	}
+	return out
+}
+
+// imageBlocks slices an image into non-overlapping 8x8 blocks, one kernel
+// input per block. maxBlocks <= 0 keeps all blocks.
+func imageBlocks(img *imageutil.Gray, maxBlocks int) [][]float64 {
+	var out [][]float64
+	for by := 0; by+8 <= img.H; by += 8 {
+		for bx := 0; bx+8 <= img.W; bx += 8 {
+			blk := make([]float64, 64)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					blk[y*8+x] = img.At(bx+x, by+y)
+				}
+			}
+			out = append(out, blk)
+			if maxBlocks > 0 && len(out) >= maxBlocks {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// JPEG is the jpeg benchmark spec. Train data comes from a 220x200 image and
+// test data from a 512x512 image, as in Table 1 (procedurally generated; see
+// DESIGN.md substitutions).
+var JPEG = register(&Spec{
+	Name:      "jpeg",
+	Domain:    "Compression",
+	InDim:     64,
+	OutDim:    64,
+	Exact:     jpegExact,
+	Metric:    quality.MeanPixelDiff,
+	Scale:     255,
+	RumbaTopo: nn.MustTopology("64->16->64"),
+	NPUTopo:   nn.MustTopology("64->16->64"),
+	TrainDesc: "220x200 pixel image",
+	TestDesc:  "512x512 pixel image",
+	GenTrain: func(n int) nn.Dataset {
+		img := imageutil.Synthetic(224, 200, "jpeg/train") // multiple of 8 wide
+		return exactTargets(jpegExact, imageBlocks(img, n))
+	},
+	GenTest: func(n int) nn.Dataset {
+		img := imageutil.Synthetic(512, 512, "jpeg/test")
+		return exactTargets(jpegExact, imageBlocks(img, n))
+	},
+	// Two separable 8x8 DCT passes (a production codec uses the fast
+	// factorised DCT, ~2*1024 MACs) plus quantisation and level shifts.
+	Cost: CostModel{CPUOps: 2600, ApproxFraction: 0.82},
+})

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/imageutil"
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+)
+
+// kmeans (machine learning, Table 1): the distance kernel of k-means image
+// clustering. One invocation computes the Euclidean distance between an RGB
+// pixel and an RGB cluster centroid (6 inputs, 1 output). This is a tiny
+// kernel — the paper notes kmeans "has very little energy gains and achieves
+// slowdown because the code region that gets mapped to the NPU is very small
+// and can be efficiently executed on the CPU itself", which our cost model
+// reproduces.
+func kmeansExact(in []float64) []float64 {
+	dr := in[0] - in[3]
+	dg := in[1] - in[4]
+	db := in[2] - in[5]
+	return []float64{math.Sqrt(dr*dr + dg*dg + db*db)}
+}
+
+// kmeansMaxDist is the largest possible RGB distance, used as the metric
+// scale for mean output diff.
+var kmeansMaxDist = math.Sqrt(3 * 255 * 255)
+
+// kmeansCentroids are the fixed cluster centroids used when generating
+// pixel-centroid pairs; six clusters as in the 6->...->1 NPU formulation.
+var kmeansCentroids = [][3]float64{
+	{30, 30, 30}, {220, 220, 220}, {200, 60, 50},
+	{60, 180, 70}, {50, 80, 200}, {230, 200, 60},
+}
+
+// kmeansInputs pairs pixels of a synthetic RGB image (three generated planes)
+// with the centroid each iteration tests.
+func kmeansInputs(w, h int, seed string, maxN int) [][]float64 {
+	rPlane := imageutil.Synthetic(w, h, seed+"/r")
+	gPlane := imageutil.Synthetic(w, h, seed+"/g")
+	bPlane := imageutil.Synthetic(w, h, seed+"/b")
+	var out [][]float64
+	for i := 0; i < w*h; i++ {
+		c := kmeansCentroids[i%len(kmeansCentroids)]
+		out = append(out, []float64{
+			rPlane.Pix[i], gPlane.Pix[i], bPlane.Pix[i], c[0], c[1], c[2],
+		})
+		if maxN > 0 && len(out) >= maxN {
+			break
+		}
+	}
+	return out
+}
+
+// KMeans is the kmeans benchmark spec.
+var KMeans = register(&Spec{
+	Name:      "kmeans",
+	Domain:    "Machine Learning",
+	InDim:     6,
+	OutDim:    1,
+	Exact:     kmeansExact,
+	Metric:    quality.MeanOutputDiff,
+	Scale:     kmeansMaxDist,
+	RumbaTopo: nn.MustTopology("6->4->4->1"),
+	NPUTopo:   nn.MustTopology("6->8->4->1"),
+	TrainDesc: "220x200 pixel image",
+	TestDesc:  "512x512 pixel image",
+	GenTrain: func(n int) nn.Dataset {
+		return exactTargets(kmeansExact, kmeansInputs(220, 200, "kmeans/train", n))
+	},
+	GenTest: func(n int) nn.Dataset {
+		return exactTargets(kmeansExact, kmeansInputs(512, 512, "kmeans/test", n))
+	},
+	// Three subtractions, three multiplies, two adds, one sqrt: ~15 ops.
+	// The tiny region also means a small approximable fraction.
+	Cost: CostModel{CPUOps: 15, ApproxFraction: 0.45},
+})

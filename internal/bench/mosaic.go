@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/imageutil"
+)
+
+// Mosaic is the Section 2.1 case study (Figure 3): the first phase of the
+// mosaic application computes the average brightness of many small images,
+// approximated by loop perforation. Its output error is strongly
+// input-dependent, which is the paper's motivation for continuous (rather
+// than sampled) quality monitoring.
+
+// MosaicResult holds the per-image output error of the perforated pass.
+type MosaicResult struct {
+	Errors []float64 // relative error per image, as a percentage
+	Mean   float64
+	Max    float64
+}
+
+// RunMosaic evaluates the loop-perforated average-brightness pass over a set
+// of synthetic flower images. stride is the perforation factor (stride 2
+// skips every other iteration, i.e. 50% perforation); images is the number
+// of inputs (the paper uses 800 flower photographs).
+func RunMosaic(images, w, h, stride int) MosaicResult {
+	if images <= 0 || stride <= 0 {
+		panic("bench: RunMosaic needs positive image count and stride")
+	}
+	res := MosaicResult{Errors: make([]float64, images)}
+	for i := 0; i < images; i++ {
+		img := imageutil.SyntheticFlower(w, h, i)
+		exact := img.MeanBrightness()
+		approx := img.MeanBrightnessPerforated(stride, 0)
+		den := exact
+		if den < 1 {
+			den = 1
+		}
+		e := math.Abs(approx-exact) / den * 100
+		res.Errors[i] = e
+		res.Mean += e
+		if e > res.Max {
+			res.Max = e
+		}
+	}
+	res.Mean /= float64(images)
+	return res
+}
+
+// --- The full mosaic application -------------------------------------------
+//
+// Figure 3 uses only the application's first phase (average brightness of
+// the tile library). The full application, implemented below, composes a
+// target image out of the library tiles by matching each target cell to the
+// tile with the closest average brightness. Approximating phase one with
+// loop perforation changes which tiles are picked, and the input-dependence
+// of the perforation error (Figure 3) becomes visible mismatches in the
+// composed mosaic.
+
+// MosaicOutput is the composed image plus the per-cell tile choices.
+type MosaicOutput struct {
+	Image   *imageutil.Gray
+	Choices []int // tile index per cell, row-major
+	CellsX  int
+	CellsY  int
+}
+
+// BuildMosaic composes target from the tile library. cell is the square
+// cell size in pixels; brightness computes a tile's average brightness
+// (exact or perforated — the approximable phase). Tiles are rendered into
+// cells by nearest-neighbour resampling.
+func BuildMosaic(target *imageutil.Gray, tiles []*imageutil.Gray, cell int, brightness func(*imageutil.Gray) float64) MosaicOutput {
+	if cell <= 0 || len(tiles) == 0 {
+		panic("bench: BuildMosaic needs a positive cell size and tiles")
+	}
+	// Phase 1 (approximable): the tile library's brightness index.
+	tileBright := make([]float64, len(tiles))
+	for i, tl := range tiles {
+		tileBright[i] = brightness(tl)
+	}
+	cellsX := target.W / cell
+	cellsY := target.H / cell
+	out := MosaicOutput{
+		Image:   imageutil.NewGray(cellsX*cell, cellsY*cell),
+		Choices: make([]int, cellsX*cellsY),
+		CellsX:  cellsX,
+		CellsY:  cellsY,
+	}
+	for cy := 0; cy < cellsY; cy++ {
+		for cx := 0; cx < cellsX; cx++ {
+			// Phase 2 (exact): per-cell target brightness and matching.
+			var s float64
+			for y := 0; y < cell; y++ {
+				for x := 0; x < cell; x++ {
+					s += target.At(cx*cell+x, cy*cell+y)
+				}
+			}
+			want := s / float64(cell*cell)
+			best := 0
+			bestDist := math.Abs(tileBright[0] - want)
+			for i := 1; i < len(tileBright); i++ {
+				if d := math.Abs(tileBright[i] - want); d < bestDist {
+					best, bestDist = i, d
+				}
+			}
+			out.Choices[cy*cellsX+cx] = best
+			// Render the chosen tile into the cell.
+			tl := tiles[best]
+			for y := 0; y < cell; y++ {
+				for x := 0; x < cell; x++ {
+					sx := x * tl.W / cell
+					sy := y * tl.H / cell
+					out.Image.Set(cx*cell+x, cy*cell+y, tl.At(sx, sy))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MosaicMismatch returns the fraction of cells whose tile choice differs
+// between two compositions of the same target.
+func MosaicMismatch(a, b MosaicOutput) float64 {
+	if len(a.Choices) != len(b.Choices) {
+		panic("bench: MosaicMismatch shape mismatch")
+	}
+	if len(a.Choices) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range a.Choices {
+		if a.Choices[i] != b.Choices[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.Choices))
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"math"
+
+	"rumba/internal/imageutil"
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+)
+
+// sobel (image processing, Table 1): the Sobel edge-detection stencil. One
+// invocation consumes a 3x3 pixel neighbourhood (9 inputs) and produces the
+// gradient magnitude (1 output), clamped to the pixel range.
+
+var sobelGx = [9]float64{-1, 0, 1, -2, 0, 2, -1, 0, 1}
+var sobelGy = [9]float64{-1, -2, -1, 0, 0, 0, 1, 2, 1}
+
+func sobelExact(in []float64) []float64 {
+	var gx, gy float64
+	for i := 0; i < 9; i++ {
+		gx += sobelGx[i] * in[i]
+		gy += sobelGy[i] * in[i]
+	}
+	return []float64{imageutil.Clamp255(math.Sqrt(gx*gx + gy*gy))}
+}
+
+// sobelWindows extracts every pixel's 3x3 neighbourhood (with edge clamping)
+// as one kernel input. maxN <= 0 keeps all pixels.
+func sobelWindows(img *imageutil.Gray, maxN int) [][]float64 {
+	var out [][]float64
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			w := make([]float64, 9)
+			k := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					w[k] = img.At(x+dx, y+dy)
+					k++
+				}
+			}
+			out = append(out, w)
+			if maxN > 0 && len(out) >= maxN {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// SobelImage applies the exact Sobel kernel to a whole image; used by the
+// image-pipeline example and the Figure 2 demonstration.
+func SobelImage(img *imageutil.Gray) *imageutil.Gray {
+	out := imageutil.NewGray(img.W, img.H)
+	i := 0
+	for _, w := range sobelWindows(img, 0) {
+		out.Pix[i] = sobelExact(w)[0]
+		i++
+	}
+	return out
+}
+
+// Sobel is the sobel benchmark spec. Training uses a 512x512 image subsampled
+// by the trainer; the test image is a different 512x512 scene.
+var Sobel = register(&Spec{
+	Name:      "sobel",
+	Domain:    "Image Processing",
+	InDim:     9,
+	OutDim:    1,
+	Exact:     sobelExact,
+	Metric:    quality.MeanPixelDiff,
+	Scale:     255,
+	RumbaTopo: nn.MustTopology("9->8->1"),
+	NPUTopo:   nn.MustTopology("9->8->1"),
+	TrainDesc: "512x512 pixel image",
+	TestDesc:  "512x512 pixel image",
+	GenTrain: func(n int) nn.Dataset {
+		img := imageutil.Synthetic(512, 512, "sobel/train")
+		return exactTargets(sobelExact, sobelWindows(img, n))
+	},
+	GenTest: func(n int) nn.Dataset {
+		img := imageutil.Synthetic(512, 512, "sobel/test")
+		return exactTargets(sobelExact, sobelWindows(img, n))
+	},
+	// 18 MACs, two squares, one sqrt, plus addressing/loads and clamping:
+	// a small stencil.
+	Cost: CostModel{CPUOps: 70, ApproxFraction: 0.72},
+})

@@ -1,0 +1,117 @@
+// Package bundle serialises everything the offline trainers produce for one
+// application — the accelerator configuration and the trained checkers —
+// into a single artifact. Figure 4 shows these "embedded in the binary";
+// here the binary's embedded section is a JSON blob that rumba-train writes
+// and a deployment loads at startup.
+package bundle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/predictor"
+	"rumba/internal/trainer"
+)
+
+// FormatVersion guards against loading artifacts written by an incompatible
+// build.
+const FormatVersion = 1
+
+// Bundle is the complete offline-training artifact for one benchmark.
+type Bundle struct {
+	Version   int    `json:"version"`
+	Benchmark string `json:"benchmark"`
+
+	Accel accel.Config `json:"accel"`
+
+	Linear *predictor.Linear `json:"linear"`
+	Tree   *predictor.Tree   `json:"tree"`
+	// EMAHistory and EMAScale reconstruct the EMA checker (its runtime
+	// state is not persisted).
+	EMAHistory int     `json:"emaHistory"`
+	EMAScale   float64 `json:"emaScale"`
+}
+
+// New assembles a bundle from training outputs.
+func New(spec *bench.Spec, acfg accel.Config, preds trainer.PredictorSet) (*Bundle, error) {
+	if spec == nil || acfg.Net == nil {
+		return nil, fmt.Errorf("bundle: incomplete inputs")
+	}
+	b := &Bundle{
+		Version:   FormatVersion,
+		Benchmark: spec.Name,
+		Accel:     acfg,
+		Linear:    preds.Linear,
+		Tree:      preds.Tree,
+	}
+	if preds.EMA != nil {
+		b.EMAHistory = preds.EMA.N
+		b.EMAScale = preds.EMA.Scale
+	}
+	return b, nil
+}
+
+// Validate checks internal consistency and that the named benchmark exists.
+func (b *Bundle) Validate() (*bench.Spec, error) {
+	if b.Version != FormatVersion {
+		return nil, fmt.Errorf("bundle: version %d, this build reads %d", b.Version, FormatVersion)
+	}
+	spec, err := bench.Get(b.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if b.Accel.Net == nil || b.Accel.Scaler == nil {
+		return nil, fmt.Errorf("bundle: missing accelerator configuration")
+	}
+	if b.Accel.Net.Topo.Outputs() != spec.OutDim {
+		return nil, fmt.Errorf("bundle: accelerator outputs %d, benchmark %s wants %d",
+			b.Accel.Net.Topo.Outputs(), spec.Name, spec.OutDim)
+	}
+	return spec, nil
+}
+
+// Predictors reconstructs the checker set.
+func (b *Bundle) Predictors() trainer.PredictorSet {
+	ps := trainer.PredictorSet{Linear: b.Linear, Tree: b.Tree}
+	if b.EMAHistory > 0 {
+		ps.EMA = predictor.NewEMA(b.EMAHistory, b.EMAScale)
+	}
+	return ps
+}
+
+// Accelerator builds the configured accelerator (paper-default PEs).
+func (b *Bundle) Accelerator() (*accel.Accelerator, error) {
+	return accel.New(b.Accel, 0)
+}
+
+// Save writes the bundle as indented JSON.
+func Save(path string, b *Bundle) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bundle: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a bundle.
+func Load(path string) (*Bundle, *bench.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bundle: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, nil, fmt.Errorf("bundle: %w", err)
+	}
+	spec, err := b.Validate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &b, spec, nil
+}

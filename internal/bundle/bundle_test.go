@@ -1,0 +1,126 @@
+package bundle
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/trainer"
+)
+
+func trainFFT(t *testing.T) (*bench.Spec, accel.Config, trainer.PredictorSet) {
+	t.Helper()
+	spec, err := bench.Get("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(400)
+	cfg := trainer.DefaultAccelTrainConfig("fft")
+	cfg.NN.Epochs = 10
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, acfg, preds
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	spec, acfg, preds := trainFFT(t)
+	b, err := New(spec, acfg, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fft.json")
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	back, backSpec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backSpec.Name != "fft" {
+		t.Fatalf("benchmark = %s", backSpec.Name)
+	}
+
+	// The reloaded accelerator must reproduce the original bit-for-bit.
+	accOrig, _ := accel.New(acfg, 0)
+	accBack, err := back.Accelerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := spec.GenTest(50)
+	for _, in := range test.Inputs {
+		a, bOut := accOrig.Invoke(in), accBack.Invoke(in)
+		for j := range a {
+			if a[j] != bOut[j] {
+				t.Fatalf("reloaded accelerator differs: %v vs %v", a, bOut)
+			}
+		}
+	}
+
+	// The reloaded checkers must predict identically.
+	ps := back.Predictors()
+	if ps.Linear == nil || ps.Tree == nil || ps.EMA == nil {
+		t.Fatal("missing reloaded predictors")
+	}
+	for _, in := range test.Inputs[:20] {
+		out := accOrig.Invoke(in)
+		if got, want := ps.Linear.PredictError(in, out), preds.Linear.PredictError(in, out); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("linear differs: %v vs %v", got, want)
+		}
+		if got, want := ps.Tree.PredictError(in, out), preds.Tree.PredictError(in, out); got != want {
+			t.Fatalf("tree differs: %v vs %v", got, want)
+		}
+	}
+	if ps.EMA.N != preds.EMA.N || ps.EMA.Scale != preds.EMA.Scale {
+		t.Fatal("EMA parameters differ")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, accel.Config{}, trainer.PredictorSet{}); err == nil {
+		t.Fatal("nil spec must fail")
+	}
+}
+
+func TestValidateRejectsVersionAndBenchmark(t *testing.T) {
+	spec, acfg, preds := trainFFT(t)
+	b, _ := New(spec, acfg, preds)
+	b.Version = 99
+	if _, err := b.Validate(); err == nil {
+		t.Fatal("wrong version must fail")
+	}
+	b.Version = FormatVersion
+	b.Benchmark = "nope"
+	if _, err := b.Validate(); err == nil {
+		t.Fatal("unknown benchmark must fail")
+	}
+	b.Benchmark = "sobel" // fft topology cannot serve sobel (1 output vs 1... both 1?)
+	// fft has 2 outputs, sobel wants 1: dimension check fires.
+	if _, err := b.Validate(); err == nil {
+		t.Fatal("output-dimension mismatch must fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, _, err := Load("/no/such/file.json"); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := Save(path, &Bundle{Version: FormatVersion, Benchmark: "fft"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("bundle without accelerator must fail validation")
+	}
+}

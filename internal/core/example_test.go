@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/trainer"
+)
+
+// Example shows the complete Rumba flow on the fft benchmark: offline
+// training of the accelerator and checkers, then an online run with the
+// TOQ-mode tuner. (Dataset and epochs are tiny to keep the example fast;
+// real runs use the Table 1 sizes.)
+func Example() {
+	spec, err := bench.Get("fft")
+	if err != nil {
+		panic(err)
+	}
+	train := spec.GenTrain(800)
+	cfg := trainer.DefaultAccelTrainConfig(spec.Name)
+	cfg.NN.Epochs = 40
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		panic(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		panic(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		panic(err)
+	}
+
+	tuner, err := core.NewTuner(core.ModeTOQ, 0.20)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := core.NewSystem(core.Config{Spec: spec, Accel: acc, Checker: preds.Tree, Tuner: tuner})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := sys.Run(spec.GenTest(2000))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("quality improved:", rep.OutputError < rep.UncheckedError)
+	fmt.Println("some elements re-executed:", rep.Fixed > 0 && rep.Fixed < rep.Elements)
+	// Output:
+	// quality improved: true
+	// some elements re-executed: true
+}
+
+// ExampleFixSweep reproduces one Figure 10 point by hand: with oracle
+// scores, fixing the worst half of a known error vector halves nothing —
+// it removes exactly the two large errors.
+func ExampleFixSweep() {
+	trueErrs := []float64{0.4, 0.0, 0.3, 0.1}
+	scores := core.Scores(core.SchemeIdeal, trueErrs, nil, "example")
+	pts := core.FixSweep(trueErrs, scores, []float64{0, 0.5, 1})
+	for _, p := range pts {
+		fmt.Printf("%.0f%% fixed -> %.3f error\n", 100*p.FixedFraction, p.OutputError)
+	}
+	// Output:
+	// 0% fixed -> 0.200 error
+	// 50% fixed -> 0.025 error
+	// 100% fixed -> 0.000 error
+}
+
+// ExampleFixesForTarget finds the 90%-quality operating point of the oracle
+// scheme.
+func ExampleFixesForTarget() {
+	trueErrs := []float64{0.5, 0.0, 0.3, 0.2}
+	op := core.FixesForTarget(trueErrs, core.Scores(core.SchemeIdeal, trueErrs, nil, "ex"), 0.10)
+	fmt.Println("fixes needed:", len(op.Fixed))
+	fmt.Printf("threshold: %.1f\n", op.Threshold)
+	// Output:
+	// fixes needed: 2
+	// threshold: 0.3
+}
+
+// ExampleNewTuner demonstrates the Energy-mode threshold adaptation.
+func ExampleNewTuner() {
+	tuner, err := core.NewTuner(core.ModeEnergy, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	before := tuner.Threshold
+	// An invocation that blew the 20% re-execution budget:
+	tuner.Observe(core.InvocationStats{Elements: 100, Fixed: 60})
+	fmt.Println("threshold raised:", tuner.Threshold > before)
+	// Output:
+	// threshold raised: true
+}

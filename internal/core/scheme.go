@@ -1,0 +1,201 @@
+// Package core is the Rumba runtime — the paper's primary contribution. It
+// combines the detection module (a light-weight checker watching every
+// accelerator output element), the recovery module (selective exact
+// re-execution on the host CPU, fed by the recovery queue), the output
+// merger, and the online tuner that moves the firing threshold between
+// accelerator invocations (Section 3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rumba/internal/rng"
+)
+
+// Scheme identifies an element-selection strategy from the evaluation
+// figures: the oracle, the two sampling baselines, and the three Rumba
+// checkers.
+type Scheme int
+
+const (
+	// SchemeIdeal has oracle knowledge of the true element errors and
+	// always fixes the worst ones first.
+	SchemeIdeal Scheme = iota
+	// SchemeRandom fixes a random subset (the quality-sampling baseline).
+	SchemeRandom
+	// SchemeUniform fixes an evenly spaced subset.
+	SchemeUniform
+	// SchemeEMA uses the output-based exponential-moving-average checker.
+	SchemeEMA
+	// SchemeLinear uses the linear error predictor (Equation 1).
+	SchemeLinear
+	// SchemeTree uses the decision-tree error predictor (Figure 6).
+	SchemeTree
+)
+
+// AllSchemes lists the fixing schemes in the order the figures print them.
+var AllSchemes = []Scheme{SchemeIdeal, SchemeRandom, SchemeUniform, SchemeEMA, SchemeLinear, SchemeTree}
+
+// String implements fmt.Stringer with the figure legends' labels.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeIdeal:
+		return "Ideal"
+	case SchemeRandom:
+		return "Random"
+	case SchemeUniform:
+		return "Uniform"
+	case SchemeEMA:
+		return "EMA"
+	case SchemeLinear:
+		return "linearErrors"
+	case SchemeTree:
+		return "treeErrors"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// IsPredictorBased reports whether the scheme uses a trained checker (as
+// opposed to oracle knowledge or blind sampling).
+func (s Scheme) IsPredictorBased() bool {
+	return s == SchemeEMA || s == SchemeLinear || s == SchemeTree
+}
+
+// Scores assigns every element a fixing priority for the scheme: fixing the
+// top-k elements by score is exactly what the scheme would fix with a budget
+// of k. trueErrs are the oracle element errors (used only by Ideal);
+// predErrs are the checker's estimates (used by the predictor schemes); seed
+// names the random stream for SchemeRandom.
+func Scores(s Scheme, trueErrs, predErrs []float64, seed string) []float64 {
+	n := len(trueErrs)
+	out := make([]float64, n)
+	switch s {
+	case SchemeIdeal:
+		copy(out, trueErrs)
+	case SchemeRandom:
+		r := rng.NewNamed("core/random/" + seed)
+		for i := range out {
+			out[i] = r.Float64()
+		}
+	case SchemeUniform:
+		// The van der Corput radical-inverse of the element index: taking
+		// the top-k of this sequence yields a near-evenly-spaced subset
+		// for every k simultaneously.
+		for i := range out {
+			out[i] = vanDerCorput(uint64(i))
+		}
+	case SchemeEMA, SchemeLinear, SchemeTree:
+		if len(predErrs) != n {
+			panic(fmt.Sprintf("core: scheme %v needs %d predicted errors, got %d", s, n, len(predErrs)))
+		}
+		copy(out, predErrs)
+	default:
+		panic(fmt.Sprintf("core: unknown scheme %v", s))
+	}
+	return out
+}
+
+// vanDerCorput is the base-2 radical inverse of i.
+func vanDerCorput(i uint64) float64 {
+	var v float64
+	f := 0.5
+	for ; i > 0; i >>= 1 {
+		if i&1 == 1 {
+			v += f
+		}
+		f /= 2
+	}
+	return v
+}
+
+// rankByScore returns element indices sorted by descending score; ties break
+// by index so results are deterministic.
+func rankByScore(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return scores[idx[a]] > scores[idx[b]]
+	})
+	return idx
+}
+
+// SweepPoint is one point of a Figure 10 curve.
+type SweepPoint struct {
+	FixedFraction float64 // x-axis: fraction of elements fixed
+	OutputError   float64 // y-axis: application output error after fixing
+}
+
+// FixSweep produces the Figure 10 curve for one scheme: the application
+// output error as a function of the fraction of elements fixed, fixing
+// elements in descending score order.
+func FixSweep(trueErrs, scores []float64, fractions []float64) []SweepPoint {
+	n := len(trueErrs)
+	if n == 0 {
+		return nil
+	}
+	ranked := rankByScore(scores)
+	// prefix[k] = sum of the true errors of the k highest-scored elements.
+	prefix := make([]float64, n+1)
+	for k, idx := range ranked {
+		prefix[k+1] = prefix[k] + trueErrs[idx]
+	}
+	total := prefix[n]
+	out := make([]SweepPoint, len(fractions))
+	for i, f := range fractions {
+		k := int(f*float64(n) + 0.5)
+		if k < 0 {
+			k = 0
+		}
+		if k > n {
+			k = n
+		}
+		out[i] = SweepPoint{
+			FixedFraction: float64(k) / float64(n),
+			OutputError:   (total - prefix[k]) / float64(n),
+		}
+	}
+	return out
+}
+
+// OperatingPoint is the scheme's state at a target output quality: which
+// elements it fixes and the implied firing threshold.
+type OperatingPoint struct {
+	Fixed     []int   // element indices the scheme re-executes
+	Threshold float64 // score of the last fixed element (the tuning threshold)
+	// OutputError is the application error after fixing.
+	OutputError float64
+}
+
+// FixesForTarget finds the smallest top-k prefix (by score) whose removal
+// brings the application output error to targetErr or below — the "90%
+// target output quality" operating point of Figures 11-13. If even fixing
+// everything cannot reach the target, every element is fixed.
+func FixesForTarget(trueErrs, scores []float64, targetErr float64) OperatingPoint {
+	n := len(trueErrs)
+	if n == 0 {
+		return OperatingPoint{}
+	}
+	ranked := rankByScore(scores)
+	var total float64
+	for _, e := range trueErrs {
+		total += e
+	}
+	removed := 0.0
+	k := 0
+	for k < n && (total-removed)/float64(n) > targetErr {
+		removed += trueErrs[ranked[k]]
+		k++
+	}
+	op := OperatingPoint{
+		Fixed:       append([]int(nil), ranked[:k]...),
+		OutputError: (total - removed) / float64(n),
+	}
+	if k > 0 {
+		op.Threshold = scores[ranked[k-1]]
+	}
+	return op
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestSchemeStrings(t *testing.T) {
+	want := []string{"Ideal", "Random", "Uniform", "EMA", "linearErrors", "treeErrors"}
+	for i, s := range AllSchemes {
+		if s.String() != want[i] {
+			t.Fatalf("scheme %d = %q, want %q", i, s.String(), want[i])
+		}
+	}
+}
+
+func TestIsPredictorBased(t *testing.T) {
+	if SchemeIdeal.IsPredictorBased() || SchemeRandom.IsPredictorBased() || SchemeUniform.IsPredictorBased() {
+		t.Fatal("baselines are not predictor based")
+	}
+	if !SchemeLinear.IsPredictorBased() || !SchemeTree.IsPredictorBased() || !SchemeEMA.IsPredictorBased() {
+		t.Fatal("checkers are predictor based")
+	}
+}
+
+func TestScoresIdealEqualsTrueErrors(t *testing.T) {
+	trueErrs := []float64{0.5, 0.1, 0.9}
+	s := Scores(SchemeIdeal, trueErrs, nil, "x")
+	for i := range trueErrs {
+		if s[i] != trueErrs[i] {
+			t.Fatal("Ideal scores must equal true errors")
+		}
+	}
+}
+
+func TestScoresRandomDeterministicPerSeed(t *testing.T) {
+	errs := make([]float64, 100)
+	a := Scores(SchemeRandom, errs, nil, "seed1")
+	b := Scores(SchemeRandom, errs, nil, "seed1")
+	c := Scores(SchemeRandom, errs, nil, "seed2")
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same scores")
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must give different scores")
+	}
+}
+
+func TestScoresUniformSpreadsSelections(t *testing.T) {
+	n := 64
+	errs := make([]float64, n)
+	s := Scores(SchemeUniform, errs, nil, "x")
+	ranked := rankByScore(s)
+	// The top-8 van der Corput elements must be spread across the range:
+	// every eighth of the index space contains exactly one.
+	top := append([]int(nil), ranked[:8]...)
+	sort.Ints(top)
+	for b := 0; b < 8; b++ {
+		lo, hi := b*8, (b+1)*8
+		count := 0
+		for _, idx := range top {
+			if idx >= lo && idx < hi {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("bucket %d has %d of the top-8 selections: %v", b, count, top)
+		}
+	}
+}
+
+func TestScoresPredictorSchemesUsePredictions(t *testing.T) {
+	trueErrs := []float64{1, 1, 1}
+	pred := []float64{0.1, 0.9, 0.5}
+	for _, sch := range []Scheme{SchemeEMA, SchemeLinear, SchemeTree} {
+		s := Scores(sch, trueErrs, pred, "x")
+		if s[1] != 0.9 || s[0] != 0.1 {
+			t.Fatalf("%v must copy predictions", sch)
+		}
+	}
+}
+
+func TestScoresPanicsWithoutPredictions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scores(SchemeLinear, []float64{1, 2}, nil, "x")
+}
+
+func TestFixSweepIdealIsOptimal(t *testing.T) {
+	r := rng.New(5)
+	trueErrs := make([]float64, 200)
+	for i := range trueErrs {
+		trueErrs[i] = r.Range(0, 1)
+	}
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	ideal := FixSweep(trueErrs, Scores(SchemeIdeal, trueErrs, nil, "x"), fracs)
+	random := FixSweep(trueErrs, Scores(SchemeRandom, trueErrs, nil, "x"), fracs)
+	for i := range fracs {
+		if ideal[i].OutputError > random[i].OutputError+1e-12 {
+			t.Fatalf("Ideal must dominate Random at every point: %v vs %v at %v",
+				ideal[i].OutputError, random[i].OutputError, fracs[i])
+		}
+	}
+	if ideal[0].OutputError <= ideal[len(ideal)-1].OutputError {
+		t.Fatal("fixing everything must drive the error to the minimum")
+	}
+	if ideal[len(ideal)-1].OutputError != 0 {
+		t.Fatal("fixing 100% must give zero error")
+	}
+}
+
+// Property: every FixSweep curve is monotone non-increasing in the fixed
+// fraction, for any scheme.
+func TestFixSweepMonotoneProperty(t *testing.T) {
+	r := rng.New(6)
+	fracs := []float64{0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1}
+	f := func(nRaw uint8, schemeRaw uint8) bool {
+		n := int(nRaw)%100 + 5
+		trueErrs := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range trueErrs {
+			trueErrs[i] = r.Range(0, 1)
+			pred[i] = r.Range(0, 1)
+		}
+		scheme := AllSchemes[int(schemeRaw)%len(AllSchemes)]
+		pts := FixSweep(trueErrs, Scores(scheme, trueErrs, pred, "prop"), fracs)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].OutputError > pts[i-1].OutputError+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixesForTargetReachesTarget(t *testing.T) {
+	trueErrs := []float64{0.5, 0.0, 0.3, 0.2} // mean 0.25
+	op := FixesForTarget(trueErrs, Scores(SchemeIdeal, trueErrs, nil, "x"), 0.10)
+	if op.OutputError > 0.10 {
+		t.Fatalf("operating point error %v exceeds target", op.OutputError)
+	}
+	// Fixing the 0.5 element gives mean 0.125 > 0.1; also fixing 0.3 gives
+	// 0.05 <= 0.1, so exactly two fixes.
+	if len(op.Fixed) != 2 {
+		t.Fatalf("fixed %v, want 2 elements", op.Fixed)
+	}
+	if op.Threshold != 0.3 {
+		t.Fatalf("threshold = %v, want 0.3 (last fixed element's score)", op.Threshold)
+	}
+}
+
+func TestFixesForTargetAlreadyMet(t *testing.T) {
+	trueErrs := []float64{0.01, 0.02}
+	op := FixesForTarget(trueErrs, Scores(SchemeIdeal, trueErrs, nil, "x"), 0.10)
+	if len(op.Fixed) != 0 || op.Threshold != 0 {
+		t.Fatalf("no fixes needed, got %+v", op)
+	}
+}
+
+func TestFixesForTargetUnreachable(t *testing.T) {
+	trueErrs := []float64{1, 1, 1}
+	op := FixesForTarget(trueErrs, Scores(SchemeRandom, trueErrs, nil, "x"), -1)
+	if len(op.Fixed) != 3 {
+		t.Fatal("impossible target must fix everything")
+	}
+}
+
+func TestFixesForTargetEmpty(t *testing.T) {
+	op := FixesForTarget(nil, nil, 0.1)
+	if op.Fixed != nil || op.OutputError != 0 {
+		t.Fatalf("empty input: %+v", op)
+	}
+}
+
+// Property: Ideal needs no more fixes than any other scheme to reach the
+// same target.
+func TestIdealNeedsFewestFixesProperty(t *testing.T) {
+	r := rng.New(7)
+	f := func(nRaw uint8, schemeRaw uint8) bool {
+		n := int(nRaw)%150 + 10
+		trueErrs := make([]float64, n)
+		pred := make([]float64, n)
+		for i := range trueErrs {
+			trueErrs[i] = r.Range(0, 0.6)
+			pred[i] = r.Range(0, 0.6)
+		}
+		scheme := AllSchemes[int(schemeRaw)%len(AllSchemes)]
+		target := 0.1
+		ideal := FixesForTarget(trueErrs, Scores(SchemeIdeal, trueErrs, pred, "p"), target)
+		other := FixesForTarget(trueErrs, Scores(scheme, trueErrs, pred, "p"), target)
+		return len(ideal.Fixed) <= len(other.Fixed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVanDerCorput(t *testing.T) {
+	cases := map[uint64]float64{0: 0, 1: 0.5, 2: 0.25, 3: 0.75, 4: 0.125}
+	for i, want := range cases {
+		if got := vanDerCorput(i); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("vdc(%d) = %v, want %v", i, got, want)
+		}
+	}
+}

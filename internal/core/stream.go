@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"rumba/internal/quality"
+)
+
+// This file is the deployment-shaped variant of the runtime. System.Run is
+// the evaluation harness: it measures true errors against known exact
+// targets. Stream is what a real application embeds: inputs arrive one at a
+// time, the exact result of an element is unknown unless the recovery module
+// actually computes it, and recovery runs on its own goroutines concurrently
+// with detection — the software analogue of the Figure 8 overlap.
+
+// StreamResult is one merged output element.
+type StreamResult struct {
+	// Index is the element's position in the input stream; results are
+	// delivered in index order (the output merger reorders).
+	Index int
+	// Output is the committed value: the accelerator's output, or the
+	// exact re-execution when the check fired.
+	Output []float64
+	// Fixed reports whether the recovery module replaced the element.
+	Fixed bool
+	// PredictedError is the checker's estimate for the element (zero when
+	// running unchecked).
+	PredictedError float64
+}
+
+// Stream is a running online Rumba instance.
+type Stream struct {
+	sys     *System
+	workers int
+}
+
+// NewStream wraps a System for streaming use. workers is the number of
+// recovery goroutines (the paper has one host CPU, so 1 reproduces the
+// paper's setup; more workers model a multicore host). workers <= 0 selects
+// 1.
+func NewStream(cfg Config, workers int) (*Stream, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Stream{sys: sys, workers: workers}, nil
+}
+
+// recoveryJob travels from the detection stage to the recovery workers.
+type recoveryJob struct {
+	index int
+	input []float64
+	pred  float64
+}
+
+// mergeItem travels from both stages to the output merger.
+type mergeItem struct {
+	res StreamResult
+}
+
+// Process consumes the input channel and returns the merged, in-order
+// result channel. The result channel is closed after the final input's
+// element is delivered. Process may be called once per Stream.
+func (st *Stream) Process(inputs <-chan []float64) <-chan StreamResult {
+	out := make(chan StreamResult, 64)
+	// The recovery queue: bounded, so a slow CPU back-pressures detection
+	// exactly like the hardware queue of Figure 4 would.
+	recovery := make(chan recoveryJob, st.sys.cfg.RecoveryQueueCap)
+	merged := make(chan mergeItem, 64)
+
+	var wg sync.WaitGroup
+
+	// Recovery workers: pure kernels re-execute without side effects, so
+	// any number of workers may run concurrently.
+	wg.Add(st.workers)
+	for w := 0; w < st.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for job := range recovery {
+				exact := st.sys.cfg.Spec.Exact(job.input)
+				merged <- mergeItem{res: StreamResult{
+					Index:          job.index,
+					Output:         exact,
+					Fixed:          true,
+					PredictedError: job.pred,
+				}}
+			}
+		}()
+	}
+
+	// Detection stage: runs the accelerator and the checker, splits
+	// elements between the direct path and the recovery queue, and drives
+	// the online tuner at invocation boundaries.
+	go func() {
+		if st.sys.cfg.Checker != nil {
+			st.sys.cfg.Checker.Reset()
+		}
+		idx := 0
+		invFixed := 0
+		invStart := 0
+		for in := range inputs {
+			approx := st.sys.cfg.Accel.Invoke(in)
+			var pred float64
+			fire := false
+			if st.sys.cfg.Checker != nil {
+				pred = st.sys.cfg.Checker.PredictError(in, approx)
+				fire = pred > st.sys.cfg.Tuner.Threshold
+			}
+			if fire {
+				invFixed++
+				recovery <- recoveryJob{index: idx, input: in, pred: pred}
+			} else {
+				merged <- mergeItem{res: StreamResult{Index: idx, Output: approx, PredictedError: pred}}
+			}
+			idx++
+			if st.sys.cfg.Tuner != nil && idx-invStart >= st.sys.cfg.InvocationSize {
+				st.sys.cfg.Tuner.Observe(InvocationStats{
+					Elements:       idx - invStart,
+					Fixed:          invFixed,
+					CPUUtilisation: st.sys.estimateUtilisation(invFixed, idx-invStart),
+				})
+				invStart = idx
+				invFixed = 0
+			}
+		}
+		close(recovery)
+		wg.Wait()
+		close(merged)
+	}()
+
+	// Output merger: reorders the two paths back into stream order.
+	go func() {
+		defer close(out)
+		pending := make(map[int]StreamResult)
+		next := 0
+		for item := range merged {
+			pending[item.res.Index] = item.res
+			for {
+				r, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- r
+				next++
+			}
+		}
+		// merged is closed only after every element was produced, so
+		// pending must be empty here; anything left is a bug.
+		if len(pending) != 0 {
+			panic(fmt.Sprintf("core: output merger lost ordering, %d stranded elements", len(pending)))
+		}
+	}()
+	return out
+}
+
+// StreamStats summarises a finished streaming run against known targets; it
+// is a test/evaluation convenience, not part of the online path.
+type StreamStats struct {
+	Elements    int
+	Fixed       int
+	OutputError float64
+}
+
+// EvaluateStream drains a result channel and scores it against the exact
+// targets (evaluation only — the online system never sees these).
+func EvaluateStream(results <-chan StreamResult, targets [][]float64, metric quality.Metric, scale float64) (StreamStats, error) {
+	var st StreamStats
+	var sum float64
+	next := 0
+	for r := range results {
+		if r.Index != next {
+			return st, fmt.Errorf("core: out-of-order result %d, want %d", r.Index, next)
+		}
+		if r.Index >= len(targets) {
+			return st, fmt.Errorf("core: result index %d beyond %d targets", r.Index, len(targets))
+		}
+		sum += quality.ElementError(metric, targets[r.Index], r.Output, scale)
+		if r.Fixed {
+			st.Fixed++
+		}
+		st.Elements++
+		next++
+	}
+	if st.Elements > 0 {
+		st.OutputError = sum / float64(st.Elements)
+	}
+	return st, nil
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func feedInputs(inputs [][]float64) <-chan []float64 {
+	ch := make(chan []float64)
+	go func() {
+		defer close(ch)
+		for _, in := range inputs {
+			ch <- in
+		}
+	}()
+	return ch
+}
+
+func TestStreamDeliversEverythingInOrder(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "fft", 500)
+	tuner, _ := NewTuner(ModeTOQ, 0.10)
+	st, err := NewStream(Config{Spec: spec, Accel: acc, Checker: ps.Tree, Tuner: tuner}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elements != test.Len() {
+		t.Fatalf("delivered %d of %d elements", stats.Elements, test.Len())
+	}
+}
+
+func TestStreamFixedElementsAreExact(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 600)
+	tuner, _ := NewTuner(ModeTOQ, 0.10)
+	st, err := NewStream(Config{Spec: spec, Accel: acc, Checker: ps.Tree, Tuner: tuner}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 0
+	for r := range st.Process(feedInputs(test.Inputs)) {
+		if r.Fixed {
+			fixed++
+			exact := spec.Exact(test.Inputs[r.Index])
+			for j := range exact {
+				if math.Abs(exact[j]-r.Output[j]) > 1e-12 {
+					t.Fatalf("fixed element %d not exact: %v vs %v", r.Index, r.Output, exact)
+				}
+			}
+		}
+	}
+	if fixed == 0 {
+		t.Fatal("expected the checker to fire at least once")
+	}
+}
+
+func TestStreamUncheckedNeverFixes(t *testing.T) {
+	spec, acc, _, test := buildRuntime(t, "fft", 300)
+	st, err := NewStream(Config{Spec: spec, Accel: acc}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range st.Process(feedInputs(test.Inputs)) {
+		if r.Fixed || r.PredictedError != 0 {
+			t.Fatal("unchecked stream must not fix or predict")
+		}
+	}
+}
+
+func TestStreamMatchesBatchQuality(t *testing.T) {
+	// Streaming and batch runs use the same detection rule, so the set of
+	// fixed elements — and therefore the output error — must agree when
+	// the tuner threshold is pinned (TOQ mode).
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 800)
+	tuner1, _ := NewTuner(ModeTOQ, 0.10)
+	sys, err := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Linear, Tuner: tuner1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner2, _ := NewTuner(ModeTOQ, 0.10)
+	st, err := NewStream(Config{Spec: spec, Accel: acc, Checker: ps.Linear, Tuner: tuner2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fixed != batch.Fixed {
+		t.Fatalf("stream fixed %d, batch fixed %d", stats.Fixed, batch.Fixed)
+	}
+	if math.Abs(stats.OutputError-batch.OutputError) > 1e-9 {
+		t.Fatalf("stream error %v, batch error %v", stats.OutputError, batch.OutputError)
+	}
+}
+
+func TestStreamBackPressureSmallQueue(t *testing.T) {
+	// A 1-slot recovery queue with an always-firing checker: the pipeline
+	// must still deliver every element exactly once, in order.
+	spec, acc, _, test := buildRuntime(t, "fft", 200)
+	tuner, _ := NewTuner(ModeTOQ, 0)
+	st, err := NewStream(Config{
+		Spec: spec, Accel: acc, Checker: &constantChecker{value: 1},
+		Tuner: tuner, RecoveryQueueCap: 1,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elements != test.Len() || stats.Fixed != test.Len() {
+		t.Fatalf("delivered %d, fixed %d, want both %d", stats.Elements, stats.Fixed, test.Len())
+	}
+	if stats.OutputError != 0 {
+		t.Fatalf("all-fixed stream must be exact, error %v", stats.OutputError)
+	}
+}
+
+func TestStreamEnergyModeTunesOnline(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 2000)
+	budget := 0.15
+	tuner, _ := NewTuner(ModeEnergy, budget)
+	st, err := NewStream(Config{
+		Spec: spec, Accel: acc, Checker: ps.Tree, Tuner: tuner, InvocationSize: 200,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := float64(stats.Fixed) / float64(stats.Elements); frac > 2*budget {
+		t.Fatalf("energy mode fixed %.1f%% against a %.0f%% budget", 100*frac, 100*budget)
+	}
+}
+
+func TestEvaluateStreamRejectsShortTargets(t *testing.T) {
+	results := make(chan StreamResult, 1)
+	results <- StreamResult{Index: 0, Output: []float64{1}}
+	close(results)
+	if _, err := EvaluateStream(results, nil, 0, 0); err == nil {
+		t.Fatal("expected index-beyond-targets error")
+	}
+}

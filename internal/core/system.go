@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+	"rumba/internal/nn"
+	"rumba/internal/pipeline"
+	"rumba/internal/predictor"
+	"rumba/internal/quality"
+)
+
+// Config assembles a Rumba execution subsystem (the online half of
+// Figure 4).
+type Config struct {
+	Spec *bench.Spec
+	// Accel is the approximate compute engine: the NPU accelerator model
+	// (internal/accel) or a software approximator (internal/approx).
+	Accel exec.Executor
+	// Checker is the error predictor augmenting the accelerator; nil runs
+	// the unchecked NPU (no detection, no recovery).
+	Checker predictor.Predictor
+	// Tuner controls the firing threshold; required when Checker is set.
+	Tuner *Tuner
+	// Placement positions an input-based checker per Figure 9. Output-
+	// based checkers (EMA) always run after the accelerator.
+	Placement accel.Placement
+	// InvocationSize is the number of elements per accelerator invocation
+	// batch (the granularity at which the tuner adapts); <= 0 uses 512.
+	InvocationSize int
+	// RecoveryQueueCap bounds the recovery queue; <= 0 uses 64.
+	RecoveryQueueCap int
+	// EnergyModel supplies the analytical constants; the zero value uses
+	// the calibrated defaults.
+	EnergyModel *energy.Model
+}
+
+// ElementOutcome records what happened to one output element.
+type ElementOutcome struct {
+	PredictedError float64
+	TrueError      float64 // error of the accelerator output vs exact
+	Fixed          bool
+}
+
+// Report is the result of running a dataset through the Rumba system.
+type Report struct {
+	Elements int
+	Fixed    int
+	// OutputError is the application output error after merging (fixed
+	// elements contribute zero error).
+	OutputError float64
+	// UncheckedError is the output error the accelerator alone would have
+	// produced.
+	UncheckedError float64
+	// Outcomes has one entry per element (inputs order).
+	Outcomes []ElementOutcome
+	// ThresholdTrace is the tuner threshold at each invocation boundary.
+	ThresholdTrace []float64
+	// Energy is the whole-application energy breakdown.
+	Energy energy.Breakdown
+	// Speedup is the whole-application speedup over the CPU baseline.
+	Speedup float64
+	// Pipeline carries the overlap-simulation detail.
+	Pipeline pipeline.Result
+}
+
+// System is the online Rumba runtime.
+type System struct {
+	cfg   Config
+	model energy.Model
+}
+
+// NewSystem validates the configuration and builds a runtime.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Spec == nil || cfg.Accel == nil {
+		return nil, fmt.Errorf("core: config needs a benchmark spec and an accelerator")
+	}
+	if cfg.Checker != nil && cfg.Tuner == nil {
+		return nil, fmt.Errorf("core: a checker needs a tuner")
+	}
+	if cfg.InvocationSize <= 0 {
+		cfg.InvocationSize = 512
+	}
+	if cfg.RecoveryQueueCap <= 0 {
+		cfg.RecoveryQueueCap = 64
+	}
+	m := energy.DefaultModel()
+	if cfg.EnergyModel != nil {
+		m = *cfg.EnergyModel
+	}
+	return &System{cfg: cfg, model: m}, nil
+}
+
+// Run processes the dataset: the accelerator computes every element, the
+// checker flags suspicious ones through the recovery queue, the CPU
+// re-executes flagged iterations in parallel (pipeline model), and the
+// merger commits exact results over approximate ones.
+func (s *System) Run(d nn.Dataset) (*Report, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	spec := s.cfg.Spec
+	rep := &Report{
+		Elements: d.Len(),
+		Outcomes: make([]ElementOutcome, d.Len()),
+	}
+	if s.cfg.Checker != nil {
+		s.cfg.Checker.Reset()
+	}
+	recovery := accel.NewQueue[accel.RecoveryBit](s.cfg.RecoveryQueueCap)
+	flags := make([]bool, d.Len())
+
+	var uncheckedSum, mergedSum float64
+	for start := 0; start < d.Len(); start += s.cfg.InvocationSize {
+		end := start + s.cfg.InvocationSize
+		if end > d.Len() {
+			end = d.Len()
+		}
+		fixedThisInv := 0
+		threshold := 0.0
+		if s.cfg.Tuner != nil {
+			threshold = s.cfg.Tuner.Threshold
+			rep.ThresholdTrace = append(rep.ThresholdTrace, threshold)
+		}
+		for i := start; i < end; i++ {
+			approx := s.cfg.Accel.Invoke(d.Inputs[i])
+			trueErr := quality.ElementError(spec.Metric, d.Targets[i], approx, spec.Scale)
+			out := &rep.Outcomes[i]
+			out.TrueError = trueErr
+			uncheckedSum += trueErr
+
+			if s.cfg.Checker != nil {
+				out.PredictedError = s.cfg.Checker.PredictError(d.Inputs[i], approx)
+				if out.PredictedError > threshold {
+					// The detector fires: push the recovery bit. The CPU
+					// side drains the queue continuously (pipelined with
+					// the accelerator), so a full queue only means
+					// back-pressure in the timing model, never a lost fix.
+					if !recovery.Push(accel.RecoveryBit{Iteration: i, PredictedError: out.PredictedError}) {
+						drainRecovery(recovery, spec, d, rep, &mergedSum, flags)
+						recovery.Push(accel.RecoveryBit{Iteration: i, PredictedError: out.PredictedError})
+					}
+					fixedThisInv++
+				}
+			}
+			if !flagged(recovery, i) {
+				// Output merger: no recovery bit pending for this element
+				// yet; count the approximate output. (Flagged elements are
+				// committed exactly when the queue drains.)
+				mergedSum += trueErr
+			}
+		}
+		drainRecovery(recovery, spec, d, rep, &mergedSum, flags)
+		if s.cfg.Tuner != nil {
+			s.cfg.Tuner.Observe(InvocationStats{
+				Elements:       end - start,
+				Fixed:          fixedThisInv,
+				CPUUtilisation: s.estimateUtilisation(fixedThisInv, end-start),
+			})
+		}
+	}
+	rep.UncheckedError = uncheckedSum / float64(d.Len())
+	rep.OutputError = mergedSum / float64(d.Len())
+	for _, o := range rep.Outcomes {
+		if o.Fixed {
+			rep.Fixed++
+		}
+	}
+	if err := s.accountCosts(rep, flags); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// flagged reports whether element i currently sits in the recovery queue.
+// The queue is small (paper-default 64), so a linear scan is fine.
+func flagged(q *accel.Queue[accel.RecoveryBit], i int) bool {
+	found := false
+	n := q.Len()
+	for k := 0; k < n; k++ {
+		v, _ := q.Pop()
+		if v.Iteration == i {
+			found = true
+		}
+		q.Push(v)
+	}
+	return found
+}
+
+// drainRecovery performs the recovery module's work: pop every pending
+// recovery bit, re-execute that iteration exactly on the CPU, and commit the
+// exact output through the merger (zero error contribution).
+func drainRecovery(q *accel.Queue[accel.RecoveryBit], spec *bench.Spec, d nn.Dataset, rep *Report, mergedSum *float64, flags []bool) {
+	for {
+		bit, ok := q.Pop()
+		if !ok {
+			return
+		}
+		// Pure kernels re-execute without side effects; the exact result
+		// replaces the accelerator output, so the element's merged error
+		// is exactly zero.
+		exact := spec.Exact(d.Inputs[bit.Iteration])
+		_ = exact
+		rep.Outcomes[bit.Iteration].Fixed = true
+		flags[bit.Iteration] = true
+	}
+}
+
+// estimateUtilisation approximates the recovery CPU's utilisation within one
+// invocation for the Quality-mode tuner.
+func (s *System) estimateUtilisation(fixed, elements int) float64 {
+	if elements == 0 {
+		return 0
+	}
+	accelCycles := s.cfg.Accel.CyclesPerInvocation() * float64(elements)
+	cpuCycles := energy.KernelCPULatency(s.cfg.Spec.Cost, s.model) * float64(fixed)
+	if accelCycles <= 0 {
+		return 1
+	}
+	u := cpuCycles / accelCycles
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// accountCosts fills in the energy breakdown, pipeline result and speedup.
+func (s *System) accountCosts(rep *Report, flags []bool) error {
+	spec := s.cfg.Spec
+	var checkerCost predictor.Cost
+	if s.cfg.Checker != nil {
+		checkerCost = s.cfg.Checker.Cost()
+	}
+	accelInvocations := rep.Elements
+	if s.cfg.Placement == accel.PlacementSerial && s.cfg.Checker != nil {
+		accelInvocations = rep.Elements - rep.Fixed
+	}
+	var err error
+	rep.Energy, err = energy.WholeAppEnergyPerInv(spec.Cost, rep.Elements, rep.Fixed,
+		accelInvocations, s.cfg.Accel.EnergyPerInvocation(s.model), checkerCost, s.model)
+	if err != nil {
+		return err
+	}
+	p := pipeline.Params{
+		AccelCyclesPerIter: s.cfg.Accel.CyclesPerInvocation(),
+		CPURecomputeCycles: energy.KernelCPULatency(spec.Cost, s.model),
+		CheckerCycles:      energy.CheckerLatencyCycles(checkerCost, s.model),
+		AddCheckerToPath:   s.cfg.Placement == accel.PlacementSerial && s.cfg.Checker != nil,
+		RecoveryQueueCap:   s.cfg.RecoveryQueueCap,
+	}
+	rep.Pipeline, err = pipeline.Simulate(flags, p)
+	if err != nil {
+		return err
+	}
+	rep.Speedup = pipeline.WholeAppSpeedup(rep.Pipeline.TotalCycles, rep.Elements,
+		energy.KernelCPULatency(spec.Cost, s.model), spec.Cost.ApproxFraction)
+	return nil
+}

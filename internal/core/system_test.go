@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/nn"
+	"rumba/internal/predictor"
+	"rumba/internal/trainer"
+)
+
+// buildRuntime trains a small Rumba stack for one benchmark.
+func buildRuntime(t *testing.T, name string, n int) (*bench.Spec, *accel.Accelerator, trainer.PredictorSet, nn.Dataset) {
+	t.Helper()
+	spec, err := bench.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(n)
+	cfg := trainer.DefaultAccelTrainConfig(name)
+	cfg.NN.Epochs = 30
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := trainer.Observe(spec, acc, train)
+	ps, err := trainer.TrainPredictors(spec, train, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.ResetStats()
+	return spec, acc, ps, spec.GenTest(n)
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	spec, acc, ps, _ := buildRuntime(t, "fft", 200)
+	if _, err := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Linear}); err == nil {
+		t.Fatal("checker without tuner must fail")
+	}
+}
+
+func TestUncheckedRunMatchesAccelerator(t *testing.T) {
+	spec, acc, _, test := buildRuntime(t, "fft", 300)
+	sys, err := NewSystem(Config{Spec: spec, Accel: acc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed != 0 {
+		t.Fatalf("unchecked run fixed %d elements", rep.Fixed)
+	}
+	if rep.OutputError != rep.UncheckedError {
+		t.Fatalf("unchecked output error %v != accelerator error %v", rep.OutputError, rep.UncheckedError)
+	}
+	if rep.Energy.Savings <= 0 || rep.Speedup <= 0 {
+		t.Fatalf("missing cost accounting: %+v", rep.Energy)
+	}
+}
+
+func TestCheckedRunImprovesQuality(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 1200)
+	tu, _ := NewTuner(ModeTOQ, 0.10)
+	sys, err := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Tree, Tuner: tu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed == 0 {
+		t.Fatal("the checker never fired")
+	}
+	if rep.OutputError >= rep.UncheckedError {
+		t.Fatalf("recovery must improve quality: %v vs unchecked %v", rep.OutputError, rep.UncheckedError)
+	}
+	// Every fixed element contributes zero to the merged error.
+	var sum float64
+	for _, o := range rep.Outcomes {
+		if !o.Fixed {
+			sum += o.TrueError
+		}
+	}
+	if diff := sum/float64(rep.Elements) - rep.OutputError; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("merged error accounting inconsistent: %v", diff)
+	}
+}
+
+func TestCheckedRunCostsEnergy(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 800)
+	unchecked, _ := NewSystem(Config{Spec: spec, Accel: acc})
+	repU, err := unchecked.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, _ := NewTuner(ModeTOQ, 0.10)
+	checked, _ := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Tree, Tuner: tu})
+	repC, err := checked.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repC.Fixed > 0 && repC.Energy.Savings >= repU.Energy.Savings {
+		t.Fatalf("detection+recovery must cost energy: %v vs %v", repC.Energy.Savings, repU.Energy.Savings)
+	}
+	if repC.Energy.Checker == 0 {
+		t.Fatal("checker energy must be accounted")
+	}
+	if repC.Energy.Recompute == 0 {
+		t.Fatal("recompute energy must be accounted")
+	}
+}
+
+func TestEnergyModeRespectsBudgetOverTime(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 2000)
+	budget := 0.15
+	tu, _ := NewTuner(ModeEnergy, budget)
+	sys, _ := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Tree, Tuner: tu, InvocationSize: 200})
+	rep, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(rep.Fixed) / float64(rep.Elements)
+	if frac > budget*2 {
+		t.Fatalf("energy mode fixed %.1f%%, budget %.1f%%", frac*100, budget*100)
+	}
+	if len(rep.ThresholdTrace) != 10 {
+		t.Fatalf("expected 10 invocation thresholds, got %d", len(rep.ThresholdTrace))
+	}
+}
+
+func TestSerialPlacementSkipsAccelInvocations(t *testing.T) {
+	spec, acc, ps, test := buildRuntime(t, "inversek2j", 600)
+	tu, _ := NewTuner(ModeTOQ, 0.05)
+	serial, _ := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Linear, Tuner: tu, Placement: accel.PlacementSerial})
+	repS, err := serial.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu2, _ := NewTuner(ModeTOQ, 0.05)
+	parallel, _ := NewSystem(Config{Spec: spec, Accel: acc, Checker: ps.Linear, Tuner: tu2, Placement: accel.PlacementParallel})
+	repP, err := parallel.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.Fixed == 0 {
+		t.Skip("nothing fired; placement comparison vacuous")
+	}
+	if repS.Energy.Accelerator >= repP.Energy.Accelerator {
+		t.Fatal("serial placement must save accelerator energy")
+	}
+	if repS.Speedup >= repP.Speedup {
+		t.Fatal("serial placement must cost latency")
+	}
+}
+
+func TestRunEmptyDataset(t *testing.T) {
+	spec, acc, _, _ := buildRuntime(t, "fft", 100)
+	sys, _ := NewSystem(Config{Spec: spec, Accel: acc})
+	if _, err := sys.Run(nn.Dataset{}); err == nil {
+		t.Fatal("empty dataset must fail")
+	}
+}
+
+func TestRecoveryQueueOverflowDoesNotLoseFixes(t *testing.T) {
+	// A tiny recovery queue with an aggressive threshold: every element
+	// fires; none may be lost.
+	spec, acc, _, test := buildRuntime(t, "fft", 300)
+	tu, _ := NewTuner(ModeTOQ, 0)
+	alwaysFire := &constantChecker{value: 1}
+	sys, _ := NewSystem(Config{Spec: spec, Accel: acc, Checker: alwaysFire, Tuner: tu, RecoveryQueueCap: 4})
+	rep, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed != rep.Elements {
+		t.Fatalf("fixed %d of %d with an always-firing checker", rep.Fixed, rep.Elements)
+	}
+	if rep.OutputError != 0 {
+		t.Fatalf("all-fixed run must have zero error, got %v", rep.OutputError)
+	}
+}
+
+// constantChecker predicts the same error for every element.
+type constantChecker struct{ value float64 }
+
+func (c *constantChecker) Name() string                        { return "constant" }
+func (c *constantChecker) PredictError(_, _ []float64) float64 { return c.value }
+func (c *constantChecker) Cost() predictor.Cost                { return predictor.Cost{Compares: 1} }
+func (c *constantChecker) Reset()                              {}
+
+// A checker that returns NaN must neither crash the runtime nor fire (NaN
+// comparisons are false), and the report must stay finite.
+func TestNaNCheckerIsHarmless(t *testing.T) {
+	spec, acc, _, test := buildRuntime(t, "fft", 200)
+	tuner, _ := NewTuner(ModeTOQ, 0.1)
+	sys, _ := NewSystem(Config{Spec: spec, Accel: acc, Checker: &nanChecker{}, Tuner: tuner})
+	rep, err := sys.Run(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fixed != 0 {
+		t.Fatalf("NaN predictions fired %d times", rep.Fixed)
+	}
+	if math.IsNaN(rep.OutputError) || math.IsNaN(rep.Energy.Savings) {
+		t.Fatal("NaN leaked into the report")
+	}
+}
+
+type nanChecker struct{}
+
+func (nanChecker) Name() string                        { return "nan" }
+func (nanChecker) PredictError(_, _ []float64) float64 { return math.NaN() }
+func (nanChecker) Cost() predictor.Cost                { return predictor.Cost{} }
+func (nanChecker) Reset()                              {}

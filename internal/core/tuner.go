@@ -1,0 +1,159 @@
+package core
+
+import "fmt"
+
+// TunerMode selects the online-tuning policy of Section 3.4.
+type TunerMode int
+
+const (
+	// ModeTOQ holds the threshold at the user's target-output-quality
+	// error bound: any element whose predicted error exceeds the bound is
+	// re-executed.
+	ModeTOQ TunerMode = iota
+	// ModeEnergy adapts the threshold to keep the number of re-executed
+	// iterations within a per-invocation iteration budget derived from the
+	// user's energy target.
+	ModeEnergy
+	// ModeQuality maximises re-execution subject to the CPU keeping up
+	// with the accelerator (no slowdown).
+	ModeQuality
+)
+
+// String implements fmt.Stringer.
+func (m TunerMode) String() string {
+	switch m {
+	case ModeTOQ:
+		return "TOQ"
+	case ModeEnergy:
+		return "Energy"
+	case ModeQuality:
+		return "Quality"
+	default:
+		return fmt.Sprintf("TunerMode(%d)", int(m))
+	}
+}
+
+// Tuner adjusts the detection threshold between accelerator invocations.
+// The zero value is not usable; construct with NewTuner.
+type Tuner struct {
+	Mode TunerMode
+	// Threshold is the current firing threshold on the predicted error.
+	Threshold float64
+
+	// TargetError is the TOQ-mode error bound (1 - TOQ).
+	TargetError float64
+	// IterationBudget is the Energy-mode per-invocation re-execution
+	// budget, as a fraction of invocation elements.
+	IterationBudget float64
+	// KeepUpFraction is the Quality-mode bound: the largest re-execution
+	// fraction for which the CPU still hides behind the accelerator
+	// (accelerator cycles per iteration / CPU recompute cycles).
+	KeepUpFraction float64
+
+	minThreshold, maxThreshold float64
+}
+
+// NewTuner builds a tuner. For ModeTOQ, target is the error bound (e.g. 0.10
+// for 90% TOQ) and is also the fixed threshold. For ModeEnergy, target is
+// the iteration budget fraction. For ModeQuality, target is the keep-up
+// fraction.
+func NewTuner(mode TunerMode, target float64) (*Tuner, error) {
+	if target < 0 {
+		return nil, fmt.Errorf("core: negative tuner target %v", target)
+	}
+	t := &Tuner{Mode: mode, minThreshold: 1e-4, maxThreshold: 10}
+	switch mode {
+	case ModeTOQ:
+		t.TargetError = target
+		t.Threshold = target
+	case ModeEnergy:
+		if target == 0 || target > 1 {
+			return nil, fmt.Errorf("core: energy-mode budget %v must be in (0,1]", target)
+		}
+		t.IterationBudget = target
+		t.Threshold = 0.1
+	case ModeQuality:
+		if target == 0 || target > 1 {
+			return nil, fmt.Errorf("core: quality-mode keep-up fraction %v must be in (0,1]", target)
+		}
+		t.KeepUpFraction = target
+		t.Threshold = 0.1
+	default:
+		return nil, fmt.Errorf("core: unknown tuner mode %v", mode)
+	}
+	return t, nil
+}
+
+// InvocationStats summarises one accelerator invocation for the tuner.
+type InvocationStats struct {
+	Elements int
+	Fixed    int
+	// CPUUtilisation is the recovery CPU's utilisation during the
+	// invocation (Quality mode input).
+	CPUUtilisation float64
+}
+
+// Observe updates the threshold after an invocation, per Section 3.4:
+//
+//   - TOQ: the threshold stays pinned at the error bound.
+//   - Energy: going over the iteration budget raises the threshold (fewer
+//     fixes next time); finishing under budget lowers it.
+//   - Quality: an underutilised CPU means capacity for more fixes (lower
+//     threshold); unfinished re-executions when the accelerator completes
+//     mean the threshold must rise.
+func (t *Tuner) Observe(s InvocationStats) {
+	if s.Elements <= 0 {
+		return
+	}
+	fixedFrac := float64(s.Fixed) / float64(s.Elements)
+	switch t.Mode {
+	case ModeTOQ:
+		t.Threshold = t.TargetError
+	case ModeEnergy:
+		// Proportional control: overshooting the iteration budget by 2x
+		// doubles the threshold, undershooting relaxes it. A small
+		// deadband avoids oscillation at the budget.
+		ratio := fixedFrac / t.IterationBudget
+		switch {
+		case ratio > 1.05:
+			t.scale(minf(ratio, 2.0))
+		case ratio < 0.95:
+			t.scale(maxf(ratio, 0.8))
+		}
+	case ModeQuality:
+		if fixedFrac > t.KeepUpFraction {
+			// The CPU fell behind: re-execute less next invocation.
+			t.raise()
+		} else if s.CPUUtilisation < 0.9 {
+			// Headroom left: fix more next invocation.
+			t.lower()
+		}
+	}
+}
+
+func (t *Tuner) raise() { t.scale(1.3) }
+func (t *Tuner) lower() { t.scale(0.8) }
+
+func (t *Tuner) scale(f float64) {
+	t.Threshold *= f
+	if t.Threshold > t.maxThreshold {
+		t.Threshold = t.maxThreshold
+	}
+	if t.Threshold < t.minThreshold {
+		t.Threshold = t.minThreshold
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package core
+
+import "testing"
+
+func TestNewTunerValidation(t *testing.T) {
+	if _, err := NewTuner(ModeTOQ, -1); err == nil {
+		t.Fatal("negative target must fail")
+	}
+	if _, err := NewTuner(ModeEnergy, 0); err == nil {
+		t.Fatal("zero energy budget must fail")
+	}
+	if _, err := NewTuner(ModeEnergy, 1.5); err == nil {
+		t.Fatal("budget above 1 must fail")
+	}
+	if _, err := NewTuner(ModeQuality, 2); err == nil {
+		t.Fatal("keep-up fraction above 1 must fail")
+	}
+	if _, err := NewTuner(TunerMode(99), 0.5); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+}
+
+func TestTunerModeStrings(t *testing.T) {
+	if ModeTOQ.String() != "TOQ" || ModeEnergy.String() != "Energy" || ModeQuality.String() != "Quality" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestTOQModeHoldsThreshold(t *testing.T) {
+	tu, err := NewTuner(ModeTOQ, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Threshold != 0.10 {
+		t.Fatalf("initial threshold = %v", tu.Threshold)
+	}
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 90})
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 0})
+	if tu.Threshold != 0.10 {
+		t.Fatalf("TOQ threshold must stay pinned, got %v", tu.Threshold)
+	}
+}
+
+func TestEnergyModeAdjustsThreshold(t *testing.T) {
+	tu, _ := NewTuner(ModeEnergy, 0.2)
+	start := tu.Threshold
+	// Over budget: threshold must rise (fewer re-executions next time).
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 50})
+	if tu.Threshold <= start {
+		t.Fatalf("over budget must raise threshold: %v -> %v", start, tu.Threshold)
+	}
+	high := tu.Threshold
+	// Under budget: threshold must fall (better quality next time).
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 5})
+	if tu.Threshold >= high {
+		t.Fatalf("under budget must lower threshold: %v -> %v", high, tu.Threshold)
+	}
+}
+
+func TestEnergyModeConvergesToBudget(t *testing.T) {
+	// Feed a synthetic workload where the fixed fraction shrinks as the
+	// threshold grows; the tuner must settle near the budget.
+	tu, _ := NewTuner(ModeEnergy, 0.25)
+	fixedFor := func(th float64) int {
+		// 50% of elements have predicted error above 0.05, 25% above 0.2,
+		// 10% above 0.5.
+		switch {
+		case th <= 0.05:
+			return 50
+		case th <= 0.2:
+			return 25
+		case th <= 0.5:
+			return 10
+		default:
+			return 2
+		}
+	}
+	for i := 0; i < 50; i++ {
+		tu.Observe(InvocationStats{Elements: 100, Fixed: fixedFor(tu.Threshold)})
+	}
+	if f := fixedFor(tu.Threshold); f > 25 {
+		t.Fatalf("tuner did not converge to the budget: threshold %v fixes %d%%", tu.Threshold, f)
+	}
+}
+
+func TestQualityModeUsesUtilisation(t *testing.T) {
+	tu, _ := NewTuner(ModeQuality, 0.3)
+	start := tu.Threshold
+	// CPU idle: fix more (lower threshold).
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 10, CPUUtilisation: 0.2})
+	if tu.Threshold >= start {
+		t.Fatal("idle CPU must lower the threshold")
+	}
+	low := tu.Threshold
+	// CPU fell behind: back off.
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 60, CPUUtilisation: 1})
+	if tu.Threshold <= low {
+		t.Fatal("overloaded CPU must raise the threshold")
+	}
+	// Saturated but keeping up: hold.
+	mid := tu.Threshold
+	tu.Observe(InvocationStats{Elements: 100, Fixed: 20, CPUUtilisation: 0.95})
+	if tu.Threshold != mid {
+		t.Fatal("a well-utilised CPU within the keep-up bound must hold the threshold")
+	}
+}
+
+func TestTunerThresholdBounds(t *testing.T) {
+	tu, _ := NewTuner(ModeEnergy, 0.5)
+	for i := 0; i < 200; i++ {
+		tu.Observe(InvocationStats{Elements: 10, Fixed: 10}) // always over budget
+	}
+	if tu.Threshold > 10 {
+		t.Fatalf("threshold unbounded above: %v", tu.Threshold)
+	}
+	for i := 0; i < 500; i++ {
+		tu.Observe(InvocationStats{Elements: 10, Fixed: 0})
+	}
+	if tu.Threshold < 1e-4 {
+		t.Fatalf("threshold unbounded below: %v", tu.Threshold)
+	}
+}
+
+func TestTunerIgnoresEmptyInvocation(t *testing.T) {
+	tu, _ := NewTuner(ModeEnergy, 0.5)
+	before := tu.Threshold
+	tu.Observe(InvocationStats{})
+	if tu.Threshold != before {
+		t.Fatal("empty invocation must not move the threshold")
+	}
+}

@@ -1,0 +1,208 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/bench"
+	"rumba/internal/predictor"
+)
+
+func TestDefaultCPUConfigMatchesTable2(t *testing.T) {
+	c := DefaultCPUConfig()
+	if c.FetchWidth != 4 || c.IssueWidth != 6 {
+		t.Fatalf("fetch/issue = %d/%d, want 4/6", c.FetchWidth, c.IssueWidth)
+	}
+	if c.ROBEntries != 96 || c.IssueQueueEntries != 32 {
+		t.Fatalf("ROB/IQ = %d/%d", c.ROBEntries, c.IssueQueueEntries)
+	}
+	if c.L2SizeMB != 2 || c.BranchPredictor != "Tournament" {
+		t.Fatalf("L2/BP = %d/%s", c.L2SizeMB, c.BranchPredictor)
+	}
+	if c.BTBEntries != 2048 || c.RASEntries != 16 || c.DTLBEntries != 256 {
+		t.Fatalf("BTB/RAS/DTLB = %d/%d/%d", c.BTBEntries, c.RASEntries, c.DTLBEntries)
+	}
+}
+
+func baseActivity() Activity {
+	return Activity{
+		Elements:                1000,
+		Recomputed:              0,
+		AccelInvocations:        1000,
+		NPUMACsPerInvocation:    120,
+		QueueWordsPerInvocation: 7,
+	}
+}
+
+func TestWholeAppEnergyUncheckedNPUSaves(t *testing.T) {
+	cost := bench.CostModel{CPUOps: 240, ApproxFraction: 0.88}
+	b, err := WholeAppEnergy(cost, baseActivity(), DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Savings <= 1.5 {
+		t.Fatalf("unchecked NPU savings = %v, expected a clear win", b.Savings)
+	}
+	if b.Checker != 0 || b.Recompute != 0 {
+		t.Fatalf("unchecked NPU must not pay checker/recompute: %+v", b)
+	}
+	sum := b.NonApprox + b.Accelerator + b.Checker + b.Recompute
+	if math.Abs(sum-b.Total) > 1e-9 {
+		t.Fatalf("components %v don't add to total %v", sum, b.Total)
+	}
+}
+
+func TestWholeAppEnergyTinyKernelSlowsDown(t *testing.T) {
+	// The kmeans case: a kernel so small the NPU offload wastes energy.
+	cost := bench.CostModel{CPUOps: 15, ApproxFraction: 0.45}
+	act := baseActivity()
+	act.NPUMACsPerInvocation = 84
+	b, err := WholeAppEnergy(cost, act, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Savings >= 1 {
+		t.Fatalf("tiny kernel should not gain energy, got savings %v", b.Savings)
+	}
+}
+
+func TestWholeAppEnergyRecomputeCost(t *testing.T) {
+	cost := bench.CostModel{CPUOps: 240, ApproxFraction: 0.88}
+	act := baseActivity()
+	b0, _ := WholeAppEnergy(cost, act, DefaultModel())
+	act.Recomputed = 300
+	b1, _ := WholeAppEnergy(cost, act, DefaultModel())
+	if b1.Total <= b0.Total {
+		t.Fatal("re-execution must cost energy")
+	}
+	if b1.Savings >= b0.Savings {
+		t.Fatal("savings must drop with re-execution")
+	}
+	// 300 recomputes at (240 + queue word 0.2) each.
+	want := 300 * (240 + 0.2)
+	if math.Abs(b1.Recompute-want) > 1e-9 {
+		t.Fatalf("recompute energy = %v, want %v", b1.Recompute, want)
+	}
+}
+
+func TestWholeAppEnergyCheckerCost(t *testing.T) {
+	cost := bench.CostModel{CPUOps: 240, ApproxFraction: 0.88}
+	act := baseActivity()
+	act.Checker = predictor.Cost{MACs: 3, Compares: 1}
+	m := DefaultModel()
+	b, _ := WholeAppEnergy(cost, act, m)
+	want := 1000 * (3*m.CheckerEnergyPerMAC + 1*m.CheckerEnergyPerCompare)
+	if math.Abs(b.Checker-want) > 1e-9 {
+		t.Fatalf("checker energy = %v, want %v", b.Checker, want)
+	}
+}
+
+func TestWholeAppEnergySerialPlacementSavesAccelInvocations(t *testing.T) {
+	// Figure 9a: flagged elements skip the accelerator entirely.
+	cost := bench.CostModel{CPUOps: 240, ApproxFraction: 0.88}
+	parallel := baseActivity()
+	parallel.Recomputed = 200
+	serial := parallel
+	serial.AccelInvocations = parallel.Elements - parallel.Recomputed
+	bp, _ := WholeAppEnergy(cost, parallel, DefaultModel())
+	bs, _ := WholeAppEnergy(cost, serial, DefaultModel())
+	if bs.Accelerator >= bp.Accelerator {
+		t.Fatal("serial placement must spend less accelerator energy")
+	}
+}
+
+func TestWholeAppEnergyValidation(t *testing.T) {
+	cost := bench.CostModel{CPUOps: 10, ApproxFraction: 0.5}
+	cases := []Activity{
+		{},
+		{Elements: 10, Recomputed: 11, AccelInvocations: 10},
+		{Elements: 10, Recomputed: -1, AccelInvocations: 10},
+		{Elements: 10, AccelInvocations: 11},
+	}
+	for i, act := range cases {
+		if _, err := WholeAppEnergy(cost, act, DefaultModel()); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+// Property: savings are monotonically non-increasing in the number of
+// recomputed elements.
+func TestSavingsMonotoneInRecomputesProperty(t *testing.T) {
+	cost := bench.CostModel{CPUOps: 150, ApproxFraction: 0.8}
+	m := DefaultModel()
+	f := func(aRaw, bRaw uint16) bool {
+		a := int(aRaw) % 1001
+		b := int(bRaw) % 1001
+		if a > b {
+			a, b = b, a
+		}
+		act := baseActivity()
+		act.Recomputed = a
+		ba, err := WholeAppEnergy(cost, act, m)
+		if err != nil {
+			return false
+		}
+		act.Recomputed = b
+		bb, err := WholeAppEnergy(cost, act, m)
+		if err != nil {
+			return false
+		}
+		return bb.Savings <= ba.Savings+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckerLatencyCycles(t *testing.T) {
+	m := DefaultModel()
+	lat := CheckerLatencyCycles(predictor.Cost{MACs: 9, Compares: 1}, m)
+	if lat != 10 {
+		t.Fatalf("latency = %v, want 10", lat)
+	}
+}
+
+func TestKernelCPULatency(t *testing.T) {
+	m := DefaultModel()
+	if got := KernelCPULatency(bench.CostModel{CPUOps: 70}, m); got != 70 {
+		t.Fatalf("latency = %v", got)
+	}
+}
+
+func TestCalibrationUncheckedNPUAverage(t *testing.T) {
+	// The headline calibration: across the seven benchmarks, the unchecked
+	// NPU must land near the paper's ~3.2x average energy saving, with
+	// inversek2j the largest saving and kmeans a slowdown.
+	m := DefaultModel()
+	var sum float64
+	savings := map[string]float64{}
+	for _, spec := range bench.All() {
+		act := Activity{
+			Elements:                1000,
+			AccelInvocations:        1000,
+			NPUMACsPerInvocation:    spec.NPUTopo.MACs(),
+			QueueWordsPerInvocation: spec.InDim + spec.OutDim,
+		}
+		b, err := WholeAppEnergy(spec.Cost, act, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		savings[spec.Name] = b.Savings
+		sum += b.Savings
+	}
+	avg := sum / float64(len(savings))
+	if avg < 2.4 || avg > 4.2 {
+		t.Fatalf("average unchecked NPU savings = %v, want ~3.2", avg)
+	}
+	if savings["kmeans"] >= 1 {
+		t.Fatalf("kmeans should slow down, got %v", savings["kmeans"])
+	}
+	for name, s := range savings {
+		if name != "inversek2j" && s >= savings["inversek2j"] {
+			t.Fatalf("inversek2j (%v) should have the largest savings, %s has %v",
+				savings["inversek2j"], name, s)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package exec defines the executor contract between the Rumba runtime and
+// whatever produces approximate outputs underneath it. The paper evaluates
+// an NPU-style neural accelerator, but states that "the same design
+// principles can apply to other accelerator based approximate computing
+// systems" and that Rumba "can be added to these software-based
+// approximation techniques"; this interface is that seam. internal/accel
+// implements it for the NPU, internal/approx for software approximation
+// (fuzzy memoization and tile approximation).
+package exec
+
+import "rumba/internal/energy"
+
+// Executor is an approximate compute engine the Rumba runtime can drive.
+type Executor interface {
+	// Invoke produces the approximate output for one kernel invocation.
+	Invoke(in []float64) []float64
+	// CyclesPerInvocation is the engine's latency per invocation in CPU
+	// cycles, used by the pipeline overlap model.
+	CyclesPerInvocation() float64
+	// EnergyPerInvocation prices one invocation under the analytical
+	// energy model (normalised CPU-operation units).
+	EnergyPerInvocation(m energy.Model) float64
+}

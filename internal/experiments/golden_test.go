@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden renderings: Table 1 and Table 2 carry the paper's static content,
+// so their exact output is pinned — a silent change to a topology string or
+// a Table 2 parameter is a reproduction bug, not a formatting choice.
+func TestTable1Golden(t *testing.T) {
+	got := Table1().Render()
+	for _, want := range []string{
+		"blackscholes  Financial Analysis  5K inputs",
+		"3->8->8->1           6->8->8->1         Mean Relative Error",
+		"fft           Signal Processing",
+		"1->1->2              1->4->4->2",
+		"jmeint        3D Gaming",
+		"18->32->2->2         18->32->8->2       # of mismatches",
+		"jpeg          Compression         220x200 pixel image        512x512 pixel image",
+		"kmeans        Machine Learning",
+		"6->4->4->1           6->8->4->1         Mean Output Diff",
+		"sobel         Image Processing    512x512 pixel image",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table 1 missing %q\n%s", want, got)
+		}
+	}
+}
+
+func TestTable2Golden(t *testing.T) {
+	got := Table2().Render()
+	for _, want := range []string{
+		"Fetch/Issue width          4/6",
+		"INT ALUs/FPUs              2/2",
+		"Issue Queue Entries        32",
+		"ROB Entries                96",
+		"INT/FP Physical Registers  256/256",
+		"BTB Entries                2048",
+		"RAS Entries                16",
+		"Load/Store Queue Entries   48/48",
+		"L1 iCache / dCache         32KB / 32KB",
+		"L1/L2 Hit Latency          3/12 cycles",
+		"ITLB/DTLB Entries          128/256",
+		"L2 Size                    2 MB",
+		"Branch Predictor           Tournament",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table 2 missing %q\n%s", want, got)
+		}
+	}
+}

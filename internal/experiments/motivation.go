@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rumba/internal/bench"
+	"rumba/internal/energy"
+	"rumba/internal/imageutil"
+	"rumba/internal/nn"
+	"rumba/internal/predictor"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+// Fig1 reproduces Figure 1: the typical cumulative distribution of element
+// errors under approximation — most elements have small errors, a few have
+// large ones. The CDF is measured on a real approximated benchmark.
+func Fig1(c *Context, benchmark string) (*Table, error) {
+	if benchmark == "" {
+		benchmark = "inversek2j"
+	}
+	p, err := c.Prepare(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 1: CDF of element errors (%s, Rumba accelerator)", benchmark),
+		Note:   "Paper shape: ~80% of elements below 10% error, a long tail of large errors.",
+		Header: []string{"error <=", "fraction of elements"},
+	}
+	for _, level := range []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50, 1.00, math.Inf(1)} {
+		label := pct(level)
+		if math.IsInf(level, 1) {
+			label = "inf"
+		}
+		t.AddRow(label, pct(quality.FractionBelow(p.RumbaObs.Errors, level)))
+	}
+	return t, nil
+}
+
+// Fig2Result carries the Figure 2 comparison: two corruptions with identical
+// mean error but very different perceptibility.
+type Fig2Result struct {
+	MeanErrorConcentrated float64 // 10% of pixels with 100% error
+	MeanErrorSpread       float64 // all pixels with 10% error
+	LargeFracConcentrated float64 // fraction of pixels with error > 20%
+	LargeFracSpread       float64
+	MSEConcentrated       float64
+	MSESpread             float64
+}
+
+// Fig2 reproduces Figure 2 quantitatively: corrupting 10% of pixels with
+// 100% error and all pixels with 10% error yields the same average output
+// quality (90%), but only the former contains perceptible large errors.
+func Fig2(c *Context) (*Table, Fig2Result, error) {
+	const size = 128
+	img := imageutil.Synthetic(size, size, "fig2")
+	r := rng.NewNamed("fig2/corruption")
+	n := len(img.Pix)
+
+	var res Fig2Result
+	concentrated := make([]float64, n) // per-pixel error, fraction of range
+	spread := make([]float64, n)
+	perm := r.Perm(n)
+	for _, i := range perm[:n/10] {
+		concentrated[i] = 1.0
+	}
+	// Give every pixel exactly the concentrated corruption's mean so the
+	// two corruptions have identical average quality by construction.
+	spreadErr := float64(n/10) / float64(n)
+	for i := range spread {
+		spread[i] = spreadErr
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, v := range xs {
+			s += v
+		}
+		return s / float64(len(xs))
+	}
+	mse := func(xs []float64) float64 {
+		var s float64
+		for _, v := range xs {
+			s += v * v
+		}
+		return s / float64(len(xs))
+	}
+	largeFrac := func(xs []float64) float64 {
+		k := 0
+		for _, v := range xs {
+			if v > quality.LargeErrorThreshold {
+				k++
+			}
+		}
+		return float64(k) / float64(len(xs))
+	}
+	res.MeanErrorConcentrated = mean(concentrated)
+	res.MeanErrorSpread = mean(spread)
+	res.LargeFracConcentrated = largeFrac(concentrated)
+	res.LargeFracSpread = largeFrac(spread)
+	res.MSEConcentrated = mse(concentrated)
+	res.MSESpread = mse(spread)
+
+	t := &Table{
+		Title:  "Figure 2: same average quality, different error distribution (128x128 image)",
+		Note:   "Both corruptions have 10% mean error (90% quality); only (b) has perceptible large errors.",
+		Header: []string{"corruption", "mean error", "pixels with >20% error", "MSE (range^2)"},
+	}
+	t.AddRow("(b) 10% of pixels at 100% error", pct(res.MeanErrorConcentrated), pct(res.LargeFracConcentrated), fmt.Sprintf("%.4f", res.MSEConcentrated))
+	t.AddRow("(c) all pixels at 10% error", pct(res.MeanErrorSpread), pct(res.LargeFracSpread), fmt.Sprintf("%.4f", res.MSESpread))
+	return t, res, nil
+}
+
+// Fig3 reproduces Figure 3: the output error of the loop-perforated mosaic
+// brightness pass over the flower-image set is strongly input dependent.
+func Fig3(c *Context) (*Table, bench.MosaicResult, error) {
+	images, w, h := c.Sizes.MosaicImages, c.Sizes.MosaicW, c.Sizes.MosaicH
+	if images <= 0 {
+		images = 800
+	}
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 64
+	}
+	res := bench.RunMosaic(images, w, h, 2)
+	over10 := 0
+	for _, e := range res.Errors {
+		if e > 10 {
+			over10++
+		}
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 3: mosaic output error over %d flower images (50%% loop perforation)", images),
+		Note:   "Paper shape: ~5% mean error but individual images up to ~23%.",
+		Header: []string{"statistic", "value"},
+	}
+	t.AddRow("mean output error", fmt.Sprintf("%.2f%%", res.Mean))
+	t.AddRow("max output error", fmt.Sprintf("%.2f%%", res.Max))
+	t.AddRow("images above 10% error", fmt.Sprintf("%d (%s)", over10, pct(float64(over10)/float64(images))))
+	return t, res, nil
+}
+
+// Fig5Result carries the EVP-versus-EEP accuracy comparison of Section 3.2.
+type Fig5Result struct {
+	EVPDistance float64
+	EEPDistance float64
+	Ratio       float64 // EVP / EEP; the paper reports 2.5 / 1
+}
+
+// Fig5 reproduces the Figure 5 / Section 3.2 experiment: a Gaussian kernel
+// is approximated by a small accelerator network; a same-family model that
+// predicts the *errors* directly (EEP) tracks the true errors more closely
+// than predicting the *values* and differencing (EVP).
+func Fig5(c *Context) (*Table, Fig5Result, error) {
+	// The Gaussian kernel of Figure 5, sampled over [-16, 14].
+	gauss := func(x float64) float64 { return math.Exp(-x * x / (2 * 25)) }
+	n := 3000
+	if c.Sizes.TestN > 0 && c.Sizes.TestN < n {
+		n = c.Sizes.TestN
+	}
+	r := rng.NewNamed("fig5/data")
+	train := nn.Dataset{}
+	for i := 0; i < n; i++ {
+		x := r.Range(-16, 14)
+		train.Inputs = append(train.Inputs, []float64{x})
+		train.Targets = append(train.Targets, []float64{gauss(x)})
+	}
+	// A deliberately small accelerator: its misfit concentrates around the
+	// peak, which is what makes the errors predictable from the input.
+	scaler := nn.FitScaler(train.Inputs, train.Targets)
+	net := nn.New(nn.MustTopology("1->2->1"), nn.Sigmoid, nn.Sigmoid, rng.NewNamed("fig5/init"))
+	if _, err := net.Train(scaler.ScaleDataset(train), nn.TrainConfig{
+		Epochs: 40, LearningRate: 0.3, Momentum: 0.9, BatchSize: 16, Seed: "fig5/train",
+	}); err != nil {
+		return nil, Fig5Result{}, err
+	}
+	// Observed accelerator outputs and true errors; the predictor features
+	// are (x, x^2) for both EVP and EEP — the same model family.
+	var feats, approx [][]float64
+	var trueErrs []float64
+	for i := range train.Inputs {
+		x := train.Inputs[i][0]
+		out := scaler.UnscaleOut(net.Forward(scaler.ScaleIn(train.Inputs[i])))
+		feats = append(feats, []float64{x, x * x})
+		approx = append(approx, out)
+		trueErrs = append(trueErrs, math.Abs(out[0]-train.Targets[i][0]))
+	}
+	eep, err := predictor.FitLinear(feats, trueErrs, nil)
+	if err != nil {
+		return nil, Fig5Result{}, err
+	}
+	vm, err := predictor.FitValueModel(feats, approx)
+	if err != nil {
+		return nil, Fig5Result{}, err
+	}
+	evp := &predictor.EVP{Model: vm}
+	res := Fig5Result{
+		EVPDistance: predictor.MeanAbsDistance(evp, feats, approx, trueErrs),
+		EEPDistance: predictor.MeanAbsDistance(eep, feats, approx, trueErrs),
+	}
+	if res.EEPDistance > 0 {
+		res.Ratio = res.EVPDistance / res.EEPDistance
+	}
+	t := &Table{
+		Title:  "Figure 5 / Section 3.2: predicting errors directly (EEP) vs via value prediction (EVP)",
+		Note:   "Paper: average distance to true errors is 2.5 (EVP) vs 1 (EEP) on a Gaussian kernel.",
+		Header: []string{"method", "mean |predicted - true| error distance"},
+	}
+	t.AddRow("EVP (predict value, then diff)", fmt.Sprintf("%.4f", res.EVPDistance))
+	t.AddRow("EEP (predict error directly)", fmt.Sprintf("%.4f", res.EEPDistance))
+	t.AddRow("EVP/EEP ratio", fmt.Sprintf("%.2f", res.Ratio))
+	return t, res, nil
+}
+
+// Table1 reproduces Table 1: the benchmark suite.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: Applications and their inputs",
+		Header: []string{"Application", "Domain", "Train Data", "Test Data", "NN Topology (Rumba)", "NN Topology (NPU)", "Evaluation Metric"},
+	}
+	for _, s := range bench.All() {
+		t.AddRow(s.Name, s.Domain, s.TrainDesc, s.TestDesc, s.RumbaTopo.String(), s.NPUTopo.String(), s.Metric.String())
+	}
+	return t
+}
+
+// Table2 reproduces Table 2: the simulated core's parameters.
+func Table2() *Table {
+	c := energy.DefaultCPUConfig()
+	t := &Table{
+		Title:  "Table 2: Microarchitectural parameters of the X86-64 CPU",
+		Header: []string{"Parameter", "Value"},
+	}
+	t.AddRow("Fetch/Issue width", fmt.Sprintf("%d/%d", c.FetchWidth, c.IssueWidth))
+	t.AddRow("INT ALUs/FPUs", fmt.Sprintf("%d/%d", c.IntALUs, c.FPUs))
+	t.AddRow("Load/Store FUs", fmt.Sprintf("%d/%d", c.LoadStoreFUs, c.LoadStoreFUs))
+	t.AddRow("Issue Queue Entries", fmt.Sprintf("%d", c.IssueQueueEntries))
+	t.AddRow("ROB Entries", fmt.Sprintf("%d", c.ROBEntries))
+	t.AddRow("INT/FP Physical Registers", fmt.Sprintf("%d/%d", c.IntRegisters, c.FPRegisters))
+	t.AddRow("BTB Entries", fmt.Sprintf("%d", c.BTBEntries))
+	t.AddRow("RAS Entries", fmt.Sprintf("%d", c.RASEntries))
+	t.AddRow("Load/Store Queue Entries", fmt.Sprintf("%d/%d", c.LoadQueueEntries, c.StoreQueueEntries))
+	t.AddRow("L1 iCache / dCache", fmt.Sprintf("%dKB / %dKB", c.L1ICacheKB, c.L1DCacheKB))
+	t.AddRow("L1/L2 Hit Latency", fmt.Sprintf("%d/%d cycles", c.L1HitCycles, c.L2HitCycles))
+	t.AddRow("L1/L2 Associativity", fmt.Sprintf("%d", c.L1Assoc))
+	t.AddRow("ITLB/DTLB Entries", fmt.Sprintf("%d/%d", c.ITLBEntries, c.DTLBEntries))
+	t.AddRow("L2 Size", fmt.Sprintf("%d MB", c.L2SizeMB))
+	t.AddRow("Branch Predictor", c.BranchPredictor)
+	return t
+}

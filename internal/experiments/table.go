@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the rendering-agnostic result format every harness produces: a
+// titled grid with a header row, mirroring the rows/series of the paper's
+// tables and figures.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	if t.Note != "" {
+		sb.WriteString(t.Note)
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// RenderMarkdown returns a GitHub-flavoured markdown rendering, used by the
+// -format md mode of rumba-bench to paste results into EXPERIMENTS.md.
+func (t *Table) RenderMarkdown() string {
+	var sb strings.Builder
+	sb.WriteString("### ")
+	sb.WriteString(t.Title)
+	sb.WriteString("\n\n")
+	if t.Note != "" {
+		sb.WriteString("*")
+		sb.WriteString(t.Note)
+		sb.WriteString("*\n\n")
+	}
+	row := func(cells []string) {
+		sb.WriteString("| ")
+		sb.WriteString(strings.Join(cells, " | "))
+		sb.WriteString(" |\n")
+	}
+	row(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// x2 formats a ratio as "N.NNx".
+func x2(f float64) string { return fmt.Sprintf("%.2fx", f) }

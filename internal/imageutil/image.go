@@ -1,0 +1,308 @@
+// Package imageutil is the image substrate of the reproduction. The paper's
+// image benchmarks (jpeg, sobel, kmeans) run on 220x200 training and 512x512
+// test photographs, and the mosaic case study (Figure 3) runs on 800 flower
+// photographs; neither dataset is available offline, so this package
+// procedurally generates deterministic images with the statistics that drive
+// those experiments — locally smooth regions, hard edges, and texture — plus
+// grayscale helpers and PGM I/O for inspecting outputs.
+package imageutil
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rumba/internal/rng"
+)
+
+// Gray is a grayscale image with float64 pixels in [0, 255].
+type Gray struct {
+	W, H int
+	Pix  []float64 // row-major, len == W*H
+}
+
+// NewGray allocates a black image.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imageutil: invalid size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the pixel at (x, y) with edge clamping, so 3x3 stencils can be
+// applied uniformly across the border.
+func (g *Gray) At(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates panic.
+func (g *Gray) Set(x, y int, v float64) {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		panic(fmt.Sprintf("imageutil: Set(%d,%d) out of %dx%d", x, y, g.W, g.H))
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (g *Gray) Clone() *Gray {
+	c := NewGray(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// Clamp255 limits v to the valid pixel range.
+func Clamp255(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// MeanBrightness returns the average pixel value.
+func (g *Gray) MeanBrightness() float64 {
+	var s float64
+	for _, p := range g.Pix {
+		s += p
+	}
+	return s / float64(len(g.Pix))
+}
+
+// MeanBrightnessPerforated computes the average brightness with loop
+// perforation: only every stride-th pixel is visited, starting at offset.
+// This is the approximation applied to the mosaic application's first phase
+// in Section 2.1 (Challenge II).
+func (g *Gray) MeanBrightnessPerforated(stride, offset int) float64 {
+	if stride <= 0 {
+		panic("imageutil: perforation stride must be positive")
+	}
+	var s float64
+	n := 0
+	for i := offset % stride; i < len(g.Pix); i += stride {
+		s += g.Pix[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Synthetic generates a deterministic "photograph-like" grayscale image:
+// a smooth illumination gradient, several soft blobs (flowers/objects),
+// hard-edged shapes and value noise. seed selects the scene.
+func Synthetic(w, h int, seed string) *Gray {
+	r := rng.NewNamed("imageutil/" + seed)
+	g := NewGray(w, h)
+
+	// Background: a smooth diagonal illumination gradient.
+	base := r.Range(40, 140)
+	gx := r.Range(-60, 60)
+	gy := r.Range(-60, 60)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := base + gx*float64(x)/float64(w) + gy*float64(y)/float64(h)
+			g.Pix[y*w+x] = v
+		}
+	}
+
+	// Soft Gaussian blobs: bright or dark round features.
+	blobs := 4 + r.Intn(6)
+	for b := 0; b < blobs; b++ {
+		cx := r.Range(0, float64(w))
+		cy := r.Range(0, float64(h))
+		rad := r.Range(float64(w)/16, float64(w)/4)
+		amp := r.Range(-90, 110)
+		minX, maxX := int(cx-3*rad), int(cx+3*rad)
+		minY, maxY := int(cy-3*rad), int(cy+3*rad)
+		for y := max(0, minY); y < min(h, maxY); y++ {
+			for x := max(0, minX); x < min(w, maxX); x++ {
+				dx, dy := float64(x)-cx, float64(y)-cy
+				g.Pix[y*w+x] += amp * math.Exp(-(dx*dx+dy*dy)/(2*rad*rad))
+			}
+		}
+	}
+
+	// Hard-edged rectangles: the step discontinuities Sobel responds to.
+	rects := 2 + r.Intn(4)
+	for b := 0; b < rects; b++ {
+		x0 := r.Intn(w)
+		y0 := r.Intn(h)
+		rw := 4 + r.Intn(w/4)
+		rh := 4 + r.Intn(h/4)
+		amp := r.Range(-70, 70)
+		for y := y0; y < min(h, y0+rh); y++ {
+			for x := x0; x < min(w, x0+rw); x++ {
+				g.Pix[y*w+x] += amp
+			}
+		}
+	}
+
+	// Texture: oriented high-frequency weaves plus value noise. Real
+	// photographs carry substantial high-frequency content, and it is this
+	// content that makes the jpeg and sobel kernels hard to approximate
+	// (the paper's unchecked errors on these benchmarks are large). The
+	// weave parameters vary widely between scenes, so a network trained on
+	// one image meets genuinely different statistics on another — the
+	// input-dependence the paper's Challenge II is about.
+	type weave struct{ fx, fy, amp, px, py float64 }
+	weaves := make([]weave, 2+r.Intn(3))
+	for i := range weaves {
+		weaves[i] = weave{
+			fx:  r.Range(0.15, 3.0),
+			fy:  r.Range(0.15, 3.0),
+			amp: r.Range(5, 45),
+			px:  r.Range(0, 2*math.Pi),
+			py:  r.Range(0, 2*math.Pi),
+		}
+	}
+	noise := r.Range(6, 24)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var tex float64
+			for _, wv := range weaves {
+				tex += wv.amp * math.Sin(wv.fx*float64(x)+wv.px) * math.Cos(wv.fy*float64(y)+wv.py)
+			}
+			g.Pix[y*w+x] = Clamp255(g.Pix[y*w+x] + tex + r.Norm(0, noise))
+		}
+	}
+	return g
+}
+
+// SyntheticFlower generates one image of the Figure 3 "flowers" set. The
+// images deliberately vary in brightness *structure* (how concentrated the
+// bright petals are), because that structure is what makes the perforated
+// mean-brightness pass input-dependent.
+func SyntheticFlower(w, h int, index int) *Gray {
+	r := rng.NewNamed(fmt.Sprintf("imageutil/flower/%d", index))
+	g := NewGray(w, h)
+	bg := r.Range(20, 90)
+	for i := range g.Pix {
+		g.Pix[i] = bg
+	}
+	// A flower: petals around a center, their count/contrast varies a lot
+	// between images, producing the heavy spread of Figure 3.
+	cx, cy := float64(w)/2+r.Range(-10, 10), float64(h)/2+r.Range(-10, 10)
+	petals := 3 + r.Intn(9)
+	petalRad := r.Range(float64(w)/12, float64(w)/5)
+	dist := r.Range(float64(w)/8, float64(w)/3.2)
+	amp := r.Range(60, 190)
+	for p := 0; p < petals; p++ {
+		ang := 2 * math.Pi * float64(p) / float64(petals)
+		px := cx + dist*math.Cos(ang)
+		py := cy + dist*math.Sin(ang)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx, dy := float64(x)-px, float64(y)-py
+				d2 := dx*dx + dy*dy
+				if d2 < 9*petalRad*petalRad {
+					g.Pix[y*w+x] += amp * math.Exp(-d2/(2*petalRad*petalRad))
+				}
+			}
+		}
+	}
+	// Strong horizontal banding in some images: this is what breaks
+	// strided perforation for a subset of inputs (the Figure 3 outliers).
+	if r.Bool(0.7) {
+		period := 2 + r.Intn(3)
+		bandAmp := r.Range(12, 55)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if (y*w+x)%period == 0 {
+					g.Pix[y*w+x] += bandAmp
+				}
+			}
+		}
+	}
+	for i := range g.Pix {
+		g.Pix[i] = Clamp255(g.Pix[i] + r.Norm(0, 4))
+	}
+	return g
+}
+
+// MeanAbsDiff returns the mean absolute pixel difference between two images
+// of identical shape.
+func MeanAbsDiff(a, b *Gray) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("imageutil: MeanAbsDiff shape mismatch")
+	}
+	var s float64
+	for i := range a.Pix {
+		s += math.Abs(a.Pix[i] - b.Pix[i])
+	}
+	return s / float64(len(a.Pix))
+}
+
+// WritePGM writes the image as a binary 8-bit PGM (P5) file, the simplest
+// stdlib-only way to eyeball outputs.
+func (g *Gray) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	buf := make([]byte, len(g.Pix))
+	for i, p := range g.Pix {
+		buf[i] = byte(Clamp255(math.Round(p)))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadPGM parses a binary 8-bit PGM (P5) stream produced by WritePGM.
+func ReadPGM(r io.Reader) (*Gray, error) {
+	var magic string
+	var w, h, maxv int
+	if _, err := fmt.Fscan(r, &magic, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("imageutil: bad PGM header: %w", err)
+	}
+	if magic != "P5" || maxv != 255 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imageutil: unsupported PGM (magic=%q max=%d)", magic, maxv)
+	}
+	// Bound the allocation before trusting the header: a hostile or corrupt
+	// header must not drive make() with an overflowing or absurd size.
+	const maxDim = 1 << 14
+	if w > maxDim || h > maxDim {
+		return nil, fmt.Errorf("imageutil: PGM dimensions %dx%d exceed the %dx%d limit", w, h, maxDim, maxDim)
+	}
+	// Single whitespace byte separates header from data.
+	var sep [1]byte
+	if _, err := io.ReadFull(r, sep[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	g := NewGray(w, h)
+	for i, b := range buf {
+		g.Pix[i] = float64(b)
+	}
+	return g, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

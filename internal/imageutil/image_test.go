@@ -1,0 +1,184 @@
+package imageutil
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGrayAndSet(t *testing.T) {
+	g := NewGray(4, 3)
+	g.Set(2, 1, 128)
+	if g.At(2, 1) != 128 {
+		t.Fatal("Set/At broken")
+	}
+}
+
+func TestAtEdgeClamping(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Set(0, 0, 10)
+	g.Set(1, 1, 20)
+	if g.At(-5, -5) != 10 {
+		t.Fatalf("top-left clamp = %v", g.At(-5, -5))
+	}
+	if g.At(99, 99) != 20 {
+		t.Fatalf("bottom-right clamp = %v", g.At(99, 99))
+	}
+}
+
+func TestSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGray(2, 2).Set(2, 0, 1)
+}
+
+func TestMeanBrightness(t *testing.T) {
+	g := NewGray(2, 2)
+	copy(g.Pix, []float64{0, 100, 100, 200})
+	if m := g.MeanBrightness(); m != 100 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestMeanBrightnessPerforated(t *testing.T) {
+	g := NewGray(4, 1)
+	copy(g.Pix, []float64{10, 20, 30, 40})
+	// stride 2 offset 0: pixels 10, 30 -> 20.
+	if m := g.MeanBrightnessPerforated(2, 0); m != 20 {
+		t.Fatalf("perforated mean = %v, want 20", m)
+	}
+	// stride 1 must equal the exact mean.
+	if m := g.MeanBrightnessPerforated(1, 0); m != g.MeanBrightness() {
+		t.Fatal("stride 1 must be exact")
+	}
+}
+
+func TestMeanBrightnessPerforatedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGray(1, 1).MeanBrightnessPerforated(0, 0)
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(32, 24, "scene1")
+	b := Synthetic(32, 24, "scene1")
+	c := Synthetic(32, 24, "scene2")
+	if MeanAbsDiff(a, b) != 0 {
+		t.Fatal("same seed must produce identical images")
+	}
+	if MeanAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds should produce different images")
+	}
+}
+
+func TestSyntheticPixelsInRange(t *testing.T) {
+	g := Synthetic(64, 64, "range-check")
+	for _, p := range g.Pix {
+		if p < 0 || p > 255 || math.IsNaN(p) {
+			t.Fatalf("pixel %v out of range", p)
+		}
+	}
+}
+
+func TestSyntheticFlowerVariesBrightness(t *testing.T) {
+	// Figure 3 needs a set whose brightness structure varies image to
+	// image; check that means are spread over a non-trivial interval.
+	minM, maxM := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 30; i++ {
+		m := SyntheticFlower(48, 48, i).MeanBrightness()
+		minM = math.Min(minM, m)
+		maxM = math.Max(maxM, m)
+	}
+	if maxM-minM < 20 {
+		t.Fatalf("flower set brightness spread too small: [%v, %v]", minM, maxM)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Synthetic(8, 8, "clone")
+	c := g.Clone()
+	c.Pix[0] = 999
+	if g.Pix[0] == 999 {
+		t.Fatal("Clone must deep copy")
+	}
+}
+
+func TestClamp255(t *testing.T) {
+	if Clamp255(-3) != 0 || Clamp255(300) != 255 || Clamp255(42) != 42 {
+		t.Fatal("Clamp255 broken")
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := NewGray(2, 1)
+	b := NewGray(2, 1)
+	copy(a.Pix, []float64{10, 20})
+	copy(b.Pix, []float64{12, 16})
+	if d := MeanAbsDiff(a, b); d != 3 {
+		t.Fatalf("diff = %v, want 3", d)
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	g := Synthetic(17, 9, "pgm")
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != g.W || back.H != g.H {
+		t.Fatalf("shape %dx%d", back.W, back.H)
+	}
+	// Round trip quantises to 8 bits, so allow 0.5.
+	for i := range g.Pix {
+		if math.Abs(back.Pix[i]-math.Round(g.Pix[i])) > 0.5 {
+			t.Fatalf("pixel %d: %v vs %v", i, back.Pix[i], g.Pix[i])
+		}
+	}
+}
+
+func TestReadPGMRejectsGarbage(t *testing.T) {
+	if _, err := ReadPGM(bytes.NewBufferString("P6\n2 2\n255\nxxxx")); err == nil {
+		t.Fatal("expected error for P6")
+	}
+	if _, err := ReadPGM(bytes.NewBufferString("")); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := ReadPGM(bytes.NewBufferString("P5\n4 4\n255\nxx")); err == nil {
+		t.Fatal("expected error for truncated data")
+	}
+}
+
+// Property: perforated mean over all offsets of a stride averages back to a
+// value close to the true mean (each pixel counted exactly once overall).
+func TestPerforationCoverageProperty(t *testing.T) {
+	f := func(seed uint8, strideRaw uint8) bool {
+		stride := int(strideRaw)%5 + 1
+		g := Synthetic(16, 16, string(rune('a'+seed%26)))
+		var weighted float64
+		total := 0
+		for off := 0; off < stride; off++ {
+			n := 0
+			for i := off; i < len(g.Pix); i += stride {
+				n++
+			}
+			weighted += g.MeanBrightnessPerforated(stride, off) * float64(n)
+			total += n
+		}
+		return total == len(g.Pix) &&
+			math.Abs(weighted/float64(total)-g.MeanBrightness()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package nn_test
+
+import (
+	"fmt"
+
+	"rumba/internal/nn"
+	"rumba/internal/rng"
+)
+
+// ExampleParseTopology parses the paper's topology notation.
+func ExampleParseTopology() {
+	topo, err := nn.ParseTopology("6->8->4->1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inputs:", topo.Inputs())
+	fmt.Println("hidden layers:", topo.HiddenLayers())
+	fmt.Println("MACs per inference:", topo.MACs())
+	// Output:
+	// inputs: 6
+	// hidden layers: 2
+	// MACs per inference: 84
+}
+
+// ExampleNetwork_Train fits a tiny network to a linear function.
+func ExampleNetwork_Train() {
+	net := nn.New(nn.MustTopology("1->4->1"), nn.Sigmoid, nn.Linear, rng.New(1))
+	d := nn.Dataset{}
+	for i := 0; i < 64; i++ {
+		x := float64(i) / 64
+		d.Inputs = append(d.Inputs, []float64{x})
+		d.Targets = append(d.Targets, []float64{0.5 * x})
+	}
+	mse, err := net.Train(d, nn.TrainConfig{Epochs: 200, LearningRate: 0.2, Momentum: 0.9, BatchSize: 8, Seed: "ex"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", mse < 1e-3)
+	// Output:
+	// converged: true
+}
+
+// ExampleFixedFormat_Quantize shows the fixed-point datapath's rounding.
+func ExampleFixedFormat_Quantize() {
+	f := nn.FixedFormat{IntBits: 4, FracBits: 2} // resolution 0.25
+	fmt.Println(f.Quantize(0.6), f.Quantize(-1.9), f.Quantize(100))
+	// Output:
+	// 0.5 -2 15.75
+}

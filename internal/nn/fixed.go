@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fixed-point inference. The NPU hardware the paper builds on computes in
+// fixed point, not float64; this file adds a quantised execution mode so
+// the accelerator model can reproduce that error source and so the
+// float-vs-fixed ablation bench can measure its contribution.
+//
+// Numbers use a signed Q(m.n) format held in int64: value = raw / 2^n.
+// Weights and activations share one format; the MAC accumulator is wide
+// enough (int64) that intermediate sums do not overflow for the topology
+// sizes the NPU permits.
+
+// FixedFormat describes a Q(m.n) fixed-point representation.
+type FixedFormat struct {
+	// IntBits is m: magnitude bits before the binary point (sign excluded).
+	IntBits int
+	// FracBits is n: bits after the binary point.
+	FracBits int
+}
+
+// DefaultFixedFormat is Q6.10: 16-bit words matching typical NPU datapaths
+// — range ±64 with ~0.001 resolution, comfortable for normalised
+// activations and trained weight magnitudes.
+var DefaultFixedFormat = FixedFormat{IntBits: 6, FracBits: 10}
+
+// Validate checks the format is representable.
+func (f FixedFormat) Validate() error {
+	if f.IntBits < 1 || f.FracBits < 1 || f.IntBits+f.FracBits > 62 {
+		return fmt.Errorf("nn: invalid fixed format Q%d.%d", f.IntBits, f.FracBits)
+	}
+	return nil
+}
+
+// scale returns 2^FracBits.
+func (f FixedFormat) scale() float64 { return float64(int64(1) << uint(f.FracBits)) }
+
+// max returns the largest representable value.
+func (f FixedFormat) max() float64 {
+	return float64(int64(1)<<uint(f.IntBits)) - 1/f.scale()
+}
+
+// Quantize rounds v to the nearest representable value, saturating at the
+// format's range (hardware saturating arithmetic).
+func (f FixedFormat) Quantize(v float64) float64 {
+	limit := f.max()
+	if v > limit {
+		return limit
+	}
+	if v < -limit {
+		return -limit
+	}
+	s := f.scale()
+	return math.Round(v*s) / s
+}
+
+// QuantizeSlice quantises every element into a fresh slice.
+func (f FixedFormat) QuantizeSlice(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = f.Quantize(v)
+	}
+	return out
+}
+
+// Resolution returns the representable step size.
+func (f FixedFormat) Resolution() float64 { return 1 / f.scale() }
+
+// FixedNetwork is a quantised view of a trained network: weights and biases
+// are rounded to the format once at construction, and every activation is
+// re-quantised after the non-linearity, exactly as a fixed-point datapath
+// with a sigmoid lookup table behaves.
+type FixedNetwork struct {
+	Format FixedFormat
+	net    *Network
+}
+
+// Quantize builds the fixed-point view of a network. The original network is
+// not modified.
+func Quantize(n *Network, f FixedFormat) (*FixedNetwork, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	q := n.Clone()
+	for li := range q.layers {
+		l := &q.layers[li]
+		for j, w := range l.W {
+			l.W[j] = f.Quantize(w)
+		}
+		for j, b := range l.B {
+			l.B[j] = f.Quantize(b)
+		}
+	}
+	return &FixedNetwork{Format: f, net: q}, nil
+}
+
+// Topo returns the underlying topology.
+func (q *FixedNetwork) Topo() Topology { return q.net.Topo }
+
+// Forward runs fixed-point inference: inputs are quantised, each layer's
+// pre-activations accumulate quantised products, and the activation output
+// is quantised again (the sigmoid LUT's output register).
+func (q *FixedNetwork) Forward(in []float64) []float64 {
+	f := q.Format
+	cur := f.QuantizeSlice(in)
+	for li := range q.net.layers {
+		l := &q.net.layers[li]
+		next := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			s := l.B[o]
+			for j, w := range row {
+				// Product of two Q values re-quantised into the format —
+				// the hardware truncates the extra fraction bits after
+				// each MAC's shift.
+				s += f.Quantize(w * cur[j])
+			}
+			next[o] = f.Quantize(l.Act.apply(f.Quantize(s)))
+		}
+		cur = next
+	}
+	return cur
+}
+
+// QuantizationError measures the mean absolute output difference between
+// the float and fixed-point executions over a set of inputs.
+func (q *FixedNetwork) QuantizationError(inputs [][]float64) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for _, in := range inputs {
+		fl := q.net.Forward(in)
+		fx := q.Forward(in)
+		for j := range fl {
+			sum += math.Abs(fl[j] - fx[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}

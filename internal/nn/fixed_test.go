@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestFixedFormatValidate(t *testing.T) {
+	if err := DefaultFixedFormat.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []FixedFormat{{0, 10}, {10, 0}, {40, 40}} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("format %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestQuantizeRounding(t *testing.T) {
+	f := FixedFormat{IntBits: 4, FracBits: 2} // resolution 0.25
+	cases := map[float64]float64{
+		0.0: 0, 0.1: 0, 0.13: 0.25, 0.25: 0.25, -0.3: -0.25, 1.0: 1.0,
+	}
+	for in, want := range cases {
+		if got := f.Quantize(in); got != want {
+			t.Fatalf("Quantize(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if f.Resolution() != 0.25 {
+		t.Fatalf("resolution = %v", f.Resolution())
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	f := FixedFormat{IntBits: 3, FracBits: 4} // max just under 8
+	if got := f.Quantize(100); got >= 8 {
+		t.Fatalf("positive saturation failed: %v", got)
+	}
+	if got := f.Quantize(-100); got <= -8 {
+		t.Fatalf("negative saturation failed: %v", got)
+	}
+	if f.Quantize(100) != -f.Quantize(-100) {
+		t.Fatal("saturation must be symmetric")
+	}
+}
+
+// Property: quantisation error is bounded by half the resolution inside the
+// representable range, and quantisation is idempotent.
+func TestQuantizeBoundsProperty(t *testing.T) {
+	f := DefaultFixedFormat
+	g := func(raw int32) bool {
+		v := float64(raw) / float64(1<<26) // within ±32
+		q := f.Quantize(v)
+		if math.Abs(q-v) > f.Resolution()/2+1e-15 {
+			return false
+		}
+		return f.Quantize(q) == q
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeNetworkCloseToFloat(t *testing.T) {
+	r := rng.New(5)
+	net := New(MustTopology("4->8->2"), Sigmoid, Sigmoid, rng.New(9))
+	q, err := Quantize(net, DefaultFixedFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs [][]float64
+	for i := 0; i < 200; i++ {
+		inputs = append(inputs, []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()})
+	}
+	qe := q.QuantizationError(inputs)
+	if qe == 0 {
+		t.Fatal("fixed-point execution should differ slightly from float")
+	}
+	if qe > 0.02 {
+		t.Fatalf("Q6.10 quantisation error %v too large for sigmoid outputs", qe)
+	}
+}
+
+func TestQuantizeDoesNotMutateOriginal(t *testing.T) {
+	net := New(MustTopology("2->3->1"), Sigmoid, Linear, rng.New(2))
+	in := []float64{0.3, 0.7}
+	before := net.Forward(in)[0]
+	if _, err := Quantize(net, DefaultFixedFormat); err != nil {
+		t.Fatal(err)
+	}
+	if after := net.Forward(in)[0]; after != before {
+		t.Fatal("Quantize must not modify the source network")
+	}
+}
+
+func TestCoarseFormatHurtsMore(t *testing.T) {
+	r := rng.New(6)
+	net := New(MustTopology("3->6->1"), Sigmoid, Sigmoid, rng.New(7))
+	var inputs [][]float64
+	for i := 0; i < 300; i++ {
+		inputs = append(inputs, []float64{r.Float64(), r.Float64(), r.Float64()})
+	}
+	fine, _ := Quantize(net, FixedFormat{IntBits: 6, FracBits: 12})
+	coarse, _ := Quantize(net, FixedFormat{IntBits: 6, FracBits: 4})
+	if fine.QuantizationError(inputs) >= coarse.QuantizationError(inputs) {
+		t.Fatal("fewer fraction bits must mean more quantisation error")
+	}
+}
+
+func TestFixedForwardDeterministic(t *testing.T) {
+	net := New(MustTopology("2->4->2"), Sigmoid, Sigmoid, rng.New(3))
+	q, _ := Quantize(net, DefaultFixedFormat)
+	in := []float64{0.25, 0.5}
+	a, b := q.Forward(in), q.Forward(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("fixed forward must be deterministic")
+		}
+	}
+	if q.Topo().String() != "2->4->2" {
+		t.Fatal("Topo passthrough")
+	}
+}
+
+func TestQuantizeRejectsBadFormat(t *testing.T) {
+	net := New(MustTopology("2->2->1"), Sigmoid, Linear, rng.New(1))
+	if _, err := Quantize(net, FixedFormat{}); err == nil {
+		t.Fatal("expected format validation error")
+	}
+}

@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTopology hardens the topology parser: any input must either
+// error or round-trip through String.
+func FuzzParseTopology(f *testing.F) {
+	for _, seed := range []string{"6->8->4->1", "1->1->2", "", "->", "a->b", "3-> 4 ->1", "0->1", "9999999999->1"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 256 {
+			return
+		}
+		topo, err := ParseTopology(s)
+		if err != nil {
+			return
+		}
+		if topo.Inputs() <= 0 || topo.Outputs() <= 0 {
+			t.Fatalf("parsed non-positive layer from %q", s)
+		}
+		// Round trip: the rendered form must re-parse to the same sizes.
+		again, err := ParseTopology(topo.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if len(again.Sizes) != len(topo.Sizes) {
+			t.Fatalf("round trip changed layer count for %q", s)
+		}
+		for i := range again.Sizes {
+			if again.Sizes[i] != topo.Sizes[i] {
+				t.Fatalf("round trip changed sizes for %q", s)
+			}
+		}
+		// MACs must never be negative.
+		if topo.MACs() < 0 {
+			t.Fatalf("negative MACs for %q", s)
+		}
+		_ = strings.TrimSpace(s)
+	})
+}

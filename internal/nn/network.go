@@ -1,0 +1,319 @@
+// Package nn implements the feed-forward multi-layer perceptrons that the
+// NPU-style approximate accelerator executes, together with an offline
+// backpropagation trainer.
+//
+// The paper obtains accelerator outputs by training neural networks with the
+// pyBrain library; this package is the from-scratch replacement. As in the
+// NPU work the topology space is restricted to at most two hidden layers and
+// at most 32 neurons per layer; topologies are written in the paper's
+// notation, for example "6->8->4->1" (kmeans) or "9->8->1" (sobel).
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"rumba/internal/rng"
+)
+
+// Activation selects a neuron non-linearity.
+type Activation int
+
+const (
+	// Sigmoid is the logistic function, the paper/NPU default for hidden
+	// neurons.
+	Sigmoid Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// Linear is the identity, used for output layers of regression networks.
+	Linear
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return x
+	}
+}
+
+// derivFromOutput returns f'(x) expressed in terms of y = f(x), which is
+// available during backprop without recomputing the forward pass.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	default:
+		return 1
+	}
+}
+
+// Topology describes a network shape: sizes[0] inputs, sizes[len-1] outputs,
+// everything in between hidden layers.
+type Topology struct {
+	Sizes []int
+}
+
+// ParseTopology parses the paper's "a->b->c" notation.
+func ParseTopology(s string) (Topology, error) {
+	parts := strings.Split(s, "->")
+	if len(parts) < 2 {
+		return Topology{}, fmt.Errorf("nn: topology %q needs at least input and output layers", s)
+	}
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return Topology{}, fmt.Errorf("nn: bad layer size %q in topology %q", p, s)
+		}
+		sizes[i] = n
+	}
+	return Topology{Sizes: sizes}, nil
+}
+
+// MustTopology is ParseTopology that panics on error; for static tables.
+func MustTopology(s string) Topology {
+	t, err := ParseTopology(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// String renders the topology in the paper's notation.
+func (t Topology) String() string {
+	parts := make([]string, len(t.Sizes))
+	for i, n := range t.Sizes {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, "->")
+}
+
+// Inputs returns the number of network inputs.
+func (t Topology) Inputs() int { return t.Sizes[0] }
+
+// Outputs returns the number of network outputs.
+func (t Topology) Outputs() int { return t.Sizes[len(t.Sizes)-1] }
+
+// HiddenLayers returns the number of hidden layers.
+func (t Topology) HiddenLayers() int { return len(t.Sizes) - 2 }
+
+// MACs returns the number of multiply-accumulate operations per forward
+// pass; this drives the accelerator's latency and energy model.
+func (t Topology) MACs() int {
+	macs := 0
+	for i := 0; i+1 < len(t.Sizes); i++ {
+		macs += t.Sizes[i] * t.Sizes[i+1]
+	}
+	return macs
+}
+
+// Neurons returns the total number of non-input neurons.
+func (t Topology) Neurons() int {
+	n := 0
+	for _, s := range t.Sizes[1:] {
+		n += s
+	}
+	return n
+}
+
+// Validate checks the NPU topology restrictions used in the paper: at most
+// two hidden layers, at most 32 neurons per layer.
+func (t Topology) Validate() error {
+	if len(t.Sizes) < 2 {
+		return fmt.Errorf("nn: topology %s has no layers", t)
+	}
+	if h := t.HiddenLayers(); h > 2 {
+		return fmt.Errorf("nn: topology %s has %d hidden layers, NPU limit is 2", t, h)
+	}
+	// The 32-neuron NPU limit applies to hidden layers; input and output
+	// widths are fixed by the kernel being approximated (jpeg has 64 of
+	// each).
+	for _, s := range t.Sizes[1 : len(t.Sizes)-1] {
+		if s > 32 {
+			return fmt.Errorf("nn: topology %s has a %d-neuron hidden layer, NPU limit is 32", t, s)
+		}
+	}
+	return nil
+}
+
+// layer is one dense layer: out = act(W*in + b).
+type layer struct {
+	In, Out int
+	Act     Activation
+	W       []float64 // Out x In, row-major
+	B       []float64 // Out
+}
+
+// Network is a feed-forward MLP.
+type Network struct {
+	Topo   Topology
+	Hidden Activation // activation of hidden layers
+	Out    Activation // activation of the output layer
+	layers []layer
+}
+
+// New builds a network with the given topology and activations, with weights
+// initialised from the provided stream using scaled uniform init.
+func New(t Topology, hidden, out Activation, r *rng.Stream) *Network {
+	n := &Network{Topo: t, Hidden: hidden, Out: out}
+	n.layers = make([]layer, len(t.Sizes)-1)
+	for i := range n.layers {
+		in, o := t.Sizes[i], t.Sizes[i+1]
+		act := hidden
+		if i == len(n.layers)-1 {
+			act = out
+		}
+		l := layer{In: in, Out: o, Act: act,
+			W: make([]float64, o*in), B: make([]float64, o)}
+		// Xavier/Glorot-style uniform initialisation keeps sigmoid units
+		// out of saturation at the start of training.
+		scale := math.Sqrt(6.0 / float64(in+o))
+		for j := range l.W {
+			l.W[j] = r.Range(-scale, scale)
+		}
+		n.layers[i] = l
+	}
+	return n
+}
+
+// Forward runs one inference, returning a freshly allocated output vector.
+func (n *Network) Forward(in []float64) []float64 {
+	if len(in) != n.Topo.Inputs() {
+		panic(fmt.Sprintf("nn: Forward got %d inputs, topology %s wants %d",
+			len(in), n.Topo, n.Topo.Inputs()))
+	}
+	cur := in
+	for li := range n.layers {
+		l := &n.layers[li]
+		next := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			s := l.B[o]
+			for j, w := range row {
+				s += w * cur[j]
+			}
+			next[o] = l.Act.apply(s)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// forwardTrace runs inference keeping every layer's activations for backprop.
+// acts[0] is the input, acts[len(layers)] the output.
+func (n *Network) forwardTrace(in []float64, acts [][]float64) [][]float64 {
+	if acts == nil {
+		acts = make([][]float64, len(n.layers)+1)
+		for i := range acts {
+			if i == 0 {
+				acts[i] = make([]float64, n.Topo.Inputs())
+			} else {
+				acts[i] = make([]float64, n.layers[i-1].Out)
+			}
+		}
+	}
+	copy(acts[0], in)
+	for li := range n.layers {
+		l := &n.layers[li]
+		cur, next := acts[li], acts[li+1]
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			s := l.B[o]
+			for j, w := range row {
+				s += w * cur[j]
+			}
+			next[o] = l.Act.apply(s)
+		}
+	}
+	return acts
+}
+
+// WeightCount returns the total number of trainable parameters.
+func (n *Network) WeightCount() int {
+	c := 0
+	for _, l := range n.layers {
+		c += len(l.W) + len(l.B)
+	}
+	return c
+}
+
+// netJSON is the serialised form of a Network.
+type netJSON struct {
+	Topology string      `json:"topology"`
+	Hidden   Activation  `json:"hidden"`
+	Out      Activation  `json:"out"`
+	Weights  [][]float64 `json:"weights"`
+	Biases   [][]float64 `json:"biases"`
+}
+
+// MarshalJSON implements json.Marshaler so trained accelerator
+// configurations can be embedded in a "binary" (a JSON config file), as the
+// paper embeds them in the application binary.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	j := netJSON{Topology: n.Topo.String(), Hidden: n.Hidden, Out: n.Out}
+	for _, l := range n.layers {
+		j.Weights = append(j.Weights, append([]float64(nil), l.W...))
+		j.Biases = append(j.Biases, append([]float64(nil), l.B...))
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var j netJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	t, err := ParseTopology(j.Topology)
+	if err != nil {
+		return err
+	}
+	if len(j.Weights) != len(t.Sizes)-1 || len(j.Biases) != len(t.Sizes)-1 {
+		return fmt.Errorf("nn: weight/bias layer count mismatch for topology %s", t)
+	}
+	fresh := New(t, j.Hidden, j.Out, rng.New(0))
+	for i := range fresh.layers {
+		if len(j.Weights[i]) != len(fresh.layers[i].W) || len(j.Biases[i]) != len(fresh.layers[i].B) {
+			return fmt.Errorf("nn: layer %d shape mismatch", i)
+		}
+		copy(fresh.layers[i].W, j.Weights[i])
+		copy(fresh.layers[i].B, j.Biases[i])
+	}
+	*n = *fresh
+	return nil
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{Topo: n.Topo, Hidden: n.Hidden, Out: n.Out}
+	c.layers = make([]layer, len(n.layers))
+	for i, l := range n.layers {
+		c.layers[i] = layer{In: l.In, Out: l.Out, Act: l.Act,
+			W: append([]float64(nil), l.W...),
+			B: append([]float64(nil), l.B...)}
+	}
+	return c
+}

@@ -1,0 +1,294 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology("6->8->4->1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Inputs() != 6 || topo.Outputs() != 1 || topo.HiddenLayers() != 2 {
+		t.Fatalf("parsed %v", topo)
+	}
+	if topo.String() != "6->8->4->1" {
+		t.Fatalf("String() = %q", topo.String())
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, bad := range []string{"", "5", "3->x->1", "3->0->1", "->", "3->-2->1"} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Fatalf("ParseTopology(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTopologyMACs(t *testing.T) {
+	topo := MustTopology("3->8->8->1")
+	// 3*8 + 8*8 + 8*1 = 96
+	if got := topo.MACs(); got != 96 {
+		t.Fatalf("MACs = %d, want 96", got)
+	}
+	if got := topo.Neurons(); got != 17 {
+		t.Fatalf("Neurons = %d, want 17", got)
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := MustTopology("18->32->2->2").Validate(); err != nil {
+		t.Fatalf("paper topology rejected: %v", err)
+	}
+	if err := MustTopology("4->64->1").Validate(); err == nil {
+		t.Fatal("64-neuron layer should violate the NPU limit")
+	}
+	if err := MustTopology("4->8->8->8->1").Validate(); err == nil {
+		t.Fatal("3 hidden layers should violate the NPU limit")
+	}
+}
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	net := New(MustTopology("4->6->2"), Sigmoid, Linear, rng.New(5))
+	in := []float64{0.1, 0.2, 0.3, 0.4}
+	a := net.Forward(in)
+	b := net.Forward(in)
+	if len(a) != 2 {
+		t.Fatalf("output size %d, want 2", len(a))
+	}
+	if a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("Forward must be deterministic")
+	}
+}
+
+func TestForwardPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(MustTopology("4->2"), Sigmoid, Linear, rng.New(1)).Forward([]float64{1})
+}
+
+// Numerical gradient check: analytic backprop gradients must match
+// finite-difference gradients of the loss for every parameter.
+func TestBackpropGradientCheck(t *testing.T) {
+	net := New(MustTopology("3->4->2"), Sigmoid, Linear, rng.New(11))
+	in := []float64{0.3, -0.2, 0.7}
+	target := []float64{0.5, -0.1}
+
+	loss := func(n *Network) float64 {
+		out := n.Forward(in)
+		var s float64
+		for i, o := range out {
+			d := o - target[i]
+			s += 0.5 * d * d
+		}
+		return s
+	}
+
+	g := newGrads(net)
+	scratch := make([][]float64, len(net.layers))
+	for i, l := range net.layers {
+		scratch[i] = make([]float64, l.Out)
+	}
+	acts := net.forwardTrace(in, nil)
+	net.backprop(acts, target, g, scratch)
+
+	const eps = 1e-6
+	for li := range net.layers {
+		for j := range net.layers[li].W {
+			orig := net.layers[li].W[j]
+			net.layers[li].W[j] = orig + eps
+			lp := loss(net)
+			net.layers[li].W[j] = orig - eps
+			lm := loss(net)
+			net.layers[li].W[j] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-g.w[li][j]) > 1e-5 {
+				t.Fatalf("layer %d weight %d: analytic %g vs numeric %g", li, j, g.w[li][j], numeric)
+			}
+		}
+		for j := range net.layers[li].B {
+			orig := net.layers[li].B[j]
+			net.layers[li].B[j] = orig + eps
+			lp := loss(net)
+			net.layers[li].B[j] = orig - eps
+			lm := loss(net)
+			net.layers[li].B[j] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-g.b[li][j]) > 1e-5 {
+				t.Fatalf("layer %d bias %d: analytic %g vs numeric %g", li, j, g.b[li][j], numeric)
+			}
+		}
+	}
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	net := New(MustTopology("2->4->1"), Sigmoid, Sigmoid, rng.New(3))
+	d := Dataset{
+		Inputs:  [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+		Targets: [][]float64{{0}, {1}, {1}, {0}},
+	}
+	cfg := TrainConfig{Epochs: 3000, LearningRate: 0.5, Momentum: 0.9, BatchSize: 4, Seed: "xor"}
+	mse, err := net.Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.02 {
+		t.Fatalf("XOR did not converge, mse = %v", mse)
+	}
+	for i, in := range d.Inputs {
+		out := net.Forward(in)[0]
+		if math.Abs(out-d.Targets[i][0]) > 0.25 {
+			t.Fatalf("XOR(%v) = %v, want %v", in, out, d.Targets[i][0])
+		}
+	}
+}
+
+func TestTrainLearnsLinearFunction(t *testing.T) {
+	r := rng.New(8)
+	d := Dataset{}
+	for i := 0; i < 200; i++ {
+		a, b := r.Range(0, 1), r.Range(0, 1)
+		d.Inputs = append(d.Inputs, []float64{a, b})
+		d.Targets = append(d.Targets, []float64{0.3*a + 0.5*b})
+	}
+	net := New(MustTopology("2->4->1"), Sigmoid, Linear, rng.New(4))
+	mse, err := net.Train(d, TrainConfig{Epochs: 200, LearningRate: 0.1, Momentum: 0.9, BatchSize: 16, Seed: "lin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 1e-3 {
+		t.Fatalf("linear fit mse = %v, want < 1e-3", mse)
+	}
+}
+
+func TestTrainValidatesDataset(t *testing.T) {
+	net := New(MustTopology("2->2->1"), Sigmoid, Linear, rng.New(1))
+	if _, err := net.Train(Dataset{Inputs: [][]float64{{1}}, Targets: [][]float64{{1}}}, DefaultTrainConfig()); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := net.Train(Dataset{}, DefaultTrainConfig()); err == nil {
+		t.Fatal("expected empty dataset error")
+	}
+	good := Dataset{Inputs: [][]float64{{1, 2}}, Targets: [][]float64{{1}}}
+	if _, err := net.Train(good, TrainConfig{Epochs: 0}); err == nil {
+		t.Fatal("expected epoch validation error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	net := New(MustTopology("3->5->2"), Sigmoid, Linear, rng.New(17))
+	data, err := json.Marshal(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Network
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.2, -0.4, 0.9}
+	a, b := net.Forward(in), back.Forward(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round-tripped network differs at output %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	net := New(MustTopology("2->3->1"), Sigmoid, Linear, rng.New(2))
+	c := net.Clone()
+	in := []float64{0.5, 0.5}
+	before := net.Forward(in)[0]
+	// Mutate the clone heavily.
+	_, err := c.Train(Dataset{
+		Inputs:  [][]float64{{0, 0}, {1, 1}},
+		Targets: [][]float64{{1}, {0}},
+	}, TrainConfig{Epochs: 50, LearningRate: 0.5, BatchSize: 2, Seed: "clone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := net.Forward(in)[0]; after != before {
+		t.Fatal("training a clone must not affect the original")
+	}
+}
+
+// Property: sigmoid outputs always stay in (0,1); tanh in (-1,1).
+func TestActivationRangesProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := Sigmoid.apply(x)
+		th := Tanh.apply(x)
+		return s >= 0 && s <= 1 && th >= -1 && th <= 1 && Linear.apply(x) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: derivFromOutput is consistent with a finite-difference derivative
+// of apply for moderate x.
+func TestActivationDerivativeProperty(t *testing.T) {
+	f := func(raw int16) bool {
+		x := float64(raw) / 8192 * 4 // x in about [-4,4]
+		for _, a := range []Activation{Sigmoid, Tanh, Linear} {
+			const eps = 1e-6
+			numeric := (a.apply(x+eps) - a.apply(x-eps)) / (2 * eps)
+			analytic := a.derivFromOutput(a.apply(x))
+			if math.Abs(numeric-analytic) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	inputs := [][]float64{{0, 10}, {4, 30}, {2, 20}}
+	targets := [][]float64{{-1}, {3}, {1}}
+	s := FitScaler(inputs, targets)
+	for _, target := range targets {
+		scaled := s.ScaleOut(target)
+		back := s.UnscaleOut(scaled)
+		if math.Abs(back[0]-target[0]) > 1e-12 {
+			t.Fatalf("unscale(scale(%v)) = %v", target, back)
+		}
+		if scaled[0] < 0 || scaled[0] > 1 {
+			t.Fatalf("scaled target %v out of [0,1]", scaled)
+		}
+	}
+}
+
+func TestScalerDegenerateDimension(t *testing.T) {
+	inputs := [][]float64{{5, 1}, {5, 2}}
+	targets := [][]float64{{7}, {7}}
+	s := FitScaler(inputs, targets)
+	scaled := s.ScaleIn([]float64{5, 1.5})
+	if math.IsNaN(scaled[0]) || math.IsInf(scaled[0], 0) {
+		t.Fatal("degenerate input dimension must not produce NaN")
+	}
+	out := s.UnscaleOut(s.ScaleOut([]float64{7}))
+	if out[0] != 7 {
+		t.Fatalf("degenerate output round trip = %v", out[0])
+	}
+}
+
+func TestWeightCount(t *testing.T) {
+	net := New(MustTopology("3->4->2"), Sigmoid, Linear, rng.New(1))
+	// (3*4 + 4) + (4*2 + 2) = 16 + 10 = 26
+	if got := net.WeightCount(); got != 26 {
+		t.Fatalf("WeightCount = %d, want 26", got)
+	}
+}

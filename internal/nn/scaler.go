@@ -1,0 +1,98 @@
+package nn
+
+import "rumba/internal/tensor"
+
+// Scaler normalises kernel inputs/outputs into a range the sigmoid networks
+// learn well ([0,1] per dimension) and maps network outputs back to kernel
+// space. The NPU work performs the same normalisation when compiling a code
+// region to the accelerator.
+type Scaler struct {
+	InMin, InMax   []float64
+	OutMin, OutMax []float64
+}
+
+// FitScaler computes per-dimension ranges from a training set. Degenerate
+// dimensions (constant value) get a unit span so scaling stays invertible.
+func FitScaler(inputs, targets [][]float64) *Scaler {
+	s := &Scaler{
+		InMin:  columnMin(inputs),
+		InMax:  columnMax(inputs),
+		OutMin: columnMin(targets),
+		OutMax: columnMax(targets),
+	}
+	fixDegenerate(s.InMin, s.InMax)
+	fixDegenerate(s.OutMin, s.OutMax)
+	return s
+}
+
+func columnMin(rows [][]float64) []float64 {
+	m := append([]float64(nil), rows[0]...)
+	for _, r := range rows[1:] {
+		for j, v := range r {
+			if v < m[j] {
+				m[j] = v
+			}
+		}
+	}
+	return m
+}
+
+func columnMax(rows [][]float64) []float64 {
+	m := append([]float64(nil), rows[0]...)
+	for _, r := range rows[1:] {
+		for j, v := range r {
+			if v > m[j] {
+				m[j] = v
+			}
+		}
+	}
+	return m
+}
+
+func fixDegenerate(lo, hi []float64) {
+	for j := range lo {
+		if hi[j]-lo[j] < 1e-12 {
+			hi[j] = lo[j] + 1
+		}
+	}
+}
+
+// ScaleIn maps a kernel-space input into [0,1]^d (clamped).
+func (s *Scaler) ScaleIn(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for j, v := range in {
+		out[j] = tensor.Clamp((v-s.InMin[j])/(s.InMax[j]-s.InMin[j]), -0.25, 1.25)
+	}
+	return out
+}
+
+// ScaleOut maps a kernel-space target into [0,1]^d.
+func (s *Scaler) ScaleOut(t []float64) []float64 {
+	out := make([]float64, len(t))
+	for j, v := range t {
+		out[j] = (v - s.OutMin[j]) / (s.OutMax[j] - s.OutMin[j])
+	}
+	return out
+}
+
+// UnscaleOut maps a network output in [0,1]^d back to kernel space.
+func (s *Scaler) UnscaleOut(o []float64) []float64 {
+	out := make([]float64, len(o))
+	for j, v := range o {
+		out[j] = s.OutMin[j] + v*(s.OutMax[j]-s.OutMin[j])
+	}
+	return out
+}
+
+// ScaleDataset returns a copy of the dataset normalised for training.
+func (s *Scaler) ScaleDataset(d Dataset) Dataset {
+	out := Dataset{
+		Inputs:  make([][]float64, len(d.Inputs)),
+		Targets: make([][]float64, len(d.Targets)),
+	}
+	for i := range d.Inputs {
+		out.Inputs[i] = s.ScaleIn(d.Inputs[i])
+		out.Targets[i] = s.ScaleOut(d.Targets[i])
+	}
+	return out
+}

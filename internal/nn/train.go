@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+
+	"rumba/internal/rng"
+)
+
+// TrainConfig controls the offline backpropagation trainer.
+type TrainConfig struct {
+	Epochs       int     // full passes over the training set
+	LearningRate float64 // SGD step size
+	Momentum     float64 // classical momentum coefficient
+	BatchSize    int     // minibatch size; 1 = pure SGD
+	Seed         string  // rng stream label for shuffling
+}
+
+// DefaultTrainConfig mirrors the settings used by the offline accelerator
+// trainer in this reproduction: plain minibatch SGD with momentum.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       60,
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		BatchSize:    16,
+		Seed:         "nn/train",
+	}
+}
+
+// Dataset is a supervised regression set: Inputs[i] maps to Targets[i].
+type Dataset struct {
+	Inputs  [][]float64
+	Targets [][]float64
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.Inputs) }
+
+// Validate checks that the dataset is well formed for the given topology.
+func (d Dataset) Validate(t Topology) error {
+	if len(d.Inputs) != len(d.Targets) {
+		return fmt.Errorf("nn: %d inputs but %d targets", len(d.Inputs), len(d.Targets))
+	}
+	if len(d.Inputs) == 0 {
+		return fmt.Errorf("nn: empty dataset")
+	}
+	for i := range d.Inputs {
+		if len(d.Inputs[i]) != t.Inputs() {
+			return fmt.Errorf("nn: sample %d has %d inputs, topology %s wants %d",
+				i, len(d.Inputs[i]), t, t.Inputs())
+		}
+		if len(d.Targets[i]) != t.Outputs() {
+			return fmt.Errorf("nn: sample %d has %d targets, topology %s wants %d",
+				i, len(d.Targets[i]), t, t.Outputs())
+		}
+	}
+	return nil
+}
+
+// grads mirrors the network's layer structure for gradient accumulation.
+type grads struct {
+	w [][]float64
+	b [][]float64
+}
+
+func newGrads(n *Network) *grads {
+	g := &grads{w: make([][]float64, len(n.layers)), b: make([][]float64, len(n.layers))}
+	for i, l := range n.layers {
+		g.w[i] = make([]float64, len(l.W))
+		g.b[i] = make([]float64, len(l.B))
+	}
+	return g
+}
+
+func (g *grads) zero() {
+	for i := range g.w {
+		for j := range g.w[i] {
+			g.w[i][j] = 0
+		}
+		for j := range g.b[i] {
+			g.b[i][j] = 0
+		}
+	}
+}
+
+// backprop accumulates the gradient of 0.5*||out-target||^2 for one sample
+// into g. acts must come from forwardTrace. scratch holds per-layer deltas.
+func (n *Network) backprop(acts [][]float64, target []float64, g *grads, scratch [][]float64) {
+	last := len(n.layers) - 1
+	// Output layer delta: (y - t) * f'(y).
+	out := acts[last+1]
+	delta := scratch[last]
+	for o := range out {
+		delta[o] = (out[o] - target[o]) * n.layers[last].Act.derivFromOutput(out[o])
+	}
+	for li := last; li >= 0; li-- {
+		l := &n.layers[li]
+		in := acts[li]
+		delta := scratch[li]
+		gw, gb := g.w[li], g.b[li]
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			row := gw[o*l.In : (o+1)*l.In]
+			for j, x := range in {
+				row[j] += d * x
+			}
+			gb[o] += d
+		}
+		if li == 0 {
+			break
+		}
+		// Propagate delta to the previous layer.
+		prev := scratch[li-1]
+		prevActs := acts[li]
+		for j := 0; j < l.In; j++ {
+			var s float64
+			for o := 0; o < l.Out; o++ {
+				s += l.W[o*l.In+j] * delta[o]
+			}
+			prev[j] = s * n.layers[li-1].Act.derivFromOutput(prevActs[j])
+		}
+	}
+}
+
+// Train fits the network to the dataset with minibatch SGD + momentum and
+// returns the mean squared error on the training set after the final epoch.
+func (n *Network) Train(d Dataset, cfg TrainConfig) (float64, error) {
+	if err := d.Validate(n.Topo); err != nil {
+		return 0, err
+	}
+	if cfg.Epochs <= 0 {
+		return 0, fmt.Errorf("nn: non-positive epoch count %d", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	r := rng.NewNamed(cfg.Seed)
+	g := newGrads(n)
+	vel := newGrads(n)
+	scratch := make([][]float64, len(n.layers))
+	for i, l := range n.layers {
+		scratch[i] = make([]float64, l.Out)
+	}
+	var acts [][]float64
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(order)
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			g.zero()
+			for _, idx := range order[start:end] {
+				acts = n.forwardTrace(d.Inputs[idx], acts)
+				n.backprop(acts, d.Targets[idx], g, scratch)
+			}
+			step := cfg.LearningRate / float64(end-start)
+			for li := range n.layers {
+				l := &n.layers[li]
+				vw, vb := vel.w[li], vel.b[li]
+				gw, gb := g.w[li], g.b[li]
+				for j := range l.W {
+					vw[j] = cfg.Momentum*vw[j] - step*gw[j]
+					l.W[j] += vw[j]
+				}
+				for j := range l.B {
+					vb[j] = cfg.Momentum*vb[j] - step*gb[j]
+					l.B[j] += vb[j]
+				}
+			}
+		}
+	}
+	return n.MSE(d), nil
+}
+
+// MSE returns the mean squared error over the dataset.
+func (n *Network) MSE(d Dataset) float64 {
+	var sum float64
+	var count int
+	for i := range d.Inputs {
+		out := n.Forward(d.Inputs[i])
+		for j, t := range d.Targets[i] {
+			diff := out[j] - t
+			sum += diff * diff
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,38 @@
+package pipeline_test
+
+import (
+	"fmt"
+
+	"rumba/internal/pipeline"
+)
+
+// ExampleSimulate reproduces the Figure 8 scenario: the CPU re-computes
+// flagged iterations while the accelerator keeps executing, so sparse fixes
+// barely change the makespan.
+func ExampleSimulate() {
+	flags := make([]bool, 100)
+	for i := 0; i < 100; i += 5 { // every 5th iteration flagged
+		flags[i] = true
+	}
+	res, err := pipeline.Simulate(flags, pipeline.Params{
+		AccelCyclesPerIter: 10, // accelerator: 10 cycles per iteration
+		CPURecomputeCycles: 40, // exact kernel: 4x slower
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("accelerator-bound:", res.TotalCycles < 1100)
+	fmt.Println("CPU busy cycles:", res.CPUBusyCycles)
+	// Output:
+	// accelerator-bound: true
+	// CPU busy cycles: 800
+}
+
+// ExampleWholeAppSpeedup applies the Amdahl term of Figure 15.
+func ExampleWholeAppSpeedup() {
+	// The approximate region runs 4x faster and covers 80% of the app.
+	speedup := pipeline.WholeAppSpeedup(250, 100, 10, 0.8)
+	fmt.Printf("%.2fx\n", speedup)
+	// Output:
+	// 2.50x
+}

@@ -1,0 +1,171 @@
+// Package pipeline models the overlapped execution of the approximation
+// accelerator and the host CPU (Figure 8): while the accelerator works on
+// iteration i, the CPU re-executes previously flagged iterations it receives
+// over the recovery queue. The model is a discrete event simulation over the
+// per-iteration recovery bits; it produces the total execution time (hence
+// the Figure 15 speedups), the CPU-activity trace of Figure 18, and stall
+// accounting.
+package pipeline
+
+import "fmt"
+
+// Params describes one run's timing.
+type Params struct {
+	// AccelCyclesPerIter is the accelerator latency per iteration.
+	AccelCyclesPerIter float64
+	// CPURecomputeCycles is the CPU latency to re-execute one iteration
+	// exactly.
+	CPURecomputeCycles float64
+	// CheckerCycles is the checker latency per iteration; it only gates
+	// the pipeline under the Figure 9a serial placement (AddCheckerToPath
+	// true). In the parallel placement (9b) the check overlaps the
+	// accelerator and adds nothing to the critical path as long as it is
+	// shorter than the accelerator invocation (Figure 17 verifies this).
+	CheckerCycles    float64
+	AddCheckerToPath bool
+	// RecoveryQueueCap bounds the number of outstanding flagged
+	// iterations; when the queue is full the accelerator stalls (back-
+	// pressure). <= 0 means a paper-default 64-entry queue.
+	RecoveryQueueCap int
+}
+
+// Result is the outcome of a pipeline simulation.
+type Result struct {
+	// TotalCycles is the makespan of the approximate region.
+	TotalCycles float64
+	// AccelCycles is the accelerator busy time.
+	AccelCycles float64
+	// CPUBusyCycles is the CPU re-execution busy time.
+	CPUBusyCycles float64
+	// AccelStallCycles counts accelerator back-pressure stalls (recovery
+	// queue full).
+	AccelStallCycles float64
+	// DrainCycles is the tail after the accelerator finished while the CPU
+	// was still re-executing.
+	DrainCycles float64
+	// CPUUtilisation is CPUBusyCycles / TotalCycles.
+	CPUUtilisation float64
+}
+
+// Simulate runs the Figure 8 overlap model for a sequence of recovery bits
+// (flags[i] is true when iteration i must be re-executed on the CPU).
+func Simulate(flags []bool, p Params) (Result, error) {
+	if p.AccelCyclesPerIter <= 0 || p.CPURecomputeCycles <= 0 {
+		return Result{}, fmt.Errorf("pipeline: non-positive cycle parameters %+v", p)
+	}
+	cap := p.RecoveryQueueCap
+	if cap <= 0 {
+		cap = 64
+	}
+	iterCycles := p.AccelCyclesPerIter
+	if p.AddCheckerToPath {
+		iterCycles += p.CheckerCycles
+	}
+
+	var res Result
+	// queue holds the completion times at which each flagged iteration
+	// became available to the CPU.
+	queue := make([]float64, 0, cap)
+	var accelTime float64 // accelerator-side clock
+	var cpuFree float64   // when the CPU finishes its current recompute
+	pop := func() {
+		// The CPU starts the oldest queued recompute as soon as both the
+		// work item and the CPU are available.
+		start := queue[0]
+		if cpuFree > start {
+			start = cpuFree
+		}
+		cpuFree = start + p.CPURecomputeCycles
+		res.CPUBusyCycles += p.CPURecomputeCycles
+		queue = queue[1:]
+	}
+	for _, flagged := range flags {
+		// Drain every queued item the CPU can finish before this
+		// iteration completes; this keeps the queue occupancy honest.
+		for len(queue) > 0 && maxf(queue[0], cpuFree)+0 <= accelTime {
+			pop()
+		}
+		if len(queue) == cap {
+			// Back-pressure: the accelerator stalls until the CPU frees
+			// a queue slot.
+			stallUntil := maxf(queue[0], cpuFree) + p.CPURecomputeCycles
+			// The CPU must actually run the head item for a slot to free.
+			pop()
+			if stallUntil > accelTime {
+				res.AccelStallCycles += stallUntil - accelTime
+				accelTime = stallUntil
+			}
+		}
+		accelTime += iterCycles
+		res.AccelCycles += iterCycles
+		if flagged {
+			queue = append(queue, accelTime)
+		}
+	}
+	// Drain the remaining queue after the accelerator finishes.
+	for len(queue) > 0 {
+		pop()
+	}
+	res.TotalCycles = accelTime
+	if cpuFree > res.TotalCycles {
+		res.DrainCycles = cpuFree - res.TotalCycles
+		res.TotalCycles = cpuFree
+	}
+	if res.TotalCycles > 0 {
+		res.CPUUtilisation = res.CPUBusyCycles / res.TotalCycles
+	}
+	return res, nil
+}
+
+// WholeAppSpeedup combines the approximate-region makespan with the
+// never-approximated remainder of the application (Amdahl term) into the
+// Figure 15 speedup over the CPU baseline.
+//
+// elements is the iteration count, kernelCPUCycles the exact kernel latency
+// per iteration, approxFraction the Table-style fraction of application time
+// spent in the region.
+func WholeAppSpeedup(regionCycles float64, elements int, kernelCPUCycles, approxFraction float64) float64 {
+	if elements <= 0 || kernelCPUCycles <= 0 || approxFraction <= 0 || approxFraction > 1 {
+		return 0
+	}
+	regionCPU := float64(elements) * kernelCPUCycles
+	appCPU := regionCPU / approxFraction
+	nonApprox := appCPU - regionCPU
+	return appCPU / (nonApprox + regionCycles)
+}
+
+// ActivityTrace returns, for each iteration, whether the CPU was busy
+// re-executing at the moment the accelerator finished that iteration — the
+// bottom half of Figure 18. It replays the same model as Simulate.
+func ActivityTrace(flags []bool, p Params) ([]bool, error) {
+	if p.AccelCyclesPerIter <= 0 || p.CPURecomputeCycles <= 0 {
+		return nil, fmt.Errorf("pipeline: non-positive cycle parameters %+v", p)
+	}
+	iterCycles := p.AccelCyclesPerIter
+	if p.AddCheckerToPath {
+		iterCycles += p.CheckerCycles
+	}
+	trace := make([]bool, len(flags))
+	var accelTime, cpuFree float64
+	var queue []float64
+	for i, flagged := range flags {
+		for len(queue) > 0 && maxf(queue[0], cpuFree) <= accelTime {
+			start := maxf(queue[0], cpuFree)
+			cpuFree = start + p.CPURecomputeCycles
+			queue = queue[1:]
+		}
+		accelTime += iterCycles
+		if flagged {
+			queue = append(queue, accelTime)
+		}
+		trace[i] = cpuFree > accelTime || len(queue) > 0
+	}
+	return trace, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

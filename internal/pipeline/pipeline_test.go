@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func flagsEvery(n, k int) []bool {
+	f := make([]bool, n)
+	if k <= 0 {
+		return f
+	}
+	for i := 0; i < n; i += k {
+		f[i] = true
+	}
+	return f
+}
+
+func TestSimulateNoFlagsIsAccelBound(t *testing.T) {
+	p := Params{AccelCyclesPerIter: 10, CPURecomputeCycles: 100}
+	res, err := Simulate(make([]bool, 50), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles != 500 {
+		t.Fatalf("TotalCycles = %v, want 500", res.TotalCycles)
+	}
+	if res.CPUBusyCycles != 0 || res.DrainCycles != 0 || res.AccelStallCycles != 0 {
+		t.Fatalf("unexpected CPU work: %+v", res)
+	}
+}
+
+func TestSimulateSparseFlagsHiddenByOverlap(t *testing.T) {
+	// CPU recompute takes 2 accelerator iterations; flag every 4th: the
+	// CPU keeps up (Figure 8's premise) and the makespan barely grows.
+	p := Params{AccelCyclesPerIter: 10, CPURecomputeCycles: 20}
+	flags := flagsEvery(100, 4)
+	res, err := Simulate(flags, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCycles > 1000+p.CPURecomputeCycles {
+		t.Fatalf("overlap failed: makespan %v", res.TotalCycles)
+	}
+	if res.CPUBusyCycles != 25*20 {
+		t.Fatalf("CPU busy %v, want 500", res.CPUBusyCycles)
+	}
+}
+
+func TestSimulateAllFlaggedIsCPUBound(t *testing.T) {
+	p := Params{AccelCyclesPerIter: 10, CPURecomputeCycles: 30}
+	n := 64 // within the default queue capacity: no stalls, pure drain
+	flags := make([]bool, n)
+	for i := range flags {
+		flags[i] = true
+	}
+	res, err := Simulate(flags, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CPU serialises n recomputes; the first can start after iter 1.
+	want := 10 + 30*float64(n)
+	if math.Abs(res.TotalCycles-want) > 1e-9 {
+		t.Fatalf("TotalCycles = %v, want %v", res.TotalCycles, want)
+	}
+	if res.DrainCycles <= 0 {
+		t.Fatal("expected a CPU drain tail")
+	}
+}
+
+func TestSimulateBackPressureStallsAccelerator(t *testing.T) {
+	p := Params{AccelCyclesPerIter: 1, CPURecomputeCycles: 50, RecoveryQueueCap: 4}
+	flags := make([]bool, 100)
+	for i := range flags {
+		flags[i] = true
+	}
+	res, err := Simulate(flags, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AccelStallCycles <= 0 {
+		t.Fatal("expected back-pressure stalls with a tiny queue")
+	}
+	if res.CPUBusyCycles != 100*50 {
+		t.Fatalf("all elements must be recomputed, busy = %v", res.CPUBusyCycles)
+	}
+}
+
+func TestSimulateSerialCheckerAddsLatency(t *testing.T) {
+	flags := make([]bool, 100)
+	base := Params{AccelCyclesPerIter: 10, CPURecomputeCycles: 20, CheckerCycles: 3}
+	serial := base
+	serial.AddCheckerToPath = true
+	r0, _ := Simulate(flags, base)
+	r1, _ := Simulate(flags, serial)
+	if r1.TotalCycles != r0.TotalCycles+300 {
+		t.Fatalf("serial checker: %v vs %v", r1.TotalCycles, r0.TotalCycles)
+	}
+}
+
+func TestSimulateRejectsBadParams(t *testing.T) {
+	if _, err := Simulate(nil, Params{}); err == nil {
+		t.Fatal("expected parameter validation error")
+	}
+	if _, err := ActivityTrace(nil, Params{}); err == nil {
+		t.Fatal("expected parameter validation error")
+	}
+}
+
+func TestWholeAppSpeedup(t *testing.T) {
+	// Region twice as fast, 80% approximable: 1/(0.2 + 0.4) = 1.667.
+	got := WholeAppSpeedup(500, 100, 10, 0.8)
+	if math.Abs(got-1/(0.2+0.4)) > 1e-9 {
+		t.Fatalf("speedup = %v", got)
+	}
+	// Degenerate inputs yield 0.
+	if WholeAppSpeedup(1, 0, 1, 0.5) != 0 || WholeAppSpeedup(1, 1, 1, 0) != 0 {
+		t.Fatal("degenerate inputs must yield 0")
+	}
+}
+
+func TestActivityTraceMatchesFlags(t *testing.T) {
+	p := Params{AccelCyclesPerIter: 10, CPURecomputeCycles: 25}
+	flags := make([]bool, 40)
+	flags[5] = true
+	trace, err := ActivityTrace(flags, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 40 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	// The CPU must be busy right after the flagged iteration completes
+	// (recompute takes 2.5 iterations).
+	if !trace[6] || !trace[7] {
+		t.Fatalf("CPU should be busy after the flagged iteration: %v", trace[4:10])
+	}
+	// Long before and long after, it must be idle.
+	if trace[2] || trace[20] {
+		t.Fatal("CPU should be idle away from the flagged iteration")
+	}
+}
+
+// Property: the makespan is at least the accelerator busy time and at least
+// the CPU busy time, and never exceeds the fully serialised bound.
+func TestSimulateBoundsProperty(t *testing.T) {
+	r := rng.New(77)
+	f := func(nRaw, seed uint16) bool {
+		n := int(nRaw)%200 + 1
+		flags := make([]bool, n)
+		fl := 0
+		for i := range flags {
+			if r.Bool(0.3) {
+				flags[i] = true
+				fl++
+			}
+		}
+		p := Params{AccelCyclesPerIter: 5, CPURecomputeCycles: 17}
+		res, err := Simulate(flags, p)
+		if err != nil {
+			return false
+		}
+		accelBusy := 5 * float64(n)
+		cpuBusy := 17 * float64(fl)
+		serial := accelBusy + cpuBusy
+		return res.TotalCycles >= accelBusy-1e-9 &&
+			res.TotalCycles >= cpuBusy-1e-9 &&
+			res.TotalCycles <= serial+1e-9 &&
+			res.CPUBusyCycles == cpuBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding a flag never decreases the makespan.
+func TestSimulateMonotoneInFlagsProperty(t *testing.T) {
+	r := rng.New(78)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)%100 + 2
+		flags := make([]bool, n)
+		for i := range flags {
+			flags[i] = r.Bool(0.2)
+		}
+		p := Params{AccelCyclesPerIter: 7, CPURecomputeCycles: 23}
+		base, err := Simulate(flags, p)
+		if err != nil {
+			return false
+		}
+		idx := r.Intn(n)
+		if flags[idx] {
+			return true // nothing to add
+		}
+		flags[idx] = true
+		more, err := Simulate(flags, p)
+		if err != nil {
+			return false
+		}
+		return more.TotalCycles >= base.TotalCycles-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

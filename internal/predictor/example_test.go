@@ -1,0 +1,59 @@
+package predictor_test
+
+import (
+	"fmt"
+
+	"rumba/internal/predictor"
+)
+
+// ExampleFitLinear trains the Equation 1 checker on observed errors and
+// queries it for a new input.
+func ExampleFitLinear() {
+	// Offline observation: error grows with the first input.
+	inputs := [][]float64{{0, 1}, {0.5, 1}, {1, 1}, {0.25, 0}, {0.75, 0}}
+	errs := []float64{0.0, 0.25, 0.5, 0.125, 0.375}
+	lin, err := predictor.FitLinear(inputs, errs, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("err(0.8, 1) ~ %.2f\n", lin.PredictError([]float64{0.8, 1}, nil))
+	// Output:
+	// err(0.8, 1) ~ 0.40
+}
+
+// ExampleFitTree trains the Figure 6 decision-tree checker: errors are high
+// only in one input region, and the tree learns the boundary.
+func ExampleFitTree() {
+	var inputs [][]float64
+	var errs []float64
+	for i := 0; i < 64; i++ {
+		x := float64(i) / 64
+		inputs = append(inputs, []float64{x})
+		if x > 0.75 {
+			errs = append(errs, 0.6)
+		} else {
+			errs = append(errs, 0.05)
+		}
+	}
+	tree, err := predictor.FitTree(inputs, errs, nil, predictor.TreeConfig{MinLeaf: 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("err(0.9) ~ %.2f, err(0.2) ~ %.2f\n",
+		tree.PredictError([]float64{0.9}, nil),
+		tree.PredictError([]float64{0.2}, nil))
+	// Output:
+	// err(0.9) ~ 0.60, err(0.2) ~ 0.05
+}
+
+// ExampleNewEMA shows the output-based Equation 2 checker flagging a spike.
+func ExampleNewEMA() {
+	ema := predictor.NewEMA(8, 1)
+	for i := 0; i < 20; i++ {
+		ema.PredictError(nil, []float64{1.0})
+	}
+	spike := ema.PredictError(nil, []float64{3.0})
+	fmt.Println("spike detected:", spike > 1)
+	// Output:
+	// spike detected: true
+}

@@ -1,0 +1,79 @@
+package predictor
+
+import (
+	"fmt"
+
+	"rumba/internal/rng"
+)
+
+// Forest is a bagged ensemble of depth-bounded decision trees (extension
+// beyond the paper; DESIGN.md §5b). On kernels whose error boundary is hard
+// for a single axis-aligned depth-7 tree — jmeint's 18-dimensional triangle
+// configuration space is the repository's worst case — averaging a few
+// bootstrap-trained trees recovers part of the gap, at K times the tree's
+// comparator cost. The hardware analogue is K Figure 7(b) comparator trees
+// evaluated in parallel and a small adder.
+type Forest struct {
+	Trees []*Tree
+}
+
+var _ Predictor = (*Forest)(nil)
+
+// Name implements Predictor.
+func (f *Forest) Name() string { return "forestErrors" }
+
+// PredictError implements Predictor: the mean of the member predictions.
+func (f *Forest) PredictError(in, out []float64) float64 {
+	if len(f.Trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.Trees {
+		s += t.PredictError(in, out)
+	}
+	return s / float64(len(f.Trees))
+}
+
+// Cost implements Predictor: K parallel comparator trees plus the averaging
+// adds and the threshold compare.
+func (f *Forest) Cost() Cost {
+	var c Cost
+	for _, t := range f.Trees {
+		tc := t.Cost()
+		c.Compares += tc.Compares
+	}
+	c.MACs += float64(len(f.Trees)) // the averaging adder tree
+	return c
+}
+
+// Reset implements Predictor (stateless).
+func (f *Forest) Reset() {}
+
+// FitForest trains k trees on bootstrap resamples of the observation. seed
+// names the random stream so fits are reproducible.
+func FitForest(inputs [][]float64, errs []float64, features []int, k int, cfg TreeConfig, seed string) (*Forest, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("predictor: forest needs a positive tree count")
+	}
+	if len(inputs) == 0 || len(inputs) != len(errs) {
+		return nil, fmt.Errorf("predictor: FitForest needs matching non-empty inputs/errors")
+	}
+	r := rng.NewNamed("predictor/forest/" + seed)
+	f := &Forest{Trees: make([]*Tree, 0, k)}
+	n := len(inputs)
+	for i := 0; i < k; i++ {
+		bootIn := make([][]float64, n)
+		bootErr := make([]float64, n)
+		for j := 0; j < n; j++ {
+			idx := r.Intn(n)
+			bootIn[j] = inputs[idx]
+			bootErr[j] = errs[idx]
+		}
+		tree, err := FitTree(bootIn, bootErr, features, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("predictor: forest member %d: %w", i, err)
+		}
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}

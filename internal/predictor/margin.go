@@ -1,0 +1,89 @@
+package predictor
+
+import "math"
+
+// Margin is an output-based checker for classification kernels (extension
+// beyond the paper; see DESIGN.md §5). For a kernel with one-hot outputs —
+// jmeint's [intersect, disjoint] pair — the accelerator's own output margin
+// is a candidate confidence signal: a small gap between the top two outputs
+// suggests the network is unsure and a misclassification is likely. (The
+// margin experiment in internal/experiments measures how well that holds;
+// a poorly calibrated network can be confidently wrong.)
+//
+// The predicted error is 1 - margin mapped through a trained threshold
+// curve, so it is directly comparable with the mismatch element error (0 or
+// 1). Like the EMA checker it reads only the accelerator output, so it fits
+// the Figure 9b parallel placement with zero added latency.
+type Margin struct {
+	// Scale converts a raw margin into an error estimate:
+	// predicted = max(0, 1 - margin/Scale). A margin at or above Scale is
+	// considered confident. Fitted offline.
+	Scale float64
+}
+
+var _ Predictor = (*Margin)(nil)
+
+// Name implements Predictor.
+func (m *Margin) Name() string { return "marginErrors" }
+
+// PredictError implements Predictor.
+func (m *Margin) PredictError(_, approxOut []float64) float64 {
+	if len(approxOut) < 2 {
+		return 0 // margins need at least two outputs
+	}
+	margin := rawMargin(approxOut)
+	scale := m.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	e := 1 - margin/scale
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Cost implements Predictor: a max/second-max scan plus the compare.
+func (m *Margin) Cost() Cost { return Cost{Compares: 3} }
+
+// Reset implements Predictor (stateless).
+func (m *Margin) Reset() {}
+
+// rawMargin returns the gap between the largest and second-largest outputs.
+func rawMargin(out []float64) float64 {
+	best, second := math.Inf(-1), math.Inf(-1)
+	for _, v := range out {
+		if v > best {
+			best, second = v, best
+		} else if v > second {
+			second = v
+		}
+	}
+	return best - second
+}
+
+// FitMargin chooses the margin scale from training observations: the scale
+// is the median margin of *correctly* classified elements, so elements less
+// confident than a typical correct answer score a positive predicted error.
+func FitMargin(approxOuts [][]float64, errs []float64) *Margin {
+	var correct []float64
+	for i, out := range approxOuts {
+		if errs[i] == 0 && len(out) >= 2 {
+			correct = append(correct, rawMargin(out))
+		}
+	}
+	if len(correct) == 0 {
+		return &Margin{Scale: 1}
+	}
+	// Median via insertion sort (offline, modest sizes).
+	for i := 1; i < len(correct); i++ {
+		for j := i; j > 0 && correct[j] < correct[j-1]; j-- {
+			correct[j], correct[j-1] = correct[j-1], correct[j]
+		}
+	}
+	med := correct[len(correct)/2]
+	if med <= 0 {
+		med = 1
+	}
+	return &Margin{Scale: med}
+}

@@ -1,0 +1,89 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarginConfidentOutputScoresLow(t *testing.T) {
+	m := &Margin{Scale: 0.5}
+	confident := m.PredictError(nil, []float64{0.95, 0.05})
+	unsure := m.PredictError(nil, []float64{0.52, 0.48})
+	if confident != 0 {
+		t.Fatalf("confident output should predict 0 error, got %v", confident)
+	}
+	if unsure <= 0.8 {
+		t.Fatalf("near-tie should predict high error, got %v", unsure)
+	}
+}
+
+func TestMarginSingleOutput(t *testing.T) {
+	m := &Margin{Scale: 1}
+	if got := m.PredictError(nil, []float64{0.4}); got != 0 {
+		t.Fatalf("single output margin = %v, want 0", got)
+	}
+}
+
+func TestMarginZeroScaleFallsBack(t *testing.T) {
+	m := &Margin{}
+	got := m.PredictError(nil, []float64{0.6, 0.4})
+	if math.Abs(got-0.8) > 1e-12 { // 1 - 0.2/1
+		t.Fatalf("zero-scale prediction = %v, want 0.8", got)
+	}
+}
+
+func TestRawMargin(t *testing.T) {
+	if rm := rawMargin([]float64{0.1, 0.7, 0.4}); math.Abs(rm-0.3) > 1e-12 {
+		t.Fatalf("rawMargin = %v, want 0.3", rm)
+	}
+}
+
+func TestFitMarginUsesCorrectMedians(t *testing.T) {
+	outs := [][]float64{
+		{0.9, 0.1},   // correct, margin 0.8
+		{0.8, 0.2},   // correct, margin 0.6
+		{0.7, 0.3},   // correct, margin 0.4
+		{0.55, 0.45}, // wrong, ignored
+	}
+	errs := []float64{0, 0, 0, 1}
+	m := FitMargin(outs, errs)
+	if math.Abs(m.Scale-0.6) > 1e-12 {
+		t.Fatalf("fitted scale = %v, want median 0.6", m.Scale)
+	}
+}
+
+func TestFitMarginNoCorrectSamples(t *testing.T) {
+	m := FitMargin([][]float64{{0.5, 0.5}}, []float64{1})
+	if m.Scale != 1 {
+		t.Fatalf("fallback scale = %v, want 1", m.Scale)
+	}
+}
+
+func TestMarginCostAndName(t *testing.T) {
+	m := &Margin{Scale: 1}
+	if m.Name() != "marginErrors" {
+		t.Fatal("name")
+	}
+	if c := m.Cost(); c.Compares != 3 || c.MACs != 0 {
+		t.Fatalf("cost %+v", c)
+	}
+	m.Reset() // must be a no-op
+}
+
+// Property: the margin prediction is monotone — widening the gap between
+// the top two outputs never increases the predicted error.
+func TestMarginMonotoneProperty(t *testing.T) {
+	m := &Margin{Scale: 0.7}
+	f := func(aRaw, bRaw uint8, widenRaw uint8) bool {
+		a := float64(aRaw) / 255
+		gap := float64(bRaw) / 255
+		widen := float64(widenRaw) / 255
+		narrow := m.PredictError(nil, []float64{a + gap, a})
+		wide := m.PredictError(nil, []float64{a + gap + widen, a})
+		return wide <= narrow+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package predictor implements Rumba's light-weight approximation-error
+// checkers (Section 3.2): the input-based linear model (Equation 1) and
+// decision tree (Figure 6), and the output-based exponential moving average
+// (Equation 2), plus the EVP-versus-EEP comparison of Section 3.2 (Figure 5).
+//
+// A predictor estimates the error of one output element from information a
+// dynamic checker can actually see — the accelerator's inputs and/or its
+// approximate output — never the exact result.
+package predictor
+
+import (
+	"fmt"
+	"math"
+
+	"rumba/internal/tensor"
+)
+
+// Cost models the hardware cost of evaluating one check, consumed by the
+// energy/latency models: multiply-accumulates (linear model, Figure 7a) and
+// compare operations (decision tree, Figure 7b; EMA comparison).
+type Cost struct {
+	MACs     float64
+	Compares float64
+}
+
+// Predictor is a light-weight error checker. Implementations must be cheap:
+// the paper's premise is that the check runs for *every* output element.
+type Predictor interface {
+	// Name is the scheme label used in the figures ("linearErrors", ...).
+	Name() string
+	// PredictError estimates the element's approximation error from the
+	// kernel input and the accelerator's approximate output.
+	PredictError(in, approxOut []float64) float64
+	// Cost returns the per-check hardware cost.
+	Cost() Cost
+	// Reset clears any cross-element state (only the EMA checker has
+	// state); called at the start of each accelerator invocation batch.
+	Reset()
+}
+
+// Linear is the linear error predictor of Equation 1:
+//
+//	err = w0*x0 + w1*x1 + ... + w{N-1}*x{N-1} + c
+//
+// The weights and constant are determined by offline training (least
+// squares on the observed training-set errors).
+type Linear struct {
+	Weights  []float64
+	Constant float64
+	Features []int // kernel-input projection; nil = all inputs
+}
+
+var _ Predictor = (*Linear)(nil)
+
+// Name implements Predictor.
+func (l *Linear) Name() string { return "linearErrors" }
+
+// PredictError implements Predictor. Predictions are clamped at zero since
+// an error magnitude cannot be negative.
+func (l *Linear) PredictError(in, _ []float64) float64 {
+	x := project(in, l.Features)
+	if len(x) != len(l.Weights) {
+		panic(fmt.Sprintf("predictor: linear model has %d weights, got %d inputs", len(l.Weights), len(x)))
+	}
+	s := l.Constant
+	for i, w := range l.Weights {
+		s += w * x[i]
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Cost implements Predictor: one MAC per input plus the threshold compare.
+func (l *Linear) Cost() Cost {
+	return Cost{MACs: float64(len(l.Weights)), Compares: 1}
+}
+
+// Reset implements Predictor (the linear model is stateless).
+func (l *Linear) Reset() {}
+
+// FitLinear trains a Linear predictor by ridge-regularised least squares on
+// (input, observed element error) pairs from the offline training run.
+// features selects the kernel-input subset to use (nil = all).
+func FitLinear(inputs [][]float64, errs []float64, features []int) (*Linear, error) {
+	if len(inputs) == 0 || len(inputs) != len(errs) {
+		return nil, fmt.Errorf("predictor: FitLinear needs matching non-empty inputs/errors")
+	}
+	d := len(project(inputs[0], features))
+	x := tensor.NewMatrix(len(inputs), d+1)
+	for i, in := range inputs {
+		row := x.Row(i)
+		row[0] = 1
+		copy(row[1:], project(in, features))
+	}
+	w, err := tensor.LeastSquares(x, errs, 1e-8)
+	if err != nil {
+		return nil, fmt.Errorf("predictor: linear fit failed: %w", err)
+	}
+	return &Linear{Weights: w[1:], Constant: w[0], Features: features}, nil
+}
+
+// EMA is the output-based checker of Section 3.2.3: it tracks an exponential
+// moving average of the accelerator outputs and flags elements that deviate
+// from the running trend,
+//
+//	EMA = e*alpha + previousEMA*(1-alpha),  alpha = 2/(1+N).
+type EMA struct {
+	// N is the history length; alpha = 2/(1+N).
+	N int
+	// Scale normalises the deviation into the element-error range; it is
+	// fitted offline as the output magnitude scale.
+	Scale float64
+
+	ema    float64
+	primed bool
+}
+
+var _ Predictor = (*EMA)(nil)
+
+// NewEMA builds an EMA checker with history length n (paper Equation 2) and
+// the given output scale.
+func NewEMA(n int, scale float64) *EMA {
+	if n <= 0 {
+		panic("predictor: EMA history length must be positive")
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return &EMA{N: n, Scale: scale}
+}
+
+// Name implements Predictor.
+func (e *EMA) Name() string { return "EMA" }
+
+// summarise collapses a (possibly multi-dimensional) output element into the
+// scalar the moving average tracks.
+func summarise(out []float64) float64 {
+	if len(out) == 1 {
+		return out[0]
+	}
+	return tensor.Mean(out)
+}
+
+// PredictError implements Predictor: the estimate is the normalised distance
+// between the current output and the moving average, and the average is then
+// updated with the current element.
+func (e *EMA) PredictError(_, approxOut []float64) float64 {
+	cur := summarise(approxOut)
+	if !e.primed {
+		e.ema = cur
+		e.primed = true
+		return 0
+	}
+	dev := math.Abs(cur-e.ema) / e.Scale
+	alpha := 2.0 / (1.0 + float64(e.N))
+	e.ema = cur*alpha + e.ema*(1-alpha)
+	return dev
+}
+
+// Cost implements Predictor: one multiply-add for the average update and the
+// deviation/threshold compares.
+func (e *EMA) Cost() Cost { return Cost{MACs: 2, Compares: 2} }
+
+// Reset implements Predictor.
+func (e *EMA) Reset() { e.ema, e.primed = 0, false }
+
+func project(in []float64, features []int) []float64 {
+	if features == nil {
+		return in
+	}
+	out := make([]float64, len(features))
+	for i, idx := range features {
+		out[i] = in[idx]
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tree is the decision-tree error predictor of Section 3.2.2 (Figure 6): an
+// input-based CART regression tree whose decision nodes compare one input
+// against a trained constant and whose leaves store the predicted error.
+// The paper limits the depth to 7, so a check costs at most 7 comparisons.
+type Tree struct {
+	// Nodes in preorder; index 0 is the root. Leaves have Feature == -1.
+	Nodes    []TreeNode
+	Depth    int
+	Features []int // kernel-input projection; nil = all inputs
+}
+
+// TreeNode is one node of the tree. For decision nodes, inputs with
+// x[Feature] < Thresh go Left, others Right. For leaves (Feature == -1),
+// Value is the predicted error.
+type TreeNode struct {
+	Feature     int
+	Thresh      float64
+	Left, Right int32 // indices into Nodes
+	Value       float64
+}
+
+var _ Predictor = (*Tree)(nil)
+
+// MaxTreeDepth is the paper's depth limit for the decision-tree checker.
+const MaxTreeDepth = 7
+
+// Name implements Predictor.
+func (t *Tree) Name() string { return "treeErrors" }
+
+// PredictError implements Predictor.
+func (t *Tree) PredictError(in, _ []float64) float64 {
+	x := project(in, t.Features)
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] < n.Thresh {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Cost implements Predictor: one comparison per level plus the threshold
+// compare.
+func (t *Tree) Cost() Cost { return Cost{Compares: float64(t.Depth) + 1} }
+
+// Reset implements Predictor (trees are stateless).
+func (t *Tree) Reset() {}
+
+// TreeConfig controls the offline tree trainer.
+type TreeConfig struct {
+	MaxDepth int // default (and paper cap): 7
+	MinLeaf  int // minimum samples per leaf; default 8
+	// Candidates is the number of quantile-spaced split thresholds
+	// examined per feature; default 24.
+	Candidates int
+}
+
+func (c *TreeConfig) setDefaults() {
+	if c.MaxDepth <= 0 || c.MaxDepth > MaxTreeDepth {
+		c.MaxDepth = MaxTreeDepth
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 8
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 24
+	}
+}
+
+// FitTree trains a regression tree on (input, observed element error) pairs
+// by greedy variance-reduction splitting.
+func FitTree(inputs [][]float64, errs []float64, features []int, cfg TreeConfig) (*Tree, error) {
+	if len(inputs) == 0 || len(inputs) != len(errs) {
+		return nil, fmt.Errorf("predictor: FitTree needs matching non-empty inputs/errors")
+	}
+	cfg.setDefaults()
+	proj := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		proj[i] = project(in, features)
+	}
+	t := &Tree{Features: features}
+	idx := make([]int, len(proj))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := treeBuilder{x: proj, y: errs, cfg: cfg, tree: t}
+	b.build(idx, 0)
+	t.Depth = b.maxDepth
+	return t, nil
+}
+
+type treeBuilder struct {
+	x        [][]float64
+	y        []float64
+	cfg      TreeConfig
+	tree     *Tree
+	maxDepth int
+}
+
+// build grows the subtree for the sample subset idx and returns its node
+// index.
+func (b *treeBuilder) build(idx []int, depth int) int32 {
+	if depth > b.maxDepth {
+		b.maxDepth = depth
+	}
+	mean, sse := meanSSE(b.y, idx)
+	node := int32(len(b.tree.Nodes))
+	b.tree.Nodes = append(b.tree.Nodes, TreeNode{Feature: -1, Value: mean})
+	if depth >= b.cfg.MaxDepth || len(idx) < 2*b.cfg.MinLeaf || sse < 1e-12 {
+		return node
+	}
+	feat, thresh, gain := b.bestSplit(idx, sse)
+	if feat < 0 || gain <= 1e-12 {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.x[i][feat] < thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return node
+	}
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.tree.Nodes[node] = TreeNode{Feature: feat, Thresh: thresh, Left: l, Right: r}
+	return node
+}
+
+// bestSplit searches quantile-spaced thresholds on every feature for the
+// split with the highest SSE reduction.
+func (b *treeBuilder) bestSplit(idx []int, parentSSE float64) (feat int, thresh, gain float64) {
+	feat = -1
+	nf := len(b.x[idx[0]])
+	vals := make([]float64, len(idx))
+	for f := 0; f < nf; f++ {
+		for k, i := range idx {
+			vals[k] = b.x[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if sorted[0] == sorted[len(sorted)-1] {
+			continue // constant feature
+		}
+		for c := 1; c <= b.cfg.Candidates; c++ {
+			q := float64(c) / float64(b.cfg.Candidates+1)
+			th := sorted[int(q*float64(len(sorted)-1))]
+			if th == sorted[0] {
+				continue // empty left side
+			}
+			var sumL, sumR, sqL, sqR float64
+			var nL, nR int
+			for k, i := range idx {
+				y := b.y[i]
+				if vals[k] < th {
+					sumL += y
+					sqL += y * y
+					nL++
+				} else {
+					sumR += y
+					sqR += y * y
+					nR++
+				}
+			}
+			if nL < b.cfg.MinLeaf || nR < b.cfg.MinLeaf {
+				continue
+			}
+			sse := (sqL - sumL*sumL/float64(nL)) + (sqR - sumR*sumR/float64(nR))
+			if g := parentSSE - sse; g > gain {
+				feat, thresh, gain = f, th, g
+			}
+		}
+	}
+	return feat, thresh, gain
+}
+
+func meanSSE(y []float64, idx []int) (mean, sse float64) {
+	var sum, sq float64
+	for _, i := range idx {
+		sum += y[i]
+		sq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	mean = sum / n
+	sse = sq - sum*sum/n
+	if sse < 0 { // numerical guard
+		sse = 0
+	}
+	return mean, sse
+}
+
+// LeafCount returns the number of leaves, used by tests and the ablation
+// bench.
+func (t *Tree) LeafCount() int {
+	n := 0
+	for _, node := range t.Nodes {
+		if node.Feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxAbsPrediction returns the largest leaf value; a sanity bound for tests.
+func (t *Tree) MaxAbsPrediction() float64 {
+	m := 0.0
+	for _, node := range t.Nodes {
+		if node.Feature < 0 {
+			m = math.Max(m, math.Abs(node.Value))
+		}
+	}
+	return m
+}

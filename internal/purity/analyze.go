@@ -1,0 +1,235 @@
+package purity
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// analyzeFunc walks one function body and returns the local purity
+// violations plus the set of functions it calls (for the fixpoint).
+//
+// The ownership rule: a write through an index or dereference is pure only
+// when the written object is *locally owned* — allocated inside the function
+// (make/new/composite literal) and never received from a parameter or a
+// global. Parameters are readable; writing to them (or through them)
+// mutates caller-visible state, which is what the paper's purity definition
+// ("only write to their outputs") excludes for re-executable regions whose
+// output is the return value.
+func analyzeFunc(fd *ast.FuncDecl, globals map[string]bool) (reasons []string, calls map[string]bool) {
+	calls = map[string]bool{}
+	owned := map[string]bool{}    // locally allocated objects
+	locals := map[string]bool{}   // names declared in this function
+	closures := map[string]bool{} // local variables holding function literals
+	// ast.Inspect recurses into function-literal bodies, so a closure's
+	// statements are analysed as part of this function; calling a local
+	// closure therefore adds nothing beyond what is already checked.
+
+	// Parameters and receivers are local names but NOT owned.
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				locals[n.Name] = true
+			}
+		}
+		// A method on a pointer receiver can always mutate the receiver;
+		// value receivers of reference types can too. Methods are treated
+		// like functions: only writes make them impure.
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				locals[n.Name] = true
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, n := range f.Names {
+				locals[n.Name] = true
+				owned[n.Name] = true // named results belong to this call
+			}
+		}
+	}
+
+	addReason := func(format string, args ...any) {
+		reasons = append(reasons, fmt.Sprintf(format, args...))
+	}
+
+	// rootIdent returns the base identifier of an lvalue expression chain
+	// (x, x[i], x.f, *x, ...).
+	var rootIdent func(e ast.Expr) (*ast.Ident, bool)
+	rootIdent = func(e ast.Expr) (*ast.Ident, bool) {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v, true
+		case *ast.IndexExpr:
+			return rootIdent(v.X)
+		case *ast.SelectorExpr:
+			return rootIdent(v.X)
+		case *ast.StarExpr:
+			return rootIdent(v.X)
+		case *ast.ParenExpr:
+			return rootIdent(v.X)
+		case *ast.SliceExpr:
+			return rootIdent(v.X)
+		default:
+			return nil, false
+		}
+	}
+
+	// allocates reports whether an expression yields a locally owned value.
+	allocates := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make", "new", "append", "copy":
+					return true
+				}
+			}
+			// A call result is a fresh value (pure callees don't alias
+			// their inputs into outputs in this codebase's style); being
+			// conservative here would reject essentially everything, so
+			// ownership of call results is assumed and the callee's own
+			// purity is checked separately via the fixpoint.
+			return true
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			return v.Op == token.AND // &T{...}
+		case *ast.BasicLit:
+			return true
+		}
+		return false
+	}
+
+	handleAssign := func(as *ast.AssignStmt) {
+		for i, lhs := range as.Lhs {
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			switch lv := lhs.(type) {
+			case *ast.Ident:
+				if lv.Name == "_" {
+					continue
+				}
+				if globals[lv.Name] && !locals[lv.Name] {
+					addReason("writes package-level variable %s", lv.Name)
+					continue
+				}
+				if as.Tok == token.DEFINE {
+					locals[lv.Name] = true
+				}
+				locals[lv.Name] = true
+				if _, isLit := rhs.(*ast.FuncLit); rhs != nil && isLit {
+					closures[lv.Name] = true
+					owned[lv.Name] = true
+					continue
+				}
+				if rhs != nil && allocates(rhs) {
+					owned[lv.Name] = true
+				} else if rhs != nil {
+					// Aliasing: x = param keeps x un-owned; x = ownedVar
+					// keeps ownership.
+					if rid, ok := rootIdent(rhs); ok {
+						owned[lv.Name] = owned[rid.Name]
+					} else {
+						owned[lv.Name] = true // literals, arithmetic
+					}
+				}
+			default:
+				// Write through an index/star/selector chain: pure only if
+				// the root object is locally owned.
+				root, ok := rootIdent(lhs)
+				if !ok {
+					addReason("writes through an unanalysable lvalue")
+					continue
+				}
+				if globals[root.Name] && !locals[root.Name] {
+					addReason("writes package-level variable %s", root.Name)
+					continue
+				}
+				if !owned[root.Name] {
+					addReason("writes through non-owned object %s (parameter or alias)", root.Name)
+				}
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			handleAssign(v)
+		case *ast.IncDecStmt:
+			if root, ok := rootIdent(v.X); ok {
+				if globals[root.Name] && !locals[root.Name] {
+					addReason("writes package-level variable %s", root.Name)
+				} else if _, isIdent := v.X.(*ast.Ident); !isIdent && !owned[root.Name] {
+					addReason("increments through non-owned object %s", root.Name)
+				}
+			}
+		case *ast.RangeStmt:
+			// Range variables are locals (and plain values).
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					locals[id.Name] = true
+					owned[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if _, direct := v.Fun.(*ast.FuncLit); direct {
+				break // immediately-invoked literal: body analysed inline
+			}
+			name := callName(v)
+			switch {
+			case name == "":
+				calls["<dynamic call>"] = true
+			case closures[name]:
+				// Local closure: body already analysed inline.
+			default:
+				calls[name] = true
+			}
+		case *ast.GoStmt:
+			addReason("spawns a goroutine")
+		case *ast.SendStmt:
+			addReason("sends on a channel")
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, n := range vs.Names {
+							locals[n.Name] = true
+							owned[n.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return reasons, calls
+}
+
+// callName renders a call target as "name" or "pkg.Name"; method calls on
+// local values return "" unless resolvable, which the caller treats as
+// unknown (conservative) — except calls on owned receivers, which remain
+// conservative too.
+func callName(c *ast.CallExpr) string {
+	switch fun := c.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+	case *ast.ArrayType, *ast.MapType:
+		return "make" // conversion-like
+	case *ast.ParenExpr:
+		return ""
+	}
+	return ""
+}

@@ -1,0 +1,254 @@
+package purity
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) Report {
+	t.Helper()
+	rep, err := AnalyzeSource("test.go", "package p\n"+src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func mustVerdict(t *testing.T, rep Report, fn string) Verdict {
+	t.Helper()
+	v, ok := rep.Lookup(fn)
+	if !ok {
+		t.Fatalf("no verdict for %s in %+v", fn, rep)
+	}
+	return v
+}
+
+func TestPureArithmeticFunction(t *testing.T) {
+	rep := analyze(t, `
+func add(a, b float64) float64 { return a + b }`)
+	if v := mustVerdict(t, rep, "add"); !v.Pure {
+		t.Fatalf("add should be pure: %v", v.Reasons)
+	}
+}
+
+func TestPureWithLocalAllocation(t *testing.T) {
+	rep := analyze(t, `
+func double(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = 2 * v
+	}
+	return out
+}`)
+	if v := mustVerdict(t, rep, "double"); !v.Pure {
+		t.Fatalf("double should be pure: %v", v.Reasons)
+	}
+}
+
+func TestImpureGlobalWrite(t *testing.T) {
+	rep := analyze(t, `
+var counter int
+
+func bump(x int) int {
+	counter++
+	return x
+}`)
+	v := mustVerdict(t, rep, "bump")
+	if v.Pure {
+		t.Fatal("bump writes a global")
+	}
+	if !strings.Contains(strings.Join(v.Reasons, ";"), "counter") {
+		t.Fatalf("reason should name the global: %v", v.Reasons)
+	}
+}
+
+func TestImpureParameterMutation(t *testing.T) {
+	rep := analyze(t, `
+func scale(in []float64, k float64) {
+	for i := range in {
+		in[i] *= k
+	}
+}`)
+	v := mustVerdict(t, rep, "scale")
+	if v.Pure {
+		t.Fatal("scale mutates its input slice")
+	}
+}
+
+func TestImpurePointerWrite(t *testing.T) {
+	rep := analyze(t, `
+func set(p *float64) { *p = 3 }`)
+	if v := mustVerdict(t, rep, "set"); v.Pure {
+		t.Fatal("set writes through a pointer parameter")
+	}
+}
+
+func TestGlobalReadIsPure(t *testing.T) {
+	rep := analyze(t, `
+var table = [4]float64{1, 2, 3, 4}
+
+func lookup(i int) float64 { return table[i%4] }`)
+	if v := mustVerdict(t, rep, "lookup"); !v.Pure {
+		t.Fatalf("reading a global should be pure: %v", v.Reasons)
+	}
+}
+
+func TestImpurityPropagatesThroughCalls(t *testing.T) {
+	rep := analyze(t, `
+var g int
+
+func dirty() int { g = 1; return g }
+
+func wrapper(x int) int { return x + dirty() }
+
+func clean(x int) int { return x * 2 }
+
+func usesClean(x int) int { return clean(x) + 1 }`)
+	if v := mustVerdict(t, rep, "wrapper"); v.Pure {
+		t.Fatal("wrapper calls an impure function")
+	}
+	if v := mustVerdict(t, rep, "usesClean"); !v.Pure {
+		t.Fatalf("usesClean calls a pure function: %v", v.Reasons)
+	}
+}
+
+func TestUnknownCallIsConservative(t *testing.T) {
+	rep := analyze(t, `
+import "os"
+
+func writer(s string) { os.Stdout.WriteString(s) }`)
+	if v := mustVerdict(t, rep, "writer"); v.Pure {
+		t.Fatal("unknown call targets must be conservative")
+	}
+}
+
+func TestMathCallsAreTrusted(t *testing.T) {
+	rep := analyze(t, `
+import "math"
+
+func norm(x, y float64) float64 { return math.Sqrt(x*x + y*y) }`)
+	if v := mustVerdict(t, rep, "norm"); !v.Pure {
+		t.Fatalf("math calls are pure: %v", v.Reasons)
+	}
+}
+
+func TestGoroutineAndChannelAreImpure(t *testing.T) {
+	rep := analyze(t, `
+func spawn(ch chan int) {
+	go func() {}()
+	ch <- 1
+}`)
+	v := mustVerdict(t, rep, "spawn")
+	if v.Pure {
+		t.Fatal("goroutines/sends are impure")
+	}
+}
+
+func TestRecursionConvergesToPure(t *testing.T) {
+	rep := analyze(t, `
+func fact(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return n * fact(n-1)
+}`)
+	if v := mustVerdict(t, rep, "fact"); !v.Pure {
+		t.Fatalf("pure recursion should pass: %v", v.Reasons)
+	}
+}
+
+func TestPureFraction(t *testing.T) {
+	rep := analyze(t, `
+var g int
+
+func a() int { return 1 }
+func b() int { g = 2; return g }`)
+	if f := rep.PureFraction(); f != 0.5 {
+		t.Fatalf("PureFraction = %v, want 0.5", f)
+	}
+	if (Report{}).PureFraction() != 0 {
+		t.Fatal("empty report fraction")
+	}
+}
+
+func TestAnalyzeSourceSyntaxError(t *testing.T) {
+	if _, err := AnalyzeSource("x.go", "package p\nfunc ("); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestAnalyzeDirMissing(t *testing.T) {
+	if _, err := AnalyzeDir("/definitely/not/here"); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+}
+
+// The benchmark kernels themselves must be provably pure: that is the
+// property Rumba's selective re-execution depends on (Section 2.2).
+func TestBenchmarkKernelsAreProvablyPure(t *testing.T) {
+	// imageutil.Clamp255 is a pure helper from a sibling package; its own
+	// purity is verified by TestImageutilClampIsPure below.
+	rep, err := AnalyzeDir("../bench", "imageutil.Clamp255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels := []string{
+		"blackScholesExact", "fftTwiddleExact", "inverseK2JExact",
+		"jmeintExact", "jpegExact", "kmeansExact", "sobelExact",
+	}
+	for _, k := range kernels {
+		v, ok := rep.Lookup(k)
+		if !ok {
+			t.Fatalf("kernel %s not found in bench package", k)
+		}
+		if !v.Pure {
+			t.Errorf("kernel %s not provably pure: %v", k, v.Reasons)
+		}
+	}
+	// The Rodinia-style statistic: well over half of the bench package's
+	// functions should be pure (the paper reports >70% for Rodinia's
+	// data-parallel regions).
+	if f := rep.PureFraction(); f < 0.5 {
+		t.Errorf("bench package pure fraction %v suspiciously low", f)
+	}
+}
+
+// TestImageutilClampIsPure backs the trust assertion used above.
+func TestImageutilClampIsPure(t *testing.T) {
+	rep, err := AnalyzeDir("../imageutil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rep.Lookup("Clamp255")
+	if !ok {
+		t.Fatal("Clamp255 not found")
+	}
+	if !v.Pure {
+		t.Fatalf("Clamp255 should be pure: %v", v.Reasons)
+	}
+}
+
+func TestLocalClosureIsAnalysedInline(t *testing.T) {
+	rep := analyze(t, `
+func usesClosure(x float64) float64 {
+	sq := func(v float64) float64 { return v * v }
+	return sq(x) + sq(2*x)
+}`)
+	if v := mustVerdict(t, rep, "usesClosure"); !v.Pure {
+		t.Fatalf("local closures should not block purity: %v", v.Reasons)
+	}
+}
+
+func TestImpureClosureBodyStillCaught(t *testing.T) {
+	rep := analyze(t, `
+var g int
+
+func sneaky(x int) int {
+	f := func() { g = x }
+	f()
+	return x
+}`)
+	if v := mustVerdict(t, rep, "sneaky"); v.Pure {
+		t.Fatal("global write inside a closure must be caught")
+	}
+}

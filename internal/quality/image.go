@@ -1,0 +1,60 @@
+package quality
+
+import "math"
+
+// Image-level quality metrics used by the Figure 2 demonstration and the
+// image-pipeline example. They operate on flat pixel slices so they stay
+// decoupled from the image substrate.
+
+// MSE returns the mean squared error between two equally long pixel slices.
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("quality: MSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB for the given peak
+// value (255 for 8-bit images). Identical inputs yield +Inf.
+func PSNR(a, b []float64, peak float64) float64 {
+	mse := MSE(a, b)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	if peak <= 0 {
+		peak = 255
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// PerceptibleFraction returns the fraction of pixels whose absolute error
+// exceeds threshold*peak — the "noticeable pixels" statistic behind the
+// Figure 2 argument that error distribution, not just average error,
+// determines perceived quality.
+func PerceptibleFraction(a, b []float64, peak, threshold float64) float64 {
+	if len(a) != len(b) {
+		panic("quality: PerceptibleFraction length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if peak <= 0 {
+		peak = 255
+	}
+	bound := threshold * peak
+	n := 0
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}

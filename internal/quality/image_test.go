@@ -1,0 +1,64 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMSE(t *testing.T) {
+	a := []float64{0, 10}
+	b := []float64{0, 20}
+	if got := MSE(a, b); got != 50 {
+		t.Fatalf("MSE = %v, want 50", got)
+	}
+	if MSE(nil, nil) != 0 {
+		t.Fatal("empty MSE must be 0")
+	}
+}
+
+func TestMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE([]float64{1}, []float64{1, 2})
+}
+
+func TestPSNR(t *testing.T) {
+	a := []float64{100, 100}
+	if !math.IsInf(PSNR(a, a, 255), 1) {
+		t.Fatal("identical images must have infinite PSNR")
+	}
+	// MSE 25 against peak 255: 10*log10(255^2/25) ~ 34.15 dB.
+	b := []float64{105, 95}
+	got := PSNR(a, b, 255)
+	if math.Abs(got-34.1514) > 1e-3 {
+		t.Fatalf("PSNR = %v, want ~34.15", got)
+	}
+	// Peak fallback.
+	if PSNR(a, b, 0) != got {
+		t.Fatal("non-positive peak must fall back to 255")
+	}
+}
+
+func TestPSNRMonotoneInNoise(t *testing.T) {
+	a := []float64{50, 100, 150}
+	small := []float64{51, 101, 151}
+	big := []float64{60, 110, 160}
+	if PSNR(a, small, 255) <= PSNR(a, big, 255) {
+		t.Fatal("less noise must mean higher PSNR")
+	}
+}
+
+func TestPerceptibleFraction(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{0, 10, 100, 255}
+	// Threshold 20% of peak 255 = 51: two pixels exceed it.
+	if got := PerceptibleFraction(a, b, 255, 0.2); got != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", got)
+	}
+	if PerceptibleFraction(nil, nil, 255, 0.2) != 0 {
+		t.Fatal("empty input")
+	}
+}

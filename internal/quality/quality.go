@@ -1,0 +1,245 @@
+// Package quality implements the application-specific output-quality metrics
+// of Table 1 (mean relative error, mismatch count, mean pixel/output diff)
+// together with the error-distribution machinery behind Figures 1, 2 and 13:
+// per-element relative errors, error CDFs and large-error statistics.
+//
+// Throughout the package "error" is expressed as a fraction in [0, +inf)
+// (0.10 == 10% output error == 90% output quality), matching the paper's
+// convention that output error of 5% represents 95% output quality.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metric identifies an application-specific output-quality metric.
+type Metric int
+
+const (
+	// MeanRelativeError averages |approx-exact| / |exact| per output value
+	// (blackscholes, fft, inversek2j).
+	MeanRelativeError Metric = iota
+	// MismatchRate is the fraction of outputs whose classification differs
+	// (jmeint: "# of mismatches").
+	MismatchRate
+	// MeanPixelDiff averages |approx-exact| normalised to the pixel range
+	// (jpeg, sobel).
+	MeanPixelDiff
+	// MeanOutputDiff averages |approx-exact| normalised to the output range
+	// (kmeans).
+	MeanOutputDiff
+)
+
+// String implements fmt.Stringer using the paper's wording.
+func (m Metric) String() string {
+	switch m {
+	case MeanRelativeError:
+		return "Mean Relative Error"
+	case MismatchRate:
+		return "# of mismatches"
+	case MeanPixelDiff:
+		return "Mean Pixel Diff"
+	case MeanOutputDiff:
+		return "Mean Output Diff"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// relFloor protects relative error against division by (near) zero; errors
+// on tiny exact values are measured against this floor instead, the usual
+// convention in the approximate-computing literature. When the caller
+// supplies a positive output scale, the floor is 5% of that scale so the
+// convention is magnitude-independent.
+const relFloor = 1e-2
+
+// ElementError returns the error of one output element under the metric.
+// Both slices hold the element's output vector (possibly multi-dimensional,
+// e.g. fft's (re, im) pair); the element error aggregates over the vector.
+//
+// scale is the output magnitude/range: the *Diff metrics divide by it, and
+// MeanRelativeError uses 5% of it as the near-zero denominator floor. It is
+// ignored by MismatchRate.
+func ElementError(m Metric, exact, approx []float64, scale float64) float64 {
+	if len(exact) != len(approx) {
+		panic("quality: exact/approx length mismatch")
+	}
+	if len(exact) == 0 {
+		return 0
+	}
+	switch m {
+	case MeanRelativeError:
+		floor := relFloor
+		if scale > 0 {
+			floor = 0.05 * scale
+		}
+		var s float64
+		for i := range exact {
+			den := math.Abs(exact[i])
+			if den < floor {
+				den = floor
+			}
+			s += math.Abs(approx[i]-exact[i]) / den
+		}
+		return s / float64(len(exact))
+	case MismatchRate:
+		// Classification outputs: the element is wrong iff the argmax
+		// differs (jmeint uses a 2-way one-hot encoding).
+		if argmax(exact) == argmax(approx) {
+			return 0
+		}
+		return 1
+	case MeanPixelDiff, MeanOutputDiff:
+		if scale <= 0 {
+			scale = 1
+		}
+		var s float64
+		for i := range exact {
+			s += math.Abs(approx[i]-exact[i]) / scale
+		}
+		return s / float64(len(exact))
+	default:
+		panic(fmt.Sprintf("quality: unknown metric %v", m))
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// OutputError aggregates per-element errors into the whole-application output
+// error, which is their mean for every Table 1 metric.
+func OutputError(elementErrors []float64) float64 {
+	if len(elementErrors) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range elementErrors {
+		s += e
+	}
+	return s / float64(len(elementErrors))
+}
+
+// ErrorAfterFixing returns the application output error if exactly the
+// elements in fixed (by index) are recomputed exactly, i.e. their element
+// error becomes zero.
+func ErrorAfterFixing(elementErrors []float64, fixed []int) float64 {
+	if len(elementErrors) == 0 {
+		return 0
+	}
+	var removed float64
+	seen := make(map[int]bool, len(fixed))
+	for _, idx := range fixed {
+		if idx < 0 || idx >= len(elementErrors) || seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		removed += elementErrors[idx]
+	}
+	total := OutputError(elementErrors) * float64(len(elementErrors))
+	return (total - removed) / float64(len(elementErrors))
+}
+
+// CDFPoint is one point of an error CDF: Fraction of elements whose error is
+// <= Error.
+type CDFPoint struct {
+	Error    float64
+	Fraction float64
+}
+
+// CDF computes the cumulative distribution of element errors sampled at the
+// given number of evenly spaced error levels between 0 and the maximum error
+// (Figure 1). points must be >= 2.
+func CDF(elementErrors []float64, points int) []CDFPoint {
+	if points < 2 {
+		panic("quality: CDF needs at least 2 points")
+	}
+	if len(elementErrors) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), elementErrors...)
+	sort.Float64s(sorted)
+	maxErr := sorted[len(sorted)-1]
+	if maxErr == 0 {
+		maxErr = 1e-9
+	}
+	out := make([]CDFPoint, points)
+	for i := 0; i < points; i++ {
+		level := maxErr * float64(i) / float64(points-1)
+		// Count elements <= level by binary search.
+		n := sort.SearchFloat64s(sorted, math.Nextafter(level, math.Inf(1)))
+		out[i] = CDFPoint{Error: level, Fraction: float64(n) / float64(len(sorted))}
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of elements with error <= level.
+func FractionBelow(elementErrors []float64, level float64) float64 {
+	if len(elementErrors) == 0 {
+		return 0
+	}
+	n := 0
+	for _, e := range elementErrors {
+		if e <= level {
+			n++
+		}
+	}
+	return float64(n) / float64(len(elementErrors))
+}
+
+// LargeErrorThreshold is the paper's cutoff for a "large" approximation
+// error: 20% relative error (Section 5.1, large error coverage).
+const LargeErrorThreshold = 0.20
+
+// LargeErrors returns the indices of elements whose error exceeds the
+// threshold.
+func LargeErrors(elementErrors []float64, threshold float64) []int {
+	var out []int
+	for i, e := range elementErrors {
+		if e > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Summary condenses an element-error vector for reports.
+type Summary struct {
+	Count         int
+	Mean          float64
+	Max           float64
+	P95           float64
+	LargeFraction float64 // fraction of elements above LargeErrorThreshold
+}
+
+// Summarize computes a Summary.
+func Summarize(elementErrors []float64) Summary {
+	s := Summary{Count: len(elementErrors)}
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), elementErrors...)
+	sort.Float64s(sorted)
+	var sum float64
+	large := 0
+	for _, e := range sorted {
+		sum += e
+		if e > LargeErrorThreshold {
+			large++
+		}
+	}
+	s.Mean = sum / float64(s.Count)
+	s.Max = sorted[s.Count-1]
+	idx := int(0.95 * float64(s.Count-1))
+	s.P95 = sorted[idx]
+	s.LargeFraction = float64(large) / float64(s.Count)
+	return s
+}

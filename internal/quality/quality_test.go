@@ -1,0 +1,178 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestElementErrorMeanRelative(t *testing.T) {
+	e := ElementError(MeanRelativeError, []float64{10, 20}, []float64{11, 18}, 0)
+	// (0.1 + 0.1) / 2 = 0.1
+	if math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("error = %v, want 0.1", e)
+	}
+}
+
+func TestElementErrorRelativeFloor(t *testing.T) {
+	// Exact value near zero must not explode to infinity.
+	e := ElementError(MeanRelativeError, []float64{1e-9}, []float64{0.005}, 0)
+	if math.IsInf(e, 0) || e > 1 {
+		t.Fatalf("floored relative error = %v, want bounded", e)
+	}
+}
+
+func TestElementErrorMismatch(t *testing.T) {
+	if e := ElementError(MismatchRate, []float64{0.9, 0.1}, []float64{0.8, 0.2}, 0); e != 0 {
+		t.Fatalf("same argmax must be 0, got %v", e)
+	}
+	if e := ElementError(MismatchRate, []float64{0.9, 0.1}, []float64{0.2, 0.8}, 0); e != 1 {
+		t.Fatalf("different argmax must be 1, got %v", e)
+	}
+}
+
+func TestElementErrorPixelDiff(t *testing.T) {
+	e := ElementError(MeanPixelDiff, []float64{100}, []float64{110}, 255)
+	if math.Abs(e-10.0/255) > 1e-12 {
+		t.Fatalf("pixel diff = %v", e)
+	}
+	// Zero/negative scale falls back to 1.
+	e = ElementError(MeanOutputDiff, []float64{1}, []float64{1.5}, 0)
+	if e != 0.5 {
+		t.Fatalf("scale fallback = %v, want 0.5", e)
+	}
+}
+
+func TestElementErrorPanicsOnMismatchedLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ElementError(MeanRelativeError, []float64{1}, []float64{1, 2}, 0)
+}
+
+func TestOutputError(t *testing.T) {
+	if e := OutputError([]float64{0.1, 0.2, 0.3}); math.Abs(e-0.2) > 1e-12 {
+		t.Fatalf("OutputError = %v", e)
+	}
+	if OutputError(nil) != 0 {
+		t.Fatal("empty must be 0")
+	}
+}
+
+func TestErrorAfterFixing(t *testing.T) {
+	errs := []float64{0.4, 0.0, 0.2, 0.2}
+	// Fix the largest: (0 + 0 + 0.2 + 0.2)/4 = 0.1
+	if e := ErrorAfterFixing(errs, []int{0}); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("after fixing = %v, want 0.1", e)
+	}
+	// Duplicate and out-of-range indices are ignored.
+	if e := ErrorAfterFixing(errs, []int{0, 0, -1, 99}); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("robust fixing = %v, want 0.1", e)
+	}
+	// Fixing everything yields zero error.
+	if e := ErrorAfterFixing(errs, []int{0, 1, 2, 3}); e != 0 {
+		t.Fatalf("fix all = %v, want 0", e)
+	}
+}
+
+// Property: fixing any subset never increases the output error, and fixing a
+// superset never yields more error than the subset.
+func TestErrorAfterFixingMonotoneProperty(t *testing.T) {
+	r := rng.New(21)
+	f := func(n uint8) bool {
+		m := int(n)%40 + 2
+		errs := make([]float64, m)
+		for i := range errs {
+			errs[i] = r.Range(0, 1)
+		}
+		base := OutputError(errs)
+		k := r.Intn(m)
+		sub := r.Perm(m)[:k]
+		super := append(append([]int{}, sub...), r.Intn(m))
+		eSub := ErrorAfterFixing(errs, sub)
+		eSuper := ErrorAfterFixing(errs, super)
+		return eSub <= base+1e-12 && eSuper <= eSub+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	// The Figure 1 shape: many small errors, few large ones.
+	errs := make([]float64, 100)
+	for i := 0; i < 80; i++ {
+		errs[i] = 0.05
+	}
+	for i := 80; i < 100; i++ {
+		errs[i] = 0.8
+	}
+	cdf := CDF(errs, 11)
+	if len(cdf) != 11 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	if cdf[0].Error != 0 || cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatalf("CDF endpoints wrong: %+v ... %+v", cdf[0], cdf[len(cdf)-1])
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatal("CDF must be monotone")
+		}
+	}
+	// 80% of elements sit below 10% error.
+	if f := FractionBelow(errs, 0.10); f != 0.8 {
+		t.Fatalf("FractionBelow(0.1) = %v, want 0.8", f)
+	}
+}
+
+func TestCDFEdgeCases(t *testing.T) {
+	if CDF(nil, 5) != nil {
+		t.Fatal("empty input must yield nil")
+	}
+	cdf := CDF([]float64{0, 0, 0}, 3)
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatal("all-zero errors must still reach fraction 1")
+	}
+}
+
+func TestLargeErrors(t *testing.T) {
+	idx := LargeErrors([]float64{0.1, 0.25, 0.19, 0.5}, LargeErrorThreshold)
+	if len(idx) != 2 || idx[0] != 1 || idx[1] != 3 {
+		t.Fatalf("LargeErrors = %v", idx)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	errs := []float64{0.0, 0.1, 0.1, 0.5}
+	s := Summarize(errs)
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Mean-0.175) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Max != 0.5 {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.LargeFraction != 0.25 {
+		t.Fatalf("large fraction = %v", s.LargeFraction)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 || empty.Mean != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MeanRelativeError.String() != "Mean Relative Error" {
+		t.Fatal("metric string")
+	}
+	if MismatchRate.String() != "# of mismatches" {
+		t.Fatal("metric string")
+	}
+}

@@ -1,0 +1,137 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// streams used throughout the Rumba reproduction.
+//
+// Every stochastic component (dataset generation, neural-network weight
+// initialisation, training shuffles, the Random fix selector) draws from a
+// named stream derived from an experiment label, so every experiment in the
+// repository is bit-reproducible between runs and independent of the order in
+// which experiments execute.
+//
+// The generator is splitmix64 for seeding and xoshiro256** for the stream;
+// both are public-domain algorithms implemented here from their reference
+// descriptions so the module has no dependencies beyond the standard library.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random number generator. The zero value is
+// not valid; construct streams with New or NewNamed.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is used
+// only to expand a 64-bit seed into the 256-bit xoshiro state.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from the given 64-bit seed.
+func New(seed uint64) *Stream {
+	st := seed
+	var s Stream
+	for i := range s.s {
+		s.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+// NewNamed returns a stream whose seed is derived from a human-readable
+// label (for example "fig10/sobel/random"). Identical labels always produce
+// identical streams.
+func NewNamed(label string) *Stream {
+	// FNV-1a, 64 bit.
+	const (
+		offset = 1469598103934665603
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return New(h)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Stream) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire-style bounded generation with rejection to remove modulo bias.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Norm returns a normally distributed value with the given mean and standard
+// deviation, using the Box-Muller transform.
+func (r *Stream) Norm(mean, stddev float64) float64 {
+	// Avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes the given index slice in place (Fisher-Yates).
+func (r *Stream) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,21 @@
+package sampling_test
+
+import (
+	"fmt"
+
+	"rumba/internal/sampling"
+)
+
+// ExampleEvaluate shows why once-every-N monitoring misses violations: ten
+// invocations, two of them bad, a 1-in-5 sampler that happens to check the
+// good ones.
+func ExampleEvaluate() {
+	errors := []float64{0.01, 0.5, 0.02, 0.01, 0.01, 0.02, 0.6, 0.01, 0.02, 0.01}
+	res, err := sampling.Evaluate(errors, sampling.Policy{Period: 5, MaxError: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("violations=%d detected=%d missed=%d\n", res.Violations, res.Detected, res.Missed)
+	// Output:
+	// violations=2 detected=0 missed=2
+}

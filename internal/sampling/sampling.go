@@ -1,0 +1,108 @@
+// Package sampling implements the quality-sampling baseline that Rumba's
+// introduction argues against (Green- and SAGE-style monitoring, refs [6]
+// and [32] of the paper): output quality is measured by running the exact
+// and the approximate versions side by side once every N invocations, and a
+// violation triggers recovery of that sampled invocation only. Because the
+// output quality is input-dependent (Challenge II), violations between
+// samples are silently missed — which is exactly what the comparison
+// experiment in this repository quantifies against Rumba's continuous
+// per-element checks.
+package sampling
+
+import "fmt"
+
+// Policy describes a quality-sampling monitor.
+type Policy struct {
+	// Period checks one invocation out of every Period (the paper's
+	// "once in every N invocations"). Period 1 degenerates to checking
+	// everything (and paying an exact execution for every invocation).
+	Period int
+	// MaxError is the acceptable per-invocation output error; a sampled
+	// invocation above it counts as a detected violation and is repaired
+	// by exact re-execution.
+	MaxError float64
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.Period <= 0 {
+		return fmt.Errorf("sampling: period %d must be positive", p.Period)
+	}
+	if p.MaxError < 0 {
+		return fmt.Errorf("sampling: negative error bound %v", p.MaxError)
+	}
+	return nil
+}
+
+// Result summarises a monitored run.
+type Result struct {
+	Invocations int
+	// Violations is the number of invocations whose true output error
+	// exceeded the bound.
+	Violations int
+	// Checked is the number of invocations the monitor actually sampled.
+	Checked int
+	// Detected is the number of violations that fell on a sampled
+	// invocation (and were therefore repaired).
+	Detected int
+	// Missed is Violations - Detected: low-quality outputs delivered to
+	// the user without the monitor noticing.
+	Missed int
+	// DetectionRate is Detected / Violations (1 if there were none).
+	DetectionRate float64
+	// ResidualError is the mean per-invocation error after the detected
+	// violations are repaired (their error becomes zero).
+	ResidualError float64
+	// CheckCostInvocations counts the extra exact executions the monitor
+	// paid: one per sampled invocation (the exact run used for the
+	// comparison) — the "running an application twice" overhead of
+	// Challenge III.
+	CheckCostInvocations int
+}
+
+// Evaluate runs the sampling monitor over a series of per-invocation output
+// errors (in invocation order) and reports what it caught, what it missed,
+// and what it cost.
+func Evaluate(errors []float64, p Policy) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Invocations: len(errors)}
+	var residual float64
+	for i, e := range errors {
+		violating := e > p.MaxError
+		if violating {
+			res.Violations++
+		}
+		sampled := i%p.Period == 0
+		if sampled {
+			res.Checked++
+			res.CheckCostInvocations++
+			if violating {
+				res.Detected++
+				e = 0 // repaired by exact re-execution
+			}
+		}
+		residual += e
+	}
+	res.Missed = res.Violations - res.Detected
+	if res.Violations > 0 {
+		res.DetectionRate = float64(res.Detected) / float64(res.Violations)
+	} else {
+		res.DetectionRate = 1
+	}
+	if res.Invocations > 0 {
+		res.ResidualError = residual / float64(res.Invocations)
+	}
+	return res, nil
+}
+
+// ExpectedDetectionRate is the analytical detection rate of a period-N
+// sampler against violations that land uniformly at random: 1/N. The
+// experiment compares the measured rate against it.
+func ExpectedDetectionRate(period int) float64 {
+	if period <= 0 {
+		return 0
+	}
+	return 1 / float64(period)
+}

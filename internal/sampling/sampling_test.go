@@ -1,0 +1,104 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(nil, Policy{Period: 0, MaxError: 0.1}); err == nil {
+		t.Fatal("zero period must fail")
+	}
+	if _, err := Evaluate(nil, Policy{Period: 5, MaxError: -1}); err == nil {
+		t.Fatal("negative bound must fail")
+	}
+}
+
+func TestEvaluateCatchesOnlySampledViolations(t *testing.T) {
+	// Violations at indices 0 (sampled) and 1 (not sampled) with period 2.
+	errors := []float64{0.5, 0.5, 0.01, 0.01}
+	res, err := Evaluate(errors, Policy{Period: 2, MaxError: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 2 || res.Detected != 1 || res.Missed != 1 {
+		t.Fatalf("violations/detected/missed = %d/%d/%d", res.Violations, res.Detected, res.Missed)
+	}
+	if res.Checked != 2 || res.CheckCostInvocations != 2 {
+		t.Fatalf("checks = %d, cost = %d", res.Checked, res.CheckCostInvocations)
+	}
+	// Residual: index 0 repaired; (0 + 0.5 + 0.01 + 0.01)/4.
+	if math.Abs(res.ResidualError-0.13) > 1e-12 {
+		t.Fatalf("residual = %v", res.ResidualError)
+	}
+}
+
+func TestEvaluatePeriodOneCatchesEverything(t *testing.T) {
+	errors := []float64{0.5, 0.3, 0.01}
+	res, err := Evaluate(errors, Policy{Period: 1, MaxError: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionRate != 1 || res.Missed != 0 {
+		t.Fatalf("period-1 must catch all: %+v", res)
+	}
+	// But it pays one exact execution per invocation — the Challenge III
+	// overhead that makes continuous exact checking impractical.
+	if res.CheckCostInvocations != 3 {
+		t.Fatalf("check cost = %d, want 3", res.CheckCostInvocations)
+	}
+}
+
+func TestEvaluateNoViolations(t *testing.T) {
+	res, err := Evaluate([]float64{0.01, 0.02}, Policy{Period: 2, MaxError: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DetectionRate != 1 || res.Violations != 0 {
+		t.Fatalf("no violations: %+v", res)
+	}
+}
+
+func TestExpectedDetectionRate(t *testing.T) {
+	if ExpectedDetectionRate(10) != 0.1 || ExpectedDetectionRate(1) != 1 {
+		t.Fatal("analytical rate")
+	}
+	if ExpectedDetectionRate(0) != 0 {
+		t.Fatal("degenerate period")
+	}
+}
+
+// Property: over random violation placements, the measured detection rate
+// concentrates near 1/Period, and the residual error never exceeds the
+// unmonitored mean.
+func TestDetectionRateConcentratesProperty(t *testing.T) {
+	r := rng.New(99)
+	f := func(periodRaw uint8) bool {
+		period := int(periodRaw)%9 + 2
+		n := 5000
+		errors := make([]float64, n)
+		var unmonitored float64
+		for i := range errors {
+			if r.Bool(0.2) {
+				errors[i] = 0.5
+			} else {
+				errors[i] = 0.01
+			}
+			unmonitored += errors[i]
+		}
+		unmonitored /= float64(n)
+		res, err := Evaluate(errors, Policy{Period: period, MaxError: 0.1})
+		if err != nil {
+			return false
+		}
+		expected := ExpectedDetectionRate(period)
+		return math.Abs(res.DetectionRate-expected) < 0.08 &&
+			res.ResidualError <= unmonitored+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package tensor implements the small dense linear-algebra substrate used by
+// the neural-network accelerator model and the error predictors: dense
+// matrices, matrix-vector products, linear least squares, and summary
+// statistics. Everything is float64 and row-major.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally sized rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("tensor: FromRows needs at least one non-empty row")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: FromRows ragged input")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = M*x. The destination slice is allocated when nil.
+func (m *Matrix) MulVec(x, y []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	if y == nil {
+		y = make([]float64, m.Rows)
+	}
+	if len(y) != m.Rows {
+		panic("tensor: MulVec bad destination length")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Transpose returns M^T as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns A*B as a new matrix.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: Mul dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, a := range arow {
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// ErrSingular is returned by SolveLinear when the system matrix is singular
+// or too ill-conditioned for a stable solution.
+var ErrSingular = errors.New("tensor: singular matrix")
+
+// SolveLinear solves A x = b in place using Gaussian elimination with
+// partial pivoting. A must be square; A and b are destroyed. The solution is
+// returned in a fresh slice.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("tensor: SolveLinear shape mismatch")
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		max := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > max {
+				max, pivot = v, r
+			}
+		}
+		if max < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			pr := a.Row(pivot)
+			cr := a.Row(col)
+			for j := range pr {
+				pr[j], cr[j] = cr[j], pr[j]
+			}
+			b[pivot], b[col] = b[col], b[pivot]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			rr := a.Row(r)
+			cr := a.Row(col)
+			for j := col; j < n; j++ {
+				rr[j] -= f * cr[j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := a.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||X w - y||^2 for w via the regularised normal
+// equations (X^T X + ridge*I) w = X^T y. A small ridge keeps the system
+// well-conditioned when inputs are correlated; pass 0 for a pure LS fit.
+func LeastSquares(x *Matrix, y []float64, ridge float64) ([]float64, error) {
+	if len(y) != x.Rows {
+		panic("tensor: LeastSquares shape mismatch")
+	}
+	xt := x.Transpose()
+	ata := xt.Mul(x)
+	for i := 0; i < ata.Rows; i++ {
+		ata.Data[i*ata.Cols+i] += ridge
+	}
+	aty := xt.MulVec(y, nil)
+	return SolveLinear(ata, aty)
+}

@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("zero element = %v, want 0", got)
+	}
+}
+
+func TestFromRowsAndRowView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	r := m.Row(1)
+	r[0] = 99 // Row is a view.
+	if m.At(1, 0) != 99 {
+		t.Fatal("Row must return a view, not a copy")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", y)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng.New(1)
+	m := NewMatrix(5, 3)
+	for i := range m.Data {
+		m.Data[i] = r.Range(-10, 10)
+	}
+	tt := m.Transpose().Transpose()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("transpose twice must be identity")
+		}
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 3; x + 3y = 5 -> x = 0.8, y = 1.4
+	if !almostEq(x[0], 0.8, 1e-12) || !almostEq(x[1], 1.4, 1e-12) {
+		t.Fatalf("solution = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: for a random well-conditioned system, SolveLinear(A, A*x) == x.
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	r := rng.New(42)
+	f := func(seed uint16) bool {
+		n := 2 + int(seed)%6
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Range(-1, 1)
+		}
+		// Diagonal dominance guarantees a well-conditioned system.
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += float64(n) * 2
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Range(-5, 5)
+		}
+		b := a.MulVec(x, nil)
+		got, err := SolveLinear(a.Clone(), b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresRecoversLinearModel(t *testing.T) {
+	// y = 3 + 2a - b with noise-free samples must be recovered exactly.
+	r := rng.New(7)
+	n := 50
+	x := NewMatrix(n, 3)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a := r.Range(-4, 4)
+		b := r.Range(-4, 4)
+		x.Set(i, 0, 1)
+		x.Set(i, 1, a)
+		x.Set(i, 2, b)
+		y[i] = 3 + 2*a - b
+	}
+	w, err := LeastSquares(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if !almostEq(w[i], want[i], 1e-8) {
+			t.Fatalf("w = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestLeastSquaresRidgeHandlesCollinear(t *testing.T) {
+	// Two identical columns are singular without a ridge.
+	x := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(x, []float64{2, 4, 6}, 0); err == nil {
+		t.Fatal("expected failure for exactly collinear columns without ridge")
+	}
+	w, err := LeastSquares(x, []float64{2, 4, 6}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction, not the individual weights, is what must be right.
+	if pred := w[0]*2 + w[1]*2; !almostEq(pred, 4, 1e-3) {
+		t.Fatalf("ridge prediction = %v, want 4", pred)
+	}
+}
+
+func TestMulVecPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]float64{1, 2, 3}, nil)
+}

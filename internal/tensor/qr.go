@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveQR solves the least-squares problem min ||A x - b||^2 by Householder
+// QR factorisation. A must have at least as many rows as columns; A and b
+// are destroyed. QR is numerically safer than the normal equations when the
+// columns of A are nearly collinear (the condition number is not squared),
+// at roughly twice the cost — the predictor trainers use the normal
+// equations with a ridge for speed, and this routine when conditioning
+// matters.
+func SolveQR(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("tensor: SolveQR needs rows >= cols, got %dx%d", m, n)
+	}
+	if len(b) != m {
+		panic("tensor: SolveQR shape mismatch")
+	}
+	// Householder triangularisation, applying each reflector to b as well.
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := a.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-13 {
+			return nil, ErrSingular
+		}
+		if a.At(k, k) > 0 {
+			norm = -norm
+		}
+		// Householder vector v (stored in place below the diagonal), with
+		// v_k = a_kk - norm.
+		akk := a.At(k, k) - norm
+		a.Set(k, k, akk)
+		// beta = 2 / (v^T v); v^T v = -2 * norm * akk (standard identity).
+		vtv := -norm * akk
+		if vtv <= 0 {
+			return nil, ErrSingular
+		}
+		// Apply I - v v^T / vtv to the remaining columns and to b.
+		for j := k + 1; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += a.At(i, k) * a.At(i, j)
+			}
+			f := dot / vtv
+			for i := k; i < m; i++ {
+				a.Set(i, j, a.At(i, j)-f*a.At(i, k))
+			}
+		}
+		var dotB float64
+		for i := k; i < m; i++ {
+			dotB += a.At(i, k) * b[i]
+		}
+		fB := dotB / vtv
+		for i := k; i < m; i++ {
+			b[i] -= fB * a.At(i, k)
+		}
+		// The diagonal of R.
+		a.Set(k, k, norm)
+	}
+	// Back substitution on the upper triangle.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		d := a.At(i, i)
+		if math.Abs(d) < 1e-13 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquaresQR solves min ||X w - y||^2 via Householder QR (see SolveQR).
+// X and y are copied, not destroyed.
+func LeastSquaresQR(x *Matrix, y []float64) ([]float64, error) {
+	if len(y) != x.Rows {
+		panic("tensor: LeastSquaresQR shape mismatch")
+	}
+	return SolveQR(x.Clone(), append([]float64(nil), y...))
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestSolveQRExactSystem(t *testing.T) {
+	// Square, well-conditioned: must match the Gaussian solver.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveQR(a.Clone(), []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 0.8, 1e-12) || !almostEq(x[1], 1.4, 1e-12) {
+		t.Fatalf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSolveQROverdetermined(t *testing.T) {
+	// Fit a line through 4 noisy points; the closed-form least-squares
+	// answer is intercept 1.06, slope 1.96.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	y := []float64{1.1, 2.9, 5.1, 6.9}
+	w, err := SolveQR(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(w[0], 1.06, 1e-9) || !almostEq(w[1], 1.96, 1e-9) {
+		t.Fatalf("fit = %v, want [1.06 1.96]", w)
+	}
+}
+
+func TestSolveQRRejectsWide(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := SolveQR(a, []float64{1, 2}); err == nil {
+		t.Fatal("wide systems must be rejected")
+	}
+}
+
+func TestSolveQRSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := SolveQR(a, []float64{1, 2, 3}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLeastSquaresQRDoesNotDestroyInputs(t *testing.T) {
+	x := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}})
+	y := []float64{1, 3, 5}
+	if _, err := LeastSquaresQR(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if x.At(0, 0) != 1 || y[2] != 5 {
+		t.Fatal("LeastSquaresQR must not mutate its inputs")
+	}
+}
+
+// Property: QR and the ridge-free normal equations agree on random
+// well-conditioned overdetermined systems.
+func TestQRMatchesNormalEquationsProperty(t *testing.T) {
+	r := rng.New(55)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%4 + 2 // 2..5 unknowns
+		m := n*3 + 4         // comfortably overdetermined
+		x := NewMatrix(m, n)
+		for i := range x.Data {
+			x.Data[i] = r.Range(-2, 2)
+		}
+		for i := 0; i < n && i < m; i++ { // nudge conditioning
+			x.Set(i, i, x.At(i, i)+3)
+		}
+		y := make([]float64, m)
+		for i := range y {
+			y[i] = r.Range(-5, 5)
+		}
+		wQR, err1 := LeastSquaresQR(x, y)
+		wNE, err2 := LeastSquares(x, y, 0)
+		if err1 != nil || err2 != nil {
+			return true // skip pathological draws
+		}
+		for i := range wQR {
+			if math.Abs(wQR[i]-wNE[i]) > 1e-6*(1+math.Abs(wQR[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QR handles an ill-conditioned Vandermonde system where the plain normal
+// equations lose several digits.
+func TestQRConditioningAdvantage(t *testing.T) {
+	n := 12
+	deg := 5
+	x := NewMatrix(n, deg+1)
+	y := make([]float64, n)
+	truth := []float64{1, -2, 3, -1, 0.5, 0.25}
+	for i := 0; i < n; i++ {
+		ti := 1 + float64(i)/float64(n) // narrow interval: nasty conditioning
+		p := 1.0
+		var yi float64
+		for j := 0; j <= deg; j++ {
+			x.Set(i, j, p)
+			yi += truth[j] * p
+			p *= ti
+		}
+		y[i] = yi
+	}
+	w, err := LeastSquaresQR(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range truth {
+		if math.Abs(w[j]-truth[j]) > 1e-4 {
+			t.Fatalf("coefficient %d: %v vs %v", j, w[j], truth[j])
+		}
+	}
+}

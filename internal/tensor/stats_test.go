@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rumba/internal/rng"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) must be 0")
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Fatal("Variance of single value must be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v, want -1/7", Min(xs), Max(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile must not sort its input in place")
+	}
+}
+
+func TestDotAndScale(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %v, want 32", d)
+	}
+	xs := Scale([]float64{1, 2}, 3)
+	if xs[0] != 3 || xs[1] != 6 {
+		t.Fatalf("Scale = %v, want [3 6]", xs)
+	}
+}
+
+func TestAddTo(t *testing.T) {
+	dst := []float64{1, 2}
+	AddTo(dst, []float64{10, 20})
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+// Property: Min <= Mean <= Max for any non-empty slice of finite values.
+func TestMeanBoundedProperty(t *testing.T) {
+	r := rng.New(3)
+	f := func(n uint8) bool {
+		m := int(n)%64 + 1
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Range(-1e3, 1e3)
+		}
+		mean := Mean(xs)
+		return Min(xs) <= mean && mean <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is translation invariant and scales quadratically.
+func TestVarianceScalingProperty(t *testing.T) {
+	r := rng.New(4)
+	f := func(n uint8) bool {
+		m := int(n)%32 + 2
+		xs := make([]float64, m)
+		for i := range xs {
+			xs[i] = r.Range(-10, 10)
+		}
+		shifted := make([]float64, m)
+		scaled := make([]float64, m)
+		for i, v := range xs {
+			shifted[i] = v + 100
+			scaled[i] = 3 * v
+		}
+		v := Variance(xs)
+		return math.Abs(Variance(shifted)-v) < 1e-6*math.Max(1, v) &&
+			math.Abs(Variance(scaled)-9*v) < 1e-6*math.Max(1, 9*v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

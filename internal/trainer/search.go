@@ -1,0 +1,103 @@
+package trainer
+
+import (
+	"fmt"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+	"rumba/internal/rng"
+)
+
+func newAccel(cfg accel.Config) (*accel.Accelerator, error) { return accel.New(cfg, 0) }
+
+// rngStream aliases the repository RNG so trainer.go stays free of a direct
+// import knot.
+type rngStream = rng.Stream
+
+func newRngStream(label string) *rngStream { return rng.NewNamed(label) }
+
+// SearchResult records one candidate from the topology search.
+type SearchResult struct {
+	Topo  nn.Topology
+	Error float64 // mean element error on the held-out slice
+	MACs  int
+}
+
+// SearchTopology implements the offline accelerator trainer's topology
+// search (Section 4, "Accelerator Output"): it scans the bounded NPU
+// topology space — at most two hidden layers, neuron counts from the given
+// ladder, at most 32 per layer — and returns the *smallest* network whose
+// held-out error does not exceed maxError, together with every evaluated
+// candidate. Candidates are ordered by MAC count, so the first acceptable
+// one is the cheapest.
+//
+// The search trains each candidate on the first 80% of train and scores it
+// on the remaining 20%.
+func SearchTopology(spec *bench.Spec, train nn.Dataset, ladder []int, maxError float64, cfg AccelTrainConfig) (best SearchResult, all []SearchResult, err error) {
+	if len(ladder) == 0 {
+		ladder = []int{2, 4, 8, 16, 32}
+	}
+	inDim := spec.InDim
+	if spec.RumbaFeatures != nil {
+		inDim = len(spec.RumbaFeatures)
+	}
+	var candidates []nn.Topology
+	for _, h1 := range ladder {
+		candidates = append(candidates, nn.Topology{Sizes: []int{inDim, h1, spec.OutDim}})
+		for _, h2 := range ladder {
+			candidates = append(candidates, nn.Topology{Sizes: []int{inDim, h1, h2, spec.OutDim}})
+		}
+	}
+	// Order by cost so the first hit is the smallest network.
+	sortByMACs(candidates)
+
+	cut := train.Len() * 4 / 5
+	if cut < 1 || cut == train.Len() {
+		return SearchResult{}, nil, fmt.Errorf("trainer: dataset too small for a held-out split")
+	}
+	fit := nn.Dataset{Inputs: train.Inputs[:cut], Targets: train.Targets[:cut]}
+	hold := nn.Dataset{Inputs: train.Inputs[cut:], Targets: train.Targets[cut:]}
+
+	found := false
+	for _, topo := range candidates {
+		acfg, err := TrainAccelerator(spec, topo, spec.RumbaFeatures, fit, cfg)
+		if err != nil {
+			return SearchResult{}, nil, err
+		}
+		acc, err := newAccel(acfg)
+		if err != nil {
+			return SearchResult{}, nil, err
+		}
+		var sum float64
+		for i := range hold.Inputs {
+			out := acc.Invoke(hold.Inputs[i])
+			sum += quality.ElementError(spec.Metric, hold.Targets[i], out, spec.Scale)
+		}
+		res := SearchResult{Topo: topo, Error: sum / float64(hold.Len()), MACs: topo.MACs()}
+		all = append(all, res)
+		if !found && res.Error <= maxError {
+			best = res
+			found = true
+		}
+	}
+	if !found {
+		// No candidate met the bound; fall back to the most accurate one.
+		best = all[0]
+		for _, r := range all[1:] {
+			if r.Error < best.Error {
+				best = r
+			}
+		}
+	}
+	return best, all, nil
+}
+
+func sortByMACs(ts []nn.Topology) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].MACs() < ts[j-1].MACs(); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package trainer implements the offline half of the Rumba system block
+// diagram (Figure 4): the accelerator trainer, which compiles a kernel to an
+// NPU configuration by fitting a neural network on the training data, and
+// the error-predictor trainer, which fits the light-weight checkers on the
+// approximation errors the trained accelerator produces on that same data.
+// Both resulting configurations are "embedded in the binary" — here, carried
+// in serialisable structs.
+package trainer
+
+import (
+	"fmt"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/nn"
+	"rumba/internal/predictor"
+	"rumba/internal/quality"
+)
+
+// AccelTrainConfig controls the accelerator trainer.
+type AccelTrainConfig struct {
+	// NN carries the backprop hyper-parameters.
+	NN nn.TrainConfig
+	// MaxTrainSamples subsamples very large training sets (the 512x512
+	// sobel training image has 262k windows); <= 0 keeps everything.
+	MaxTrainSamples int
+}
+
+// DefaultAccelTrainConfig returns the trainer settings used throughout the
+// evaluation.
+func DefaultAccelTrainConfig(name string) AccelTrainConfig {
+	cfg := AccelTrainConfig{NN: nn.DefaultTrainConfig(), MaxTrainSamples: 12000}
+	cfg.NN.Seed = "trainer/" + name
+	switch name {
+	case "jmeint":
+		// The classification net needs more pressure to separate the
+		// classes.
+		cfg.NN.Epochs = 80
+		cfg.NN.LearningRate = 0.1
+	case "jpeg":
+		cfg.NN.Epochs = 120
+		cfg.NN.LearningRate = 0.1
+	case "fft", "inversek2j":
+		cfg.NN.Epochs = 120
+	}
+	return cfg
+}
+
+// TrainAccelerator fits a network of the given topology to the kernel's
+// training set and returns the accelerator configuration. features selects
+// the kernel-input subset the network consumes (nil = all).
+func TrainAccelerator(spec *bench.Spec, topo nn.Topology, features []int, train nn.Dataset, cfg AccelTrainConfig) (accel.Config, error) {
+	if err := topo.Validate(); err != nil {
+		return accel.Config{}, err
+	}
+	// Project the kernel inputs down to the network's feature view.
+	proj := nn.Dataset{
+		Inputs:  make([][]float64, 0, train.Len()),
+		Targets: make([][]float64, 0, train.Len()),
+	}
+	stride := 1
+	if cfg.MaxTrainSamples > 0 && train.Len() > cfg.MaxTrainSamples {
+		stride = (train.Len() + cfg.MaxTrainSamples - 1) / cfg.MaxTrainSamples
+	}
+	for i := 0; i < train.Len(); i += stride {
+		proj.Inputs = append(proj.Inputs, projectFeatures(train.Inputs[i], features))
+		proj.Targets = append(proj.Targets, train.Targets[i])
+	}
+	scaler := nn.FitScaler(proj.Inputs, proj.Targets)
+	scaled := scaler.ScaleDataset(proj)
+	net := nn.New(topo, nn.Sigmoid, nn.Sigmoid, seedStream(spec.Name, topo))
+	if _, err := net.Train(scaled, cfg.NN); err != nil {
+		return accel.Config{}, fmt.Errorf("trainer: %s accelerator training: %w", spec.Name, err)
+	}
+	return accel.Config{Net: net, Scaler: scaler, Features: features}, nil
+}
+
+func projectFeatures(in []float64, features []int) []float64 {
+	if features == nil {
+		return in
+	}
+	out := make([]float64, len(features))
+	for i, idx := range features {
+		out[i] = in[idx]
+	}
+	return out
+}
+
+func seedStream(name string, topo nn.Topology) *rngStream {
+	return newRngStream("trainer/init/" + name + "/" + topo.String())
+}
+
+// Observation is the result of running a configured accelerator over a
+// dataset: the approximate outputs and the per-element errors under the
+// benchmark's metric.
+type Observation struct {
+	Approx [][]float64
+	Errors []float64
+}
+
+// Invoker abstracts the approximate engine being observed: the NPU
+// accelerator or a software approximator (anything with the executor's
+// Invoke method satisfies it).
+type Invoker interface {
+	Invoke(in []float64) []float64
+}
+
+// Observe runs the approximate engine over a dataset and measures every
+// element's error against the exact targets.
+func Observe(spec *bench.Spec, acc Invoker, d nn.Dataset) Observation {
+	obs := Observation{
+		Approx: make([][]float64, d.Len()),
+		Errors: make([]float64, d.Len()),
+	}
+	for i := range d.Inputs {
+		out := acc.Invoke(d.Inputs[i])
+		obs.Approx[i] = out
+		obs.Errors[i] = quality.ElementError(spec.Metric, d.Targets[i], out, spec.Scale)
+	}
+	return obs
+}
+
+// PredictorSet bundles the three trained checkers for one benchmark.
+type PredictorSet struct {
+	Linear *predictor.Linear
+	Tree   *predictor.Tree
+	EMA    *predictor.EMA
+}
+
+// EMAHistory is the moving-average window length used for the EMA checker.
+const EMAHistory = 16
+
+// TrainPredictors fits the light-weight checkers on the training-run
+// observation (inputs -> observed element errors). The EMA checker needs no
+// fitting beyond its output scale.
+func TrainPredictors(spec *bench.Spec, train nn.Dataset, obs Observation) (PredictorSet, error) {
+	if len(obs.Errors) != train.Len() {
+		return PredictorSet{}, fmt.Errorf("trainer: observation size %d != dataset size %d", len(obs.Errors), train.Len())
+	}
+	lin, err := predictor.FitLinear(train.Inputs, obs.Errors, spec.RumbaFeatures)
+	if err != nil {
+		return PredictorSet{}, fmt.Errorf("trainer: %s linear predictor: %w", spec.Name, err)
+	}
+	tree, err := predictor.FitTree(train.Inputs, obs.Errors, spec.RumbaFeatures, predictor.TreeConfig{})
+	if err != nil {
+		return PredictorSet{}, fmt.Errorf("trainer: %s tree predictor: %w", spec.Name, err)
+	}
+	scale := emaScale(obs.Approx)
+	return PredictorSet{
+		Linear: lin,
+		Tree:   tree,
+		EMA:    predictor.NewEMA(EMAHistory, scale),
+	}, nil
+}
+
+// emaScale estimates the output magnitude scale used to normalise EMA
+// deviations into the element-error range.
+func emaScale(approx [][]float64) float64 {
+	var maxAbs float64
+	for _, out := range approx {
+		for _, v := range out {
+			if a := abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SelectChecker picks the light-weight checker that reaches the target
+// output quality with the fewest re-executions on a held-out slice of the
+// training data — automating the paper's observation that "error prediction
+// accuracy of a particular scheme is benchmark dependent". It returns the
+// winning predictor and its name.
+func SelectChecker(spec *bench.Spec, train nn.Dataset, obs Observation, ps PredictorSet, targetError float64) (predictor.Predictor, string) {
+	cut := train.Len() * 4 / 5
+	if cut < 1 || cut >= train.Len() {
+		return ps.Tree, ps.Tree.Name() // dataset too small to split; tree default
+	}
+	holdIn := train.Inputs[cut:]
+	holdApprox := obs.Approx[cut:]
+	holdErrs := obs.Errors[cut:]
+
+	fixesFor := func(p predictor.Predictor) int {
+		p.Reset()
+		preds := make([]float64, len(holdIn))
+		for i := range holdIn {
+			preds[i] = p.PredictError(holdIn[i], holdApprox[i])
+		}
+		return len(fixesForTargetIdx(holdErrs, preds, targetError))
+	}
+	candidates := []predictor.Predictor{ps.Tree, ps.Linear, ps.EMA}
+	best := candidates[0]
+	bestFixes := fixesFor(best)
+	for _, c := range candidates[1:] {
+		if c == nil {
+			continue
+		}
+		if f := fixesFor(c); f < bestFixes {
+			best, bestFixes = c, f
+		}
+	}
+	return best, best.Name()
+}
+
+// fixesForTargetIdx is the minimal top-k-by-score fix set reaching the
+// target mean error (a local copy of the core package's operating-point
+// search, kept here to avoid a trainer -> core dependency).
+func fixesForTargetIdx(trueErrs, scores []float64, targetErr float64) []int {
+	n := len(trueErrs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by descending score (held-out slices are small).
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && scores[idx[j]] > scores[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	var total float64
+	for _, e := range trueErrs {
+		total += e
+	}
+	removed := 0.0
+	k := 0
+	for k < n && (total-removed)/float64(n) > targetErr {
+		removed += trueErrs[idx[k]]
+		k++
+	}
+	return idx[:k]
+}

@@ -1,0 +1,271 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/nn"
+	"rumba/internal/quality"
+)
+
+// trainSmall trains the given benchmark's Rumba accelerator on a reduced
+// dataset with few epochs — enough to test the plumbing, not accuracy.
+func trainSmall(t *testing.T, name string, n int) (*bench.Spec, accel.Config, nn.Dataset) {
+	t.Helper()
+	spec, err := bench.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(n)
+	cfg := DefaultAccelTrainConfig(name)
+	cfg.NN.Epochs = 15
+	acfg, err := TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, acfg, train
+}
+
+func TestTrainAcceleratorProducesUsableConfig(t *testing.T) {
+	spec, acfg, _ := trainSmall(t, "sobel", 400)
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := spec.GenTest(50)
+	out := acc.Invoke(test.Inputs[0])
+	if len(out) != spec.OutDim {
+		t.Fatalf("output dim %d, want %d", len(out), spec.OutDim)
+	}
+	for _, v := range out {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite accelerator output %v", v)
+		}
+	}
+}
+
+func TestTrainAcceleratorLearnsSomething(t *testing.T) {
+	// A trained inversek2j accelerator must beat a constant predictor.
+	spec, err := bench.Get("inversek2j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(2500)
+	cfg := DefaultAccelTrainConfig("inversek2j")
+	cfg.NN.Epochs = 60
+	acfg, err := TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := accel.New(acfg, 0)
+	test := spec.GenTest(200)
+	var accErr float64
+	for i := range test.Inputs {
+		out := acc.Invoke(test.Inputs[i])
+		accErr += quality.ElementError(spec.Metric, test.Targets[i], out, spec.Scale)
+	}
+	accErr /= float64(test.Len())
+	if accErr > 0.5 {
+		t.Fatalf("trained accelerator error %v is no better than noise", accErr)
+	}
+}
+
+func TestTrainAcceleratorSubsamples(t *testing.T) {
+	spec, _ := bench.Get("sobel")
+	train := spec.GenTrain(1000)
+	cfg := DefaultAccelTrainConfig("sobel")
+	cfg.NN.Epochs = 2
+	cfg.MaxTrainSamples = 100 // must not error on subsampled sets
+	if _, err := TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainAcceleratorFeatureProjection(t *testing.T) {
+	// blackscholes trains a 3-input network from 6-input kernel data.
+	spec, acfg, _ := trainSmall(t, "blackscholes", 400)
+	if got := acfg.Net.Topo.Inputs(); got != 3 {
+		t.Fatalf("network inputs = %d, want 3", got)
+	}
+	if len(acfg.Features) != 3 {
+		t.Fatalf("features = %v", acfg.Features)
+	}
+	acc, _ := accel.New(acfg, 0)
+	out := acc.Invoke(spec.GenTest(1).Inputs[0])
+	if len(out) != 1 {
+		t.Fatalf("output dim = %d", len(out))
+	}
+}
+
+func TestObserveMeasuresErrors(t *testing.T) {
+	spec, acfg, train := trainSmall(t, "fft", 300)
+	acc, _ := accel.New(acfg, 0)
+	obs := Observe(spec, acc, train)
+	if len(obs.Errors) != train.Len() || len(obs.Approx) != train.Len() {
+		t.Fatalf("observation sizes %d/%d", len(obs.Errors), len(obs.Approx))
+	}
+	for i, e := range obs.Errors {
+		if e < 0 || math.IsNaN(e) {
+			t.Fatalf("element %d error %v invalid", i, e)
+		}
+	}
+}
+
+func TestTrainPredictorsProducesAllThree(t *testing.T) {
+	spec, acfg, train := trainSmall(t, "inversek2j", 600)
+	acc, _ := accel.New(acfg, 0)
+	obs := Observe(spec, acc, train)
+	ps, err := TrainPredictors(spec, train, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Linear == nil || ps.Tree == nil || ps.EMA == nil {
+		t.Fatal("missing predictor")
+	}
+	// Each predictor must produce finite non-negative estimates.
+	for i := 0; i < 20; i++ {
+		for _, p := range []interface {
+			PredictError(in, out []float64) float64
+		}{ps.Linear, ps.Tree, ps.EMA} {
+			e := p.PredictError(train.Inputs[i], obs.Approx[i])
+			if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+				t.Fatalf("predictor estimate %v invalid", e)
+			}
+		}
+	}
+}
+
+func TestTrainPredictorsRejectsMismatch(t *testing.T) {
+	spec, _, train := trainSmall(t, "fft", 100)
+	if _, err := TrainPredictors(spec, train, Observation{Errors: []float64{1}}); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestTrainedPredictorsBeatChance(t *testing.T) {
+	// On inversek2j the tree predictor's ranking of test elements must
+	// correlate with the true errors: the top predicted decile must have a
+	// higher mean true error than the bottom decile.
+	spec, acfg, train := trainSmall(t, "inversek2j", 1500)
+	acc, _ := accel.New(acfg, 0)
+	obs := Observe(spec, acc, train)
+	ps, err := TrainPredictors(spec, train, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := spec.GenTest(600)
+	testObs := Observe(spec, acc, test)
+	pairs := make([]predPair, test.Len())
+	for i := range test.Inputs {
+		pairs[i] = predPair{ps.Tree.PredictError(test.Inputs[i], testObs.Approx[i]), testObs.Errors[i]}
+	}
+	// Compare mean actual error of the top vs bottom predicted halves.
+	var hi, lo float64
+	var nHi, nLo int
+	med := medianPred(pairs)
+	for _, p := range pairs {
+		if p.pred > med {
+			hi += p.actual
+			nHi++
+		} else {
+			lo += p.actual
+			nLo++
+		}
+	}
+	if nHi == 0 || nLo == 0 {
+		t.Skip("degenerate prediction split")
+	}
+	if hi/float64(nHi) <= lo/float64(nLo) {
+		t.Fatalf("tree predictor uninformative: hi=%v lo=%v", hi/float64(nHi), lo/float64(nLo))
+	}
+}
+
+type predPair struct{ pred, actual float64 }
+
+func medianPred(pairs []predPair) float64 {
+	vals := make([]float64, len(pairs))
+	for i, p := range pairs {
+		vals[i] = p.pred
+	}
+	// Insertion sort: fine for test sizes.
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}
+
+func TestSearchTopologyPrefersSmallNetworks(t *testing.T) {
+	spec, _ := bench.Get("fft")
+	train := spec.GenTrain(600)
+	cfg := DefaultAccelTrainConfig("fft")
+	cfg.NN.Epochs = 30
+	best, all, err := SearchTopology(spec, train, []int{2, 4}, 0.5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 { // 2 one-layer + 4 two-layer candidates
+		t.Fatalf("candidates = %d, want 6", len(all))
+	}
+	if best.Error > 0.5 {
+		t.Fatalf("no acceptable topology found, best error %v", best.Error)
+	}
+	// The accepted topology must be the cheapest acceptable one.
+	for _, r := range all {
+		if r.Error <= 0.5 && r.MACs < best.MACs {
+			t.Fatalf("search skipped a cheaper acceptable topology: %v (%d MACs) vs best %v (%d)",
+				r.Topo, r.MACs, best.Topo, best.MACs)
+		}
+	}
+}
+
+func TestSearchTopologyTooSmallDataset(t *testing.T) {
+	spec, _ := bench.Get("fft")
+	train := spec.GenTrain(1)
+	if _, _, err := SearchTopology(spec, train, []int{2}, 0.5, DefaultAccelTrainConfig("fft")); err == nil {
+		t.Fatal("expected error for tiny dataset")
+	}
+}
+
+func TestSelectCheckerPicksAWinner(t *testing.T) {
+	spec, acfg, train := trainSmall(t, "inversek2j", 1500)
+	acc, _ := accel.New(acfg, 0)
+	obs := Observe(spec, acc, train)
+	ps, err := TrainPredictors(spec, train, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, name := SelectChecker(spec, train, obs, ps, 0.10)
+	if p == nil || name == "" {
+		t.Fatal("no checker selected")
+	}
+	switch name {
+	case "treeErrors", "linearErrors", "EMA":
+	default:
+		t.Fatalf("unexpected winner %q", name)
+	}
+}
+
+func TestSelectCheckerTinyDatasetFallsBack(t *testing.T) {
+	spec, acfg, train := trainSmall(t, "fft", 100)
+	acc, _ := accel.New(acfg, 0)
+	obs := Observe(spec, acc, train)
+	ps, err := TrainPredictors(spec, train, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := trainer_firstN(train, 1)
+	tinyObs := Observation{Approx: obs.Approx[:1], Errors: obs.Errors[:1]}
+	p, name := SelectChecker(spec, tiny, tinyObs, ps, 0.10)
+	if p != ps.Tree || name != "treeErrors" {
+		t.Fatalf("tiny dataset must fall back to the tree, got %q", name)
+	}
+}
+
+// trainer_firstN slices a dataset (test helper).
+func trainer_firstN(d nn.Dataset, n int) nn.Dataset {
+	return nn.Dataset{Inputs: d.Inputs[:n], Targets: d.Targets[:n]}
+}
