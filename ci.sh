@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# ci.sh — the repo's full check gate.
+#
+#   ./ci.sh            run everything
+#
+# Stages:
+#   1. go build ./...              everything compiles (examples included)
+#   2. go vet ./...                stock toolchain vet
+#   3. go test -race ./...         unit + integration tests under the race
+#                                  detector (the Stream goroutine plumbing
+#                                  in internal/core is exercised with
+#                                  multiple recovery workers)
+#   4. rumba-vet ./...             Rumba's own static-analysis suite:
+#                                  purity, determinism, floatcmp,
+#                                  kernelsig, concurrency (see DESIGN.md,
+#                                  "Static analysis & safety"); fails on
+#                                  any unsuppressed warning-or-worse
+#                                  finding.
+
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> rumba-vet ./..."
+go run ./cmd/rumba-vet -fail-on warning ./...
+
+echo "ci: all checks passed"

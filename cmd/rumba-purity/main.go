@@ -1,9 +1,19 @@
 // Command rumba-purity runs the Section 2.2 region-purity analysis over a
 // Go package and reports which functions can safely be re-executed by
-// Rumba's recovery module:
+// Rumba's recovery module. It is a thin wrapper over the type-aware driver
+// in internal/analysis: calls resolve to typed objects, and the purity
+// fixpoint runs across the package's module dependencies, so sibling
+// helpers such as imageutil.Clamp255 are verified rather than asserted.
 //
 //	rumba-purity -dir internal/bench
-//	rumba-purity -dir internal/bench -trust imageutil.Clamp255 -impure-only
+//	rumba-purity -dir internal/bench -impure-only
+//	rumba-purity -dir internal/bench -trust golang.org/x/exp/foo.Helper
+//
+// -trust remains for call targets outside the module; entries match the
+// typed object a call binds to ("pkg.Func" or "full/import/path.Func"),
+// never bare spelling, so a local function shadowing a trusted name is
+// still analysed on its own body. For the full multi-analyzer suite
+// (determinism, floatcmp, kernelsig, concurrency) see cmd/rumba-vet.
 package main
 
 import (
@@ -17,7 +27,7 @@ import (
 
 func main() {
 	dir := flag.String("dir", "internal/bench", "package directory to analyse")
-	trust := flag.String("trust", "imageutil.Clamp255", "comma-separated extra call targets asserted pure")
+	trust := flag.String("trust", "", "comma-separated external call targets asserted pure")
 	impureOnly := flag.Bool("impure-only", false, "print only functions that failed the analysis")
 	flag.Parse()
 

@@ -1,0 +1,140 @@
+// Command rumba-vet runs Rumba's static-analysis suite (internal/analysis)
+// over the module: the type-aware Section 2.2 purity analysis plus the
+// determinism, floatcmp, kernelsig, and concurrency analyzers that back
+// the safe-re-execution guarantee.
+//
+//	rumba-vet ./...
+//	rumba-vet -json -fail-on error internal/bench
+//	rumba-vet -analyzers kernelsig,determinism ./...
+//
+// The whole module is always loaded (the purity fixpoint and kernel-sink
+// facts are cross-package); the package arguments select which packages'
+// findings are reported. Exit status: 0 when no unsuppressed finding is at
+// or above -fail-on severity, 1 when there is one, 2 on usage or load
+// errors. A finding is suppressed with an inline directive on (or on the
+// line above) the flagged line:
+//
+//	//rumba:allow <analyzer>[,<analyzer>...] [reason]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rumba/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	failOn := flag.String("fail-on", "warning", "exit non-zero on findings at or above this severity (info, warning, error)")
+	names := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings (text mode)")
+	flag.Parse()
+
+	sev, err := analysis.ParseSeverity(*failOn)
+	if err != nil {
+		fatal(err)
+	}
+	var analyzers []*analysis.Analyzer
+	if *names != "" {
+		for _, name := range strings.Split(*names, ",") {
+			a, ok := analysis.AnalyzerByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown analyzer %q", name))
+			}
+			analyzers = append(analyzers, a)
+		}
+	} else {
+		analyzers = analysis.Analyzers()
+	}
+
+	loader, err := analysis.SharedLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fatal(err)
+	}
+	module := analysis.BuildModule(loader.Fset(), moduleRoot(), pkgs)
+
+	diags := module.Run(analyzers...)
+	diags = filterPackages(diags, flag.Args())
+
+	if *jsonOut {
+		out, err := analysis.MarshalJSONReport(analyzers, diags, sev)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			if d.Suppressed && !*showSuppressed {
+				continue
+			}
+			fmt.Println(d)
+		}
+	}
+	if n := analysis.FailCount(diags, sev); n > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rumba-vet: %d finding(s) at or above %s\n", n, sev)
+		}
+		os.Exit(1)
+	}
+}
+
+// moduleRoot finds the enclosing module root for relative file reporting.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+// filterPackages keeps findings whose file falls under one of the package
+// patterns. "./..." (or no arguments) keeps everything; "dir" and
+// "dir/..." keep that subtree.
+func filterPackages(diags []analysis.Diagnostic, patterns []string) []analysis.Diagnostic {
+	if len(patterns) == 0 {
+		return diags
+	}
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "...")
+		pat = strings.TrimSuffix(pat, "/")
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			return diags
+		}
+		prefixes = append(prefixes, filepath.ToSlash(pat)+"/")
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		file := filepath.ToSlash(d.File)
+		for _, p := range prefixes {
+			if strings.HasPrefix(file, p) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rumba-vet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumba/internal/analysis"
+)
+
+// fixtureSrc trips every analyzer in the suite exactly once, plus one
+// suppressed finding, so the golden file pins the full JSON shape: field
+// names, severity strings, ordering, suppression, and the fail count.
+const fixtureSrc = `package fix
+
+import (
+	"sync"
+	"time"
+)
+
+var g int
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+//rumba:pure
+func declared(x int) int { g++; return x }
+
+func impure(in []float64) []float64 {
+	_ = time.Now()
+	return in
+}
+
+var s = spec{Exact: impure}
+
+func cmp(a, b float64) bool { return a == b }
+
+func allowed(a, b float64) bool {
+	return a != b //rumba:allow floatcmp golden fixture
+}
+
+func locked(mu sync.Mutex) { mu.Lock() }
+`
+
+func TestGoldenJSON(t *testing.T) {
+	loader, err := analysis.SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadSource(map[string]string{"fix.go": fixtureSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := analysis.BuildModule(loader.Fset(), "", []*analysis.Package{pkg})
+	diags := m.Run()
+	out, err := analysis.MarshalJSONReport(analysis.Analyzers(), diags, analysis.SeverityWarning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out) + "\n"
+
+	golden := filepath.Join("testdata", "golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch (run with UPDATE_GOLDEN=1 to regenerate)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExamplesHaveNoKernelSigViolations is the CI smoke test: every
+// example program must obtain its kernels from sources the suite can
+// prove pure — zero kernelsig findings across the examples tree.
+func TestExamplesHaveNoKernelSigViolations(t *testing.T) {
+	loader, err := analysis.SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := 0
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "/examples/") {
+			examples++
+		}
+	}
+	if examples < 7 {
+		t.Fatalf("expected at least 7 example packages, found %d", examples)
+	}
+	m := analysis.BuildModule(loader.Fset(), loader.Root(), pkgs)
+	for _, d := range m.Run(analysis.AnalyzerKernelSig) {
+		if strings.HasPrefix(filepath.ToSlash(d.File), "examples/") && !d.Suppressed {
+			t.Errorf("kernelsig violation in examples: %s", d)
+		}
+	}
+}
+
+// TestShippedTreeIsClean mirrors the acceptance criterion: the full suite
+// over the whole module reports zero unsuppressed findings at or above
+// warning severity.
+func TestShippedTreeIsClean(t *testing.T) {
+	loader, err := analysis.SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := analysis.BuildModule(loader.Fset(), loader.Root(), pkgs)
+	diags := m.Run()
+	if n := analysis.FailCount(diags, analysis.SeverityWarning); n != 0 {
+		for _, d := range diags {
+			if !d.Suppressed && d.Severity >= analysis.SeverityWarning {
+				t.Errorf("unexpected finding: %s", d)
+			}
+		}
+		t.Fatalf("%d unsuppressed findings on the shipped tree", n)
+	}
+}
+
+func TestFilterPackages(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{File: "internal/bench/fft.go"},
+		{File: "examples/quickstart/main.go"},
+	}
+	if got := filterPackages(diags, nil); len(got) != 2 {
+		t.Fatalf("no patterns should keep all, got %d", len(got))
+	}
+	if got := filterPackages(diags, []string{"./..."}); len(got) != 2 {
+		t.Fatalf("./... should keep all, got %d", len(got))
+	}
+	if got := filterPackages(diags, []string{"internal/bench"}); len(got) != 1 || got[0].File != "internal/bench/fft.go" {
+		t.Fatalf("internal/bench filter wrong: %v", got)
+	}
+	if got := filterPackages(diags, []string{"examples/..."}); len(got) != 1 || got[0].File != "examples/quickstart/main.go" {
+		t.Fatalf("examples/... filter wrong: %v", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package analysis is Rumba's static-analysis framework. The paper's
+// recovery guarantee (Section 2.2) — a flagged iteration can be re-executed
+// exactly on the CPU — is only sound when the offloaded kernel is pure and
+// deterministic. This package proves those properties mechanically: a
+// small, stdlib-only driver (go/parser + go/types + go/importer) loads the
+// whole module from source, computes a typed call-graph purity fixpoint,
+// and runs a suite of Rumba-specific analyzers over every package:
+//
+//	purity       declared-pure functions (//rumba:pure) must pass the
+//	             Section 2.2 purity analysis
+//	determinism  re-executable kernels must not read clocks, global RNG
+//	             state, or channels, nor write outputs from map iteration
+//	floatcmp     no ==/!= on floating-point values in threshold logic
+//	kernelsig    functions handed to kernel entry points must have the
+//	             pure-kernel signature and pass the purity analysis
+//	concurrency  locks passed by value, loop-variable capture, unguarded
+//	             channel sends in goroutines
+//
+// Findings can be acknowledged in source with an inline directive:
+//
+//	//rumba:allow <analyzer>[,<analyzer>...] [reason]
+//
+// placed on the flagged line or the line above it. cmd/rumba-vet is the
+// multichecker CLI over this package.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	SeverityInfo Severity = iota
+	SeverityWarning
+	SeverityError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// ParseSeverity parses "info", "warning"/"warn", or "error".
+func ParseSeverity(s string) (Severity, error) {
+	switch strings.ToLower(s) {
+	case "info":
+		return SeverityInfo, nil
+	case "warning", "warn":
+		return SeverityWarning, nil
+	case "error":
+		return SeverityError, nil
+	}
+	return 0, fmt.Errorf("analysis: unknown severity %q (want info, warning, or error)", s)
+}
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Severity Severity       `json:"-"`
+	Pos      token.Position `json:"-"`
+	// File/Line/Col flatten Pos for the JSON form (File is relative to
+	// the module root when possible, keeping golden output stable).
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Sev     string `json:"severity"`
+	Message string `json:"message"`
+	// Suppressed marks findings acknowledged by a //rumba:allow
+	// directive; they are reported but never fail the build.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// String renders the go-vet-style one-line form.
+func (d Diagnostic) String() string {
+	sup := ""
+	if d.Suppressed {
+		sup = " (suppressed)"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s [%s]%s", d.File, d.Line, d.Col, d.Message, d.Analyzer, sup)
+}
+
+// Analyzer is one named check. Run is invoked once per package with a Pass
+// carrying the package and the module-wide facts.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Severity is the severity its findings carry.
+	Severity Severity
+	Run      func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Fset returns the module's shared file set.
+func (p *Pass) Fset() *token.FileSet { return p.Module.Fset }
+
+// Reportf records a finding at pos with the analyzer's default severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Sev:      p.Analyzer.Severity.String(),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directiveIndex records, per file, which lines carry //rumba:allow
+// directives and for which analyzers, plus the set of //rumba:pure
+// declarations.
+type directiveIndex struct {
+	// allow maps filename → line → analyzer set ("*" allows all).
+	allow map[string]map[int]map[string]bool
+}
+
+const (
+	allowPrefix = "//rumba:allow"
+	purePrefix  = "//rumba:pure"
+)
+
+// buildDirectiveIndex scans the comments of every file in pkgs.
+func buildDirectiveIndex(fset *token.FileSet, pkgs []*Package) *directiveIndex {
+	idx := &directiveIndex{allow: map[string]map[int]map[string]bool{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					lines := idx.allow[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						idx.allow[pos.Filename] = lines
+					}
+					set := lines[pos.Line]
+					if set == nil {
+						set = map[string]bool{}
+						lines[pos.Line] = set
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						set[strings.TrimSpace(name)] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a directive on d's line or the line above
+// covers d's analyzer.
+func (idx *directiveIndex) suppresses(d Diagnostic) bool {
+	lines := idx.allow[d.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Line, d.Line - 1} {
+		if set := lines[line]; set != nil && (set[d.Analyzer] || set["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredPure reports whether fd's doc comment (or a comment in the
+// declaration's comment group) carries //rumba:pure.
+func declaredPure(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, purePrefix)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runFixture type-checks one in-memory file and runs the given analyzers
+// (nil = full suite) over it.
+func runFixture(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	loader, err := SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadSource(map[string]string{"fix.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := BuildModule(loader.Fset(), "", []*Package{pkg})
+	return m.Run(analyzers...)
+}
+
+// expectDiags asserts that diags contains exactly want findings for the
+// analyzer (ignoring suppressed ones) and that each expected substring
+// appears in some message.
+func expectDiags(t *testing.T, diags []Diagnostic, analyzer string, want int, substrings ...string) {
+	t.Helper()
+	var got []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == analyzer && !d.Suppressed {
+			got = append(got, d)
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("%s: got %d findings, want %d: %v", analyzer, len(got), want, got)
+	}
+	for _, sub := range substrings {
+		found := false
+		for _, d := range got {
+			if strings.Contains(d.Message, sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no finding mentions %q in %v", analyzer, sub, got)
+		}
+	}
+}
+
+func TestSeverityParsing(t *testing.T) {
+	for in, want := range map[string]Severity{
+		"info": SeverityInfo, "warning": SeverityWarning,
+		"warn": SeverityWarning, "error": SeverityError, "ERROR": SeverityError,
+	} {
+		got, err := ParseSeverity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("expected error for unknown severity")
+	}
+	if SeverityWarning.String() != "warning" || SeverityError.String() != "error" {
+		t.Error("severity String() mismatch")
+	}
+}
+
+func TestPurityAnalyzerFlagsDeclaredPure(t *testing.T) {
+	diags := runFixture(t, `package p
+
+var g int
+
+//rumba:pure
+func bad(x int) int { g++; return x }
+
+//rumba:pure
+func good(x int) int { return x * 2 }
+`, AnalyzerPurity)
+	expectDiags(t, diags, "purity", 1, "bad is declared //rumba:pure", "writes package-level variable g")
+}
+
+func TestAllowDirectiveSuppressesSameLine(t *testing.T) {
+	diags := runFixture(t, `package p
+
+func cmp(a, b float64) bool {
+	return a == b //rumba:allow floatcmp tested tolerance elsewhere
+}
+`, AnalyzerFloatCmp)
+	expectDiags(t, diags, "floatcmp", 0)
+	if len(diags) != 1 || !diags[0].Suppressed {
+		t.Fatalf("expected one suppressed finding, got %v", diags)
+	}
+}
+
+func TestAllowDirectiveSuppressesLineAbove(t *testing.T) {
+	diags := runFixture(t, `package p
+
+func cmp(a, b float64) bool {
+	//rumba:allow floatcmp
+	return a == b
+}
+`, AnalyzerFloatCmp)
+	expectDiags(t, diags, "floatcmp", 0)
+}
+
+func TestAllowDirectiveIsAnalyzerSpecific(t *testing.T) {
+	diags := runFixture(t, `package p
+
+func cmp(a, b float64) bool {
+	//rumba:allow determinism wrong analyzer named
+	return a == b
+}
+`, AnalyzerFloatCmp)
+	expectDiags(t, diags, "floatcmp", 1)
+}
+
+func TestAllowDirectiveWildcard(t *testing.T) {
+	diags := runFixture(t, `package p
+
+func cmp(a, b float64) bool {
+	//rumba:allow * generated code
+	return a == b
+}
+`, AnalyzerFloatCmp)
+	expectDiags(t, diags, "floatcmp", 0)
+}
+
+func TestFailCount(t *testing.T) {
+	diags := []Diagnostic{
+		{Severity: SeverityError},
+		{Severity: SeverityWarning},
+		{Severity: SeverityWarning, Suppressed: true},
+		{Severity: SeverityInfo},
+	}
+	if n := FailCount(diags, SeverityWarning); n != 2 {
+		t.Fatalf("FailCount(warning) = %d, want 2", n)
+	}
+	if n := FailCount(diags, SeverityError); n != 1 {
+		t.Fatalf("FailCount(error) = %d, want 1", n)
+	}
+	if n := FailCount(diags, SeverityInfo); n != 3 {
+		t.Fatalf("FailCount(info) = %d, want 3", n)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	want := []string{"purity", "determinism", "floatcmp", "kernelsig", "concurrency"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() = %d entries, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %s, want %s", i, a.Name, want[i])
+		}
+		byName, ok := AnalyzerByName(want[i])
+		if !ok || byName != a {
+			t.Errorf("AnalyzerByName(%s) mismatch", want[i])
+		}
+	}
+	if _, ok := AnalyzerByName("nope"); ok {
+		t.Error("AnalyzerByName should fail for unknown names")
+	}
+}
+
+func TestLoadSourceSyntaxError(t *testing.T) {
+	loader, err := SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadSource(map[string]string{"x.go": "package p\nfunc ("}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := loader.LoadSource(map[string]string{"x.go": "package p\nfunc f() { undefined() }"}); err == nil {
+		t.Fatal("expected type error")
+	}
+}
+
+func TestModuleLoadAndKernelClosure(t *testing.T) {
+	loader, err := SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("module load found only %d packages", len(pkgs))
+	}
+	m := BuildModule(loader.Fset(), loader.Root(), pkgs)
+	// The seven bench kernels are handed to Spec.Exact sinks and must be
+	// in the re-execution closure.
+	inClosure := 0
+	for _, pkg := range pkgs {
+		if pkg.Name != "bench" {
+			continue
+		}
+		for _, fi := range m.FuncsIn(pkg) {
+			if strings.HasSuffix(fi.Obj.Name(), "Exact") && m.InKernelClosure(fi.Obj) {
+				inClosure++
+			}
+		}
+	}
+	if inClosure < 7 {
+		t.Errorf("only %d bench *Exact kernels in the closure, want >= 7", inClosure)
+	}
+}

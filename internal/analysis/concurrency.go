@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// concurrency: hygiene checks for the online plumbing (the Stream
+// detection/recovery/merge goroutines and the accelerator queues).
+//
+//   - A sync.Mutex/RWMutex/WaitGroup/Once/Cond (or a struct containing
+//     one) passed or returned by value is a silent copy of lock state.
+//   - A goroutine literal that captures an enclosing loop variable relies
+//     on Go 1.22 per-iteration scoping; flagging it keeps the invariant
+//     visible (and the code portable to earlier toolchains).
+//   - A goroutine that sends on a channel it did not create locally (a
+//     parameter, field, or global) with no select around the send has no
+//     cancellation path: if the receiver goes away, the goroutine leaks.
+//     Sends on channels created and closed by the spawning function are
+//     that function's own protocol and are not flagged.
+
+// lockKind names the sync type a type carries by value, or "".
+func lockKind(t types.Type) string {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type) string
+	walk = func(t types.Type) string {
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			}
+			return walk(named.Underlying())
+		}
+		switch u := t.(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if k := walk(u.Field(i).Type()); k != "" {
+					return k
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return ""
+	}
+	return walk(t)
+}
+
+// AnalyzerConcurrency runs the hygiene checks over every function.
+var AnalyzerConcurrency = &Analyzer{
+	Name:     "concurrency",
+	Doc:      "locks passed by value, goroutines capturing loop variables, and unguarded channel sends in goroutines",
+	Severity: SeverityWarning,
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				checkByValueLocks(p, fd)
+				if fd.Body != nil {
+					checkGoroutines(p, info, fd)
+				}
+			}
+		}
+	},
+}
+
+// checkByValueLocks flags receiver, parameter, and result types that carry
+// lock state by value.
+func checkByValueLocks(p *Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, role string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+				continue
+			}
+			if k := lockKind(tv.Type); k != "" {
+				p.Reportf(field.Type.Pos(), "%s %s passes %s by value; use a pointer", fd.Name.Name, role, k)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// checkGoroutines inspects every `go func(){...}()` in fd for loop-variable
+// capture and for unguarded sends on channels the function does not own.
+func checkGoroutines(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	body := fd.Body
+	// loopVars collects variables declared by enclosing for/range
+	// statements, keyed by object, while walking.
+	loopVars := map[types.Object]bool{}
+	var walk func(n ast.Node, inLoop []types.Object)
+	collectDefs := func(stmts ...ast.Node) []types.Object {
+		var objs []types.Object
+		for _, s := range stmts {
+			if s == nil {
+				continue
+			}
+			ast.Inspect(s, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if o := info.Defs[id]; o != nil {
+						objs = append(objs, o)
+					}
+				}
+				return true
+			})
+		}
+		return objs
+	}
+	walk = func(n ast.Node, inLoop []types.Object) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			vars := collectDefs(v.Init)
+			for _, o := range vars {
+				loopVars[o] = true
+			}
+			walkChildren(v.Body, func(c ast.Node) { walk(c, append(inLoop, vars...)) })
+			return
+		case *ast.RangeStmt:
+			var vars []types.Object
+			if v.Tok == token.DEFINE {
+				vars = collectDefs(v.Key, v.Value)
+			}
+			for _, o := range vars {
+				loopVars[o] = true
+			}
+			walkChildren(v.Body, func(c ast.Node) { walk(c, append(inLoop, vars...)) })
+			return
+		case *ast.GoStmt:
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				checkGoLit(p, info, fd, lit, inLoop)
+			}
+			// Arguments evaluate in the spawning goroutine; walk them
+			// normally (a nested go inside an argument is exotic but legal).
+			for _, arg := range v.Call.Args {
+				walk(arg, inLoop)
+			}
+			return
+		}
+		walkChildren(n, func(c ast.Node) { walk(c, inLoop) })
+	}
+	walk(body, nil)
+}
+
+// walkChildren visits the direct children of n.
+func walkChildren(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// checkGoLit checks one goroutine literal.
+func checkGoLit(p *Pass, info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit, inLoop []types.Object) {
+	// Loop-variable capture.
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := info.Uses[id]
+		if o == nil || reported[o] {
+			return true
+		}
+		for _, lv := range inLoop {
+			if o == lv {
+				reported[o] = true
+				p.Reportf(id.Pos(), "goroutine captures loop variable %s (pass it as an argument)", id.Name)
+			}
+		}
+		return true
+	})
+
+	// Unguarded sends on channels the spawning function does not own.
+	var inSelect func(n ast.Node, guarded bool)
+	inSelect = func(n ast.Node, guarded bool) {
+		switch v := n.(type) {
+		case nil:
+			return
+		case *ast.SelectStmt:
+			walkChildren(v, func(c ast.Node) { inSelect(c, true) })
+			return
+		case *ast.SendStmt:
+			if !guarded {
+				if root, ok := chanRoot(info, v.Chan); ok && !declaredInBody(root, fd) {
+					p.Reportf(v.Pos(), "goroutine sends on %s, which this function does not own, with no cancellation path (wrap in select with a done case)", root.Name())
+				}
+			}
+		}
+		walkChildren(n, func(c ast.Node) { inSelect(c, guarded) })
+	}
+	inSelect(lit.Body, false)
+}
+
+// chanRoot resolves the base variable of a channel expression.
+func chanRoot(info *types.Info, e ast.Expr) (types.Object, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[v]; o != nil {
+			return o, true
+		}
+	case *ast.SelectorExpr:
+		if o := info.Uses[v.Sel]; o != nil {
+			return o, true
+		}
+	case *ast.IndexExpr:
+		return chanRoot(info, v.X)
+	}
+	return nil, false
+}
+
+// declaredInBody reports whether obj is declared inside fd's body (so the
+// spawning function owns its lifecycle). Parameters and receivers sit
+// outside the body and count as caller-owned.
+func declaredInBody(obj types.Object, fd *ast.FuncDecl) bool {
+	return obj.Pos() != token.NoPos && fd.Body != nil &&
+		obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+}

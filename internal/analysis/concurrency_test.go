@@ -1,0 +1,167 @@
+package analysis
+
+import "testing"
+
+func TestConcurrencyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+		subs []string
+	}{
+		{
+			name: "mutex parameter by value",
+			src: `package p
+
+import "sync"
+
+func locked(mu sync.Mutex, x int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return x
+}`,
+			want: 1,
+			subs: []string{"passes sync.Mutex by value"},
+		},
+		{
+			name: "mutex pointer parameter is fine",
+			src: `package p
+
+import "sync"
+
+func locked(mu *sync.Mutex, x int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return x
+}`,
+			want: 0,
+		},
+		{
+			name: "waitgroup by value through a struct",
+			src: `package p
+
+import "sync"
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func drain(p pool) { p.wg.Wait() }`,
+			want: 1,
+			subs: []string{"passes sync.WaitGroup by value"},
+		},
+		{
+			name: "value receiver carrying a lock",
+			src: `package p
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) peek() int { return c.n }`,
+			want: 1,
+			subs: []string{"receiver passes sync.Mutex"},
+		},
+		{
+			name: "pointer receiver carrying a lock is fine",
+			src: `package p
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}`,
+			want: 0,
+		},
+		{
+			name: "goroutine capturing a range loop variable",
+			src: `package p
+
+func spawn(xs []int, f func(int)) {
+	for _, x := range xs {
+		go func() {
+			f(x)
+		}()
+	}
+}`,
+			want: 1,
+			subs: []string{"captures loop variable x"},
+		},
+		{
+			name: "loop variable passed as argument is fine",
+			src: `package p
+
+func spawn(xs []int, f func(int)) {
+	for _, x := range xs {
+		go func(v int) {
+			f(v)
+		}(x)
+	}
+}`,
+			want: 0,
+		},
+		{
+			name: "goroutine sending on a caller-owned channel without select",
+			src: `package p
+
+func produce(out chan<- int, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+}`,
+			want: 1,
+			subs: []string{"no cancellation path"},
+		},
+		{
+			name: "select with done case is fine",
+			src: `package p
+
+func produce(out chan<- int, done <-chan struct{}, n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			select {
+			case out <- i:
+			case <-done:
+				return
+			}
+		}
+	}()
+}`,
+			want: 0,
+		},
+		{
+			name: "send on a locally created channel is the function's own protocol",
+			src: `package p
+
+func pipeline(n int) <-chan int {
+	out := make(chan int, n)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+	return out
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, tc.src, AnalyzerConcurrency)
+			expectDiags(t, diags, "concurrency", tc.want, tc.subs...)
+		})
+	}
+}

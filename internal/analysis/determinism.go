@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinism: purity alone is not enough for Rumba's recovery. The
+// re-executed iteration must see the same inputs and produce the same
+// outputs as the approximated one would have exactly — so a kernel (any
+// function in the re-execution closure) must not read clocks, the global
+// random-number state, or channels, and must not derive output order from
+// map iteration. This analyzer walks every function the kernel closure can
+// reach (concrete kernels at entry points, //rumba:pure declarations, and
+// their transitive module callees) and flags nondeterministic constructs
+// at their source position.
+
+// nondetRandFuncs in math/rand and math/rand/v2 that are deterministic:
+// constructors take an explicit seed/source, so their results are
+// reproducible. Everything else package-level draws from the global,
+// time-seeded source.
+var detRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// scanNondeterminism reports every nondeterministic construct in body.
+func scanNondeterminism(info *types.Info, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+				return true
+			}
+			fn, ok := calleeObject(info, v).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			switch fn.Pkg().Path() {
+			case "time":
+				if sig.Recv() == nil {
+					report(v.Pos(), "reads the clock via time.%s; re-execution cannot reproduce it", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if sig.Recv() == nil && !detRandConstructors[fn.Name()] {
+					report(v.Pos(), "draws from the global random source via rand.%s; seed a local source instead", fn.Name())
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				report(v.Pos(), "receives from a channel; the value depends on scheduling")
+			}
+		case *ast.SelectStmt:
+			report(v.Pos(), "select statement; case choice depends on scheduling")
+		case *ast.RangeStmt:
+			tv, ok := info.Types[v.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap && orderSensitiveBody(v.Body) {
+				report(v.Pos(), "ranges over a map with order-sensitive writes; iteration order is random")
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				report(v.Pos(), "ranges over a channel; the sequence depends on scheduling")
+			}
+		}
+		return true
+	})
+}
+
+// orderSensitiveBody reports whether a loop body's effect depends on
+// iteration order: it writes through an index, appends, or sends.
+func orderSensitiveBody(body *ast.BlockStmt) bool {
+	sensitive := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if _, ok := lhs.(*ast.IndexExpr); ok {
+					sensitive = true
+				}
+			}
+			// x = append(x, ...) accumulates in iteration order.
+			for _, rhs := range v.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+						sensitive = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			sensitive = true
+		}
+		return !sensitive
+	})
+	return sensitive
+}
+
+// AnalyzerDeterminism flags nondeterministic constructs inside the kernel
+// re-execution closure.
+var AnalyzerDeterminism = &Analyzer{
+	Name:     "determinism",
+	Doc:      "re-executable kernels must not read clocks, global RNG state, or channels, nor order output by map iteration",
+	Severity: SeverityError,
+	Run: func(p *Pass) {
+		report := func(prefix string) func(pos token.Pos, format string, args ...any) {
+			return func(pos token.Pos, format string, args ...any) {
+				p.Reportf(pos, prefix+format, args...)
+			}
+		}
+		for _, fi := range p.Module.FuncsIn(p.Pkg) {
+			if !p.Module.InKernelClosure(fi.Obj) {
+				continue
+			}
+			scanNondeterminism(p.Pkg.Info, fi.Decl.Body, report("kernel "+fi.Obj.Name()+" "))
+		}
+		for _, site := range p.Module.sinks {
+			if site.pkg == p.Pkg && site.lit != nil {
+				scanNondeterminism(p.Pkg.Info, site.lit.Body, report("kernel literal "))
+			}
+		}
+	},
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import "testing"
+
+func TestDeterminismTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+		subs []string
+	}{
+		{
+			name: "clock read in declared-pure kernel",
+			src: `package p
+
+import "time"
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	_ = time.Now()
+	return in
+}`,
+			want: 1,
+			subs: []string{"reads the clock via time.Now"},
+		},
+		{
+			name: "global rand in kernel closure via helper",
+			src: `package p
+
+import "math/rand"
+
+func noise() float64 { return rand.Float64() }
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = v + noise()
+	}
+	return out
+}`,
+			want: 1,
+			subs: []string{"global random source via rand.Float64"},
+		},
+		{
+			name: "seeded local source is deterministic",
+			src: `package p
+
+import "math/rand"
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	r := rand.New(rand.NewSource(42))
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = v * r.Float64()
+	}
+	return out
+}`,
+			want: 0,
+		},
+		{
+			name: "channel receive in kernel",
+			src: `package p
+
+var ch = make(chan float64, 1)
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	v := <-ch
+	return []float64{v}
+}`,
+			want: 1,
+			subs: []string{"receives from a channel"},
+		},
+		{
+			name: "map range with order-sensitive writes",
+			src: `package p
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	m := map[int]float64{0: 1, 1: 2}
+	out := make([]float64, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}`,
+			want: 1,
+			subs: []string{"ranges over a map with order-sensitive writes"},
+		},
+		{
+			name: "map range with commutative reduction is fine",
+			src: `package p
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	m := map[int]float64{0: 1, 1: 2}
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return []float64{sum}
+}`,
+			want: 0,
+		},
+		{
+			name: "functions outside the kernel closure are not flagged",
+			src: `package p
+
+import "time"
+
+func logger() int64 { return time.Now().Unix() }`,
+			want: 0,
+		},
+		{
+			name: "kernel reached through a sink field",
+			src: `package p
+
+import "time"
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func slow(in []float64) []float64 {
+	time.Sleep(time.Millisecond)
+	return in
+}
+
+var s = spec{Exact: slow}`,
+			want: 1,
+			subs: []string{"kernel slow", "time.Sleep"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, tc.src, AnalyzerDeterminism)
+			expectDiags(t, diags, "determinism", tc.want, tc.subs...)
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Module is the unit the driver analyses: a set of type-checked packages
+// plus the module-wide facts the analyzers share (purity fixpoint, kernel
+// sink sites, suppression directives).
+type Module struct {
+	Fset     *token.FileSet
+	Root     string // module root dir ("" for fixtures)
+	Packages []*Package
+
+	infos      map[*types.Func]*FuncInfo
+	trusted    trustMatcher
+	directives *directiveIndex
+	// sinks are the kernel entry-point sites (kernelsig facts).
+	sinks []sinkSite
+	// kernelClosure holds every module function that re-execution can
+	// reach: concrete kernels handed to sinks, declared-pure functions,
+	// and their transitive module callees.
+	kernelClosure map[*types.Func]bool
+}
+
+// FuncInfo returns the purity record for a function object, if the
+// function was declared (with a body) in the module.
+func (m *Module) FuncInfo(obj *types.Func) (*FuncInfo, bool) {
+	fi, ok := m.infos[obj]
+	return fi, ok
+}
+
+// FuncsIn returns the analysed functions declared in pkg, in source order.
+func (m *Module) FuncsIn(pkg *Package) []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range m.infos {
+		if fi.Pkg == pkg {
+			out = append(out, fi)
+		}
+	}
+	// Map iteration order is random; report order must not be.
+	sortFuncInfos(out)
+	return out
+}
+
+func sortFuncInfos(fis []*FuncInfo) {
+	for i := 1; i < len(fis); i++ {
+		for j := i; j > 0 && fis[j].Decl.Pos() < fis[j-1].Decl.Pos(); j-- {
+			fis[j], fis[j-1] = fis[j-1], fis[j]
+		}
+	}
+}
+
+// InKernelClosure reports whether re-execution can reach obj.
+func (m *Module) InKernelClosure(obj *types.Func) bool { return m.kernelClosure[obj] }
+
+// Analyzers returns the full Rumba suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerPurity,
+		AnalyzerDeterminism,
+		AnalyzerFloatCmp,
+		AnalyzerKernelSig,
+		AnalyzerConcurrency,
+	}
+}
+
+// AnalyzerByName resolves one analyzer.
+func AnalyzerByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// BuildModule computes the shared fact base over pkgs. trusted lists extra
+// external call targets asserted pure ("pkg.Func" or "import/path.Func").
+func BuildModule(fset *token.FileSet, root string, pkgs []*Package, trusted ...string) *Module {
+	m := &Module{
+		Fset:     fset,
+		Root:     root,
+		Packages: pkgs,
+	}
+	m.trusted = trustMatcher(trusted)
+	m.infos = funcFacts(pkgs, m.trusted)
+	m.directives = buildDirectiveIndex(fset, pkgs)
+	m.sinks = findSinkSites(m)
+	m.kernelClosure = buildKernelClosure(m)
+	return m
+}
+
+// buildKernelClosure seeds from declared-pure functions and concrete
+// kernels at sink sites, then closes over module calls.
+func buildKernelClosure(m *Module) map[*types.Func]bool {
+	closure := map[*types.Func]bool{}
+	var queue []*types.Func
+	add := func(obj *types.Func) {
+		if obj != nil && !closure[obj] {
+			if _, inModule := m.infos[obj]; inModule {
+				closure[obj] = true
+				queue = append(queue, obj)
+			}
+		}
+	}
+	for obj, fi := range m.infos {
+		if fi.DeclaredPure {
+			add(obj)
+		}
+	}
+	for _, site := range m.sinks {
+		add(site.fn)
+		if site.litInfo != nil {
+			for callee := range site.litInfo.Calls {
+				add(callee)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for callee := range m.infos[obj].Calls {
+			add(callee)
+		}
+	}
+	return closure
+}
+
+// Run executes the given analyzers (nil = the full suite) over every
+// package of the module and returns the findings sorted by position, with
+// //rumba:allow suppressions applied. File names are reported relative to
+// the module root.
+func (m *Module) Run(analyzers ...*Analyzer) []Diagnostic {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range m.Packages {
+			pass := &Pass{
+				Analyzer: a,
+				Module:   m,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					d.Suppressed = m.directives.suppresses(d)
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	if m.Root != "" {
+		for i := range diags {
+			if rel, err := filepath.Rel(m.Root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].File = filepath.ToSlash(rel)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+// FailCount returns how many unsuppressed findings are at or above the
+// given severity.
+func FailCount(diags []Diagnostic, failOn Severity) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed && d.Severity >= failOn {
+			n++
+		}
+	}
+	return n
+}
+
+// JSONReport is the machine-readable form rumba-vet -json emits.
+type JSONReport struct {
+	Analyzers   []string     `json:"analyzers"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Fail is the number of unsuppressed findings at or above the
+	// requested severity.
+	Fail int `json:"fail"`
+}
+
+// MarshalJSONReport renders the report with stable formatting.
+func MarshalJSONReport(analyzers []*Analyzer, diags []Diagnostic, failOn Severity) ([]byte, error) {
+	rep := JSONReport{Diagnostics: diags, Fail: FailCount(diags, failOn)}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	return json.MarshalIndent(rep, "", "  ")
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// floatcmp: the quality and tuner layers steer recovery with floating-
+// point thresholds (predicted error vs TOQ bound); an exact ==/!= on such
+// values silently never (or always) fires once roundoff enters, which in
+// Rumba's case means recovery quietly stops firing. The analyzer flags
+// float equality comparisons module-wide. Two idioms stay legal:
+//
+//   - comparison against an exact-zero constant (a sentinel/"unset" guard,
+//     not a numeric tolerance check), and
+//   - x != x (the classic NaN test).
+//
+// Everything else should go through an epsilon helper such as
+// quality.ApproxEqual.
+
+// AnalyzerFloatCmp flags == and != between floating-point operands.
+var AnalyzerFloatCmp = &Analyzer{
+	Name:     "floatcmp",
+	Doc:      "no ==/!= on floating-point values; use an epsilon helper (quality.ApproxEqual)",
+	Severity: SeverityWarning,
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloatExpr(info, be.X) && !isFloatExpr(info, be.Y) {
+					return true
+				}
+				if isZeroConst(info, be.X) || isZeroConst(info, be.Y) {
+					return true
+				}
+				if isSelfCompare(be) {
+					return true // x != x: NaN check
+				}
+				p.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon helper (quality.ApproxEqual)", be.Op)
+				return true
+			})
+		}
+	},
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+// isSelfCompare reports whether both operands are the same plain
+// identifier (or selector chain rendered identically).
+func isSelfCompare(be *ast.BinaryExpr) bool {
+	return exprString(be.X) != "" && exprString(be.X) == exprString(be.Y)
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		if x := exprString(v.X); x != "" {
+			return x + "." + v.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	}
+	return ""
+}

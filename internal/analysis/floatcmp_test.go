@@ -1,0 +1,78 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmpTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "equality between float variables",
+			src: `package p
+
+func f(pred, threshold float64) bool { return pred == threshold }`,
+			want: 1,
+		},
+		{
+			name: "inequality against nonzero constant",
+			src: `package p
+
+func f(x float64) bool { return x != 0.3 }`,
+			want: 1,
+		},
+		{
+			name: "zero sentinel guard is allowed",
+			src: `package p
+
+func f(x float64) bool { return x == 0 }`,
+			want: 0,
+		},
+		{
+			name: "NaN self-compare is allowed",
+			src: `package p
+
+func f(x float64) bool { return x != x }`,
+			want: 0,
+		},
+		{
+			name: "integer comparison is not flagged",
+			src: `package p
+
+func f(a, b int) bool { return a == b }`,
+			want: 0,
+		},
+		{
+			name: "float32 is also flagged",
+			src: `package p
+
+func f(a, b float32) bool { return a == b }`,
+			want: 1,
+		},
+		{
+			name: "ordered comparisons are fine",
+			src: `package p
+
+func f(a, b float64) bool { return a < b || a >= b }`,
+			want: 0,
+		},
+		{
+			name: "epsilon helper shape is fine",
+			src: `package p
+
+import "math"
+
+func approxEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func f(pred, th float64) bool { return approxEqual(pred, th, 1e-9) }`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, tc.src, AnalyzerFloatCmp)
+			expectDiags(t, diags, "floatcmp", tc.want)
+		})
+	}
+}

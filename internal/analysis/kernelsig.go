@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// kernelsig: Rumba accepts a kernel wherever a struct field or a function
+// parameter has the pure-kernel shape func([]float64) []float64 — the
+// bench.Spec.Exact re-execution hook and the helpers in accel/exec/
+// pipeline that take kernels. Any *concrete* function supplied at such a
+// site (a declared function or a function literal) must pass the purity
+// analysis: that is the machine-checked form of the Section 2.2
+// requirement that recovery re-executes only pure regions. Plumbing a
+// kernel value onwards (passing spec.Exact along) is not re-checked; the
+// check fires where a concrete function enters the system.
+
+// isKernelSig reports whether t is exactly func([]float64) []float64.
+func isKernelSig(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Variadic() {
+		return false
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isFloatSlice(sig.Params().At(0).Type()) && isFloatSlice(sig.Results().At(0).Type())
+}
+
+func isFloatSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// sinkSite is one expression that supplies a kernel to an entry point.
+type sinkSite struct {
+	pkg  *Package
+	pos  token.Pos
+	desc string       // what the value flows into, for messages
+	fn   *types.Func  // statically resolved function, if any
+	lit  *ast.FuncLit // function literal, if any
+	// litInfo is the inline analysis of lit's body.
+	litInfo *FuncInfo
+	expr    ast.Expr // the supplied expression
+}
+
+// findSinkSites scans every package for kernel-typed fields and parameters
+// receiving a value.
+func findSinkSites(m *Module) []sinkSite {
+	var sites []sinkSite
+	for _, pkg := range m.Packages {
+		info := pkg.Info
+		add := func(expr ast.Expr, desc string) {
+			expr = ast.Unparen(expr)
+			site := sinkSite{pkg: pkg, pos: expr.Pos(), desc: desc, expr: expr}
+			switch v := expr.(type) {
+			case *ast.FuncLit:
+				site.lit = v
+				fd := &ast.FuncDecl{Name: ast.NewIdent("kernel literal"), Type: v.Type, Body: v.Body}
+				site.litInfo = analyzeFuncTyped(pkg, fd, nil)
+			case *ast.Ident, *ast.SelectorExpr:
+				if fn, ok := calleeObject(info, &ast.CallExpr{Fun: expr}).(*types.Func); ok {
+					site.fn = fn
+				}
+			}
+			sites = append(sites, site)
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CompositeLit:
+					tv, ok := info.Types[v]
+					if !ok {
+						return true
+					}
+					st, ok := tv.Type.Underlying().(*types.Struct)
+					if !ok {
+						return true
+					}
+					for i, elt := range v.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							key, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							if fld := structField(st, key.Name); fld != nil && isKernelSig(fld.Type()) {
+								add(kv.Value, fieldDesc(tv.Type, key.Name))
+							}
+						} else if i < st.NumFields() && isKernelSig(st.Field(i).Type()) {
+							add(elt, fieldDesc(tv.Type, st.Field(i).Name()))
+						}
+					}
+				case *ast.AssignStmt:
+					for i, lhs := range v.Lhs {
+						sel, ok := lhs.(*ast.SelectorExpr)
+						if !ok || i >= len(v.Rhs) || len(v.Lhs) != len(v.Rhs) {
+							continue
+						}
+						selInfo, ok := info.Selections[sel]
+						if !ok || !selInfo.Obj().(*types.Var).IsField() {
+							continue
+						}
+						if isKernelSig(selInfo.Obj().Type()) {
+							add(v.Rhs[i], "field "+sel.Sel.Name)
+						}
+					}
+				case *ast.CallExpr:
+					tv, ok := info.Types[v.Fun]
+					if !ok || tv.IsType() {
+						return true
+					}
+					sig, ok := tv.Type.Underlying().(*types.Signature)
+					if !ok {
+						return true
+					}
+					for i, arg := range v.Args {
+						if i >= sig.Params().Len() {
+							break // variadic tail cannot be kernel-typed here
+						}
+						if isKernelSig(sig.Params().At(i).Type()) {
+							add(arg, "parameter "+sig.Params().At(i).Name()+" of "+callDesc(info, v))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return sites
+}
+
+func structField(st *types.Struct, name string) *types.Var {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return st.Field(i)
+		}
+	}
+	return nil
+}
+
+func fieldDesc(t types.Type, field string) string {
+	name := t.String()
+	if named, ok := t.(*types.Named); ok {
+		name = named.Obj().Name()
+	}
+	return "field " + name + "." + field
+}
+
+func callDesc(info *types.Info, call *ast.CallExpr) string {
+	if fn, ok := calleeObject(info, call).(*types.Func); ok {
+		return objName(fn)
+	}
+	return "a call"
+}
+
+// litPure checks a function literal supplied at a sink: its body must have
+// no local violations and every callee must be pure by the module facts.
+func litPure(m *Module, fi *FuncInfo) (bool, string) {
+	if len(fi.Reasons) > 0 {
+		return false, fi.Reasons[0].Msg
+	}
+	if len(fi.Dynamic) > 0 {
+		return false, "calls through an unanalysable function value"
+	}
+	for callee := range fi.Calls {
+		if target, ok := m.infos[callee]; ok {
+			if !target.pure {
+				return false, "calls impure function " + objName(callee)
+			}
+			continue
+		}
+		if pureStdlib[objPathName(callee)] || m.trusted.trusts(callee) {
+			continue
+		}
+		return false, "calls unknown function " + objName(callee)
+	}
+	return true, ""
+}
+
+// AnalyzerKernelSig flags impure or unverifiable concrete functions
+// supplied to kernel entry points, at the call/assignment site.
+var AnalyzerKernelSig = &Analyzer{
+	Name:     "kernelsig",
+	Doc:      "functions handed to kernel entry points (func([]float64) []float64 sinks) must be provably pure",
+	Severity: SeverityError,
+	Run: func(p *Pass) {
+		for _, site := range p.Module.sinks {
+			if site.pkg != p.Pkg {
+				continue
+			}
+			switch {
+			case site.lit != nil:
+				if ok, why := litPure(p.Module, site.litInfo); !ok {
+					p.Reportf(site.pos, "kernel literal supplied to %s is not provably pure: %s", site.desc, why)
+				}
+			case site.fn != nil:
+				fi, inModule := p.Module.FuncInfo(site.fn)
+				if !inModule {
+					if pureStdlib[objPathName(site.fn)] || p.Module.trusted.trusts(site.fn) {
+						continue
+					}
+					p.Reportf(site.pos, "kernel %s supplied to %s is external and not trusted pure", objName(site.fn), site.desc)
+					continue
+				}
+				if !fi.Pure() {
+					var msgs []string
+					for _, r := range fi.AllReasons() {
+						msgs = append(msgs, r.Msg)
+					}
+					p.Reportf(site.pos, "kernel %s supplied to %s is not provably pure: %s",
+						objName(site.fn), site.desc, strings.Join(msgs, "; "))
+				}
+			}
+		}
+	},
+}

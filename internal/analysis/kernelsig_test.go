@@ -1,0 +1,169 @@
+package analysis
+
+import "testing"
+
+func TestKernelSigTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+		subs []string
+	}{
+		{
+			name: "impure function in a sink field",
+			src: `package p
+
+var g int
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func impure(in []float64) []float64 { g++; return in }
+
+var s = spec{Exact: impure}`,
+			want: 1,
+			subs: []string{"kernel p.impure", "field spec.Exact", "writes package-level variable g"},
+		},
+		{
+			name: "pure function in a sink field",
+			src: `package p
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func double(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = 2 * v
+	}
+	return out
+}
+
+var s = spec{Exact: double}`,
+			want: 0,
+		},
+		{
+			name: "input-mutating kernel literal in a sink field",
+			src: `package p
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+var s = spec{Exact: func(in []float64) []float64 {
+	for i := range in {
+		in[i] *= 2
+	}
+	return in
+}}`,
+			want: 1,
+			subs: []string{"kernel literal", "non-owned object in"},
+		},
+		{
+			name: "pure literal in a sink field",
+			src: `package p
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+var s = spec{Exact: func(in []float64) []float64 {
+	out := make([]float64, len(in))
+	copy(out, in)
+	return out
+}}`,
+			want: 0,
+		},
+		{
+			name: "impure function passed to a kernel parameter",
+			src: `package p
+
+var g int
+
+func run(kernel func([]float64) []float64, in []float64) []float64 {
+	return kernel(in)
+}
+
+func impure(in []float64) []float64 { g++; return in }
+
+func use(in []float64) []float64 { return run(impure, in) }`,
+			want: 1,
+			subs: []string{"parameter kernel of p.run"},
+		},
+		{
+			name: "plumbing a kernel value onwards is not re-checked",
+			src: `package p
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func run(kernel func([]float64) []float64, in []float64) []float64 {
+	return kernel(in)
+}
+
+func use(s spec, in []float64) []float64 { return run(s.Exact, in) }`,
+			want: 0,
+		},
+		{
+			name: "assignment to a sink field",
+			src: `package p
+
+var g int
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func impure(in []float64) []float64 { g++; return in }
+
+func build() spec {
+	var s spec
+	s.Exact = impure
+	return s
+}`,
+			want: 1,
+			subs: []string{"field Exact"},
+		},
+		{
+			name: "goroutine-spawning kernel is rejected",
+			src: `package p
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func sneaky(in []float64) []float64 {
+	go func() {}()
+	return in
+}
+
+var s = spec{Exact: sneaky}`,
+			want: 1,
+			subs: []string{"spawns a goroutine"},
+		},
+		{
+			name: "unkeyed composite literal",
+			src: `package p
+
+var g int
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func impure(in []float64) []float64 { g++; return in }
+
+var s = spec{impure}`,
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runFixture(t, tc.src, AnalyzerKernelSig)
+			expectDiags(t, diags, "kernelsig", tc.want, tc.subs...)
+		})
+	}
+}

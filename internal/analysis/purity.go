@@ -1,0 +1,467 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file holds the type-aware port of the Section 2.2 purity analysis.
+// The syntactic version (the original internal/purity) resolved calls by
+// bare string name, so a shadowed identifier or a local function that
+// happened to share a trusted helper's name defeated it. Here every call
+// and every written object is resolved through types.Info, and the purity
+// fixpoint runs over *types.Func objects across the whole loaded module.
+
+// Reason is one purity violation with its source position.
+type Reason struct {
+	Pos token.Pos
+	Msg string
+}
+
+// FuncInfo is the per-function analysis record.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Reasons are the local violations (writes to caller-visible state,
+	// goroutines, channel sends).
+	Reasons []Reason
+	// Calls maps each statically resolved callee to one call position.
+	Calls map[*types.Func]token.Pos
+	// Dynamic records calls through function values the analysis cannot
+	// resolve (conservatively impure).
+	Dynamic []token.Pos
+	// DeclaredPure is set when the declaration carries //rumba:pure.
+	DeclaredPure bool
+
+	pure      bool
+	fixReason string // first call-graph reason when impure via a callee
+	fixPos    token.Pos
+}
+
+// Pure reports the fixpoint verdict for the function.
+func (fi *FuncInfo) Pure() bool { return fi.pure }
+
+// AllReasons returns local violations plus the call-graph reason, if any.
+func (fi *FuncInfo) AllReasons() []Reason {
+	rs := fi.Reasons
+	if fi.fixReason != "" {
+		rs = append(rs[:len(rs):len(rs)], Reason{Pos: fi.fixPos, Msg: fi.fixReason})
+	}
+	return rs
+}
+
+// pureStdlib lists external (non-module) call targets trusted to be pure,
+// keyed by full import path + name. Only value-returning math helpers
+// belong here.
+var pureStdlib = map[string]bool{}
+
+func init() {
+	for _, name := range []string{
+		"Abs", "Sqrt", "Exp", "Log", "Log2", "Log10", "Sin", "Cos", "Tan",
+		"Sincos", "Acos", "Asin", "Atan", "Atan2", "Pow", "Floor", "Ceil",
+		"Round", "Erf", "Erfc", "Min", "Max", "Mod", "Tanh", "Inf", "NaN",
+		"IsNaN", "IsInf", "Hypot", "Trunc", "Cbrt", "Signbit", "Copysign",
+		"MaxInt32", "Float64bits", "Float64frombits",
+	} {
+		pureStdlib["math."+name] = true
+	}
+}
+
+// trustMatcher resolves user-supplied trust entries against typed objects.
+// An entry is "pkg.Func" (package name) or "full/import/path.Func"; it
+// matches only a function actually declared in that package, so a local
+// function that shadows a trusted helper's name is never trusted.
+type trustMatcher []string
+
+func (tm trustMatcher) trusts(obj *types.Func) bool {
+	pkg := obj.Pkg()
+	if pkg == nil || obj.Type().(*types.Signature).Recv() != nil {
+		return false // builtins/error.Error/methods are never trust entries
+	}
+	for _, entry := range tm {
+		dot := strings.LastIndex(entry, ".")
+		if dot <= 0 || dot == len(entry)-1 {
+			continue
+		}
+		qual, name := entry[:dot], entry[dot+1:]
+		if name != obj.Name() {
+			continue
+		}
+		if strings.Contains(qual, "/") {
+			if pkg.Path() == qual {
+				return true
+			}
+			continue
+		}
+		// Bare package name: accept a name or import-path-suffix match —
+		// but always against the package the object is really declared
+		// in, which is the fix for the old string-matching bug.
+		if pkg.Name() == qual || strings.HasSuffix(pkg.Path(), "/"+qual) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFacts computes FuncInfo for every function declared in the given
+// packages and runs the purity and determinism fixpoints over the typed
+// call graph.
+func funcFacts(pkgs []*Package, trusted trustMatcher) map[*types.Func]*FuncInfo {
+	infos := map[*types.Func]*FuncInfo{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := analyzeFuncTyped(pkg, fd, obj)
+				fi.DeclaredPure = declaredPure(fd)
+				infos[obj] = fi
+			}
+		}
+	}
+	purityFixpoint(infos, trusted)
+	return infos
+}
+
+// purityFixpoint: a function is pure iff it has no local violations, no
+// dynamic calls, and every callee is a pure module function, a trusted
+// external, or a pure builtin/conversion (those never reach Calls).
+func purityFixpoint(infos map[*types.Func]*FuncInfo, trusted trustMatcher) {
+	for _, fi := range infos {
+		fi.pure = len(fi.Reasons) == 0
+		if fi.pure && len(fi.Dynamic) > 0 {
+			fi.pure = false
+			fi.fixReason = "calls through an unanalysable function value"
+			fi.fixPos = fi.Dynamic[0]
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range infos {
+			if !fi.pure {
+				continue
+			}
+			for callee, pos := range fi.Calls {
+				if target, known := infos[callee]; known {
+					if !target.pure {
+						fi.pure = false
+						fi.fixReason = "calls impure function " + objName(callee)
+						fi.fixPos = pos
+						changed = true
+						break
+					}
+					continue
+				}
+				if pureStdlib[objPathName(callee)] || trusted.trusts(callee) {
+					continue
+				}
+				fi.pure = false
+				fi.fixReason = "calls unknown function " + objName(callee)
+				fi.fixPos = pos
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// objName renders a function object for messages: "pkg.Func" or
+// "pkg.Type.Method" for module/externals, "Func" for same-package style.
+func objName(obj *types.Func) string {
+	sig := obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	if pkg := obj.Pkg(); pkg != nil {
+		return pkg.Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// objPathName keys an object by full import path for the trust tables.
+func objPathName(obj *types.Func) string {
+	if pkg := obj.Pkg(); pkg != nil {
+		return pkg.Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// analyzeFuncTyped walks one function body, resolving every identifier
+// through the package's types.Info. The ownership rule matches the
+// syntactic analyser: a write through an index/dereference/selector chain
+// is pure only when the root object was allocated locally; writes to
+// package-level variables (resolved as objects, not names) are always
+// violations, as are goroutine spawns and channel sends.
+func analyzeFuncTyped(pkg *Package, fd *ast.FuncDecl, obj *types.Func) *FuncInfo {
+	fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, Calls: map[*types.Func]token.Pos{}}
+	info := pkg.Info
+
+	owned := map[types.Object]bool{}   // locally allocated objects
+	closure := map[types.Object]bool{} // local vars holding func literals
+
+	addReason := func(pos token.Pos, format string, args ...any) {
+		fi.Reasons = append(fi.Reasons, Reason{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	// Named results belong to this call.
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, n := range f.Names {
+				if o := info.Defs[n]; o != nil {
+					owned[o] = true
+				}
+			}
+		}
+	}
+
+	// isPkgLevel reports whether o is a package-level variable (of any
+	// package — writing an imported package's var is just as impure).
+	isPkgLevel := func(o types.Object) bool {
+		v, ok := o.(*types.Var)
+		if !ok || v.IsField() {
+			// A bare field identifier can only be written through a
+			// receiver; the root-object rule below handles selectors.
+			return false
+		}
+		return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+	}
+
+	// rootObj resolves the base object of an lvalue chain (x, x[i], x.f,
+	// *x, ...). The second result is false for unanalysable roots.
+	var rootObj func(e ast.Expr) (types.Object, bool)
+	rootObj = func(e ast.Expr) (types.Object, bool) {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[v]; o != nil {
+				return o, true
+			}
+			if o := info.Defs[v]; o != nil {
+				return o, true
+			}
+			return nil, false
+		case *ast.IndexExpr:
+			return rootObj(v.X)
+		case *ast.SelectorExpr:
+			return rootObj(v.X)
+		case *ast.StarExpr:
+			return rootObj(v.X)
+		case *ast.ParenExpr:
+			return rootObj(v.X)
+		case *ast.SliceExpr:
+			return rootObj(v.X)
+		default:
+			return nil, false
+		}
+	}
+
+	allocates := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.CallExpr:
+			// Call results are fresh values; the callee's own purity is
+			// checked separately through the fixpoint. Conversions are
+			// value copies.
+			return true
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			return v.Op == token.AND
+		case *ast.BasicLit:
+			return true
+		}
+		return false
+	}
+
+	handleAssign := func(as *ast.AssignStmt) {
+		for i, lhs := range as.Lhs {
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			switch lv := lhs.(type) {
+			case *ast.Ident:
+				if lv.Name == "_" {
+					continue
+				}
+				o := info.Defs[lv]
+				if o == nil {
+					o = info.Uses[lv]
+				}
+				if o == nil {
+					continue
+				}
+				if isPkgLevel(o) {
+					addReason(lv.Pos(), "writes package-level variable %s", lv.Name)
+					continue
+				}
+				if _, isLit := rhs.(*ast.FuncLit); rhs != nil && isLit {
+					closure[o] = true
+					owned[o] = true
+					continue
+				}
+				if rhs != nil && allocates(rhs) {
+					owned[o] = true
+				} else if rhs != nil {
+					// Aliasing: x = param keeps x un-owned; aliasing an
+					// owned object transfers ownership.
+					if ro, ok := rootObj(rhs); ok {
+						owned[o] = owned[ro]
+					} else {
+						owned[o] = true // literals, arithmetic
+					}
+				}
+			default:
+				root, ok := rootObj(lhs)
+				if !ok {
+					addReason(lhs.Pos(), "writes through an unanalysable lvalue")
+					continue
+				}
+				if isPkgLevel(root) {
+					addReason(lhs.Pos(), "writes package-level variable %s", root.Name())
+					continue
+				}
+				if !owned[root] {
+					addReason(lhs.Pos(), "writes through non-owned object %s (parameter or alias)", root.Name())
+				}
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			handleAssign(v)
+		case *ast.IncDecStmt:
+			if root, ok := rootObj(v.X); ok {
+				if isPkgLevel(root) {
+					addReason(v.Pos(), "writes package-level variable %s", root.Name())
+				} else if _, isIdent := v.X.(*ast.Ident); !isIdent && !owned[root] {
+					addReason(v.Pos(), "increments through non-owned object %s", root.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			// Range variables are fresh per-iteration values.
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if o := info.Defs[id]; o != nil {
+						owned[o] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if _, direct := v.Fun.(*ast.FuncLit); direct {
+				break // immediately-invoked literal: body analysed inline
+			}
+			if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+				break // conversion, a value copy
+			}
+			callee := calleeObject(info, v)
+			switch c := callee.(type) {
+			case *types.Func:
+				fi.Calls[c] = v.Pos()
+			case *types.Builtin:
+				switch c.Name() {
+				case "len", "cap", "make", "new", "append", "copy", "min",
+					"max", "abs", "real", "imag", "complex", "delete", "clear":
+					// delete/clear mutate their operand; the write rules
+					// above cannot see that, so treat them as writes.
+					if c.Name() == "delete" || c.Name() == "clear" {
+						if len(v.Args) > 0 {
+							if root, ok := rootObj(v.Args[0]); ok && !owned[root] {
+								addReason(v.Pos(), "mutates non-owned object %s via %s", root.Name(), c.Name())
+							}
+						}
+					}
+				case "panic", "recover", "print", "println":
+					fi.Reasons = append(fi.Reasons, Reason{Pos: v.Pos(), Msg: "calls " + c.Name()})
+				}
+			default:
+				// A function value: fine when it is a local closure whose
+				// body was analysed inline; otherwise conservative.
+				if o, ok := rootObj(v.Fun); ok && closure[o] {
+					break
+				}
+				fi.Dynamic = append(fi.Dynamic, v.Pos())
+			}
+		case *ast.GoStmt:
+			addReason(v.Pos(), "spawns a goroutine")
+		case *ast.SendStmt:
+			addReason(v.Pos(), "sends on a channel")
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, n := range vs.Names {
+							if o := info.Defs[n]; o != nil {
+								owned[o] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fi
+}
+
+// calleeObject resolves the object a call expression invokes, or nil for
+// dynamic calls.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	}
+	return nil
+}
+
+// AnalyzerPurity reports declared-pure functions (//rumba:pure) that fail
+// the purity analysis. Purity facts for every other function are still
+// computed — kernelsig consumes them — but only an explicit declaration
+// turns impurity into a finding, so the analyzer stays quiet on ordinary
+// imperative code.
+var AnalyzerPurity = &Analyzer{
+	Name:     "purity",
+	Doc:      "functions declared //rumba:pure must pass the Section 2.2 purity analysis",
+	Severity: SeverityError,
+	Run: func(p *Pass) {
+		for _, fi := range p.Module.FuncsIn(p.Pkg) {
+			if !fi.DeclaredPure || fi.Pure() {
+				continue
+			}
+			var msgs []string
+			for _, r := range fi.AllReasons() {
+				msgs = append(msgs, r.Msg)
+			}
+			p.Reportf(fi.Decl.Name.Pos(), "%s is declared //rumba:pure but is not provably pure: %s",
+				fi.Obj.Name(), strings.Join(msgs, "; "))
+		}
+	},
+}

@@ -29,6 +29,7 @@ const (
 )
 
 // blackScholesExact prices a European option with the closed-form solution.
+//rumba:pure
 func blackScholesExact(in []float64) []float64 {
 	s, k, r, sigma, tm, otype := in[0], in[1], in[2], in[3], in[4], in[5]
 	sqrtT := math.Sqrt(tm)

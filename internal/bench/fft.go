@@ -14,6 +14,7 @@ import (
 // folds every other quadrant onto this one, which is how real FFT
 // implementations index their twiddle tables. This is the code region the
 // NPU work offloads for its fft benchmark (1 input, 2 outputs).
+//rumba:pure
 func fftTwiddleExact(in []float64) []float64 {
 	angle := 0.5 * math.Pi * in[0]
 	s, c := math.Sincos(angle)

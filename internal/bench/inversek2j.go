@@ -25,6 +25,7 @@ func ikForward(t1, t2 float64) (x, y float64) {
 }
 
 // inverseK2JExact is the exact closed-form inverse kinematics kernel.
+//rumba:pure
 func inverseK2JExact(in []float64) []float64 {
 	x, y := in[0], in[1]
 	d2 := x*x + y*y

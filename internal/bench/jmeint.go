@@ -193,6 +193,7 @@ func pointInTri2(pt [2]float64, tri [3][2]float64) bool {
 
 // jmeintExact wraps the geometric test in the kernel signature: 18 inputs,
 // one-hot [intersect, disjoint] output.
+//rumba:pure
 func jmeintExact(in []float64) []float64 {
 	var t [6]vec3
 	for i := 0; i < 6; i++ {

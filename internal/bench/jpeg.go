@@ -78,6 +78,7 @@ func inverseDCT(coef *[64]float64) [64]float64 {
 }
 
 // jpegExact encodes and decodes one 8x8 pixel block.
+//rumba:pure
 func jpegExact(in []float64) []float64 {
 	var block [64]float64
 	for i := 0; i < 64; i++ {

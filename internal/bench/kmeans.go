@@ -15,6 +15,7 @@ import (
 // slowdown because the code region that gets mapped to the NPU is very small
 // and can be efficiently executed on the CPU itself", which our cost model
 // reproduces.
+//rumba:pure
 func kmeansExact(in []float64) []float64 {
 	dr := in[0] - in[3]
 	dg := in[1] - in[4]

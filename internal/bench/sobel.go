@@ -15,6 +15,7 @@ import (
 var sobelGx = [9]float64{-1, 0, 1, -2, 0, 2, -1, 0, 1}
 var sobelGy = [9]float64{-1, -2, -1, 0, 0, 0, 1, 2, 1}
 
+//rumba:pure
 func sobelExact(in []float64) []float64 {
 	var gx, gy float64
 	for i := 0; i < 9; i++ {

@@ -63,6 +63,7 @@ func (g *Gray) Clone() *Gray {
 }
 
 // Clamp255 limits v to the valid pixel range.
+//rumba:pure
 func Clamp255(v float64) float64 {
 	if v < 0 {
 		return 0

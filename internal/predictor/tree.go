@@ -155,12 +155,14 @@ func (b *treeBuilder) bestSplit(idx []int, parentSSE float64) (feat int, thresh,
 		}
 		sorted := append([]float64(nil), vals...)
 		sort.Float64s(sorted)
+		//rumba:allow floatcmp exact identity of stored values, not a tolerance check
 		if sorted[0] == sorted[len(sorted)-1] {
 			continue // constant feature
 		}
 		for c := 1; c <= b.cfg.Candidates; c++ {
 			q := float64(c) / float64(b.cfg.Candidates+1)
 			th := sorted[int(q*float64(len(sorted)-1))]
+			//rumba:allow floatcmp th is copied from sorted; exact identity is intended
 			if th == sorted[0] {
 				continue // empty left side
 			}

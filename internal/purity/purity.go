@@ -5,23 +5,22 @@
 // prior compiler techniques (idempotence analysis, refs [17, 20]) and
 // reports that more than 70% of the data-parallel regions in Rodinia qualify.
 //
-// This analyser performs the same job for Go kernels: it parses source with
-// go/parser and conservatively classifies each function as pure or impure
-// from its syntax tree. A function is reported pure only when the analysis
-// can prove it; anything it cannot see through (unknown calls, writes
-// through caller-visible memory) makes the function impure. The runtime's
-// purity requirement for kernels (bench.Spec.Exact) is checked by this
-// package's tests against the real benchmark sources.
+// The package is a thin, report-shaped wrapper over the type-aware driver
+// in internal/analysis: source is parsed with go/parser and type-checked
+// with go/types, every call is resolved to its typed object (so a local
+// function that shadows a trusted helper's name is never confused with it,
+// and methods resolve properly), and the purity fixpoint runs over the
+// typed call graph across package boundaries. A function is reported pure
+// only when the analysis can prove it; anything it cannot see through
+// (unknown calls, writes through caller-visible memory) makes the function
+// impure.
 package purity
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"sort"
-	"strings"
+	"go/types"
+
+	"rumba/internal/analysis"
 )
 
 // Verdict is the analysis result for one function.
@@ -63,187 +62,74 @@ func (r Report) Lookup(name string) (Verdict, bool) {
 	return Verdict{}, false
 }
 
-// pureStdlib lists call targets the analysis trusts to be pure. Only
-// value-returning math helpers belong here.
-var pureStdlib = map[string]bool{
-	"math.Abs": true, "math.Sqrt": true, "math.Exp": true, "math.Log": true,
-	"math.Sin": true, "math.Cos": true, "math.Tan": true, "math.Sincos": true,
-	"math.Acos": true, "math.Asin": true, "math.Atan": true, "math.Atan2": true,
-	"math.Pow": true, "math.Floor": true, "math.Ceil": true, "math.Round": true,
-	"math.Erf": true, "math.Erfc": true, "math.Min": true, "math.Max": true,
-	"math.Mod": true, "math.Tanh": true, "math.Inf": true, "math.IsNaN": true,
-	"math.IsInf": true, "math.Hypot": true, "math.Trunc": true,
-	// Builtins.
-	"len": true, "cap": true, "make": true, "new": true, "append": true,
-	"copy": true, "float64": true, "float32": true, "int": true, "int32": true,
-	"int64": true, "uint64": true, "byte": true, "string": true, "min": true,
-	"max": true, "abs": true,
-}
-
-// AnalyzeSource parses a single Go source file (filename is for positions
-// only) and analyses every top-level function in it. trusted lists extra
-// call targets ("pkg.Func") the caller asserts are pure — typically helpers
-// from sibling packages already verified by their own analysis.
+// AnalyzeSource type-checks a single Go source file (filename is for
+// positions only) and analyses every top-level function in it. trusted
+// lists extra call targets ("pkg.Func" or "import/path.Func") the caller
+// asserts are pure; entries are resolved against the typed objects calls
+// actually bind to, never against bare spelling.
 func AnalyzeSource(filename, src string, trusted ...string) (Report, error) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	loader, err := analysis.SharedLoader(".")
 	if err != nil {
 		return Report{}, fmt.Errorf("purity: %w", err)
 	}
-	return analyzeFiles(file.Name.Name, []*ast.File{file}, trustSet(trusted)), nil
-}
-
-func trustSet(trusted []string) map[string]bool {
-	m := map[string]bool{}
-	for _, t := range trusted {
-		m[t] = true
+	pkg, err := loader.LoadSource(map[string]string{filename: src})
+	if err != nil {
+		return Report{}, fmt.Errorf("purity: %w", err)
 	}
-	return m
+	m := analysis.BuildModule(loader.Fset(), "", []*analysis.Package{pkg}, trusted...)
+	return reportFor(m, pkg), nil
 }
 
-// AnalyzeDir parses every non-test Go file in dir and analyses the package's
-// functions. trusted lists extra call targets asserted pure.
+// AnalyzeDir type-checks the package in dir together with its module
+// dependencies and analyses the package's functions. The purity fixpoint
+// runs across all loaded module packages, so helpers from sibling packages
+// are verified rather than assumed; trusted remains available for external
+// targets.
 func AnalyzeDir(dir string, trusted ...string) (Report, error) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.SkipObjectResolution)
+	loader, err := analysis.SharedLoader(dir)
 	if err != nil {
 		return Report{}, fmt.Errorf("purity: %w", err)
 	}
-	for name, pkg := range pkgs {
-		files := make([]*ast.File, 0, len(pkg.Files))
-		// Deterministic order.
-		var paths []string
-		for p := range pkg.Files {
-			paths = append(paths, p)
-		}
-		sort.Strings(paths)
-		for _, p := range paths {
-			files = append(files, pkg.Files[p])
-		}
-		return analyzeFiles(name, files, trustSet(trusted)), nil
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		return Report{}, fmt.Errorf("purity: %w", err)
 	}
-	return Report{}, fmt.Errorf("purity: no Go package in %s", dir)
+	// LoadDir type-checks module dependencies transitively; include them
+	// all so cross-package calls resolve to facts instead of "unknown".
+	m := analysis.BuildModule(loader.Fset(), loader.Root(), loader.ModulePackages(), trusted...)
+	return reportFor(m, pkg), nil
 }
 
-// analyzeFiles runs the per-function analysis with a purity fixpoint over
-// intra-package calls: a function calling another analysed function is pure
-// iff the callee is (mutual recursion converges to impure, the conservative
-// answer).
-func analyzeFiles(pkgName string, files []*ast.File, trusted map[string]bool) Report {
-	globals := collectGlobals(files)
-	funcs := map[string]*ast.FuncDecl{}
-	var order []string
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+// reportFor flattens the module facts for one package into the report
+// shape, in source order.
+func reportFor(m *analysis.Module, pkg *analysis.Package) Report {
+	rep := Report{Package: pkg.Name}
+	for _, fi := range m.FuncsIn(pkg) {
+		v := Verdict{Function: verdictName(fi.Obj), Pure: fi.Pure()}
+		if !v.Pure {
+			for _, r := range fi.AllReasons() {
+				v.Reasons = append(v.Reasons, r.Msg)
 			}
-			name := fd.Name.Name
-			if fd.Recv != nil {
-				name = recvTypeName(fd.Recv) + "." + name
-			}
-			funcs[name] = fd
-			order = append(order, name)
-		}
-	}
-
-	// Initial pass: every function's local violations + called names.
-	type info struct {
-		reasons []string
-		calls   map[string]bool
-	}
-	infos := map[string]*info{}
-	for name, fd := range funcs {
-		reasons, calls := analyzeFunc(fd, globals)
-		infos[name] = &info{reasons: reasons, calls: calls}
-	}
-
-	// Fixpoint: start from "pure unless locally impure", knock out
-	// functions whose callees are impure or unknown.
-	pure := map[string]bool{}
-	for name, in := range infos {
-		pure[name] = len(in.reasons) == 0
-	}
-	callReason := map[string]string{}
-	for changed := true; changed; {
-		changed = false
-		for name, in := range infos {
-			if !pure[name] {
-				continue
-			}
-			for callee := range in.calls {
-				if pureStdlib[callee] || trusted[callee] {
-					continue
-				}
-				if p, known := pure[callee]; known {
-					if !p {
-						pure[name] = false
-						callReason[name] = "calls impure function " + callee
-						changed = true
-					}
-					continue
-				}
-				// Method value or unknown package call: conservative.
-				pure[name] = false
-				callReason[name] = "calls unknown function " + callee
-				changed = true
-			}
-		}
-	}
-
-	rep := Report{Package: pkgName}
-	for _, name := range order {
-		v := Verdict{Function: name, Pure: pure[name], Reasons: infos[name].reasons}
-		if !v.Pure && len(v.Reasons) == 0 {
-			v.Reasons = []string{callReason[name]}
 		}
 		rep.Verdicts = append(rep.Verdicts, v)
 	}
 	return rep
 }
 
-func recvTypeName(recv *ast.FieldList) string {
-	if len(recv.List) == 0 {
-		return "?"
+// verdictName renders "Func" for package functions and "Type.Method" for
+// methods, matching the historical report format.
+func verdictName(obj *types.Func) string {
+	sig := obj.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return obj.Name()
 	}
-	t := recv.List[0].Type
-	for {
-		switch tt := t.(type) {
-		case *ast.StarExpr:
-			t = tt.X
-		case *ast.Ident:
-			return tt.Name
-		case *ast.IndexExpr: // generic receiver
-			t = tt.X
-		default:
-			return "?"
-		}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
 	}
-}
-
-// collectGlobals returns the names of package-level vars (consts are fine to
-// read and cannot be written; vars are shared state).
-func collectGlobals(files []*ast.File) map[string]bool {
-	globals := map[string]bool{}
-	for _, f := range files {
-		for _, decl := range f.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok {
-					continue
-				}
-				for _, n := range vs.Names {
-					globals[n.Name] = true
-				}
-			}
-		}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + obj.Name()
 	}
-	return globals
+	return obj.Name()
 }

@@ -252,3 +252,105 @@ func sneaky(x int) int {
 		t.Fatal("global write inside a closure must be caught")
 	}
 }
+
+// Regression test for the string-matching trust bug: the old syntactic
+// analyser resolved calls by rendered name, so anything that *looked like*
+// "imageutil.Clamp255" at the call site — here, a method on a local
+// variable named imageutil — inherited the trust granted to the real
+// helper. Typed resolution binds the call to the local method object,
+// which is impure, and trust entries never match it.
+func TestTrustResolvesTypedObjectsNotNames(t *testing.T) {
+	rep, err := AnalyzeSource("test.go", `package p
+
+var g int
+
+type fake struct{}
+
+func (fake) Clamp255(v float64) float64 { g++; return v }
+
+func use(v float64) float64 {
+	imageutil := fake{}
+	return imageutil.Clamp255(v)
+}`, "imageutil.Clamp255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := mustVerdict(t, rep, "use")
+	if v.Pure {
+		t.Fatal("local method spelled like a trusted helper must not be trusted")
+	}
+	if v2 := mustVerdict(t, rep, "fake.Clamp255"); v2.Pure {
+		t.Fatal("the shadowing method writes a global and is impure")
+	}
+}
+
+// A local *function* spelled like a trusted helper must likewise be judged
+// on its own body, not the trust table.
+func TestLocalFunctionShadowingTrustedName(t *testing.T) {
+	rep, err := AnalyzeSource("test.go", `package p
+
+var g int
+
+func Clamp255(v float64) float64 { g++; return v }
+
+func use(v float64) float64 { return Clamp255(v) }`, "imageutil.Clamp255", "Clamp255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustVerdict(t, rep, "use"); v.Pure {
+		t.Fatalf("local impure Clamp255 must not match any trust entry")
+	}
+}
+
+// The real helper, called through its import, does match the trust entry —
+// and with the cross-package fixpoint it is verified rather than assumed.
+func TestTrustMatchesRealImportedHelper(t *testing.T) {
+	rep, err := AnalyzeSource("test.go", `package p
+
+import "rumba/internal/imageutil"
+
+func use(v float64) float64 { return imageutil.Clamp255(v) }`, "imageutil.Clamp255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustVerdict(t, rep, "use"); !v.Pure {
+		t.Fatalf("trusted imported helper should keep use pure: %v", v.Reasons)
+	}
+}
+
+// Cross-package fixpoint: with AnalyzeDir the sibling package's functions
+// carry their own facts, so no trust entry is needed at all.
+func TestCrossPackageFixpointNeedsNoTrust(t *testing.T) {
+	rep, err := AnalyzeDir("../bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := rep.Lookup("sobelExact")
+	if !ok {
+		t.Fatal("sobelExact not found")
+	}
+	if !v.Pure {
+		t.Fatalf("sobelExact should be provably pure without trust entries: %v", v.Reasons)
+	}
+}
+
+// Method calls resolve through types: a pure method on an owned receiver
+// is analysed, not treated as an unknown string.
+func TestMethodCallResolution(t *testing.T) {
+	rep, err := AnalyzeSource("test.go", `package p
+
+type vec struct{ x, y float64 }
+
+func (v vec) norm2() float64 { return v.x*v.x + v.y*v.y }
+
+func use(a, b float64) float64 {
+	v := vec{a, b}
+	return v.norm2()
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustVerdict(t, rep, "use"); !v.Pure {
+		t.Fatalf("pure method call should stay pure: %v", v.Reasons)
+	}
+}

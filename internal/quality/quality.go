@@ -243,3 +243,20 @@ func Summarize(elementErrors []float64) Summary {
 	s.LargeFraction = float64(large) / float64(s.Count)
 	return s
 }
+
+// ApproxEqual reports whether a and b agree within eps: absolutely for
+// values near zero, relatively otherwise. It is the epsilon helper the
+// floatcmp analyzer points threshold logic at — exact ==/!= on computed
+// floating-point values (predicted errors, tuner thresholds) stops firing
+// once roundoff enters, which in Rumba's case means recovery silently
+// degrades. NaN compares unequal to everything, as with ==.
+func ApproxEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= eps {
+		return true
+	}
+	return diff <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
