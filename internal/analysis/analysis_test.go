@@ -81,6 +81,74 @@ func good(x int) int { return x * 2 }
 	expectDiags(t, diags, "purity", 1, "bad is declared //rumba:pure", "writes package-level variable g")
 }
 
+func TestPurityCallResultOwnership(t *testing.T) {
+	// A pass-through helper must not launder ownership: id returns its
+	// argument, so writing through its result mutates the caller's slice.
+	// Helpers that provably return fresh memory (directly or transitively)
+	// still confer ownership, as does append-accumulation.
+	diags := runFixture(t, `package p
+
+func id(x []float64) []float64 { return x }
+
+func alloc(n int) []float64 { return make([]float64, n) }
+
+func allocVia(n int) []float64 { return alloc(n) }
+
+//rumba:pure
+func launder(in []float64) []float64 {
+	out := id(in)
+	out[0] = 42
+	return out
+}
+
+//rumba:pure
+func fine(in []float64) []float64 {
+	out := allocVia(len(in))
+	for i, v := range in {
+		out[i] = 2 * v
+	}
+	return out
+}
+
+//rumba:pure
+func accum(in []float64) []float64 {
+	out := []float64{}
+	for _, v := range in {
+		out = append(out, v)
+	}
+	out[0] = 1
+	return out
+}
+`, AnalyzerPurity)
+	expectDiags(t, diags, "purity", 1, "launder is declared //rumba:pure", "non-owned object out")
+}
+
+func TestPurityClosureReassignment(t *testing.T) {
+	// Reassigning a closure variable to a named function must clear the
+	// analysed-inline fact; the call through it is then conservative.
+	diags := runFixture(t, `package p
+
+var g int
+
+func impure() { g++ }
+
+//rumba:pure
+func bad(x int) int {
+	f := func() {}
+	f = impure
+	f()
+	return x
+}
+
+//rumba:pure
+func good(x int) int {
+	f := func() int { return x * 2 }
+	return f()
+}
+`, AnalyzerPurity)
+	expectDiags(t, diags, "purity", 1, "bad is declared //rumba:pure", "unanalysable function value")
+}
+
 func TestAllowDirectiveSuppressesSameLine(t *testing.T) {
 	diags := runFixture(t, `package p
 

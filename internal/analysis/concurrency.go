@@ -105,9 +105,6 @@ func checkByValueLocks(p *Pass, fd *ast.FuncDecl) {
 // capture and for unguarded sends on channels the function does not own.
 func checkGoroutines(p *Pass, info *types.Info, fd *ast.FuncDecl) {
 	body := fd.Body
-	// loopVars collects variables declared by enclosing for/range
-	// statements, keyed by object, while walking.
-	loopVars := map[types.Object]bool{}
 	var walk func(n ast.Node, inLoop []types.Object)
 	collectDefs := func(stmts ...ast.Node) []types.Object {
 		var objs []types.Object
@@ -132,18 +129,12 @@ func checkGoroutines(p *Pass, info *types.Info, fd *ast.FuncDecl) {
 			return
 		case *ast.ForStmt:
 			vars := collectDefs(v.Init)
-			for _, o := range vars {
-				loopVars[o] = true
-			}
 			walkChildren(v.Body, func(c ast.Node) { walk(c, append(inLoop, vars...)) })
 			return
 		case *ast.RangeStmt:
 			var vars []types.Object
 			if v.Tok == token.DEFINE {
 				vars = collectDefs(v.Key, v.Value)
-			}
-			for _, o := range vars {
-				loopVars[o] = true
 			}
 			walkChildren(v.Body, func(c ast.Node) { walk(c, append(inLoop, vars...)) })
 			return

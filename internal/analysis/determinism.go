@@ -25,6 +25,16 @@ var detRandConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// nondetTimeFuncs are the package-level time functions that read the wall
+// clock or start timers. Constructors and parsers (time.Unix, time.Date,
+// time.ParseDuration, time.FixedZone, ...) compute deterministic values
+// from their arguments and stay allowed.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
 // scanNondeterminism reports every nondeterministic construct in body.
 func scanNondeterminism(info *types.Info, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -40,7 +50,7 @@ func scanNondeterminism(info *types.Info, body *ast.BlockStmt, report func(pos t
 			sig := fn.Type().(*types.Signature)
 			switch fn.Pkg().Path() {
 			case "time":
-				if sig.Recv() == nil {
+				if sig.Recv() == nil && nondetTimeFuncs[fn.Name()] {
 					report(v.Pos(), "reads the clock via time.%s; re-execution cannot reproduce it", fn.Name())
 				}
 			case "math/rand", "math/rand/v2":

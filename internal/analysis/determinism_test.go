@@ -105,6 +105,21 @@ func kernel(in []float64) []float64 {
 			want: 0,
 		},
 		{
+			name: "deterministic time constructors are allowed",
+			src: `package p
+
+import "time"
+
+//rumba:pure
+func kernel(in []float64) []float64 {
+	t := time.Unix(0, int64(in[0]))
+	d, _ := time.ParseDuration("1s")
+	day := time.Date(2020, time.January, 1, 0, 0, 0, 0, time.UTC)
+	return []float64{float64(t.UnixNano()), d.Seconds(), float64(day.Unix())}
+}`,
+			want: 0,
+		},
+		{
 			name: "functions outside the kernel closure are not flagged",
 			src: `package p
 

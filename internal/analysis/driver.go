@@ -16,7 +16,9 @@ type Module struct {
 	Root     string // module root dir ("" for fixtures)
 	Packages []*Package
 
-	infos      map[*types.Func]*FuncInfo
+	infos map[*types.Func]*FuncInfo
+	// fresh is the returns-fresh fact per module function (fresh.go).
+	fresh      map[*types.Func]bool
 	trusted    trustMatcher
 	directives *directiveIndex
 	// sinks are the kernel entry-point sites (kernelsig facts).
@@ -88,7 +90,7 @@ func BuildModule(fset *token.FileSet, root string, pkgs []*Package, trusted ...s
 		Packages: pkgs,
 	}
 	m.trusted = trustMatcher(trusted)
-	m.infos = funcFacts(pkgs, m.trusted)
+	m.infos, m.fresh = funcFacts(pkgs, m.trusted)
 	m.directives = buildDirectiveIndex(fset, pkgs)
 	m.sinks = findSinkSites(m)
 	m.kernelClosure = buildKernelClosure(m)

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The purity analysis owns an object only when it can prove the object is
+// backed by memory the function allocated itself. For call results that
+// proof needs a cross-function fact: `out := id(in)` where
+// `func id(x []float64) []float64 { return x }` hands back the caller's
+// own slice, so writing out[0] mutates caller-visible state even though
+// every step looks local. This file computes the *returns-fresh* fact for
+// every module function: true only when every value the function returns
+// is freshly allocated (or a pure value copy) and therefore cannot alias
+// any memory reachable from its arguments or from package state. The
+// fixpoint is optimistic (all functions start fresh, facts only fall), so
+// mutually recursive allocators converge to the greatest solution.
+
+// typeIsValueLike reports whether values of t are self-contained copies:
+// no pointers, slices, maps, channels, funcs, or interfaces anywhere, so
+// assigning one can never create an alias. Strings count: they are
+// immutable. Recursive named types are tolerated via the seen set.
+func typeIsValueLike(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return true
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Kind() != types.UnsafePointer
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if !walk(u.Field(i).Type()) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// callResultFresh decides whether the result of a call is freshly
+// allocated. fact carries the module-wide returns-fresh verdicts; argFresh
+// evaluates freshness of argument expressions in the caller's context
+// (ownership state in the body analysis, local assignment sets in the
+// returns-fresh computation).
+func callResultFresh(info *types.Info, call *ast.CallExpr, fact map[*types.Func]bool, argFresh func(ast.Expr) bool) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion. Value-like targets copy; string->[]byte/[]rune
+		// copies too; reference conversions alias their operand.
+		if typeIsValueLike(tv.Type) {
+			return true
+		}
+		if len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok {
+				if b, ok := at.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return true
+				}
+			}
+			return argFresh(call.Args[0])
+		}
+		return false
+	}
+	switch c := calleeObject(info, call).(type) {
+	case *types.Builtin:
+		switch c.Name() {
+		case "make", "new":
+			return true
+		case "append":
+			// append may return its first argument's backing array.
+			return len(call.Args) > 0 && argFresh(call.Args[0])
+		}
+		return false
+	case *types.Func:
+		if f, known := fact[c]; known {
+			return f
+		}
+		// External (or bodyless) function: fresh only when no result can
+		// carry a reference back to an argument.
+		sig := c.Type().(*types.Signature)
+		for i := 0; i < sig.Results().Len(); i++ {
+			if !typeIsValueLike(sig.Results().At(i).Type()) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// computeReturnsFresh runs the returns-fresh fixpoint over every function
+// declared with a body in pkgs.
+func computeReturnsFresh(pkgs []*Package) map[*types.Func]bool {
+	type fnDecl struct {
+		pkg *Package
+		fd  *ast.FuncDecl
+	}
+	decls := map[*types.Func]fnDecl{}
+	fact := map[*types.Func]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fnDecl{pkg, fd}
+					fact[obj] = true // optimistic: facts only fall
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, d := range decls {
+			if fact[obj] && !returnsFreshIn(d.pkg, d.fd, fact) {
+				fact[obj] = false
+				changed = true
+			}
+		}
+	}
+	return fact
+}
+
+func objFor(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// returnsFreshIn evaluates one function against the current fact map: true
+// when every return expression (including named results on bare returns)
+// is provably fresh. Local variables are judged flow-insensitively: a
+// local is fresh only if every value ever assigned to it is fresh.
+func returnsFreshIn(pkg *Package, fd *ast.FuncDecl, fact map[*types.Func]bool) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return true
+	}
+	info := pkg.Info
+
+	// Assignment sets per local, collected over the whole body including
+	// closures (a closure can overwrite an outer local before the return).
+	assigns := map[types.Object][]ast.Expr{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		if o := objFor(info, id); o != nil {
+			assigns[o] = append(assigns[o], rhs)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(v.Lhs) == len(v.Rhs) {
+					record(id, v.Rhs[i])
+				} else if len(v.Rhs) == 1 {
+					record(id, v.Rhs[0]) // tuple from one call
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range v.Names {
+				if len(v.Values) == len(v.Names) {
+					record(name, v.Values[i])
+				} else if len(v.Values) == 1 {
+					record(name, v.Values[0])
+				}
+				// No initializer: zero value, which is fresh.
+			}
+		case *ast.RangeStmt:
+			// Range vars alias the ranged container's contents; tie their
+			// freshness to the container expression.
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					record(id, v.X)
+				}
+			}
+		}
+		return true
+	})
+
+	params := map[types.Object]bool{}
+	addFieldObjs := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if o := info.Defs[n]; o != nil {
+					params[o] = true
+				}
+			}
+		}
+	}
+	addFieldObjs(fd.Recv)
+	addFieldObjs(fd.Type.Params)
+
+	const (
+		inProgress = 1
+		isFresh    = 2
+		notFresh   = 3
+	)
+	state := map[types.Object]int{}
+	var freshExpr func(e ast.Expr) bool
+	var freshObj func(o types.Object) bool
+	freshObj = func(o types.Object) bool {
+		switch o.(type) {
+		case *types.Const, *types.Nil, *types.Func, *types.Builtin:
+			return true
+		}
+		v, ok := o.(*types.Var)
+		if !ok {
+			return false
+		}
+		if typeIsValueLike(v.Type()) {
+			return true
+		}
+		if params[o] || v.IsField() {
+			return false
+		}
+		if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return false // package-level variable
+		}
+		switch state[o] {
+		case inProgress, isFresh:
+			return true // optimistic on cycles (x = append(x, ...))
+		case notFresh:
+			return false
+		}
+		state[o] = inProgress
+		verdict := isFresh
+		for _, rhs := range assigns[o] {
+			if !freshExpr(rhs) {
+				verdict = notFresh
+				break
+			}
+		}
+		state[o] = verdict
+		return verdict == isFresh
+	}
+	freshExpr = func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if tv, ok := info.Types[e]; ok && tv.Type != nil && typeIsValueLike(tv.Type) {
+			return true
+		}
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := objFor(info, v); o != nil {
+				return freshObj(o)
+			}
+		case *ast.CallExpr:
+			return callResultFresh(info, v, fact, freshExpr)
+		case *ast.CompositeLit, *ast.FuncLit, *ast.BasicLit:
+			return true
+		case *ast.UnaryExpr:
+			return v.Op == token.AND && freshExpr(v.X)
+		}
+		// Selectors, indexing, dereferences: even rooted at a fresh
+		// container these may alias stored references; conservative.
+		return false
+	}
+
+	var resultObjs []types.Object
+	for _, f := range fd.Type.Results.List {
+		for _, n := range f.Names {
+			if o := info.Defs[n]; o != nil {
+				resultObjs = append(resultObjs, o)
+			}
+		}
+	}
+
+	allFresh := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if !allFresh {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // returns inside closures are not this function's
+		case *ast.ReturnStmt:
+			if len(v.Results) == 0 {
+				for _, o := range resultObjs {
+					if !freshObj(o) {
+						allFresh = false
+					}
+				}
+			} else {
+				for _, e := range v.Results {
+					if !freshExpr(e) {
+						allFresh = false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return allFresh
+}

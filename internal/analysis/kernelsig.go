@@ -48,6 +48,10 @@ type sinkSite struct {
 	// litInfo is the inline analysis of lit's body.
 	litInfo *FuncInfo
 	expr    ast.Expr // the supplied expression
+	// unverifiable, when non-empty, explains why no concrete function can
+	// be resolved for the site (reported as a finding: a kernel must not
+	// enter the system unchecked).
+	unverifiable string
 }
 
 // findSinkSites scans every package for kernel-typed fields and parameters
@@ -63,7 +67,7 @@ func findSinkSites(m *Module) []sinkSite {
 			case *ast.FuncLit:
 				site.lit = v
 				fd := &ast.FuncDecl{Name: ast.NewIdent("kernel literal"), Type: v.Type, Body: v.Body}
-				site.litInfo = analyzeFuncTyped(pkg, fd, nil)
+				site.litInfo = analyzeFuncTyped(pkg, fd, nil, m.fresh)
 			case *ast.Ident, *ast.SelectorExpr:
 				if fn, ok := calleeObject(info, &ast.CallExpr{Fun: expr}).(*types.Func); ok {
 					site.fn = fn
@@ -99,15 +103,28 @@ func findSinkSites(m *Module) []sinkSite {
 				case *ast.AssignStmt:
 					for i, lhs := range v.Lhs {
 						sel, ok := lhs.(*ast.SelectorExpr)
-						if !ok || i >= len(v.Rhs) || len(v.Lhs) != len(v.Rhs) {
+						if !ok {
 							continue
 						}
 						selInfo, ok := info.Selections[sel]
-						if !ok || !selInfo.Obj().(*types.Var).IsField() {
+						if !ok {
 							continue
 						}
-						if isKernelSig(selInfo.Obj().Type()) {
+						fld, ok := selInfo.Obj().(*types.Var)
+						if !ok || !fld.IsField() || !isKernelSig(fld.Type()) {
+							continue
+						}
+						if len(v.Lhs) == len(v.Rhs) {
 							add(v.Rhs[i], "field "+sel.Sel.Name)
+						} else if len(v.Rhs) == 1 {
+							// Multi-value assignment (f.K, err = mk()): the
+							// kernel is the i-th result of a call, so no
+							// concrete function can be resolved here.
+							sites = append(sites, sinkSite{
+								pkg: pkg, pos: v.Rhs[0].Pos(), expr: v.Rhs[0],
+								desc:         "field " + sel.Sel.Name,
+								unverifiable: "supplied through a multi-value assignment; assign the kernel from a named function instead",
+							})
 						}
 					}
 				case *ast.CallExpr:
@@ -195,6 +212,8 @@ var AnalyzerKernelSig = &Analyzer{
 				continue
 			}
 			switch {
+			case site.unverifiable != "":
+				p.Reportf(site.pos, "kernel supplied to %s cannot be verified: %s", site.desc, site.unverifiable)
 			case site.lit != nil:
 				if ok, why := litPure(p.Module, site.litInfo); !ok {
 					p.Reportf(site.pos, "kernel literal supplied to %s is not provably pure: %s", site.desc, why)

@@ -128,6 +128,25 @@ func build() spec {
 			subs: []string{"field Exact"},
 		},
 		{
+			name: "multi-value assignment to a sink field is unverifiable",
+			src: `package p
+
+type spec struct {
+	Exact func([]float64) []float64
+}
+
+func makeKernel() (func([]float64) []float64, error) { return nil, nil }
+
+func build() (spec, error) {
+	var s spec
+	var err error
+	s.Exact, err = makeKernel()
+	return s, err
+}`,
+			want: 1,
+			subs: []string{"field Exact", "multi-value assignment"},
+		},
+		{
 			name: "goroutine-spawning kernel is rejected",
 			src: `package p
 

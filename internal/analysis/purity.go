@@ -109,8 +109,10 @@ func (tm trustMatcher) trusts(obj *types.Func) bool {
 
 // funcFacts computes FuncInfo for every function declared in the given
 // packages and runs the purity and determinism fixpoints over the typed
-// call graph.
-func funcFacts(pkgs []*Package, trusted trustMatcher) map[*types.Func]*FuncInfo {
+// call graph. The returned second map is the returns-fresh fact (see
+// fresh.go), which the body analysis consumes for call-result ownership.
+func funcFacts(pkgs []*Package, trusted trustMatcher) (map[*types.Func]*FuncInfo, map[*types.Func]bool) {
+	fresh := computeReturnsFresh(pkgs)
 	infos := map[*types.Func]*FuncInfo{}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
@@ -123,14 +125,14 @@ func funcFacts(pkgs []*Package, trusted trustMatcher) map[*types.Func]*FuncInfo 
 				if !ok {
 					continue
 				}
-				fi := analyzeFuncTyped(pkg, fd, obj)
+				fi := analyzeFuncTyped(pkg, fd, obj, fresh)
 				fi.DeclaredPure = declaredPure(fd)
 				infos[obj] = fi
 			}
 		}
 	}
 	purityFixpoint(infos, trusted)
-	return infos
+	return infos, fresh
 }
 
 // purityFixpoint: a function is pure iff it has no local violations, no
@@ -204,12 +206,14 @@ func objPathName(obj *types.Func) string {
 }
 
 // analyzeFuncTyped walks one function body, resolving every identifier
-// through the package's types.Info. The ownership rule matches the
-// syntactic analyser: a write through an index/dereference/selector chain
-// is pure only when the root object was allocated locally; writes to
-// package-level variables (resolved as objects, not names) are always
-// violations, as are goroutine spawns and channel sends.
-func analyzeFuncTyped(pkg *Package, fd *ast.FuncDecl, obj *types.Func) *FuncInfo {
+// through the package's types.Info. A write through an
+// index/dereference/selector chain is pure only when the root object is
+// provably backed by memory this call allocated (fresh allocations and
+// their aliases; call results only when the callee's returns-fresh fact
+// holds — see fresh.go); writes to package-level variables (resolved as
+// objects, not names) are always violations, as are goroutine spawns and
+// channel sends.
+func analyzeFuncTyped(pkg *Package, fd *ast.FuncDecl, obj *types.Func, fresh map[*types.Func]bool) *FuncInfo {
 	fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg, Calls: map[*types.Func]token.Pos{}}
 	info := pkg.Info
 
@@ -271,19 +275,29 @@ func analyzeFuncTyped(pkg *Package, fd *ast.FuncDecl, obj *types.Func) *FuncInfo
 		}
 	}
 
-	allocates := func(e ast.Expr) bool {
+	// valueFresh reports whether evaluating e yields a value this call
+	// owns: a fresh allocation, a scalar/value-like copy, or an alias of
+	// an already-owned object. Call results are owned only when the callee
+	// provably returns fresh memory — a pass-through helper such as
+	// `func id(x []float64) []float64 { return x }` must not launder
+	// ownership of the caller's slice.
+	var valueFresh func(e ast.Expr) bool
+	valueFresh = func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if tv, ok := info.Types[e]; ok && tv.Type != nil && typeIsValueLike(tv.Type) {
+			return true
+		}
 		switch v := e.(type) {
 		case *ast.CallExpr:
-			// Call results are fresh values; the callee's own purity is
-			// checked separately through the fixpoint. Conversions are
-			// value copies.
-			return true
-		case *ast.CompositeLit:
+			return callResultFresh(info, v, fresh, valueFresh)
+		case *ast.CompositeLit, *ast.FuncLit, *ast.BasicLit:
 			return true
 		case *ast.UnaryExpr:
-			return v.Op == token.AND
-		case *ast.BasicLit:
-			return true
+			return v.Op == token.AND && valueFresh(v.X)
+		default:
+			if ro, ok := rootObj(e); ok {
+				return owned[ro]
+			}
 		}
 		return false
 	}
@@ -317,16 +331,14 @@ func analyzeFuncTyped(pkg *Package, fd *ast.FuncDecl, obj *types.Func) *FuncInfo
 					owned[o] = true
 					continue
 				}
-				if rhs != nil && allocates(rhs) {
-					owned[o] = true
-				} else if rhs != nil {
-					// Aliasing: x = param keeps x un-owned; aliasing an
-					// owned object transfers ownership.
-					if ro, ok := rootObj(rhs); ok {
-						owned[o] = owned[ro]
-					} else {
-						owned[o] = true // literals, arithmetic
-					}
+				// Reassignment with anything but a function literal
+				// invalidates the closure fact: o may now hold an
+				// arbitrary (impure) function.
+				delete(closure, o)
+				if rhs != nil {
+					// Fresh values confer ownership; aliasing transfers
+					// the root's ownership (x = param keeps x un-owned).
+					owned[o] = valueFresh(rhs)
 				}
 			default:
 				root, ok := rootObj(lhs)
