@@ -11,6 +11,7 @@
 package rumba
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -590,8 +591,12 @@ func BenchmarkStreamRuntime(b *testing.B) {
 			}
 			close(inputs)
 		}()
+		results, err := st.Process(context.Background(), inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
 		n := 0
-		for range st.Process(inputs) {
+		for range results {
 			n++
 		}
 		if n != len(p.Test.Inputs) {

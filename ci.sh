@@ -6,11 +6,22 @@
 # Stages:
 #   1. go build ./...              everything compiles (examples included)
 #   2. go vet ./...                stock toolchain vet
-#   3. go test -race ./...         unit + integration tests under the race
-#                                  detector (the Stream goroutine plumbing
-#                                  in internal/core is exercised with
-#                                  multiple recovery workers)
-#   4. rumba-vet ./...             Rumba's own static-analysis suite:
+#   3. go test -race -shuffle=on   unit + integration tests under the race
+#      ./...                       detector with shuffled test order (the
+#                                  Stream goroutine plumbing in internal/core
+#                                  is exercised by the stress/soak suite with
+#                                  multiple recovery workers, cancellation and
+#                                  goroutine-leak checks; shuffling flushes
+#                                  out inter-test ordering assumptions)
+#   4. fuzz seed smoke             every Fuzz* target replayed over its
+#                                  checked-in seed corpus plus a short live
+#                                  fuzzing burst (quality + predictor
+#                                  adversarial-input hardening)
+#   5. coverage floors             statement coverage of the hardened runtime
+#                                  (internal/core) and the observability
+#                                  layer (internal/obs) must not regress
+#                                  below the floors
+#   6. rumba-vet ./...             Rumba's own static-analysis suite:
 #                                  purity, determinism, floatcmp,
 #                                  kernelsig, concurrency (see DESIGN.md,
 #                                  "Static analysis & safety"); fails on
@@ -26,8 +37,33 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
+
+echo "==> fuzz seeds smoke"
+go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/
+go test -run='^$' -fuzz='^FuzzElementError$' -fuzztime=10s ./internal/quality/
+go test -run='^$' -fuzz='^FuzzTreePredictError$' -fuzztime=10s ./internal/predictor/
+
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%)"
+check_cover() {
+    pkg="$1"
+    floor="$2"
+    line=$(go test -cover "$pkg" | tail -n 1)
+    pct=$(echo "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "ci: could not parse coverage for $pkg: $line" >&2
+        exit 1
+    fi
+    ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "ci: $pkg coverage $pct% is below the $floor% floor" >&2
+        exit 1
+    fi
+    echo "    $pkg: $pct% (floor $floor%)"
+}
+check_cover ./internal/core/ 85
+check_cover ./internal/obs/ 85
 
 echo "==> rumba-vet ./..."
 go run ./cmd/rumba-vet -fail-on warning ./...

@@ -122,6 +122,12 @@ var registry = map[string]runner{
 	"autoselect": func(c *experiments.Context, b string) (string, error) {
 		return render(experiments.ExpAutoSelect(c, splitBench(b)...))
 	},
+	// "stream" renders wall-clock latency histograms, so it is not part of
+	// experimentOrder: `-exp all` output stays deterministic and comparable
+	// against the checked-in results.
+	"stream": func(c *experiments.Context, b string) (string, error) {
+		return render(experiments.ExpStream(c, b))
+	},
 }
 
 func render(t *experiments.Table, err error) (string, error) {

@@ -4,17 +4,28 @@
 //	rumba-demo -benchmark sobel -mode toq -target 0.10
 //	rumba-demo -benchmark blackscholes -mode energy -target 0.15
 //	rumba-demo -benchmark inversek2j -mode quality -checker linear
+//
+// With -stream the online phase runs through the concurrent streaming
+// runtime instead of the batch runtime, printing the runtime's
+// observability counters afterwards; -expvar additionally serves the live
+// metrics snapshot at /debug/vars while the stream runs:
+//
+//	rumba-demo -benchmark fft -stream -workers 4 -expvar localhost:8090
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 
 	"rumba/internal/accel"
 	"rumba/internal/bench"
 	"rumba/internal/bundle"
 	"rumba/internal/core"
+	"rumba/internal/obs"
 	"rumba/internal/predictor"
 	"rumba/internal/trainer"
 )
@@ -27,15 +38,26 @@ func main() {
 	trainN := flag.Int("train", 0, "training samples (0 = Table 1 size)")
 	testN := flag.Int("test", 0, "test samples (0 = Table 1 size)")
 	bundlePath := flag.String("bundle", "", "load a rumba-train bundle instead of training")
+	stream := flag.Bool("stream", false, "run the online phase through the streaming runtime")
+	workers := flag.Int("workers", 2, "recovery workers for -stream")
+	expvarAddr := flag.String("expvar", "", "with -stream: serve the live obs snapshot on this address at /debug/vars (e.g. localhost:8090)")
 	flag.Parse()
 
-	if err := run(*name, *mode, *checker, *target, *trainN, *testN, *bundlePath); err != nil {
+	opts := streamOpts{enabled: *stream, workers: *workers, expvarAddr: *expvarAddr}
+	if err := run(*name, *mode, *checker, *target, *trainN, *testN, *bundlePath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-demo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, mode, checker string, target float64, trainN, testN int, bundlePath string) error {
+// streamOpts carries the -stream flag set.
+type streamOpts struct {
+	enabled    bool
+	workers    int
+	expvarAddr string
+}
+
+func run(name, mode, checker string, target float64, trainN, testN int, bundlePath string, opts streamOpts) error {
 	var (
 		spec  *bench.Spec
 		acc   *accel.Accelerator
@@ -102,6 +124,10 @@ func run(name, mode, checker string, target float64, trainN, testN int, bundlePa
 			return err
 		}
 	}
+	if opts.enabled {
+		return runStream(spec, acc, p, tuner, testN, opts)
+	}
+
 	sys, err := core.NewSystem(core.Config{
 		Spec: spec, Accel: acc, Checker: p, Tuner: tuner,
 	})
@@ -128,4 +154,79 @@ func run(name, mode, checker string, target float64, trainN, testN int, bundlePa
 			rep.ThresholdTrace[0], rep.ThresholdTrace[len(rep.ThresholdTrace)-1], len(rep.ThresholdTrace))
 	}
 	return nil
+}
+
+// runStream is the -stream online phase: the concurrent streaming runtime
+// with its observability registry exported via expvar.
+func runStream(spec *bench.Spec, acc *accel.Accelerator, p predictor.Predictor, tuner *core.Tuner, testN int, opts streamOpts) error {
+	st, err := core.NewStream(core.Config{Spec: spec, Accel: acc, Checker: p, Tuner: tuner}, opts.workers)
+	if err != nil {
+		return err
+	}
+	obs.Publish("rumba", st.Metrics())
+	if opts.expvarAddr != "" {
+		fmt.Printf("== obs: live metrics at http://%s/debug/vars (variable \"rumba\")\n", opts.expvarAddr)
+		go func() {
+			if err := http.ListenAndServe(opts.expvarAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rumba-demo: expvar server:", err)
+			}
+		}()
+	}
+
+	fmt.Printf("== online: streaming %s elements through %d recovery workers\n", spec.TestDesc, opts.workers)
+	test := spec.GenTest(testN)
+	inputs := make(chan []float64)
+	go func() {
+		defer close(inputs)
+		for _, in := range test.Inputs {
+			inputs <- in
+		}
+	}()
+	results, err := st.Process(context.Background(), inputs)
+	if err != nil {
+		return err
+	}
+	stats, err := core.EvaluateStream(results, test.Targets, spec.Metric, spec.Scale)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nelements            %d\n", stats.Elements)
+	fmt.Printf("re-executed         %d (%.1f%%)\n", stats.Fixed, 100*float64(stats.Fixed)/float64(stats.Elements))
+	fmt.Printf("degraded            %d\n", stats.Degraded)
+	fmt.Printf("output error        %.2f%%\n", 100*stats.OutputError)
+	printObsSummary(st.Metrics().Snapshot())
+	return nil
+}
+
+// printObsSummary renders the registry snapshot as an aligned listing.
+func printObsSummary(snap obs.Snapshot) {
+	fmt.Println("\n-- observability snapshot --")
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-32s %d\n", n, snap.Counters[n])
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := snap.Gauges[n]
+		fmt.Printf("%-32s last %.4g  max %.4g\n", n, g.Value, g.Max)
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		fmt.Printf("%-32s count %d  mean %.0f  p50 <=%.0f  p99 <=%.0f\n",
+			n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	}
 }

@@ -6,6 +6,7 @@ package rumba
 // per-package tests cover the parts.
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -183,7 +184,11 @@ func TestEndToEndStreamEqualsBatch(t *testing.T) {
 			inputs <- in
 		}
 	}()
-	stats, err := core.EvaluateStream(st.Process(inputs), test.Targets, spec.Metric, spec.Scale)
+	results, err := st.Process(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.EvaluateStream(results, test.Targets, spec.Metric, spec.Scale)
 	if err != nil {
 		t.Fatal(err)
 	}

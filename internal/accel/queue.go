@@ -1,6 +1,10 @@
 package accel
 
-import "fmt"
+import (
+	"fmt"
+
+	"rumba/internal/obs"
+)
 
 // Queue is the bounded FIFO used for CPU/accelerator communication in
 // Figure 4: the config queue, the input and output data queues, and the
@@ -10,6 +14,20 @@ import "fmt"
 type Queue[T any] struct {
 	buf        []T
 	head, size int
+
+	// Optional observability hooks (see Instrument); nil when the queue
+	// is not instrumented.
+	depth  *obs.Gauge
+	pushes *obs.Counter
+	stalls *obs.Counter
+}
+
+// Instrument attaches observability to the queue: depth tracks occupancy
+// (and its high-water mark), pushes counts successful enqueues, stalls
+// counts rejected Push calls on a full queue — the queue model's
+// back-pressure events. Any hook may be nil.
+func (q *Queue[T]) Instrument(depth *obs.Gauge, pushes, stalls *obs.Counter) {
+	q.depth, q.pushes, q.stalls = depth, pushes, stalls
 }
 
 // NewQueue allocates a queue with the given capacity.
@@ -33,10 +51,19 @@ func (q *Queue[T]) Full() bool { return q.size == len(q.buf) }
 // producer must stall, which the pipeline model charges as back-pressure).
 func (q *Queue[T]) Push(v T) bool {
 	if q.Full() {
+		if q.stalls != nil {
+			q.stalls.Inc()
+		}
 		return false
 	}
 	q.buf[(q.head+q.size)%len(q.buf)] = v
 	q.size++
+	if q.pushes != nil {
+		q.pushes.Inc()
+	}
+	if q.depth != nil {
+		q.depth.Set(float64(q.size))
+	}
 	return true
 }
 
@@ -50,6 +77,9 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	q.buf[q.head] = zero
 	q.head = (q.head + 1) % len(q.buf)
 	q.size--
+	if q.depth != nil {
+		q.depth.Set(float64(q.size))
+	}
 	return v, true
 }
 

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"rumba/internal/obs"
 	"rumba/internal/quality"
 )
 
@@ -13,6 +18,54 @@ import (
 // time, the exact result of an element is unknown unless the recovery module
 // actually computes it, and recovery runs on its own goroutines concurrently
 // with detection — the software analogue of the Figure 8 overlap.
+//
+// Production hardening semantics:
+//
+//   - Cancellation: Process takes a context.Context. Cancelling it tears
+//     down detection, the recovery pool and the merger with no goroutine or
+//     element leak; the result channel is closed (possibly early).
+//   - Degradation: a recovery job whose kernel panics or overruns
+//     Config.RecoveryDeadline cannot be fixed, but it must not wedge the
+//     in-order merger either. The approximate output is committed with the
+//     Degraded flag — quality degrades for that element, the stream lives.
+//   - Back-pressure: at most Config.MaxInFlight elements are admitted but
+//     not yet delivered, so the merger's reorder buffer is bounded even when
+//     recovery is much slower than detection.
+
+// Metric names the streaming runtime registers in its obs.Registry. They are
+// exported so tests and dashboards reference one set of spellings.
+const (
+	// MetricElementsIn counts elements accepted by the detection stage.
+	MetricElementsIn = "stream.elements_in"
+	// MetricElementsOut counts elements delivered on the result channel.
+	MetricElementsOut = "stream.elements_out"
+	// MetricFires counts detector firings (elements sent to recovery).
+	MetricFires = "stream.fires"
+	// MetricFixes counts elements exactly re-executed and committed.
+	MetricFixes = "stream.fixes"
+	// MetricDegraded counts recovery jobs that panicked or overran the
+	// deadline and committed the approximate output instead.
+	MetricDegraded = "stream.degraded"
+	// MetricInvocations counts tuner invocation boundaries.
+	MetricInvocations = "stream.invocations"
+	// MetricQueueDepth gauges the recovery queue occupancy.
+	MetricQueueDepth = "stream.recovery_queue_depth"
+	// MetricPending gauges the merger's reorder-buffer size.
+	MetricPending = "stream.merger_pending"
+	// MetricInFlight gauges elements admitted but not yet delivered.
+	MetricInFlight = "stream.inflight"
+	// MetricDetectNs is the per-element detection latency (accelerator
+	// invoke + checker) in nanoseconds.
+	MetricDetectNs = "stream.latency.detect_ns"
+	// MetricRecoverNs is the per-job recovery latency in nanoseconds.
+	MetricRecoverNs = "stream.latency.recover_ns"
+	// MetricThreshold gauges the tuner threshold trajectory.
+	MetricThreshold = "tuner.threshold"
+)
+
+// ErrStreamReused is returned by Process when it is called a second time on
+// the same Stream: the detection/tuner state is single-shot by design.
+var ErrStreamReused = errors.New("core: Stream.Process may be called once per Stream; build a new Stream per run")
 
 // StreamResult is one merged output element.
 type StreamResult struct {
@@ -24,6 +77,11 @@ type StreamResult struct {
 	Output []float64
 	// Fixed reports whether the recovery module replaced the element.
 	Fixed bool
+	// Degraded reports that the detector fired but recovery could not
+	// complete (kernel panic or deadline overrun); Output is the
+	// approximate result, committed so the stream keeps its ordering
+	// guarantee instead of wedging.
+	Degraded bool
 	// PredictedError is the checker's estimate for the element (zero when
 	// running unchecked).
 	PredictedError float64
@@ -33,6 +91,12 @@ type StreamResult struct {
 type Stream struct {
 	sys     *System
 	workers int
+	started atomic.Bool
+
+	// Resolved metric handles; hot paths must not take the registry lock.
+	mIn, mOut, mFires, mFixes, mDegraded, mInvocations *obs.Counter
+	gQueue, gPending, gInFlight, gThreshold            *obs.Gauge
+	hDetect, hRecover                                  *obs.Histogram
 }
 
 // NewStream wraps a System for streaming use. workers is the number of
@@ -47,14 +111,35 @@ func NewStream(cfg Config, workers int) (*Stream, error) {
 	if workers <= 0 {
 		workers = 1
 	}
-	return &Stream{sys: sys, workers: workers}, nil
+	st := &Stream{sys: sys, workers: workers}
+	r := sys.obs
+	st.mIn = r.Counter(MetricElementsIn)
+	st.mOut = r.Counter(MetricElementsOut)
+	st.mFires = r.Counter(MetricFires)
+	st.mFixes = r.Counter(MetricFixes)
+	st.mDegraded = r.Counter(MetricDegraded)
+	st.mInvocations = r.Counter(MetricInvocations)
+	st.gQueue = r.Gauge(MetricQueueDepth)
+	st.gPending = r.Gauge(MetricPending)
+	st.gInFlight = r.Gauge(MetricInFlight)
+	st.gThreshold = r.Gauge(MetricThreshold)
+	st.hDetect = r.Histogram(MetricDetectNs)
+	st.hRecover = r.Histogram(MetricRecoverNs)
+	return st, nil
 }
 
-// recoveryJob travels from the detection stage to the recovery workers.
+// Metrics returns the stream's observability registry (the one supplied in
+// Config.Metrics, or the private registry allocated for it).
+func (st *Stream) Metrics() *obs.Registry { return st.sys.obs }
+
+// recoveryJob travels from the detection stage to the recovery workers. It
+// carries the approximate output so a failed recovery can still commit
+// something.
 type recoveryJob struct {
-	index int
-	input []float64
-	pred  float64
+	index  int
+	input  []float64
+	approx []float64
+	pred   float64
 }
 
 // mergeItem travels from both stages to the output merger.
@@ -64,30 +149,56 @@ type mergeItem struct {
 
 // Process consumes the input channel and returns the merged, in-order
 // result channel. The result channel is closed after the final input's
-// element is delivered. Process may be called once per Stream.
-func (st *Stream) Process(inputs <-chan []float64) <-chan StreamResult {
+// element is delivered, or as soon as ctx is cancelled (whichever comes
+// first); on cancellation every pipeline goroutine exits and undelivered
+// elements are dropped. Process returns ErrStreamReused when called a
+// second time — the per-run detection and tuner state is single-shot.
+func (st *Stream) Process(ctx context.Context, inputs <-chan []float64) (<-chan StreamResult, error) {
+	if !st.started.CompareAndSwap(false, true) {
+		return nil, ErrStreamReused
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make(chan StreamResult, 64)
 	// The recovery queue: bounded, so a slow CPU back-pressures detection
 	// exactly like the hardware queue of Figure 4 would.
 	recovery := make(chan recoveryJob, st.sys.cfg.RecoveryQueueCap)
 	merged := make(chan mergeItem, 64)
+	// tokens is the in-flight window: detection acquires a slot per
+	// element before emitting it anywhere, the merger releases the slot on
+	// delivery. The merger's reorder buffer therefore never holds more
+	// than MaxInFlight elements, no matter how slow recovery runs.
+	tokens := make(chan struct{}, st.sys.cfg.MaxInFlight)
 
 	var wg sync.WaitGroup
 
 	// Recovery workers: pure kernels re-execute without side effects, so
-	// any number of workers may run concurrently.
+	// any number of workers may run concurrently. Each job is isolated:
+	// panics and deadline overruns degrade the element instead of killing
+	// the worker.
 	wg.Add(st.workers)
 	for w := 0; w < st.workers; w++ {
 		go func() {
 			defer wg.Done()
-			for job := range recovery {
-				exact := st.sys.cfg.Spec.Exact(job.input)
-				merged <- mergeItem{res: StreamResult{
-					Index:          job.index,
-					Output:         exact,
-					Fixed:          true,
-					PredictedError: job.pred,
-				}}
+			for {
+				var job recoveryJob
+				select {
+				case <-ctx.Done():
+					return
+				case j, ok := <-recovery:
+					if !ok {
+						return
+					}
+					job = j
+				}
+				st.gQueue.Add(-1)
+				res := st.recoverOne(ctx, job)
+				select {
+				case merged <- mergeItem{res: res}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}()
 	}
@@ -99,10 +210,29 @@ func (st *Stream) Process(inputs <-chan []float64) <-chan StreamResult {
 		if st.sys.cfg.Checker != nil {
 			st.sys.cfg.Checker.Reset()
 		}
+		if st.sys.cfg.Tuner != nil {
+			st.gThreshold.Set(st.sys.cfg.Tuner.Threshold)
+		}
 		idx := 0
 		invFixed := 0
 		invStart := 0
-		for in := range inputs {
+		for {
+			var in []float64
+			select {
+			case <-ctx.Done():
+				return
+			case v, ok := <-inputs:
+				if !ok {
+					// Normal end of stream: drain the pool, then
+					// let the merger finish.
+					close(recovery)
+					wg.Wait()
+					close(merged)
+					return
+				}
+				in = v
+			}
+			start := time.Now()
 			approx := st.sys.cfg.Accel.Invoke(in)
 			var pred float64
 			fire := false
@@ -110,11 +240,29 @@ func (st *Stream) Process(inputs <-chan []float64) <-chan StreamResult {
 				pred = st.sys.cfg.Checker.PredictError(in, approx)
 				fire = pred > st.sys.cfg.Tuner.Threshold
 			}
+			st.hDetect.Observe(float64(time.Since(start)))
+			st.mIn.Inc()
+			select {
+			case tokens <- struct{}{}:
+				st.gInFlight.Add(1)
+			case <-ctx.Done():
+				return
+			}
 			if fire {
 				invFixed++
-				recovery <- recoveryJob{index: idx, input: in, pred: pred}
+				st.mFires.Inc()
+				select {
+				case recovery <- recoveryJob{index: idx, input: in, approx: approx, pred: pred}:
+					st.gQueue.Add(1)
+				case <-ctx.Done():
+					return
+				}
 			} else {
-				merged <- mergeItem{res: StreamResult{Index: idx, Output: approx, PredictedError: pred}}
+				select {
+				case merged <- mergeItem{res: StreamResult{Index: idx, Output: approx, PredictedError: pred}}:
+				case <-ctx.Done():
+					return
+				}
 			}
 			idx++
 			if st.sys.cfg.Tuner != nil && idx-invStart >= st.sys.cfg.InvocationSize {
@@ -123,46 +271,135 @@ func (st *Stream) Process(inputs <-chan []float64) <-chan StreamResult {
 					Fixed:          invFixed,
 					CPUUtilisation: st.sys.estimateUtilisation(invFixed, idx-invStart),
 				})
+				st.mInvocations.Inc()
+				st.gThreshold.Set(st.sys.cfg.Tuner.Threshold)
 				invStart = idx
 				invFixed = 0
 			}
 		}
-		close(recovery)
-		wg.Wait()
-		close(merged)
 	}()
 
-	// Output merger: reorders the two paths back into stream order.
+	// Output merger: reorders the two paths back into stream order and
+	// releases in-flight slots as elements leave the pipeline.
 	go func() {
 		defer close(out)
 		pending := make(map[int]StreamResult)
 		next := 0
-		for item := range merged {
+		for {
+			var item mergeItem
+			select {
+			case <-ctx.Done():
+				return
+			case it, ok := <-merged:
+				if !ok {
+					// merged is closed only after every element was
+					// produced, so pending must be empty here;
+					// anything left is a bug.
+					if len(pending) != 0 {
+						panic(fmt.Sprintf("core: output merger lost ordering, %d stranded elements", len(pending)))
+					}
+					return
+				}
+				item = it
+			}
 			pending[item.res.Index] = item.res
+			st.gPending.Set(float64(len(pending)))
 			for {
 				r, ok := pending[next]
 				if !ok {
 					break
 				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					return
+				}
 				delete(pending, next)
-				out <- r
+				st.mOut.Inc()
+				st.gInFlight.Add(-1)
+				<-tokens
 				next++
 			}
-		}
-		// merged is closed only after every element was produced, so
-		// pending must be empty here; anything left is a bug.
-		if len(pending) != 0 {
-			panic(fmt.Sprintf("core: output merger lost ordering, %d stranded elements", len(pending)))
+			st.gPending.Set(float64(len(pending)))
 		}
 	}()
-	return out
+	return out, nil
+}
+
+// recoverOne performs one recovery job with panic isolation and the
+// per-job deadline. It always produces a committable result: the exact
+// output (Fixed) when re-execution succeeds, the approximate output
+// (Degraded) when the kernel panics, overruns Config.RecoveryDeadline, or
+// the stream is cancelled mid-job.
+func (st *Stream) recoverOne(ctx context.Context, job recoveryJob) StreamResult {
+	start := time.Now()
+	exact, ok := st.runExact(ctx, job.input)
+	st.hRecover.Observe(float64(time.Since(start)))
+	if !ok {
+		st.mDegraded.Inc()
+		return StreamResult{
+			Index:          job.index,
+			Output:         job.approx,
+			Degraded:       true,
+			PredictedError: job.pred,
+		}
+	}
+	st.mFixes.Inc()
+	return StreamResult{
+		Index:          job.index,
+		Output:         exact,
+		Fixed:          true,
+		PredictedError: job.pred,
+	}
+}
+
+// runExact invokes the exact kernel with panic isolation. With a deadline
+// configured the call races a timer on a helper goroutine; an overrunning
+// kernel is abandoned (it holds no locks — kernels are pure — so it simply
+// finishes on its own and is garbage collected).
+func (st *Stream) runExact(ctx context.Context, in []float64) (out []float64, ok bool) {
+	if st.sys.cfg.RecoveryDeadline <= 0 {
+		return st.callExact(in)
+	}
+	type exactResult struct {
+		out []float64
+		ok  bool
+	}
+	done := make(chan exactResult, 1) // buffered: an abandoned call must not leak its goroutine
+	go func() {
+		o, k := st.callExact(in)
+		done <- exactResult{out: o, ok: k}
+	}()
+	timer := time.NewTimer(st.sys.cfg.RecoveryDeadline)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.out, r.ok
+	case <-timer.C:
+		return nil, false
+	case <-ctx.Done():
+		return nil, false
+	}
+}
+
+// callExact runs the kernel, converting a panic into a degraded verdict.
+func (st *Stream) callExact(in []float64) (out []float64, ok bool) {
+	defer func() {
+		if recover() != nil {
+			out, ok = nil, false
+		}
+	}()
+	return st.sys.cfg.Spec.Exact(in), true
 }
 
 // StreamStats summarises a finished streaming run against known targets; it
 // is a test/evaluation convenience, not part of the online path.
 type StreamStats struct {
-	Elements    int
-	Fixed       int
+	Elements int
+	Fixed    int
+	// Degraded counts elements whose recovery panicked or timed out and
+	// whose approximate output was committed instead.
+	Degraded    int
 	OutputError float64
 }
 
@@ -182,6 +419,9 @@ func EvaluateStream(results <-chan StreamResult, targets [][]float64, metric qua
 		sum += quality.ElementError(metric, targets[r.Index], r.Output, scale)
 		if r.Fixed {
 			st.Fixed++
+		}
+		if r.Degraded {
+			st.Degraded++
 		}
 		st.Elements++
 		next++

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -16,6 +18,41 @@ func feedInputs(inputs [][]float64) <-chan []float64 {
 	return ch
 }
 
+// mustProcess starts the stream with a background context, failing the test
+// on a startup error.
+func mustProcess(t *testing.T, st *Stream, inputs <-chan []float64) <-chan StreamResult {
+	t.Helper()
+	out, err := st.Process(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// reconcileStats asserts the stream's obs counters agree exactly with the
+// evaluated stream statistics: elements in == out == Elements, fixes ==
+// Fixed, degradations == Degraded, and every fire was resolved one way or
+// the other.
+func reconcileStats(t *testing.T, st *Stream, stats StreamStats) {
+	t.Helper()
+	snap := st.Metrics().Snapshot()
+	if n := snap.Counters[MetricElementsIn]; n != int64(stats.Elements) {
+		t.Fatalf("%s = %d, want %d", MetricElementsIn, n, stats.Elements)
+	}
+	if n := snap.Counters[MetricElementsOut]; n != int64(stats.Elements) {
+		t.Fatalf("%s = %d, want %d", MetricElementsOut, n, stats.Elements)
+	}
+	if n := snap.Counters[MetricFixes]; n != int64(stats.Fixed) {
+		t.Fatalf("%s = %d, want %d", MetricFixes, n, stats.Fixed)
+	}
+	if n := snap.Counters[MetricDegraded]; n != int64(stats.Degraded) {
+		t.Fatalf("%s = %d, want %d", MetricDegraded, n, stats.Degraded)
+	}
+	if fires := snap.Counters[MetricFires]; fires != int64(stats.Fixed+stats.Degraded) {
+		t.Fatalf("%s = %d, want fixes+degraded = %d", MetricFires, fires, stats.Fixed+stats.Degraded)
+	}
+}
+
 func TestStreamDeliversEverythingInOrder(t *testing.T) {
 	spec, acc, ps, test := buildRuntime(t, "fft", 500)
 	tuner, _ := NewTuner(ModeTOQ, 0.10)
@@ -23,13 +60,14 @@ func TestStreamDeliversEverythingInOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	stats, err := EvaluateStream(mustProcess(t, st, feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Elements != test.Len() {
 		t.Fatalf("delivered %d of %d elements", stats.Elements, test.Len())
 	}
+	reconcileStats(t, st, stats)
 }
 
 func TestStreamFixedElementsAreExact(t *testing.T) {
@@ -40,7 +78,7 @@ func TestStreamFixedElementsAreExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	fixed := 0
-	for r := range st.Process(feedInputs(test.Inputs)) {
+	for r := range mustProcess(t, st, feedInputs(test.Inputs)) {
 		if r.Fixed {
 			fixed++
 			exact := spec.Exact(test.Inputs[r.Index])
@@ -62,7 +100,7 @@ func TestStreamUncheckedNeverFixes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for r := range st.Process(feedInputs(test.Inputs)) {
+	for r := range mustProcess(t, st, feedInputs(test.Inputs)) {
 		if r.Fixed || r.PredictedError != 0 {
 			t.Fatal("unchecked stream must not fix or predict")
 		}
@@ -88,7 +126,7 @@ func TestStreamMatchesBatchQuality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	stats, err := EvaluateStream(mustProcess(t, st, feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +136,7 @@ func TestStreamMatchesBatchQuality(t *testing.T) {
 	if math.Abs(stats.OutputError-batch.OutputError) > 1e-9 {
 		t.Fatalf("stream error %v, batch error %v", stats.OutputError, batch.OutputError)
 	}
+	reconcileStats(t, st, stats)
 }
 
 func TestStreamBackPressureSmallQueue(t *testing.T) {
@@ -112,7 +151,7 @@ func TestStreamBackPressureSmallQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	stats, err := EvaluateStream(mustProcess(t, st, feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +161,7 @@ func TestStreamBackPressureSmallQueue(t *testing.T) {
 	if stats.OutputError != 0 {
 		t.Fatalf("all-fixed stream must be exact, error %v", stats.OutputError)
 	}
+	reconcileStats(t, st, stats)
 }
 
 func TestStreamEnergyModeTunesOnline(t *testing.T) {
@@ -134,12 +174,56 @@ func TestStreamEnergyModeTunesOnline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := EvaluateStream(st.Process(feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
+	stats, err := EvaluateStream(mustProcess(t, st, feedInputs(test.Inputs)), test.Targets, spec.Metric, spec.Scale)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if frac := float64(stats.Fixed) / float64(stats.Elements); frac > 2*budget {
 		t.Fatalf("energy mode fixed %.1f%% against a %.0f%% budget", 100*frac, 100*budget)
+	}
+	reconcileStats(t, st, stats)
+}
+
+// The doc comment always promised "Process may be called once per Stream";
+// this pins the promise as a checked error instead of silent state
+// corruption (the second caller would otherwise share the tuner and the
+// detection indices of the first).
+func TestStreamProcessTwiceReturnsError(t *testing.T) {
+	spec, acc, _, test := buildRuntime(t, "fft", 100)
+	st, err := NewStream(Config{Spec: spec, Accel: acc}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustProcess(t, st, feedInputs(test.Inputs))
+	if _, err := st.Process(context.Background(), feedInputs(test.Inputs)); !errors.Is(err, ErrStreamReused) {
+		t.Fatalf("second Process returned %v, want ErrStreamReused", err)
+	}
+	n := 0
+	for range out {
+		n++
+	}
+	if n != test.Len() {
+		t.Fatalf("first run delivered %d of %d after rejected reuse", n, test.Len())
+	}
+}
+
+func TestConfigValidatesHardeningKnobs(t *testing.T) {
+	spec, acc, _, _ := buildRuntime(t, "fft", 100)
+	if _, err := NewSystem(Config{Spec: spec, Accel: acc, RecoveryDeadline: -1}); err == nil {
+		t.Fatal("negative recovery deadline must fail validation")
+	}
+	if _, err := NewSystem(Config{Spec: spec, Accel: acc, MaxInFlight: -1}); err == nil {
+		t.Fatal("negative in-flight window must fail validation")
+	}
+	sys, err := NewSystem(Config{Spec: spec, Accel: acc, RecoveryQueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.cfg.MaxInFlight != 32 {
+		t.Fatalf("default MaxInFlight = %d, want 4x queue cap = 32", sys.cfg.MaxInFlight)
+	}
+	if sys.Metrics() == nil {
+		t.Fatal("a private metrics registry must be allocated")
 	}
 }
 

@@ -2,12 +2,14 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"rumba/internal/accel"
 	"rumba/internal/bench"
 	"rumba/internal/energy"
 	"rumba/internal/exec"
 	"rumba/internal/nn"
+	"rumba/internal/obs"
 	"rumba/internal/pipeline"
 	"rumba/internal/predictor"
 	"rumba/internal/quality"
@@ -33,6 +35,21 @@ type Config struct {
 	InvocationSize int
 	// RecoveryQueueCap bounds the recovery queue; <= 0 uses 64.
 	RecoveryQueueCap int
+	// RecoveryDeadline bounds one recovery re-execution in the streaming
+	// runtime: a job exceeding it commits the approximate output with the
+	// Degraded flag instead of blocking the merger. <= 0 disables the
+	// deadline (a hung kernel then stalls its worker — only safe when
+	// every kernel provably terminates).
+	RecoveryDeadline time.Duration
+	// MaxInFlight bounds the number of stream elements admitted by
+	// detection but not yet delivered by the merger, which in turn bounds
+	// the merger's reorder buffer when recovery is slow. <= 0 uses
+	// 4 * RecoveryQueueCap.
+	MaxInFlight int
+	// Metrics receives the runtime's observability stream (counters,
+	// queue-depth gauges, latency histograms); nil allocates a private
+	// registry, retrievable via System.Metrics / Stream.Metrics.
+	Metrics *obs.Registry
 	// EnergyModel supplies the analytical constants; the zero value uses
 	// the calibrated defaults.
 	EnergyModel *energy.Model
@@ -71,6 +88,7 @@ type Report struct {
 type System struct {
 	cfg   Config
 	model energy.Model
+	obs   *obs.Registry
 }
 
 // NewSystem validates the configuration and builds a runtime.
@@ -81,18 +99,34 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Checker != nil && cfg.Tuner == nil {
 		return nil, fmt.Errorf("core: a checker needs a tuner")
 	}
+	if cfg.RecoveryDeadline < 0 {
+		return nil, fmt.Errorf("core: negative recovery deadline %v", cfg.RecoveryDeadline)
+	}
+	if cfg.MaxInFlight < 0 {
+		return nil, fmt.Errorf("core: negative in-flight window %d", cfg.MaxInFlight)
+	}
 	if cfg.InvocationSize <= 0 {
 		cfg.InvocationSize = 512
 	}
 	if cfg.RecoveryQueueCap <= 0 {
 		cfg.RecoveryQueueCap = 64
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 4 * cfg.RecoveryQueueCap
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	m := energy.DefaultModel()
 	if cfg.EnergyModel != nil {
 		m = *cfg.EnergyModel
 	}
-	return &System{cfg: cfg, model: m}, nil
+	return &System{cfg: cfg, model: m, obs: cfg.Metrics}, nil
 }
+
+// Metrics returns the system's observability registry (the one supplied in
+// Config.Metrics, or the private registry allocated for it).
+func (s *System) Metrics() *obs.Registry { return s.obs }
 
 // Run processes the dataset: the accelerator computes every element, the
 // checker flags suspicious ones through the recovery queue, the CPU
@@ -111,6 +145,13 @@ func (s *System) Run(d nn.Dataset) (*Report, error) {
 		s.cfg.Checker.Reset()
 	}
 	recovery := accel.NewQueue[accel.RecoveryBit](s.cfg.RecoveryQueueCap)
+	// No pushes counter: the flagged() scan below pops and re-pushes every
+	// queued bit, which would count phantom traffic. Depth and stalls stay
+	// accurate through that scan.
+	recovery.Instrument(s.obs.Gauge(MetricQueueDepth), nil, s.obs.Counter("queue.recovery.stalls"))
+	mIn, mOut := s.obs.Counter(MetricElementsIn), s.obs.Counter(MetricElementsOut)
+	mFires, mFixes := s.obs.Counter(MetricFires), s.obs.Counter(MetricFixes)
+	gThreshold := s.obs.Gauge(MetricThreshold)
 	flags := make([]bool, d.Len())
 
 	var uncheckedSum, mergedSum float64
@@ -124,8 +165,11 @@ func (s *System) Run(d nn.Dataset) (*Report, error) {
 		if s.cfg.Tuner != nil {
 			threshold = s.cfg.Tuner.Threshold
 			rep.ThresholdTrace = append(rep.ThresholdTrace, threshold)
+			gThreshold.Set(threshold)
 		}
+		s.obs.Counter(MetricInvocations).Inc()
 		for i := start; i < end; i++ {
+			mIn.Inc()
 			approx := s.cfg.Accel.Invoke(d.Inputs[i])
 			trueErr := quality.ElementError(spec.Metric, d.Targets[i], approx, spec.Scale)
 			out := &rep.Outcomes[i]
@@ -144,6 +188,7 @@ func (s *System) Run(d nn.Dataset) (*Report, error) {
 						recovery.Push(accel.RecoveryBit{Iteration: i, PredictedError: out.PredictedError})
 					}
 					fixedThisInv++
+					mFires.Inc()
 				}
 			}
 			if !flagged(recovery, i) {
@@ -152,6 +197,7 @@ func (s *System) Run(d nn.Dataset) (*Report, error) {
 				// committed exactly when the queue drains.)
 				mergedSum += trueErr
 			}
+			mOut.Inc()
 		}
 		drainRecovery(recovery, spec, d, rep, &mergedSum, flags)
 		if s.cfg.Tuner != nil {
@@ -169,6 +215,7 @@ func (s *System) Run(d nn.Dataset) (*Report, error) {
 			rep.Fixed++
 		}
 	}
+	mFixes.Add(int64(rep.Fixed))
 	if err := s.accountCosts(rep, flags); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rumba/internal/rng"
+)
+
+// Property tests for the online tuner over long randomized runs (Section
+// 3.4). The simulated workload draws per-element predicted errors uniformly
+// from [0, 1), so a threshold t fires roughly a (1-t) fraction — a smooth,
+// monotone plant for the controller to act on.
+
+// simulateInvocation counts fixes for one invocation at the current
+// threshold under the uniform error model.
+func simulateInvocation(r *rng.Stream, threshold float64, elements int) int {
+	fixed := 0
+	for i := 0; i < elements; i++ {
+		if r.Float64() > threshold {
+			fixed++
+		}
+	}
+	return fixed
+}
+
+// TestTOQThresholdStaysPinned: in TOQ mode the threshold is the user's error
+// bound and must never move, whatever the invocation statistics are.
+func TestTOQThresholdStaysPinned(t *testing.T) {
+	for seed := 0; seed < 4; seed++ {
+		r := rng.NewNamed(fmt.Sprintf("tuner-prop/toq/%d", seed))
+		target := r.Range(0.01, 0.5)
+		tu, err := NewTuner(ModeTOQ, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for inv := 0; inv < 300; inv++ {
+			elements := 1 + r.Intn(512)
+			tu.Observe(InvocationStats{
+				Elements:       elements,
+				Fixed:          r.Intn(elements + 1),
+				CPUUtilisation: r.Float64(),
+			})
+			if tu.Threshold != target {
+				t.Fatalf("seed %d inv %d: TOQ threshold drifted to %v, want %v", seed, inv, tu.Threshold, target)
+			}
+		}
+	}
+}
+
+// TestEnergyModeStepBoundAndBounds: every Energy-mode adjustment must stay
+// within the proportional-control step bound [0.8, 2.0] (modulo clamping at
+// the threshold floor/ceiling), and the threshold must never leave
+// [minThreshold, maxThreshold]. This is the "never oscillates past the step
+// bound" contract: a single invocation can never slam the threshold.
+func TestEnergyModeStepBoundAndBounds(t *testing.T) {
+	for seed := 0; seed < 6; seed++ {
+		r := rng.NewNamed(fmt.Sprintf("tuner-prop/step/%d", seed))
+		budget := r.Range(0.05, 0.6)
+		tu, err := NewTuner(ModeEnergy, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := tu.Threshold
+		for inv := 0; inv < 500; inv++ {
+			elements := 1 + r.Intn(512)
+			// Adversarial stats, not the uniform plant: the step bound must
+			// hold for any observation.
+			tu.Observe(InvocationStats{Elements: elements, Fixed: r.Intn(elements + 1)})
+			if tu.Threshold < tu.minThreshold || tu.Threshold > tu.maxThreshold {
+				t.Fatalf("seed %d inv %d: threshold %v outside [%v, %v]",
+					seed, inv, tu.Threshold, tu.minThreshold, tu.maxThreshold)
+			}
+			step := tu.Threshold / prev
+			clampedLow := tu.Threshold == tu.minThreshold && step < 1
+			clampedHigh := tu.Threshold == tu.maxThreshold && step > 1
+			if !clampedLow && !clampedHigh && (step < 0.8-1e-12 || step > 2.0+1e-12) {
+				t.Fatalf("seed %d inv %d: threshold stepped by %v (from %v to %v), outside [0.8, 2.0]",
+					seed, inv, step, prev, tu.Threshold)
+			}
+			prev = tu.Threshold
+		}
+	}
+}
+
+// TestEnergyModeConvergesUnderNoise: under the randomized uniform error
+// model the controller must settle near the iteration budget — the
+// trailing-window fix fraction stays within ±50% of the budget, and the
+// threshold stops swinging (no sustained oscillation) once converged.
+// (tuner_test.go covers the deterministic staircase plant.)
+func TestEnergyModeConvergesUnderNoise(t *testing.T) {
+	const (
+		invocations = 400
+		elements    = 512
+		tail        = 100
+	)
+	for seed := 0; seed < 4; seed++ {
+		for _, budget := range []float64{0.1, 0.3} {
+			r := rng.NewNamed(fmt.Sprintf("tuner-prop/converge/%d/%v", seed, budget))
+			tu, err := NewTuner(ModeEnergy, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tailFixed, tailElems := 0, 0
+			minTail, maxTail := math.Inf(1), math.Inf(-1)
+			for inv := 0; inv < invocations; inv++ {
+				fixed := simulateInvocation(r, tu.Threshold, elements)
+				tu.Observe(InvocationStats{Elements: elements, Fixed: fixed})
+				if inv >= invocations-tail {
+					tailFixed += fixed
+					tailElems += elements
+					minTail = math.Min(minTail, tu.Threshold)
+					maxTail = math.Max(maxTail, tu.Threshold)
+				}
+			}
+			frac := float64(tailFixed) / float64(tailElems)
+			if frac < 0.5*budget || frac > 1.5*budget {
+				t.Fatalf("seed %d budget %v: trailing fix fraction %.4f never converged", seed, budget, frac)
+			}
+			// Converged means the threshold hovers: over the whole tail the
+			// swing stays well inside one maximal control step each way.
+			if maxTail/minTail > 2.0*(1/0.8) {
+				t.Fatalf("seed %d budget %v: tail threshold oscillates between %v and %v",
+					seed, budget, minTail, maxTail)
+			}
+		}
+	}
+}
+
+// TestEnergyModeNeverExceedsBudgetLongRun: the cumulative re-execution count
+// over a long run must respect the energy budget — the initial transient
+// (the threshold starts at 0.1 regardless of budget) amortises away, leaving
+// total fixes within a modest margin of budget × total elements.
+func TestEnergyModeNeverExceedsBudgetLongRun(t *testing.T) {
+	const (
+		invocations = 600
+		elements    = 256
+	)
+	for seed := 0; seed < 4; seed++ {
+		for _, budget := range []float64{0.05, 0.15, 0.4} {
+			r := rng.NewNamed(fmt.Sprintf("tuner-prop/budget/%d/%v", seed, budget))
+			tu, err := NewTuner(ModeEnergy, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalFixed := 0
+			for inv := 0; inv < invocations; inv++ {
+				fixed := simulateInvocation(r, tu.Threshold, elements)
+				tu.Observe(InvocationStats{Elements: elements, Fixed: fixed})
+				totalFixed += fixed
+			}
+			total := invocations * elements
+			if float64(totalFixed) > 1.3*budget*float64(total) {
+				t.Fatalf("seed %d budget %v: %d of %d fixed (%.4f), blows the budget",
+					seed, budget, totalFixed, total, float64(totalFixed)/float64(total))
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package exec
+
+import (
+	"time"
+
+	"rumba/internal/obs"
+)
+
+// Instrumented wraps an Executor with observability: an invocation counter
+// and a wall-clock latency histogram. Cost-model methods delegate untouched,
+// so the wrapper is behaviour-transparent to the runtime and the
+// energy/pipeline accounting.
+type Instrumented struct {
+	Executor
+	Invocations *obs.Counter
+	Latency     *obs.Histogram
+}
+
+// Instrument wraps ex, registering "<prefix>.invocations" and
+// "<prefix>.latency_ns" in the registry.
+func Instrument(ex Executor, r *obs.Registry, prefix string) *Instrumented {
+	return &Instrumented{
+		Executor:    ex,
+		Invocations: r.Counter(prefix + ".invocations"),
+		Latency:     r.Histogram(prefix + ".latency_ns"),
+	}
+}
+
+// Invoke delegates to the wrapped executor, recording count and latency.
+func (w *Instrumented) Invoke(in []float64) []float64 {
+	start := time.Now()
+	out := w.Executor.Invoke(in)
+	w.Latency.Observe(float64(time.Since(start)))
+	w.Invocations.Inc()
+	return out
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"rumba/internal/core"
+	"rumba/internal/obs"
+)
+
+// ExpStream runs the hardened streaming runtime over one benchmark's test
+// set and renders the runtime's observability snapshot: element/fire/fix
+// counters, queue and in-flight gauges with their high-water marks, and the
+// detection/recovery latency distributions. It is registered in rumba-bench
+// as "stream" but excluded from `-exp all`: the latency histograms are
+// wall-clock and vary between machines and runs, so they have no place in
+// the checked-in canonical results.
+func ExpStream(c *Context, benchmark string) (*Table, error) {
+	if benchmark == "" {
+		benchmark = "fft"
+	}
+	const workers = 3
+	p, err := c.Prepare(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	tuner, err := core.NewTuner(core.ModeTOQ, TargetError)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	st, err := core.NewStream(core.Config{
+		Spec: p.Spec, Accel: p.RumbaAccel, Checker: p.Preds.Tree, Tuner: tuner,
+		Metrics: reg,
+	}, workers)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make(chan []float64)
+	go func() {
+		defer close(inputs)
+		for _, in := range p.Test.Inputs {
+			inputs <- in
+		}
+	}()
+	results, err := st.Process(context.Background(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := core.EvaluateStream(results, p.Test.Targets, p.Spec.Metric, p.Spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Streaming runtime observability — %s (%d workers, %.0f%% TOQ): output error %.2f%%, %d/%d fixed",
+			benchmark, workers, 100*TargetError, 100*stats.OutputError, stats.Fixed, stats.Elements),
+		Note:   "latency histograms are wall-clock (ns) and machine-dependent; not part of the canonical results",
+		Header: []string{"metric", "kind", "value"},
+	}
+	snap := reg.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t.AddRow(n, "counter", fmt.Sprintf("%d", snap.Counters[n]))
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := snap.Gauges[n]
+		t.AddRow(n, "gauge", fmt.Sprintf("last %.4g  max %.4g", g.Value, g.Max))
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		t.AddRow(n, "histogram", fmt.Sprintf("count %d  mean %.0f  p50 <=%.0f  p99 <=%.0f",
+			h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99)))
+	}
+	return t, nil
+}

@@ -1,0 +1,11 @@
+package obs
+
+import "expvar"
+
+// Publish exposes the registry on the process's expvar page (the standard
+// /debug/vars endpoint) under the given name; each scrape re-snapshots, so
+// the endpoint always shows live values. Like expvar itself it panics when
+// the name is already taken — publish once per process.
+func Publish(name string, r *Registry) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenSnapshotJSON pins the exported JSON shape of obs.Snapshot —
+// field names, key ordering, gauge/histogram sub-objects, bucket encoding —
+// in the same style as cmd/rumba-vet's golden JSON test. Dashboards scrape
+// this shape from the expvar endpoint, so a change here must be deliberate.
+func TestGoldenSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("stream.elements_in").Add(512)
+	r.Counter("stream.elements_out").Add(512)
+	r.Counter("stream.fires").Add(40)
+	r.Counter("stream.fixes").Add(38)
+	r.Counter("stream.degraded").Add(2)
+	r.Gauge("stream.recovery_queue_depth").Set(3)
+	r.Gauge("stream.recovery_queue_depth").Set(1)
+	r.Gauge("tuner.threshold").Set(0.10)
+	h := r.Histogram("stream.latency.recover_ns")
+	for _, v := range []float64{0.5, 1, 3, 900, 1024, 1_000_000} {
+		h.Observe(v)
+	}
+
+	out, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out) + "\n"
+
+	golden := filepath.Join("testdata", "golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch (run with UPDATE_GOLDEN=1 to regenerate)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

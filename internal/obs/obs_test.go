@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // negative adds are ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("lookup must return the same counter instance")
+	}
+}
+
+func TestGaugeTracksHighWaterMark(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-4)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+	if got := g.Max(); got != 5 {
+		t.Fatalf("gauge max = %v, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{0.5, 1, 2, 3, 100, math.NaN(), -7} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	r := NewRegistry()
+	r.Histogram("lat") // empty histogram must snapshot cleanly too
+	snap := HistogramSnapshot{}
+	if snap.Quantile(0.5) != 0 || snap.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 0.5, 1, NaN, -7 land in the <=1 bucket; 2 in (1,2]; 3 in (2,4];
+	// 100 in (64,128].
+	var hs HistogramSnapshot
+	hs.Count = h.Count()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{Le: math.Ldexp(1, i), Count: n})
+		}
+	}
+	if hs.Buckets[0].Le != 1 || hs.Buckets[0].Count != 4 {
+		t.Fatalf("first bucket %+v, want le=1 count=4", hs.Buckets[0])
+	}
+	if q := hs.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %v, want 1", q)
+	}
+	if q := hs.Quantile(1); q != 128 {
+		t.Fatalf("p100 = %v, want 128", q)
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n").Add(2)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(10)
+	snap := r.Snapshot()
+	r.Counter("n").Add(100)
+	r.Gauge("g").Set(9)
+	if snap.Counters["n"] != 2 || snap.Gauges["g"].Value != 1.5 {
+		t.Fatalf("snapshot mutated by later updates: %+v", snap)
+	}
+	if snap.Histograms["h"].Count != 1 || snap.Histograms["h"].Sum != 10 {
+		t.Fatalf("histogram snapshot wrong: %+v", snap.Histograms["h"])
+	}
+	if names := r.CounterNames(); len(names) != 1 || names[0] != "n" {
+		t.Fatalf("counter names = %v", names)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Gauge("g").Add(-1)
+				r.Histogram("h").Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] != workers*per {
+		t.Fatalf("counter = %d, want %d", s.Counters["c"], workers*per)
+	}
+	if s.Gauges["g"].Value != 0 {
+		t.Fatalf("gauge = %v, want 0", s.Gauges["g"].Value)
+	}
+	if s.Histograms["h"].Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["h"].Count, workers*per)
+	}
+	var total int64
+	for _, b := range s.Histograms["h"].Buckets {
+		total += b.Count
+	}
+	if total != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", total, workers*per)
+	}
+}

@@ -1,0 +1,125 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+)
+
+// Adversarial-input fuzzing for the online error checkers. The contract
+// under test: PredictError is total — no panic, no NaN, no ±Inf, result in
+// [0, MaxPrediction] — for any input vector and any model, including models
+// deserialised from a corrupt bundle (mismatched weight counts, out-of-range
+// feature projections, malformed tree topology).
+
+// fuzzFloats decodes up to n values from raw fuzz bytes, injecting the
+// floating-point specials for selected byte patterns.
+func fuzzFloats(data []byte, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < len(data) && len(out) < n; i++ {
+		b := data[i]
+		switch b % 7 {
+		case 0:
+			out = append(out, math.NaN())
+		case 1:
+			out = append(out, math.Inf(1))
+		case 2:
+			out = append(out, math.Inf(-1))
+		case 3:
+			out = append(out, 0)
+		case 4:
+			out = append(out, math.MaxFloat64)
+		case 5:
+			out = append(out, -math.MaxFloat64)
+		default:
+			out = append(out, (float64(b)-128)/16)
+		}
+	}
+	return out
+}
+
+// fuzzFeatures decodes a feature projection, deliberately including
+// out-of-range and negative indices.
+func fuzzFeatures(data []byte) []int {
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(data))
+	for _, b := range data {
+		out = append(out, int(b)-8) // range [-8, 247], mostly out of range
+	}
+	return out
+}
+
+func checkPrediction(t *testing.T, name string, p float64) {
+	t.Helper()
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("%s predicted %v, want finite", name, p)
+	}
+	if p < 0 || p > MaxPrediction {
+		t.Fatalf("%s predicted %v, outside [0, %v]", name, p, MaxPrediction)
+	}
+}
+
+func FuzzLinearPredictError(f *testing.F) {
+	f.Add([]byte{100, 120}, 0.5, []byte{}, []byte{10, 20})
+	f.Add([]byte{0, 1, 2}, math.NaN(), []byte{0, 50}, []byte{1}) // specials, bad features
+	f.Add([]byte{4}, math.Inf(1), []byte{200}, []byte{})         // huge weight, empty input
+	f.Add([]byte{}, 0.0, []byte{}, []byte{0})                    // no weights, NaN input
+	f.Fuzz(func(t *testing.T, rawWeights []byte, constant float64, rawFeatures, rawIn []byte) {
+		l := &Linear{
+			Weights:  fuzzFloats(rawWeights, 32),
+			Constant: constant,
+			Features: fuzzFeatures(rawFeatures),
+		}
+		in := fuzzFloats(rawIn, 32)
+		checkPrediction(t, "Linear", l.PredictError(in, nil))
+	})
+}
+
+func FuzzTreePredictError(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, []byte{}, []byte{10, 20})
+	f.Add([]byte{255, 255, 255, 255}, []byte{0}, []byte{0, 1, 2}) // cyclic/out-of-range children
+	f.Add([]byte{}, []byte{50}, []byte{})                         // empty tree
+	f.Add([]byte{8, 8, 8, 8, 8, 8, 8, 8, 8, 8}, []byte{}, []byte{4})
+	f.Fuzz(func(t *testing.T, rawNodes, rawFeatures, rawIn []byte) {
+		// Decode up to 16 nodes, 4 bytes each: feature, threshold pattern,
+		// left child, right child — unvalidated on purpose.
+		var nodes []TreeNode
+		for i := 0; i+3 < len(rawNodes) && len(nodes) < 16; i += 4 {
+			vals := fuzzFloats(rawNodes[i+1:i+2], 1)
+			nodes = append(nodes, TreeNode{
+				Feature: int(rawNodes[i]) - 8,
+				Thresh:  vals[0],
+				Left:    int32(rawNodes[i+2]) - 8,
+				Right:   int32(rawNodes[i+3]) - 8,
+				Value:   vals[0],
+			})
+		}
+		tr := &Tree{Nodes: nodes, Features: fuzzFeatures(rawFeatures)}
+		in := fuzzFloats(rawIn, 32)
+		checkPrediction(t, "Tree", tr.PredictError(in, nil))
+	})
+}
+
+func FuzzEMAPredictError(f *testing.F) {
+	f.Add([]byte{100, 110, 120}, 4, 1.0)
+	f.Add([]byte{0, 1, 2, 3}, 1, 0.0)           // specials, degenerate scale
+	f.Add([]byte{4, 5, 4, 5}, 1000, math.NaN()) // huge magnitudes, NaN scale
+	f.Add([]byte{}, 0, -1.0)                    // empty outputs, non-positive N
+	f.Fuzz(func(t *testing.T, raw []byte, n int, scale float64) {
+		if n <= 0 || n > 1<<20 {
+			n = 1
+		}
+		e := &EMA{N: n, Scale: scale}
+		// Stream the fuzzed outputs one element at a time: state must stay
+		// harmless across calls even after non-finite outputs.
+		vals := fuzzFloats(raw, 64)
+		for i := 0; i < len(vals); i++ {
+			checkPrediction(t, "EMA", e.PredictError(nil, vals[i:i+1]))
+		}
+		// And a multi-dimensional element through the summariser.
+		if len(vals) > 1 {
+			checkPrediction(t, "EMA", e.PredictError(nil, vals))
+		}
+	})
+}

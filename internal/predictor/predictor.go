@@ -23,6 +23,26 @@ type Cost struct {
 	Compares float64
 }
 
+// MaxPrediction caps predicted errors at a large finite value. Checker
+// thresholds top out at 10 (the tuner's ceiling), so any capped prediction
+// still reads as "fire"; what the cap buys is that an overflowing model can
+// never leak ±Inf into the tuner statistics or the report. NaN predictions
+// instead collapse to 0 — NaN compares false against every threshold, so 0
+// ("no fire") is the behaviour the detection loop already exhibits; making
+// it explicit keeps downstream arithmetic finite too.
+const MaxPrediction = 1e6
+
+// clampPrediction maps a raw model output into [0, MaxPrediction].
+func clampPrediction(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > MaxPrediction {
+		return MaxPrediction
+	}
+	return v
+}
+
 // Predictor is a light-weight error checker. Implementations must be cheap:
 // the paper's premise is that the check runs for *every* output element.
 type Predictor interface {
@@ -55,21 +75,22 @@ var _ Predictor = (*Linear)(nil)
 // Name implements Predictor.
 func (l *Linear) Name() string { return "linearErrors" }
 
-// PredictError implements Predictor. Predictions are clamped at zero since
-// an error magnitude cannot be negative.
+// PredictError implements Predictor. The result is clamped into
+// [0, MaxPrediction] (an error magnitude cannot be negative, and a checker
+// must stay finite on any input). Inputs shorter than the weight vector
+// contribute zero for the missing terms rather than crashing the online
+// detection loop.
 func (l *Linear) PredictError(in, _ []float64) float64 {
 	x := project(in, l.Features)
-	if len(x) != len(l.Weights) {
-		panic(fmt.Sprintf("predictor: linear model has %d weights, got %d inputs", len(l.Weights), len(x)))
-	}
 	s := l.Constant
-	for i, w := range l.Weights {
-		s += w * x[i]
+	n := len(l.Weights)
+	if len(x) < n {
+		n = len(x)
 	}
-	if s < 0 {
-		return 0
+	for i := 0; i < n; i++ {
+		s += l.Weights[i] * x[i]
 	}
-	return s
+	return clampPrediction(s)
 }
 
 // Cost implements Predictor: one MAC per input plus the threshold compare.
@@ -145,18 +166,27 @@ func summarise(out []float64) float64 {
 
 // PredictError implements Predictor: the estimate is the normalised distance
 // between the current output and the moving average, and the average is then
-// updated with the current element.
+// updated with the current element. A non-finite output is maximally
+// suspicious: it predicts MaxPrediction and is kept out of the average so
+// one poisoned element cannot blind the checker to every later one.
 func (e *EMA) PredictError(_, approxOut []float64) float64 {
 	cur := summarise(approxOut)
+	if math.IsNaN(cur) || math.IsInf(cur, 0) {
+		return MaxPrediction
+	}
 	if !e.primed {
 		e.ema = cur
 		e.primed = true
 		return 0
 	}
-	dev := math.Abs(cur-e.ema) / e.Scale
+	scale := e.Scale
+	if !(scale > 0) {
+		scale = 1
+	}
+	dev := math.Abs(cur-e.ema) / scale
 	alpha := 2.0 / (1.0 + float64(e.N))
 	e.ema = cur*alpha + e.ema*(1-alpha)
-	return dev
+	return clampPrediction(dev)
 }
 
 // Cost implements Predictor: one multiply-add for the average update and the
@@ -172,7 +202,11 @@ func project(in []float64, features []int) []float64 {
 	}
 	out := make([]float64, len(features))
 	for i, idx := range features {
-		out[i] = in[idx]
+		// An out-of-range feature (model trained against a different input
+		// shape) contributes zero rather than crashing the detection loop.
+		if idx >= 0 && idx < len(in) {
+			out[i] = in[idx]
+		}
 	}
 	return out
 }

@@ -35,21 +35,35 @@ const MaxTreeDepth = 7
 // Name implements Predictor.
 func (t *Tree) Name() string { return "treeErrors" }
 
-// PredictError implements Predictor.
+// PredictError implements Predictor. Traversal is total even on a malformed
+// tree: an empty tree, an out-of-range child index or a cycle predicts 0
+// (no fire), a missing input feature compares as zero, and leaf values are
+// clamped into [0, MaxPrediction]. FitTree never produces such trees, but a
+// tree deserialised from a corrupt bundle must degrade, not crash the
+// detection loop. A NaN input compares false and therefore goes Right.
 func (t *Tree) PredictError(in, _ []float64) float64 {
 	x := project(in, t.Features)
 	i := int32(0)
-	for {
+	// A preorder tree visits each node at most once; more steps mean a cycle.
+	for steps := 0; steps < len(t.Nodes); steps++ {
+		if i < 0 || int(i) >= len(t.Nodes) {
+			return 0
+		}
 		n := &t.Nodes[i]
 		if n.Feature < 0 {
-			return n.Value
+			return clampPrediction(n.Value)
 		}
-		if x[n.Feature] < n.Thresh {
+		v := 0.0
+		if n.Feature < len(x) {
+			v = x[n.Feature]
+		}
+		if v < n.Thresh {
 			i = n.Left
 		} else {
 			i = n.Right
 		}
 	}
+	return 0
 }
 
 // Cost implements Predictor: one comparison per level plus the threshold

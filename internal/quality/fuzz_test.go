@@ -1,0 +1,92 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+// Adversarial-input fuzzing for the online quality monitor. The contract
+// under test: ElementError and CDF are total — no panic, no NaN, no ±Inf —
+// whatever a broken kernel, accelerator or bundle throws at them.
+
+// fuzzVec decodes up to n values from the raw fuzz bytes, mapping selected
+// byte patterns onto the adversarial specials.
+func fuzzVec(data []byte, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < len(data) && len(out) < n; i++ {
+		b := data[i]
+		switch b % 7 {
+		case 0:
+			out = append(out, math.NaN())
+		case 1:
+			out = append(out, math.Inf(1))
+		case 2:
+			out = append(out, math.Inf(-1))
+		case 3:
+			out = append(out, 0)
+		case 4:
+			out = append(out, math.MaxFloat64)
+		case 5:
+			out = append(out, -math.MaxFloat64)
+		default:
+			out = append(out, (float64(b)-128)/16)
+		}
+	}
+	return out
+}
+
+func FuzzElementError(f *testing.F) {
+	f.Add(int8(0), []byte{10, 20, 30}, []byte{11, 21, 31}, 1.0)
+	f.Add(int8(1), []byte{0, 1, 2}, []byte{}, 0.0)             // specials vs empty
+	f.Add(int8(2), []byte{4, 4}, []byte{4, 4, 4}, math.Inf(1)) // mismatched lengths, Inf scale
+	f.Add(int8(3), []byte{0}, []byte{1}, math.NaN())           // NaN vs +Inf, NaN scale
+	f.Add(int8(99), []byte{5}, []byte{6}, -1.0)                // unknown metric
+	f.Fuzz(func(t *testing.T, metric int8, rawExact, rawApprox []byte, scale float64) {
+		exact := fuzzVec(rawExact, 64)
+		approx := fuzzVec(rawApprox, 64)
+		e := ElementError(Metric(metric), exact, approx, scale)
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("ElementError(%d, %v, %v, %v) = %v, want finite", metric, exact, approx, scale, e)
+		}
+		if e < 0 || e > MaxElementError {
+			t.Fatalf("ElementError(%d, ...) = %v, outside [0, %v]", metric, e, MaxElementError)
+		}
+	})
+}
+
+func FuzzCDF(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40}, 11)
+	f.Add([]byte{0, 1, 2}, 2) // NaN, +Inf, -Inf
+	f.Add([]byte{3, 3, 3}, 5) // all zero
+	f.Add([]byte{7}, 1)       // too few points
+	f.Add([]byte{}, 100)      // no elements
+	f.Fuzz(func(t *testing.T, raw []byte, points int) {
+		if points > 1<<16 {
+			return // bounded allocation, not part of the contract
+		}
+		errs := fuzzVec(raw, 256)
+		cdf := CDF(errs, points)
+		if points < 2 || len(errs) == 0 {
+			if cdf != nil {
+				t.Fatalf("degenerate CDF(%v, %d) = %v, want nil", errs, points, cdf)
+			}
+			return
+		}
+		if len(cdf) != points {
+			t.Fatalf("CDF returned %d points, want %d", len(cdf), points)
+		}
+		prevFrac := 0.0
+		for i, p := range cdf {
+			if math.IsNaN(p.Error) || math.IsInf(p.Error, 0) || math.IsNaN(p.Fraction) {
+				t.Fatalf("non-finite CDF point %d: %+v", i, p)
+			}
+			if p.Fraction < prevFrac || p.Fraction > 1 {
+				t.Fatalf("CDF not a monotone distribution at %d: %+v after %v", i, p, prevFrac)
+			}
+			prevFrac = p.Fraction
+		}
+		if cdf[len(cdf)-1].Fraction != 1 {
+			t.Fatalf("CDF must end at fraction 1, got %v", cdf[len(cdf)-1].Fraction)
+		}
+	})
+}

@@ -55,6 +55,24 @@ func (m Metric) String() string {
 // convention is magnitude-independent.
 const relFloor = 1e-2
 
+// MaxElementError caps per-element errors. A broken kernel or accelerator can
+// emit NaN or ±Inf outputs; reporting those as a finite, maximal error keeps
+// the online quality machinery (means, CDFs, tuner statistics) well defined
+// instead of letting one poisoned element turn every aggregate into NaN.
+const MaxElementError = 1e6
+
+// clampError maps any per-element error value into [0, MaxElementError],
+// sending NaN (incomparable, maximally wrong) to the cap.
+func clampError(v float64) float64 {
+	if math.IsNaN(v) || v > MaxElementError {
+		return MaxElementError
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // ElementError returns the error of one output element under the metric.
 // Both slices hold the element's output vector (possibly multi-dimensional,
 // e.g. fft's (re, im) pair); the element error aggregates over the vector.
@@ -62,12 +80,23 @@ const relFloor = 1e-2
 // scale is the output magnitude/range: the *Diff metrics divide by it, and
 // MeanRelativeError uses 5% of it as the near-zero denominator floor. It is
 // ignored by MismatchRate.
+//
+// ElementError is total: it never panics and always returns a finite value in
+// [0, MaxElementError]. Mismatched slice lengths compare over the common
+// prefix (a truncated output is already maximally wrong past the prefix, and
+// the online monitor must not crash on it), non-finite values clamp per
+// clampError, and a non-positive or non-finite scale falls back to the
+// defaults.
 func ElementError(m Metric, exact, approx []float64, scale float64) float64 {
-	if len(exact) != len(approx) {
-		panic("quality: exact/approx length mismatch")
+	n := len(exact)
+	if len(approx) < n {
+		n = len(approx)
 	}
-	if len(exact) == 0 {
+	if n == 0 {
 		return 0
+	}
+	if math.IsNaN(scale) || math.IsInf(scale, 0) {
+		scale = 0
 	}
 	switch m {
 	case MeanRelativeError:
@@ -76,18 +105,18 @@ func ElementError(m Metric, exact, approx []float64, scale float64) float64 {
 			floor = 0.05 * scale
 		}
 		var s float64
-		for i := range exact {
+		for i := 0; i < n; i++ {
 			den := math.Abs(exact[i])
-			if den < floor {
+			if !(den >= floor) { // NaN den also lands on the floor
 				den = floor
 			}
-			s += math.Abs(approx[i]-exact[i]) / den
+			s += clampError(math.Abs(approx[i]-exact[i]) / den)
 		}
-		return s / float64(len(exact))
+		return s / float64(n)
 	case MismatchRate:
 		// Classification outputs: the element is wrong iff the argmax
 		// differs (jmeint uses a 2-way one-hot encoding).
-		if argmax(exact) == argmax(approx) {
+		if argmax(exact[:n]) == argmax(approx[:n]) {
 			return 0
 		}
 		return 1
@@ -96,12 +125,14 @@ func ElementError(m Metric, exact, approx []float64, scale float64) float64 {
 			scale = 1
 		}
 		var s float64
-		for i := range exact {
-			s += math.Abs(approx[i]-exact[i]) / scale
+		for i := 0; i < n; i++ {
+			s += clampError(math.Abs(approx[i]-exact[i]) / scale)
 		}
-		return s / float64(len(exact))
+		return s / float64(n)
 	default:
-		panic(fmt.Sprintf("quality: unknown metric %v", m))
+		// Unknown metrics read as "no measurable error" rather than a crash
+		// in the monitoring path.
+		return 0
 	}
 }
 
@@ -157,15 +188,17 @@ type CDFPoint struct {
 
 // CDF computes the cumulative distribution of element errors sampled at the
 // given number of evenly spaced error levels between 0 and the maximum error
-// (Figure 1). points must be >= 2.
+// (Figure 1). It returns nil for fewer than 2 points or no elements, and
+// clamps non-finite error values per clampError so the levels and fractions
+// are always finite.
 func CDF(elementErrors []float64, points int) []CDFPoint {
-	if points < 2 {
-		panic("quality: CDF needs at least 2 points")
-	}
-	if len(elementErrors) == 0 {
+	if points < 2 || len(elementErrors) == 0 {
 		return nil
 	}
-	sorted := append([]float64(nil), elementErrors...)
+	sorted := make([]float64, len(elementErrors))
+	for i, e := range elementErrors {
+		sorted[i] = clampError(e)
+	}
 	sort.Float64s(sorted)
 	maxErr := sorted[len(sorted)-1]
 	if maxErr == 0 {

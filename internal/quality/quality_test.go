@@ -45,13 +45,37 @@ func TestElementErrorPixelDiff(t *testing.T) {
 	}
 }
 
-func TestElementErrorPanicsOnMismatchedLengths(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestElementErrorMismatchedLengthsUsesCommonPrefix(t *testing.T) {
+	// The online monitor must not crash on a truncated output vector: the
+	// comparison runs over the common prefix.
+	got := ElementError(MeanRelativeError, []float64{1}, []float64{1, 2}, 0)
+	if got != 0 {
+		t.Fatalf("prefix-identical vectors scored %v, want 0", got)
+	}
+	if e := ElementError(MeanRelativeError, []float64{10, 999}, []float64{11}, 0); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("common-prefix error = %v, want 0.1", e)
+	}
+	if e := ElementError(MeanRelativeError, nil, []float64{1}, 0); e != 0 {
+		t.Fatalf("empty prefix must score 0, got %v", e)
+	}
+}
+
+func TestElementErrorNonFiniteInputsStayFinite(t *testing.T) {
+	cases := [][2][]float64{
+		{{math.NaN()}, {1}},
+		{{1}, {math.NaN()}},
+		{{math.Inf(1)}, {1}},
+		{{1}, {math.Inf(-1)}},
+		{{math.Inf(1)}, {math.Inf(1)}},
+	}
+	for _, c := range cases {
+		for _, m := range []Metric{MeanRelativeError, MismatchRate, MeanPixelDiff, MeanOutputDiff} {
+			e := ElementError(m, c[0], c[1], 0)
+			if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 || e > MaxElementError {
+				t.Fatalf("metric %v on %v/%v produced %v", m, c[0], c[1], e)
+			}
 		}
-	}()
-	ElementError(MeanRelativeError, []float64{1}, []float64{1, 2}, 0)
+	}
 }
 
 func TestOutputError(t *testing.T) {
@@ -133,6 +157,14 @@ func TestCDFShape(t *testing.T) {
 func TestCDFEdgeCases(t *testing.T) {
 	if CDF(nil, 5) != nil {
 		t.Fatal("empty input must yield nil")
+	}
+	if CDF([]float64{0.1}, 1) != nil {
+		t.Fatal("fewer than 2 points must yield nil")
+	}
+	for _, p := range CDF([]float64{math.NaN(), math.Inf(1), 0.1}, 4) {
+		if math.IsNaN(p.Error) || math.IsInf(p.Error, 0) || math.IsNaN(p.Fraction) {
+			t.Fatalf("non-finite CDF point %+v", p)
+		}
 	}
 	cdf := CDF([]float64{0, 0, 0}, 3)
 	if cdf[len(cdf)-1].Fraction != 1 {
