@@ -1,0 +1,35 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestCancelAtEOSRace(t *testing.T) {
+	for trial := 0; trial < 4000; trial++ {
+		c := stressCase{workers: 1, queueCap: 8, maxInFlight: 64, invocationSize: 64,
+			elements: 40, deadline: 0}
+		st := newStressStream(t, c)
+		inputs := make([][]float64, c.elements)
+		for i := range inputs {
+			if i < 2 {
+				inputs[i] = []float64{float64(i + 1), behaveSlow, 1} // slow recovery, fires
+			} else {
+				inputs[i] = []float64{float64(i + 1), behaveNormal, 0}
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		out, err := st.Process(ctx, feedInputs(inputs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(d time.Duration) {
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(1+trial%60) * time.Millisecond)
+		for range out {
+		}
+		cancel()
+	}
+}
