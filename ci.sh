@@ -33,6 +33,9 @@ cd "$(dirname "$0")"
 
 echo "==> go build ./..."
 go build ./...
+# The serving daemon must stay buildable on its own (it is the deployable
+# artifact; ./... would mask a main-package-only breakage message).
+go build ./cmd/rumba-serve
 
 echo "==> go vet ./..."
 go vet ./...
@@ -40,12 +43,15 @@ go vet ./...
 echo "==> go test -race -shuffle=on ./..."
 go test -race -shuffle=on ./...
 
+echo "==> serving layer under -race (drain, overload-shed and restart-persistence suite)"
+go test -race -count=1 ./internal/server/
+
 echo "==> fuzz seeds smoke"
 go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/
 go test -run='^$' -fuzz='^FuzzElementError$' -fuzztime=10s ./internal/quality/
 go test -run='^$' -fuzz='^FuzzTreePredictError$' -fuzztime=10s ./internal/predictor/
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%)"
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/server >= 80%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -64,6 +70,7 @@ check_cover() {
 }
 check_cover ./internal/core/ 85
 check_cover ./internal/obs/ 85
+check_cover ./internal/server/ 80
 
 echo "==> rumba-vet ./..."
 go run ./cmd/rumba-vet -fail-on warning ./...

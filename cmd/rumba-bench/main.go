@@ -128,6 +128,11 @@ var registry = map[string]runner{
 	"stream": func(c *experiments.Context, b string) (string, error) {
 		return render(experiments.ExpStream(c, b))
 	},
+	// "serve" load-tests the rumba-serve layer in-process; like "stream" it
+	// reports wall-clock latencies, so it is excluded from -exp all.
+	"serve": func(c *experiments.Context, b string) (string, error) {
+		return render(experiments.ExpServe(c, b))
+	},
 }
 
 func render(t *experiments.Table, err error) (string, error) {

@@ -1,0 +1,157 @@
+// Command rumba-serve exposes the Rumba pipeline as a multi-tenant JSON API
+// over the streaming runtime: a kernel registry loads trained approximators
+// plus their error checkers at startup, one live tuner per tenant×kernel
+// keeps quality control online across invocations (with JSON
+// snapshot/restore across restarts), and an admission controller sheds load
+// the Rumba way — degrading to approximate-only output under overload.
+//
+//	rumba-serve -train sobel -train-n 1200 -epochs 25 -state /tmp/rumba-state.json
+//	rumba-serve -bundles ./bundles -addr :8080
+//
+//	curl -s localhost:8080/v1/invoke -d '{
+//	  "tenant": "acme", "kernel": "sobel",
+//	  "inputs": [[0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9]]
+//	}'
+//
+// SIGTERM/SIGINT drains: in-flight requests finish, queued requests
+// complete, tuner state is snapshotted to -state, and the process exits
+// with zero goroutine leaks.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rumba/internal/core"
+	"rumba/internal/obs"
+	"rumba/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	bundles := flag.String("bundles", "", "directory of rumba-train bundle JSON files to serve")
+	train := flag.String("train", "", "comma-separated benchmark names to train in-process at startup")
+	trainN := flag.Int("train-n", 0, "training samples for -train (0 = Table 1 size)")
+	epochs := flag.Int("epochs", 0, "NN training epochs for -train (0 = trainer default)")
+	state := flag.String("state", "", "JSON snapshot file for per-tenant tuner state (loaded at startup, written on drain)")
+	workers := flag.Int("workers", 4, "pipeline workers draining the shared admission queue")
+	streamWorkers := flag.Int("stream-workers", 1, "recovery goroutines per request stream")
+	queueCap := flag.Int("queue-cap", 64, "shared admission queue capacity")
+	maxInFlight := flag.Int("max-inflight", 0, "in-flight request window (0 = queue-cap + workers); beyond it requests are shed, not queued")
+	invocation := flag.Int("invocation", 512, "tuner invocation granularity in elements (carried across requests per tenant)")
+	recoveryDeadline := flag.Duration("recovery-deadline", 50*time.Millisecond, "per-element exact re-execution deadline (0 disables)")
+	mode := flag.String("mode", "toq", "default tuner mode for new tenants: toq, energy, quality")
+	target := flag.Float64("target", 0.10, "default tuner target for new tenants")
+	drain := flag.Duration("drain", 30*time.Second, "drain timeout on SIGTERM")
+	expvarFlag := flag.Bool("expvar", false, "additionally publish the metrics registry at /debug/vars")
+	flag.Parse()
+
+	if err := run(*addr, *bundles, *train, *state, *mode,
+		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation,
+		*target, *recoveryDeadline, *drain, *expvarFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "rumba-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, bundles, train, state, mode string,
+	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation int,
+	target float64, recoveryDeadline, drain time.Duration, expvarFlag bool) error {
+	reg := server.NewKernelRegistry()
+	if bundles != "" {
+		n, err := reg.LoadBundleDir(bundles)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== registry: loaded %d bundle(s) from %s\n", n, bundles)
+	}
+	for _, name := range splitList(train) {
+		fmt.Printf("== registry: training %s in-process\n", name)
+		k, err := server.TrainKernel(name, trainN, epochs)
+		if err != nil {
+			return err
+		}
+		if err := reg.Add(k); err != nil {
+			return err
+		}
+	}
+	if len(reg.Names()) == 0 {
+		return errors.New("no kernels to serve (use -bundles and/or -train)")
+	}
+
+	var tm core.TunerMode
+	switch mode {
+	case "toq":
+		tm = core.ModeTOQ
+	case "energy":
+		tm = core.ModeEnergy
+	case "quality":
+		tm = core.ModeQuality
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	metrics := obs.NewRegistry()
+	srv, err := server.New(reg, server.Options{
+		Addr:             addr,
+		PipelineWorkers:  workers,
+		StreamWorkers:    streamWorkers,
+		QueueCap:         queueCap,
+		MaxInFlight:      maxInFlight,
+		InvocationSize:   invocation,
+		RecoveryDeadline: recoveryDeadline,
+		Defaults:         server.TunerDefaults{Mode: tm, Target: target},
+		StatePath:        state,
+		DrainTimeout:     drain,
+		Metrics:          metrics,
+	})
+	if err != nil {
+		return err
+	}
+	if srv.Restored > 0 || srv.RestoreSkipped > 0 {
+		fmt.Printf("== state: restored %d tenant tuner(s), skipped %d from %s\n",
+			srv.Restored, srv.RestoreSkipped, state)
+	}
+	if expvarFlag {
+		obs.Publish("rumba", metrics)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	fmt.Printf("== serving %s on http://%s (POST /v1/invoke; /healthz /readyz /metrics)\n",
+		strings.Join(reg.Names(), ", "), addr)
+	err = srv.Run(ctx)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if err == nil {
+		fmt.Println("== drained cleanly")
+		if state != "" {
+			fmt.Printf("== state: tuner snapshot written to %s\n", state)
+		}
+	}
+	return err
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

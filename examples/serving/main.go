@@ -1,0 +1,115 @@
+// Serving the Rumba pipeline over HTTP: the rumba-serve layer in miniature.
+//
+// A trained fft kernel is registered, the multi-tenant server starts on a
+// loopback port, and two tenants invoke it over the JSON API — each getting
+// its own online tuner, so one tenant's threshold trajectory never disturbs
+// the other's. The server then drains and snapshots its tuner state; a
+// second server restores it, demonstrating that quality control survives a
+// restart (the long-lived half of the paper's "online" premise).
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rumba/internal/server"
+)
+
+func main() {
+	fmt.Println("== training fft kernel (reduced sizes)")
+	kernel, err := server.TrainKernel("fft", 1200, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	state := filepath.Join(os.TempDir(), fmt.Sprintf("rumba-serving-example-%d.json", os.Getpid()))
+	defer os.Remove(state)
+
+	threshold1 := serveOnce(kernel, state, true)
+	fmt.Println("== restarting over the saved tuner state")
+	threshold2 := serveOnce(kernel, state, false)
+	fmt.Printf("== tenant acme threshold before restart %.4g, restored %.4g\n", threshold1, threshold2)
+}
+
+// serveOnce runs one server lifetime: start, invoke, drain. firstRun drives
+// traffic through both tenants; the restart only inspects the restored state.
+func serveOnce(kernel *server.Kernel, state string, firstRun bool) float64 {
+	reg := server.NewKernelRegistry()
+	if err := reg.Add(kernel); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(reg, server.Options{
+		Addr:      "127.0.0.1:0",
+		StatePath: state,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !firstRun {
+		fmt.Printf("== restored %d tenant(s) from %s\n", srv.Restored, state)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	var url string
+	for url == "" {
+		if addr := srv.Addr(); addr != "" {
+			url = "http://" + addr
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	fmt.Printf("== serving on %s\n", url)
+
+	if firstRun {
+		spec := kernel.Spec
+		for _, tenant := range []string{"acme", "globex"} {
+			inputs := make([][]float64, 256)
+			for i := range inputs {
+				row := make([]float64, spec.InDim)
+				for j := range row {
+					row[j] = float64((i+j)%17) / 17
+				}
+				inputs[i] = row
+			}
+			body, err := json.Marshal(server.InvokeRequest{Tenant: tenant, Kernel: "fft", Inputs: inputs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp, err := http.Post(url+"/v1/invoke", "application/json", bytes.NewReader(body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			var out server.InvokeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			fmt.Printf("   %s: %d elements, %d fixed, %d degraded, threshold %.4g (checker %s)\n",
+				tenant, out.Elements, out.Fixed, out.DegradedElements, out.Threshold, out.Checker)
+		}
+	}
+
+	var acmeThreshold float64
+	for _, ti := range srv.Tenants() {
+		if ti.Tenant == "acme" {
+			acmeThreshold = ti.Threshold
+		}
+	}
+
+	cancel() // the SIGTERM path: drain, snapshot tuner state, exit cleanly
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== drained; tuner state saved")
+	return acmeThreshold
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// ProcessSlice is the request-shaped entry point to the streaming runtime:
+// it feeds a finite batch of inputs through Process and collects the merged,
+// in-order results. It is what a serving layer calls once per request —
+// rumba-serve builds one Stream per admitted request around the tenant's
+// live tuner and propagates the request deadline through ctx.
+//
+// On cancellation (deadline exceeded, client gone) the partial in-order
+// prefix that was delivered is returned together with ctx.Err(); the
+// pipeline is fully torn down before ProcessSlice returns, so the caller
+// never leaks a goroutine by abandoning a timed-out request.
+func (st *Stream) ProcessSlice(ctx context.Context, inputs [][]float64) ([]StreamResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	in := make(chan []float64)
+	go func() {
+		defer close(in)
+		for _, v := range inputs {
+			select {
+			case in <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out, err := st.Process(ctx, in)
+	if err != nil {
+		// Drain the feeder so a startup error (stream reuse) cannot leak it.
+		go func() {
+			for range in {
+			}
+		}()
+		return nil, err
+	}
+	results := make([]StreamResult, 0, len(inputs))
+	for r := range out {
+		results = append(results, r)
+	}
+	if len(results) < len(inputs) {
+		if cerr := ctx.Err(); cerr != nil {
+			return results, cerr
+		}
+		return results, fmt.Errorf("core: stream ended after %d of %d elements", len(results), len(inputs))
+	}
+	return results, nil
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // TunerMode selects the online-tuning policy of Section 3.4.
 type TunerMode int
@@ -31,6 +34,32 @@ func (m TunerMode) String() string {
 	default:
 		return fmt.Sprintf("TunerMode(%d)", int(m))
 	}
+}
+
+// MarshalText implements encoding.TextMarshaler so serialized tuner state
+// spells modes by name rather than by ordinal.
+func (m TunerMode) MarshalText() ([]byte, error) {
+	switch m {
+	case ModeTOQ, ModeEnergy, ModeQuality:
+		return []byte(m.String()), nil
+	default:
+		return nil, fmt.Errorf("core: cannot marshal unknown tuner mode %d", int(m))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (m *TunerMode) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "TOQ":
+		*m = ModeTOQ
+	case "Energy":
+		*m = ModeEnergy
+	case "Quality":
+		*m = ModeQuality
+	default:
+		return fmt.Errorf("core: unknown tuner mode %q", text)
+	}
+	return nil
 }
 
 // Tuner adjusts the detection threshold between accelerator invocations.
@@ -129,6 +158,66 @@ func (t *Tuner) Observe(s InvocationStats) {
 			t.lower()
 		}
 	}
+}
+
+// tunerJSON is the serialized form of a Tuner. It spells every field out,
+// including the threshold clamp bounds, so a restored tuner resumes with
+// exactly the dynamics it had when snapshotted.
+type tunerJSON struct {
+	Mode            TunerMode `json:"mode"`
+	Threshold       float64   `json:"threshold"`
+	TargetError     float64   `json:"targetError,omitempty"`
+	IterationBudget float64   `json:"iterationBudget,omitempty"`
+	KeepUpFraction  float64   `json:"keepUpFraction,omitempty"`
+	MinThreshold    float64   `json:"minThreshold"`
+	MaxThreshold    float64   `json:"maxThreshold"`
+}
+
+// MarshalJSON serialises the tuner's complete state — mode, targets, live
+// threshold and clamp bounds — so an online deployment can snapshot its
+// quality-control state and resume it after a restart (rumba-serve persists
+// one tuner per tenant×kernel this way).
+func (t *Tuner) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tunerJSON{
+		Mode:            t.Mode,
+		Threshold:       t.Threshold,
+		TargetError:     t.TargetError,
+		IterationBudget: t.IterationBudget,
+		KeepUpFraction:  t.KeepUpFraction,
+		MinThreshold:    t.minThreshold,
+		MaxThreshold:    t.maxThreshold,
+	})
+}
+
+// UnmarshalJSON restores a serialised tuner. Missing clamp bounds (or a
+// snapshot written before they were serialised) fall back to the NewTuner
+// defaults rather than leaving a tuner that can never move.
+func (t *Tuner) UnmarshalJSON(data []byte) error {
+	var raw tunerJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if raw.Threshold < 0 {
+		return fmt.Errorf("core: negative serialised threshold %v", raw.Threshold)
+	}
+	if raw.MinThreshold <= 0 {
+		raw.MinThreshold = 1e-4
+	}
+	if raw.MaxThreshold <= 0 {
+		raw.MaxThreshold = 10
+	}
+	if raw.MinThreshold > raw.MaxThreshold {
+		return fmt.Errorf("core: serialised threshold bounds inverted: min %v > max %v",
+			raw.MinThreshold, raw.MaxThreshold)
+	}
+	t.Mode = raw.Mode
+	t.Threshold = raw.Threshold
+	t.TargetError = raw.TargetError
+	t.IterationBudget = raw.IterationBudget
+	t.KeepUpFraction = raw.KeepUpFraction
+	t.minThreshold = raw.MinThreshold
+	t.maxThreshold = raw.MaxThreshold
+	return nil
 }
 
 func (t *Tuner) raise() { t.scale(1.3) }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTunerMarshalGolden pins the serialised tuner format: rumba-serve
+// snapshots live per-tenant tuners to disk, so the encoding is a persistence
+// format, not an implementation detail.
+func TestTunerMarshalGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Tuner
+		want  string
+	}{
+		{
+			name: "toq",
+			build: func() *Tuner {
+				tn, _ := NewTuner(ModeTOQ, 0.10)
+				return tn
+			},
+			want: `{"mode":"TOQ","threshold":0.1,"targetError":0.1,"minThreshold":0.0001,"maxThreshold":10}`,
+		},
+		{
+			name: "energy-after-observe",
+			build: func() *Tuner {
+				tn, _ := NewTuner(ModeEnergy, 0.25)
+				// Over budget: every element fired, so the threshold doubles.
+				tn.Observe(InvocationStats{Elements: 100, Fixed: 100})
+				return tn
+			},
+			want: `{"mode":"Energy","threshold":0.2,"iterationBudget":0.25,"minThreshold":0.0001,"maxThreshold":10}`,
+		},
+		{
+			name: "quality",
+			build: func() *Tuner {
+				tn, _ := NewTuner(ModeQuality, 0.5)
+				return tn
+			},
+			want: `{"mode":"Quality","threshold":0.1,"keepUpFraction":0.5,"minThreshold":0.0001,"maxThreshold":10}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tn := tc.build()
+			data, err := json.Marshal(tn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != tc.want {
+				t.Fatalf("marshal:\n got %s\nwant %s", data, tc.want)
+			}
+			var back Tuner
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if back != *tn {
+				t.Fatalf("round trip: got %+v, want %+v", back, *tn)
+			}
+		})
+	}
+}
+
+// TestTunerUnmarshalRestoresDynamics verifies a restored tuner keeps tuning —
+// the unexported clamp bounds survive the round trip (and default sanely for
+// sparse snapshots), so the threshold still moves and still clamps.
+func TestTunerUnmarshalRestoresDynamics(t *testing.T) {
+	orig, _ := NewTuner(ModeEnergy, 0.10)
+	for i := 0; i < 20; i++ {
+		orig.Observe(InvocationStats{Elements: 64, Fixed: 64})
+	}
+	if orig.Threshold != 10 {
+		t.Fatalf("expected the threshold to clamp at the ceiling, got %v", orig.Threshold)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tuner
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Under budget from the ceiling: the restored tuner must come back down.
+	back.Observe(InvocationStats{Elements: 64, Fixed: 0})
+	if back.Threshold >= 10 {
+		t.Fatalf("restored tuner did not tune: threshold still %v", back.Threshold)
+	}
+
+	// A sparse snapshot (no bounds) restores the NewTuner defaults.
+	var sparse Tuner
+	if err := json.Unmarshal([]byte(`{"mode":"TOQ","threshold":0.2,"targetError":0.2}`), &sparse); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.minThreshold != 1e-4 || sparse.maxThreshold != 10 {
+		t.Fatalf("sparse snapshot bounds = (%v, %v), want defaults", sparse.minThreshold, sparse.maxThreshold)
+	}
+}
+
+// TestTunerUnmarshalRejectsGarbage pins the validation errors: a corrupt
+// state file must fail loudly at load, not produce a wedged tuner.
+func TestTunerUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`{"mode":"Turbo","threshold":0.1}`,
+		`{"mode":"TOQ","threshold":-1}`,
+		`{"mode":"TOQ","threshold":0.1,"minThreshold":5,"maxThreshold":1}`,
+		`{"mode":3}`,
+	} {
+		var tn Tuner
+		if err := json.Unmarshal([]byte(bad), &tn); err == nil {
+			t.Fatalf("unmarshal of %s succeeded, want error", bad)
+		}
+	}
+}

@@ -127,3 +127,39 @@ func TestExpAutoSelectPicksPerBenchmark(t *testing.T) {
 		}
 	}
 }
+
+func TestExpServeReportsLoad(t *testing.T) {
+	tab, err := ExpServe(sharedCtx, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]string{}
+	for _, row := range tab.Rows {
+		rows[row[0]] = row[1]
+	}
+	if got := rows["requests completed"]; got != "96" {
+		t.Fatalf("requests completed = %q, want 96 (8 clients x 12):\n%s", got, tab.Render())
+	}
+	if got := rows["requests failed"]; got != "0" {
+		t.Fatalf("requests failed = %q:\n%s", got, tab.Render())
+	}
+	// admitted + shed must account for every completed request.
+	admitted := atoiOrFail(t, rows["admitted (full pipeline)"])
+	shed := atoiOrFail(t, rows["shed (approximate-only)"])
+	if admitted+shed != 96 {
+		t.Fatalf("admitted %d + shed %d != 96:\n%s", admitted, shed, tab.Render())
+	}
+	if _, ok := rows["in-flight high-water"]; !ok {
+		t.Fatalf("missing in-flight row:\n%s", tab.Render())
+	}
+	// Every tenant that completed an admitted request shows its threshold.
+	thresholds := 0
+	for name := range rows {
+		if strings.HasPrefix(name, "threshold tenant-") {
+			thresholds++
+		}
+	}
+	if thresholds != 8 {
+		t.Fatalf("threshold rows = %d, want 8:\n%s", thresholds, tab.Render())
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"rumba/internal/accel"
+	"rumba/internal/exec"
+	"rumba/internal/obs"
+	"rumba/internal/predictor"
+	"rumba/internal/server"
+)
+
+// ExpServe load-tests the rumba-serve layer in-process: N concurrent tenants
+// hammer a deliberately under-provisioned server (small worker pool, small
+// admission queue) over a real loopback listener, and the table reports the
+// admitted/shed split, the degraded-request rate, and the admitted-request
+// latency distribution from the server's own observability snapshot. Like
+// "stream" it is registered in rumba-bench but excluded from `-exp all`:
+// latencies and the exact shed count are wall-clock and machine-dependent.
+func ExpServe(c *Context, benchmark string) (*Table, error) {
+	if benchmark == "" {
+		benchmark = "fft"
+	}
+	const (
+		clients  = 8
+		requests = 12 // per client
+		batch    = 64 // elements per request
+	)
+	p, err := c.Prepare(benchmark)
+	if err != nil {
+		return nil, err
+	}
+
+	acfg := p.RumbaAccel.Config()
+	kernel := &server.Kernel{
+		Name:     p.Spec.Name,
+		Spec:     p.Spec,
+		NewAccel: func() (exec.Executor, error) { return accel.New(acfg, 0) },
+		Checkers: map[string]server.CheckerFactory{
+			"tree":   func() predictor.Predictor { return p.Preds.Tree },
+			"linear": func() predictor.Predictor { return p.Preds.Linear },
+		},
+		DefaultChecker: "tree",
+	}
+	reg := server.NewKernelRegistry()
+	if err := reg.Add(kernel); err != nil {
+		return nil, err
+	}
+	metrics := obs.NewRegistry()
+	srv, err := server.New(reg, server.Options{
+		Addr:            "127.0.0.1:0",
+		PipelineWorkers: 2,
+		QueueCap:        2,
+		MaxInFlight:     4,
+		InvocationSize:  batch,
+		Metrics:         metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx) }()
+	var url string
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if addr := srv.Addr(); addr != "" {
+			url = "http://" + addr
+			break
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			<-runErr
+			return nil, fmt.Errorf("serve: listener never bound")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	type clientStats struct {
+		ok, degraded, failed int
+	}
+	stats := make([]clientStats, clients)
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for r := 0; r < requests; r++ {
+				inputs := make([][]float64, 0, batch)
+				for i := 0; i < batch; i++ {
+					inputs = append(inputs, p.Test.Inputs[(cl*requests*batch+r*batch+i)%len(p.Test.Inputs)])
+				}
+				req := server.InvokeRequest{
+					Tenant: fmt.Sprintf("tenant-%d", cl),
+					Kernel: p.Spec.Name,
+					Inputs: inputs,
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					stats[cl].failed++
+					continue
+				}
+				resp, err := http.Post(url+"/v1/invoke", "application/json", bytes.NewReader(body))
+				if err != nil {
+					stats[cl].failed++
+					continue
+				}
+				var out server.InvokeResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					stats[cl].failed++
+					continue
+				}
+				if out.Degraded {
+					stats[cl].degraded++
+				} else {
+					stats[cl].ok++
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	cancel()
+	if err := <-runErr; err != nil {
+		return nil, err
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	var ok, degraded, failed int
+	for _, s := range stats {
+		ok += s.ok
+		degraded += s.degraded
+		failed += s.failed
+	}
+	total := ok + degraded
+	snap := metrics.Snapshot()
+	lat := snap.Histograms[server.MetricLatencyNs]
+
+	t := &Table{
+		Title: fmt.Sprintf("rumba-serve load — %s: %d clients × %d requests × %d elements, 2 workers / 4 in-flight",
+			benchmark, clients, requests, batch),
+		Note:   "latencies are wall-clock and the shed count depends on machine speed; not part of the canonical results",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("requests completed", fmt.Sprintf("%d", total))
+	t.AddRow("requests failed", fmt.Sprintf("%d", failed))
+	t.AddRow("admitted (full pipeline)", fmt.Sprintf("%d", snap.Counters[server.MetricRequests]))
+	t.AddRow("shed (approximate-only)", fmt.Sprintf("%d", snap.Counters[server.MetricShed]))
+	if total > 0 {
+		t.AddRow("degraded-request rate", fmt.Sprintf("%.1f%%", 100*float64(degraded)/float64(total)))
+	}
+	t.AddRow("queue stalls", fmt.Sprintf("%d", snap.Counters[server.MetricQueueStalls]))
+	g := snap.Gauges[server.MetricInFlight]
+	t.AddRow("in-flight high-water", fmt.Sprintf("%.0f", g.Max))
+	if lat.Count > 0 {
+		t.AddRow("admitted latency p50", fmt.Sprintf("<= %.2f ms", lat.Quantile(0.5)/1e6))
+		t.AddRow("admitted latency p99", fmt.Sprintf("<= %.2f ms", lat.Quantile(0.99)/1e6))
+	}
+	for _, ti := range srv.Tenants() {
+		t.AddRow("threshold "+ti.Tenant, fmt.Sprintf("%.4g (%d fixed / %d elements)", ti.Threshold, ti.Fixed, ti.Elements))
+	}
+	return t, nil
+}

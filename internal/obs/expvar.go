@@ -1,11 +1,39 @@
 package obs
 
-import "expvar"
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// published maps an expvar name to the swappable registry holder backing it.
+// expvar itself forbids re-publishing a name (it panics), so the holder is
+// registered with expvar exactly once and later Publish calls swap the
+// registry behind it instead.
+var (
+	publishMu sync.Mutex
+	published = map[string]*atomic.Pointer[Registry]{}
+)
 
 // Publish exposes the registry on the process's expvar page (the standard
 // /debug/vars endpoint) under the given name; each scrape re-snapshots, so
-// the endpoint always shows live values. Like expvar itself it panics when
-// the name is already taken — publish once per process.
+// the endpoint always shows live values.
+//
+// Publish is idempotent per name: publishing a second registry under a name
+// already taken rebinds the endpoint to the new registry instead of
+// panicking expvar — one process can run e.g. the demo and the server, or a
+// test suite can publish per-test registries, without tripping expvar's
+// duplicate-name panic.
 func Publish(name string, r *Registry) {
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	holder, ok := published[name]
+	if !ok {
+		holder = &atomic.Pointer[Registry]{}
+		holder.Store(r)
+		published[name] = holder
+		expvar.Publish(name, expvar.Func(func() any { return holder.Load().Snapshot() }))
+		return
+	}
+	holder.Store(r)
 }

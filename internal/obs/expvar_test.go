@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+)
+
+// TestPublishIdempotent is the regression test for the duplicate-name panic:
+// a second Publish of the same registry name (demo + server in one process,
+// or two tests sharing a name) must rebind the endpoint to the new registry
+// instead of panicking expvar.
+func TestPublishIdempotent(t *testing.T) {
+	const name = "obs_test_publish_idempotent"
+	first := NewRegistry()
+	first.Counter("alpha").Add(7)
+	Publish(name, first)
+
+	second := NewRegistry()
+	second.Counter("beta").Add(11)
+	Publish(name, second) // must not panic
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar variable not registered")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value is not a snapshot: %v", err)
+	}
+	if snap.Counters["beta"] != 11 {
+		t.Fatalf("endpoint still serves the old registry: %+v", snap.Counters)
+	}
+	if _, stale := snap.Counters["alpha"]; stale {
+		t.Fatalf("endpoint mixes old and new registries: %+v", snap.Counters)
+	}
+
+	// The rebound endpoint stays live: later updates show through.
+	second.Counter("beta").Add(1)
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["beta"] != 12 {
+		t.Fatalf("endpoint is not live after rebinding: %+v", snap.Counters)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	cases := []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"tuner.threshold", nil, "tuner.threshold"},
+		{"tuner.threshold", []string{"tenant", "acme", "kernel", "fft"}, "tuner.threshold{kernel=fft,tenant=acme}"},
+		{"tuner.threshold", []string{"kernel", "fft", "tenant", "acme"}, "tuner.threshold{kernel=fft,tenant=acme}"},
+		{"x", []string{"k", "a=b,c"}, "x{k=a_b_c}"},
+		{"x", []string{"k", "v", "orphan"}, "x{k=v}"},
+	}
+	for _, tc := range cases {
+		if got := Labeled(tc.name, tc.kv...); got != tc.want {
+			t.Errorf("Labeled(%q, %v) = %q, want %q", tc.name, tc.kv, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled renders a metric name with a deterministic label set appended in
+// the conventional brace form:
+//
+//	Labeled("tuner.threshold", "tenant", "acme", "kernel", "fft")
+//	→ "tuner.threshold{kernel=fft,tenant=acme}"
+//
+// Labels are key/value pairs, sorted by key, so the same label set always
+// produces the same metric name regardless of argument order — which is what
+// lets the serving layer look the gauge up again on every request without
+// accumulating aliases. Characters that would corrupt the encoding ('{',
+// '}', ',', '=') are replaced with '_' in keys and values. An odd trailing
+// key is dropped. With no pairs the bare name is returned.
+func Labeled(name string, kv ...string) string {
+	n := len(kv) / 2
+	if n == 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{k: sanitizeLabel(kv[2*i]), v: sanitizeLabel(kv[2*i+1])}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte('=')
+		sb.WriteString(p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func sanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '{', '}', ',', '=':
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"rumba/internal/accel"
+	"rumba/internal/core"
+	"rumba/internal/obs"
+)
+
+// Admission metric names (alongside the stream.* metrics the per-request
+// pipelines emit into the same registry).
+const (
+	// MetricRequests counts requests admitted into the pipeline.
+	MetricRequests = "serve.requests"
+	// MetricShed counts requests shed under overload (degraded to
+	// approximate-only output).
+	MetricShed = "serve.requests_shed"
+	// MetricDeadline counts admitted requests that exceeded their deadline.
+	MetricDeadline = "serve.requests_deadline"
+	// MetricQueueDepth gauges the shared admission queue occupancy.
+	MetricQueueDepth = "serve.queue_depth"
+	// MetricQueuePushes counts successful admissions into the shared queue.
+	MetricQueuePushes = "serve.queue.pushes"
+	// MetricQueueStalls counts admissions rejected on a full queue.
+	MetricQueueStalls = "serve.queue.stalls"
+	// MetricInFlight gauges requests admitted but not yet completed.
+	MetricInFlight = "serve.inflight"
+	// MetricLatencyNs is the admitted-request latency (queue wait +
+	// pipeline) in nanoseconds.
+	MetricLatencyNs = "serve.latency_ns"
+)
+
+// job is one admitted request travelling through the shared queue to a
+// pipeline worker. The worker writes results/err and closes done; the
+// handler goroutine reads them only after done.
+type job struct {
+	ctx     context.Context
+	kernel  *Kernel
+	tenant  *tenant
+	inputs  [][]float64
+	results []core.StreamResult
+	err     error
+	done    chan struct{}
+}
+
+// admission is the controller in front of the pipeline: concurrent requests
+// are batched into a shared bounded accel.Queue drained by a fixed worker
+// pool, and a token window bounds the number of admitted-but-unfinished
+// requests. Both bounds shed rather than block — an overloaded server
+// degrades to approximate-only answers instead of queueing unboundedly
+// (the serving-layer analogue of the recovery queue's back-pressure).
+type admission struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  *accel.Queue[*job]
+	closed bool
+
+	tokens chan struct{}
+	wg     sync.WaitGroup
+
+	gInFlight *obs.Gauge
+}
+
+// newAdmission builds the controller and starts its worker pool. run is the
+// pipeline entry invoked for each admitted job, on a worker goroutine.
+func newAdmission(workers, queueCap, maxInFlight int, reg *obs.Registry, run func(*job)) *admission {
+	if workers <= 0 {
+		workers = 4
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	if maxInFlight <= 0 {
+		maxInFlight = queueCap + workers
+	}
+	a := &admission{
+		queue:     accel.NewQueue[*job](queueCap),
+		tokens:    make(chan struct{}, maxInFlight),
+		gInFlight: reg.Gauge(MetricInFlight),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.queue.Instrument(reg.Gauge(MetricQueueDepth), reg.Counter(MetricQueuePushes), reg.Counter(MetricQueueStalls))
+	a.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go a.worker(run)
+	}
+	return a
+}
+
+// submit tries to admit a job. It returns false — without blocking — when
+// the in-flight window or the shared queue is exhausted, or the controller
+// is draining; the caller then sheds the request. On true, the job has been
+// queued and its done channel will be closed by a worker.
+func (a *admission) submit(j *job) bool {
+	select {
+	case a.tokens <- struct{}{}:
+	default:
+		return false
+	}
+	a.mu.Lock()
+	if a.closed || !a.queue.Push(j) {
+		a.mu.Unlock()
+		<-a.tokens
+		return false
+	}
+	a.gInFlight.Add(1)
+	a.cond.Signal()
+	a.mu.Unlock()
+	return true
+}
+
+// worker drains the shared queue. On drain-close it finishes every queued
+// job before exiting, so admitted requests always complete.
+func (a *admission) worker(run func(*job)) {
+	defer a.wg.Done()
+	for {
+		a.mu.Lock()
+		for a.queue.Len() == 0 && !a.closed {
+			a.cond.Wait()
+		}
+		j, ok := a.queue.Pop()
+		a.mu.Unlock()
+		if !ok {
+			// Queue empty and closed: drained.
+			return
+		}
+		run(j)
+		close(j.done)
+		a.gInFlight.Add(-1)
+		<-a.tokens
+	}
+}
+
+// close stops admission and waits for the workers to drain every queued job.
+func (a *admission) close() {
+	a.mu.Lock()
+	a.closed = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	a.wg.Wait()
+}

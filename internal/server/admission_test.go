@@ -1,0 +1,76 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"rumba/internal/obs"
+)
+
+func newJob() *job { return &job{done: make(chan struct{})} }
+
+// TestAdmissionWindowSheds pins the two shed conditions at the unit level:
+// an exhausted in-flight window and a closed (draining) controller.
+func TestAdmissionWindowSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	a := newAdmission(1, 1, 1, reg, func(*job) {
+		started.Done()
+		<-gate
+	})
+
+	if !a.submit(newJob()) {
+		t.Fatal("first submit refused on an idle controller")
+	}
+	started.Wait() // the worker owns the job; the single token stays held
+	if a.submit(newJob()) {
+		t.Fatal("submit admitted past the in-flight window")
+	}
+	close(gate)
+	a.close()
+	if a.submit(newJob()) {
+		t.Fatal("submit admitted after close")
+	}
+	if got := reg.Gauge(MetricInFlight).Value(); got != 0 {
+		t.Fatalf("inflight after drain = %v, want 0", got)
+	}
+}
+
+// TestAdmissionDrainCompletesQueuedJobs: jobs admitted before close must run
+// to completion during drain — admitted requests never vanish.
+func TestAdmissionDrainCompletesQueuedJobs(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	ran := 0
+	a := newAdmission(2, 8, 8, reg, func(*job) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+	})
+	jobs := make([]*job, 0, 6)
+	for i := 0; i < 6; i++ {
+		j := newJob()
+		if !a.submit(j) {
+			t.Fatalf("submit %d refused", i)
+		}
+		jobs = append(jobs, j)
+	}
+	a.close()
+	for i, j := range jobs {
+		select {
+		case <-j.done:
+		default:
+			t.Fatalf("job %d not completed by drain", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 6 {
+		t.Fatalf("ran = %d, want 6", ran)
+	}
+	if got := reg.Counter(MetricQueuePushes).Value(); got != 6 {
+		t.Fatalf("%s = %v, want 6", MetricQueuePushes, got)
+	}
+}

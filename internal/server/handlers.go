@@ -1,0 +1,238 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rumba/internal/core"
+)
+
+// maxRequestBytes bounds one request body; a multi-megabyte batch belongs in
+// several requests, not one unbounded allocation.
+const maxRequestBytes = 8 << 20
+
+// InvokeRequest is the POST /v1/invoke body.
+type InvokeRequest struct {
+	// Tenant namespaces the tuner state; empty selects "default".
+	Tenant string `json:"tenant"`
+	// Kernel names the registered model to invoke.
+	Kernel string `json:"kernel"`
+	// Inputs is the batch of kernel input vectors (each Spec.InDim wide).
+	Inputs [][]float64 `json:"inputs"`
+	// Checker optionally picks the error checker at tenant creation
+	// ("linear", "tree", "ema", "none"); later requests must match.
+	Checker string `json:"checker,omitempty"`
+	// Mode/Target optionally pick the tuner policy at tenant creation
+	// ("toq", "energy", "quality"); ignored once the tenant exists.
+	Mode   string  `json:"mode,omitempty"`
+	Target float64 `json:"target,omitempty"`
+	// DeadlineMs bounds the request end to end; it propagates into the
+	// pipeline's context, cancelling detection and recovery on expiry.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+}
+
+// InvokeResponse is the POST /v1/invoke reply.
+type InvokeResponse struct {
+	Tenant  string      `json:"tenant"`
+	Kernel  string      `json:"kernel"`
+	Outputs [][]float64 `json:"outputs"`
+	// Elements/Fixed/DegradedElements summarise the pipeline's work: how
+	// many elements the checker fired on and recovery re-executed exactly
+	// (Fixed), and how many fired but could not be recovered in time
+	// (DegradedElements).
+	Elements         int `json:"elements"`
+	Fixed            int `json:"fixed"`
+	DegradedElements int `json:"degradedElements"`
+	// Degraded marks a request shed under overload: every output is the
+	// raw approximate result, unchecked. Shed requests do not touch the
+	// tenant's tuner.
+	Degraded bool `json:"degraded"`
+	// Threshold is the tenant's firing threshold after this request (0 for
+	// shed or unchecked requests).
+	Threshold float64 `json:"threshold"`
+	// Checker names the tenant's checker.
+	Checker string `json:"checker,omitempty"`
+}
+
+// errorResponse is every non-200 body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/invoke    run a batch through a tenant's pipeline
+//	GET  /v1/kernels   registered kernel names
+//	GET  /v1/tenants   live tenant tuner state
+//	GET  /healthz      process liveness
+//	GET  /readyz       200 while serving, 503 while draining
+//	GET  /metrics      observability registry snapshot (JSON)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/invoke", s.handleInvoke)
+	mux.HandleFunc("GET /v1/kernels", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"kernels": s.reg.Names()})
+	})
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]TenantInfo{"tenants": s.tenants.List()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	})
+	return mux
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var req InvokeRequest
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	if req.Kernel == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing kernel"))
+		return
+	}
+	k, ok := s.reg.Get(req.Kernel)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown kernel %q", req.Kernel))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty inputs"))
+		return
+	}
+	for i, in := range req.Inputs {
+		if len(in) != k.Spec.InDim {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("input %d has %d values, kernel %s wants %d", i, len(in), k.Name, k.Spec.InDim))
+			return
+		}
+	}
+	var mode *TunerDefaults
+	if req.Mode != "" {
+		m, err := parseMode(req.Mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		target := req.Target
+		if target == 0 {
+			target = s.opts.Defaults.Target
+		}
+		mode = &TunerDefaults{Mode: m, Target: target}
+	}
+	ts, err := s.tenants.get(TenantKey{Tenant: req.Tenant, Kernel: req.Kernel}, k, req.Checker, mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	start := time.Now()
+	j := &job{ctx: ctx, kernel: k, tenant: ts, inputs: req.Inputs, done: make(chan struct{})}
+	if !s.adm.submit(j) {
+		// Overload: shed the Rumba way — answer with the approximate
+		// output, flagged, instead of queueing unboundedly.
+		s.mShed.Inc()
+		outputs, err := s.shed(k, req.Inputs)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, InvokeResponse{
+			Tenant:   req.Tenant,
+			Kernel:   req.Kernel,
+			Outputs:  outputs,
+			Elements: len(outputs),
+			Degraded: true,
+			Checker:  ts.checkerName,
+		})
+		return
+	}
+	<-j.done
+	s.hLatency.Observe(float64(time.Since(start)))
+	if j.err != nil {
+		if errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled) {
+			s.mDeadline.Inc()
+			writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("deadline exceeded after %d of %d elements", len(j.results), len(req.Inputs)))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, j.err)
+		return
+	}
+	s.mRequests.Inc()
+
+	resp := InvokeResponse{
+		Tenant:   req.Tenant,
+		Kernel:   req.Kernel,
+		Outputs:  make([][]float64, len(j.results)),
+		Elements: len(j.results),
+		Checker:  ts.checkerName,
+	}
+	for i, res := range j.results {
+		resp.Outputs[i] = res.Output
+		if res.Fixed {
+			resp.Fixed++
+		}
+		if res.Degraded {
+			resp.DegradedElements++
+		}
+	}
+	ts.mu.Lock()
+	if ts.tuner != nil {
+		resp.Threshold = ts.tuner.Threshold
+	}
+	ts.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseMode(s string) (core.TunerMode, error) {
+	switch s {
+	case "toq":
+		return core.ModeTOQ, nil
+	case "energy":
+		return core.ModeEnergy, nil
+	case "quality":
+		return core.ModeQuality, nil
+	default:
+		return 0, fmt.Errorf("unknown tuner mode %q (want toq, energy or quality)", s)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

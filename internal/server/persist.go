@@ -1,0 +1,149 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rumba/internal/core"
+)
+
+// stateVersion guards against loading snapshots written by an incompatible
+// build.
+const stateVersion = 1
+
+// tenantSnapshot is the persisted form of one tenant×kernel: the complete
+// tuner state (threshold, targets, clamp bounds — see core.Tuner's JSON
+// round trip), the partial-invocation carry, and the lifetime counters.
+type tenantSnapshot struct {
+	Tenant  string      `json:"tenant"`
+	Kernel  string      `json:"kernel"`
+	Checker string      `json:"checker"`
+	Tuner   *core.Tuner `json:"tuner,omitempty"`
+
+	CarryElements int `json:"carryElements,omitempty"`
+	CarryFired    int `json:"carryFired,omitempty"`
+
+	Elements int64 `json:"elements"`
+	Fixed    int64 `json:"fixed"`
+	Degraded int64 `json:"degraded"`
+}
+
+// stateFile is the on-disk snapshot of every live tenant.
+type stateFile struct {
+	Version int              `json:"version"`
+	Tenants []tenantSnapshot `json:"tenants"`
+}
+
+// SaveState writes the tenant tuner state as indented JSON, atomically
+// (temp file + rename), so a crash mid-write never corrupts the previous
+// snapshot.
+func (t *Tenants) SaveState(path string) error {
+	t.mu.Lock()
+	tenants := make([]*tenant, 0, len(t.m))
+	for _, ts := range t.m {
+		tenants = append(tenants, ts)
+	}
+	t.mu.Unlock()
+
+	sf := stateFile{Version: stateVersion}
+	for _, ts := range tenants {
+		ts.mu.Lock()
+		sf.Tenants = append(sf.Tenants, tenantSnapshot{
+			Tenant:        ts.key.Tenant,
+			Kernel:        ts.key.Kernel,
+			Checker:       ts.checkerName,
+			Tuner:         ts.tuner,
+			CarryElements: ts.carryElements,
+			CarryFired:    ts.carryFired,
+			Elements:      ts.elements,
+			Fixed:         ts.fixed,
+			Degraded:      ts.degraded,
+		})
+		ts.mu.Unlock()
+	}
+	// Deterministic file content: map iteration above is unordered.
+	sort.Slice(sf.Tenants, func(a, b int) bool {
+		if sf.Tenants[a].Tenant != sf.Tenants[b].Tenant {
+			return sf.Tenants[a].Tenant < sf.Tenants[b].Tenant
+		}
+		return sf.Tenants[a].Kernel < sf.Tenants[b].Kernel
+	})
+
+	data, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("server: state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores tenants from a snapshot written by SaveState. Entries
+// whose kernel is not registered (the deployment dropped a model) are
+// skipped, not fatal: restored reports how many tenants came back, skipped
+// how many were dropped. A missing file restores nothing — a fresh
+// deployment starts empty.
+func (t *Tenants) LoadState(path string, reg *Registry) (restored, skipped int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("server: state: %w", err)
+	}
+	var sf stateFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return 0, 0, fmt.Errorf("server: state %s: %w", filepath.Base(path), err)
+	}
+	if sf.Version != stateVersion {
+		return 0, 0, fmt.Errorf("server: state version %d, this build reads %d", sf.Version, stateVersion)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, snap := range sf.Tenants {
+		k, ok := reg.Get(snap.Kernel)
+		if !ok {
+			skipped++
+			continue
+		}
+		checker, cerr := k.NewChecker(snap.Checker)
+		if cerr != nil {
+			skipped++
+			continue
+		}
+		acc, aerr := k.NewAccel()
+		if aerr != nil {
+			return restored, skipped, aerr
+		}
+		if checker != nil && snap.Tuner == nil {
+			return restored, skipped, fmt.Errorf("server: state: tenant %s/%s has a checker but no tuner",
+				snap.Tenant, snap.Kernel)
+		}
+		key := TenantKey{Tenant: snap.Tenant, Kernel: snap.Kernel}
+		ts := &tenant{
+			key:           key,
+			checkerName:   snap.Checker,
+			checker:       checker,
+			accel:         acc,
+			carryElements: snap.CarryElements,
+			carryFired:    snap.CarryFired,
+			elements:      snap.Elements,
+			fixed:         snap.Fixed,
+			degraded:      snap.Degraded,
+		}
+		if checker != nil {
+			ts.tuner = snap.Tuner
+		}
+		t.m[key] = ts
+		restored++
+	}
+	return restored, skipped, nil
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTunerStateSurvivesRestart is the ISSUE's integration criterion: drive a
+// tenant's tuner away from its initial threshold, drain (which snapshots the
+// state), start a fresh server over the same state file, and require the
+// restored threshold to equal the pre-restart one — then prove the restored
+// tuner is live by driving it further.
+func TestTunerStateSurvivesRestart(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.json")
+	kernel := func() *Kernel { return synthKernel("synth", synthExec{}) }
+
+	// Energy mode, budget 0.5, every element fired: each observed
+	// 4-element invocation doubles the threshold (ratio 2).
+	allFire := InvokeRequest{Tenant: "acme", Kernel: "synth", Mode: "energy", Target: 0.5,
+		Inputs: [][]float64{in(1, 5), in(2, 5), in(3, 5), in(4, 5)}}
+
+	reg1 := NewKernelRegistry()
+	if err := reg1.Add(kernel()); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(reg1, Options{InvocationSize: 4, StatePath: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := newTestHTTP(t, s1)
+	status, resp, msg := invoke(t, hs1, allFire)
+	if status != http.StatusOK {
+		t.Fatalf("invoke: status %d (%s)", status, msg)
+	}
+	// The 4-element batch is exactly one invocation, observed by the stream
+	// itself (4 % 4 == 0 leaves no carry): 0.10 doubles once.
+	preRestart := resp.Threshold
+	if preRestart != 0.20 {
+		t.Fatalf("pre-restart threshold = %v, want 0.20", preRestart)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+
+	// Restart: a fresh registry and server over the same state path.
+	reg2 := NewKernelRegistry()
+	if err := reg2.Add(kernel()); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(reg2, Options{InvocationSize: 4, StatePath: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	if s2.Restored != 1 || s2.RestoreSkipped != 0 {
+		t.Fatalf("restored=%d skipped=%d, want 1/0", s2.Restored, s2.RestoreSkipped)
+	}
+	tenants := s2.Tenants()
+	if len(tenants) != 1 {
+		t.Fatalf("tenants after restart = %+v", tenants)
+	}
+	got := tenants[0]
+	if got.Threshold != preRestart {
+		t.Fatalf("restored threshold = %v, want pre-restart %v", got.Threshold, preRestart)
+	}
+	if got.Mode != "Energy" || got.Tenant != "acme" || got.Kernel != "synth" || got.Checker != "score" {
+		t.Fatalf("restored tenant = %+v", got)
+	}
+	if got.Elements != 4 || got.Fixed != 4 {
+		t.Fatalf("restored lifetime stats = %d/%d, want 4/4", got.Elements, got.Fixed)
+	}
+
+	// The restored tuner keeps adapting from where it left off.
+	hs2 := newTestHTTP(t, s2)
+	status, resp, msg = invoke(t, hs2, allFire)
+	if status != http.StatusOK {
+		t.Fatalf("post-restart invoke: status %d (%s)", status, msg)
+	}
+	if resp.Threshold != 2*preRestart {
+		t.Fatalf("post-restart threshold = %v, want %v (tuner still live)", resp.Threshold, 2*preRestart)
+	}
+}
+
+// newTestHTTP mounts an already-built server under httptest (unlike
+// newTestServer it does not own Shutdown — restart tests sequence that
+// themselves).
+func newTestHTTP(t *testing.T, s *Server) string {
+	t.Helper()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+func TestLoadStateMissingFileIsFreshStart(t *testing.T) {
+	tn := NewTenants(TunerDefaults{}, 0)
+	restored, skipped, err := tn.LoadState(filepath.Join(t.TempDir(), "absent.json"), NewKernelRegistry())
+	if restored != 0 || skipped != 0 || err != nil {
+		t.Fatalf("missing file: %d/%d/%v, want 0/0/nil", restored, skipped, err)
+	}
+}
+
+func TestLoadStateVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"tenants":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tn := NewTenants(TunerDefaults{}, 0)
+	if _, _, err := tn.LoadState(path, NewKernelRegistry()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch err = %v", err)
+	}
+}
+
+func TestLoadStateCorruptJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tn := NewTenants(TunerDefaults{}, 0)
+	if _, _, err := tn.LoadState(path, NewKernelRegistry()); err == nil {
+		t.Fatal("corrupt JSON: want error")
+	}
+}
+
+func TestLoadStateSkipsUnknownKernelAndChecker(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	blob := `{"version":1,"tenants":[
+		{"tenant":"a","kernel":"gone","checker":"score","tuner":{"mode":"TOQ","threshold":0.1,"targetError":0.1,"minThreshold":0.0001,"maxThreshold":10},"elements":1,"fixed":0,"degraded":0},
+		{"tenant":"b","kernel":"synth","checker":"mystery","tuner":{"mode":"TOQ","threshold":0.1,"targetError":0.1,"minThreshold":0.0001,"maxThreshold":10},"elements":1,"fixed":0,"degraded":0},
+		{"tenant":"c","kernel":"synth","checker":"score","tuner":{"mode":"TOQ","threshold":0.25,"targetError":0.25,"minThreshold":0.0001,"maxThreshold":10},"elements":7,"fixed":2,"degraded":1}
+	]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewKernelRegistry()
+	if err := reg.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	tn := NewTenants(TunerDefaults{}, 0)
+	restored, skipped, err := tn.LoadState(path, reg)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if restored != 1 || skipped != 2 {
+		t.Fatalf("restored=%d skipped=%d, want 1/2", restored, skipped)
+	}
+	list := tn.List()
+	if len(list) != 1 || list[0].Tenant != "c" || list[0].Threshold != 0.25 ||
+		list[0].Elements != 7 || list[0].Fixed != 2 || list[0].Degraded != 1 {
+		t.Fatalf("restored tenant = %+v", list)
+	}
+}
+
+func TestLoadStateCheckerWithoutTunerIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	blob := `{"version":1,"tenants":[{"tenant":"a","kernel":"synth","checker":"score"}]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewKernelRegistry()
+	if err := reg.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	tn := NewTenants(TunerDefaults{}, 0)
+	if _, _, err := tn.LoadState(path, reg); err == nil || !strings.Contains(err.Error(), "no tuner") {
+		t.Fatalf("checker without tuner err = %v", err)
+	}
+}
+
+// TestSaveStateDeterministic pins the snapshot's byte-for-byte determinism:
+// two saves of the same state produce identical files regardless of map
+// iteration order.
+func TestSaveStateDeterministic(t *testing.T) {
+	reg := NewKernelRegistry()
+	if err := reg.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := reg.Get("synth")
+	tn := NewTenants(TunerDefaults{}, 0)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if _, err := tn.get(TenantKey{Tenant: name, Kernel: "synth"}, k, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := tn.SaveState(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.SaveState(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("snapshots differ:\n%s\n----\n%s", b1, b2)
+	}
+	if !strings.Contains(string(b1), `"tenant": "alpha"`) {
+		t.Fatalf("snapshot missing tenant: %s", b1)
+	}
+}

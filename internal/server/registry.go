@@ -1,0 +1,226 @@
+// Package server is rumba-serve's serving layer: a stdlib-only HTTP daemon
+// exposing the Rumba pipeline as a multi-tenant JSON API. It is the piece
+// the paper's "online" premise implies but a one-shot CLI cannot provide —
+// the tuner adapts the firing threshold *across* invocations, so its state
+// must outlive any single request (and, via JSON snapshots, any single
+// process).
+//
+// The layer has three parts:
+//
+//   - Registry (this file): named, immutable kernels — a benchmark spec, an
+//     accelerator factory and the trained checkers — loaded from
+//     rumba-train bundles or trained in-process at startup.
+//   - Tenants (tenant.go): one live tuner per tenant×kernel, so quality
+//     control is genuinely online across requests, with snapshot/restore.
+//   - Admission (admission.go): a shared bounded queue plus an in-flight
+//     window; overload sheds load the Rumba way, degrading requests to
+//     approximate-only output instead of queueing unboundedly.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/exec"
+	"rumba/internal/predictor"
+	"rumba/internal/trainer"
+)
+
+// CheckerFactory builds the checker instance a tenant runs. Stateless
+// checkers (linear, tree) may return a shared instance; stateful ones (EMA)
+// must return a fresh instance per call so tenants never share trend state.
+type CheckerFactory func() predictor.Predictor
+
+// Kernel is one servable model: the benchmark spec, a factory for the
+// approximate executor, and the trained checkers. Kernels are immutable
+// after registration; all per-request state lives in the tenant manager.
+//
+// NewAccel is a factory rather than a shared instance because the
+// accelerator model keeps activity counters — each tenant gets its own
+// executor so concurrent tenants never contend (the underlying trained
+// network and scaler are shared read-only).
+type Kernel struct {
+	Name     string
+	Spec     *bench.Spec
+	NewAccel func() (exec.Executor, error)
+	// Checkers maps checker names ("linear", "tree", "ema") to factories;
+	// DefaultChecker names the one used when a request does not choose.
+	Checkers       map[string]CheckerFactory
+	DefaultChecker string
+}
+
+// NewChecker builds the named checker ("" selects the default, "none"
+// selects unchecked execution and returns nil).
+func (k *Kernel) NewChecker(name string) (predictor.Predictor, error) {
+	if name == "" {
+		name = k.DefaultChecker
+	}
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	f, ok := k.Checkers[name]
+	if !ok {
+		return nil, fmt.Errorf("server: kernel %s has no checker %q", k.Name, name)
+	}
+	return f(), nil
+}
+
+// validate checks a kernel is servable.
+func (k *Kernel) validate() error {
+	if k.Name == "" || k.Spec == nil || k.NewAccel == nil {
+		return fmt.Errorf("server: kernel needs a name, a spec and an accelerator factory")
+	}
+	if k.DefaultChecker != "" && k.DefaultChecker != "none" {
+		if _, ok := k.Checkers[k.DefaultChecker]; !ok {
+			return fmt.Errorf("server: kernel %s: default checker %q not registered", k.Name, k.DefaultChecker)
+		}
+	}
+	return nil
+}
+
+// Registry is the kernel/model registry: it loads trained approximators plus
+// their error predictors at startup and supports named lookup per request.
+type Registry struct {
+	mu      sync.RWMutex
+	kernels map[string]*Kernel
+}
+
+// NewKernelRegistry returns an empty registry.
+func NewKernelRegistry() *Registry {
+	return &Registry{kernels: make(map[string]*Kernel)}
+}
+
+// Add registers a kernel; duplicate names are rejected.
+func (r *Registry) Add(k *Kernel) error {
+	if err := k.validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.kernels[k.Name]; dup {
+		return fmt.Errorf("server: duplicate kernel %q", k.Name)
+	}
+	r.kernels[k.Name] = k
+	return nil
+}
+
+// Get looks a kernel up by name.
+func (r *Registry) Get(name string) (*Kernel, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.kernels[name]
+	return k, ok
+}
+
+// Names returns the registered kernel names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.kernels))
+	for n := range r.kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// kernelFromParts assembles a Kernel from a trained accelerator
+// configuration and predictor set (shared by the bundle and train loaders).
+func kernelFromParts(spec *bench.Spec, acfg accel.Config, ps trainer.PredictorSet) *Kernel {
+	k := &Kernel{
+		Name: spec.Name,
+		Spec: spec,
+		NewAccel: func() (exec.Executor, error) {
+			return accel.New(acfg, 0)
+		},
+		Checkers: map[string]CheckerFactory{},
+	}
+	if ps.Linear != nil {
+		lin := ps.Linear
+		k.Checkers["linear"] = func() predictor.Predictor { return lin }
+	}
+	if ps.Tree != nil {
+		tree := ps.Tree
+		k.Checkers["tree"] = func() predictor.Predictor { return tree }
+		k.DefaultChecker = "tree"
+	} else if ps.Linear != nil {
+		k.DefaultChecker = "linear"
+	}
+	if ps.EMA != nil {
+		n, scale := ps.EMA.N, ps.EMA.Scale
+		// Fresh instance per tenant: the EMA tracks a running output trend,
+		// which must never leak between tenants.
+		k.Checkers["ema"] = func() predictor.Predictor { return predictor.NewEMA(n, scale) }
+		if k.DefaultChecker == "" {
+			k.DefaultChecker = "ema"
+		}
+	}
+	return k
+}
+
+// LoadBundleFile registers the kernel serialised in one rumba-train bundle.
+func (r *Registry) LoadBundleFile(path string) (*Kernel, error) {
+	b, spec, err := bundle.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	k := kernelFromParts(spec, b.Accel, b.Predictors())
+	if err := r.Add(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// LoadBundleDir registers every *.json bundle in a directory, returning the
+// number loaded.
+func (r *Registry) LoadBundleDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("server: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		if _, err := r.LoadBundleFile(filepath.Join(dir, e.Name())); err != nil {
+			return n, fmt.Errorf("server: bundle %s: %w", e.Name(), err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// TrainKernel trains a benchmark's accelerator and checkers in-process and
+// returns the servable kernel — the bundle-free startup path. trainN <= 0
+// uses the Table 1 training-set size; epochs <= 0 the trainer default.
+func TrainKernel(name string, trainN, epochs int) (*Kernel, error) {
+	spec, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	train := spec.GenTrain(trainN)
+	cfg := trainer.DefaultAccelTrainConfig(name)
+	if epochs > 0 {
+		cfg.NN.Epochs = epochs
+	}
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		return nil, err
+	}
+	return kernelFromParts(spec, acfg, ps), nil
+}

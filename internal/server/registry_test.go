@@ -1,0 +1,195 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/trainer"
+)
+
+func TestRegistryAddGetNames(t *testing.T) {
+	reg := NewKernelRegistry()
+	if err := reg.Add(synthKernel("b", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(synthKernel("a", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(synthKernel("a", synthExec{})); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate Add err = %v", err)
+	}
+	if _, ok := reg.Get("a"); !ok {
+		t.Fatal("Get(a) missing")
+	}
+	if _, ok := reg.Get("zzz"); ok {
+		t.Fatal("Get(zzz) unexpectedly present")
+	}
+	if names := reg.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v, want sorted [a b]", names)
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	if err := (&Kernel{}).validate(); err == nil {
+		t.Fatal("empty kernel: want error")
+	}
+	k := synthKernel("k", synthExec{})
+	k.DefaultChecker = "ghost"
+	if err := k.validate(); err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("bad default checker err = %v", err)
+	}
+}
+
+func TestNewChecker(t *testing.T) {
+	k := synthKernel("k", synthExec{})
+	if c, err := k.NewChecker(""); err != nil || c == nil {
+		t.Fatalf("default checker = %v, %v", c, err)
+	}
+	if c, err := k.NewChecker("none"); err != nil || c != nil {
+		t.Fatalf("none checker = %v, %v", c, err)
+	}
+	if _, err := k.NewChecker("mystery"); err == nil {
+		t.Fatal("unknown checker: want error")
+	}
+	k.DefaultChecker = ""
+	if c, err := k.NewChecker(""); err != nil || c != nil {
+		t.Fatalf("no default checker = %v, %v (want unchecked)", c, err)
+	}
+}
+
+// TestTrainKernelServesEndToEnd trains a real (tiny) sobel kernel in-process
+// — the -train startup path — and serves one request through it, checking
+// the trained tree/linear checkers registered.
+func TestTrainKernelServesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	k, err := TrainKernel("sobel", 64, 2)
+	if err != nil {
+		t.Fatalf("TrainKernel: %v", err)
+	}
+	if k.Name != "sobel" || k.DefaultChecker == "" {
+		t.Fatalf("kernel = %s default %q", k.Name, k.DefaultChecker)
+	}
+	for _, name := range []string{"linear", "tree"} {
+		if _, ok := k.Checkers[name]; !ok {
+			t.Fatalf("trained kernel missing checker %q", name)
+		}
+	}
+
+	_, hs := newTestServer(t, Options{}, k)
+	inputs := make([][]float64, 4)
+	for i := range inputs {
+		row := make([]float64, k.Spec.InDim)
+		for j := range row {
+			row[j] = float64(i+j) / 16
+		}
+		inputs[i] = row
+	}
+	status, resp, msg := invoke(t, hs.URL, InvokeRequest{Kernel: "sobel", Inputs: inputs})
+	if status != 200 {
+		t.Fatalf("invoke trained kernel: status %d (%s)", status, msg)
+	}
+	if resp.Elements != 4 || len(resp.Outputs) != 4 || len(resp.Outputs[0]) != k.Spec.OutDim {
+		t.Fatalf("trained invoke response = %+v", resp)
+	}
+
+	if _, err := TrainKernel("no-such-benchmark", 8, 1); err == nil {
+		t.Fatal("TrainKernel(no-such-benchmark): want error")
+	}
+}
+
+// TestLoadBundleDir round-trips a trained kernel through a rumba-train
+// bundle file and back into a registry.
+func TestLoadBundleDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(64)
+	cfg := trainer.DefaultAccelTrainConfig("sobel")
+	cfg.NN.Epochs = 2
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New(spec, acfg, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := bundle.Save(filepath.Join(dir, "sobel.json"), b); err != nil {
+		t.Fatal(err)
+	}
+	// Non-bundle entries are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewKernelRegistry()
+	n, err := reg.LoadBundleDir(dir)
+	if err != nil || n != 1 {
+		t.Fatalf("LoadBundleDir = %d, %v", n, err)
+	}
+	k, ok := reg.Get("sobel")
+	if !ok {
+		t.Fatal("bundle kernel not registered")
+	}
+	acc2, err := k.NewAccel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := make([]float64, spec.InDim)
+	if out := acc2.Invoke(probe); len(out) != spec.OutDim {
+		t.Fatalf("bundle accel output dim = %d, want %d", len(out), spec.OutDim)
+	}
+
+	if _, err := reg.LoadBundleDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("LoadBundleDir(missing): want error")
+	}
+	// A malformed bundle is a load error, not a silent skip.
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := NewKernelRegistry()
+	if _, err := reg2.LoadBundleDir(dir); err == nil {
+		t.Fatal("LoadBundleDir with malformed bundle: want error")
+	}
+}
+
+func TestTenantCreateUncheckedKernel(t *testing.T) {
+	k := synthKernel("plain", synthExec{})
+	k.Checkers = nil
+	k.DefaultChecker = ""
+	_, hs := newTestServer(t, Options{}, k)
+	status, resp, msg := invoke(t, hs.URL, InvokeRequest{Kernel: "plain", Inputs: [][]float64{in(1, 9)}})
+	if status != 200 {
+		t.Fatalf("unchecked invoke: status %d (%s)", status, msg)
+	}
+	// No checker: nothing fires, output stays approximate, threshold 0.
+	if resp.Fixed != 0 || resp.Threshold != 0 || resp.Checker != "none" {
+		t.Fatalf("unchecked response = %+v", resp)
+	}
+	if resp.Outputs[0][0] != 1*2+0.125 {
+		t.Fatalf("unchecked output = %v", resp.Outputs[0])
+	}
+}

@@ -1,0 +1,248 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rumba/internal/core"
+	"rumba/internal/obs"
+)
+
+// Options configures a Server. The zero value is usable: paper-default
+// invocation size, a 4-worker pipeline, TOQ tuning at 90% target output
+// quality, and a private metrics registry.
+type Options struct {
+	// Addr is the listen address for Run (ignored when the handler is
+	// mounted elsewhere, e.g. under httptest).
+	Addr string
+	// PipelineWorkers is the number of goroutines draining the shared
+	// admission queue (each runs one request's stream at a time); <= 0
+	// uses 4.
+	PipelineWorkers int
+	// StreamWorkers is the number of recovery goroutines per request
+	// stream; <= 0 uses 1.
+	StreamWorkers int
+	// QueueCap bounds the shared admission queue; <= 0 uses 64.
+	QueueCap int
+	// MaxInFlight bounds requests admitted but not yet completed; <= 0
+	// uses QueueCap + PipelineWorkers. Beyond the window, requests are
+	// shed (degraded to approximate-only output), never queued.
+	MaxInFlight int
+	// InvocationSize is the tuner's adaptation granularity in elements,
+	// carried across requests per tenant; <= 0 uses 512.
+	InvocationSize int
+	// RecoveryDeadline bounds one element's exact re-execution; 0 disables
+	// (see core.Config.RecoveryDeadline).
+	RecoveryDeadline time.Duration
+	// Defaults is the tuner a new tenant starts with when its first
+	// request does not choose a mode; a zero Target selects the paper's
+	// 90% target output quality (0.10 error bound).
+	Defaults TunerDefaults
+	// StatePath, when set, is the JSON snapshot file for per-tenant tuner
+	// state: loaded at New, written at Shutdown — a restarted server
+	// resumes quality control where it left off.
+	StatePath string
+	// DrainTimeout bounds Run's drain on SIGTERM/ctx-cancel; <= 0 waits
+	// indefinitely.
+	DrainTimeout time.Duration
+	// Metrics receives the server's observability stream (admission
+	// counters, shared-queue gauges, per-tenant threshold gauges, and the
+	// stream.* metrics of every request pipeline); nil allocates a
+	// private registry.
+	Metrics *obs.Registry
+}
+
+// Server is the rumba-serve daemon: registry + tenant manager + admission
+// controller behind a stdlib HTTP mux.
+type Server struct {
+	opts    Options
+	reg     *Registry
+	tenants *Tenants
+	adm     *admission
+	metrics *obs.Registry
+
+	mRequests, mShed, mDeadline *obs.Counter
+	hLatency                    *obs.Histogram
+
+	ready        atomic.Bool
+	http         *http.Server
+	boundAddr    atomic.Value // string; set once Run's listener is bound
+	shutdownOnce sync.Once
+
+	// Restored counts tenants restored from StatePath at startup;
+	// RestoreSkipped counts snapshot entries whose kernel is no longer
+	// registered.
+	Restored, RestoreSkipped int
+}
+
+// New builds a server over a kernel registry. When Options.StatePath names
+// an existing snapshot, the per-tenant tuner state is restored from it
+// before the first request is served.
+func New(reg *Registry, opts Options) (*Server, error) {
+	if opts.Defaults.Target == 0 {
+		opts.Defaults = TunerDefaults{Mode: core.ModeTOQ, Target: 0.10}
+	}
+	if opts.StreamWorkers <= 0 {
+		opts.StreamWorkers = 1
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = obs.NewRegistry()
+	}
+	s := &Server{
+		opts:      opts,
+		reg:       reg,
+		tenants:   NewTenants(opts.Defaults, opts.InvocationSize),
+		metrics:   m,
+		mRequests: m.Counter(MetricRequests),
+		mShed:     m.Counter(MetricShed),
+		mDeadline: m.Counter(MetricDeadline),
+		hLatency:  m.Histogram(MetricLatencyNs),
+	}
+	if opts.StatePath != "" {
+		restored, skipped, err := s.tenants.LoadState(opts.StatePath, reg)
+		if err != nil {
+			return nil, err
+		}
+		s.Restored, s.RestoreSkipped = restored, skipped
+	}
+	s.adm = newAdmission(opts.PipelineWorkers, opts.QueueCap, opts.MaxInFlight, m, s.execute)
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Metrics returns the server's observability registry.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tenants returns the live tenant listing (the /v1/tenants view).
+func (s *Server) Tenants() []TenantInfo { return s.tenants.List() }
+
+// execute runs one admitted request's pipeline on an admission worker: a
+// fresh single-shot Stream around the tenant's live tuner and checker, with
+// the request context (and so its deadline) cancelling the whole pipeline.
+// The tenant lock serialises the tenant's requests so its tuner sees
+// invocations in order; different tenants run in parallel across workers.
+func (s *Server) execute(j *job) {
+	ts := j.tenant
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, err := core.NewStream(core.Config{
+		Spec:             j.kernel.Spec,
+		Accel:            ts.accel,
+		Checker:          ts.checker,
+		Tuner:            ts.tuner,
+		InvocationSize:   s.tenants.invocationSize,
+		RecoveryDeadline: s.opts.RecoveryDeadline,
+		Metrics:          s.metrics,
+	}, s.opts.StreamWorkers)
+	if err != nil {
+		j.err = err
+		return
+	}
+	results, err := st.ProcessSlice(j.ctx, j.inputs)
+	j.results = results
+	if err != nil {
+		j.err = err
+		return
+	}
+	s.tenants.noteResults(ts, j.kernel.Spec.Cost, results)
+	if ts.tuner != nil {
+		s.metrics.Gauge(obs.Labeled(core.MetricThreshold,
+			"tenant", ts.key.Tenant, "kernel", ts.key.Kernel)).Set(ts.tuner.Threshold)
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.PredictedError
+	}
+	if len(results) > 0 {
+		s.metrics.Gauge(obs.Labeled("serve.predicted_error",
+			"tenant", ts.key.Tenant, "kernel", ts.key.Kernel)).Set(sum / float64(len(results)))
+	}
+}
+
+// shed produces the degraded answer for a request the admission controller
+// refused: approximate-only output from a request-private executor, flagged
+// Degraded, with no detection, recovery or tuning — bounded work under
+// overload, which is exactly how the paper's runtime degrades when the
+// recovery CPU cannot keep up.
+func (s *Server) shed(k *Kernel, inputs [][]float64) ([][]float64, error) {
+	acc, err := k.NewAccel()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		out[i] = acc.Invoke(in)
+	}
+	return out, nil
+}
+
+// Run serves on Options.Addr until ctx is cancelled (wire it to
+// SIGTERM/SIGINT via signal.NotifyContext), then drains: the listener stops
+// accepting, in-flight requests complete, the admission workers finish every
+// queued job, and the tenant state is snapshotted to StatePath.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		s.adm.close()
+		return err
+	}
+	s.boundAddr.Store(ln.Addr().String())
+	s.http = &http.Server{Addr: s.opts.Addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- s.http.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Listen failed before any drain was requested.
+		s.adm.close()
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx := context.Background()
+	if s.opts.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	err = s.Shutdown(drainCtx)
+	if herr := <-errc; herr != nil && !errors.Is(herr, http.ErrServerClosed) && err == nil {
+		err = herr
+	}
+	return err
+}
+
+// Addr returns the listener's bound address once Run is serving ("" before
+// that). With Options.Addr ending in ":0" this is how callers — and the
+// serve load experiment — learn the OS-assigned port.
+func (s *Server) Addr() string {
+	if v, ok := s.boundAddr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Shutdown drains the server: readiness flips to draining, the HTTP server
+// (if Run started one) stops accepting and waits for in-flight handlers, the
+// admission workers finish every queued job, and the tenant tuner state is
+// snapshotted to StatePath. It is idempotent; the first call wins.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.shutdownOnce.Do(func() {
+		s.ready.Store(false)
+		if s.http != nil {
+			err = s.http.Shutdown(ctx)
+		}
+		s.adm.close()
+		if s.opts.StatePath != "" {
+			if serr := s.tenants.SaveState(s.opts.StatePath); serr != nil && err == nil {
+				err = serr
+			}
+		}
+	})
+	return err
+}

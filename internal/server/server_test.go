@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"rumba/internal/bench"
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+	"rumba/internal/predictor"
+	"rumba/internal/quality"
+)
+
+// The e2e fixtures mirror the core stress suite's synthetic benchmark:
+// inputs are triples {value, spare, score} where score is the checker's
+// predicted error, the exact kernel returns value*2 and the "approximate"
+// executor value*2 + 0.125 — so fixed elements are distinguishable from
+// approximate ones by inspection.
+
+func synthSpec() *bench.Spec {
+	return &bench.Spec{
+		Name:   "synth",
+		InDim:  3,
+		OutDim: 1,
+		Exact:  func(in []float64) []float64 { return []float64{in[0] * 2} },
+		Metric: quality.MeanRelativeError,
+		Scale:  1,
+	}
+}
+
+type synthExec struct{}
+
+func (synthExec) Invoke(in []float64) []float64            { return []float64{in[0]*2 + 0.125} }
+func (synthExec) CyclesPerInvocation() float64             { return 64 }
+func (synthExec) EnergyPerInvocation(energy.Model) float64 { return 1 }
+
+// scoreChecker reads the pre-assigned score from the input triple.
+type scoreChecker struct{}
+
+func (scoreChecker) Name() string                         { return "score" }
+func (scoreChecker) PredictError(in, _ []float64) float64 { return in[2] }
+func (scoreChecker) Cost() predictor.Cost                 { return predictor.Cost{} }
+func (scoreChecker) Reset()                               {}
+
+// synthKernel builds a servable kernel around the synthetic benchmark; ex
+// lets individual tests substitute slow or gated executors.
+func synthKernel(name string, ex exec.Executor) *Kernel {
+	spec := synthSpec()
+	spec.Name = name
+	return &Kernel{
+		Name:     name,
+		Spec:     spec,
+		NewAccel: func() (exec.Executor, error) { return ex, nil },
+		Checkers: map[string]CheckerFactory{
+			"score": func() predictor.Predictor { return scoreChecker{} },
+		},
+		DefaultChecker: "score",
+	}
+}
+
+// newTestServer stands a server up behind httptest and tears both down at
+// test end (HTTP first, then the admission drain).
+func newTestServer(t *testing.T, opts Options, kernels ...*Kernel) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := NewKernelRegistry()
+	for _, k := range kernels {
+		if err := reg.Add(k); err != nil {
+			t.Fatalf("Add(%s): %v", k.Name, err)
+		}
+	}
+	s, err := New(reg, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s, hs
+}
+
+// invoke POSTs one InvokeRequest and decodes the reply (InvokeResponse on
+// 200, errorResponse otherwise).
+func invoke(t *testing.T, url string, req InvokeRequest) (int, InvokeResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return invokeRaw(t, url, body)
+}
+
+func invokeRaw(t *testing.T, url string, body []byte) (int, InvokeResponse, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/invoke: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("decode error body: %v", err)
+		}
+		return resp.StatusCode, InvokeResponse{}, e.Error
+	}
+	var out InvokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out, ""
+}
+
+// in builds one synthetic input triple.
+func in(value, score float64) []float64 { return []float64{value, 0, score} }
+
+func TestInvokeHappyPath(t *testing.T) {
+	_, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}))
+
+	// Default TOQ tuner starts at threshold 0.10: score 0.75 fires (exact
+	// output), score 0 does not (approximate output).
+	inputs := make([][]float64, 6)
+	for i := range inputs {
+		score := 0.0
+		if i%2 == 1 {
+			score = 0.75
+		}
+		inputs[i] = in(float64(i), score)
+	}
+	status, resp, _ := invoke(t, hs.URL, InvokeRequest{Tenant: "acme", Kernel: "synth", Inputs: inputs})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if resp.Tenant != "acme" || resp.Kernel != "synth" || resp.Checker != "score" {
+		t.Fatalf("identity = %s/%s checker %s", resp.Tenant, resp.Kernel, resp.Checker)
+	}
+	if resp.Elements != 6 || resp.Fixed != 3 || resp.Degraded || resp.DegradedElements != 0 {
+		t.Fatalf("elements=%d fixed=%d degraded=%v/%d, want 6/3/false/0",
+			resp.Elements, resp.Fixed, resp.Degraded, resp.DegradedElements)
+	}
+	if resp.Threshold != 0.10 {
+		t.Fatalf("threshold = %v, want 0.10", resp.Threshold)
+	}
+	for i, out := range resp.Outputs {
+		want := float64(i) * 2
+		if i%2 == 0 {
+			want += 0.125 // not fired: raw approximate output
+		}
+		if len(out) != 1 || out[0] != want {
+			t.Fatalf("output[%d] = %v, want [%v]", i, out, want)
+		}
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	_, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}))
+
+	// Create the tenant so the checker-switch conflict below has something
+	// to conflict with.
+	if status, _, _ := invoke(t, hs.URL, InvokeRequest{Kernel: "synth", Inputs: [][]float64{in(1, 0)}}); status != 200 {
+		t.Fatalf("seed invoke: status %d", status)
+	}
+
+	cases := []struct {
+		name string
+		req  InvokeRequest
+		want int
+	}{
+		{"unknown kernel", InvokeRequest{Kernel: "nope", Inputs: [][]float64{in(1, 0)}}, http.StatusNotFound},
+		{"missing kernel", InvokeRequest{Inputs: [][]float64{in(1, 0)}}, http.StatusBadRequest},
+		{"empty inputs", InvokeRequest{Kernel: "synth"}, http.StatusBadRequest},
+		{"wrong dimension", InvokeRequest{Kernel: "synth", Inputs: [][]float64{{1, 2}}}, http.StatusBadRequest},
+		{"unknown mode", InvokeRequest{Kernel: "synth", Mode: "psychic", Inputs: [][]float64{in(1, 0)}}, http.StatusBadRequest},
+		{"unknown checker", InvokeRequest{Kernel: "synth", Tenant: "fresh", Checker: "nope", Inputs: [][]float64{in(1, 0)}}, http.StatusBadRequest},
+		{"checker switch", InvokeRequest{Kernel: "synth", Checker: "none", Inputs: [][]float64{in(1, 0)}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, _, msg := invoke(t, hs.URL, tc.req)
+		if status != tc.want {
+			t.Errorf("%s: status = %d (%s), want %d", tc.name, status, msg, tc.want)
+		}
+	}
+
+	if status, _, _ := invokeRaw(t, hs.URL, []byte("{not json")); status != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", status)
+	}
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	s, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}), synthKernel("alt", synthExec{}))
+	if status, _, _ := invoke(t, hs.URL, InvokeRequest{Tenant: "acme", Kernel: "synth", Inputs: [][]float64{in(1, 0.75)}}); status != 200 {
+		t.Fatalf("invoke: status %d", status)
+	}
+
+	var kernels map[string][]string
+	getJSON(t, hs.URL+"/v1/kernels", http.StatusOK, &kernels)
+	if got := kernels["kernels"]; len(got) != 2 || got[0] != "alt" || got[1] != "synth" {
+		t.Fatalf("kernels = %v", got)
+	}
+
+	var tenants map[string][]TenantInfo
+	getJSON(t, hs.URL+"/v1/tenants", http.StatusOK, &tenants)
+	list := tenants["tenants"]
+	if len(list) != 1 || list[0].Tenant != "acme" || list[0].Kernel != "synth" ||
+		list[0].Checker != "score" || list[0].Elements != 1 || list[0].Fixed != 1 {
+		t.Fatalf("tenants = %+v", list)
+	}
+	if list[0].Mode != "TOQ" || list[0].Threshold != 0.10 {
+		t.Fatalf("tenant tuner = %s/%v", list[0].Mode, list[0].Threshold)
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	var snap map[string]any
+	getJSON(t, hs.URL+"/metrics", http.StatusOK, &snap)
+	counters, _ := snap["counters"].(map[string]any)
+	if counters == nil {
+		t.Fatalf("metrics snapshot has no counters: %v", snap)
+	}
+	if got, _ := counters[MetricRequests].(float64); got != 1 {
+		t.Fatalf("%s = %v, want 1", MetricRequests, counters[MetricRequests])
+	}
+
+	// Labeled per-tenant threshold gauge appears in the shared registry.
+	gauges, _ := snap["gauges"].(map[string]any)
+	key := "tuner.threshold{kernel=synth,tenant=acme}"
+	if _, ok := gauges[key]; !ok {
+		t.Fatalf("gauge %q missing from snapshot: %v", key, gauges)
+	}
+
+	// After Shutdown, readiness flips to draining.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained /readyz: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestTunerCarryAcrossRequests is the online-tuning contract: requests
+// smaller than the invocation size still drive the tuner once their carry
+// accumulates a full invocation. Two 2-element requests fill a 4-element
+// invocation; energy mode with every element fired doubles the threshold.
+func TestTunerCarryAcrossRequests(t *testing.T) {
+	_, hs := newTestServer(t, Options{InvocationSize: 4}, synthKernel("synth", synthExec{}))
+
+	req := InvokeRequest{Kernel: "synth", Mode: "energy", Target: 0.5,
+		Inputs: [][]float64{in(1, 0.9), in(2, 0.9)}}
+	status, resp, _ := invoke(t, hs.URL, req)
+	if status != 200 || resp.Threshold != 0.10 {
+		t.Fatalf("request 1: status %d threshold %v, want 200 / 0.10 (carry not yet full)", status, resp.Threshold)
+	}
+	status, resp, _ = invoke(t, hs.URL, req)
+	if status != 200 {
+		t.Fatalf("request 2: status %d", status)
+	}
+	// fixedFrac 1.0 over budget 0.5 → ratio 2 → threshold doubles.
+	if resp.Threshold != 0.20 {
+		t.Fatalf("request 2 threshold = %v, want 0.20 (carry observed)", resp.Threshold)
+	}
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count settles back to the
+// baseline (a settle loop, not an instant check: abandoned deadline-overrun
+// work finishes on its own schedule).
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d > baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

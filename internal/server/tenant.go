@@ -1,0 +1,238 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+	"rumba/internal/predictor"
+)
+
+// TenantKey identifies one tenant's use of one kernel — the granularity at
+// which online quality control runs. Two tenants invoking the same kernel
+// get independent tuners: one tenant's bursty, hard-to-approximate traffic
+// must not raise the firing threshold for everyone else.
+type TenantKey struct {
+	Tenant string
+	Kernel string
+}
+
+// TunerDefaults configures the tuner a new tenant starts with when the
+// creating request does not choose a mode.
+type TunerDefaults struct {
+	Mode   core.TunerMode
+	Target float64
+}
+
+// tenant is the live state of one tenant×kernel: its tuner, its checker
+// instance, its private executor, and the invocation-window carry that makes
+// tuning continuous across requests. mu serialises requests for the tenant —
+// the tuner trajectory must see invocations in order — while different
+// tenants proceed in parallel.
+type tenant struct {
+	mu sync.Mutex
+
+	key         TenantKey
+	checkerName string
+	checker     predictor.Predictor
+	accel       exec.Executor
+	tuner       *core.Tuner
+
+	// carryElements/carryFired accumulate the partial invocation left over
+	// after each request (requests rarely align with the invocation size);
+	// when the carry reaches a full invocation the tuner observes it. This
+	// is what makes the threshold genuinely online across invocations — a
+	// tenant sending 8-element requests still tunes at the configured
+	// invocation granularity.
+	carryElements, carryFired int
+
+	elements, fixed, degraded int64
+}
+
+// Tenants keeps one live tenant per tenant×kernel and creates them on first
+// use.
+type Tenants struct {
+	mu sync.Mutex
+	m  map[TenantKey]*tenant
+
+	defaults       TunerDefaults
+	invocationSize int
+	model          energy.Model
+}
+
+// NewTenants builds a tenant manager. invocationSize <= 0 uses the paper's
+// 512-element invocation batches.
+func NewTenants(defaults TunerDefaults, invocationSize int) *Tenants {
+	if invocationSize <= 0 {
+		invocationSize = 512
+	}
+	return &Tenants{
+		m:              make(map[TenantKey]*tenant),
+		defaults:       defaults,
+		invocationSize: invocationSize,
+		model:          energy.DefaultModel(),
+	}
+}
+
+// get returns the live tenant for key, creating it on first use. checkerName
+// and mode/target apply only at creation ("" / nil keep the kernel default
+// and the manager defaults); an existing tenant's request asking for a
+// different checker is an error — the checker choice is part of the tenant's
+// identity, not a per-request knob.
+func (t *Tenants) get(key TenantKey, k *Kernel, checkerName string, mode *TunerDefaults) (*tenant, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts, ok := t.m[key]; ok {
+		if checkerName != "" && checkerName != ts.checkerName {
+			return nil, fmt.Errorf("server: tenant %s/%s already uses checker %q, cannot switch to %q",
+				key.Tenant, key.Kernel, ts.checkerName, checkerName)
+		}
+		return ts, nil
+	}
+	ts, err := t.create(key, k, checkerName, mode)
+	if err != nil {
+		return nil, err
+	}
+	t.m[key] = ts
+	return ts, nil
+}
+
+// create builds a fresh tenant (caller holds t.mu).
+func (t *Tenants) create(key TenantKey, k *Kernel, checkerName string, mode *TunerDefaults) (*tenant, error) {
+	checker, err := k.NewChecker(checkerName)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := k.NewAccel()
+	if err != nil {
+		return nil, err
+	}
+	if checkerName == "" {
+		checkerName = k.DefaultChecker
+		if checkerName == "" {
+			checkerName = "none"
+		}
+	}
+	ts := &tenant{key: key, checkerName: checkerName, checker: checker, accel: acc}
+	if checker != nil {
+		d := t.defaults
+		if mode != nil {
+			d = *mode
+		}
+		if ts.tuner, err = core.NewTuner(d.Mode, d.Target); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}
+
+// noteResults folds one finished request into the tenant's lifetime stats
+// and drives the tuner across the request boundary: whole invocations inside
+// the request were already observed by the stream, so only the trailing
+// partial invocation is carried, and once the carry fills an invocation the
+// tuner observes it. Caller holds ts.mu.
+func (t *Tenants) noteResults(ts *tenant, cost bench.CostModel, results []core.StreamResult) {
+	fixed, degraded := 0, 0
+	for _, r := range results {
+		if r.Fixed {
+			fixed++
+		}
+		if r.Degraded {
+			degraded++
+		}
+	}
+	ts.elements += int64(len(results))
+	ts.fixed += int64(fixed)
+	ts.degraded += int64(degraded)
+	if ts.tuner == nil {
+		return
+	}
+	// The stream observed every complete invocation it processed; the tail
+	// remainder is what crosses the request boundary.
+	rem := len(results) % t.invocationSize
+	tail := results[len(results)-rem:]
+	ts.carryElements += rem
+	for _, r := range tail {
+		if r.Fixed || r.Degraded {
+			ts.carryFired++
+		}
+	}
+	if ts.carryElements >= t.invocationSize {
+		ts.tuner.Observe(core.InvocationStats{
+			Elements:       ts.carryElements,
+			Fixed:          ts.carryFired,
+			CPUUtilisation: t.utilisation(ts, cost, ts.carryFired, ts.carryElements),
+		})
+		ts.carryElements, ts.carryFired = 0, 0
+	}
+}
+
+// utilisation estimates the recovery CPU's utilisation over the carried
+// window, mirroring the batch runtime's estimate: CPU re-execution cycles
+// over accelerator cycles, clamped to 1.
+func (t *Tenants) utilisation(ts *tenant, cost bench.CostModel, fired, elements int) float64 {
+	if elements == 0 {
+		return 0
+	}
+	accelCycles := ts.accel.CyclesPerInvocation() * float64(elements)
+	if accelCycles <= 0 {
+		return 1
+	}
+	u := energy.KernelCPULatency(cost, t.model) * float64(fired) / accelCycles
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// TenantInfo is the ops-facing view of one live tenant (the /v1/tenants
+// listing and the persistence integration tests read it).
+type TenantInfo struct {
+	Tenant    string  `json:"tenant"`
+	Kernel    string  `json:"kernel"`
+	Checker   string  `json:"checker"`
+	Mode      string  `json:"mode,omitempty"`
+	Threshold float64 `json:"threshold"`
+	Elements  int64   `json:"elements"`
+	Fixed     int64   `json:"fixed"`
+	Degraded  int64   `json:"degraded"`
+}
+
+// List snapshots every live tenant, sorted by tenant then kernel.
+func (t *Tenants) List() []TenantInfo {
+	t.mu.Lock()
+	tenants := make([]*tenant, 0, len(t.m))
+	for _, ts := range t.m {
+		tenants = append(tenants, ts)
+	}
+	t.mu.Unlock()
+	infos := make([]TenantInfo, 0, len(tenants))
+	for _, ts := range tenants {
+		ts.mu.Lock()
+		info := TenantInfo{
+			Tenant:   ts.key.Tenant,
+			Kernel:   ts.key.Kernel,
+			Checker:  ts.checkerName,
+			Elements: ts.elements,
+			Fixed:    ts.fixed,
+			Degraded: ts.degraded,
+		}
+		if ts.tuner != nil {
+			info.Mode = ts.tuner.Mode.String()
+			info.Threshold = ts.tuner.Threshold
+		}
+		ts.mu.Unlock()
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(a, b int) bool {
+		if infos[a].Tenant != infos[b].Tenant {
+			return infos[a].Tenant < infos[b].Tenant
+		}
+		return infos[a].Kernel < infos[b].Kernel
+	})
+	return infos
+}
