@@ -17,11 +17,16 @@
 #                                  checked-in seed corpus plus a short live
 #                                  fuzzing burst (quality + predictor
 #                                  adversarial-input hardening)
-#   5. coverage floors             statement coverage of the hardened runtime
+#   5. bench smoke                 the hot-path benchmark suite at
+#                                  -benchtime=100x -benchmem: catches batch
+#                                  kernels that stop compiling, panic, or
+#                                  start allocating, without paying for a
+#                                  statistically meaningful timing run
+#   6. coverage floors             statement coverage of the hardened runtime
 #                                  (internal/core) and the observability
 #                                  layer (internal/obs) must not regress
 #                                  below the floors
-#   6. rumba-vet ./...             Rumba's own static-analysis suite:
+#   7. rumba-vet ./...             Rumba's own static-analysis suite:
 #                                  purity, determinism, floatcmp,
 #                                  kernelsig, concurrency (see DESIGN.md,
 #                                  "Static analysis & safety"); fails on
@@ -50,6 +55,9 @@ echo "==> fuzz seeds smoke"
 go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/
 go test -run='^$' -fuzz='^FuzzElementError$' -fuzztime=10s ./internal/quality/
 go test -run='^$' -fuzz='^FuzzTreePredictError$' -fuzztime=10s ./internal/predictor/
+
+echo "==> bench smoke (-benchtime=100x -benchmem)"
+go test -run '^$' -bench 'Forward|Predict|Stream' -benchtime=100x -benchmem ./internal/bench/
 
 echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/server >= 80%)"
 check_cover() {

@@ -133,6 +133,12 @@ var registry = map[string]runner{
 	"serve": func(c *experiments.Context, b string) (string, error) {
 		return render(experiments.ExpServe(c, b))
 	},
+	// "hotpath" microbenchmarks the batched datapath against its scalar
+	// references and writes BENCH_hotpath.json; wall-clock like "stream"
+	// and "serve", so it too stays out of -exp all.
+	"hotpath": func(c *experiments.Context, b string) (string, error) {
+		return render(experiments.ExpHotpath(c, b))
+	},
 }
 
 func render(t *experiments.Table, err error) (string, error) {

@@ -48,23 +48,25 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "in-flight request window (0 = queue-cap + workers); beyond it requests are shed, not queued")
 	invocation := flag.Int("invocation", 512, "tuner invocation granularity in elements (carried across requests per tenant)")
 	recoveryDeadline := flag.Duration("recovery-deadline", 50*time.Millisecond, "per-element exact re-execution deadline (0 disables)")
+	batch := flag.Int("batch", 0, "detection batch size per request pipeline (0 = 64, 1 = per-element); outputs are identical at every size")
 	mode := flag.String("mode", "toq", "default tuner mode for new tenants: toq, energy, quality")
 	target := flag.Float64("target", 0.10, "default tuner target for new tenants")
 	drain := flag.Duration("drain", 30*time.Second, "drain timeout on SIGTERM")
 	expvarFlag := flag.Bool("expvar", false, "additionally publish the metrics registry at /debug/vars")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof at /debug/pprof/ (off by default; profiling endpoints reveal stacks and heap contents)")
 	flag.Parse()
 
 	if err := run(*addr, *bundles, *train, *state, *mode,
-		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation,
-		*target, *recoveryDeadline, *drain, *expvarFlag); err != nil {
+		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation, *batch,
+		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, bundles, train, state, mode string,
-	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation int,
-	target float64, recoveryDeadline, drain time.Duration, expvarFlag bool) error {
+	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation, batch int,
+	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag bool) error {
 	reg := server.NewKernelRegistry()
 	if bundles != "" {
 		n, err := reg.LoadBundleDir(bundles)
@@ -108,6 +110,8 @@ func run(addr, bundles, train, state, mode string,
 		MaxInFlight:      maxInFlight,
 		InvocationSize:   invocation,
 		RecoveryDeadline: recoveryDeadline,
+		BatchSize:        batch,
+		EnablePprof:      pprofFlag,
 		Defaults:         server.TunerDefaults{Mode: tm, Target: target},
 		StatePath:        state,
 		DrainTimeout:     drain,
@@ -122,6 +126,9 @@ func run(addr, bundles, train, state, mode string,
 	}
 	if expvarFlag {
 		obs.Publish("rumba", metrics)
+	}
+	if pprofFlag {
+		fmt.Println("== pprof: profiling endpoints exposed at /debug/pprof/")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

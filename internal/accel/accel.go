@@ -89,7 +89,10 @@ type Stats struct {
 
 // Accelerator executes invocations of a configured network. It is a
 // deliberately sequential model: the PE-level parallelism shows up in the
-// cycle count, not in host concurrency.
+// cycle count, not in host concurrency. The batch buffers below make it
+// stateful scratch-wise too, so an Accelerator must not be shared across
+// goroutines — the serving registry builds one per stream while sharing the
+// (read-only) network and scaler underneath.
 type Accelerator struct {
 	cfg   Config
 	PEs   int
@@ -97,6 +100,13 @@ type Accelerator struct {
 	// fixed, when non-nil, routes inference through the quantised
 	// fixed-point datapath instead of float64 (see SetFixedPoint).
 	fixed *nn.FixedNetwork
+
+	// Batch-path scratch, grown lazily on first use and recycled across
+	// invocations so the hot path performs zero steady-state allocations.
+	scratch *nn.BatchScratch
+	flatIn  []float64 // row-major [batch][netInputs] projected+scaled inputs
+	flatOut []float64 // row-major [batch][netOutputs] raw network outputs
+	lut     bool      // LUT activation datapath (see SetBatchLUT)
 }
 
 // DefaultPEs is the number of processing elements in the paper's NPU.
@@ -121,18 +131,6 @@ func New(cfg Config, pes int) (*Accelerator, error) {
 // Config returns the accelerator's configuration.
 func (a *Accelerator) Config() Config { return a.cfg }
 
-// project applies the feature projection.
-func (a *Accelerator) project(in []float64) []float64 {
-	if a.cfg.Features == nil {
-		return in
-	}
-	out := make([]float64, len(a.cfg.Features))
-	for i, idx := range a.cfg.Features {
-		out[i] = in[idx]
-	}
-	return out
-}
-
 // SetFixedPoint switches the accelerator to quantised Q(m.n) inference —
 // the arithmetic a hardware NPU datapath actually performs. Passing the
 // zero format restores float64 execution.
@@ -149,23 +147,108 @@ func (a *Accelerator) SetFixedPoint(f nn.FixedFormat) error {
 	return nil
 }
 
-// Invoke runs one accelerator invocation: project, normalise, forward pass,
-// denormalise. It updates the activity counters.
-func (a *Accelerator) Invoke(in []float64) []float64 {
-	proj := a.project(in)
-	scaled := a.cfg.Scaler.ScaleIn(proj)
-	var raw []float64
-	if a.fixed != nil {
-		raw = a.fixed.Forward(scaled)
-	} else {
-		raw = a.cfg.Net.Forward(scaled)
+// SetBatchLUT switches the activation datapath to the table-lookup sigmoid/
+// tanh an NPU implements in hardware (nn.BatchScratch.LUT). Off by default:
+// the exp-based activations are the bit-exact reference all goldens were
+// recorded against. Fixed-point inference is unaffected (its activation
+// tables are exact and always on).
+func (a *Accelerator) SetBatchLUT(on bool) {
+	a.lut = on
+	if a.scratch != nil {
+		a.scratch.LUT = on
 	}
-	out := a.cfg.Scaler.UnscaleOut(raw)
-	a.stats.Invocations++
-	a.stats.MACs += a.cfg.Net.Topo.MACs()
-	a.stats.InputWords += len(proj)
-	a.stats.OutputWords += len(out)
+}
+
+// ensureBatch grows the batch scratch for n invocations.
+func (a *Accelerator) ensureBatch(n int) (inW, outW int) {
+	t := a.cfg.Net.Topo
+	inW, outW = t.Inputs(), t.Outputs()
+	if a.scratch == nil {
+		a.scratch = a.cfg.Net.NewBatchScratch(n)
+	} else {
+		a.scratch.Grow(n)
+	}
+	a.scratch.LUT = a.lut
+	if cap(a.flatIn) < n*inW {
+		a.flatIn = make([]float64, n*inW)
+	}
+	if cap(a.flatOut) < n*outW {
+		a.flatOut = make([]float64, n*outW)
+	}
+	return inW, outW
+}
+
+// stageInput projects and normalises one kernel input into a flat row.
+func (a *Accelerator) stageInput(row, in []float64) {
+	if a.cfg.Features == nil {
+		if len(in) != len(row) {
+			panic(fmt.Sprintf("accel: input width %d, network wants %d", len(in), len(row)))
+		}
+		a.cfg.Scaler.ScaleInTo(row, in)
+		return
+	}
+	for i, idx := range a.cfg.Features {
+		row[i] = in[idx]
+	}
+	a.cfg.Scaler.ScaleInTo(row, row)
+}
+
+// forwardStaged runs the staged flat input batch through the configured
+// datapath and bumps the activity counters.
+func (a *Accelerator) forwardStaged(n, inW, outW int) {
+	in, out := a.flatIn[:n*inW], a.flatOut[:n*outW]
+	if a.fixed != nil {
+		a.fixed.ForwardBatch(out, in, n, a.scratch)
+	} else {
+		a.cfg.Net.ForwardBatch(out, in, n, a.scratch)
+	}
+	a.stats.Invocations += n
+	a.stats.MACs += n * a.cfg.Net.Topo.MACs()
+	a.stats.InputWords += n * inW
+	a.stats.OutputWords += n * outW
+}
+
+// Invoke runs one accelerator invocation: project, normalise, forward pass,
+// denormalise. It updates the activity counters. The single allocation is
+// the returned output vector; all intermediates live in recycled scratch.
+func (a *Accelerator) Invoke(in []float64) []float64 {
+	inW, outW := a.ensureBatch(1)
+	a.stageInput(a.flatIn[:inW], in)
+	a.forwardStaged(1, inW, outW)
+	out := make([]float64, outW)
+	a.cfg.Scaler.UnscaleOutTo(out, a.flatOut[:outW])
 	return out
+}
+
+// InvokeBatch runs n = len(inputs) invocations through the fused batch
+// kernel and writes the outputs into dst rows (resized to the kernel output
+// width, reusing capacity — zero steady-state allocations when the caller
+// recycles dst). It implements exec.BatchExecutor: outputs are exactly what
+// Invoke would return element by element, and the counters advance by the
+// same totals.
+func (a *Accelerator) InvokeBatch(dst [][]float64, inputs [][]float64) {
+	n := len(inputs)
+	if n == 0 {
+		return
+	}
+	if len(dst) < n {
+		panic("accel: InvokeBatch dst shorter than inputs")
+	}
+	inW, outW := a.ensureBatch(n)
+	for e, in := range inputs {
+		a.stageInput(a.flatIn[e*inW:(e+1)*inW], in)
+	}
+	a.forwardStaged(n, inW, outW)
+	for e := 0; e < n; e++ {
+		row := dst[e]
+		if cap(row) < outW {
+			row = make([]float64, outW)
+		} else {
+			row = row[:outW]
+		}
+		a.cfg.Scaler.UnscaleOutTo(row, a.flatOut[e*outW:(e+1)*outW])
+		dst[e] = row
+	}
 }
 
 // InvokeAll runs the accelerator over a whole input set, returning one

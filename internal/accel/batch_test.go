@@ -1,0 +1,186 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"rumba/internal/exec"
+	"rumba/internal/nn"
+	"rumba/internal/rng"
+)
+
+var _ exec.BatchExecutor = (*Accelerator)(nil)
+
+func batchTestConfig(t *testing.T, features []int) Config {
+	t.Helper()
+	r := rng.NewNamed("accel/batch/config")
+	inputs := [][]float64{{-1, -2, 0, 1}, {2, 3, 1, -1}, {0.5, 0.5, 0.5, 0.5}}
+	targets := [][]float64{{0, 5}, {2, -5}, {1, 0}}
+	cfg := Config{
+		Net:      nn.New(nn.MustTopology("4->6->2"), nn.Sigmoid, nn.Linear, r),
+		Scaler:   nn.FitScaler(inputs, targets),
+		Features: features,
+	}
+	return cfg
+}
+
+func batchTestInputs(n, dim int) [][]float64 {
+	r := rng.NewNamed("accel/batch/inputs")
+	ins := make([][]float64, n)
+	for i := range ins {
+		in := make([]float64, dim)
+		for j := range in {
+			in[j] = r.Range(-3, 3)
+		}
+		ins[i] = in
+	}
+	return ins
+}
+
+// TestInvokeMatchesReferenceComposition pins the batch-routed Invoke to the
+// plain scalar composition it replaced: project -> ScaleIn -> Forward ->
+// UnscaleOut, bit for bit.
+func TestInvokeMatchesReferenceComposition(t *testing.T) {
+	for _, features := range [][]int{nil, {3, 0, 2, 1}} {
+		cfg := batchTestConfig(t, features)
+		a, err := New(cfg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim := 4
+		for _, in := range batchTestInputs(16, dim) {
+			proj := in
+			if features != nil {
+				proj = make([]float64, len(features))
+				for i, idx := range features {
+					proj[i] = in[idx]
+				}
+			}
+			want := cfg.Scaler.UnscaleOut(cfg.Net.Forward(cfg.Scaler.ScaleIn(proj)))
+			got := a.Invoke(in)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("features=%v: out[%d] = %v, reference %v", features, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInvokeBatchMatchesInvoke checks the fused batch path against n
+// independent Invoke calls on an identically configured accelerator — same
+// outputs bit for bit and the same final activity counters — across the
+// float, fixed-point and LUT datapaths.
+func TestInvokeBatchMatchesInvoke(t *testing.T) {
+	cases := []struct {
+		name     string
+		features []int
+		fixed    bool
+		lut      bool
+	}{
+		{name: "float/all-inputs"},
+		{name: "float/projected", features: []int{3, 0, 2, 1}},
+		{name: "float/lut", lut: true},
+		{name: "fixed", fixed: true},
+		{name: "fixed/projected", features: []int{1, 2, 0, 3}, fixed: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := batchTestConfig(t, tc.features)
+			mk := func() *Accelerator {
+				a, err := New(cfg, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tc.fixed {
+					if err := a.SetFixedPoint(nn.FixedFormat{IntBits: 8, FracBits: 10}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				a.SetBatchLUT(tc.lut)
+				return a
+			}
+			for _, n := range []int{1, 7, 64} {
+				ins := batchTestInputs(n, 4)
+				scalar := mk()
+				want := make([][]float64, n)
+				for i, in := range ins {
+					want[i] = scalar.Invoke(in)
+				}
+				batched := mk()
+				got := make([][]float64, n)
+				batched.InvokeBatch(got, ins)
+				for i := range want {
+					for j := range want[i] {
+						if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+							t.Fatalf("n=%d: out[%d][%d] = %v, scalar %v", n, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+				if batched.Stats() != scalar.Stats() {
+					t.Fatalf("n=%d: batch stats %+v != scalar stats %+v", n, batched.Stats(), scalar.Stats())
+				}
+			}
+		})
+	}
+}
+
+// TestInvokeBatchReusesDstCapacity checks the callee resizes dst rows in
+// place when capacity suffices (the contract callers rely on for the
+// zero-allocation loop) and replaces too-small rows.
+func TestInvokeBatchReusesDstCapacity(t *testing.T) {
+	a, err := New(batchTestConfig(t, nil), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := batchTestInputs(3, 4)
+	dst := [][]float64{make([]float64, 0, 8), nil, make([]float64, 5)[:1]}
+	backing := dst[0][:1]
+	a.InvokeBatch(dst, ins)
+	for i, row := range dst {
+		if len(row) != 2 {
+			t.Fatalf("row %d resized to %d, want the output width 2", i, len(row))
+		}
+	}
+	if &dst[0][0] != &backing[0] {
+		t.Fatal("row with sufficient capacity must be reused, not reallocated")
+	}
+}
+
+// TestInvokeBatchAllocs locks in the zero-steady-state-allocation property
+// of the fused path with recycled destination rows.
+func TestInvokeBatchAllocs(t *testing.T) {
+	a, err := New(batchTestConfig(t, []int{0, 1, 2, 3}), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	ins := batchTestInputs(n, 4)
+	dst := make([][]float64, n)
+	a.InvokeBatch(dst, ins) // warm-up: grows scratch and dst rows
+	if got := testing.AllocsPerRun(50, func() {
+		a.InvokeBatch(dst, ins)
+	}); got != 0 {
+		t.Fatalf("InvokeBatch allocates %v times per run at steady state, want 0", got)
+	}
+	if got := testing.AllocsPerRun(50, func() {
+		a.Invoke(ins[0])
+	}); got != 1 {
+		t.Fatalf("Invoke allocates %v times per run, want exactly 1 (the returned vector)", got)
+	}
+}
+
+// TestInvokeRejectsWidthMismatch: the staged path must fail loudly, not read
+// stale scratch, when a caller passes the wrong input width.
+func TestInvokeRejectsWidthMismatch(t *testing.T) {
+	a, err := New(batchTestConfig(t, nil), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic on input width mismatch")
+		}
+	}()
+	a.Invoke([]float64{1, 2})
+}

@@ -19,6 +19,14 @@ import (
 //     cancellation path: if the receiver goes away, the goroutine leaks.
 //     Sends on channels created and closed by the spawning function are
 //     that function's own protocol and are not flagged.
+//   - A value taken from a sync.Pool with Get and handed back with Put must
+//     not be touched afterwards: another goroutine may already own it. The
+//     check is textual within one function — a use of the variable after
+//     its Put with no intervening re-assignment is flagged, as is a return
+//     of the variable while a direct `defer pool.Put(x)` is pending. Puts
+//     inside deferred closures are commonly conditional (a recycle flag
+//     cleared on escaping paths), so they are not treated as misuse; Gets
+//     hidden behind helper functions are likewise out of scope.
 
 // lockKind names the sync type a type carries by value, or "".
 func lockKind(t types.Type) string {
@@ -57,7 +65,7 @@ func lockKind(t types.Type) string {
 // AnalyzerConcurrency runs the hygiene checks over every function.
 var AnalyzerConcurrency = &Analyzer{
 	Name:     "concurrency",
-	Doc:      "locks passed by value, goroutines capturing loop variables, and unguarded channel sends in goroutines",
+	Doc:      "locks passed by value, goroutines capturing loop variables, unguarded channel sends in goroutines, and sync.Pool values retained past their Put",
 	Severity: SeverityWarning,
 	Run: func(p *Pass) {
 		info := p.Pkg.Info
@@ -70,6 +78,7 @@ var AnalyzerConcurrency = &Analyzer{
 				checkByValueLocks(p, fd)
 				if fd.Body != nil {
 					checkGoroutines(p, info, fd)
+					checkPoolRetention(p, info, fd)
 				}
 			}
 		}
@@ -210,6 +219,197 @@ func checkGoLit(p *Pass, info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit, i
 		walkChildren(n, func(c ast.Node) { inSelect(c, guarded) })
 	}
 	inSelect(lit.Body, false)
+}
+
+// checkPoolRetention flags sync.Pool-returned values used after their Put.
+// Once Put hands a value back, another goroutine's Get may own it, so any
+// later use is a data race in waiting. The check tracks variables assigned
+// from a direct pool.Get() (optionally through a type assertion) and
+// reports, in textual order within the function body:
+//
+//   - a use of the variable after a non-deferred Put on it, unless the
+//     variable was re-assigned (e.g. re-Get) in between;
+//   - a return whose results mention the variable while a direct
+//     `defer pool.Put(x)` is pending — the caller receives a reference the
+//     pool already considers free.
+//
+// Puts inside deferred closures are exempt: the idiomatic escape hatch is a
+// recycle flag the closure checks, which a textual analysis cannot see.
+func checkPoolRetention(p *Pass, info *types.Info, fd *ast.FuncDecl) {
+	isPool := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok {
+			return false
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+	}
+	poolCall := func(n ast.Node, method string) (*ast.CallExpr, bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method || !isPool(sel.X) {
+			return nil, false
+		}
+		return call, true
+	}
+	// fromGet reports whether e is pool.Get() or pool.Get().(T).
+	fromGet := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if ta, ok := e.(*ast.TypeAssertExpr); ok {
+			e = ast.Unparen(ta.X)
+		}
+		_, ok := poolCall(e, "Get")
+		return ok
+	}
+
+	type span struct{ pos, end token.Pos }
+	type tracked struct {
+		puts     []span      // non-deferred Put calls on this variable
+		assigns  []token.Pos // re-assignments (a re-Get revives the variable)
+		deferred bool        // a direct `defer pool.Put(x)` is pending
+	}
+	vars := map[types.Object]*tracked{}
+
+	// Pass 1: collect Get assignments, Puts, re-assignments and defers.
+	// Deferred calls (direct or inside deferred closures) are remembered so
+	// the CallExpr walk below does not mistake them for immediate Puts.
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit, func(c ast.Node) bool {
+					if call, ok := c.(*ast.CallExpr); ok {
+						deferredCalls[call] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	argObj := func(call *ast.CallExpr) types.Object {
+		if len(call.Args) != 1 {
+			return nil
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+		return nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if fromGet(v.Rhs[i]) {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					if tr := vars[obj]; tr != nil {
+						tr.assigns = append(tr.assigns, id.Pos())
+					} else {
+						vars[obj] = &tracked{}
+					}
+				} else if obj := info.Uses[id]; obj != nil {
+					if tr := vars[obj]; tr != nil {
+						tr.assigns = append(tr.assigns, id.Pos())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if call, ok := poolCall(v, "Put"); ok && !deferredCalls[call] {
+				if obj := argObj(call); obj != nil {
+					if tr := vars[obj]; tr != nil {
+						tr.puts = append(tr.puts, span{call.Pos(), call.End()})
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if call, ok := poolCall(v.Call, "Put"); ok {
+				if obj := argObj(call); obj != nil {
+					if tr := vars[obj]; tr != nil {
+						tr.deferred = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+
+	// Pass 2: report uses after a Put, and returns under a deferred Put.
+	revived := func(tr *tracked, put span, use token.Pos) bool {
+		for _, a := range tr.assigns {
+			if a > put.end && a <= use {
+				return true
+			}
+		}
+		return false
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, res := range ret.Results {
+				ast.Inspect(res, func(c ast.Node) bool {
+					id, ok := c.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[id]
+					tr := vars[obj]
+					if tr == nil || reported[obj] || !tr.deferred {
+						return true
+					}
+					reported[obj] = true
+					p.Reportf(id.Pos(), "%s escapes via return while a deferred Put hands it back to its sync.Pool", id.Name)
+					return true
+				})
+			}
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		tr := vars[obj]
+		if tr == nil || reported[obj] {
+			return true
+		}
+		for _, put := range tr.puts {
+			// The Put's own argument is not a retention.
+			if id.Pos() >= put.pos && id.Pos() < put.end {
+				continue
+			}
+			if id.Pos() > put.end && !revived(tr, put, id.Pos()) {
+				reported[obj] = true
+				p.Reportf(id.Pos(), "%s is used after being returned to its sync.Pool with Put; another goroutine may already own it", id.Name)
+				break
+			}
+		}
+		return true
+	})
 }
 
 // chanRoot resolves the base variable of a channel expression.

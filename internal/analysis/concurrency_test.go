@@ -157,6 +157,125 @@ func pipeline(n int) <-chan int {
 }`,
 			want: 0,
 		},
+		{
+			name: "pool value used after Put",
+			src: `package p
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+func leak() int {
+	buf := bufPool.Get().([]byte)
+	bufPool.Put(buf)
+	return len(buf)
+}`,
+			want: 1, // one report per variable, at its first use past the Put
+			subs: []string{"used after being returned to its sync.Pool"},
+		},
+		{
+			name: "put as the last act is fine",
+			src: `package p
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+func ok() int {
+	buf := bufPool.Get().([]byte)
+	n := len(buf)
+	bufPool.Put(buf)
+	return n
+}`,
+			want: 0,
+		},
+		{
+			name: "re-get after put revives the variable",
+			src: `package p
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+func cycle() int {
+	buf := bufPool.Get().([]byte)
+	bufPool.Put(buf)
+	buf = bufPool.Get().([]byte)
+	n := len(buf)
+	bufPool.Put(buf)
+	return n
+}`,
+			want: 0,
+		},
+		{
+			name: "returning a value whose Put is deferred",
+			src: `package p
+
+import "sync"
+
+type req struct{ body []byte }
+
+var reqPool = sync.Pool{New: func() any { return new(req) }}
+
+func parse() *req {
+	r := reqPool.Get().(*req)
+	defer reqPool.Put(r)
+	return r
+}`,
+			want: 1,
+			subs: []string{"escapes via return while a deferred Put"},
+		},
+		{
+			name: "conditional put in a deferred closure is the sanctioned escape hatch",
+			src: `package p
+
+import "sync"
+
+type req struct{ body []byte }
+
+var reqPool = sync.Pool{New: func() any { return new(req) }}
+
+func handle(fail bool) int {
+	r := reqPool.Get().(*req)
+	recycle := true
+	defer func() {
+		if recycle {
+			reqPool.Put(r)
+		}
+	}()
+	if fail {
+		recycle = false
+		return 0
+	}
+	return len(r.body)
+}`,
+			want: 0,
+		},
+		{
+			name: "get through a helper is out of scope",
+			src: `package p
+
+import "sync"
+
+type batch struct{ items []int }
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func newBatch() *batch {
+	b := batchPool.Get().(*batch)
+	b.items = b.items[:0]
+	return b
+}
+
+func merge(pending map[int]int) {
+	b := newBatch()
+	for i, v := range b.items {
+		pending[i] = v
+	}
+	batchPool.Put(b)
+}`,
+			want: 0,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,291 @@
+package bench_test
+
+// Hot-path benchmark suite: the scalar-vs-batch pairs behind the batched
+// allocation-free datapath. Every benchmark reports ns/elem (per-element
+// latency, the unit the paper's NPU-vs-CPU comparisons use) next to Go's
+// per-op numbers, and -benchmem makes the zero-allocation claim visible.
+// ci.sh runs the suite at -benchtime=100x as a smoke test; the hotpath
+// experiment (rumba-bench -exp hotpath) runs it at full fidelity and writes
+// BENCH_hotpath.json.
+//
+// The benchmarks live in bench_test (not bench) so they can build a full
+// core.Stream: core imports bench, so the internal test package would cycle.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/core"
+	"rumba/internal/nn"
+	"rumba/internal/predictor"
+	"rumba/internal/rng"
+)
+
+// hotTopo is the acceptance-criterion network: 6->8->4->1, the shape of a
+// typical Table 1 Rumba checker-augmented accelerator.
+const hotTopoStr = "6->8->4->1"
+
+func hotNet() *nn.Network {
+	return nn.New(nn.MustTopology(hotTopoStr), nn.Sigmoid, nn.Linear, rng.NewNamed("bench/hotpath/net"))
+}
+
+// hotFlat returns n row-major input rows for the hot network, flattened.
+func hotFlat(n, dim int) []float64 {
+	r := rng.NewNamed("bench/hotpath/in")
+	flat := make([]float64, n*dim)
+	for i := range flat {
+		flat[i] = r.Range(-1, 1)
+	}
+	return flat
+}
+
+// hotRows returns n input rows as slices (views into one backing array).
+func hotRows(n, dim int) [][]float64 {
+	flat := hotFlat(n, dim)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
+}
+
+func reportPerElem(b *testing.B, elems int) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*elems), "ns/elem")
+}
+
+// BenchmarkForward is the scalar reference: one element per Forward call on
+// the float64 exp-based datapath, exactly what the pre-batching runtime ran.
+func BenchmarkForward(b *testing.B) {
+	net := hotNet()
+	rows := hotRows(256, 6)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := net.Forward(rows[i%len(rows)])
+		sink += out[0]
+	}
+	b.StopTimer()
+	reportPerElem(b, 1)
+	_ = sink
+}
+
+// BenchmarkForwardBatch sweeps batch sizes over both float datapaths:
+// exp-N is bit-for-bit equal to Forward, lut-N is the NPU's table-lookup
+// sigmoid. The batch kernel itself allocates nothing (0 allocs/op).
+func BenchmarkForwardBatch(b *testing.B) {
+	for _, lut := range []bool{false, true} {
+		name := "exp"
+		if lut {
+			name = "lut"
+		}
+		for _, n := range []int{1, 8, 64, 256} {
+			b.Run(fmt.Sprintf("%s-%d", name, n), func(b *testing.B) {
+				net := hotNet()
+				scratch := net.NewBatchScratch(n)
+				scratch.LUT = lut
+				in := hotFlat(n, 6)
+				dst := make([]float64, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					net.ForwardBatch(dst, in, n, scratch)
+				}
+				b.StopTimer()
+				reportPerElem(b, n)
+			})
+		}
+	}
+}
+
+// BenchmarkFixedForward is the scalar fixed-point (Q6.10) reference — the
+// quantised NPU datapath, one element per call.
+func BenchmarkFixedForward(b *testing.B) {
+	q, err := nn.Quantize(hotNet(), nn.DefaultFixedFormat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := hotRows(256, 6)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := q.Forward(rows[i%len(rows)])
+		sink += out[0]
+	}
+	b.StopTimer()
+	reportPerElem(b, 1)
+	_ = sink
+}
+
+// BenchmarkFixedForwardBatch is the batched fixed-point kernel — the
+// headline acceptance pair against BenchmarkFixedForward (>= 3x ns/elem at
+// batch 64 on 6->8->4->1, 0 allocs/op).
+func BenchmarkFixedForwardBatch(b *testing.B) {
+	q, err := nn.Quantize(hotNet(), nn.DefaultFixedFormat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			scratch := q.NewBatchScratch(n)
+			in := hotFlat(n, 6)
+			dst := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.ForwardBatch(dst, in, n, scratch)
+			}
+			b.StopTimer()
+			reportPerElem(b, n)
+		})
+	}
+}
+
+// hotPredictors builds the three checker families on synthetic data with a
+// shared shape (6 kernel inputs, 1 output).
+func hotPredictors(b *testing.B) (lin *predictor.Linear, tree *predictor.Tree, ema *predictor.EMA) {
+	b.Helper()
+	r := rng.NewNamed("bench/hotpath/pred")
+	ins := make([][]float64, 512)
+	errs := make([]float64, len(ins))
+	for i := range ins {
+		in := make([]float64, 6)
+		for j := range in {
+			in[j] = r.Range(-1, 1)
+		}
+		ins[i] = in
+		errs[i] = r.Float64() * 0.3
+	}
+	lin, err := predictor.FitLinear(ins, errs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err = predictor.FitTree(ins, errs, nil, predictor.TreeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lin, tree, predictor.NewEMA(1, 1)
+}
+
+// BenchmarkPredict pairs each checker's scalar walk with its fused batch
+// kernel at batch 64. The scalar side calls PredictError per element — the
+// pre-batching detection loop — and the batch side one PredictErrorBatch.
+func BenchmarkPredict(b *testing.B) {
+	lin, tree, ema := hotPredictors(b)
+	const n = 64
+	ins := hotRows(n, 6)
+	outs := hotRows(n, 1)
+	dst := make([]float64, n)
+	for _, tc := range []struct {
+		name string
+		p    predictor.Predictor
+	}{
+		{"linear", lin}, {"tree", tree}, {"ema", ema},
+	} {
+		b.Run(tc.name+"-scalar", func(b *testing.B) {
+			var sink float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for e := 0; e < n; e++ {
+					sink += tc.p.PredictError(ins[e], outs[e])
+				}
+			}
+			b.StopTimer()
+			reportPerElem(b, n)
+			_ = sink
+		})
+		b.Run(tc.name+"-batch", func(b *testing.B) {
+			tc.p.PredictErrorBatch(dst, ins, outs) // warm (tree flattens once)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tc.p.PredictErrorBatch(dst, ins, outs)
+			}
+			b.StopTimer()
+			reportPerElem(b, n)
+		})
+	}
+}
+
+// hotSpec is a synthetic pure kernel matching the hot network's shape; the
+// stream benchmark never recovers (the checker below predicts 0), so only
+// the approximate datapath is exercised.
+func hotSpec() *bench.Spec {
+	return &bench.Spec{
+		Name:   "hotpath",
+		InDim:  6,
+		OutDim: 1,
+		Exact: func(in []float64) []float64 {
+			s := 0.0
+			for _, v := range in {
+				s += v
+			}
+			return []float64{s}
+		},
+		Scale: 1,
+	}
+}
+
+func hotAccel(b *testing.B) *accel.Accelerator {
+	b.Helper()
+	rows := hotRows(64, 6)
+	targets := make([][]float64, len(rows))
+	for i, in := range rows {
+		targets[i] = hotSpec().Exact(in)
+	}
+	acc, err := accel.New(accel.Config{Net: hotNet(), Scaler: nn.FitScaler(rows, targets)}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc.SetBatchLUT(true)
+	return acc
+}
+
+// BenchmarkStream pushes one slice through the full streaming runtime —
+// detection, checker, tuner boundary, merger — at BatchSize 1 (the scalar
+// runtime) and 64. Both sides use the LUT datapath and a never-firing
+// linear checker, so the pair isolates the batching win in the runtime
+// itself: chunked gathers, fused kernels, pooled result batches.
+func BenchmarkStream(b *testing.B) {
+	const elems = 4096
+	inputs := hotRows(elems, 6)
+	spec := hotSpec()
+	acc := hotAccel(b)
+	for _, bs := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch-%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tuner, err := core.NewTuner(core.ModeTOQ, 0.10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := core.NewStream(core.Config{
+					Spec:           spec,
+					Accel:          acc,
+					Checker:        &predictor.Linear{Weights: make([]float64, 6)},
+					Tuner:          tuner,
+					BatchSize:      bs,
+					InvocationSize: 1 << 20, // no tuner boundary inside the run
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				results, err := st.ProcessSlice(context.Background(), inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != elems {
+					b.Fatalf("got %d results", len(results))
+				}
+			}
+			b.StopTimer()
+			reportPerElem(b, elems)
+		})
+	}
+}

@@ -19,24 +19,11 @@ func (st *Stream) ProcessSlice(ctx context.Context, inputs [][]float64) ([]Strea
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	in := make(chan []float64)
-	go func() {
-		defer close(in)
-		for _, v := range inputs {
-			select {
-			case in <- v:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	out, err := st.Process(ctx, in)
+	// The inputs are already materialised, so detection reads BatchSize
+	// windows of the slice directly — no feeder goroutine, no per-element
+	// channel hop on the way in.
+	out, err := st.process(ctx, sliceSource(inputs))
 	if err != nil {
-		// Drain the feeder so a startup error (stream reuse) cannot leak it.
-		go func() {
-			for range in {
-			}
-		}()
 		return nil, err
 	}
 	results := make([]StreamResult, 0, len(inputs))

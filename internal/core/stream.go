@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rumba/internal/exec"
 	"rumba/internal/obs"
 	"rumba/internal/quality"
 )
@@ -142,9 +143,84 @@ type recoveryJob struct {
 	pred   float64
 }
 
-// mergeItem travels from both stages to the output merger.
-type mergeItem struct {
-	res StreamResult
+// resultBatch carries a group of results from a producing stage to the
+// output merger in one channel hop. Batches are pooled: the merger copies
+// the items into its reorder buffer and returns the batch immediately, so
+// ownership is strictly producer -> merger and a batch never outlives one
+// hop. The StreamResult.Output slices inside are NOT pooled — they escape
+// to the consumer.
+type resultBatch struct {
+	items []StreamResult
+}
+
+var resultBatchPool = sync.Pool{New: func() any { return &resultBatch{} }}
+
+// newResultBatch takes an empty batch from the pool.
+func newResultBatch() *resultBatch {
+	b := resultBatchPool.Get().(*resultBatch)
+	b.items = b.items[:0]
+	return b
+}
+
+// inputSource yields the next chunk of stream inputs. buf (capacity =
+// BatchSize) is scratch the source may fill and return, or it may return
+// its own sub-slice. A nil chunk with ok=true is end of stream; ok=false is
+// cancellation. The returned chunk is only valid until the next call.
+type inputSource func(ctx context.Context, buf [][]float64) ([][]float64, bool)
+
+// chanSource adapts an input channel: it blocks for the first element of a
+// chunk, then fills the rest non-blockingly with whatever is already
+// queued. A trickling producer therefore still gets per-element latency —
+// batching only kicks in when elements actually queue up.
+func chanSource(inputs <-chan []float64) inputSource {
+	return func(ctx context.Context, buf [][]float64) ([][]float64, bool) {
+		buf = buf[:0]
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case v, ok := <-inputs:
+			if !ok {
+				return nil, true
+			}
+			buf = append(buf, v)
+		}
+		for len(buf) < cap(buf) {
+			select {
+			case v, ok := <-inputs:
+				if !ok {
+					// Closed mid-fill: hand back the partial chunk; the
+					// next call's blocking receive sees the close and
+					// reports end of stream.
+					return buf, true
+				}
+				buf = append(buf, v)
+			default:
+				return buf, true
+			}
+		}
+		return buf, true
+	}
+}
+
+// sliceSource yields BatchSize-wide windows of a finite input slice with no
+// feeder goroutine or channel copies at all.
+func sliceSource(inputs [][]float64) inputSource {
+	pos := 0
+	return func(ctx context.Context, buf [][]float64) ([][]float64, bool) {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if pos >= len(inputs) {
+			return nil, true
+		}
+		n := cap(buf)
+		if rem := len(inputs) - pos; rem < n {
+			n = rem
+		}
+		chunk := inputs[pos : pos+n]
+		pos += n
+		return chunk, true
+	}
 }
 
 // Process consumes the input channel and returns the merged, in-order
@@ -153,7 +229,16 @@ type mergeItem struct {
 // first); on cancellation every pipeline goroutine exits and undelivered
 // elements are dropped. Process returns ErrStreamReused when called a
 // second time — the per-run detection and tuner state is single-shot.
+//
+// Detection runs in Config.BatchSize chunks through the fused batch kernels
+// (exec.BatchExecutor, predictor.PredictErrorBatch); recovery and delivery
+// stay per-element, so firing thresholds, Degraded semantics and result
+// order are identical at every batch size.
 func (st *Stream) Process(ctx context.Context, inputs <-chan []float64) (<-chan StreamResult, error) {
+	return st.process(ctx, chanSource(inputs))
+}
+
+func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamResult, error) {
 	if !st.started.CompareAndSwap(false, true) {
 		return nil, ErrStreamReused
 	}
@@ -164,7 +249,7 @@ func (st *Stream) Process(ctx context.Context, inputs <-chan []float64) (<-chan 
 	// The recovery queue: bounded, so a slow CPU back-pressures detection
 	// exactly like the hardware queue of Figure 4 would.
 	recovery := make(chan recoveryJob, st.sys.cfg.RecoveryQueueCap)
-	merged := make(chan mergeItem, 64)
+	merged := make(chan *resultBatch, 64)
 	// tokens is the in-flight window: detection acquires a slot per
 	// element before emitting it anywhere, the merger releases the slot on
 	// delivery. The merger's reorder buffer therefore never holds more
@@ -194,99 +279,184 @@ func (st *Stream) Process(ctx context.Context, inputs <-chan []float64) (<-chan 
 				}
 				st.gQueue.Add(-1)
 				res := st.recoverOne(ctx, job)
+				b := newResultBatch()
+				b.items = append(b.items, res)
 				select {
-				case merged <- mergeItem{res: res}:
+				case merged <- b:
 				case <-ctx.Done():
+					resultBatchPool.Put(b)
 					return
 				}
 			}
 		}()
 	}
 
-	// Detection stage: runs the accelerator and the checker, splits
-	// elements between the direct path and the recovery queue, and drives
-	// the online tuner at invocation boundaries.
+	// Detection stage: gathers inputs in BatchSize chunks, runs the fused
+	// accelerator and checker batch kernels, splits elements between the
+	// direct path and the recovery queue, and drives the online tuner at
+	// invocation boundaries. Direct-path results accumulate into a pooled
+	// batch flushed once per chunk — one channel hop instead of one per
+	// element — but are always flushed BEFORE any blocking send or token
+	// acquire: the merger can only release in-flight slots for elements it
+	// has seen, so blocking while holding unflushed results would deadlock
+	// once BatchSize approaches MaxInFlight.
 	go func() {
-		if st.sys.cfg.Checker != nil {
-			st.sys.cfg.Checker.Reset()
+		cfg := &st.sys.cfg
+		if cfg.Checker != nil {
+			cfg.Checker.Reset()
 		}
-		if st.sys.cfg.Tuner != nil {
-			st.gThreshold.Set(st.sys.cfg.Tuner.Threshold)
+		if cfg.Tuner != nil {
+			st.gThreshold.Set(cfg.Tuner.Threshold)
 		}
+		batch := cfg.BatchSize
+		outW := cfg.Spec.OutDim
+		gather := make([][]float64, 0, batch)
+		rows := make([][]float64, batch)
+		preds := make([]float64, batch)
+		var direct *resultBatch
+
+		// flushDirect hands the accumulated direct-path results to the
+		// merger. false means the stream was cancelled.
+		flushDirect := func() bool {
+			if direct == nil || len(direct.items) == 0 {
+				return true
+			}
+			select {
+			case merged <- direct:
+				direct = nil
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		abort := func() {
+			if direct != nil {
+				resultBatchPool.Put(direct)
+			}
+		}
+
 		idx := 0
 		invFixed := 0
 		invStart := 0
 		for {
-			var in []float64
-			select {
-			case <-ctx.Done():
+			chunk, alive := src(ctx, gather)
+			if !alive {
+				abort()
 				return
-			case v, ok := <-inputs:
-				if !ok {
-					// Normal end of stream: drain the pool, then
-					// let the merger finish.
-					close(recovery)
-					wg.Wait()
-					close(merged)
+			}
+			if len(chunk) == 0 {
+				// Normal end of stream: flush the tail, drain the pool,
+				// then let the merger finish.
+				if !flushDirect() {
+					abort()
 					return
 				}
-				in = v
+				close(recovery)
+				wg.Wait()
+				close(merged)
+				return
 			}
+			n := len(chunk)
 			start := time.Now()
-			approx := st.sys.cfg.Accel.Invoke(in)
-			var pred float64
-			fire := false
-			if st.sys.cfg.Checker != nil {
-				pred = st.sys.cfg.Checker.PredictError(in, approx)
-				fire = pred > st.sys.cfg.Tuner.Threshold
+			// One flat allocation backs the whole chunk's outputs; a batch
+			// executor fills the rows in place (rows escape to the consumer
+			// through StreamResult.Output, so they cannot be pooled). The
+			// three-index slice keeps a fallback executor's fresh rows from
+			// being silently clipped by a neighbour's capacity.
+			flat := make([]float64, n*outW)
+			for i := 0; i < n; i++ {
+				rows[i] = flat[i*outW : (i+1)*outW : (i+1)*outW]
 			}
-			st.hDetect.Observe(float64(time.Since(start)))
-			st.mIn.Inc()
-			select {
-			case tokens <- struct{}{}:
+			exec.InvokeBatch(cfg.Accel, rows[:n], chunk)
+			if cfg.Checker != nil {
+				cfg.Checker.PredictErrorBatch(preds[:n], chunk, rows[:n])
+			}
+			perElement := float64(time.Since(start)) / float64(n)
+			for i := 0; i < n; i++ {
+				st.hDetect.Observe(perElement)
+			}
+			st.mIn.Add(int64(n))
+
+			for i := 0; i < n; i++ {
+				pred := 0.0
+				fire := false
+				if cfg.Checker != nil {
+					pred = preds[i]
+					fire = pred > cfg.Tuner.Threshold
+				}
+				// Acquire the in-flight slot, flushing first if we must wait.
+				select {
+				case tokens <- struct{}{}:
+				default:
+					if !flushDirect() {
+						abort()
+						return
+					}
+					select {
+					case tokens <- struct{}{}:
+					case <-ctx.Done():
+						abort()
+						return
+					}
+				}
 				st.gInFlight.Add(1)
-			case <-ctx.Done():
+				if fire {
+					invFixed++
+					st.mFires.Inc()
+					job := recoveryJob{index: idx, input: chunk[i], approx: rows[i], pred: pred}
+					select {
+					case recovery <- job:
+						st.gQueue.Add(1)
+					default:
+						if !flushDirect() {
+							abort()
+							return
+						}
+						select {
+						case recovery <- job:
+							st.gQueue.Add(1)
+						case <-ctx.Done():
+							abort()
+							return
+						}
+					}
+				} else {
+					if direct == nil {
+						direct = newResultBatch()
+					}
+					direct.items = append(direct.items, StreamResult{Index: idx, Output: rows[i], PredictedError: pred})
+				}
+				idx++
+				if cfg.Tuner != nil && idx-invStart >= cfg.InvocationSize {
+					cfg.Tuner.Observe(InvocationStats{
+						Elements:       idx - invStart,
+						Fixed:          invFixed,
+						CPUUtilisation: st.sys.estimateUtilisation(invFixed, idx-invStart),
+					})
+					st.mInvocations.Inc()
+					st.gThreshold.Set(cfg.Tuner.Threshold)
+					invStart = idx
+					invFixed = 0
+				}
+			}
+			if !flushDirect() {
+				abort()
 				return
-			}
-			if fire {
-				invFixed++
-				st.mFires.Inc()
-				select {
-				case recovery <- recoveryJob{index: idx, input: in, approx: approx, pred: pred}:
-					st.gQueue.Add(1)
-				case <-ctx.Done():
-					return
-				}
-			} else {
-				select {
-				case merged <- mergeItem{res: StreamResult{Index: idx, Output: approx, PredictedError: pred}}:
-				case <-ctx.Done():
-					return
-				}
-			}
-			idx++
-			if st.sys.cfg.Tuner != nil && idx-invStart >= st.sys.cfg.InvocationSize {
-				st.sys.cfg.Tuner.Observe(InvocationStats{
-					Elements:       idx - invStart,
-					Fixed:          invFixed,
-					CPUUtilisation: st.sys.estimateUtilisation(invFixed, idx-invStart),
-				})
-				st.mInvocations.Inc()
-				st.gThreshold.Set(st.sys.cfg.Tuner.Threshold)
-				invStart = idx
-				invFixed = 0
 			}
 		}
 	}()
 
 	// Output merger: reorders the two paths back into stream order and
-	// releases in-flight slots as elements leave the pipeline.
+	// releases in-flight slots as elements leave the pipeline. Incoming
+	// batches are copied into the reorder buffer and returned to the pool
+	// in the same iteration — the merger never retains a pooled batch
+	// across channel receives.
 	go func() {
 		defer close(out)
 		pending := make(map[int]StreamResult)
 		next := 0
 		for {
-			var item mergeItem
+			var b *resultBatch
 			select {
 			case <-ctx.Done():
 				return
@@ -300,9 +470,12 @@ func (st *Stream) Process(ctx context.Context, inputs <-chan []float64) (<-chan 
 					}
 					return
 				}
-				item = it
+				b = it
 			}
-			pending[item.res.Index] = item.res
+			for _, r := range b.items {
+				pending[r.Index] = r
+			}
+			resultBatchPool.Put(b)
 			st.gPending.Set(float64(len(pending)))
 			for {
 				r, ok := pending[next]
@@ -361,6 +534,11 @@ func (st *Stream) runExact(ctx context.Context, in []float64) (out []float64, ok
 	if st.sys.cfg.RecoveryDeadline <= 0 {
 		return st.callExact(in)
 	}
+	// The helper goroutine can be abandoned past the deadline and finish
+	// long after the stream completed, so it must not retain caller-owned
+	// input memory — a serving layer recycles request buffers as soon as
+	// ProcessSlice returns successfully.
+	in = append([]float64(nil), in...)
 	type exactResult struct {
 		out []float64
 		ok  bool

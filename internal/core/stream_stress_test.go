@@ -74,8 +74,11 @@ type scoreChecker struct{}
 
 func (scoreChecker) Name() string                         { return "score" }
 func (scoreChecker) PredictError(in, _ []float64) float64 { return in[2] }
-func (scoreChecker) Cost() predictor.Cost                 { return predictor.Cost{} }
-func (scoreChecker) Reset()                               {}
+func (c scoreChecker) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	predictor.ScalarBatch(c, dst, ins, outs)
+}
+func (scoreChecker) Cost() predictor.Cost { return predictor.Cost{} }
+func (scoreChecker) Reset()               {}
 
 // waitForGoroutines polls until the goroutine count settles back to the
 // baseline; abandoned deadline-overrun kernels finish on their own, so a

@@ -33,6 +33,15 @@ type Config struct {
 	// InvocationSize is the number of elements per accelerator invocation
 	// batch (the granularity at which the tuner adapts); <= 0 uses 512.
 	InvocationSize int
+	// BatchSize is the streaming runtime's detection chunk: up to this many
+	// queued elements are gathered per iteration and pushed through the
+	// fused accelerator/checker batch kernels, amortising channel hops and
+	// per-call overhead. Detection latency for the first element of a chunk
+	// grows by at most the time to gather the rest, and gathering never
+	// waits — a chunk is whatever is already queued, so a trickling
+	// producer still sees per-element behaviour. 0 uses 1 (the scalar
+	// path, bit-identical to the pre-batching runtime); < 0 is an error.
+	BatchSize int
 	// RecoveryQueueCap bounds the recovery queue; <= 0 uses 64.
 	RecoveryQueueCap int
 	// RecoveryDeadline bounds one recovery re-execution in the streaming
@@ -104,6 +113,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.MaxInFlight < 0 {
 		return nil, fmt.Errorf("core: negative in-flight window %d", cfg.MaxInFlight)
+	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("core: negative batch size %d", cfg.BatchSize)
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
 	}
 	if cfg.InvocationSize <= 0 {
 		cfg.InvocationSize = 512

@@ -197,8 +197,11 @@ type constantChecker struct{ value float64 }
 
 func (c *constantChecker) Name() string                        { return "constant" }
 func (c *constantChecker) PredictError(_, _ []float64) float64 { return c.value }
-func (c *constantChecker) Cost() predictor.Cost                { return predictor.Cost{Compares: 1} }
-func (c *constantChecker) Reset()                              {}
+func (c *constantChecker) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	predictor.ScalarBatch(c, dst, ins, outs)
+}
+func (c *constantChecker) Cost() predictor.Cost { return predictor.Cost{Compares: 1} }
+func (c *constantChecker) Reset()               {}
 
 // A checker that returns NaN must neither crash the runtime nor fire (NaN
 // comparisons are false), and the report must stay finite.
@@ -222,5 +225,8 @@ type nanChecker struct{}
 
 func (nanChecker) Name() string                        { return "nan" }
 func (nanChecker) PredictError(_, _ []float64) float64 { return math.NaN() }
-func (nanChecker) Cost() predictor.Cost                { return predictor.Cost{} }
-func (nanChecker) Reset()                              {}
+func (c nanChecker) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	predictor.ScalarBatch(c, dst, ins, outs)
+}
+func (nanChecker) Cost() predictor.Cost { return predictor.Cost{} }
+func (nanChecker) Reset()               {}

@@ -21,3 +21,33 @@ type Executor interface {
 	// energy model (normalised CPU-operation units).
 	EnergyPerInvocation(m energy.Model) float64
 }
+
+// BatchExecutor is an Executor with a fused multi-invocation entry point.
+// The streaming runtime type-asserts for it on the detection hot path;
+// engines without a batch win simply don't implement it and are driven
+// through InvokeBatch's per-element fallback.
+type BatchExecutor interface {
+	Executor
+	// InvokeBatch fills dst[i] with the approximate output for inputs[i].
+	// len(dst) == len(inputs); the callee resizes each dst[i] to the kernel
+	// output width, reusing the slice's capacity when it suffices, so a
+	// caller recycling dst across batches reaches zero steady-state
+	// allocations. dst rows must not alias each other or the inputs, and
+	// the callee must not retain either slice. The produced values are
+	// exactly what Invoke would return element by element, in index order.
+	InvokeBatch(dst [][]float64, inputs [][]float64)
+}
+
+// InvokeBatch drives ex over a batch, using the fused path when the engine
+// provides one and falling back to per-element Invoke otherwise. The
+// fallback replaces dst rows with freshly allocated slices (Invoke's return
+// values), so only the fused path is allocation-free.
+func InvokeBatch(ex Executor, dst [][]float64, inputs [][]float64) {
+	if b, ok := ex.(BatchExecutor); ok {
+		b.InvokeBatch(dst, inputs)
+		return
+	}
+	for i, in := range inputs {
+		dst[i] = ex.Invoke(in)
+	}
+}

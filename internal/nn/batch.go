@@ -1,0 +1,150 @@
+package nn
+
+import "fmt"
+
+// Batched inference — the allocation-free hot path.
+//
+// ForwardBatch runs the same arithmetic as Forward, in the same order, over
+// a whole batch of inputs at once. Internally the kernel is feature-major:
+// activations live as [feature][element] planes so each weight is loaded
+// once per output neuron and streamed across the batch, with the j-loop
+// unrolled 4-wide to divide the accumulator traffic. The accumulation order
+// per element is identical to Forward's (bias first, then ascending j, one
+// add per term), so with the default datapath the results are bit-for-bit
+// equal to the scalar path; batch_test.go locks that in across fuzzed
+// topologies and batch sizes.
+//
+// All working memory is caller-owned BatchScratch, so the kernel itself
+// performs zero allocations — the property the AllocsPerRun guards in
+// internal/bench assert.
+
+// BatchScratch owns the feature-major working planes of ForwardBatch (and
+// FixedNetwork.ForwardBatch). One scratch belongs to one caller at a time:
+// the streaming runtime keeps one per accelerator instance, benchmarks one
+// per goroutine. It is sized for a maximum batch at construction and can be
+// grown with Grow.
+type BatchScratch struct {
+	maxBatch int
+	width    int
+	a, b     []float64
+
+	// LUT selects the NPU lookup-table datapath for sigmoid/tanh
+	// activations (see act.go): ~2.4e-4 worst-case activation error in
+	// exchange for replacing exp() with a table load. Off by default —
+	// the default datapath is bit-for-bit equal to Forward. The flag lives
+	// on the scratch, not the Network, so callers sharing one read-only
+	// trained network (the serving registry) choose their datapath without
+	// mutating shared state. Fixed-point inference ignores it: the
+	// quantised table there is exact (see fixed.go).
+	LUT bool
+}
+
+// NewBatchScratch sizes scratch for batches of up to maxBatch elements
+// through this network. maxBatch < 1 selects 1.
+func (n *Network) NewBatchScratch(maxBatch int) *BatchScratch {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	s := &BatchScratch{width: n.Topo.maxWidth()}
+	s.grow(maxBatch)
+	return s
+}
+
+// MaxBatch returns the largest batch the scratch currently holds.
+func (s *BatchScratch) MaxBatch() int { return s.maxBatch }
+
+// Grow ensures the scratch holds batches of at least maxBatch elements.
+func (s *BatchScratch) Grow(maxBatch int) {
+	if maxBatch > s.maxBatch {
+		s.grow(maxBatch)
+	}
+}
+
+func (s *BatchScratch) grow(maxBatch int) {
+	s.maxBatch = maxBatch
+	s.a = make([]float64, maxBatch*s.width)
+	s.b = make([]float64, maxBatch*s.width)
+}
+
+// ForwardBatch runs batch inferences in one pass. in is row-major
+// (batch x Inputs()), dst is row-major (batch x Outputs()); both are
+// caller-owned and must be at least that long. scratch must come from this
+// network's NewBatchScratch (or one with at least as wide a topology) and
+// must not be shared between concurrent calls.
+//
+// With scratch.LUT unset the outputs are bit-for-bit identical to calling
+// Forward per row; with it set they are identical across batch sizes (a
+// batch of 1 is the scalar reference for the LUT datapath).
+func (n *Network) ForwardBatch(dst, in []float64, batch int, scratch *BatchScratch) {
+	if batch == 0 {
+		return
+	}
+	ni, no := n.Topo.Inputs(), n.Topo.Outputs()
+	if batch < 0 || len(in) < batch*ni || len(dst) < batch*no {
+		panic(fmt.Sprintf("nn: ForwardBatch batch %d needs %d inputs and %d outputs, got %d and %d",
+			batch, batch*ni, batch*no, len(in), len(dst)))
+	}
+	if scratch == nil || scratch.width < n.Topo.maxWidth() {
+		panic("nn: ForwardBatch scratch missing or built for a narrower network")
+	}
+	scratch.Grow(batch)
+	cur, nxt := scratch.a, scratch.b
+
+	// Transpose the row-major input into feature-major planes.
+	for j := 0; j < ni; j++ {
+		col := cur[j*batch : (j+1)*batch]
+		for e := range col {
+			col[e] = in[e*ni+j]
+		}
+	}
+
+	for li := range n.layers {
+		l := &n.layers[li]
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			acc := nxt[o*batch : (o+1)*batch]
+			bias := l.B[o]
+			for e := range acc {
+				acc[e] = bias
+			}
+			// 4-wide unroll over input features. The four adds stay
+			// separate statements in ascending j order — the same
+			// sequential accumulation Forward performs — so float results
+			// are bit-for-bit identical, while four independent input
+			// planes stream per pass.
+			j := 0
+			for ; j+4 <= l.In; j += 4 {
+				w0, w1, w2, w3 := row[j], row[j+1], row[j+2], row[j+3]
+				x0 := cur[j*batch : j*batch+batch]
+				x1 := cur[(j+1)*batch : (j+1)*batch+batch]
+				x2 := cur[(j+2)*batch : (j+2)*batch+batch]
+				x3 := cur[(j+3)*batch : (j+3)*batch+batch]
+				for e := 0; e < batch; e++ {
+					s := acc[e]
+					s += w0 * x0[e]
+					s += w1 * x1[e]
+					s += w2 * x2[e]
+					s += w3 * x3[e]
+					acc[e] = s
+				}
+			}
+			for ; j < l.In; j++ {
+				w := row[j]
+				x := cur[j*batch : j*batch+batch]
+				for e := 0; e < batch; e++ {
+					acc[e] += w * x[e]
+				}
+			}
+			applyActSlice(l.Act, scratch.LUT, acc)
+		}
+		cur, nxt = nxt, cur
+	}
+
+	// Transpose the output plane back to row-major.
+	for o := 0; o < no; o++ {
+		col := cur[o*batch : (o+1)*batch]
+		for e := range col {
+			dst[e*no+o] = col[e]
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rumba/internal/rng"
+)
+
+// fuzzTopologies is the shape space the batch-kernel equivalence tests
+// sweep: the NPU envelope (<= 2 hidden layers, <= 32 neurons) including the
+// paper benchmarks' shapes, degenerate single-layer networks, and widths
+// that exercise the 4-wide unroll's tail (1, 2, 3, 5 features).
+var fuzzTopologies = []string{
+	"6->8->4->1", // the default hot-path topology of the bench suite
+	"9->8->1",
+	"1->1",
+	"3->2",
+	"18->32->8->2",
+	"5->3->5",
+	"2->16->2",
+	"7->1->7",
+	"64->16->64",
+	"4->4->4->4",
+}
+
+var fuzzBatchSizes = []int{1, 2, 3, 7, 8, 63, 64, 65, 256}
+
+func randomNet(t *testing.T, topo string, hidden, out Activation, r *rng.Stream) *Network {
+	t.Helper()
+	tp, err := ParseTopology(topo)
+	if err != nil {
+		t.Fatalf("topology %s: %v", topo, err)
+	}
+	return New(tp, hidden, out, r)
+}
+
+func randomInputs(ni, n int, r *rng.Stream) []float64 {
+	in := make([]float64, n*ni)
+	for i := range in {
+		switch r.Intn(8) {
+		case 0:
+			in[i] = r.Range(-30, 30) // drives sigmoid/tanh into saturation
+		default:
+			in[i] = r.Range(-1.5, 1.5)
+		}
+	}
+	return in
+}
+
+// TestForwardBatchBitEqualScalar: with the default datapath the batch
+// kernel must reproduce Forward bit-for-bit at every batch size, including
+// batch 1 and ragged chunks through a shared scratch.
+func TestForwardBatchBitEqualScalar(t *testing.T) {
+	r := rng.NewNamed("nn/batch/float")
+	for _, topo := range fuzzTopologies {
+		for _, acts := range [][2]Activation{{Sigmoid, Linear}, {Tanh, Sigmoid}, {Sigmoid, Tanh}} {
+			net := randomNet(t, topo, acts[0], acts[1], r)
+			ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+			scratch := net.NewBatchScratch(4) // deliberately small: Grow must kick in
+			for _, bs := range fuzzBatchSizes {
+				in := randomInputs(ni, bs, r)
+				dst := make([]float64, bs*no)
+				net.ForwardBatch(dst, in, bs, scratch)
+				for e := 0; e < bs; e++ {
+					want := net.Forward(in[e*ni : (e+1)*ni])
+					for o := 0; o < no; o++ {
+						got := dst[e*no+o]
+						if math.Float64bits(got) != math.Float64bits(want[o]) {
+							t.Fatalf("%s acts=%v batch=%d elem=%d out=%d: batch %v != scalar %v",
+								topo, acts, bs, e, o, got, want[o])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchRaggedChunks runs one input set both as a single large
+// batch and as ragged chunks (boundary sizes 1, 5, 64) through the same
+// scratch; results must be identical.
+func TestForwardBatchRaggedChunks(t *testing.T) {
+	r := rng.NewNamed("nn/batch/ragged")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+	const n = 135
+	in := randomInputs(ni, n, r)
+	scratch := net.NewBatchScratch(n)
+	whole := make([]float64, n*no)
+	net.ForwardBatch(whole, in, n, scratch)
+
+	for _, lut := range []bool{false, true} {
+		scratch.LUT = lut
+		net.ForwardBatch(whole, in, n, scratch)
+		chunked := make([]float64, n*no)
+		for _, chunk := range []int{1, 5, 64} {
+			for start := 0; start < n; start += chunk {
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				net.ForwardBatch(chunked[start*no:], in[start*ni:], end-start, scratch)
+			}
+			for i := range whole {
+				if math.Float64bits(whole[i]) != math.Float64bits(chunked[i]) {
+					t.Fatalf("lut=%v chunk=%d: element %d differs: %v != %v", lut, chunk, i, chunked[i], whole[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchLUTAccuracy bounds the LUT datapath's deviation from the
+// exp() datapath: the table has step 2^-10, so outputs stay within ~1e-3 of
+// the exact activations for realistic (scaled, clamped) inputs.
+func TestForwardBatchLUTAccuracy(t *testing.T) {
+	r := rng.NewNamed("nn/batch/lut-acc")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+	const bs = 64
+	in := randomInputs(ni, bs, r)
+	scratch := net.NewBatchScratch(bs)
+	exact := make([]float64, bs*no)
+	net.ForwardBatch(exact, in, bs, scratch)
+	scratch.LUT = true
+	lut := make([]float64, bs*no)
+	net.ForwardBatch(lut, in, bs, scratch)
+	for i := range exact {
+		if d := math.Abs(exact[i] - lut[i]); d > 2e-3 {
+			t.Fatalf("element %d: LUT deviates %v (exact %v, lut %v)", i, d, exact[i], lut[i])
+		}
+	}
+}
+
+// TestFixedForwardBatchBitEqualScalar: the fixed-point batch kernel uses
+// exact quantised activation tables, so it must match FixedNetwork.Forward
+// bit-for-bit — there is no approximate mode in fixed point.
+func TestFixedForwardBatchBitEqualScalar(t *testing.T) {
+	r := rng.NewNamed("nn/batch/fixed")
+	formats := []FixedFormat{
+		DefaultFixedFormat,
+		{IntBits: 4, FracBits: 8},
+		{IntBits: 8, FracBits: 12},
+		{IntBits: 2, FracBits: 4},
+		{IntBits: 10, FracBits: 20}, // FracBits > 12: no table, direct compute path
+	}
+	for _, topo := range fuzzTopologies {
+		for _, f := range formats {
+			net := randomNet(t, topo, Sigmoid, Linear, r)
+			q, err := Quantize(net, f)
+			if err != nil {
+				t.Fatalf("quantize %s %v: %v", topo, f, err)
+			}
+			ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+			scratch := q.NewBatchScratch(8)
+			for _, bs := range []int{1, 7, 64} {
+				in := randomInputs(ni, bs, r)
+				dst := make([]float64, bs*no)
+				q.ForwardBatch(dst, in, bs, scratch)
+				for e := 0; e < bs; e++ {
+					want := q.Forward(in[e*ni : (e+1)*ni])
+					for o := 0; o < no; o++ {
+						got := dst[e*no+o]
+						if math.Float64bits(got) != math.Float64bits(want[o]) {
+							t.Fatalf("%s Q%d.%d batch=%d elem=%d out=%d: batch %v != scalar %v",
+								topo, f.IntBits, f.FracBits, bs, e, o, got, want[o])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFixedActTabExact verifies the quantised activation table pointwise
+// over its whole grid against direct computation.
+func TestFixedActTabExact(t *testing.T) {
+	for _, f := range []FixedFormat{DefaultFixedFormat, {IntBits: 3, FracBits: 6}} {
+		for _, a := range []Activation{Sigmoid, Tanh} {
+			tab := buildFixedActTab(f, a)
+			if tab == nil {
+				t.Fatalf("Q%d.%d %v: expected a table", f.IntBits, f.FracBits, a)
+			}
+			res := f.Resolution()
+			limit := f.max()
+			for x := -limit; x <= limit; x += res {
+				xq := f.Quantize(x)
+				want := f.Quantize(a.apply(xq))
+				got := tab.lookup(xq)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("Q%d.%d %v at %v: table %v != direct %v", f.IntBits, f.FracBits, a, xq, got, want)
+				}
+			}
+			if !math.IsNaN(tab.lookup(math.NaN())) {
+				t.Fatalf("Q%d.%d %v: NaN must stay NaN through the table", f.IntBits, f.FracBits, a)
+			}
+		}
+	}
+}
+
+// TestForwardBatchNaNTotality: NaN inputs must poison outputs (not crash,
+// not launder into finite values) on both datapaths, matching the scalar
+// path's behaviour that the EMA checker relies on.
+func TestForwardBatchNaNTotality(t *testing.T) {
+	r := rng.NewNamed("nn/batch/nan")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+	in := randomInputs(ni, 4, r)
+	in[0] = math.NaN()
+	scratch := net.NewBatchScratch(4)
+	for _, lut := range []bool{false, true} {
+		scratch.LUT = lut
+		dst := make([]float64, 4*no)
+		net.ForwardBatch(dst, in, 4, scratch)
+		if !math.IsNaN(dst[0]) {
+			t.Fatalf("lut=%v: NaN input produced finite output %v", lut, dst[0])
+		}
+		for e := 1; e < 4; e++ {
+			for o := 0; o < no; o++ {
+				if math.IsNaN(dst[e*no+o]) {
+					t.Fatalf("lut=%v: NaN leaked from element 0 into element %d", lut, e)
+				}
+			}
+		}
+	}
+}
+
+// TestForwardScratchReuse guards the satellite fix: Forward allocates only
+// its returned output, and repeated calls stay correct (the ping-pong
+// scratch must not alias the result).
+func TestForwardScratchReuse(t *testing.T) {
+	r := rng.NewNamed("nn/batch/scratch")
+	net := randomNet(t, "6->8->4->2", Sigmoid, Linear, r)
+	in1 := randomInputs(6, 1, r)
+	in2 := randomInputs(6, 1, r)
+	out1 := net.Forward(in1)
+	keep := append([]float64(nil), out1...)
+	_ = net.Forward(in2) // must not clobber out1
+	for i := range keep {
+		if math.Float64bits(out1[i]) != math.Float64bits(keep[i]) {
+			t.Fatalf("Forward result aliased scratch: out1[%d] changed from %v to %v", i, keep[i], out1[i])
+		}
+	}
+	// Round-trip through JSON and Clone: scratch must be (re)initialised.
+	data, err := net.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Network
+	if err := restored.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	cl := net.Clone()
+	a, b, c := net.Forward(in1), restored.Forward(in1), cl.Forward(in1)
+	for i := range a {
+		if a[i] != b[i] || a[i] != c[i] { //rumba:allow floatcmp bit-for-bit equivalence check
+			t.Fatalf("restored/cloned network diverges at %d: %v %v %v", i, a[i], b[i], c[i])
+		}
+	}
+}
+
+// TestBatchKernelAllocs asserts the zero-allocation property of the batch
+// kernels (and Forward's single output allocation) at steady state. These
+// run as ordinary tests so ci.sh enforces them on every run.
+func TestBatchKernelAllocs(t *testing.T) {
+	r := rng.NewNamed("nn/batch/allocs")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	q, err := Quantize(net, DefaultFixedFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bs = 64
+	in := randomInputs(6, bs, r)
+	dst := make([]float64, bs*1)
+	scratch := net.NewBatchScratch(bs)
+
+	for _, tc := range []struct {
+		name string
+		lut  bool
+		fn   func()
+	}{
+		{"ForwardBatch", false, func() { net.ForwardBatch(dst, in, bs, scratch) }},
+		{"ForwardBatchLUT", true, func() { net.ForwardBatch(dst, in, bs, scratch) }},
+		{"FixedForwardBatch", false, func() { q.ForwardBatch(dst, in, bs, scratch) }},
+	} {
+		scratch.LUT = tc.lut
+		tc.fn() // warm up (LUT tables, scratch growth)
+		if allocs := testing.AllocsPerRun(50, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+	scratch.LUT = false
+	if allocs := testing.AllocsPerRun(50, func() { _ = net.Forward(in[:6]) }); allocs != 1 {
+		t.Errorf("Forward: %v allocs/op, want exactly 1 (the returned output)", allocs)
+	}
+}
+
+// TestForwardBatchPanics pins the argument-validation behaviour.
+func TestForwardBatchPanics(t *testing.T) {
+	r := rng.NewNamed("nn/batch/panics")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	scratch := net.NewBatchScratch(4)
+	for name, fn := range map[string]func(){
+		"short input":  func() { net.ForwardBatch(make([]float64, 4), make([]float64, 5), 4, scratch) },
+		"short dst":    func() { net.ForwardBatch(make([]float64, 3), make([]float64, 24), 4, scratch) },
+		"nil scratch":  func() { net.ForwardBatch(make([]float64, 4), make([]float64, 24), 4, nil) },
+		"neg batch":    func() { net.ForwardBatch(make([]float64, 4), make([]float64, 24), -1, scratch) },
+		"thin scratch": func() { net.ForwardBatch(make([]float64, 4), make([]float64, 24), 4, &BatchScratch{width: 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// batch 0 is a no-op, not a panic.
+	net.ForwardBatch(nil, nil, 0, scratch)
+	_ = fmt.Sprintf("%v", scratch.MaxBatch())
+}

@@ -74,9 +74,18 @@ func (f FixedFormat) Resolution() float64 { return 1 / f.scale() }
 // are rounded to the format once at construction, and every activation is
 // re-quantised after the non-linearity, exactly as a fixed-point datapath
 // with a sigmoid lookup table behaves.
+//
+// Like Network.Forward, Forward reuses internal scratch and is not
+// reentrant; route concurrent inference through ForwardBatch with
+// per-caller scratch.
 type FixedNetwork struct {
 	Format FixedFormat
 	net    *Network
+	// hiddenTab/outTab are the exact quantised activation tables the batch
+	// kernel indexes instead of evaluating exp/tanh (nil when the format is
+	// too fine to tabulate — the kernel then computes directly, which is
+	// equally exact, just slower).
+	hiddenTab, outTab *fixedActTab
 }
 
 // Quantize builds the fixed-point view of a network. The original network is
@@ -95,7 +104,14 @@ func Quantize(n *Network, f FixedFormat) (*FixedNetwork, error) {
 			l.B[j] = f.Quantize(b)
 		}
 	}
-	return &FixedNetwork{Format: f, net: q}, nil
+	fn := &FixedNetwork{Format: f, net: q}
+	fn.hiddenTab = buildFixedActTab(f, q.Hidden)
+	if q.Out == q.Hidden {
+		fn.outTab = fn.hiddenTab
+	} else {
+		fn.outTab = buildFixedActTab(f, q.Out)
+	}
+	return fn, nil
 }
 
 // Topo returns the underlying topology.
@@ -103,13 +119,25 @@ func (q *FixedNetwork) Topo() Topology { return q.net.Topo }
 
 // Forward runs fixed-point inference: inputs are quantised, each layer's
 // pre-activations accumulate quantised products, and the activation output
-// is quantised again (the sigmoid LUT's output register).
+// is quantised again (the sigmoid LUT's output register). Hidden
+// activations ping-pong through scratch sized at construction, so only the
+// quantised input copy and the returned output allocate; the scratch makes
+// Forward non-reentrant.
 func (q *FixedNetwork) Forward(in []float64) []float64 {
 	f := q.Format
 	cur := f.QuantizeSlice(in)
+	if q.net.scratch[0] == nil {
+		q.net.initScratch()
+	}
+	last := len(q.net.layers) - 1
 	for li := range q.net.layers {
 		l := &q.net.layers[li]
-		next := make([]float64, l.Out)
+		var next []float64
+		if li == last {
+			next = make([]float64, l.Out)
+		} else {
+			next = q.net.scratch[li%2][:l.Out]
+		}
 		for o := 0; o < l.Out; o++ {
 			row := l.W[o*l.In : (o+1)*l.In]
 			s := l.B[o]
@@ -124,6 +152,197 @@ func (q *FixedNetwork) Forward(in []float64) []float64 {
 		cur = next
 	}
 	return cur
+}
+
+// NewBatchScratch sizes batch scratch for the quantised network.
+func (q *FixedNetwork) NewBatchScratch(maxBatch int) *BatchScratch {
+	return q.net.NewBatchScratch(maxBatch)
+}
+
+// ForwardBatch is the fixed-point batch kernel: same layout and loop
+// structure as Network.ForwardBatch, with every MAC re-quantised into the
+// format exactly as Forward does. Sigmoid/tanh outputs come from the exact
+// quantised activation tables, so ForwardBatch is bit-for-bit identical to
+// Forward at every batch size — the fixed-point input grid is finite, and
+// each table entry is precomputed as f.Quantize(act(x)) for its grid point
+// (scratch.LUT is ignored here; there is no approximate mode to opt into).
+func (q *FixedNetwork) ForwardBatch(dst, in []float64, batch int, scratch *BatchScratch) {
+	if batch == 0 {
+		return
+	}
+	f := q.Format
+	n := q.net
+	ni, no := n.Topo.Inputs(), n.Topo.Outputs()
+	if batch < 0 || len(in) < batch*ni || len(dst) < batch*no {
+		panic(fmt.Sprintf("nn: ForwardBatch batch %d needs %d inputs and %d outputs, got %d and %d",
+			batch, batch*ni, batch*no, len(in), len(dst)))
+	}
+	if scratch == nil || scratch.width < n.Topo.maxWidth() {
+		panic("nn: ForwardBatch scratch missing or built for a narrower network")
+	}
+	scratch.Grow(batch)
+	cur, nxt := scratch.a, scratch.b
+
+	for j := 0; j < ni; j++ {
+		col := cur[j*batch : (j+1)*batch]
+		for e := range col {
+			col[e] = f.Quantize(in[e*ni+j])
+		}
+	}
+
+	for li := range n.layers {
+		l := &n.layers[li]
+		tab := q.hiddenTab
+		if li == len(n.layers)-1 {
+			tab = q.outTab
+		}
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			acc := nxt[o*batch : (o+1)*batch]
+			bias := l.B[o]
+			for e := range acc {
+				acc[e] = bias
+			}
+			j := 0
+			for ; j+4 <= l.In; j += 4 {
+				w0, w1, w2, w3 := row[j], row[j+1], row[j+2], row[j+3]
+				x0 := cur[j*batch : j*batch+batch]
+				x1 := cur[(j+1)*batch : (j+1)*batch+batch]
+				x2 := cur[(j+2)*batch : (j+2)*batch+batch]
+				x3 := cur[(j+3)*batch : (j+3)*batch+batch]
+				for e := 0; e < batch; e++ {
+					s := acc[e]
+					s += f.Quantize(w0 * x0[e])
+					s += f.Quantize(w1 * x1[e])
+					s += f.Quantize(w2 * x2[e])
+					s += f.Quantize(w3 * x3[e])
+					acc[e] = s
+				}
+			}
+			for ; j < l.In; j++ {
+				w := row[j]
+				x := cur[j*batch : j*batch+batch]
+				for e := 0; e < batch; e++ {
+					acc[e] += f.Quantize(w * x[e])
+				}
+			}
+			if l.Act == Linear {
+				// f.Quantize(identity(f.Quantize(s))) == f.Quantize(s):
+				// Quantize is idempotent on its own grid.
+				for e := 0; e < batch; e++ {
+					acc[e] = f.Quantize(acc[e])
+				}
+			} else if tab != nil {
+				for e := 0; e < batch; e++ {
+					acc[e] = tab.lookup(f.Quantize(acc[e]))
+				}
+			} else {
+				for e := 0; e < batch; e++ {
+					acc[e] = f.Quantize(l.Act.apply(f.Quantize(acc[e])))
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+
+	for o := 0; o < no; o++ {
+		col := cur[o*batch : (o+1)*batch]
+		for e := range col {
+			dst[e*no+o] = col[e]
+		}
+	}
+}
+
+// maxFixedTabLen bounds the exact activation tables: 64K float64 entries
+// (512 KiB). Formats finer than that (FracBits > 12 for sigmoid/tanh
+// saturation ranges) fall back to direct computation, which is equally
+// exact.
+const maxFixedTabLen = 1 << 16
+
+// fixedActTab is an exact lookup table for one (format, activation) pair.
+// Quantised pre-activations form a finite grid; sigmoid and tanh saturate —
+// their quantised output is constant past a small |x| — so the table only
+// covers [lo, hi] where the output still moves and clamps to the end values
+// outside it. Every entry equals f.Quantize(act(x)) for its grid point, so
+// table lookup is not an approximation.
+type fixedActTab struct {
+	lo, hi float64 // saturation bounds, grid multiples
+	scale  float64 // 2^FracBits
+	vals   []float64
+}
+
+// lookup maps a quantised pre-activation to its exact activation output.
+// The caller guarantees x is on the format grid (or NaN, which computes to
+// NaN downstream and is handled here explicitly).
+func (t *fixedActTab) lookup(x float64) float64 {
+	if x >= t.hi {
+		return t.vals[len(t.vals)-1]
+	}
+	if x <= t.lo {
+		return t.vals[0]
+	}
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	// (x - lo) is an exact multiple of the resolution and scale is a power
+	// of two, so the index arithmetic is exact.
+	return t.vals[int(math.Round((x-t.lo)*t.scale))]
+}
+
+// buildFixedActTab tabulates f.Quantize(act(x)) over the grid range where
+// the output still changes. Returns nil (compute directly) for Linear, for
+// formats outside IntBits <= 16 / FracBits <= 12 (grid index arithmetic
+// must stay exact in float64 and tables bounded), and when the
+// non-saturated range would exceed maxFixedTabLen entries.
+func buildFixedActTab(f FixedFormat, a Activation) *fixedActTab {
+	if a != Sigmoid && a != Tanh {
+		return nil
+	}
+	if f.FracBits > 12 || f.IntBits > 16 {
+		return nil
+	}
+	res := f.Resolution()
+	limit := f.max()
+	quantAct := func(x float64) float64 { return f.Quantize(a.apply(f.Quantize(x))) }
+	// Sigmoid and tanh are monotone increasing, so their quantised output is
+	// monotone non-decreasing over the grid and saturates: it equals the
+	// value at +limit from some grid point on (and the value at -limit up to
+	// some grid point). Binary-search both boundaries over grid indices.
+	k := int64(math.Round(limit / res)) // grid spans [-k, k]
+	vHi := quantAct(limit)
+	vLo := quantAct(-limit)
+	// Smallest index whose output already equals the saturated high value.
+	loK, hiK := -k, k
+	for loK < hiK {
+		mid := loK + (hiK-loK)/2
+		if quantAct(float64(mid)*res) == vHi { //rumba:allow floatcmp exact grid values, saturation boundary
+			hiK = mid
+		} else {
+			loK = mid + 1
+		}
+	}
+	hiSat := hiK
+	// Largest index whose output still equals the saturated low value.
+	loK, hiK = -k, k
+	for loK < hiK {
+		mid := loK + (hiK-loK+1)/2
+		if quantAct(float64(mid)*res) == vLo { //rumba:allow floatcmp exact grid values, saturation boundary
+			loK = mid
+		} else {
+			hiK = mid - 1
+		}
+	}
+	loSat := loK
+	n := hiSat - loSat + 1
+	if n <= 0 || n > maxFixedTabLen {
+		return nil
+	}
+	lo := float64(loSat) * res
+	t := &fixedActTab{lo: lo, hi: float64(hiSat) * res, scale: f.scale(), vals: make([]float64, n)}
+	for i := range t.vals {
+		t.vals[i] = quantAct(lo + float64(i)*res)
+	}
+	return t
 }
 
 // QuantizationError measures the mean absolute output difference between

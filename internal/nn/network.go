@@ -168,11 +168,41 @@ type layer struct {
 }
 
 // Network is a feed-forward MLP.
+//
+// Forward reuses internal scratch buffers, so a single Network must not be
+// driven from multiple goroutines concurrently; callers that share a trained
+// network (the serving registry does) must route concurrent inference
+// through ForwardBatch with per-caller BatchScratch instead.
 type Network struct {
 	Topo   Topology
 	Hidden Activation // activation of hidden layers
 	Out    Activation // activation of the output layer
 	layers []layer
+
+	// scratch is the ping-pong pair Forward alternates hidden-layer
+	// activations through, sized at construction to the widest layer.
+	// It is why Forward is not reentrant.
+	scratch [2][]float64
+}
+
+// maxWidth returns the widest layer of the topology (inputs included).
+func (t Topology) maxWidth() int {
+	w := 0
+	for _, s := range t.Sizes {
+		if s > w {
+			w = s
+		}
+	}
+	return w
+}
+
+// initScratch (re)allocates the ping-pong buffers; called from New and
+// lazily from Forward so a Network assembled by UnmarshalJSON or Clone is
+// always ready.
+func (n *Network) initScratch() {
+	w := n.Topo.maxWidth()
+	n.scratch[0] = make([]float64, w)
+	n.scratch[1] = make([]float64, w)
 }
 
 // New builds a network with the given topology and activations, with weights
@@ -196,19 +226,34 @@ func New(t Topology, hidden, out Activation, r *rng.Stream) *Network {
 		}
 		n.layers[i] = l
 	}
+	n.initScratch()
 	return n
 }
 
 // Forward runs one inference, returning a freshly allocated output vector.
+//
+// Hidden activations ping-pong through two scratch slices sized at
+// construction, so the only allocation is the returned output. The scratch
+// makes Forward non-reentrant: do not call it concurrently on one Network.
 func (n *Network) Forward(in []float64) []float64 {
 	if len(in) != n.Topo.Inputs() {
 		panic(fmt.Sprintf("nn: Forward got %d inputs, topology %s wants %d",
 			len(in), n.Topo, n.Topo.Inputs()))
 	}
+	if n.scratch[0] == nil {
+		n.initScratch()
+	}
 	cur := in
+	last := len(n.layers) - 1
 	for li := range n.layers {
 		l := &n.layers[li]
-		next := make([]float64, l.Out)
+		var next []float64
+		if li == last {
+			// The output escapes to the caller; it must be fresh.
+			next = make([]float64, l.Out)
+		} else {
+			next = n.scratch[li%2][:l.Out]
+		}
 		for o := 0; o < l.Out; o++ {
 			row := l.W[o*l.In : (o+1)*l.In]
 			s := l.B[o]
@@ -315,5 +360,8 @@ func (n *Network) Clone() *Network {
 			W: append([]float64(nil), l.W...),
 			B: append([]float64(nil), l.B...)}
 	}
+	// Private scratch: sharing the original's would make two "independent"
+	// networks race through Forward.
+	c.initScratch()
 	return c
 }

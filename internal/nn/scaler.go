@@ -60,10 +60,16 @@ func fixDegenerate(lo, hi []float64) {
 // ScaleIn maps a kernel-space input into [0,1]^d (clamped).
 func (s *Scaler) ScaleIn(in []float64) []float64 {
 	out := make([]float64, len(in))
-	for j, v := range in {
-		out[j] = tensor.Clamp((v-s.InMin[j])/(s.InMax[j]-s.InMin[j]), -0.25, 1.25)
-	}
+	s.ScaleInTo(out, in)
 	return out
+}
+
+// ScaleInTo is ScaleIn into a caller-owned destination (allocation-free hot
+// path); dst and in must be the same length.
+func (s *Scaler) ScaleInTo(dst, in []float64) {
+	for j, v := range in {
+		dst[j] = tensor.Clamp((v-s.InMin[j])/(s.InMax[j]-s.InMin[j]), -0.25, 1.25)
+	}
 }
 
 // ScaleOut maps a kernel-space target into [0,1]^d.
@@ -78,10 +84,16 @@ func (s *Scaler) ScaleOut(t []float64) []float64 {
 // UnscaleOut maps a network output in [0,1]^d back to kernel space.
 func (s *Scaler) UnscaleOut(o []float64) []float64 {
 	out := make([]float64, len(o))
-	for j, v := range o {
-		out[j] = s.OutMin[j] + v*(s.OutMax[j]-s.OutMin[j])
-	}
+	s.UnscaleOutTo(out, o)
 	return out
+}
+
+// UnscaleOutTo is UnscaleOut into a caller-owned destination
+// (allocation-free hot path); dst and o must be the same length.
+func (s *Scaler) UnscaleOutTo(dst, o []float64) {
+	for j, v := range o {
+		dst[j] = s.OutMin[j] + v*(s.OutMax[j]-s.OutMin[j])
+	}
 }
 
 // ScaleDataset returns a copy of the dataset normalised for training.

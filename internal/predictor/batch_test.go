@@ -1,0 +1,260 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"rumba/internal/rng"
+)
+
+// makeBatch synthesises n (input, approx-output) pairs with occasional
+// NaN/Inf poison so the equivalence checks cover the non-finite branches.
+func makeBatch(r *rng.Stream, n, inDim, outDim int) (ins, outs [][]float64) {
+	ins = make([][]float64, n)
+	outs = make([][]float64, n)
+	for i := range ins {
+		in := make([]float64, inDim)
+		out := make([]float64, outDim)
+		for j := range in {
+			in[j] = r.Range(-4, 4)
+		}
+		for j := range out {
+			out[j] = r.Range(-2, 2)
+		}
+		switch r.Intn(17) {
+		case 0:
+			in[r.Intn(inDim)] = math.NaN()
+		case 1:
+			out[r.Intn(outDim)] = math.Inf(1)
+		case 2:
+			in[r.Intn(inDim)] = math.Inf(-1)
+		}
+		ins[i] = in
+		outs[i] = out
+	}
+	return ins, outs
+}
+
+// assertBatchEqualsScalar checks PredictErrorBatch against fresh-state
+// element-by-element PredictError calls, bit for bit. mk builds a fresh
+// predictor so stateful checkers (EMA) start from the same state on both
+// paths.
+func assertBatchEqualsScalar(t *testing.T, name string, mk func() Predictor, ins, outs [][]float64) {
+	t.Helper()
+	want := make([]float64, len(ins))
+	ScalarBatch(mk(), want, ins, outs)
+	got := make([]float64, len(ins))
+	mk().PredictErrorBatch(got, ins, outs)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: element %d: batch %v != scalar %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func fitTestTree(t *testing.T, r *rng.Stream, inDim int, features []int) *Tree {
+	t.Helper()
+	n := 400
+	ins := make([][]float64, n)
+	errs := make([]float64, n)
+	for i := range ins {
+		in := make([]float64, inDim)
+		for j := range in {
+			in[j] = r.Range(-4, 4)
+		}
+		ins[i] = in
+		errs[i] = math.Abs(in[0])*0.3 + math.Abs(in[inDim-1])*0.1 + r.Range(0, 0.05)
+	}
+	tree, err := FitTree(ins, errs, features, TreeConfig{})
+	if err != nil {
+		t.Fatalf("FitTree: %v", err)
+	}
+	return tree
+}
+
+func TestPredictErrorBatchEquivalence(t *testing.T) {
+	r := rng.NewNamed("predictor/batch/equiv")
+	const inDim, outDim = 6, 3
+	cases := []struct {
+		name string
+		mk   func() Predictor
+	}{
+		{"linear/all-inputs", func() Predictor {
+			return &Linear{Weights: []float64{0.3, -1.2, 0.05, 2.5, -0.7, 0.9}, Constant: 0.11}
+		}},
+		{"linear/projected", func() Predictor {
+			// Out-of-range and negative feature indices exercise the
+			// contribute-zero path; weight count exceeds the projection.
+			return &Linear{Weights: []float64{0.5, -0.25, 3, 1}, Constant: -0.2, Features: []int{4, 0, 99, -1}}
+		}},
+		{"linear/nonfinite-weight", func() Predictor {
+			return &Linear{Weights: []float64{math.Inf(1), 0.1}, Constant: 0, Features: []int{99, 1}}
+		}},
+		{"ema", func() Predictor { return NewEMA(16, 0.5) }},
+		{"ema/unset-scale", func() Predictor { return &EMA{N: 8} }},
+		{"margin", func() Predictor { return &Margin{Scale: 0.4} }},
+		{"evp", func() Predictor {
+			return &EVP{Model: &ValueModel{
+				Weights:  [][]float64{{0.1, 0.2, 0.3, 0, 0, 0}, {1, -1, 0, 0, 0.5, 0}, {0, 0, 0, 0.7, 0, -0.2}},
+				Constant: []float64{0.5, -0.5, 0},
+			}, Scale: 1.5}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, n := range []int{1, 7, 64, 256} {
+				ins, outs := makeBatch(r, n, inDim, outDim)
+				assertBatchEqualsScalar(t, tc.name, tc.mk, ins, outs)
+			}
+		})
+	}
+}
+
+func TestTreeBatchEquivalence(t *testing.T) {
+	r := rng.NewNamed("predictor/batch/tree")
+	const inDim = 6
+	trees := map[string]*Tree{
+		"fitted/all-inputs": fitTestTree(t, r, inDim, nil),
+		"fitted/projected":  fitTestTree(t, r, inDim, []int{0, 5, 2}),
+		"single-leaf":       {Nodes: []TreeNode{{Feature: -1, Value: 0.7}}},
+		"out-of-range-leaf-value": {Nodes: []TreeNode{
+			{Feature: 0, Thresh: 0, Left: 1, Right: 2},
+			{Feature: -1, Value: -3},    // clamps to 0
+			{Feature: -1, Value: 1e300}, // clamps to MaxPrediction
+		}},
+		"missing-feature": {Nodes: []TreeNode{
+			{Feature: 99, Thresh: 0.5, Left: 1, Right: 2}, // compares as zero -> Left
+			{Feature: -1, Value: 1},
+			{Feature: -1, Value: 2},
+		}},
+		"projection-overflow": {
+			Features: []int{3},
+			Nodes: []TreeNode{
+				{Feature: 7, Thresh: -1, Left: 1, Right: 2}, // beyond Features -> zero -> Right
+				{Feature: -1, Value: 1},
+				{Feature: -1, Value: 2},
+			},
+		},
+	}
+	for name, tree := range trees {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 33, 128} {
+				ins, outs := makeBatch(r, n, inDim, 2)
+				assertBatchEqualsScalar(t, name, func() Predictor { return tree }, ins, outs)
+			}
+		})
+	}
+}
+
+// TestTreeBatchMalformedFallback checks that trees failing flat validation
+// (empty, dangling child, cycle) take the scalar fallback and still match
+// the scalar walk exactly — both predict 0.
+func TestTreeBatchMalformedFallback(t *testing.T) {
+	r := rng.NewNamed("predictor/batch/malformed")
+	malformed := map[string]*Tree{
+		"empty": {},
+		"dangling-child": {Nodes: []TreeNode{
+			{Feature: 0, Thresh: 0, Left: 1, Right: 99},
+			{Feature: -1, Value: 1},
+		}},
+		"negative-child": {Nodes: []TreeNode{
+			{Feature: 0, Thresh: 0, Left: -5, Right: 1},
+			{Feature: -1, Value: 1},
+		}},
+		"cycle": {Nodes: []TreeNode{
+			{Feature: 0, Thresh: 0, Left: 1, Right: 1},
+			{Feature: 0, Thresh: 100, Left: 0, Right: 0},
+		}},
+	}
+	for name, tree := range malformed {
+		t.Run(name, func(t *testing.T) {
+			if tree.flatten().ok {
+				t.Fatalf("%s: expected flatten to reject the tree", name)
+			}
+			ins, outs := makeBatch(r, 16, 4, 2)
+			assertBatchEqualsScalar(t, name, func() Predictor { return tree }, ins, outs)
+		})
+	}
+}
+
+// TestForestBatchEquivalence covers the ensemble delegation.
+func TestForestBatchEquivalence(t *testing.T) {
+	r := rng.NewNamed("predictor/batch/forest")
+	const inDim = 5
+	n := 300
+	ins := make([][]float64, n)
+	errs := make([]float64, n)
+	for i := range ins {
+		in := make([]float64, inDim)
+		for j := range in {
+			in[j] = r.Range(-3, 3)
+		}
+		ins[i] = in
+		errs[i] = math.Abs(in[1]) * 0.4
+	}
+	f, err := FitForest(ins, errs, nil, 3, TreeConfig{}, "batch-test")
+	if err != nil {
+		t.Fatalf("FitForest: %v", err)
+	}
+	bins, bouts := makeBatch(r, 64, inDim, 2)
+	assertBatchEqualsScalar(t, "forest", func() Predictor { return f }, bins, bouts)
+}
+
+// TestEMABatchStateOrder checks the stateful recurrence advances identically
+// whether the stream is consumed in one batch or in ragged chunks.
+func TestEMABatchStateOrder(t *testing.T) {
+	r := rng.NewNamed("predictor/batch/ema-order")
+	ins, outs := makeBatch(r, 135, 4, 2)
+	want := make([]float64, len(ins))
+	ScalarBatch(NewEMA(12, 0.8), want, ins, outs)
+
+	for _, chunk := range []int{1, 5, 64} {
+		e := NewEMA(12, 0.8)
+		got := make([]float64, len(ins))
+		for lo := 0; lo < len(ins); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ins) {
+				hi = len(ins)
+			}
+			e.PredictErrorBatch(got[lo:hi], ins[lo:hi], outs[lo:hi])
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("chunk %d: element %d: %v != %v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchPredictorAllocs locks in the zero-allocation property of the
+// fused kernels (tree flattening is lazy, so it is warmed first).
+func TestBatchPredictorAllocs(t *testing.T) {
+	r := rng.NewNamed("predictor/batch/allocs")
+	ins, outs := makeBatch(r, 64, 6, 2)
+	dst := make([]float64, 64)
+
+	lin := &Linear{Weights: []float64{0.3, -1.2, 0.05, 2.5, -0.7, 0.9}, Constant: 0.11}
+	linProj := &Linear{Weights: []float64{0.5, -0.25}, Constant: -0.2, Features: []int{4, 0}}
+	tree := fitTestTree(t, r, 6, nil)
+	tree.PredictErrorBatch(dst, ins, outs) // warm the lazy flatten
+	ema := NewEMA(16, 0.5)
+
+	cases := []struct {
+		name string
+		p    Predictor
+	}{
+		{"linear", lin},
+		{"linear/projected", linProj},
+		{"tree", tree},
+		{"ema", ema},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(50, func() {
+				tc.p.PredictErrorBatch(dst, ins, outs)
+			}); got != 0 {
+				t.Fatalf("PredictErrorBatch allocates %v times per run, want 0", got)
+			}
+		})
+	}
+}

@@ -97,6 +97,13 @@ func (e *EVP) PredictError(in, approxOut []float64) float64 {
 	return s
 }
 
+// PredictErrorBatch implements Predictor via the scalar reference path: EVP
+// exists for the Section 3.2 accuracy comparison, not the serving hot path,
+// so it takes no fused kernel.
+func (e *EVP) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	ScalarBatch(e, dst, ins, outs)
+}
+
 // Cost implements Predictor: one linear model per output dimension plus the
 // output comparison.
 func (e *EVP) Cost() Cost {

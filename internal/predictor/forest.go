@@ -34,6 +34,15 @@ func (f *Forest) PredictError(in, out []float64) float64 {
 	return s / float64(len(f.Trees))
 }
 
+// PredictErrorBatch implements Predictor via the scalar reference path. The
+// member trees' flattened kernels are not reused here because the forest
+// averages *clamped per-tree* predictions, which is exactly what the scalar
+// walk computes; a fused form would have to keep a per-tree staging buffer
+// for no measured win (forests are an offline-ablation checker).
+func (f *Forest) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	ScalarBatch(f, dst, ins, outs)
+}
+
 // Cost implements Predictor: K parallel comparator trees plus the averaging
 // adds and the threshold compare.
 func (f *Forest) Cost() Cost {

@@ -43,6 +43,12 @@ func (m *Margin) PredictError(_, approxOut []float64) float64 {
 	return e
 }
 
+// PredictErrorBatch implements Predictor via the scalar reference path; the
+// scalar margin scan is already allocation-free, so there is nothing to fuse.
+func (m *Margin) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	ScalarBatch(m, dst, ins, outs)
+}
+
 // Cost implements Predictor: a max/second-max scan plus the compare.
 func (m *Margin) Cost() Cost { return Cost{Compares: 3} }
 

@@ -51,11 +51,30 @@ type Predictor interface {
 	// PredictError estimates the element's approximation error from the
 	// kernel input and the accelerator's approximate output.
 	PredictError(in, approxOut []float64) float64
+	// PredictErrorBatch fills dst[i] with the prediction for
+	// (ins[i], outs[i]). It must produce exactly the values PredictError
+	// would produce called element by element in index order (stateful
+	// checkers update their state in that order), must not allocate at
+	// steady state on the fused implementations, and must not retain dst,
+	// ins or outs. The three slices are the same length. ScalarBatch is
+	// the reference implementation for checkers without a fused kernel.
+	PredictErrorBatch(dst []float64, ins, outs [][]float64)
 	// Cost returns the per-check hardware cost.
 	Cost() Cost
 	// Reset clears any cross-element state (only the EMA checker has
 	// state); called at the start of each accelerator invocation batch.
 	Reset()
+}
+
+// ScalarBatch implements PredictErrorBatch by per-element PredictError
+// calls: the reference implementation fused kernels are tested against, and
+// the implementation checkers without a batch-specific win delegate to.
+func ScalarBatch(p interface {
+	PredictError(in, approxOut []float64) float64
+}, dst []float64, ins, outs [][]float64) {
+	for i := range dst {
+		dst[i] = p.PredictError(ins[i], outs[i])
+	}
 }
 
 // Linear is the linear error predictor of Equation 1:
@@ -91,6 +110,46 @@ func (l *Linear) PredictError(in, _ []float64) float64 {
 		s += l.Weights[i] * x[i]
 	}
 	return clampPrediction(s)
+}
+
+// PredictErrorBatch implements Predictor as a fused dot-product sweep: the
+// feature projection is folded into the accumulation loop, so the batch
+// path performs zero allocations while producing exactly PredictError's
+// values (including the contribute-zero semantics for missing or
+// out-of-range features — the w*0 products are kept so non-finite weights
+// poison the sum identically).
+func (l *Linear) PredictErrorBatch(dst []float64, ins, _ [][]float64) {
+	w := l.Weights
+	if l.Features == nil {
+		for i, in := range ins {
+			s := l.Constant
+			n := len(w)
+			if len(in) < n {
+				n = len(in)
+			}
+			for j := 0; j < n; j++ {
+				s += w[j] * in[j]
+			}
+			dst[i] = clampPrediction(s)
+		}
+		return
+	}
+	feats := l.Features
+	n := len(w)
+	if len(feats) < n {
+		n = len(feats)
+	}
+	for i, in := range ins {
+		s := l.Constant
+		for j := 0; j < n; j++ {
+			v := 0.0
+			if idx := feats[j]; idx >= 0 && idx < len(in) {
+				v = in[idx]
+			}
+			s += w[j] * v
+		}
+		dst[i] = clampPrediction(s)
+	}
 }
 
 // Cost implements Predictor: one MAC per input plus the threshold compare.
@@ -187,6 +246,36 @@ func (e *EMA) PredictError(_, approxOut []float64) float64 {
 	alpha := 2.0 / (1.0 + float64(e.N))
 	e.ema = cur*alpha + e.ema*(1-alpha)
 	return clampPrediction(dev)
+}
+
+// PredictErrorBatch implements Predictor: the moving-average recurrence is
+// inherently sequential, so the batch form is the same update inlined over
+// the batch — the win is amortising the call and the detection loop's
+// channel hops, not reassociating the math. alpha and the scale guard are
+// hoisted; every dst value is exactly what element-by-element PredictError
+// calls would produce.
+func (e *EMA) PredictErrorBatch(dst []float64, _, outs [][]float64) {
+	alpha := 2.0 / (1.0 + float64(e.N))
+	scale := e.Scale
+	if !(scale > 0) {
+		scale = 1
+	}
+	for i, out := range outs {
+		cur := summarise(out)
+		if math.IsNaN(cur) || math.IsInf(cur, 0) {
+			dst[i] = MaxPrediction
+			continue
+		}
+		if !e.primed {
+			e.ema = cur
+			e.primed = true
+			dst[i] = 0
+			continue
+		}
+		dev := math.Abs(cur-e.ema) / scale
+		e.ema = cur*alpha + e.ema*(1-alpha)
+		dst[i] = clampPrediction(dev)
+	}
 }
 
 // Cost implements Predictor: one multiply-add for the average update and the

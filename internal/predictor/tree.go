@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Tree is the decision-tree error predictor of Section 3.2.2 (Figure 6): an
@@ -15,6 +16,13 @@ type Tree struct {
 	Nodes    []TreeNode
 	Depth    int
 	Features []int // kernel-input projection; nil = all inputs
+
+	// flat is the batch kernel's flattened, validated view of Nodes,
+	// built lazily on first PredictErrorBatch. The sync.Once makes the
+	// build safe on checker instances shared across tenants (the serving
+	// registry hands one *Tree to every tenant of a kernel).
+	flatOnce sync.Once
+	flat     *treeFlat
 }
 
 // TreeNode is one node of the tree. For decision nodes, inputs with
@@ -64,6 +72,127 @@ func (t *Tree) PredictError(in, _ []float64) float64 {
 		}
 	}
 	return 0
+}
+
+// treeFlat is the structure-of-arrays form of a validated tree the batch
+// walk indexes: parallel arrays instead of a node struct (three cache lines
+// of hot data for a depth-7 tree instead of pointer-chased structs), leaves
+// rewritten to self-loop (thresh +Inf, both children pointing at the leaf)
+// so every element walks exactly `steps` iterations with no per-node
+// leaf test, and the feature projection pre-resolved into kernel-input
+// indices (-1 = compares as zero).
+type treeFlat struct {
+	src    []int32 // kernel-input index per node; -1 compares as zero
+	thresh []float64
+	left   []int32
+	right  []int32
+	value  []float64 // clamped leaf prediction (0 on decision nodes)
+	steps  int       // longest root-to-leaf path, in edges
+	ok     bool      // false: malformed tree, fall back to the scalar walk
+}
+
+// flatten builds (once) the batch view. A tree that fails validation —
+// empty, child index out of range, or a cycle — keeps ok=false and the
+// batch path falls back to the scalar walk, which is total by construction.
+func (t *Tree) flatten() *treeFlat {
+	t.flatOnce.Do(func() {
+		f := &treeFlat{}
+		t.flat = f
+		n := len(t.Nodes)
+		if n == 0 {
+			return
+		}
+		// Validate reachable structure and measure the longest path with an
+		// iterative DFS; a path longer than n edges means a cycle.
+		type frame struct {
+			node  int32
+			depth int
+		}
+		stack := []frame{{0, 0}}
+		maxDepth := 0
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if fr.node < 0 || int(fr.node) >= n {
+				return // out-of-range child
+			}
+			if fr.depth > n {
+				return // cycle
+			}
+			if fr.depth > maxDepth {
+				maxDepth = fr.depth
+			}
+			nd := &t.Nodes[fr.node]
+			if nd.Feature < 0 {
+				continue // leaf
+			}
+			stack = append(stack, frame{nd.Left, fr.depth + 1}, frame{nd.Right, fr.depth + 1})
+		}
+		f.src = make([]int32, n)
+		f.thresh = make([]float64, n)
+		f.left = make([]int32, n)
+		f.right = make([]int32, n)
+		f.value = make([]float64, n)
+		for i := range t.Nodes {
+			nd := &t.Nodes[i]
+			if nd.Feature < 0 {
+				// Leaf: self-loop with an always-true comparison so the
+				// fixed-step walk parks here.
+				f.src[i] = -1
+				f.thresh[i] = math.Inf(1)
+				f.left[i] = int32(i)
+				f.right[i] = int32(i)
+				f.value[i] = clampPrediction(nd.Value)
+				continue
+			}
+			// Resolve the projection now: node feature -> kernel-input
+			// index. Out-of-projection features compare as zero, exactly
+			// like the scalar walk's missing-feature rule.
+			src := int32(-1)
+			if t.Features == nil {
+				src = int32(nd.Feature)
+			} else if nd.Feature < len(t.Features) {
+				src = int32(t.Features[nd.Feature])
+			}
+			f.src[i] = src
+			f.thresh[i] = nd.Thresh
+			f.left[i] = nd.Left
+			f.right[i] = nd.Right
+		}
+		f.steps = maxDepth
+		f.ok = true
+	})
+	return t.flat
+}
+
+// PredictErrorBatch implements Predictor over the flattened arrays: every
+// element walks exactly flat.steps levels (leaves self-loop), so the inner
+// loop has no leaf/cycle branches and no per-element projection allocation.
+// Results are identical to the scalar walk; malformed trees (which FitTree
+// never produces, but a corrupt bundle can) fall back to it wholesale.
+func (t *Tree) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	f := t.flatten()
+	if !f.ok {
+		ScalarBatch(t, dst, ins, outs)
+		return
+	}
+	for e, in := range ins {
+		i := int32(0)
+		for s := 0; s < f.steps; s++ {
+			v := 0.0
+			if si := f.src[i]; si >= 0 && int(si) < len(in) {
+				v = in[si]
+			}
+			// NaN compares false and goes Right, like the scalar walk;
+			// on a leaf both directions self-loop.
+			if v < f.thresh[i] {
+				i = f.left[i]
+			} else {
+				i = f.right[i]
+			}
+		}
+		dst[e] = f.value[i]
+	}
 }
 
 // Cost implements Predictor: one comparison per level plus the threshold

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"sync"
 	"time"
 
 	"rumba/internal/core"
@@ -96,13 +98,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.metrics.Snapshot())
 	})
+	if s.opts.EnablePprof {
+		// Opt-in only (Options.EnablePprof / rumba-serve -pprof): these
+		// endpoints expose goroutine stacks, heap contents and the command
+		// line. The subtree route gives Index the named profiles
+		// (/debug/pprof/heap, .../goroutine, ...).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// invokeRequestPool recycles decoded request bodies: resetting Inputs to
+// length zero keeps both the outer slice and every row's capacity, and
+// encoding/json decodes into that existing capacity, so a warmed handler
+// parses a steady stream of same-shaped batches without reallocating the
+// input matrix on every request.
+var invokeRequestPool = sync.Pool{New: func() any { return new(InvokeRequest) }}
+
 func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	var req InvokeRequest
+	req := invokeRequestPool.Get().(*InvokeRequest)
+	// Zero the scalar fields but keep the Inputs capacity for the decoder.
+	*req = InvokeRequest{Inputs: req.Inputs[:0]}
+	// The pooled request may only be recycled when nothing can still read
+	// its rows: a cancelled pipeline's detection goroutine can briefly
+	// outlive ProcessSlice, so error paths after submission drop the
+	// request to the GC instead.
+	recycle := true
+	defer func() {
+		if recycle {
+			invokeRequestPool.Put(req)
+		}
+	}()
 	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := json.NewDecoder(body).Decode(req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
@@ -179,6 +211,9 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	<-j.done
 	s.hLatency.Observe(float64(time.Since(start)))
 	if j.err != nil {
+		// A failed (typically cancelled) pipeline may still be tearing
+		// down with references to req.Inputs rows.
+		recycle = false
 		if errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled) {
 			s.mDeadline.Inc()
 			writeError(w, http.StatusGatewayTimeout,

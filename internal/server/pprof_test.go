@@ -1,0 +1,104 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPprofGatedByOption checks the /debug/pprof/ surface is mounted only
+// when Options.EnablePprof is set — the endpoints expose stacks and heap
+// contents, so presence-by-default would be a security regression.
+func TestPprofGatedByOption(t *testing.T) {
+	paths := []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+		"/debug/pprof/heap",
+		"/debug/pprof/goroutine",
+	}
+
+	t.Run("disabled-by-default", func(t *testing.T) {
+		_, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}))
+		for _, p := range paths {
+			resp, err := http.Get(hs.URL + p)
+			if err != nil {
+				t.Fatalf("GET %s: %v", p, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("GET %s = %d with pprof disabled, want 404", p, resp.StatusCode)
+			}
+		}
+	})
+
+	t.Run("enabled", func(t *testing.T) {
+		_, hs := newTestServer(t, Options{EnablePprof: true}, synthKernel("synth", synthExec{}))
+		for _, p := range paths {
+			resp, err := http.Get(hs.URL + p)
+			if err != nil {
+				t.Fatalf("GET %s: %v", p, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d with pprof enabled, want 200 (body %q)", p, resp.StatusCode, body)
+			}
+		}
+		// The index should actually be the pprof index, not an API route.
+		resp, err := http.Get(hs.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), "goroutine") {
+			t.Fatalf("pprof index does not list profiles: %q", body)
+		}
+	})
+
+	t.Run("api-unaffected", func(t *testing.T) {
+		_, hs := newTestServer(t, Options{EnablePprof: true}, synthKernel("synth", synthExec{}))
+		status, resp, msg := invoke(t, hs.URL, InvokeRequest{
+			Kernel: "synth",
+			Inputs: [][]float64{{1, 0, 0}},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("invoke with pprof on: %d %s", status, msg)
+		}
+		if resp.Elements != 1 {
+			t.Fatalf("elements = %d", resp.Elements)
+		}
+	})
+}
+
+// TestInvokePooledRequestIsolation hammers one handler with differently
+// shaped requests to check pooled request decoding never leaks one
+// request's inputs into the next (stale rows from a larger previous batch
+// must not survive the reset).
+func TestInvokePooledRequestIsolation(t *testing.T) {
+	_, hs := newTestServer(t, Options{BatchSize: 8}, synthKernel("synth", synthExec{}))
+	shapes := []int{64, 1, 17, 3, 64, 2}
+	for round := 0; round < 3; round++ {
+		for _, n := range shapes {
+			inputs := make([][]float64, n)
+			for i := range inputs {
+				inputs[i] = []float64{float64(round*1000 + i), 0, 0}
+			}
+			status, resp, msg := invoke(t, hs.URL, InvokeRequest{Kernel: "synth", Inputs: inputs})
+			if status != http.StatusOK {
+				t.Fatalf("n=%d: %d %s", n, status, msg)
+			}
+			if resp.Elements != n || len(resp.Outputs) != n {
+				t.Fatalf("n=%d: got %d elements, %d outputs", n, resp.Elements, len(resp.Outputs))
+			}
+			for i, out := range resp.Outputs {
+				want := float64(round*1000+i)*2 + 0.125
+				if len(out) != 1 || out[0] != want {
+					t.Fatalf("n=%d element %d: %v, want [%v]", n, i, out, want)
+				}
+			}
+		}
+	}
+}

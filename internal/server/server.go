@@ -39,6 +39,16 @@ type Options struct {
 	// RecoveryDeadline bounds one element's exact re-execution; 0 disables
 	// (see core.Config.RecoveryDeadline).
 	RecoveryDeadline time.Duration
+	// BatchSize is each request pipeline's detection chunk (see
+	// core.Config.BatchSize): request inputs are pushed through the fused
+	// accelerator/checker batch kernels this many elements at a time.
+	// Outputs are bit-identical at every size; <= 0 uses 64. 1 restores
+	// strictly per-element detection.
+	BatchSize int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the API
+	// mux. Off by default: the profiling endpoints expose stacks, heap
+	// contents and command lines, so they are opt-in (rumba-serve -pprof).
+	EnablePprof bool
 	// Defaults is the tuner a new tenant starts with when its first
 	// request does not choose a mode; a zero Target selects the paper's
 	// 90% target output quality (0.10 error bound).
@@ -90,6 +100,9 @@ func New(reg *Registry, opts Options) (*Server, error) {
 	if opts.StreamWorkers <= 0 {
 		opts.StreamWorkers = 1
 	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
 	m := opts.Metrics
 	if m == nil {
 		m = obs.NewRegistry()
@@ -138,6 +151,7 @@ func (s *Server) execute(j *job) {
 		Tuner:            ts.tuner,
 		InvocationSize:   s.tenants.invocationSize,
 		RecoveryDeadline: s.opts.RecoveryDeadline,
+		BatchSize:        s.opts.BatchSize,
 		Metrics:          s.metrics,
 	}, s.opts.StreamWorkers)
 	if err != nil {

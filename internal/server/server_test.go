@@ -45,8 +45,11 @@ type scoreChecker struct{}
 
 func (scoreChecker) Name() string                         { return "score" }
 func (scoreChecker) PredictError(in, _ []float64) float64 { return in[2] }
-func (scoreChecker) Cost() predictor.Cost                 { return predictor.Cost{} }
-func (scoreChecker) Reset()                               {}
+func (c scoreChecker) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	predictor.ScalarBatch(c, dst, ins, outs)
+}
+func (scoreChecker) Cost() predictor.Cost { return predictor.Cost{} }
+func (scoreChecker) Reset()               {}
 
 // synthKernel builds a servable kernel around the synthetic benchmark; ex
 // lets individual tests substitute slow or gated executors.
