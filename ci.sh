@@ -22,11 +22,17 @@
 #                                  kernels that stop compiling, panic, or
 #                                  start allocating, without paying for a
 #                                  statistically meaningful timing run
-#   6. coverage floors             statement coverage of the hardened runtime
-#                                  (internal/core) and the observability
-#                                  layer (internal/obs) must not regress
-#                                  below the floors
-#   7. rumba-vet ./...             Rumba's own static-analysis suite:
+#   6. /metrics exposition smoke   the Prometheus text endpoint golden test
+#                                  plus a live httptest scrape parsed by
+#                                  obs.ValidateExposition: a malformed
+#                                  exposition (duplicate family, bad sample,
+#                                  NaN) fails CI before a scraper sees it
+#   7. coverage floors             statement coverage of the hardened runtime
+#                                  (internal/core), the observability layer
+#                                  (internal/obs, internal/trace) and the
+#                                  serving layer must not regress below the
+#                                  floors
+#   8. rumba-vet ./...             Rumba's own static-analysis suite:
 #                                  purity, determinism, floatcmp,
 #                                  kernelsig, concurrency (see DESIGN.md,
 #                                  "Static analysis & safety"); fails on
@@ -59,7 +65,11 @@ go test -run='^$' -fuzz='^FuzzTreePredictError$' -fuzztime=10s ./internal/predic
 echo "==> bench smoke (-benchtime=100x -benchmem)"
 go test -run '^$' -bench 'Forward|Predict|Stream' -benchtime=100x -benchmem ./internal/bench/
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/server >= 80%)"
+echo "==> /metrics exposition smoke (golden render + live scrape parse)"
+go test -run 'TestWritePrometheus|TestValidateExposition' -count=1 ./internal/obs/
+go test -run 'TestMetricsPrometheus' -count=1 ./internal/server/
+
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -78,6 +88,7 @@ check_cover() {
 }
 check_cover ./internal/core/ 85
 check_cover ./internal/obs/ 85
+check_cover ./internal/trace/ 85
 check_cover ./internal/server/ 80
 
 echo "==> rumba-vet ./..."

@@ -8,9 +8,12 @@
 // With -stream the online phase runs through the concurrent streaming
 // runtime instead of the batch runtime, printing the runtime's
 // observability counters afterwards; -expvar additionally serves the live
-// metrics snapshot at /debug/vars while the stream runs:
+// metrics snapshot at /debug/vars while the stream runs, and -trace records
+// a span tree for the whole run (detection chunks, fused invokes, checker
+// batches, recoveries, merge commits) and prints a per-span-kind summary:
 //
 //	rumba-demo -benchmark fft -stream -workers 4 -expvar localhost:8090
+//	rumba-demo -benchmark fft -stream -trace
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"rumba/internal/core"
 	"rumba/internal/obs"
 	"rumba/internal/predictor"
+	"rumba/internal/trace"
 	"rumba/internal/trainer"
 )
 
@@ -41,9 +45,10 @@ func main() {
 	stream := flag.Bool("stream", false, "run the online phase through the streaming runtime")
 	workers := flag.Int("workers", 2, "recovery workers for -stream")
 	expvarAddr := flag.String("expvar", "", "with -stream: serve the live obs snapshot on this address at /debug/vars (e.g. localhost:8090)")
+	traceFlag := flag.Bool("trace", false, "with -stream: record a span tree for the whole run and print a per-span-kind summary afterwards")
 	flag.Parse()
 
-	opts := streamOpts{enabled: *stream, workers: *workers, expvarAddr: *expvarAddr}
+	opts := streamOpts{enabled: *stream, workers: *workers, expvarAddr: *expvarAddr, trace: *traceFlag}
 	if err := run(*name, *mode, *checker, *target, *trainN, *testN, *bundlePath, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-demo:", err)
 		os.Exit(1)
@@ -55,6 +60,7 @@ type streamOpts struct {
 	enabled    bool
 	workers    int
 	expvarAddr string
+	trace      bool
 }
 
 func run(name, mode, checker string, target float64, trainN, testN int, bundlePath string, opts streamOpts) error {
@@ -175,6 +181,15 @@ func runStream(spec *bench.Spec, acc *accel.Accelerator, p predictor.Predictor, 
 
 	fmt.Printf("== online: streaming %s elements through %d recovery workers\n", spec.TestDesc, opts.workers)
 	test := spec.GenTest(testN)
+	ctx := context.Background()
+	var tr *trace.Trace
+	if opts.trace {
+		// One trace for the whole run: a span per detection chunk, fused
+		// invoke, checker batch, recovery and merge commit. The table is
+		// sized generously; overflow is counted and reported, not fatal.
+		tr = trace.New("demo-stream", 1<<15)
+		ctx = trace.NewContext(ctx, tr.Root())
+	}
 	inputs := make(chan []float64)
 	go func() {
 		defer close(inputs)
@@ -182,7 +197,7 @@ func runStream(spec *bench.Spec, acc *accel.Accelerator, p predictor.Predictor, 
 			inputs <- in
 		}
 	}()
-	results, err := st.Process(context.Background(), inputs)
+	results, err := st.Process(ctx, inputs)
 	if err != nil {
 		return err
 	}
@@ -196,7 +211,44 @@ func runStream(spec *bench.Spec, acc *accel.Accelerator, p predictor.Predictor, 
 	fmt.Printf("degraded            %d\n", stats.Degraded)
 	fmt.Printf("output error        %.2f%%\n", 100*stats.OutputError)
 	printObsSummary(st.Metrics().Snapshot())
+	if tr != nil {
+		tr.Finish()
+		printTraceSummary(tr.Snapshot())
+	}
 	return nil
+}
+
+// printTraceSummary aggregates a finished trace by span name: how many spans
+// of each kind the run produced and where the wall-clock went.
+func printTraceSummary(snap trace.Snapshot) {
+	type agg struct {
+		count   int
+		totalNs int64
+	}
+	byName := map[string]*agg{}
+	names := []string{}
+	for _, sp := range snap.Spans {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{}
+			byName[sp.Name] = a
+			names = append(names, sp.Name)
+		}
+		a.count++
+		if sp.End > sp.Start {
+			a.totalNs += sp.End - sp.Start
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("\n-- trace %s: %d spans over %.2f ms --\n", snap.ID, len(snap.Spans), float64(snap.DurationNs)/1e6)
+	for _, n := range names {
+		a := byName[n]
+		fmt.Printf("%-32s x%-6d total %8.2f ms  mean %8.1f us\n",
+			n, a.count, float64(a.totalNs)/1e6, float64(a.totalNs)/float64(a.count)/1e3)
+	}
+	if snap.DroppedSpans > 0 {
+		fmt.Printf("(+%d spans dropped: table full)\n", snap.DroppedSpans)
+	}
 }
 
 // printObsSummary renders the registry snapshot as an aligned listing.

@@ -54,11 +54,17 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "drain timeout on SIGTERM")
 	expvarFlag := flag.Bool("expvar", false, "additionally publish the metrics registry at /debug/vars")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof at /debug/pprof/ (off by default; profiling endpoints reveal stacks and heap contents)")
+	traceCapacity := flag.Int("trace-capacity", 0, "flight-recorder ring capacity in traces; > 0 enables request tracing and /debug/rumba/traces (0 = disabled, zero hot-path overhead)")
+	traceSample := flag.Int("trace-sample", 1, "tail-sample 1 in N healthy traces into the recorder (shed/degraded/violating traces are always kept; <= 1 keeps all)")
+	driftWindow := flag.Int("drift-window", 0, "quality-drift monitor window in delivered elements (0 = 256)")
+	driftK := flag.Int("drift-k", 0, "drift alert fires when K of the last N windows breach the tenant target (0 = 3)")
+	driftN := flag.Int("drift-n", 0, "window count the drift alert looks back over (0 = 5)")
 	flag.Parse()
 
 	if err := run(*addr, *bundles, *train, *state, *mode,
 		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation, *batch,
-		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag); err != nil {
+		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag,
+		*traceCapacity, *traceSample, server.DriftConfig{Window: *driftWindow, K: *driftK, N: *driftN}); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-serve:", err)
 		os.Exit(1)
 	}
@@ -66,7 +72,8 @@ func main() {
 
 func run(addr, bundles, train, state, mode string,
 	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation, batch int,
-	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag bool) error {
+	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag bool,
+	traceCapacity, traceSample int, drift server.DriftConfig) error {
 	reg := server.NewKernelRegistry()
 	if bundles != "" {
 		n, err := reg.LoadBundleDir(bundles)
@@ -116,6 +123,9 @@ func run(addr, bundles, train, state, mode string,
 		StatePath:        state,
 		DrainTimeout:     drain,
 		Metrics:          metrics,
+		TraceCapacity:    traceCapacity,
+		TraceSampleEvery: traceSample,
+		Drift:            drift,
 	})
 	if err != nil {
 		return err
@@ -129,6 +139,10 @@ func run(addr, bundles, train, state, mode string,
 	}
 	if pprofFlag {
 		fmt.Println("== pprof: profiling endpoints exposed at /debug/pprof/")
+	}
+	if traceCapacity > 0 {
+		fmt.Printf("== trace: flight recorder on, %d traces/ring, 1-in-%d tail sampling, dump at /debug/rumba/traces\n",
+			traceCapacity, max(traceSample, 1))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

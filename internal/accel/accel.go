@@ -79,12 +79,20 @@ func (p Placement) String() string {
 	return "parallel (Fig. 9b)"
 }
 
-// Stats accumulates activity counters for the energy model.
+// Stats accumulates activity counters for the energy model, plus batch-shape
+// counters (Batches, MaxBatch) for observability: they reveal whether the
+// streaming runtime actually drives the fused path and at what width, which
+// the per-request trace spans export.
 type Stats struct {
 	Invocations int
 	MACs        int
 	InputWords  int
 	OutputWords int
+	// Batches counts forward-pass launches (an n-element InvokeBatch is one
+	// launch; Invoke is a launch of width 1).
+	Batches int
+	// MaxBatch is the widest launch seen since the last ResetStats.
+	MaxBatch int
 }
 
 // Accelerator executes invocations of a configured network. It is a
@@ -206,6 +214,10 @@ func (a *Accelerator) forwardStaged(n, inW, outW int) {
 	a.stats.MACs += n * a.cfg.Net.Topo.MACs()
 	a.stats.InputWords += n * inW
 	a.stats.OutputWords += n * outW
+	a.stats.Batches++
+	if n > a.stats.MaxBatch {
+		a.stats.MaxBatch = n
+	}
 }
 
 // Invoke runs one accelerator invocation: project, normalise, forward pass,

@@ -117,8 +117,15 @@ func TestInvokeBatchMatchesInvoke(t *testing.T) {
 						}
 					}
 				}
-				if batched.Stats() != scalar.Stats() {
-					t.Fatalf("n=%d: batch stats %+v != scalar stats %+v", n, batched.Stats(), scalar.Stats())
+				bs, ss := batched.Stats(), scalar.Stats()
+				if bs.Batches != 1 || bs.MaxBatch != n || ss.Batches != n || ss.MaxBatch != 1 {
+					t.Fatalf("n=%d: batch shape counters wrong: batched %+v scalar %+v", n, bs, ss)
+				}
+				// The energy-relevant counters must agree exactly; the batch
+				// shape legitimately differs (one fused launch vs n scalar).
+				bs.Batches, bs.MaxBatch, ss.Batches, ss.MaxBatch = 0, 0, 0, 0
+				if bs != ss {
+					t.Fatalf("n=%d: batch stats %+v != scalar stats %+v", n, bs, ss)
 				}
 			}
 		})

@@ -11,6 +11,7 @@ import (
 	"rumba/internal/exec"
 	"rumba/internal/obs"
 	"rumba/internal/quality"
+	"rumba/internal/trace"
 )
 
 // This file is the deployment-shaped variant of the runtime. System.Run is
@@ -86,6 +87,14 @@ type StreamResult struct {
 	// PredictedError is the checker's estimate for the element (zero when
 	// running unchecked).
 	PredictedError float64
+	// ObservedError is the measured error of the approximate output against
+	// the exact re-execution, available only when recovery actually computed
+	// the exact result (Observed reports availability). It is the online
+	// system's only ground-truth error sample and feeds the serving layer's
+	// quality-drift monitor.
+	ObservedError float64
+	// Observed reports that ObservedError carries a real measurement.
+	Observed bool
 }
 
 // Stream is a running online Rumba instance.
@@ -300,6 +309,11 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 	// acquire: the merger can only release in-flight slots for elements it
 	// has seen, so blocking while holding unflushed results would deadlock
 	// once BatchSize approaches MaxInFlight.
+	// The request span (if any) travels in ctx; every pipeline stage hangs
+	// its spans off it. With tracing disabled this is a zero SpanRef and all
+	// span calls below reduce to nil checks — the hot path allocates nothing.
+	reqSpan := trace.FromContext(ctx)
+
 	go func() {
 		cfg := &st.sys.cfg
 		if cfg.Checker != nil {
@@ -357,6 +371,9 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 				return
 			}
 			n := len(chunk)
+			chunkSp := reqSpan.Start("stream.chunk")
+			chunkSp.SetInt("elements", int64(n))
+			chunkFires := 0
 			start := time.Now()
 			// One flat allocation backs the whole chunk's outputs; a batch
 			// executor fills the rows in place (rows escape to the consumer
@@ -367,9 +384,11 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 			for i := 0; i < n; i++ {
 				rows[i] = flat[i*outW : (i+1)*outW : (i+1)*outW]
 			}
-			exec.InvokeBatch(cfg.Accel, rows[:n], chunk)
+			exec.InvokeBatchTraced(chunkSp, cfg.Accel, rows[:n], chunk)
 			if cfg.Checker != nil {
+				csp := chunkSp.Start("checker.predict")
 				cfg.Checker.PredictErrorBatch(preds[:n], chunk, rows[:n])
+				csp.End()
 			}
 			perElement := float64(time.Since(start)) / float64(n)
 			for i := 0; i < n; i++ {
@@ -402,6 +421,7 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 				st.gInFlight.Add(1)
 				if fire {
 					invFixed++
+					chunkFires++
 					st.mFires.Inc()
 					job := recoveryJob{index: idx, input: chunk[i], approx: rows[i], pred: pred}
 					select {
@@ -439,6 +459,8 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 					invFixed = 0
 				}
 			}
+			chunkSp.SetInt("fires", int64(chunkFires))
+			chunkSp.End()
 			if !flushDirect() {
 				abort()
 				return
@@ -472,11 +494,14 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 				}
 				b = it
 			}
+			msp := reqSpan.Start("merge.commit")
+			msp.SetInt("items", int64(len(b.items)))
 			for _, r := range b.items {
 				pending[r.Index] = r
 			}
 			resultBatchPool.Put(b)
 			st.gPending.Set(float64(len(pending)))
+			delivered := 0
 			for {
 				r, ok := pending[next]
 				if !ok {
@@ -492,8 +517,11 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 				st.gInFlight.Add(-1)
 				<-tokens
 				next++
+				delivered++
 			}
 			st.gPending.Set(float64(len(pending)))
+			msp.SetInt("delivered", int64(delivered))
+			msp.End()
 		}
 	}()
 	return out, nil
@@ -505,11 +533,17 @@ func (st *Stream) process(ctx context.Context, src inputSource) (<-chan StreamRe
 // (Degraded) when the kernel panics, overruns Config.RecoveryDeadline, or
 // the stream is cancelled mid-job.
 func (st *Stream) recoverOne(ctx context.Context, job recoveryJob) StreamResult {
+	sp := trace.FromContext(ctx).Start("exec.recover")
+	sp.SetInt("index", int64(job.index))
+	sp.SetFloat("predicted_error", job.pred)
 	start := time.Now()
 	exact, ok := st.runExact(ctx, job.input)
 	st.hRecover.Observe(float64(time.Since(start)))
 	if !ok {
 		st.mDegraded.Inc()
+		sp.SetStr("outcome", "degraded")
+		sp.AddFlag(trace.FlagDegraded)
+		sp.End()
 		return StreamResult{
 			Index:          job.index,
 			Output:         job.approx,
@@ -518,11 +552,20 @@ func (st *Stream) recoverOne(ctx context.Context, job recoveryJob) StreamResult 
 		}
 	}
 	st.mFixes.Inc()
+	// The exact recomputation is the one moment the online system holds
+	// ground truth: score the approximate output against it. This observed
+	// error calibrates the checker and feeds the drift monitor upstream.
+	obsErr := quality.ElementError(st.sys.cfg.Spec.Metric, exact, job.approx, st.sys.cfg.Spec.Scale)
+	sp.SetStr("outcome", "fixed")
+	sp.SetFloat("observed_error", obsErr)
+	sp.End()
 	return StreamResult{
 		Index:          job.index,
 		Output:         exact,
 		Fixed:          true,
 		PredictedError: job.pred,
+		ObservedError:  obsErr,
+		Observed:       true,
 	}
 }
 

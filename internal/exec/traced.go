@@ -1,0 +1,24 @@
+package exec
+
+import "rumba/internal/trace"
+
+// InvokeBatchTraced is InvokeBatch wrapped in an "accel.invoke" span under
+// parent, recording the batch width and which path (fused batch kernel or
+// per-element fallback) served it. With tracing disabled (zero parent) every
+// span operation is a nil check, so the batched hot path stays
+// allocation-free — the property the disabled-tracing benchmark guards.
+func InvokeBatchTraced(parent trace.SpanRef, ex Executor, dst [][]float64, inputs [][]float64) {
+	sp := parent.Start("accel.invoke")
+	sp.SetInt("batch", int64(len(inputs)))
+	if b, ok := ex.(BatchExecutor); ok {
+		sp.SetStr("path", "fused")
+		b.InvokeBatch(dst, inputs)
+		sp.End()
+		return
+	}
+	sp.SetStr("path", "scalar")
+	for i, in := range inputs {
+		dst[i] = ex.Invoke(in)
+	}
+	sp.End()
+}

@@ -1,0 +1,133 @@
+package exec_test
+
+import (
+	"testing"
+
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+	"rumba/internal/trace"
+)
+
+// copyExec is a minimal BatchExecutor: output = input, batch path fills dst
+// in place without allocating (capacity-reusing resize, like the NPU kernel).
+type copyExec struct{ batchCalls int }
+
+func (c *copyExec) Invoke(in []float64) []float64 {
+	out := make([]float64, len(in))
+	copy(out, in)
+	return out
+}
+func (c *copyExec) CyclesPerInvocation() float64             { return 1 }
+func (c *copyExec) EnergyPerInvocation(energy.Model) float64 { return 1 }
+func (c *copyExec) InvokeBatch(dst [][]float64, in [][]float64) {
+	c.batchCalls++
+	for i, row := range in {
+		if cap(dst[i]) < len(row) {
+			dst[i] = make([]float64, len(row))
+		}
+		dst[i] = dst[i][:len(row)]
+		copy(dst[i], row)
+	}
+}
+
+// scalarOnly wraps copyExec exposing only the Executor methods, forcing the
+// per-element fallback.
+type scalarOnly struct{ inner copyExec }
+
+func (s *scalarOnly) Invoke(in []float64) []float64            { return s.inner.Invoke(in) }
+func (s *scalarOnly) CyclesPerInvocation() float64             { return 1 }
+func (s *scalarOnly) EnergyPerInvocation(energy.Model) float64 { return 1 }
+
+func batchRows(n, dim int) (dst, in [][]float64) {
+	dst = make([][]float64, n)
+	in = make([][]float64, n)
+	for i := range in {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = float64(i*dim + j)
+		}
+		in[i] = row
+		dst[i] = make([]float64, dim)
+	}
+	return dst, in
+}
+
+// TestInvokeBatchTracedDisabledAllocFree is the acceptance guard for
+// disabled-by-default tracing: with a zero (invalid) parent span — exactly
+// what core.Stream passes when the request context carries no trace — the
+// traced fused path performs zero allocations per call, element count
+// notwithstanding. This is the per-chunk call on the batched hot path.
+func TestInvokeBatchTracedDisabledAllocFree(t *testing.T) {
+	ex := &copyExec{}
+	dst, in := batchRows(64, 6)
+	var none trace.SpanRef
+	exec.InvokeBatchTraced(none, ex, dst, in) // warm: rows sized
+	if allocs := testing.AllocsPerRun(100, func() {
+		exec.InvokeBatchTraced(none, ex, dst, in)
+	}); allocs != 0 {
+		t.Fatalf("disabled-tracing fused batch path allocated %v/op, want 0", allocs)
+	}
+}
+
+// TestInvokeBatchTracedFused checks the fused path is taken, outputs match
+// Invoke, and the span records the batch width and path attr.
+func TestInvokeBatchTracedFused(t *testing.T) {
+	tr := trace.New("t", 0)
+	ex := &copyExec{}
+	dst, in := batchRows(4, 3)
+	exec.InvokeBatchTraced(tr.Root(), ex, dst, in)
+	if ex.batchCalls != 1 {
+		t.Fatalf("fused path not taken: batchCalls=%d", ex.batchCalls)
+	}
+	for i := range in {
+		for j := range in[i] {
+			if dst[i][j] != in[i][j] {
+				t.Fatalf("dst[%d][%d]=%v want %v", i, j, dst[i][j], in[i][j])
+			}
+		}
+	}
+	tr.Finish()
+	snap := tr.Snapshot()
+	var found bool
+	for _, sp := range snap.Spans {
+		if sp.Name != "accel.invoke" {
+			continue
+		}
+		found = true
+		if sp.Attrs["batch"] != int64(4) || sp.Attrs["path"] != "fused" {
+			t.Fatalf("span attrs = %v", sp.Attrs)
+		}
+		if sp.End == 0 {
+			t.Fatal("span not ended")
+		}
+	}
+	if !found {
+		t.Fatal("no accel.invoke span recorded")
+	}
+}
+
+// TestInvokeBatchTracedScalarFallback drives an Executor without a batch
+// entry point and checks the per-element fallback plus the "scalar" path attr.
+func TestInvokeBatchTracedScalarFallback(t *testing.T) {
+	tr := trace.New("t", 0)
+	ex := &scalarOnly{}
+	dst, in := batchRows(3, 2)
+	exec.InvokeBatchTraced(tr.Root(), ex, dst, in)
+	for i := range in {
+		for j := range in[i] {
+			if dst[i][j] != in[i][j] {
+				t.Fatalf("dst[%d][%d]=%v want %v", i, j, dst[i][j], in[i][j])
+			}
+		}
+	}
+	tr.Finish()
+	for _, sp := range tr.Snapshot().Spans {
+		if sp.Name == "accel.invoke" {
+			if sp.Attrs["path"] != "scalar" || sp.Attrs["batch"] != int64(3) {
+				t.Fatalf("span attrs = %v", sp.Attrs)
+			}
+			return
+		}
+	}
+	t.Fatal("no accel.invoke span recorded")
+}

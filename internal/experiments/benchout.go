@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// This file is the BENCH_*.json writer: every per-machine benchmark baseline
+// an experiment emits goes through writeBenchJSON, which (a) stamps the
+// payload with the provenance a later regression comparison needs — which
+// commit produced the numbers, on what toolchain and hardware shape — and
+// (b) writes atomically via temp file + rename, so a baseline consumer (or a
+// crashed run) never observes a half-written JSON document.
+
+// BenchStamp is the provenance header carried by every benchmark baseline.
+type BenchStamp struct {
+	// GitCommit is the HEAD hash at measurement time, best-effort: empty when
+	// the tree is not a git checkout or git is unavailable. GitDirty marks a
+	// working tree with uncommitted changes — numbers from a dirty tree are
+	// not reproducible from the commit alone.
+	GitCommit string `json:"git_commit,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	// GoVersion/OS/Arch identify the toolchain and platform; NumCPU and
+	// GOMAXPROCS the parallelism the run had available.
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// WrittenAt is the RFC 3339 UTC write time.
+	WrittenAt string `json:"written_at"`
+}
+
+func newBenchStamp() BenchStamp {
+	s := BenchStamp{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WrittenAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+	s.GitCommit, s.GitDirty = gitHead()
+	return s
+}
+
+// gitHead resolves the current commit hash and dirtiness, best-effort: any
+// failure (no git binary, not a checkout) yields ("", false) rather than an
+// error — provenance is a courtesy, not a gate.
+func gitHead() (string, bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	commit := strings.TrimSpace(string(out))
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	dirty := err == nil && len(strings.TrimSpace(string(status))) > 0
+	return commit, dirty
+}
+
+// writeBenchJSON marshals payload (indented, trailing newline) and writes it
+// to path atomically: the bytes land in a temp file in path's directory and
+// replace path with one rename. The temp file is removed on any failure.
+func writeBenchJSON(path string, payload any) error {
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bench-*.json.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp opens 0600; baselines are shareable artifacts like the rest
+	// of the results directory.
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

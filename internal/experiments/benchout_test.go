@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteBenchJSONAtomic checks the baseline writer's contract: the target
+// appears fully formed (valid JSON, trailing newline), replaces an existing
+// baseline, and leaves no temp droppings behind.
+func TestWriteBenchJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+
+	if err := os.WriteFile(path, []byte("stale half-written garbag"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload := struct {
+		Stamp BenchStamp `json:"stamp"`
+		Value int        `json:"value"`
+	}{Stamp: newBenchStamp(), Value: 42}
+	if err := writeBenchJSON(path, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("baseline missing trailing newline")
+	}
+	var got struct {
+		Stamp BenchStamp `json:"stamp"`
+		Value int        `json:"value"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if got.Value != 42 {
+		t.Errorf("value = %d, want 42", got.Value)
+	}
+	if got.Stamp.GoVersion == "" || got.Stamp.OS == "" || got.Stamp.Arch == "" {
+		t.Errorf("stamp missing toolchain fields: %+v", got.Stamp)
+	}
+	if got.Stamp.NumCPU < 1 || got.Stamp.GOMAXPROCS < 1 {
+		t.Errorf("stamp missing parallelism fields: %+v", got.Stamp)
+	}
+	if got.Stamp.WrittenAt == "" {
+		t.Error("stamp missing written_at")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "BENCH_test.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory holds %v, want only BENCH_test.json (no temp droppings)", names)
+	}
+}
+
+// TestWriteBenchJSONUnmarshalable surfaces marshal errors instead of
+// truncating the existing baseline.
+func TestWriteBenchJSONUnmarshalable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := os.WriteFile(path, []byte("{\"ok\":true}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchJSON(path, func() {}); err == nil {
+		t.Fatal("want marshal error for func payload")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"ok\":true}\n" {
+		t.Errorf("existing baseline clobbered on failed write: %q", data)
+	}
+}

@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"testing"
 
 	"rumba/internal/accel"
@@ -21,7 +19,9 @@ import (
 // Besides the table it writes BENCH_hotpath.json (current directory) as the
 // regression baseline: ns/element, B/op and allocs/op for every pair, plus
 // the two headline ratios (batched LUT forward vs scalar Forward at batch
-// 64, and stream throughput at BatchSize 64 vs 1).
+// 64, and stream throughput at BatchSize 64 vs 1). The file is written
+// atomically (temp + rename, see writeBenchJSON) and stamped with the git
+// commit, toolchain and machine shape that produced the numbers.
 //
 // Like "stream" and "serve" this experiment reports wall-clock numbers, so
 // it is excluded from `-exp all` and the JSON it writes is a per-machine
@@ -207,8 +207,9 @@ func ExpHotpath(*Context, string) (*Table, error) {
 	}
 
 	out := struct {
-		Topology string `json:"topology"`
-		Rows     []row  `json:"rows"`
+		Stamp    BenchStamp `json:"stamp"`
+		Topology string     `json:"topology"`
+		Rows     []row      `json:"rows"`
 		Headline struct {
 			ForwardScalarNs  float64 `json:"forward_scalar_ns_per_elem"`
 			ForwardBatch64Ns float64 `json:"forward_batch64_lut_ns_per_elem"`
@@ -217,7 +218,7 @@ func ExpHotpath(*Context, string) (*Table, error) {
 			StreamBatch64Ns  float64 `json:"stream_batch64_ns_per_elem"`
 			StreamSpeedup    float64 `json:"stream_speedup"`
 		} `json:"headline"`
-	}{Topology: topo, Rows: rows}
+	}{Stamp: newBenchStamp(), Topology: topo, Rows: rows}
 	out.Headline.ForwardScalarNs = scalar.NsPerEl
 	out.Headline.ForwardBatch64Ns = lut64.NsPerEl
 	out.Headline.ForwardSpeedup = scalar.NsPerEl / lut64.NsPerEl
@@ -225,11 +226,7 @@ func ExpHotpath(*Context, string) (*Table, error) {
 	out.Headline.StreamBatch64Ns = streamRows[64].NsPerEl
 	out.Headline.StreamSpeedup = streamRows[1].NsPerEl / streamRows[64].NsPerEl
 
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	if err := os.WriteFile("BENCH_hotpath.json", append(data, '\n'), 0o644); err != nil {
+	if err := writeBenchJSON("BENCH_hotpath.json", out); err != nil {
 		return nil, err
 	}
 

@@ -10,19 +10,24 @@ import (
 	"time"
 
 	"rumba/internal/accel"
+	"rumba/internal/core"
 	"rumba/internal/exec"
 	"rumba/internal/obs"
 	"rumba/internal/predictor"
 	"rumba/internal/server"
+	"rumba/internal/trace"
 )
 
 // ExpServe load-tests the rumba-serve layer in-process: N concurrent tenants
 // hammer a deliberately under-provisioned server (small worker pool, small
 // admission queue) over a real loopback listener, and the table reports the
-// admitted/shed split, the degraded-request rate, and the admitted-request
-// latency distribution from the server's own observability snapshot. Like
-// "stream" it is registered in rumba-bench but excluded from `-exp all`:
-// latencies and the exact shed count are wall-clock and machine-dependent.
+// admitted/shed split, element-level shed/degraded/recovery rates, the
+// per-tenant quality-drift verdicts, the flight recorder's retention, and
+// the admitted-request latency distribution — all from the server's own
+// observability surface (metrics snapshot, tenant listing, trace dump), the
+// same signals an operator scrapes in production. Like "stream" it is
+// registered in rumba-bench but excluded from `-exp all`: latencies and the
+// exact shed count are wall-clock and machine-dependent.
 func ExpServe(c *Context, benchmark string) (*Table, error) {
 	if benchmark == "" {
 		benchmark = "fft"
@@ -60,6 +65,13 @@ func ExpServe(c *Context, benchmark string) (*Table, error) {
 		MaxInFlight:     4,
 		InvocationSize:  batch,
 		Metrics:         metrics,
+		// The full observability surface, as deployed: a flight recorder
+		// tail-sampling 1-in-8 healthy traces (flagged ones always kept) and
+		// a drift monitor sized so each tenant closes several windows over
+		// its 12 × 64 delivered elements.
+		TraceCapacity:    64,
+		TraceSampleEvery: 8,
+		Drift:            server.DriftConfig{Window: 128},
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +138,18 @@ func ExpServe(c *Context, benchmark string) (*Table, error) {
 		}(cl)
 	}
 	wg.Wait()
+
+	// Pull the flight-recorder dump over the wire before shutdown — the same
+	// way an operator would after an incident.
+	var dump trace.Dump
+	if resp, err := http.Get(url + "/debug/rumba/traces"); err == nil {
+		derr := json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if derr != nil {
+			dump = trace.Dump{}
+		}
+	}
+
 	cancel()
 	if err := <-runErr; err != nil {
 		return nil, err
@@ -150,10 +174,24 @@ func ExpServe(c *Context, benchmark string) (*Table, error) {
 	}
 	t.AddRow("requests completed", fmt.Sprintf("%d", total))
 	t.AddRow("requests failed", fmt.Sprintf("%d", failed))
-	t.AddRow("admitted (full pipeline)", fmt.Sprintf("%d", snap.Counters[server.MetricRequests]))
-	t.AddRow("shed (approximate-only)", fmt.Sprintf("%d", snap.Counters[server.MetricShed]))
+	admitted := snap.Counters[server.MetricRequests]
+	shed := snap.Counters[server.MetricShed]
+	t.AddRow("admitted (full pipeline)", fmt.Sprintf("%d", admitted))
+	t.AddRow("shed (approximate-only)", fmt.Sprintf("%d", shed))
+	if admitted+shed > 0 {
+		t.AddRow("shed-request rate", fmt.Sprintf("%.1f%%", 100*float64(shed)/float64(admitted+shed)))
+	}
 	if total > 0 {
 		t.AddRow("degraded-request rate", fmt.Sprintf("%.1f%%", 100*float64(degraded)/float64(total)))
+	}
+	// Element-level quality outcomes across every admitted pipeline: how many
+	// elements fired the checker, how many recovery fixed, and how many were
+	// delivered degraded (fired but shipped approximate anyway).
+	if out := snap.Counters[core.MetricElementsOut]; out > 0 {
+		t.AddRow("elements delivered", fmt.Sprintf("%d", out))
+		t.AddRow("checker fire rate", fmt.Sprintf("%.1f%%", 100*float64(snap.Counters[core.MetricFires])/float64(out)))
+		t.AddRow("recovered (fixed) rate", fmt.Sprintf("%.1f%%", 100*float64(snap.Counters[core.MetricFixes])/float64(out)))
+		t.AddRow("degraded-element rate", fmt.Sprintf("%.1f%%", 100*float64(snap.Counters[core.MetricDegraded])/float64(out)))
 	}
 	t.AddRow("queue stalls", fmt.Sprintf("%d", snap.Counters[server.MetricQueueStalls]))
 	g := snap.Gauges[server.MetricInFlight]
@@ -162,8 +200,31 @@ func ExpServe(c *Context, benchmark string) (*Table, error) {
 		t.AddRow("admitted latency p50", fmt.Sprintf("<= %.2f ms", lat.Quantile(0.5)/1e6))
 		t.AddRow("admitted latency p99", fmt.Sprintf("<= %.2f ms", lat.Quantile(0.99)/1e6))
 	}
+	// Flight-recorder retention: how many traces the run produced, how many
+	// the tail-sampler kept, and how many were flagged (shed, degraded, or a
+	// drift violation) and so bypassed sampling entirely.
+	flaggedTraces := 0
+	for _, tr := range dump.Traces {
+		if len(tr.Flags) > 0 {
+			flaggedTraces++
+		}
+	}
+	t.AddRow("traces recorded", fmt.Sprintf("%d of %d offered (1-in-%d tail sampling, flagged always kept)",
+		dump.Recorded, dump.Offered, dump.SampleEvery))
+	t.AddRow("traces flagged", fmt.Sprintf("%d", flaggedTraces))
+	// Per-tenant tuner position and quality-drift verdict — the monitor's
+	// k-of-n state over its closed windows.
+	violatingTenants := 0
 	for _, ti := range srv.Tenants() {
 		t.AddRow("threshold "+ti.Tenant, fmt.Sprintf("%.4g (%d fixed / %d elements)", ti.Threshold, ti.Fixed, ti.Elements))
+		if d := ti.Drift; d != nil {
+			t.AddRow("drift "+ti.Tenant, fmt.Sprintf("%s (%d/%d windows breached, est %.4g vs target %.4g)",
+				d.State, d.Violations, d.Windows, d.LastEstimate, d.Target))
+			if d.State == "violating" {
+				violatingTenants++
+			}
+		}
 	}
+	t.AddRow("tenants violating TOQ", fmt.Sprintf("%d", violatingTenants))
 	return t, nil
 }

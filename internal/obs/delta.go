@@ -1,0 +1,47 @@
+package obs
+
+// Delta returns the change between two snapshots of the same registry: what
+// happened strictly after `before` was taken. It exists so tests can assert
+// metric movement ("this request shed exactly once, observed 64 latencies")
+// against a registry shared across a whole server or test binary, without a
+// Reset method that would race live writers and reintroduce test-order
+// coupling.
+//
+// Semantics per metric kind:
+//
+//   - counters subtract; a counter absent from `before` counts from zero.
+//   - gauges are levels, not accumulators — subtracting them is meaningless,
+//     so Delta keeps `after`'s Value and Max unchanged.
+//   - histograms subtract Count, Sum and per-bucket counts; buckets whose
+//     count did not move are dropped.
+//
+// Metrics present only in `before` (impossible for one registry — metrics
+// are never deleted) are ignored.
+func Delta(before, after Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(after.Counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(after.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(after.Histograms)),
+	}
+	for name, v := range after.Counters {
+		d.Counters[name] = v - before.Counters[name]
+	}
+	for name, g := range after.Gauges {
+		d.Gauges[name] = g
+	}
+	for name, h := range after.Histograms {
+		prev := before.Histograms[name]
+		dh := HistogramSnapshot{Count: h.Count - prev.Count, Sum: h.Sum - prev.Sum}
+		prevByLe := make(map[float64]int64, len(prev.Buckets))
+		for _, b := range prev.Buckets {
+			prevByLe[b.Le] = b.Count
+		}
+		for _, b := range h.Buckets {
+			if n := b.Count - prevByLe[b.Le]; n != 0 {
+				dh.Buckets = append(dh.Buckets, Bucket{Le: b.Le, Count: n})
+			}
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) so any standard scraper can consume the registry without a
+// client library. The mapping from the registry's dotted, brace-labelled
+// names ("tuner.threshold{kernel=fft,tenant=acme}") to exposition series:
+//
+//   - dots and other illegal characters become underscores and the given
+//     namespace is prefixed: rumba_tuner_threshold{kernel="fft",tenant="acme"}
+//   - all label variants of one base name form one metric family (a single
+//     HELP/TYPE pair — scrapers reject duplicates)
+//   - counters render as a single monotonic sample; gauges render their
+//     value plus a companion <name>_max family for the high-water mark
+//   - histograms render cumulative _bucket series (the registry's
+//     power-of-two bucket Le bounds, plus the mandatory le="+Inf"), _sum and
+//     _count
+//   - NaN sample values are dropped (a NaN gauge is a measurement glitch;
+//     exporting it poisons every PromQL aggregation over the family)
+//
+// Output is fully sorted (families by name, series by label set), so equal
+// registry state renders byte-identically — which is what the golden test
+// and the CI exposition smoke check pin down.
+
+// promSeries is one label variant within a family: its sample lines in
+// emission order (histogram buckets ascending) plus the sort key that orders
+// variants deterministically.
+type promSeries struct {
+	key   string
+	lines []string
+}
+
+// promFamily collects the series of one exposition family.
+type promFamily struct {
+	name   string
+	kind   string // "counter" | "gauge" | "histogram"
+	help   string
+	series []promSeries
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition format.
+// namespace prefixes every family name ("" for none); the conventional value
+// is "rumba".
+func (s Snapshot) WritePrometheus(w io.Writer, namespace string) error {
+	fams := map[string]*promFamily{}
+	// family returns the family for base, disambiguating the rare case of
+	// one spelling used as different metric kinds (the registry keeps kinds
+	// in separate namespaces, the exposition format does not).
+	family := func(base, kind, help string) *promFamily {
+		name := promName(namespace, base)
+		for {
+			f, ok := fams[name]
+			if !ok {
+				f = &promFamily{name: name, kind: kind, help: help}
+				fams[name] = f
+				return f
+			}
+			if f.kind == kind {
+				return f
+			}
+			name += "_" + kind
+		}
+	}
+
+	for name, v := range s.Counters {
+		base, labels := splitLabels(name)
+		f := family(base, "counter", base)
+		ls := promLabels(labels, "")
+		f.series = append(f.series, promSeries{key: ls,
+			lines: []string{fmt.Sprintf("%s%s %d", f.name, ls, v)}})
+	}
+	for name, g := range s.Gauges {
+		base, labels := splitLabels(name)
+		ls := promLabels(labels, "")
+		if !math.IsNaN(g.Value) {
+			f := family(base, "gauge", base)
+			f.series = append(f.series, promSeries{key: ls,
+				lines: []string{fmt.Sprintf("%s%s %s", f.name, ls, promFloat(g.Value))}})
+		}
+		if !math.IsNaN(g.Max) {
+			f := family(base+".max", "gauge", base+" high-water mark")
+			f.series = append(f.series, promSeries{key: ls,
+				lines: []string{fmt.Sprintf("%s%s %s", f.name, ls, promFloat(g.Max))}})
+		}
+	}
+	for name, h := range s.Histograms {
+		base, labels := splitLabels(name)
+		f := family(base, "histogram", base)
+		sr := promSeries{key: promLabels(labels, "")}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			sr.lines = append(sr.lines, fmt.Sprintf("%s_bucket%s %d",
+				f.name, promLabels(labels, promFloat(b.Le)), cum))
+		}
+		sr.lines = append(sr.lines, fmt.Sprintf("%s_bucket%s %d", f.name, promLabels(labels, "+Inf"), h.Count))
+		if !math.IsNaN(h.Sum) {
+			sr.lines = append(sr.lines, fmt.Sprintf("%s_sum%s %s", f.name, sr.key, promFloat(h.Sum)))
+		}
+		sr.lines = append(sr.lines, fmt.Sprintf("%s_count%s %d", f.name, sr.key, h.Count))
+		f.series = append(f.series, sr)
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		// Label variants sort deterministically; within one series the lines
+		// keep their emission order, so histogram buckets stay ascending.
+		sort.Slice(f.series, func(a, b int) bool { return f.series[a].key < f.series[b].key })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			for _, line := range sr.lines {
+				if _, err := io.WriteString(w, line+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels separates a Labeled metric name into its base name and its
+// key=value pairs (see Labeled for the encoding).
+func splitLabels(name string) (base string, labels [][2]string) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	base = name[:open]
+	for _, pair := range strings.Split(name[open+1:len(name)-1], ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok {
+			labels = append(labels, [2]string{k, v})
+		}
+	}
+	return base, labels
+}
+
+// promName sanitises a dotted registry name into a legal exposition metric
+// name, prefixed with the namespace.
+func promName(namespace, base string) string {
+	var sb strings.Builder
+	if namespace != "" {
+		sb.WriteString(namespace)
+		sb.WriteByte('_')
+	}
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9' && sb.Len() > 0:
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabels renders a label set (plus an optional histogram le bound) in
+// exposition syntax, sorted by key with values quoted and escaped.
+func promLabels(labels [][2]string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels)+1)
+	for _, kv := range labels {
+		pairs = append(pairs, promLabelName(kv[0])+"="+strconv.Quote(kv[1]))
+	}
+	if le != "" {
+		pairs = append(pairs, `le="`+le+`"`)
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// promLabelName sanitises a label key ([a-zA-Z_][a-zA-Z0-9_]*).
+func promLabelName(k string) string {
+	var sb strings.Builder
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9' && i > 0:
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
+
+// promFloat renders a sample value; exposition format accepts Go's shortest
+// round-trip form, including +Inf/-Inf spellings.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

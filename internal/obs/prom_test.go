@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promTestRegistry builds a registry exercising every exposition shape:
+// plain counters, labelled per-tenant gauges, and a histogram with multiple
+// label variants.
+func promTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("stream.elements").Add(128)
+	r.Counter(Labeled("serve.requests", "tenant", "acme", "kernel", "fft")).Add(3)
+	r.Counter(Labeled("serve.requests", "tenant", "zeta", "kernel", "fft")).Add(1)
+	r.Gauge("merger.inflight").Set(4)
+	r.Gauge(Labeled("tuner.threshold", "tenant", "acme", "kernel", "fft")).Set(0.25)
+	h := r.Histogram("stream.latency_ns")
+	h.Observe(1)  // bucket le=1
+	h.Observe(3)  // bucket le=4
+	h.Observe(3)  // bucket le=4
+	h.Observe(70) // bucket le=128
+	r.Histogram(Labeled("stream.latency_ns", "tenant", "acme")).Observe(2)
+	return r
+}
+
+const promGolden = `# HELP rumba_merger_inflight merger.inflight
+# TYPE rumba_merger_inflight gauge
+rumba_merger_inflight 4
+# HELP rumba_merger_inflight_max merger.inflight high-water mark
+# TYPE rumba_merger_inflight_max gauge
+rumba_merger_inflight_max 4
+# HELP rumba_serve_requests serve.requests
+# TYPE rumba_serve_requests counter
+rumba_serve_requests{kernel="fft",tenant="acme"} 3
+rumba_serve_requests{kernel="fft",tenant="zeta"} 1
+# HELP rumba_stream_elements stream.elements
+# TYPE rumba_stream_elements counter
+rumba_stream_elements 128
+# HELP rumba_stream_latency_ns stream.latency_ns
+# TYPE rumba_stream_latency_ns histogram
+rumba_stream_latency_ns_bucket{le="1"} 1
+rumba_stream_latency_ns_bucket{le="4"} 3
+rumba_stream_latency_ns_bucket{le="128"} 4
+rumba_stream_latency_ns_bucket{le="+Inf"} 4
+rumba_stream_latency_ns_sum 77
+rumba_stream_latency_ns_count 4
+rumba_stream_latency_ns_bucket{le="2",tenant="acme"} 1
+rumba_stream_latency_ns_bucket{le="+Inf",tenant="acme"} 1
+rumba_stream_latency_ns_sum{tenant="acme"} 2
+rumba_stream_latency_ns_count{tenant="acme"} 1
+# HELP rumba_tuner_threshold tuner.threshold
+# TYPE rumba_tuner_threshold gauge
+rumba_tuner_threshold{kernel="fft",tenant="acme"} 0.25
+# HELP rumba_tuner_threshold_max tuner.threshold high-water mark
+# TYPE rumba_tuner_threshold_max gauge
+rumba_tuner_threshold_max{kernel="fft",tenant="acme"} 0.25
+`
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := promTestRegistry().Snapshot().WritePrometheus(&sb, "rumba"); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != promGolden {
+		t.Fatalf("exposition drifted from golden.\ngot:\n%s\nwant:\n%s", sb.String(), promGolden)
+	}
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("golden output fails its own validator: %v", err)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	s := promTestRegistry().Snapshot()
+	var a, b strings.Builder
+	if err := s.WritePrometheus(&a, "rumba"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePrometheus(&b, "rumba"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of one snapshot differ")
+	}
+}
+
+func TestWritePrometheusDropsNaN(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok").Inc()
+	r.Gauge("bad").Set(math.NaN())
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb, "rumba"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN leaked into exposition:\n%s", out)
+	}
+	// The max companion survives (it never went NaN — updateMax skips NaN
+	// comparisons), the value sample is dropped.
+	if strings.Contains(out, "rumba_bad ") {
+		t.Fatalf("NaN gauge value exported:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("validator rejects NaN-scrubbed output: %v", err)
+	}
+}
+
+func TestWritePrometheusKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("work").Inc()
+	r.Gauge("work").Set(2)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	// One spelling used as two kinds must still yield unique families.
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("kind collision produced invalid exposition: %v\n%s", err, sb.String())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate HELP": "# HELP a a\n# HELP a a\n# TYPE a counter\na 1\n",
+		"duplicate TYPE": "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"unknown type":   "# TYPE a widget\na 1\n",
+		"NaN sample":     "a NaN\n",
+		"garbage line":   "a{b=\"c\" 1\n",
+		"bad value":      "a one\n",
+		"empty":          "",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+	ok := "# HELP a a\n# TYPE a counter\na{b=\"c\"} 1 1690000000\n\nuntyped_series 2\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("validator rejected valid input: %v", err)
+	}
+}
+
+func TestDeltaCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	before := r.Snapshot()
+	r.Counter("a").Add(3)
+	r.Counter("b").Inc() // born after `before`
+	d := Delta(before, r.Snapshot())
+	if d.Counters["a"] != 3 {
+		t.Fatalf("delta a = %d, want 3", d.Counters["a"])
+	}
+	if d.Counters["b"] != 1 {
+		t.Fatalf("delta b = %d, want 1 (absent in before counts from zero)", d.Counters["b"])
+	}
+}
+
+func TestDeltaGaugesKeepLevel(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("depth").Set(10)
+	before := r.Snapshot()
+	r.Gauge("depth").Set(4)
+	d := Delta(before, r.Snapshot())
+	if g := d.Gauges["depth"]; g.Value != 4 || g.Max != 10 {
+		t.Fatalf("gauge delta = %+v, want after's level {4 10}", g)
+	}
+}
+
+func TestDeltaHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(1)
+	h.Observe(3)
+	before := r.Snapshot()
+	h.Observe(3)
+	h.Observe(100)
+	d := Delta(before, r.Snapshot())
+	dh := d.Histograms["lat"]
+	if dh.Count != 2 || dh.Sum != 103 {
+		t.Fatalf("delta count=%d sum=%g, want 2/103", dh.Count, dh.Sum)
+	}
+	// le=1 didn't move and must be dropped; le=4 moved by 1; le=128 is new.
+	want := []Bucket{{Le: 4, Count: 1}, {Le: 128, Count: 1}}
+	if len(dh.Buckets) != len(want) {
+		t.Fatalf("delta buckets = %+v, want %+v", dh.Buckets, want)
+	}
+	for i, b := range dh.Buckets {
+		if b != want[i] {
+			t.Fatalf("delta bucket %d = %+v, want %+v", i, b, want[i])
+		}
+	}
+}
+
+// TestDeltaIsolatesSharedRegistry is the regression guard for test-order
+// independence: two "tests" sharing one registry each see only their own
+// activity through Delta, whichever runs first.
+func TestDeltaIsolatesSharedRegistry(t *testing.T) {
+	shared := NewRegistry()
+	run := func(n int64) int64 {
+		before := shared.Snapshot()
+		shared.Counter("serve.shed").Add(n)
+		return Delta(before, shared.Snapshot()).Counters["serve.shed"]
+	}
+	if got := run(2); got != 2 {
+		t.Fatalf("first run saw %d, want 2", got)
+	}
+	if got := run(5); got != 5 {
+		t.Fatalf("second run saw %d, want 5 (leaked prior state)", got)
+	}
+}
+
+// TestLabeledConcurrentChurn hammers get-or-create with many label sets from
+// many goroutines — the tenant-churn pattern in rumba-serve — and checks
+// every series lands exactly once with the full count.
+func TestLabeledConcurrentChurn(t *testing.T) {
+	r := NewRegistry()
+	const workers, tenants, iters = 8, 32, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tenant := fmt.Sprintf("t%02d", (w*iters+i)%tenants)
+				name := Labeled("serve.requests", "tenant", tenant, "kernel", "fft")
+				r.Counter(name).Inc()
+				r.Gauge(Labeled("tuner.threshold", "tenant", tenant)).Set(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total int64
+	for name, v := range s.Counters {
+		if !strings.HasPrefix(name, "serve.requests{kernel=fft,tenant=") {
+			t.Fatalf("alias series created under churn: %q", name)
+		}
+		total += v
+	}
+	if total != workers*iters {
+		t.Fatalf("lost increments under churn: %d, want %d", total, workers*iters)
+	}
+	if len(s.Gauges) != tenants {
+		t.Fatalf("%d gauge series, want %d", len(s.Gauges), tenants)
+	}
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb, "rumba"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("churned registry renders invalid exposition: %v", err)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge")
+	h.Observe(0)                           // bucket 0
+	h.Observe(math.SmallestNonzeroFloat64) // subnormal → bucket 0
+	h.Observe(1)                           // boundary: v <= 1 → bucket 0
+	h.Observe(math.Nextafter(1, 2))        // just above 1 → bucket 1 (le=2)
+	h.Observe(2)                           // boundary: (1,2] → bucket 1
+	h.Observe(math.Inf(1))                 // +Inf → last bucket
+
+	s := r.Snapshot().Histograms["edge"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if !math.IsInf(s.Sum, 1) {
+		t.Fatalf("sum = %g, want +Inf", s.Sum)
+	}
+	byLe := map[float64]int64{}
+	for _, b := range s.Buckets {
+		byLe[b.Le] = b.Count
+	}
+	if byLe[1] != 3 {
+		t.Fatalf("bucket le=1 has %d, want 3 (zero, subnormal, exact 1)", byLe[1])
+	}
+	if byLe[2] != 2 {
+		t.Fatalf("bucket le=2 has %d, want 2 (1+ulp and exact 2)", byLe[2])
+	}
+	if last := math.Ldexp(1, histBuckets-1); byLe[last] != 1 {
+		t.Fatalf("last bucket le=%g has %d, want the +Inf observation", last, byLe[last])
+	}
+
+	// +Inf sum must be dropped by the exposition writer but the buckets and
+	// count still render and validate.
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb, "rumba"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `rumba_edge_bucket{le="+Inf"} 6`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("edge histogram renders invalid exposition: %v", err)
+	}
+}
+
+func TestHistogramNaNAndNegative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("glitch")
+	h.Observe(math.NaN())
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	s := r.Snapshot().Histograms["glitch"]
+	if s.Sum != 0 {
+		t.Fatalf("sum = %g, want 0 (NaN and negatives clamp)", s.Sum)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].Le != 1 || s.Buckets[0].Count != 2 {
+		t.Fatalf("buckets = %+v, want all in le=1", s.Buckets)
+	}
+}

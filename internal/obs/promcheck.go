@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses Prometheus text exposition output and reports
+// the violations a scraper would reject or silently mangle: duplicate
+// HELP/TYPE lines for one family, samples appearing before their family
+// metadata is complete, unparseable sample lines, and NaN sample values.
+// It is the CI smoke check behind the /metrics endpoint — deliberately a
+// strict subset of the format, matching exactly what WritePrometheus emits.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	seenHelp := map[string]bool{}
+	seenType := map[string]bool{}
+	samples := 0
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(text, "# HELP "); ok {
+			fam, _, _ := strings.Cut(name, " ")
+			if seenHelp[fam] {
+				return fmt.Errorf("line %d: duplicate HELP for %s", line, fam)
+			}
+			seenHelp[fam] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, "# TYPE "); ok {
+			fam, kind, _ := strings.Cut(rest, " ")
+			if seenType[fam] {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", line, fam)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q for %s", line, kind, fam)
+			}
+			seenType[fam] = true
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // free-form comment
+		}
+		name, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		if value != value { // NaN
+			return fmt.Errorf("line %d: NaN sample for %s", line, name)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// parseSample splits one sample line into its series name (labels stripped)
+// and value.
+func parseSample(line string) (name string, value float64, err error) {
+	rest := line
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		close := strings.LastIndexByte(line, '}')
+		if close < open {
+			return "", 0, fmt.Errorf("unbalanced braces in sample %q", line)
+		}
+		name = line[:open]
+		rest = name + line[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 || len(fields) > 3 { // optional trailing timestamp
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = fields[0]
+	if name == "" {
+		return "", 0, fmt.Errorf("empty metric name in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return name, 0, fmt.Errorf("bad sample value in %q: %v", line, err)
+	}
+	return name, v, nil
+}

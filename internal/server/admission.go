@@ -7,6 +7,7 @@ import (
 	"rumba/internal/accel"
 	"rumba/internal/core"
 	"rumba/internal/obs"
+	"rumba/internal/trace"
 )
 
 // Admission metric names (alongside the stream.* metrics the per-request
@@ -43,6 +44,10 @@ type job struct {
 	results []core.StreamResult
 	err     error
 	done    chan struct{}
+	// span is the request's admission span (zero when tracing is off): it
+	// opens when the handler submits the job and the pipeline worker ends it
+	// on pickup, so its duration is the shared-queue wait.
+	span trace.SpanRef
 }
 
 // admission is the controller in front of the pipeline: concurrent requests

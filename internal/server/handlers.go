@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rumba/internal/core"
+	"rumba/internal/trace"
 )
 
 // maxRequestBytes bounds one request body; a multi-megabyte batch belongs in
@@ -67,12 +68,15 @@ type errorResponse struct {
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/invoke    run a batch through a tenant's pipeline
-//	GET  /v1/kernels   registered kernel names
-//	GET  /v1/tenants   live tenant tuner state
-//	GET  /healthz      process liveness
-//	GET  /readyz       200 while serving, 503 while draining
-//	GET  /metrics      observability registry snapshot (JSON)
+//	POST /v1/invoke                 run a batch through a tenant's pipeline
+//	GET  /v1/kernels                registered kernel names
+//	GET  /v1/tenants                live tenant tuner + drift state
+//	GET  /v1/tenants/{id}/health    one tenant's quality-drift verdict
+//	GET  /healthz                   process liveness
+//	GET  /readyz                    200 while serving, 503 while draining
+//	GET  /metrics                   Prometheus text exposition
+//	GET  /metrics.json              observability registry snapshot (JSON)
+//	GET  /debug/rumba/traces        flight-recorder dump (when tracing is on)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/invoke", s.handleInvoke)
@@ -95,8 +99,21 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ready")
 	})
+	mux.HandleFunc("GET /v1/tenants/{id}/health", s.handleTenantHealth)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.Snapshot().WritePrometheus(w, "rumba")
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	})
+	mux.HandleFunc("GET /debug/rumba/traces", func(w http.ResponseWriter, r *http.Request) {
+		if s.recorder == nil {
+			writeError(w, http.StatusNotFound,
+				errors.New("tracing disabled; enable with Options.TraceCapacity (rumba-serve -trace-capacity)"))
+			return
+		}
+		s.recorder.ServeHTTP(w, r)
 	})
 	if s.opts.EnablePprof {
 		// Opt-in only (Options.EnablePprof / rumba-serve -pprof): these
@@ -187,11 +204,32 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Request tracing (Options.TraceCapacity > 0): the trace rides the
+	// context into the pipeline; every method below is nil-safe, so the
+	// disabled path costs nil checks only.
+	var tr *trace.Trace
+	if s.recorder != nil {
+		tr = trace.New("invoke", 0)
+		root := tr.Root()
+		root.SetStr("tenant", req.Tenant)
+		root.SetStr("kernel", req.Kernel)
+		root.SetInt("elements", int64(len(req.Inputs)))
+		ctx = trace.NewContext(ctx, root)
+	}
+	defer func() {
+		tr.Finish()
+		s.recorder.Record(tr)
+	}()
+
 	start := time.Now()
 	j := &job{ctx: ctx, kernel: k, tenant: ts, inputs: req.Inputs, done: make(chan struct{})}
+	j.span = tr.Root().Start("admission")
 	if !s.adm.submit(j) {
 		// Overload: shed the Rumba way — answer with the approximate
 		// output, flagged, instead of queueing unboundedly.
+		j.span.SetStr("outcome", "shed")
+		j.span.End()
+		tr.SetFlag(trace.FlagShed)
 		s.mShed.Inc()
 		outputs, err := s.shed(k, req.Inputs)
 		if err != nil {
@@ -214,6 +252,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		// A failed (typically cancelled) pipeline may still be tearing
 		// down with references to req.Inputs rows.
 		recycle = false
+		tr.SetFlag(trace.FlagError)
 		if errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled) {
 			s.mDeadline.Inc()
 			writeError(w, http.StatusGatewayTimeout,
@@ -247,6 +286,34 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	ts.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// TenantHealth is the GET /v1/tenants/{id}/health reply: the quality-drift
+// verdict for every kernel the tenant touches.
+type TenantHealth struct {
+	Tenant string `json:"tenant"`
+	// Healthy is false when any kernel's drift monitor is violating.
+	Healthy bool         `json:"healthy"`
+	Kernels []TenantInfo `json:"kernels"`
+}
+
+func (s *Server) handleTenantHealth(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	health := TenantHealth{Tenant: id, Healthy: true}
+	for _, info := range s.tenants.List() {
+		if info.Tenant != id {
+			continue
+		}
+		health.Kernels = append(health.Kernels, info)
+		if info.Drift != nil && info.Drift.State == DriftViolating.String() {
+			health.Healthy = false
+		}
+	}
+	if len(health.Kernels) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 func parseMode(s string) (core.TunerMode, error) {

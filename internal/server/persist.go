@@ -141,6 +141,14 @@ func (t *Tenants) LoadState(path string, reg *Registry) (restored, skipped int, 
 		}
 		if checker != nil {
 			ts.tuner = snap.Tuner
+			// A restored tenant gets a fresh drift monitor over the same
+			// target rule as create(): drift state is a live windowed view,
+			// not part of the durable tuner trajectory, so it restarts empty.
+			target := ts.tuner.TargetError
+			if target <= 0 {
+				target = t.defaults.Target
+			}
+			ts.drift = newDriftMonitor(t.drift, target)
 		}
 		t.m[key] = ts
 		restored++

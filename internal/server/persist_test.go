@@ -77,6 +77,15 @@ func TestTunerStateSurvivesRestart(t *testing.T) {
 	if got.Elements != 4 || got.Fixed != 4 {
 		t.Fatalf("restored lifetime stats = %d/%d, want 4/4", got.Elements, got.Fixed)
 	}
+	// The restore path must rebuild the drift monitor (drift state is a live
+	// windowed view, not persisted): an energy-mode tuner has no TOQ error
+	// bound, so the monitor holds the manager default target.
+	if got.Drift == nil {
+		t.Fatal("restored tenant has no drift monitor")
+	}
+	if got.Drift.State != "ok" || got.Drift.Target != 0.10 {
+		t.Fatalf("restored drift = %+v, want fresh ok monitor at default target 0.10", got.Drift)
+	}
 
 	// The restored tuner keeps adapting from where it left off.
 	hs2 := newTestHTTP(t, s2)

@@ -11,6 +11,7 @@ import (
 
 	"rumba/internal/core"
 	"rumba/internal/obs"
+	"rumba/internal/trace"
 )
 
 // Options configures a Server. The zero value is usable: paper-default
@@ -65,6 +66,21 @@ type Options struct {
 	// stream.* metrics of every request pipeline); nil allocates a
 	// private registry.
 	Metrics *obs.Registry
+	// TraceCapacity enables request tracing: every request gets a span tree
+	// (admission → stream chunks → accelerator invokes → recovery → merge)
+	// and a flight recorder retains the last TraceCapacity completed traces
+	// per ring, dumped from /debug/rumba/traces. <= 0 disables tracing (the
+	// default): the span calls on the batched hot path then collapse to nil
+	// checks and add zero allocations per element.
+	TraceCapacity int
+	// TraceSampleEvery tail-samples healthy traces: 1 in TraceSampleEvery
+	// unflagged traces enters the recorder, while shed/degraded/violating/
+	// errored traces are always kept. <= 1 keeps every trace.
+	TraceSampleEvery int
+	// Drift configures the per-tenant quality-drift monitor (see
+	// DriftConfig); the zero value selects 256-element windows with 3-of-5
+	// alert hysteresis.
+	Drift DriftConfig
 }
 
 // Server is the rumba-serve daemon: registry + tenant manager + admission
@@ -75,6 +91,8 @@ type Server struct {
 	tenants *Tenants
 	adm     *admission
 	metrics *obs.Registry
+	// recorder is the trace flight recorder (nil when tracing is disabled).
+	recorder *trace.Recorder
 
 	mRequests, mShed, mDeadline *obs.Counter
 	hLatency                    *obs.Histogram
@@ -117,6 +135,13 @@ func New(reg *Registry, opts Options) (*Server, error) {
 		mDeadline: m.Counter(MetricDeadline),
 		hLatency:  m.Histogram(MetricLatencyNs),
 	}
+	s.tenants.drift = opts.Drift.withDefaults()
+	if opts.TraceCapacity > 0 {
+		s.recorder = trace.NewRecorder(trace.RecorderConfig{
+			Capacity:    opts.TraceCapacity,
+			SampleEvery: opts.TraceSampleEvery,
+		})
+	}
 	if opts.StatePath != "" {
 		restored, skipped, err := s.tenants.LoadState(opts.StatePath, reg)
 		if err != nil {
@@ -141,6 +166,10 @@ func (s *Server) Tenants() []TenantInfo { return s.tenants.List() }
 // The tenant lock serialises the tenant's requests so its tuner sees
 // invocations in order; different tenants run in parallel across workers.
 func (s *Server) execute(j *job) {
+	// The admission span opened at submit; ending it here stamps the
+	// shared-queue wait. Both calls are nil checks when tracing is off.
+	j.span.End()
+	ctx, streamSpan := trace.StartSpan(j.ctx, "stream")
 	ts := j.tenant
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -156,12 +185,17 @@ func (s *Server) execute(j *job) {
 	}, s.opts.StreamWorkers)
 	if err != nil {
 		j.err = err
+		streamSpan.AddFlag(trace.FlagError)
+		streamSpan.End()
 		return
 	}
-	results, err := st.ProcessSlice(j.ctx, j.inputs)
+	results, err := st.ProcessSlice(ctx, j.inputs)
 	j.results = results
+	streamSpan.SetInt("elements", int64(len(results)))
 	if err != nil {
 		j.err = err
+		streamSpan.AddFlag(trace.FlagError)
+		streamSpan.End()
 		return
 	}
 	s.tenants.noteResults(ts, j.kernel.Spec.Cost, results)
@@ -177,6 +211,27 @@ func (s *Server) execute(j *job) {
 		s.metrics.Gauge(obs.Labeled("serve.predicted_error",
 			"tenant", ts.key.Tenant, "kernel", ts.key.Kernel)).Set(sum / float64(len(results)))
 	}
+	if info := ts.drift.info(); info != nil {
+		s.publishDrift(ts.key, info)
+		if info.State == "violating" {
+			streamSpan.AddFlag(trace.FlagViolating)
+		}
+	}
+	streamSpan.End()
+}
+
+// publishDrift mirrors one tenant's drift-monitor state into the labelled
+// drift.* gauges so a scraper sees quality alerts without polling the tenant
+// API.
+func (s *Server) publishDrift(key TenantKey, info *DriftInfo) {
+	label := func(name string) *obs.Gauge {
+		return s.metrics.Gauge(obs.Labeled(name, "tenant", key.Tenant, "kernel", key.Kernel))
+	}
+	label(MetricDriftState).Set(float64(driftStateValue(info.State)))
+	label(MetricDriftEstimate).Set(info.LastEstimate)
+	label(MetricDriftObserved).Set(info.LastObserved)
+	label(MetricDriftWindows).Set(float64(info.Windows))
+	label(MetricDriftViolations).Set(float64(info.Violations))
 }
 
 // shed produces the degraded answer for a request the admission controller

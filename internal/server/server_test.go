@@ -233,7 +233,7 @@ func TestOpsEndpoints(t *testing.T) {
 	}
 
 	var snap map[string]any
-	getJSON(t, hs.URL+"/metrics", http.StatusOK, &snap)
+	getJSON(t, hs.URL+"/metrics.json", http.StatusOK, &snap)
 	counters, _ := snap["counters"].(map[string]any)
 	if counters == nil {
 		t.Fatalf("metrics snapshot has no counters: %v", snap)

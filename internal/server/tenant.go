@@ -41,6 +41,10 @@ type tenant struct {
 	checker     predictor.Predictor
 	accel       exec.Executor
 	tuner       *core.Tuner
+	// drift watches the delivered quality against the tenant's target (nil
+	// for unchecked tenants — without a checker there is no error estimate
+	// to monitor).
+	drift *driftMonitor
 
 	// carryElements/carryFired accumulate the partial invocation left over
 	// after each request (requests rarely align with the invocation size);
@@ -62,6 +66,7 @@ type Tenants struct {
 	defaults       TunerDefaults
 	invocationSize int
 	model          energy.Model
+	drift          DriftConfig
 }
 
 // NewTenants builds a tenant manager. invocationSize <= 0 uses the paper's
@@ -75,6 +80,7 @@ func NewTenants(defaults TunerDefaults, invocationSize int) *Tenants {
 		defaults:       defaults,
 		invocationSize: invocationSize,
 		model:          energy.DefaultModel(),
+		drift:          DriftConfig{}.withDefaults(),
 	}
 }
 
@@ -126,6 +132,15 @@ func (t *Tenants) create(key TenantKey, k *Kernel, checkerName string, mode *Tun
 		if ts.tuner, err = core.NewTuner(d.Mode, d.Target); err != nil {
 			return nil, err
 		}
+		// The drift monitor holds delivered quality against the tightest
+		// target available: the TOQ error bound when the tuner has one, the
+		// manager default otherwise (energy/quality modes tune to budgets,
+		// not error bounds, but the tenant still deserves a quality alarm).
+		target := ts.tuner.TargetError
+		if target <= 0 {
+			target = t.defaults.Target
+		}
+		ts.drift = newDriftMonitor(t.drift, target)
 	}
 	return ts, nil
 }
@@ -148,6 +163,7 @@ func (t *Tenants) noteResults(ts *tenant, cost bench.CostModel, results []core.S
 	ts.elements += int64(len(results))
 	ts.fixed += int64(fixed)
 	ts.degraded += int64(degraded)
+	ts.drift.note(results)
 	if ts.tuner == nil {
 		return
 	}
@@ -200,6 +216,8 @@ type TenantInfo struct {
 	Elements  int64   `json:"elements"`
 	Fixed     int64   `json:"fixed"`
 	Degraded  int64   `json:"degraded"`
+	// Drift is the quality-drift monitor state (nil for unchecked tenants).
+	Drift *DriftInfo `json:"drift,omitempty"`
 }
 
 // List snapshots every live tenant, sorted by tenant then kernel.
@@ -225,6 +243,7 @@ func (t *Tenants) List() []TenantInfo {
 			info.Mode = ts.tuner.Mode.String()
 			info.Threshold = ts.tuner.Threshold
 		}
+		info.Drift = ts.drift.info()
 		ts.mu.Unlock()
 		infos = append(infos, info)
 	}

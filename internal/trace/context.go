@@ -1,0 +1,35 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key; the stored value is a SpanRef (the
+// "current span"), so child packages parent their spans correctly without a
+// second lookup for the trace itself.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s as the current span. Storing the zero
+// ref is allowed and equivalent to not storing anything.
+func NewContext(ctx context.Context, s SpanRef) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the current span ref, or the zero ref when the context
+// carries no trace. The lookup itself does not allocate, so callers on hot
+// paths may consult it once per batch or even per call.
+func FromContext(ctx context.Context) SpanRef {
+	s, _ := ctx.Value(ctxKey{}).(SpanRef)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context with the child as current. With no trace in ctx it returns ctx
+// unchanged and the zero ref — no allocation, so instrumented call sites
+// need no enabled check of their own.
+func StartSpan(ctx context.Context, name string) (context.Context, SpanRef) {
+	parent := FromContext(ctx)
+	if !parent.Valid() {
+		return ctx, SpanRef{}
+	}
+	child := parent.Start(name)
+	return NewContext(ctx, child), child
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// SpanSnapshot is the dump form of one span.
+type SpanSnapshot struct {
+	ID     int            `json:"id"`
+	Parent int            `json:"parent,omitempty"`
+	Name   string         `json:"name"`
+	Start  int64          `json:"startNs"`
+	End    int64          `json:"endNs"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Snapshot is the dump form of one trace. Encoding it with encoding/json is
+// deterministic (attr maps sort their keys), which the flight-recorder
+// golden test relies on.
+type Snapshot struct {
+	ID           string         `json:"id"`
+	Begin        time.Time      `json:"begin"`
+	DurationNs   int64          `json:"durationNs"`
+	Flags        []string       `json:"flags,omitempty"`
+	DroppedSpans int            `json:"droppedSpans,omitempty"`
+	Spans        []SpanSnapshot `json:"spans"`
+}
+
+// Snapshot freezes the trace for export. It takes the trace lock, so it is
+// safe to call while a straggling pipeline goroutine still ends spans.
+func (t *Trace) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		ID:           fmt.Sprintf("%016x", t.id),
+		Begin:        t.begin,
+		DurationNs:   t.spans[0].End,
+		Flags:        t.flags.Names(),
+		DroppedSpans: t.dropped,
+		Spans:        make([]SpanSnapshot, len(t.spans)),
+	}
+	for i, sp := range t.spans {
+		out := SpanSnapshot{ID: sp.ID, Parent: sp.Parent, Name: sp.Name, Start: sp.Start, End: sp.End}
+		if len(sp.Attrs) > 0 {
+			out.Attrs = make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				switch a.kind {
+				case attrStr:
+					out.Attrs[a.Key] = a.str
+				case attrInt:
+					out.Attrs[a.Key] = a.i
+				case attrFloat:
+					out.Attrs[a.Key] = a.num
+				}
+			}
+		}
+		s.Spans[i] = out
+	}
+	return s
+}
+
+// ring is a fixed-size lock-free trace buffer: writers claim slots with one
+// atomic add and publish with one atomic pointer store, so Record never
+// blocks a request goroutine on a dump in progress.
+type ring struct {
+	slots []atomic.Pointer[Trace]
+	next  atomic.Uint64
+}
+
+func newRing(n int) ring { return ring{slots: make([]atomic.Pointer[Trace], n)} }
+
+func (r *ring) add(t *Trace) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+func (r *ring) collect(dst []*Trace) []*Trace {
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// RecorderConfig configures a flight recorder.
+type RecorderConfig struct {
+	// Capacity is the ring size; the recorder retains up to Capacity recent
+	// sampled traces plus, separately, up to Capacity recent flagged traces
+	// (degraded / shed / violating / error). <= 0 uses 64.
+	Capacity int
+	// SampleEvery is the tail-sampling rate for unflagged traces: 1 in
+	// SampleEvery completed healthy traces enters the ring. <= 1 keeps all.
+	// Flagged traces are always recorded, whatever the rate.
+	SampleEvery int
+}
+
+// Recorder is the flight recorder: the last N completed traces, with tail
+// sampling that always keeps the traces worth debugging. It is safe for
+// concurrent Record and Dump.
+type Recorder struct {
+	cfg     RecorderConfig
+	offered atomic.Uint64 // every completed trace presented to Record
+	sampled atomic.Uint64 // healthy-trace lottery counter
+	taken   atomic.Uint64 // traces recorded (both rings)
+	recent  ring
+	flagged ring
+}
+
+// NewRecorder builds a flight recorder.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.SampleEvery < 1 {
+		cfg.SampleEvery = 1
+	}
+	return &Recorder{cfg: cfg, recent: newRing(cfg.Capacity), flagged: newRing(cfg.Capacity)}
+}
+
+// Record files a completed trace. Flagged traces bypass sampling and land in
+// the always-keep ring; healthy traces enter the recent ring at the
+// configured sampling rate. Callers must not mutate the trace afterwards
+// (Finish it first).
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.offered.Add(1)
+	if t.Flags() != 0 {
+		r.flagged.add(t)
+		r.taken.Add(1)
+		return
+	}
+	if n := r.sampled.Add(1); r.cfg.SampleEvery > 1 && (n-1)%uint64(r.cfg.SampleEvery) != 0 {
+		return
+	}
+	r.recent.add(t)
+	r.taken.Add(1)
+}
+
+// Dump is the /debug/rumba/traces payload. Offered counts every completed
+// trace presented to the recorder; Recorded the subset that entered a ring
+// (flagged, or winning the tail-sampling lottery) — the difference is what
+// sampling dropped.
+type Dump struct {
+	Capacity    int        `json:"capacity"`
+	SampleEvery int        `json:"sampleEvery"`
+	Offered     uint64     `json:"offered"`
+	Recorded    uint64     `json:"recorded"`
+	Traces      []Snapshot `json:"traces"`
+}
+
+// Snapshot collects both rings, oldest trace first (by trace sequence
+// number — monotonic, so creation order survives ring wraparound).
+func (r *Recorder) Snapshot() Dump {
+	d := Dump{
+		Capacity:    r.cfg.Capacity,
+		SampleEvery: r.cfg.SampleEvery,
+		Offered:     r.offered.Load(),
+		Recorded:    r.taken.Load(),
+	}
+	var traces []*Trace
+	traces = r.recent.collect(traces)
+	traces = r.flagged.collect(traces)
+	sort.Slice(traces, func(a, b int) bool { return traces[a].id < traces[b].id })
+	d.Traces = make([]Snapshot, len(traces))
+	for i, t := range traces {
+		d.Traces[i] = t.Snapshot()
+	}
+	return d
+}
+
+// ServeHTTP dumps the recorder as JSON — the /debug/rumba/traces endpoint.
+// With ?flagged=1 only the always-keep ring is returned.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	d := r.Snapshot()
+	if req.URL.Query().Get("flagged") == "1" {
+		kept := d.Traces[:0]
+		for _, t := range d.Traces {
+			if len(t.Flags) > 0 {
+				kept = append(kept, t)
+			}
+		}
+		d.Traces = kept
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(d)
+}

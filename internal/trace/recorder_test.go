@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func finished(name string, f Flag) *Trace {
+	tr := New(name, 0)
+	sp := tr.Root().Start("op")
+	sp.End()
+	if f != 0 {
+		tr.SetFlag(f)
+	}
+	tr.Finish()
+	return tr
+}
+
+func TestRecorderRetainsLastN(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(finished("t", 0))
+	}
+	d := r.Snapshot()
+	if len(d.Traces) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(d.Traces))
+	}
+	for i := 1; i < len(d.Traces); i++ {
+		if d.Traces[i].ID <= d.Traces[i-1].ID {
+			t.Fatalf("dump out of order: %s after %s", d.Traces[i].ID, d.Traces[i-1].ID)
+		}
+	}
+	if d.Recorded != 10 {
+		t.Fatalf("recorded %d, want 10", d.Recorded)
+	}
+	if d.Offered != 10 {
+		t.Fatalf("offered %d, want 10", d.Offered)
+	}
+}
+
+func TestRecorderTailSamplingKeepsFlagged(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 8, SampleEvery: 4})
+	var degraded *Trace
+	for i := 0; i < 16; i++ {
+		r.Record(finished("healthy", 0))
+	}
+	degraded = finished("bad", FlagDegraded)
+	r.Record(degraded)
+	r.Record(finished("shed", FlagShed))
+
+	d := r.Snapshot()
+	healthy, flagged := 0, 0
+	for _, tr := range d.Traces {
+		if len(tr.Flags) > 0 {
+			flagged++
+		} else {
+			healthy++
+		}
+	}
+	if healthy != 4 {
+		t.Fatalf("sampled %d healthy traces of 16 at 1-in-4, want 4", healthy)
+	}
+	if flagged != 2 {
+		t.Fatalf("flagged traces retained = %d, want 2 (always keep)", flagged)
+	}
+	if d.Offered != 18 || d.Recorded != 6 {
+		t.Fatalf("offered/recorded = %d/%d, want 18/6", d.Offered, d.Recorded)
+	}
+}
+
+func TestRecorderFlaggedSurviveHealthyFlood(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 2})
+	r.Record(finished("bad", FlagViolating))
+	for i := 0; i < 100; i++ {
+		r.Record(finished("healthy", 0))
+	}
+	d := r.Snapshot()
+	found := false
+	for _, tr := range d.Traces {
+		for _, f := range tr.Flags {
+			if f == "violating" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("flagged trace evicted by healthy traffic")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(finished("x", 0)) // must not panic
+	r2 := NewRecorder(RecorderConfig{})
+	r2.Record(nil)
+	if d := r2.Snapshot(); len(d.Traces) != 0 {
+		t.Fatalf("nil trace recorded: %+v", d)
+	}
+}
+
+func TestRecorderServeHTTP(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 8})
+	r.Record(finished("ok", 0))
+	r.Record(finished("bad", FlagDegraded))
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rumba/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var d Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if len(d.Traces) != 2 {
+		t.Fatalf("dump has %d traces, want 2", len(d.Traces))
+	}
+	for _, tr := range d.Traces {
+		if len(tr.Spans) != 2 {
+			t.Fatalf("trace %s has %d spans, want root+op", tr.ID, len(tr.Spans))
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/rumba/traces?flagged=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Traces) != 1 || len(d.Traces[0].Flags) == 0 {
+		t.Fatalf("flagged filter returned %+v", d.Traces)
+	}
+}
+
+func TestRecorderConcurrentRecordAndDump(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 16, SampleEvery: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f := Flag(0)
+				if i%7 == 0 {
+					f = FlagDegraded
+				}
+				r.Record(finished("t", f))
+				if i%13 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if d := r.Snapshot(); len(d.Traces) == 0 {
+		t.Fatal("nothing retained after concurrent load")
+	}
+}

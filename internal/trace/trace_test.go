@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndSnapshot(t *testing.T) {
+	tr := New("invoke", 0)
+	root := tr.Root()
+	if !root.Valid() || root.Trace() != tr {
+		t.Fatalf("root ref invalid")
+	}
+	root.SetStr("tenant", "acme")
+	adm := root.Start("admission")
+	adm.SetInt("queue", 3)
+	adm.End()
+	chunk := root.Start("stream.chunk")
+	inv := chunk.Start("accel.invoke")
+	inv.SetFloat("batch", 64)
+	inv.End()
+	chunk.End()
+	tr.SetFlag(FlagDegraded)
+	tr.Finish()
+
+	s := tr.Snapshot()
+	if s.ID == "" || s.DurationNs <= 0 {
+		t.Fatalf("snapshot id %q duration %d", s.ID, s.DurationNs)
+	}
+	if len(s.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(s.Spans))
+	}
+	byName := map[string]SpanSnapshot{}
+	for _, sp := range s.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["invoke"].Parent != 0 || byName["invoke"].Attrs["tenant"] != "acme" {
+		t.Fatalf("root span wrong: %+v", byName["invoke"])
+	}
+	if byName["admission"].Parent != byName["invoke"].ID {
+		t.Fatalf("admission parent %d, want root %d", byName["admission"].Parent, byName["invoke"].ID)
+	}
+	if byName["accel.invoke"].Parent != byName["stream.chunk"].ID {
+		t.Fatalf("invoke parent %d, want chunk %d", byName["accel.invoke"].Parent, byName["stream.chunk"].ID)
+	}
+	if v, ok := byName["admission"].Attrs["queue"].(int64); !ok || v != 3 {
+		t.Fatalf("queue attr = %v", byName["admission"].Attrs["queue"])
+	}
+	if v, ok := byName["accel.invoke"].Attrs["batch"].(float64); !ok || v != 64 {
+		t.Fatalf("batch attr = %v", byName["accel.invoke"].Attrs["batch"])
+	}
+	if adm := byName["admission"]; adm.End < adm.Start {
+		t.Fatalf("admission ends %d before start %d", adm.End, adm.Start)
+	}
+	if got := s.Flags; len(got) != 1 || got[0] != "degraded" {
+		t.Fatalf("flags = %v", got)
+	}
+}
+
+func TestEndKeepsFirstStamp(t *testing.T) {
+	tr := New("r", 0)
+	sp := tr.Root().Start("op")
+	sp.End()
+	first := tr.Snapshot().Spans[1].End
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if again := tr.Snapshot().Spans[1].End; again != first {
+		t.Fatalf("second End moved the stamp: %d -> %d", first, again)
+	}
+}
+
+func TestSpanLimitCountsDropped(t *testing.T) {
+	tr := New("r", 3)
+	root := tr.Root()
+	for i := 0; i < 10; i++ {
+		root.Start("op").End()
+	}
+	s := tr.Snapshot()
+	if len(s.Spans) != 3 {
+		t.Fatalf("kept %d spans, want limit 3", len(s.Spans))
+	}
+	if s.DroppedSpans != 8 {
+		t.Fatalf("dropped %d, want 8", s.DroppedSpans)
+	}
+}
+
+func TestNilAndZeroValuesAreInert(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != 0 || tr.Flags() != 0 {
+		t.Fatal("nil trace not inert")
+	}
+	tr.SetFlag(FlagError)
+	tr.Finish()
+	if s := tr.Snapshot(); len(s.Spans) != 0 {
+		t.Fatalf("nil snapshot has spans: %+v", s)
+	}
+	ref := tr.Root()
+	if ref.Valid() {
+		t.Fatal("nil trace produced a valid ref")
+	}
+	child := ref.Start("x")
+	child.SetStr("k", "v")
+	child.SetInt("k", 1)
+	child.SetFloat("k", 1)
+	child.AddFlag(FlagShed)
+	child.End()
+	if child.Valid() {
+		t.Fatal("child of zero ref is valid")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx).Valid() {
+		t.Fatal("empty context produced a span")
+	}
+	ctx2, ref := StartSpan(ctx, "x")
+	if ctx2 != ctx || ref.Valid() {
+		t.Fatal("StartSpan without a trace must be a no-op")
+	}
+
+	tr := New("req", 0)
+	ctx = NewContext(ctx, tr.Root())
+	ctx, child := StartSpan(ctx, "child")
+	if !child.Valid() {
+		t.Fatal("child not created")
+	}
+	if FromContext(ctx) != child {
+		t.Fatal("context does not carry the child as current")
+	}
+	_, grand := StartSpan(ctx, "grandchild")
+	grand.End()
+	child.End()
+	s := tr.Snapshot()
+	if len(s.Spans) != 3 || s.Spans[2].Parent != s.Spans[1].ID {
+		t.Fatalf("span tree wrong: %+v", s.Spans)
+	}
+}
+
+// TestDisabledTracingAllocFree is the acceptance guard for the disabled
+// path: with no trace in the context, every instrumented call site must cost
+// a nil check and nothing else.
+func TestDisabledTracingAllocFree(t *testing.T) {
+	ctx := context.Background()
+	var ref SpanRef
+	if allocs := testing.AllocsPerRun(1000, func() {
+		r := FromContext(ctx)
+		c := r.Start("chunk")
+		c.SetInt("elements", 64)
+		c.SetStr("path", "fused")
+		c.SetFloat("pred", 0.5)
+		c.AddFlag(FlagDegraded)
+		c.End()
+		_, sp := StartSpan(ctx, "stream")
+		sp.End()
+		ref = c
+	}); allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f times per op", allocs)
+	}
+	if ref.Valid() {
+		t.Fatal("disabled path produced a valid span")
+	}
+}
+
+func TestConcurrentSpanRecording(t *testing.T) {
+	tr := New("req", 4096)
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := root.Start("op")
+				sp.SetInt("i", int64(i))
+				sp.End()
+				tr.SetFlag(FlagDegraded)
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	s := tr.Snapshot()
+	if len(s.Spans) != 801 {
+		t.Fatalf("got %d spans, want 801", len(s.Spans))
+	}
+	for _, sp := range s.Spans[1:] {
+		if sp.Parent != 1 || sp.End == 0 {
+			t.Fatalf("span %+v malformed", sp)
+		}
+	}
+}
+
+func TestFlagNames(t *testing.T) {
+	f := FlagShed | FlagViolating
+	got := f.Names()
+	if len(got) != 2 || got[0] != "shed" || got[1] != "violating" {
+		t.Fatalf("Names() = %v", got)
+	}
+	if Flag(0).Names() != nil {
+		t.Fatal("zero flag has names")
+	}
+}
