@@ -29,15 +29,19 @@
 #                                  NaN) fails CI before a scraper sees it
 #   7. coverage floors             statement coverage of the hardened runtime
 #                                  (internal/core), the observability layer
-#                                  (internal/obs, internal/trace) and the
-#                                  serving layer must not regress below the
-#                                  floors
+#                                  (internal/obs, internal/trace), the
+#                                  serving layer and the static-analysis
+#                                  engine (internal/analysis) must not
+#                                  regress below the floors
 #   8. rumba-vet ./...             Rumba's own static-analysis suite:
-#                                  purity, determinism, floatcmp,
-#                                  kernelsig, concurrency (see DESIGN.md,
-#                                  "Static analysis & safety"); fails on
-#                                  any unsuppressed warning-or-worse
-#                                  finding.
+#                                  purity, determinism, floatcmp, kernelsig,
+#                                  concurrency, approxflow, hotpath,
+#                                  directive (see DESIGN.md, "Static
+#                                  analysis & safety"); fails on any
+#                                  unsuppressed warning-or-worse finding not
+#                                  recorded in vet-baseline.json, and writes
+#                                  the SARIF artifact rumba-vet.sarif for
+#                                  code-scanning upload.
 
 set -eu
 cd "$(dirname "$0")"
@@ -58,9 +62,10 @@ echo "==> serving layer under -race (drain, overload-shed and restart-persistenc
 go test -race -count=1 ./internal/server/
 
 echo "==> fuzz seeds smoke"
-go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/
+go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/ ./internal/analysis/
 go test -run='^$' -fuzz='^FuzzElementError$' -fuzztime=10s ./internal/quality/
 go test -run='^$' -fuzz='^FuzzTreePredictError$' -fuzztime=10s ./internal/predictor/
+go test -run='^$' -fuzz='^FuzzParseDirective$' -fuzztime=10s ./internal/analysis/
 
 echo "==> bench smoke (-benchtime=100x -benchmem)"
 go test -run '^$' -bench 'Forward|Predict|Stream' -benchtime=100x -benchmem ./internal/bench/
@@ -69,7 +74,7 @@ echo "==> /metrics exposition smoke (golden render + live scrape parse)"
 go test -run 'TestWritePrometheus|TestValidateExposition' -count=1 ./internal/obs/
 go test -run 'TestMetricsPrometheus' -count=1 ./internal/server/
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%)"
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -90,8 +95,10 @@ check_cover ./internal/core/ 85
 check_cover ./internal/obs/ 85
 check_cover ./internal/trace/ 85
 check_cover ./internal/server/ 80
+check_cover ./internal/analysis/ 80
 
-echo "==> rumba-vet ./..."
-go run ./cmd/rumba-vet -fail-on warning ./...
+echo "==> rumba-vet ./... (baseline-gated, SARIF artifact at rumba-vet.sarif)"
+go run ./cmd/rumba-vet -fail-on warning -baseline vet-baseline.json ./...
+go run ./cmd/rumba-vet -sarif -baseline vet-baseline.json ./... > rumba-vet.sarif
 
 echo "ci: all checks passed"

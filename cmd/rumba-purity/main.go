@@ -1,19 +1,13 @@
-// Command rumba-purity runs the Section 2.2 region-purity analysis over a
-// Go package and reports which functions can safely be re-executed by
-// Rumba's recovery module. It is a thin wrapper over the type-aware driver
-// in internal/analysis: calls resolve to typed objects, and the purity
-// fixpoint runs across the package's module dependencies, so sibling
-// helpers such as imageutil.Clamp255 are verified rather than asserted.
+// Command rumba-purity is deprecated: the purity analysis lives in the
+// rumba-vet suite, and the per-function report this command used to own is
+// now rumba-vet -purity-report <dir>. This shim keeps the historical flags
+// working — it forwards to the same typed engine (internal/purity over
+// internal/analysis) and prints the identical report — but new scripts
+// should call rumba-vet directly:
 //
-//	rumba-purity -dir internal/bench
-//	rumba-purity -dir internal/bench -impure-only
-//	rumba-purity -dir internal/bench -trust golang.org/x/exp/foo.Helper
-//
-// -trust remains for call targets outside the module; entries match the
-// typed object a call binds to ("pkg.Func" or "full/import/path.Func"),
-// never bare spelling, so a local function shadowing a trusted name is
-// still analysed on its own body. For the full multi-analyzer suite
-// (determinism, floatcmp, kernelsig, concurrency) see cmd/rumba-vet.
+//	rumba-vet -purity-report internal/bench
+//	rumba-vet -purity-report internal/bench -impure-only
+//	rumba-vet -purity-report internal/bench -trust golang.org/x/exp/foo.Helper
 package main
 
 import (
@@ -31,6 +25,8 @@ func main() {
 	impureOnly := flag.Bool("impure-only", false, "print only functions that failed the analysis")
 	flag.Parse()
 
+	fmt.Fprintln(os.Stderr, "rumba-purity: deprecated, use: rumba-vet -purity-report", *dir)
+
 	var trusted []string
 	if *trust != "" {
 		trusted = strings.Split(*trust, ",")
@@ -40,15 +36,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rumba-purity:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("package %s: %d functions analysed, %.0f%% provably pure\n\n",
-		rep.Package, len(rep.Verdicts), 100*rep.PureFraction())
-	for _, v := range rep.Verdicts {
-		if v.Pure {
-			if !*impureOnly {
-				fmt.Printf("  pure    %s\n", v.Function)
-			}
-			continue
-		}
-		fmt.Printf("  impure  %-30s %s\n", v.Function, strings.Join(v.Reasons, "; "))
-	}
+	purity.WriteReport(os.Stdout, rep, *impureOnly)
 }

@@ -1,11 +1,16 @@
 // Command rumba-vet runs Rumba's static-analysis suite (internal/analysis)
-// over the module: the type-aware Section 2.2 purity analysis plus the
+// over the module: the type-aware Section 2.2 purity analysis, the
 // determinism, floatcmp, kernelsig, and concurrency analyzers that back
-// the safe-re-execution guarantee.
+// the safe-re-execution guarantee, and the CFG dataflow analyzers —
+// approxflow (approximate values must pass a checker before commit) and
+// hotpath (//rumba:hotpath functions must be allocation-free).
 //
 //	rumba-vet ./...
 //	rumba-vet -json -fail-on error internal/bench
 //	rumba-vet -analyzers kernelsig,determinism ./...
+//	rumba-vet -sarif ./... > vet.sarif
+//	rumba-vet -baseline vet-baseline.json ./...
+//	rumba-vet -write-baseline vet-baseline.json ./...
 //
 // The whole module is always loaded (the purity fixpoint and kernel-sink
 // facts are cross-package); the package arguments select which packages'
@@ -15,35 +20,72 @@
 // line above) the flagged line:
 //
 //	//rumba:allow <analyzer>[,<analyzer>...] [reason]
+//
+// or with an entry in the -baseline file, which matches by (analyzer,
+// file, message) — line-insensitive, so edits elsewhere in a file do not
+// invalidate it. -write-baseline accepts the current findings wholesale;
+// the intended workflow is to write it once, then ratchet it down.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"rumba/internal/analysis"
+	"rumba/internal/purity"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit the report as JSON")
-	failOn := flag.String("fail-on", "warning", "exit non-zero on findings at or above this severity (info, warning, error)")
-	names := flag.String("analyzers", "", "comma-separated analyzers to run (default: all)")
-	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings (text mode)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rumba-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit the report as SARIF 2.1.0")
+	failOn := fs.String("fail-on", "warning", "exit non-zero on findings at or above this severity (info, warning, error)")
+	names := fs.String("analyzers", "", "comma-separated analyzers to run (default: all)")
+	showSuppressed := fs.Bool("suppressed", false, "also print suppressed findings (text mode)")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := fs.String("write-baseline", "", "accept all current findings into this baseline file and exit 0")
+	purityReport := fs.String("purity-report", "", "print the legacy per-function purity report for this package directory and exit")
+	trust := fs.String("trust", "", "with -purity-report: comma-separated external call targets asserted pure")
+	impureOnly := fs.Bool("impure-only", false, "with -purity-report: print only functions that failed the analysis")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *purityReport != "" {
+		var trusted []string
+		if *trust != "" {
+			trusted = strings.Split(*trust, ",")
+		}
+		rep, err := purity.AnalyzeDir(*purityReport, trusted...)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		purity.WriteReport(stdout, rep, *impureOnly)
+		return 0
+	}
 
 	sev, err := analysis.ParseSeverity(*failOn)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
+	}
+	if *jsonOut && *sarifOut {
+		return fatal(stderr, fmt.Errorf("-json and -sarif are mutually exclusive"))
 	}
 	var analyzers []*analysis.Analyzer
 	if *names != "" {
 		for _, name := range strings.Split(*names, ",") {
 			a, ok := analysis.AnalyzerByName(strings.TrimSpace(name))
 			if !ok {
-				fatal(fmt.Errorf("unknown analyzer %q", name))
+				return fatal(stderr, fmt.Errorf("unknown analyzer %q", name))
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -51,39 +93,72 @@ func main() {
 		analyzers = analysis.Analyzers()
 	}
 
+	var baseline *analysis.Baseline
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+	}
+
 	loader, err := analysis.SharedLoader(".")
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	pkgs, err := loader.LoadModule()
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	module := analysis.BuildModule(loader.Fset(), moduleRoot(), pkgs)
 
 	diags := module.Run(analyzers...)
-	diags = filterPackages(diags, flag.Args())
+	diags = filterPackages(diags, fs.Args())
 
-	if *jsonOut {
+	if *writeBaseline != "" {
+		b := analysis.NewBaseline(diags)
+		if err := analysis.WriteBaseline(*writeBaseline, b); err != nil {
+			return fatal(stderr, err)
+		}
+		fmt.Fprintf(stderr, "rumba-vet: wrote %d finding(s) to %s\n", len(b.Entries), *writeBaseline)
+		return 0
+	}
+
+	if baseline != nil {
+		var stale int
+		diags, stale = baseline.Apply(diags)
+		if stale > 0 {
+			fmt.Fprintf(stderr, "rumba-vet: %d stale baseline entr(ies) no longer match any finding\n", stale)
+		}
+	}
+
+	switch {
+	case *jsonOut:
 		out, err := analysis.MarshalJSONReport(analyzers, diags, sev)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		fmt.Println(string(out))
-	} else {
+		fmt.Fprintln(stdout, string(out))
+	case *sarifOut:
+		out, err := analysis.MarshalSARIF(analyzers, diags)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		fmt.Fprintln(stdout, string(out))
+	default:
 		for _, d := range diags {
 			if d.Suppressed && !*showSuppressed {
 				continue
 			}
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if n := analysis.FailCount(diags, sev); n > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "rumba-vet: %d finding(s) at or above %s\n", n, sev)
+		if !*jsonOut && !*sarifOut {
+			fmt.Fprintf(stderr, "rumba-vet: %d finding(s) at or above %s\n", n, sev)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // moduleRoot finds the enclosing module root for relative file reporting.
@@ -134,7 +209,7 @@ func filterPackages(diags []analysis.Diagnostic, patterns []string) []analysis.D
 	return out
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rumba-vet:", err)
-	os.Exit(2)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "rumba-vet:", err)
+	return 2
 }

@@ -42,6 +42,22 @@ func allowed(a, b float64) bool {
 }
 
 func locked(mu sync.Mutex) { mu.Lock() }
+
+//rumba:approx
+func kernel(in []float64) []float64 { return in }
+
+func commitRaw(in []float64, out chan []float64) {
+	v := kernel(in)
+	out <- v
+}
+
+//rumba:hotpath
+func hot(n int) []float64 { return make([]float64, n) }
+
+func misdirected(a, b float64) bool {
+	//rumba:allow nosuchanalyzer trips the directive analyzer
+	return a < b
+}
 `
 
 func TestGoldenJSON(t *testing.T) {
@@ -76,6 +92,179 @@ func TestGoldenJSON(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("golden mismatch (run with UPDATE_GOLDEN=1 to regenerate)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenSARIF pins the SARIF 2.1.0 shape the same way TestGoldenJSON
+// pins the JSON report: rule ordering, levels, locations, suppressions.
+func TestGoldenSARIF(t *testing.T) {
+	loader, err := analysis.SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadSource(map[string]string{"fix.go": fixtureSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := analysis.BuildModule(loader.Fset(), "", []*analysis.Package{pkg})
+	out, err := analysis.MarshalSARIF(analysis.Analyzers(), m.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(out) + "\n"
+
+	golden := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch (run with UPDATE_GOLDEN=1 to regenerate)\n got:\n%s", got)
+	}
+}
+
+// tinyCmpEq is a standalone one-file module with a single deliberate
+// floatcmp finding.
+const tinyCmpEq = `package tiny
+
+func cmp(a, b float64) bool { return a == b }
+`
+
+// tinyModule materialises a standalone module holding src and chdirs into
+// it, so run() can be exercised end to end with real exit codes without
+// touching the rumba tree. Each call makes a fresh directory because the
+// analysis loader caches type-checked packages per module root — editing a
+// file in place would be served stale.
+func tinyModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tiny.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tiny\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return dir
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunExitCodeOnFinding(t *testing.T) {
+	tinyModule(t, tinyCmpEq)
+	code, out, _ := runVet(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "floatcmp") {
+		t.Fatalf("output does not mention floatcmp:\n%s", out)
+	}
+	// Below the -fail-on threshold the same finding exits 0.
+	if code, _, _ := runVet(t, "-fail-on", "error", "./..."); code != 0 {
+		t.Fatalf("exit with -fail-on error = %d, want 0", code)
+	}
+}
+
+func TestRunBaselineRoundTrip(t *testing.T) {
+	// The baseline file lives outside the module dirs: entries key files
+	// relative to the module root, so one baseline spans all the variants.
+	base := filepath.Join(t.TempDir(), "base.json")
+
+	tinyModule(t, tinyCmpEq)
+	code, _, stderr := runVet(t, "-write-baseline", base, "./...")
+	if code != 0 {
+		t.Fatalf("write-baseline exit = %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "wrote 1 finding(s)") {
+		t.Fatalf("write-baseline stderr = %q", stderr)
+	}
+
+	// The baselined finding no longer fails the run.
+	if code, out, _ := runVet(t, "-baseline", base, "./..."); code != 0 {
+		t.Fatalf("baselined exit = %d\n%s", code, out)
+	}
+
+	// Baseline matching is line-insensitive: shifting the finding down the
+	// file must not invalidate the entry.
+	tinyModule(t, `package tiny
+
+// a comment pushing the finding down
+
+func cmp(a, b float64) bool { return a == b }
+`)
+	if code, out, _ := runVet(t, "-baseline", base, "./..."); code != 0 {
+		t.Fatalf("baselined exit after line shift = %d\n%s", code, out)
+	}
+
+	// Fixing the finding leaves a stale entry, reported but not fatal.
+	tinyModule(t, `package tiny
+
+func cmp(a, b float64) bool { return a < b }
+`)
+	code, _, stderr = runVet(t, "-baseline", base, "./...")
+	if code != 0 {
+		t.Fatalf("exit after fix = %d", code)
+	}
+	if !strings.Contains(stderr, "stale baseline") {
+		t.Fatalf("stderr does not warn about stale entries: %q", stderr)
+	}
+
+	// A NEW finding is not hidden by the baseline.
+	tinyModule(t, `package tiny
+
+func cmp(a, b float64) bool { return a == b }
+
+func cmp2(a, b float64) bool { return a != b }
+`)
+	if code, out, _ := runVet(t, "-baseline", base, "./..."); code != 1 {
+		t.Fatalf("new-finding exit = %d, want 1\n%s", code, out)
+	}
+}
+
+func TestRunSARIFMode(t *testing.T) {
+	tinyModule(t, tinyCmpEq)
+	code, out, _ := runVet(t, "-sarif", "./...")
+	if code != 1 {
+		t.Fatalf("sarif exit = %d, want 1", code)
+	}
+	for _, want := range []string{`"version": "2.1.0"`, `"ruleId": "floatcmp"`, `"uri": "tiny.go"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SARIF output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-json", "-sarif", "./..."},
+		{"-analyzers", "nosuch", "./..."},
+		{"-fail-on", "fatal", "./..."},
+		{"-baseline", "does-not-exist.json", "./..."},
+	} {
+		if code, _, _ := runVet(t, args...); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
 	}
 }
 

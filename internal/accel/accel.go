@@ -168,19 +168,24 @@ func (a *Accelerator) SetBatchLUT(on bool) {
 }
 
 // ensureBatch grows the batch scratch for n invocations.
+//rumba:hotpath
 func (a *Accelerator) ensureBatch(n int) (inW, outW int) {
 	t := a.cfg.Net.Topo
 	inW, outW = t.Inputs(), t.Outputs()
 	if a.scratch == nil {
+		//rumba:allow hotpath first-invocation scratch build, amortised to zero
 		a.scratch = a.cfg.Net.NewBatchScratch(n)
 	} else {
+		//rumba:allow hotpath amortised scratch growth when a wider batch arrives
 		a.scratch.Grow(n)
 	}
 	a.scratch.LUT = a.lut
 	if cap(a.flatIn) < n*inW {
+		//rumba:allow hotpath amortised flat-plane growth, reused at steady state
 		a.flatIn = make([]float64, n*inW)
 	}
 	if cap(a.flatOut) < n*outW {
+		//rumba:allow hotpath amortised flat-plane growth, reused at steady state
 		a.flatOut = make([]float64, n*outW)
 	}
 	return inW, outW
@@ -203,6 +208,8 @@ func (a *Accelerator) stageInput(row, in []float64) {
 
 // forwardStaged runs the staged flat input batch through the configured
 // datapath and bumps the activity counters.
+//
+//rumba:hotpath
 func (a *Accelerator) forwardStaged(n, inW, outW int) {
 	in, out := a.flatIn[:n*inW], a.flatOut[:n*outW]
 	if a.fixed != nil {
@@ -223,10 +230,13 @@ func (a *Accelerator) forwardStaged(n, inW, outW int) {
 // Invoke runs one accelerator invocation: project, normalise, forward pass,
 // denormalise. It updates the activity counters. The single allocation is
 // the returned output vector; all intermediates live in recycled scratch.
+//
+//rumba:hotpath
 func (a *Accelerator) Invoke(in []float64) []float64 {
 	inW, outW := a.ensureBatch(1)
 	a.stageInput(a.flatIn[:inW], in)
 	a.forwardStaged(1, inW, outW)
+	//rumba:allow hotpath the documented single output allocation (AllocsPerRun wants exactly 1)
 	out := make([]float64, outW)
 	a.cfg.Scaler.UnscaleOutTo(out, a.flatOut[:outW])
 	return out
@@ -238,6 +248,8 @@ func (a *Accelerator) Invoke(in []float64) []float64 {
 // recycles dst). It implements exec.BatchExecutor: outputs are exactly what
 // Invoke would return element by element, and the counters advance by the
 // same totals.
+//
+//rumba:hotpath
 func (a *Accelerator) InvokeBatch(dst [][]float64, inputs [][]float64) {
 	n := len(inputs)
 	if n == 0 {
@@ -254,6 +266,7 @@ func (a *Accelerator) InvokeBatch(dst [][]float64, inputs [][]float64) {
 	for e := 0; e < n; e++ {
 		row := dst[e]
 		if cap(row) < outW {
+			//rumba:allow hotpath first-use row growth; recycled dst reuses capacity
 			row = make([]float64, outW)
 		} else {
 			row = row[:outW]

@@ -138,11 +138,6 @@ type directiveIndex struct {
 	allow map[string]map[int]map[string]bool
 }
 
-const (
-	allowPrefix = "//rumba:allow"
-	purePrefix  = "//rumba:pure"
-)
-
 // buildDirectiveIndex scans the comments of every file in pkgs.
 func buildDirectiveIndex(fset *token.FileSet, pkgs []*Package) *directiveIndex {
 	idx := &directiveIndex{allow: map[string]map[int]map[string]bool{}}
@@ -150,12 +145,8 @@ func buildDirectiveIndex(fset *token.FileSet, pkgs []*Package) *directiveIndex {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
-					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-						continue
-					}
-					fields := strings.Fields(rest)
-					if len(fields) == 0 {
+					d, ok := ParseDirective(c.Text)
+					if !ok || d.Err != "" || d.Kind != DirAllow {
 						continue
 					}
 					pos := fset.Position(c.Pos())
@@ -169,8 +160,8 @@ func buildDirectiveIndex(fset *token.FileSet, pkgs []*Package) *directiveIndex {
 						set = map[string]bool{}
 						lines[pos.Line] = set
 					}
-					for _, name := range strings.Split(fields[0], ",") {
-						set[strings.TrimSpace(name)] = true
+					for _, name := range d.Analyzers {
+						set[name] = true
 					}
 				}
 			}
@@ -194,19 +185,9 @@ func (idx *directiveIndex) suppresses(d Diagnostic) bool {
 	return false
 }
 
-// declaredPure reports whether fd's doc comment (or a comment in the
-// declaration's comment group) carries //rumba:pure.
+// declaredPure reports whether fd's doc comment carries //rumba:pure.
 func declaredPure(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		rest, ok := strings.CutPrefix(c.Text, purePrefix)
-		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
-			return true
-		}
-	}
-	return false
+	return funcDirective(fd, DirPure)
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer.

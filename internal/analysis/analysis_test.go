@@ -214,7 +214,8 @@ func TestFailCount(t *testing.T) {
 }
 
 func TestAnalyzerRegistry(t *testing.T) {
-	want := []string{"purity", "determinism", "floatcmp", "kernelsig", "concurrency"}
+	want := []string{"purity", "determinism", "floatcmp", "kernelsig", "concurrency",
+		"approxflow", "hotpath", "directive"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() = %d entries, want %d", len(got), len(want))

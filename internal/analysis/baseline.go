@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline suppression. A baseline file records known findings so that a
+// tree with pre-existing debt can still gate on "no NEW findings": rumba-vet
+// -baseline vet-baseline.json fails only on findings absent from the file.
+//
+// Entries are keyed by (analyzer, file, message) — deliberately NOT by line
+// number, so unrelated edits that shift a finding up or down the file do
+// not break the match. Two identical findings in one file consume two
+// baseline entries (the count matters), so fixing one of two duplicated
+// findings still surfaces the survivor as suppressed rather than hiding a
+// regression.
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Justification is free text for the human reading the file; it is
+	// ignored by matching.
+	Justification string `json:"justification,omitempty"`
+}
+
+// Baseline is a set of accepted findings with multiplicity.
+type Baseline struct {
+	counts map[baselineKey]int
+	// Entries preserves the raw file contents for round-tripping.
+	Entries []BaselineEntry
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+func (e BaselineEntry) key() baselineKey {
+	return baselineKey{e.Analyzer, e.File, e.Message}
+}
+
+// baselineFile is the on-disk shape: versioned so the format can evolve.
+type baselineFile struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+const baselineVersion = 1
+
+// LoadBaseline reads a baseline file written by WriteBaseline (or by hand).
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s has version %d, want %d", path, bf.Version, baselineVersion)
+	}
+	b := &Baseline{counts: map[baselineKey]int{}, Entries: bf.Entries}
+	for _, e := range bf.Entries {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" {
+			return nil, fmt.Errorf("analysis: baseline %s has an entry missing analyzer, file, or message", path)
+		}
+		b.counts[e.key()]++
+	}
+	return b, nil
+}
+
+// NewBaseline builds a baseline accepting every unsuppressed finding in
+// diags (suppressed findings are already acknowledged in source and need
+// no baseline entry).
+func NewBaseline(diags []Diagnostic) *Baseline {
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		e := BaselineEntry{Analyzer: d.Analyzer, File: d.File, Message: d.Message}
+		b.Entries = append(b.Entries, e)
+		b.counts[e.key()]++
+	}
+	return b
+}
+
+// Apply marks findings matched by the baseline as suppressed, consuming
+// one entry per match in diagnostic order, and returns the updated slice
+// plus the number of stale entries (baseline lines whose finding no longer
+// exists — candidates for deletion).
+func (b *Baseline) Apply(diags []Diagnostic) ([]Diagnostic, int) {
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	for i, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		k := baselineKey{d.Analyzer, d.File, d.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			diags[i].Suppressed = true
+		}
+	}
+	stale := 0
+	for _, n := range remaining {
+		stale += n
+	}
+	return diags, stale
+}
+
+// WriteBaseline renders the baseline deterministically (sorted by file,
+// analyzer, message) and writes it to path.
+func WriteBaseline(path string, b *Baseline) error {
+	entries := append([]BaselineEntry(nil), b.Entries...)
+	sort.Slice(entries, func(i, j int) bool {
+		a, c := entries[i], entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	out, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(analyzer, file, msg string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer, Severity: SeverityWarning, Sev: "warning",
+		File: file, Line: line, Col: 1, Message: msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("floatcmp", "a.go", "== on float64", 3),
+		baselineDiag("hotpath", "b.go", "make allocates", 9),
+		{Analyzer: "purity", File: "c.go", Message: "already allowed", Suppressed: true},
+	}
+	b := NewBaseline(diags)
+	if len(b.Entries) != 2 {
+		t.Fatalf("NewBaseline kept %d entries, want 2 (suppressed findings excluded)", len(b.Entries))
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stale := loaded.Apply(diags)
+	if stale != 0 {
+		t.Fatalf("stale = %d, want 0", stale)
+	}
+	for _, d := range got {
+		if !d.Suppressed {
+			t.Errorf("finding not suppressed by its own baseline: %v", d)
+		}
+	}
+}
+
+func TestBaselineIsLineInsensitive(t *testing.T) {
+	b := NewBaseline([]Diagnostic{baselineDiag("floatcmp", "a.go", "== on float64", 3)})
+	moved := []Diagnostic{baselineDiag("floatcmp", "a.go", "== on float64", 71)}
+	got, stale := b.Apply(moved)
+	if !got[0].Suppressed || stale != 0 {
+		t.Fatalf("line move broke the match: %v stale=%d", got[0], stale)
+	}
+}
+
+func TestBaselineMultiplicity(t *testing.T) {
+	// One baseline entry covers exactly one of two identical findings: the
+	// count matters, so a regression from one to two duplicates surfaces.
+	b := NewBaseline([]Diagnostic{baselineDiag("floatcmp", "a.go", "== on float64", 3)})
+	dup := []Diagnostic{
+		baselineDiag("floatcmp", "a.go", "== on float64", 3),
+		baselineDiag("floatcmp", "a.go", "== on float64", 40),
+	}
+	got, _ := b.Apply(dup)
+	suppressed := 0
+	for _, d := range got {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Fatalf("suppressed %d of 2 duplicates, want exactly 1", suppressed)
+	}
+}
+
+func TestBaselineStaleCount(t *testing.T) {
+	b := NewBaseline([]Diagnostic{
+		baselineDiag("floatcmp", "a.go", "== on float64", 3),
+		baselineDiag("hotpath", "gone.go", "make allocates", 9),
+	})
+	got, stale := b.Apply([]Diagnostic{baselineDiag("floatcmp", "a.go", "== on float64", 3)})
+	if stale != 1 {
+		t.Fatalf("stale = %d, want 1", stale)
+	}
+	if !got[0].Suppressed {
+		t.Fatal("surviving finding should still match")
+	}
+}
+
+func TestBaselineRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"version.json": `{"version": 99, "entries": []}`,
+		"partial.json": `{"version": 1, "entries": [{"analyzer": "floatcmp", "file": "a.go"}]}`,
+		"syntax.json":  `{`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBaseline(path); err == nil {
+			t.Errorf("LoadBaseline(%s) accepted invalid input", name)
+		}
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("LoadBaseline accepted a missing file")
+	}
+}
+
+func TestBaselineWriteIsDeterministic(t *testing.T) {
+	diags := []Diagnostic{
+		baselineDiag("hotpath", "b.go", "zz", 1),
+		baselineDiag("floatcmp", "b.go", "aa", 2),
+		baselineDiag("floatcmp", "a.go", "mm", 3),
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteBaseline(path, NewBaseline(diags)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	// Sorted by file, then analyzer, then message.
+	ia := strings.Index(text, "a.go")
+	ib := strings.Index(text, `"floatcmp"`)
+	ih := strings.Index(text, "hotpath")
+	if !(ia < ib || ia < ih) || strings.Index(text, "mm") > strings.Index(text, "aa") {
+		t.Fatalf("baseline not deterministically sorted:\n%s", text)
+	}
+}

@@ -1,0 +1,466 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Control-flow graphs. The per-function AST walks of the original suite are
+// enough for syntactic checks, but the approxflow typestate analysis needs
+// *ordering* (a value checked after it was committed is still a violation)
+// and the hotpath analyzer needs *reachability* (an allocation on a path
+// that provably panics is not a steady-state allocation). This file builds
+// a conventional basic-block CFG per function body: blocks hold statements
+// and condition expressions in evaluation order, edges follow Go's
+// structured control flow including labeled break/continue, goto, switch
+// fallthrough, and select. Calls that cannot return (panic, os.Exit,
+// log.Fatal*, runtime.Goexit) terminate their block with an edge to a
+// distinguished panic exit, separate from the normal return exit — the
+// distinction is what lets analyses treat guard-clause panics as cold.
+//
+// Function literals are NOT inlined: a FuncLit appearing in a statement is
+// just a value in that block. Analyses build a separate CFG per literal
+// body (see eachFuncBody).
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	index int
+	// nodes are the statements and condition expressions of the block in
+	// evaluation order. Entries are ast.Stmt or ast.Expr.
+	nodes []ast.Node
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	// exit is the virtual normal-return block: every return statement and
+	// the fall-off-the-end path lead here.
+	exit *cfgBlock
+	// panicExit is the virtual block reached by panicking calls.
+	panicExit *cfgBlock
+}
+
+// Blocks returns all blocks including the virtual exits.
+func (c *CFG) Blocks() []*cfgBlock { return c.blocks }
+
+// noReturnCalls lists external functions that never return normally.
+var noReturnCalls = map[string]bool{
+	"os.Exit":        true,
+	"runtime.Goexit": true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+	"log.Panic":      true,
+	"log.Panicf":     true,
+	"log.Panicln":    true,
+}
+
+type cfgBuilder struct {
+	info *types.Info
+	cfg  *CFG
+	cur  *cfgBlock
+	// breakTargets/continueTargets are stacks of enclosing targets; the
+	// label is "" for the innermost unlabeled form.
+	breakTargets    []cfgTarget
+	continueTargets []cfgTarget
+	// labelBlocks maps label names to their blocks (goto and labeled
+	// statements share the map: a label is one program point).
+	labelBlocks map[string]*cfgBlock
+}
+
+type cfgTarget struct {
+	label string
+	block *cfgBlock
+}
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(info *types.Info, body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{info: info, cfg: c, labelBlocks: map[string]*cfgBlock{}}
+	c.exit = b.newBlock()
+	c.panicExit = b.newBlock()
+	c.entry = b.newBlock()
+	b.cur = c.entry
+	b.stmtList(body.List)
+	b.jump(c.exit) // fall off the end
+	for _, blk := range c.blocks {
+		for _, s := range blk.succs {
+			s.preds = append(s.preds, blk)
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.cfg.blocks)}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+// jump terminates the current block with an edge to target and leaves the
+// builder in a fresh (unreachable until linked) block.
+func (b *cfgBuilder) jump(target *cfgBlock) {
+	b.edge(target)
+	b.cur = b.newBlock()
+}
+
+// edge adds an edge from the current block without terminating it.
+func (b *cfgBuilder) edge(target *cfgBlock) {
+	if b.cur == nil {
+		return
+	}
+	for _, s := range b.cur.succs {
+		if s == target {
+			return
+		}
+	}
+	b.cur.succs = append(b.cur.succs, target)
+}
+
+// startBlock links the current block to next and makes next current.
+func (b *cfgBuilder) startBlock(next *cfgBlock) {
+	b.edge(next)
+	b.cur = next
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// labelFor returns (creating if needed) the block for a label.
+func (b *cfgBuilder) labelFor(name string) *cfgBlock {
+	blk, ok := b.labelBlocks[name]
+	if !ok {
+		blk = b.newBlock()
+		b.labelBlocks[name] = blk
+	}
+	return blk
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, cfgTarget{"", brk})
+	b.continueTargets = append(b.continueTargets, cfgTarget{"", cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, cfgTarget{label, brk})
+		b.continueTargets = append(b.continueTargets, cfgTarget{label, cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-n]
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *cfgBlock) {
+	b.breakTargets = append(b.breakTargets, cfgTarget{"", brk})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, cfgTarget{label, brk})
+	}
+}
+
+func (b *cfgBuilder) popSwitch(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+}
+
+func findTarget(stack []cfgTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// terminates reports whether the expression statement is a call that never
+// returns normally.
+func (b *cfgBuilder) terminates(call *ast.CallExpr) bool {
+	switch obj := calleeObject(b.info, call).(type) {
+	case *types.Builtin:
+		return obj.Name() == "panic"
+	case *types.Func:
+		return noReturnCalls[objPathName(obj)]
+	}
+	return false
+}
+
+// stmt builds one statement. label is the name of an immediately enclosing
+// labeled statement ("" for none) and applies to loop/switch constructs.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch v := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(v.List)
+	case *ast.LabeledStmt:
+		lb := b.labelFor(v.Label.Name)
+		b.startBlock(lb)
+		b.stmt(v.Stmt, v.Label.Name)
+	case *ast.ReturnStmt:
+		b.add(v)
+		b.jump(b.cfg.exit)
+	case *ast.BranchStmt:
+		b.branchStmt(v)
+	case *ast.ExprStmt:
+		b.add(v)
+		if call, ok := ast.Unparen(v.X).(*ast.CallExpr); ok && b.terminates(call) {
+			b.jump(b.cfg.panicExit)
+		}
+	case *ast.IfStmt:
+		if v.Init != nil {
+			b.add(v.Init)
+		}
+		b.add(v.Cond)
+		thenB, afterB := b.newBlock(), b.newBlock()
+		b.edge(thenB)
+		if v.Else != nil {
+			elseB := b.newBlock()
+			b.edge(elseB)
+			b.cur = elseB
+			b.stmt(v.Else, "")
+			b.edge(afterB)
+		} else {
+			b.edge(afterB)
+		}
+		b.cur = thenB
+		b.stmtList(v.Body.List)
+		b.edge(afterB)
+		b.cur = afterB
+	case *ast.ForStmt:
+		if v.Init != nil {
+			b.add(v.Init)
+		}
+		head, body, after := b.newBlock(), b.newBlock(), b.newBlock()
+		post := head
+		if v.Post != nil {
+			post = b.newBlock()
+		}
+		b.startBlock(head)
+		if v.Cond != nil {
+			b.add(v.Cond)
+			b.edge(after)
+		}
+		b.edge(body)
+		b.cur = body
+		b.pushLoop(label, after, post)
+		b.stmtList(v.Body.List)
+		b.popLoop(label)
+		if v.Post != nil {
+			b.edge(post)
+			b.cur = post
+			b.add(v.Post)
+		}
+		b.edge(head)
+		b.cur = after
+	case *ast.RangeStmt:
+		head, body, after := b.newBlock(), b.newBlock(), b.newBlock()
+		b.startBlock(head)
+		// A RangeStmt node inside a block stands for its HEADER ONLY (the
+		// ranged expression and the key/value binding); the body statements
+		// live in their own blocks. Analyses must not descend into v.Body
+		// when they meet a RangeStmt as a block node.
+		b.add(v)
+		b.edge(after)
+		b.edge(body)
+		b.cur = body
+		b.pushLoop(label, after, head)
+		b.stmtList(v.Body.List)
+		b.popLoop(label)
+		b.edge(head)
+		b.cur = after
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			b.add(v.Init)
+		}
+		if v.Tag != nil {
+			b.add(v.Tag)
+		}
+		b.switchClauses(v.Body.List, label)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			b.add(v.Init)
+		}
+		b.add(v.Assign)
+		b.switchClauses(v.Body.List, label)
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.pushSwitch(label, after)
+		head := b.cur
+		for _, cl := range v.Body.List {
+			comm := cl.(*ast.CommClause)
+			body := b.newBlock()
+			b.cur = head
+			b.edge(body)
+			b.cur = body
+			if comm.Comm != nil {
+				b.stmt(comm.Comm, "")
+			}
+			b.stmtList(comm.Body)
+			b.edge(after)
+		}
+		b.popSwitch(label)
+		// select{} with no clauses blocks forever: no edge to after, the
+		// after block simply becomes unreachable.
+		b.cur = after
+	case *ast.GoStmt, *ast.DeferStmt, *ast.SendStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+	default:
+		b.add(s)
+	}
+}
+
+// switchClauses builds the case blocks of a switch/type-switch body.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string) {
+	after := b.newBlock()
+	head := b.cur
+	b.pushSwitch(label, after)
+	// Pre-create body blocks so fallthrough can target the next clause.
+	bodies := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cs := range clauses {
+		clause := cs.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.cur = head
+		for _, e := range clause.List {
+			b.add(e)
+		}
+		b.edge(bodies[i])
+		b.cur = bodies[i]
+		next := after
+		if i+1 < len(clauses) {
+			next = bodies[i+1]
+		}
+		b.buildCaseBody(clause.Body, next, after)
+	}
+	b.popSwitch(label)
+	if !hasDefault {
+		b.cur = head
+		b.edge(after)
+	}
+	b.cur = after
+}
+
+// buildCaseBody builds one case clause body; a trailing fallthrough jumps
+// to next instead of after.
+func (b *cfgBuilder) buildCaseBody(body []ast.Stmt, next, after *cfgBlock) {
+	for _, s := range body {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			b.add(br)
+			b.jump(next)
+			return
+		}
+		b.stmt(s, "")
+	}
+	b.edge(after)
+}
+
+func (b *cfgBuilder) branchStmt(v *ast.BranchStmt) {
+	label := ""
+	if v.Label != nil {
+		label = v.Label.Name
+	}
+	switch v.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breakTargets, label); t != nil {
+			b.add(v)
+			b.jump(t)
+			return
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continueTargets, label); t != nil {
+			b.add(v)
+			b.jump(t)
+			return
+		}
+	case token.GOTO:
+		if label != "" {
+			b.add(v)
+			b.jump(b.labelFor(label))
+			return
+		}
+	case token.FALLTHROUGH:
+		// Handled by buildCaseBody; a stray one (invalid Go) is inert.
+	}
+	b.add(v)
+}
+
+// reachableFromEntry returns the blocks reachable from the entry.
+func (c *CFG) reachableFromEntry() map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{c.entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.succs...)
+	}
+	return seen
+}
+
+// warmBlocks returns the set of blocks that lie on some panic-free path
+// from the entry to the normal return exit. A statement outside this set
+// only ever executes on the way to a panic (or into a permanent block), so
+// steady-state properties like "allocation-free" do not apply to it.
+func (c *CFG) warmBlocks() map[*cfgBlock]bool {
+	fromEntry := c.reachableFromEntry()
+	// Backward reachability from the normal exit.
+	toExit := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{c.exit}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if toExit[blk] {
+			continue
+		}
+		toExit[blk] = true
+		stack = append(stack, blk.preds...)
+	}
+	warm := map[*cfgBlock]bool{}
+	for blk := range fromEntry {
+		if toExit[blk] {
+			warm[blk] = true
+		}
+	}
+	return warm
+}
+
+// eachFuncBody invokes fn for the declaration's own body and for every
+// function literal nested inside it (each literal body is its own CFG
+// domain). outer is the FuncLit chain's innermost enclosing node, used for
+// closure-capture checks.
+func eachFuncBody(fd *ast.FuncDecl, fn func(body *ast.BlockStmt, lit *ast.FuncLit)) {
+	fn(fd.Body, nil)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn(lit.Body, lit)
+		}
+		return true
+	})
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// cfgFor loads a one-file fixture and builds the CFG of the named function.
+func cfgFor(t *testing.T, src, fn string) (*CFG, *Package) {
+	t.Helper()
+	loader, err := SharedLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadSource(map[string]string{"cfg.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn && fd.Body != nil {
+				return buildCFG(pkg.Info, fd.Body), pkg
+			}
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// callsIn collects the names of direct calls appearing in the given block
+// set, skipping function-literal bodies.
+func callsIn(blocks map[*cfgBlock]bool) map[string]bool {
+	out := map[string]bool{}
+	for b := range blocks {
+		for _, n := range b.nodes {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						out[id.Name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func TestCFGWarmBlocksSkipPanicGuards(t *testing.T) {
+	cfg, _ := cfgFor(t, `package p
+
+func coldCall() int  { return 0 }
+func warmCall() int  { return 0 }
+func lateCold() int  { return 0 }
+
+func guarded(n int) int {
+	if n < 0 {
+		coldCall()
+		panic("negative")
+	}
+	s := warmCall()
+	switch {
+	case n > 100:
+		lateCold()
+		panic("huge")
+	case n > 10:
+		s++
+	}
+	return s
+}
+`, "guarded")
+	warm := cfg.warmBlocks()
+	calls := callsIn(warm)
+	if calls["coldCall"] || calls["lateCold"] {
+		t.Errorf("panic-only blocks counted as warm: %v", calls)
+	}
+	if !calls["warmCall"] {
+		t.Errorf("normal path missing from warm blocks: %v", calls)
+	}
+}
+
+func TestCFGLoopsBreaksAndGoto(t *testing.T) {
+	cfg, _ := cfgFor(t, `package p
+
+func onExit() {}
+func inLoop() {}
+func afterLabel() {}
+func dead() {}
+
+func loops(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inLoop()
+			if j == 3 {
+				continue outer
+			}
+			if j == 4 {
+				break outer
+			}
+		}
+	}
+	if n == 0 {
+		goto end
+	}
+	afterLabel()
+end:
+	onExit()
+	return
+	dead() //nolint
+}
+`, "loops")
+	warm := cfg.warmBlocks()
+	calls := callsIn(warm)
+	for _, want := range []string{"inLoop", "afterLabel", "onExit"} {
+		if !calls[want] {
+			t.Errorf("call %s missing from warm blocks", want)
+		}
+	}
+	if calls["dead"] {
+		t.Error("statement after return is reachable")
+	}
+	// Everything reachable can reach the exit in this function.
+	reach := cfg.reachableFromEntry()
+	if callsIn(reach)["dead"] {
+		t.Error("dead() reachable from entry")
+	}
+}
+
+func TestCFGSwitchFallthroughAndSelect(t *testing.T) {
+	cfg, _ := cfgFor(t, `package p
+
+func caseA() {}
+func caseB() {}
+func sel(ch chan int) {}
+
+func sw(n int, ch chan int) {
+	switch n {
+	case 1:
+		caseA()
+		fallthrough
+	case 2:
+		caseB()
+	}
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+`, "sw")
+	warm := cfg.warmBlocks()
+	calls := callsIn(warm)
+	if !calls["caseA"] || !calls["caseB"] {
+		t.Errorf("switch bodies missing from warm blocks: %v", calls)
+	}
+}
+
+// TestSolveForwardOrdering: a trivial forward analysis (set of "defined"
+// names) must converge over a loop and respect joins: a name defined on only
+// one branch is not definitely-defined after the merge.
+func TestSolveForwardOrdering(t *testing.T) {
+	cfg, _ := cfgFor(t, `package p
+
+func f(c bool) int {
+	x := 1
+	y := 0
+	if c {
+		y = 2
+	} else {
+		x = 3
+	}
+	return x + y
+}
+`, "f")
+	type state = map[string]bool
+	clone := func(s state) state {
+		out := state{}
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	join := func(dst, src state) bool {
+		changed := false
+		for k := range dst {
+			if !src[k] {
+				delete(dst, k)
+				changed = true
+			}
+		}
+		return changed
+	}
+	assigned := func(n ast.Node, s state) {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					s[id.Name] = true
+				}
+			}
+		}
+	}
+	transfer := func(b *cfgBlock, in state) state {
+		for _, n := range b.nodes {
+			assigned(n, in)
+		}
+		return in
+	}
+	in := solveForward(cfg, state{}, clone, join, transfer)
+	exitIn, ok := in[cfg.exit]
+	if !ok {
+		t.Fatal("exit block never reached")
+	}
+	// Both x and y are assigned on every path (initial := counts).
+	if !exitIn["x"] || !exitIn["y"] {
+		t.Errorf("x/y should be definitely assigned at exit: %v", exitIn)
+	}
+}

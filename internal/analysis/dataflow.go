@@ -1,0 +1,51 @@
+package analysis
+
+// A minimal forward worklist solver over the CFGs of cfg.go. The state type
+// is supplied by the analysis; the solver only needs to clone it at block
+// boundaries, join it at merge points, and push it through a block's
+// transfer function. Termination is the analysis's responsibility (its
+// lattice must have finite height and join must be monotone — both taint
+// states and alloc facts satisfy this); the solver additionally carries a
+// generous iteration bound so a non-monotone bug degrades to an imprecise
+// result instead of a hang.
+
+// solveForward computes the state at entry to every reachable block.
+//
+//	entry    the state on function entry
+//	clone    deep copy (the solver never aliases states across blocks)
+//	join     merges src into dst in place, reporting whether dst changed
+//	transfer pushes the state through one block's nodes (may mutate in)
+func solveForward[S any](
+	c *CFG,
+	entry S,
+	clone func(S) S,
+	join func(dst, src S) bool,
+	transfer func(b *cfgBlock, in S) S,
+) map[*cfgBlock]S {
+	in := map[*cfgBlock]S{c.entry: entry}
+	work := []*cfgBlock{c.entry}
+	queued := map[*cfgBlock]bool{c.entry: true}
+	// Each pop re-evaluates one block; with a finite-height lattice the
+	// bound is never hit (kept as a belt against non-monotone transfers).
+	for steps := 0; len(work) > 0 && steps < 200*len(c.blocks)+10000; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(b, clone(in[b]))
+		for _, s := range b.succs {
+			cur, seen := in[s]
+			changed := false
+			if !seen {
+				in[s] = clone(out)
+				changed = true
+			} else if join(cur, out) {
+				changed = true
+			}
+			if changed && !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in
+}

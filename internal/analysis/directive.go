@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive parsing. Every in-source marker the suite understands is spelled
+//
+//	//rumba:<kind> [args] [reason]
+//
+// and parsed in exactly one place (ParseDirective) so a malformed or
+// misspelled marker can never silently mis-scope a suppression: anything
+// that starts with //rumba: but does not parse into a known directive is
+// reported by the directive analyzer instead of being ignored.
+//
+// Kinds:
+//
+//	pure      declares the function provably pure (purity analyzer, kernel
+//	          re-execution closure)
+//	approx    declares the function an approximate-path producer: its
+//	          results are tainted until checked (approxflow analyzer)
+//	checked   declares the function a checker/recovery sanitizer: passing a
+//	          value through it discharges the approxflow obligation
+//	hotpath   declares the function part of the batched hot path: the
+//	          hotpath analyzer must prove it allocation-free
+//	allow     acknowledges findings of the named analyzers on the same or
+//	          the next line ("*" allows all; "alloc" is an alias for
+//	          "hotpath")
+const (
+	DirectivePrefix = "//rumba:"
+
+	DirPure    = "pure"
+	DirApprox  = "approx"
+	DirChecked = "checked"
+	DirHotpath = "hotpath"
+	DirAllow   = "allow"
+)
+
+// allowAliases maps historical/shorthand analyzer names accepted in
+// //rumba:allow lists to the analyzer that reports the finding.
+var allowAliases = map[string]string{
+	"alloc": "hotpath",
+}
+
+// Directive is one parsed //rumba: marker.
+type Directive struct {
+	// Kind is the directive kind token as written (not validated unless
+	// Err is empty).
+	Kind string
+	// Analyzers is the allow-list for DirAllow (aliases resolved, "*"
+	// kept verbatim).
+	Analyzers []string
+	// Reason is the free-text remainder.
+	Reason string
+	// Err is non-empty when the marker is malformed: unknown kind, or an
+	// allow with no analyzer names. Malformed directives never take
+	// effect; the directive analyzer reports them.
+	Err string
+}
+
+// ParseDirective parses one comment's text. ok is false when the comment is
+// not a //rumba: marker at all (ordinary comments, including "// rumba:").
+// It never panics, whatever the input.
+func ParseDirective(text string) (d Directive, ok bool) {
+	rest, ok := strings.CutPrefix(text, DirectivePrefix)
+	if !ok {
+		return Directive{}, false
+	}
+	// The kind token runs to the first whitespace.
+	kind := rest
+	var tail string
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		kind, tail = rest[:i], strings.TrimLeft(rest[i:], " \t")
+	}
+	d.Kind = kind
+	switch kind {
+	case DirPure, DirApprox, DirChecked, DirHotpath:
+		d.Reason = tail
+		return d, true
+	case DirAllow:
+		fields := strings.Fields(tail)
+		if len(fields) == 0 {
+			d.Err = "//rumba:allow needs a comma-separated analyzer list"
+			return d, true
+		}
+		for _, name := range strings.Split(fields[0], ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if canonical, isAlias := allowAliases[name]; isAlias {
+				name = canonical
+			}
+			d.Analyzers = append(d.Analyzers, name)
+		}
+		if len(d.Analyzers) == 0 {
+			d.Err = "//rumba:allow analyzer list is empty"
+			return d, true
+		}
+		d.Reason = strings.Join(fields[1:], " ")
+		return d, true
+	case "":
+		d.Err = "//rumba: marker with no directive kind"
+		return d, true
+	default:
+		d.Err = "unknown //rumba: directive " + strings.Map(sanitizeRune, kind)
+		return d, true
+	}
+}
+
+// sanitizeRune keeps diagnostic text printable when a malformed directive
+// carries control characters.
+func sanitizeRune(r rune) rune {
+	if r < ' ' || r == 0x7f {
+		return '?'
+	}
+	return r
+}
+
+// funcDirective reports whether fd's doc comment carries a well-formed
+// directive of the given kind.
+func funcDirective(fd *ast.FuncDecl, kind string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if d, ok := ParseDirective(c.Text); ok && d.Err == "" && d.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// knownAnalyzerNames returns the valid //rumba:allow targets.
+func knownAnalyzerNames() map[string]bool {
+	known := map[string]bool{"*": true}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// AnalyzerDirective reports //rumba: markers that parse as malformed
+// (unknown kind, empty allow list) and allow-lists naming analyzers that do
+// not exist — the silent-mis-scope failure modes of comment-driven
+// suppression.
+var AnalyzerDirective = &Analyzer{
+	Name:     "directive",
+	Doc:      "//rumba: markers must parse as known directives with valid analyzer lists",
+	Severity: SeverityWarning,
+	Run: func(p *Pass) {
+		// Resolved via knownAnalyzerNames (not Analyzers()) to avoid an
+		// initialization cycle with the registry that lists this analyzer.
+		known := knownAnalyzerNames()
+		for _, f := range p.Pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := ParseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					if d.Err != "" {
+						p.Reportf(c.Pos(), "%s", d.Err)
+						continue
+					}
+					if d.Kind != DirAllow {
+						continue
+					}
+					for _, name := range d.Analyzers {
+						if !known[name] {
+							p.Reportf(c.Pos(), "//rumba:allow names unknown analyzer %q", name)
+						}
+					}
+				}
+			}
+		}
+	},
+}

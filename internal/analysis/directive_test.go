@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text      string
+		ok        bool
+		kind      string
+		analyzers []string
+		reason    string
+		err       bool
+	}{
+		{"// ordinary comment", false, "", nil, "", false},
+		{"// rumba:allow floatcmp", false, "", nil, "", false}, // space breaks the prefix
+		{"//rumba:pure", true, DirPure, nil, "", false},
+		{"//rumba:pure kernel body", true, DirPure, nil, "kernel body", false},
+		{"//rumba:hotpath", true, DirHotpath, nil, "", false},
+		{"//rumba:approx", true, DirApprox, nil, "", false},
+		{"//rumba:checked recovery sanitizer", true, DirChecked, nil, "recovery sanitizer", false},
+		{"//rumba:allow floatcmp", true, DirAllow, []string{"floatcmp"}, "", false},
+		{"//rumba:allow floatcmp,purity some reason here", true, DirAllow, []string{"floatcmp", "purity"}, "some reason here", false},
+		{"//rumba:allow\thotpath\ttab separated", true, DirAllow, []string{"hotpath"}, "tab separated", false},
+		{"//rumba:allow alloc amortised growth", true, DirAllow, []string{"hotpath"}, "amortised growth", false}, // alias
+		{"//rumba:allow *", true, DirAllow, []string{"*"}, "", false},
+		{"//rumba:allow floatcmp,,purity", true, DirAllow, []string{"floatcmp", "purity"}, "", false},
+		{"//rumba:allow", true, DirAllow, nil, "", true},
+		{"//rumba:allow ,", true, DirAllow, nil, "", true},
+		{"//rumba:", true, "", nil, "", true},
+		{"//rumba:purex", true, "purex", nil, "", true},
+		{"//rumba:alow floatcmp", true, "alow", nil, "", true},
+	}
+	for _, tc := range cases {
+		d, ok := ParseDirective(tc.text)
+		if ok != tc.ok {
+			t.Errorf("%q: ok=%v want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if (d.Err != "") != tc.err {
+			t.Errorf("%q: err=%q want err=%v", tc.text, d.Err, tc.err)
+		}
+		if tc.err {
+			continue
+		}
+		if d.Kind != tc.kind {
+			t.Errorf("%q: kind=%q want %q", tc.text, d.Kind, tc.kind)
+		}
+		if len(d.Analyzers) != len(tc.analyzers) {
+			t.Errorf("%q: analyzers=%v want %v", tc.text, d.Analyzers, tc.analyzers)
+		} else {
+			for i := range tc.analyzers {
+				if d.Analyzers[i] != tc.analyzers[i] {
+					t.Errorf("%q: analyzers=%v want %v", tc.text, d.Analyzers, tc.analyzers)
+					break
+				}
+			}
+		}
+		if d.Reason != tc.reason {
+			t.Errorf("%q: reason=%q want %q", tc.text, d.Reason, tc.reason)
+		}
+	}
+}
+
+// TestDirectiveAnalyzer: malformed markers and unknown analyzer names are
+// findings; well-formed ones are not.
+func TestDirectiveAnalyzer(t *testing.T) {
+	diags := runFixture(t, `package dir
+
+//rumba:hotpth typo in the kind
+func a() {}
+
+func b(x, y float64) bool {
+	return x == y //rumba:allow floatcmp justified
+}
+
+func c(x, y float64) bool {
+	return x == y //rumba:allow flotcmp typo in the analyzer
+}
+
+//rumba:allow
+func d() {}
+`, AnalyzerDirective)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{
+		`unknown //rumba: directive hotpth`,
+		`//rumba:allow names unknown analyzer "flotcmp"`,
+		`//rumba:allow needs a comma-separated analyzer list`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", w, got)
+		}
+	}
+}
+
+// FuzzParseDirective: the parser must be total — no panic, no slice range
+// errors — and structurally sane on any input, including malformed,
+// duplicated, and whitespace-mangled variants of every directive kind.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"//rumba:pure",
+		"//rumba:pure  trailing reason",
+		"//rumba:allow",
+		"//rumba:allow floatcmp",
+		"//rumba:allow floatcmp,purity reason",
+		"//rumba:allow alloc",
+		"//rumba:allow ,,,",
+		"//rumba:allow *",
+		"//rumba:approx",
+		"//rumba:checked",
+		"//rumba:hotpath",
+		"//rumba:hotpath\t\treason",
+		"//rumba:",
+		"//rumba: pure",
+		"//rumba:pure//rumba:allow x",
+		"//rumba:allow nbsp",
+		"//rumba:allow floatcmp //rumba:allow purity",
+		"//rumba:PURE",
+		"//rumba:allow\x00nul",
+		strings.Repeat("//rumba:allow a,", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := ParseDirective(text)
+		if !ok {
+			// Only non-markers may be skipped entirely.
+			if strings.HasPrefix(text, DirectivePrefix) {
+				t.Fatalf("marker %q was silently ignored", text)
+			}
+			return
+		}
+		if d.Err == "" {
+			switch d.Kind {
+			case DirPure, DirApprox, DirChecked, DirHotpath:
+			case DirAllow:
+				if len(d.Analyzers) == 0 {
+					t.Fatalf("well-formed allow with empty analyzer list: %q", text)
+				}
+				for _, name := range d.Analyzers {
+					if name == "" {
+						t.Fatalf("empty analyzer name survived parsing: %q", text)
+					}
+					if strings.ContainsAny(name, " \t") {
+						t.Fatalf("analyzer name %q contains whitespace: %q", name, text)
+					}
+				}
+			default:
+				t.Fatalf("well-formed directive with unknown kind %q: %q", d.Kind, text)
+			}
+		} else if !utf8.ValidString(strings.Map(sanitizeRune, d.Err)) {
+			t.Fatalf("unprintable error text %q", d.Err)
+		}
+	})
+}

@@ -27,6 +27,16 @@ type Module struct {
 	// reach: concrete kernels handed to sinks, declared-pure functions,
 	// and their transitive module callees.
 	kernelClosure map[*types.Func]bool
+
+	// allocFree is the hotpath analyzer's allocation-free fixpoint, and
+	// allocScans its memoized per-function allocation-site scans (both
+	// computed lazily on first use).
+	allocFree  map[*types.Func]bool
+	allocScans map[*types.Func]*allocScan
+
+	// taint holds the approxflow analyzer's interprocedural summaries
+	// (computed lazily on first use).
+	taint *taintFacts
 }
 
 // FuncInfo returns the purity record for a function object, if the
@@ -60,15 +70,27 @@ func sortFuncInfos(fis []*FuncInfo) {
 // InKernelClosure reports whether re-execution can reach obj.
 func (m *Module) InKernelClosure(obj *types.Func) bool { return m.kernelClosure[obj] }
 
-// Analyzers returns the full Rumba suite in reporting order.
-func Analyzers() []*Analyzer {
-	return []*Analyzer{
+// analyzerRegistry is populated in init (not a var initializer) because the
+// directive analyzer's Run consults the registry for valid //rumba:allow
+// targets, which would otherwise be an initialization cycle.
+var analyzerRegistry []*Analyzer
+
+func init() {
+	analyzerRegistry = []*Analyzer{
 		AnalyzerPurity,
 		AnalyzerDeterminism,
 		AnalyzerFloatCmp,
 		AnalyzerKernelSig,
 		AnalyzerConcurrency,
+		AnalyzerApproxFlow,
+		AnalyzerHotpath,
+		AnalyzerDirective,
 	}
+}
+
+// Analyzers returns the full Rumba suite in reporting order.
+func Analyzers() []*Analyzer {
+	return analyzerRegistry
 }
 
 // AnalyzerByName resolves one analyzer.

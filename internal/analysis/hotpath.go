@@ -1,0 +1,505 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The hotpath analyzer is the static side of the AllocsPerRun contract: a
+// function marked //rumba:hotpath claims to perform zero steady-state heap
+// allocations (the batched detection path of internal/core and everything
+// it calls per element). The runtime guards catch a regression only on the
+// inputs a benchmark happens to drive; this analyzer proves the property
+// over every warm path instead, flagging each construct that can allocate:
+//
+//   - make/new and slice/map composite literals
+//   - append (the backing array can grow)
+//   - address-taken composite literals (&T{...} escapes)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - values boxed into interface parameters
+//   - capturing closures and go statements
+//   - defer inside a loop (allocates per iteration)
+//   - calls whose callee is neither //rumba:hotpath, provably
+//     allocation-free (a module-wide fixpoint over the typed call graph),
+//     nor an allowlisted external (math, math/bits, sync/atomic, clock
+//     reads, mutex operations)
+//
+// Blocks that only execute on the way to a panic (guard clauses,
+// exhaustiveness switches) are excluded via the CFG's warm-block set: a
+// fmt.Sprintf feeding a panic is not a steady-state allocation. Findings on
+// deliberate allocations — an amortised grow path, a returned output vector
+// — are acknowledged in source with //rumba:allow hotpath (alias: alloc)
+// and a justification, which keeps the static set and the runtime-guarded
+// set in agreement instead of silently diverging.
+
+// allocSite is one potentially allocating construct.
+type allocSite struct {
+	pos token.Pos
+	msg string
+}
+
+// allocCall is one resolved (or dynamic) non-builtin call in a warm block.
+type allocCall struct {
+	pos    token.Pos
+	callee *types.Func // nil for calls through unresolvable function values
+	label  string      // rendered callee name for messages
+}
+
+// allocScan is the per-function allocation summary.
+type allocScan struct {
+	sites []allocSite
+	calls []allocCall
+	// localClosures are variables only ever assigned function literals;
+	// calling one is not a dynamic call because every literal body is
+	// scanned under its own CFG within this same summary.
+	localClosures map[types.Object]bool
+}
+
+// allocFreeExternalPkgs are external packages none of whose functions
+// allocate on any path the hot path uses.
+var allocFreeExternalPkgs = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync/atomic": true,
+}
+
+// allocFreeExternalFuncs are individual external functions/methods trusted
+// not to allocate, keyed by package path + name (receiver types are not
+// part of the key; the named set is unambiguous in practice).
+var allocFreeExternalFuncs = map[string]bool{
+	"time.Since":        true,
+	"time.Now":          true,
+	"time.Nanoseconds":  true,
+	"time.Seconds":      true,
+	"time.Milliseconds": true,
+	"time.Sub":          true,
+	"time.UnixNano":     true,
+	"sync.Lock":         true,
+	"sync.Unlock":       true,
+	"sync.RLock":        true,
+	"sync.RUnlock":      true,
+}
+
+func allocFreeExternal(obj *types.Func) bool {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if allocFreeExternalPkgs[pkg.Path()] {
+		return true
+	}
+	return allocFreeExternalFuncs[pkg.Path()+"."+obj.Name()]
+}
+
+// isInterfaceType reports whether t's underlying type is an interface.
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// boxes reports whether converting a value of type at into type pt puts a
+// non-pointer concrete value into an interface (an allocation unless the
+// compiler proves otherwise).
+func boxes(at, pt types.Type) bool {
+	if at == nil || pt == nil || !isInterfaceType(pt) || isInterfaceType(at) {
+		return false
+	}
+	switch u := at.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		return false // single-word references fit the interface data word
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil {
+			return false
+		}
+	}
+	if zeroSized(at) {
+		return false // zero-size values box to a static sentinel, no heap
+	}
+	return true
+}
+
+// zeroSized reports whether t provably occupies zero bytes (empty structs,
+// zero-length arrays, and compositions thereof).
+func zeroSized(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !zeroSized(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || zeroSized(u.Elem())
+	}
+	return false
+}
+
+// scanAlloc walks the warm blocks of fd's body — and of every nested
+// function literal, each under its own CFG — collecting allocation sites
+// and outgoing calls.
+func scanAlloc(pkg *Package, fd *ast.FuncDecl) *allocScan {
+	sc := &allocScan{localClosures: map[types.Object]bool{}}
+	info := pkg.Info
+	// A variable assigned only function literals is a statically-known
+	// closure; any other assignment poisons the fact.
+	poisoned := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, isLit := as.Rhs[i].(*ast.FuncLit); isLit {
+				sc.localClosures[obj] = true
+			} else {
+				poisoned[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range poisoned {
+		delete(sc.localClosures, obj)
+	}
+	eachFuncBody(fd, func(body *ast.BlockStmt, lit *ast.FuncLit) {
+		cfg := buildCFG(info, body)
+		warm := cfg.warmBlocks()
+		for blk := range warm {
+			inLoop := blockInCycle(blk)
+			for _, n := range blk.nodes {
+				sc.scanNode(info, n, inLoop)
+			}
+		}
+	})
+	return sc
+}
+
+// blockInCycle reports whether the block can reach itself (it is part of a
+// loop), which is what makes a defer in it per-iteration.
+func blockInCycle(b *cfgBlock) bool {
+	seen := map[*cfgBlock]bool{}
+	stack := append([]*cfgBlock(nil), b.succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.succs...)
+	}
+	return false
+}
+
+// scanNode records allocation constructs in one block node. Function
+// literal bodies are not descended into — each is scanned under its own
+// CFG by scanAlloc — but the literal creation itself is checked for
+// captures here.
+func (sc *allocScan) scanNode(info *types.Info, root ast.Node, inLoop bool) {
+	if rs, ok := root.(*ast.RangeStmt); ok {
+		// A RangeStmt block node stands for the range header only.
+		sc.scanNode(info, rs.X, inLoop)
+		return
+	}
+	if ds, ok := root.(*ast.DeferStmt); ok && inLoop {
+		sc.add(ds.Pos(), "defer inside a loop allocates per iteration")
+	}
+	if gs, ok := root.(*ast.GoStmt); ok {
+		sc.add(gs.Pos(), "go statement allocates a goroutine")
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			sc.checkCapture(info, v)
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[v]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					sc.add(n.Pos(), "slice literal allocates its backing array")
+				case *types.Map:
+					sc.add(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if _, isLit := ast.Unparen(v.X).(*ast.CompositeLit); isLit {
+					sc.add(v.Pos(), "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD {
+				if tv, ok := info.Types[v]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						sc.add(v.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sc.scanCall(info, v)
+		}
+		return true
+	})
+}
+
+func (sc *allocScan) add(pos token.Pos, msg string) {
+	sc.sites = append(sc.sites, allocSite{pos: pos, msg: msg})
+}
+
+// checkCapture flags a function literal that captures enclosing variables
+// (its closure record is heap-allocated); a capture-free literal is a
+// static function value and costs nothing.
+func (sc *allocScan) checkCapture(info *types.Info, lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, isVar := info.Uses[id].(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level, not captured
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+		}
+		return true
+	})
+	if captured != "" {
+		sc.add(lit.Pos(), fmt.Sprintf("closure captures %s and allocates", captured))
+	}
+}
+
+// scanCall classifies one call: conversions, builtins, boxed arguments, and
+// the callee for the call-graph check.
+func (sc *allocScan) scanCall(info *types.Info, call *ast.CallExpr) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion.
+		if len(call.Args) == 1 {
+			if at, ok := info.Types[call.Args[0]]; ok && at.Type != nil {
+				switch {
+				case stringSliceConversion(at.Type, tv.Type):
+					sc.add(call.Pos(), "string/byte-slice conversion copies and allocates")
+				case boxes(at.Type, tv.Type):
+					sc.add(call.Pos(), "conversion boxes a value into an interface")
+				}
+			}
+		}
+		return
+	}
+	if _, direct := ast.Unparen(call.Fun).(*ast.FuncLit); direct {
+		// Immediately-invoked literal: its body is scanned under its own
+		// CFG and its creation is checked for captures.
+		return
+	}
+	switch obj := calleeObject(info, call).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make":
+			sc.add(call.Pos(), "make allocates")
+		case "new":
+			sc.add(call.Pos(), "new allocates")
+		case "append":
+			sc.add(call.Pos(), "append may grow its backing array")
+		case "print", "println":
+			sc.add(call.Pos(), "calls "+obj.Name())
+		}
+	case *types.Func:
+		sc.boxedArgs(info, call)
+		sc.calls = append(sc.calls, allocCall{pos: call.Pos(), callee: obj, label: objName(obj)})
+	default:
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if o := info.Uses[id]; o != nil && sc.localClosures[o] {
+				sc.boxedArgs(info, call)
+				return // a known local literal; its body is scanned anyway
+			}
+		}
+		sc.boxedArgs(info, call)
+		sc.calls = append(sc.calls, allocCall{pos: call.Pos(), callee: nil, label: renderCallee(call)})
+	}
+}
+
+// boxedArgs flags arguments converted into interface parameters.
+func (sc *allocScan) boxedArgs(info *types.Info, call *ast.CallExpr) {
+	ft, ok := info.Types[call.Fun]
+	if !ok || ft.Type == nil {
+		return
+	}
+	sig, ok := ft.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				pt = params.At(params.Len() - 1).Type() // slice passed whole
+			} else if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if at, ok := info.Types[arg]; ok && boxes(at.Type, pt) {
+			sc.add(arg.Pos(), "argument boxes into an interface parameter")
+		}
+	}
+}
+
+func stringSliceConversion(src, dst types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(src) && isByteRuneSlice(dst)) || (isByteRuneSlice(src) && isStr(dst))
+}
+
+// renderCallee spells a dynamic call target for messages.
+func renderCallee(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "a function value"
+}
+
+// allocFacts computes the module-wide allocation-free fixpoint: a function
+// is allocation-free when its warm blocks contain no allocation construct
+// and every warm call resolves to an allocation-free module function, an
+// allowlisted external, or a builtin. Optimistic; facts only fall.
+func (m *Module) allocFacts() map[*types.Func]bool {
+	if m.allocFree != nil {
+		return m.allocFree
+	}
+	free := map[*types.Func]bool{}
+	for obj, fi := range m.infos {
+		free[obj] = len(m.scanFor(fi).sites) == 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, fi := range m.infos {
+			if !free[obj] {
+				continue
+			}
+			for _, c := range m.scanFor(fi).calls {
+				ok := false
+				if c.callee != nil {
+					if f, inModule := free[c.callee]; inModule {
+						ok = f
+					} else {
+						ok = allocFreeExternal(c.callee)
+					}
+				}
+				if !ok {
+					free[obj] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	m.allocFree = free
+	return free
+}
+
+// scanFor memoizes scanAlloc per function.
+func (m *Module) scanFor(fi *FuncInfo) *allocScan {
+	if m.allocScans == nil {
+		m.allocScans = map[*types.Func]*allocScan{}
+	}
+	if sc, ok := m.allocScans[fi.Obj]; ok {
+		return sc
+	}
+	sc := scanAlloc(fi.Pkg, fi.Decl)
+	m.allocScans[fi.Obj] = sc
+	return sc
+}
+
+// AnalyzerHotpath proves //rumba:hotpath functions allocation-free.
+var AnalyzerHotpath = &Analyzer{
+	Name:     "hotpath",
+	Doc:      "functions declared //rumba:hotpath must be provably free of steady-state allocations",
+	Severity: SeverityWarning,
+	Run: func(p *Pass) {
+		m := p.Module
+		free := m.allocFacts()
+		for _, fi := range m.FuncsIn(p.Pkg) {
+			if !fi.Hotpath {
+				continue
+			}
+			sc := m.scanFor(fi)
+			for _, s := range sc.sites {
+				p.Reportf(s.pos, "%s: %s", fi.Obj.Name(), s.msg)
+			}
+			for _, c := range sc.calls {
+				if c.callee == nil {
+					p.Reportf(c.pos, "%s: calls %s through a function value, which cannot be proven allocation-free", fi.Obj.Name(), c.label)
+					continue
+				}
+				if target, inModule := m.infos[c.callee]; inModule {
+					if !target.Hotpath && !free[c.callee] {
+						p.Reportf(c.pos, "%s: calls %s, which is neither //rumba:hotpath nor provably allocation-free", fi.Obj.Name(), c.label)
+					}
+					continue
+				}
+				if allocFreeExternal(c.callee) {
+					continue
+				}
+				if recvIsInterface(c.callee) {
+					p.Reportf(c.pos, "%s: dynamic call to %s cannot be proven allocation-free (interface dispatch)", fi.Obj.Name(), c.label)
+					continue
+				}
+				p.Reportf(c.pos, "%s: calls external %s, which is not on the allocation-free allowlist", fi.Obj.Name(), c.label)
+			}
+		}
+	},
+}
+
+// recvIsInterface reports whether obj is an interface method.
+func recvIsInterface(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isInterfaceType(sig.Recv().Type())
+}

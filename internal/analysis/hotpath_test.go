@@ -1,0 +1,200 @@
+package analysis
+
+import "testing"
+
+// TestHotpathFlagsAllocConstructs: every allocating construct in a
+// //rumba:hotpath function is a finding.
+func TestHotpathFlagsAllocConstructs(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+//rumba:hotpath
+func bad(xs []float64, n int) []float64 {
+	buf := make([]float64, n)
+	buf = append(buf, 1.0)
+	m := map[string]int{}
+	m["k"] = 1
+	p := &struct{ x int }{x: 1}
+	_ = p
+	s := "a" + "b"
+	_ = []byte(s)
+	go func() {}()
+	return buf
+}
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 7,
+		"make allocates",
+		"append may grow",
+		"map literal allocates",
+		"address-taken composite literal",
+		"string concatenation allocates",
+		"string/byte-slice conversion",
+		"go statement allocates",
+	)
+}
+
+// TestHotpathSkipsColdPanicGuards: guard clauses that end in panic may
+// allocate freely (the fmt.Sprintf-into-panic idiom of the real kernels).
+func TestHotpathSkipsColdPanicGuards(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+import "fmt"
+
+//rumba:hotpath
+func guarded(dst, in []float64) {
+	if len(dst) != len(in) {
+		panic(fmt.Sprintf("dst %d != in %d", len(dst), len(in)))
+	}
+	for i := range in {
+		dst[i] = in[i] * 2
+	}
+}
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 0)
+}
+
+// TestHotpathCallGraphPropagation: calls into module functions are fine
+// when the callee is provably allocation-free or itself //rumba:hotpath,
+// and findings otherwise. External calls need the allowlist.
+func TestHotpathCallGraphPropagation(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+import (
+	"math"
+	"sort"
+)
+
+func cleanHelper(x float64) float64 { return math.Abs(x) * 2 }
+
+func allocHelper(n int) []float64 { return make([]float64, n) }
+
+//rumba:hotpath
+func annotatedLeaf(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+//rumba:hotpath
+func caller(dst []float64, n int) {
+	annotatedLeaf(dst)              // ok: callee is hotpath
+	dst[0] = cleanHelper(dst[0])    // ok: callee provably allocation-free
+	_ = allocHelper(n)              // finding: callee allocates
+	sort.Float64s(dst)              // finding: external, not allowlisted
+}
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 2,
+		"hp.allocHelper, which is neither //rumba:hotpath nor provably allocation-free",
+		"calls external sort.Float64s",
+	)
+}
+
+// TestHotpathInterfaceAndClosure: interface dispatch, capturing closures,
+// boxing into interface parameters, and defer-in-loop are findings;
+// non-capturing literals and straight-line defers are not.
+func TestHotpathInterfaceAndClosure(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+type iface interface{ Do(x int) int }
+
+func sinkAny(v any) {}
+
+//rumba:hotpath
+func dyn(i iface, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += i.Do(x) // finding: interface dispatch
+	}
+	f := func(a int) int { return a + total } // finding: captures total
+	g := func(a int) int { return a * 2 }     // ok: no capture
+	sinkAny(xs[0])                            // finding: boxes int into any
+	for range xs {
+		defer g(1) // finding: defer in loop
+	}
+	return f(1)
+}
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 4,
+		"dynamic call to iface.Do",
+		"closure captures total",
+		"boxes into an interface parameter",
+		"defer inside a loop",
+	)
+}
+
+// TestHotpathZeroSizeBoxingIsFree: passing a zero-sized value to an
+// interface parameter boxes to a static sentinel, not a heap allocation
+// (the context.Value(ctxKey{}) idiom of internal/trace).
+func TestHotpathZeroSizeBoxingIsFree(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+type key struct{}
+
+type pair struct {
+	a key
+	b [0]int
+}
+
+func sinkAny(v any) bool { return v != nil }
+
+//rumba:hotpath
+func lookups(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if sinkAny(key{}) {
+			total++
+		}
+		if sinkAny(pair{}) {
+			total++
+		}
+	}
+	return total
+}
+
+//rumba:hotpath
+func boxed(x int) bool { return sinkAny(x) }
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 1, "boxes into an interface parameter")
+}
+
+// TestHotpathAllowSuppression: //rumba:allow hotpath (and the alloc alias)
+// acknowledges a deliberate allocation without failing the run.
+func TestHotpathAllowSuppression(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+//rumba:hotpath
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		//rumba:allow alloc amortised grow path, measured by AllocsPerRun
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 0)
+	// The finding exists but is suppressed, not absent.
+	total := 0
+	for _, d := range diags {
+		if d.Analyzer == "hotpath" && d.Suppressed {
+			total++
+		}
+	}
+	if total != 1 {
+		t.Fatalf("want exactly 1 suppressed hotpath finding, got %d", total)
+	}
+}
+
+// TestHotpathUnannotatedIsQuiet: functions without the directive are never
+// analysed, however much they allocate.
+func TestHotpathUnannotatedIsQuiet(t *testing.T) {
+	diags := runFixture(t, `package hp
+
+func churn(n int) [][]float64 {
+	out := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, make([]float64, n))
+	}
+	return out
+}
+`, AnalyzerHotpath)
+	expectDiags(t, diags, "hotpath", 0)
+}

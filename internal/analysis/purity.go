@@ -36,6 +36,13 @@ type FuncInfo struct {
 	Dynamic []token.Pos
 	// DeclaredPure is set when the declaration carries //rumba:pure.
 	DeclaredPure bool
+	// Hotpath is set when the declaration carries //rumba:hotpath: the
+	// hotpath analyzer must prove the function allocation-free.
+	Hotpath bool
+	// Approx is set for //rumba:approx (approxflow taint source), Checked
+	// for //rumba:checked (approxflow sanitizer).
+	Approx  bool
+	Checked bool
 
 	pure      bool
 	fixReason string // first call-graph reason when impure via a callee
@@ -127,6 +134,9 @@ func funcFacts(pkgs []*Package, trusted trustMatcher) (map[*types.Func]*FuncInfo
 				}
 				fi := analyzeFuncTyped(pkg, fd, obj, fresh)
 				fi.DeclaredPure = declaredPure(fd)
+				fi.Hotpath = funcDirective(fd, DirHotpath)
+				fi.Approx = funcDirective(fd, DirApprox)
+				fi.Checked = funcDirective(fd, DirChecked)
 				infos[obj] = fi
 			}
 		}

@@ -1,0 +1,154 @@
+package analysis
+
+import "encoding/json"
+
+// SARIF 2.1.0 output. rumba-vet -sarif emits one run containing every
+// executed analyzer as a reportingDescriptor and every finding as a
+// result, so CI systems (GitHub code scanning, and anything else that
+// ingests SARIF) can surface rumba-vet findings without a custom parser.
+//
+// Only the fields consumers actually read are emitted; the structs below
+// are a deliberately small subset of the schema, not a general SARIF
+// library.
+
+const (
+	sarifVersion   = "2.1.0"
+	sarifSchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string            `json:"id"`
+	ShortDescription sarifMessage      `json:"shortDescription"`
+	DefaultConfig    sarifRuleDefaults `json:"defaultConfiguration"`
+}
+
+type sarifRuleDefaults struct {
+	Level string `json:"level"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	// Suppressions is non-empty for findings acknowledged by a
+	// //rumba:allow directive or a baseline entry; SARIF consumers hide
+	// suppressed results by default but keep them auditable.
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifLevel maps a Severity onto the SARIF result level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SeverityError:
+		return "error"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// MarshalSARIF renders the findings as a single-run SARIF 2.1.0 log. The
+// analyzers become the driver's rules (in suite order, so ruleIndex is
+// stable across runs); diags are assumed already sorted and root-relative
+// as Module.Run returns them.
+func MarshalSARIF(analyzers []*Analyzer, diags []Diagnostic) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		index[a.Name] = i
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+			DefaultConfig:    sarifRuleDefaults{Level: sarifLevel(a.Severity)},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		res := sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     sarifLevel(d.Severity),
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       d.File,
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		if d.Suppressed {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: "//rumba:allow directive or baseline entry",
+			}}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  sarifSchemaURI,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "rumba-vet",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

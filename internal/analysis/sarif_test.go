@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMarshalSARIFShape(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "floatcmp", Severity: SeverityWarning, File: "a.go", Line: 3, Col: 9, Message: "== on float64"},
+		{Analyzer: "purity", Severity: SeverityError, File: "b.go", Line: 7, Col: 2, Message: "writes global", Suppressed: true},
+	}
+	out, err := MarshalSARIF(Analyzers(), diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rumba-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(Analyzers()) {
+		t.Errorf("rules = %d, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(Analyzers()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "floatcmp" || first.Level != "warning" {
+		t.Errorf("first result = %+v", first)
+	}
+	if run.Tool.Driver.Rules[first.RuleIndex].ID != "floatcmp" {
+		t.Errorf("ruleIndex %d does not point at floatcmp", first.RuleIndex)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "a.go" || loc.Region.StartLine != 3 || loc.Region.StartColumn != 9 {
+		t.Errorf("location = %+v", loc)
+	}
+	if len(first.Suppressions) != 0 {
+		t.Error("unsuppressed finding carries suppressions")
+	}
+	second := run.Results[1]
+	if second.Level != "error" || len(second.Suppressions) != 1 || second.Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppressed error result = %+v", second)
+	}
+}
+
+func TestSARIFLevelMapping(t *testing.T) {
+	for sev, want := range map[Severity]string{
+		SeverityInfo: "note", SeverityWarning: "warning", SeverityError: "error",
+	} {
+		if got := sarifLevel(sev); got != want {
+			t.Errorf("sarifLevel(%v) = %q, want %q", sev, got, want)
+		}
+	}
+}

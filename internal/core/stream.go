@@ -165,7 +165,10 @@ type resultBatch struct {
 var resultBatchPool = sync.Pool{New: func() any { return &resultBatch{} }}
 
 // newResultBatch takes an empty batch from the pool.
+//
+//rumba:hotpath
 func newResultBatch() *resultBatch {
+	//rumba:allow hotpath sync.Pool recycles batches; steady state takes the pooled fast path
 	b := resultBatchPool.Get().(*resultBatch)
 	b.items = b.items[:0]
 	return b

@@ -7,17 +7,21 @@ import "rumba/internal/trace"
 // per-element fallback) served it. With tracing disabled (zero parent) every
 // span operation is a nil check, so the batched hot path stays
 // allocation-free — the property the disabled-tracing benchmark guards.
+//
+//rumba:hotpath
 func InvokeBatchTraced(parent trace.SpanRef, ex Executor, dst [][]float64, inputs [][]float64) {
 	sp := parent.Start("accel.invoke")
 	sp.SetInt("batch", int64(len(inputs)))
 	if b, ok := ex.(BatchExecutor); ok {
 		sp.SetStr("path", "fused")
+		//rumba:allow hotpath BatchExecutor's contract is zero steady-state allocations (accel.InvokeBatch is proven; the guard test measures this dispatch)
 		b.InvokeBatch(dst, inputs)
 		sp.End()
 		return
 	}
 	sp.SetStr("path", "scalar")
 	for i, in := range inputs {
+		//rumba:allow hotpath scalar fallback for executors without a batch kernel; allocates one row per element by contract
 		dst[i] = ex.Invoke(in)
 	}
 	sp.End()

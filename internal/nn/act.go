@@ -79,10 +79,12 @@ func lutLookup(tab []float64, x float64) float64 {
 // applyActSlice applies the activation in place over one feature-major
 // accumulator row. lut selects the NPU lookup-table datapath for sigmoid
 // and tanh; Linear is the identity either way.
+//rumba:hotpath
 func applyActSlice(a Activation, lut bool, xs []float64) {
 	switch a {
 	case Sigmoid:
 		if lut {
+			//rumba:allow hotpath LUT built once under sync.Once, then read-only
 			tab := sigmoidTable()
 			for i, x := range xs {
 				xs[i] = lutLookup(tab, x)
@@ -94,6 +96,7 @@ func applyActSlice(a Activation, lut bool, xs []float64) {
 		}
 	case Tanh:
 		if lut {
+			//rumba:allow hotpath LUT built once under sync.Once, then read-only
 			tab := tanhTable()
 			for i, x := range xs {
 				xs[i] = lutLookup(tab, x)

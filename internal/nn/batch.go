@@ -75,6 +75,8 @@ func (s *BatchScratch) grow(maxBatch int) {
 // With scratch.LUT unset the outputs are bit-for-bit identical to calling
 // Forward per row; with it set they are identical across batch sizes (a
 // batch of 1 is the scalar reference for the LUT datapath).
+//
+//rumba:hotpath
 func (n *Network) ForwardBatch(dst, in []float64, batch int, scratch *BatchScratch) {
 	if batch == 0 {
 		return
@@ -87,6 +89,7 @@ func (n *Network) ForwardBatch(dst, in []float64, batch int, scratch *BatchScrat
 	if scratch == nil || scratch.width < n.Topo.maxWidth() {
 		panic("nn: ForwardBatch scratch missing or built for a narrower network")
 	}
+	//rumba:allow hotpath amortised scratch growth; steady state is guarded by TestBatchKernelAllocs
 	scratch.Grow(batch)
 	cur, nxt := scratch.a, scratch.b
 

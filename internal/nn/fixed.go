@@ -166,6 +166,8 @@ func (q *FixedNetwork) NewBatchScratch(maxBatch int) *BatchScratch {
 // Forward at every batch size — the fixed-point input grid is finite, and
 // each table entry is precomputed as f.Quantize(act(x)) for its grid point
 // (scratch.LUT is ignored here; there is no approximate mode to opt into).
+//
+//rumba:hotpath
 func (q *FixedNetwork) ForwardBatch(dst, in []float64, batch int, scratch *BatchScratch) {
 	if batch == 0 {
 		return
@@ -180,6 +182,7 @@ func (q *FixedNetwork) ForwardBatch(dst, in []float64, batch int, scratch *Batch
 	if scratch == nil || scratch.width < n.Topo.maxWidth() {
 		panic("nn: ForwardBatch scratch missing or built for a narrower network")
 	}
+	//rumba:allow hotpath amortised scratch growth; steady state is guarded by TestBatchKernelAllocs
 	scratch.Grow(batch)
 	cur, nxt := scratch.a, scratch.b
 

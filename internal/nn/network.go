@@ -235,12 +235,15 @@ func New(t Topology, hidden, out Activation, r *rng.Stream) *Network {
 // Hidden activations ping-pong through two scratch slices sized at
 // construction, so the only allocation is the returned output. The scratch
 // makes Forward non-reentrant: do not call it concurrently on one Network.
+//
+//rumba:hotpath
 func (n *Network) Forward(in []float64) []float64 {
 	if len(in) != n.Topo.Inputs() {
 		panic(fmt.Sprintf("nn: Forward got %d inputs, topology %s wants %d",
 			len(in), n.Topo, n.Topo.Inputs()))
 	}
 	if n.scratch[0] == nil {
+		//rumba:allow hotpath one-time lazy scratch init after UnmarshalJSON/Clone
 		n.initScratch()
 	}
 	cur := in
@@ -250,6 +253,7 @@ func (n *Network) Forward(in []float64) []float64 {
 		var next []float64
 		if li == last {
 			// The output escapes to the caller; it must be fresh.
+			//rumba:allow hotpath the documented single output allocation (AllocsPerRun wants exactly 1)
 			next = make([]float64, l.Out)
 		} else {
 			next = n.scratch[li%2][:l.Out]

@@ -118,6 +118,8 @@ func (l *Linear) PredictError(in, _ []float64) float64 {
 // values (including the contribute-zero semantics for missing or
 // out-of-range features — the w*0 products are kept so non-finite weights
 // poison the sum identically).
+//
+//rumba:hotpath
 func (l *Linear) PredictErrorBatch(dst []float64, ins, _ [][]float64) {
 	w := l.Weights
 	if l.Features == nil {
@@ -254,6 +256,8 @@ func (e *EMA) PredictError(_, approxOut []float64) float64 {
 // channel hops, not reassociating the math. alpha and the scale guard are
 // hoisted; every dst value is exactly what element-by-element PredictError
 // calls would produce.
+//
+//rumba:hotpath
 func (e *EMA) PredictErrorBatch(dst []float64, _, outs [][]float64) {
 	alpha := 2.0 / (1.0 + float64(e.N))
 	scale := e.Scale

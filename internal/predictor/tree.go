@@ -170,9 +170,13 @@ func (t *Tree) flatten() *treeFlat {
 // loop has no leaf/cycle branches and no per-element projection allocation.
 // Results are identical to the scalar walk; malformed trees (which FitTree
 // never produces, but a corrupt bundle can) fall back to it wholesale.
+//
+//rumba:hotpath
 func (t *Tree) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	//rumba:allow hotpath lazy one-time flatten, warmed before the AllocsPerRun guard
 	f := t.flatten()
 	if !f.ok {
+		//rumba:allow hotpath corrupt-bundle fallback to the scalar walk, never hot
 		ScalarBatch(t, dst, ins, outs)
 		return
 	}

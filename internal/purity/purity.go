@@ -19,6 +19,8 @@ package purity
 import (
 	"fmt"
 	"go/types"
+	"io"
+	"strings"
 
 	"rumba/internal/analysis"
 )
@@ -98,6 +100,22 @@ func AnalyzeDir(dir string, trusted ...string) (Report, error) {
 	// all so cross-package calls resolve to facts instead of "unknown".
 	m := analysis.BuildModule(loader.Fset(), loader.Root(), loader.ModulePackages(), trusted...)
 	return reportFor(m, pkg), nil
+}
+
+// WriteReport renders the report in the historical rumba-purity text form,
+// shared by cmd/rumba-purity (deprecated) and rumba-vet -purity-report.
+func WriteReport(w io.Writer, rep Report, impureOnly bool) {
+	fmt.Fprintf(w, "package %s: %d functions analysed, %.0f%% provably pure\n\n",
+		rep.Package, len(rep.Verdicts), 100*rep.PureFraction())
+	for _, v := range rep.Verdicts {
+		if v.Pure {
+			if !impureOnly {
+				fmt.Fprintf(w, "  pure    %s\n", v.Function)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "  impure  %-30s %s\n", v.Function, strings.Join(v.Reasons, "; "))
+	}
 }
 
 // reportFor flattens the module facts for one package into the report

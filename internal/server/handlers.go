@@ -236,6 +236,10 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		// Shedding answers with unchecked approximate output on purpose:
+		// the response says so (Degraded: true) and the client opted into
+		// approximation by calling this service at all.
+		//rumba:allow approxflow load shedding commits the approximate output, flagged Degraded
 		writeJSON(w, http.StatusOK, InvokeResponse{
 			Tenant:   req.Tenant,
 			Kernel:   req.Kernel,

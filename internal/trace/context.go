@@ -16,7 +16,10 @@ func NewContext(ctx context.Context, s SpanRef) context.Context {
 // FromContext returns the current span ref, or the zero ref when the context
 // carries no trace. The lookup itself does not allocate, so callers on hot
 // paths may consult it once per batch or even per call.
+//
+//rumba:hotpath
 func FromContext(ctx context.Context) SpanRef {
+	//rumba:allow hotpath Context.Value dispatch is allocation-free; measured by TestDisabledTracingAllocFree
 	s, _ := ctx.Value(ctxKey{}).(SpanRef)
 	return s
 }
@@ -25,11 +28,14 @@ func FromContext(ctx context.Context) SpanRef {
 // context with the child as current. With no trace in ctx it returns ctx
 // unchanged and the zero ref — no allocation, so instrumented call sites
 // need no enabled check of their own.
+//
+//rumba:hotpath
 func StartSpan(ctx context.Context, name string) (context.Context, SpanRef) {
 	parent := FromContext(ctx)
 	if !parent.Valid() {
 		return ctx, SpanRef{}
 	}
 	child := parent.Start(name)
+	//rumba:allow hotpath the enabled path allocates one context per span; disabled returns early above
 	return NewContext(ctx, child), child
 }

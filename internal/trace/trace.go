@@ -189,6 +189,8 @@ func (t *Trace) Finish() {
 func (t *Trace) now() int64 { return time.Since(t.begin).Nanoseconds() }
 
 // start appends a child span under parent; caller must not hold t.mu.
+//
+//rumba:hotpath
 func (t *Trace) start(parent int, name string) SpanRef {
 	if t == nil {
 		return SpanRef{}
@@ -201,6 +203,7 @@ func (t *Trace) start(parent int, name string) SpanRef {
 		return SpanRef{}
 	}
 	id := len(t.spans) + 1
+	//rumba:allow hotpath enabled-path span append, bounded by the trace's span limit
 	t.spans = append(t.spans, Span{ID: id, Parent: parent, Name: name, Start: ts})
 	t.mu.Unlock()
 	return SpanRef{t: t, id: id}
@@ -217,12 +220,16 @@ type SpanRef struct {
 }
 
 // Valid reports whether the ref addresses a live span.
+//
+//rumba:hotpath
 func (s SpanRef) Valid() bool { return s.t != nil }
 
 // Trace returns the owning trace (nil for the zero ref).
 func (s SpanRef) Trace() *Trace { return s.t }
 
 // Start opens a child span.
+//
+//rumba:hotpath
 func (s SpanRef) Start(name string) SpanRef {
 	if s.t == nil {
 		return SpanRef{}
@@ -231,6 +238,8 @@ func (s SpanRef) Start(name string) SpanRef {
 }
 
 // End stamps the span's end time. Ending twice keeps the first stamp.
+//
+//rumba:hotpath
 func (s SpanRef) End() {
 	if s.t == nil {
 		return
@@ -244,14 +253,19 @@ func (s SpanRef) End() {
 }
 
 // attr appends one attribute to the span.
+//
+//rumba:hotpath
 func (s SpanRef) attr(a Attr) {
 	s.t.mu.Lock()
 	sp := &s.t.spans[s.id-1]
+	//rumba:allow hotpath enabled-path attribute append; the disabled path never reaches attr
 	sp.Attrs = append(sp.Attrs, a)
 	s.t.mu.Unlock()
 }
 
 // SetStr records a string attribute.
+//
+//rumba:hotpath
 func (s SpanRef) SetStr(key, v string) {
 	if s.t == nil {
 		return
@@ -260,6 +274,8 @@ func (s SpanRef) SetStr(key, v string) {
 }
 
 // SetInt records an integer attribute.
+//
+//rumba:hotpath
 func (s SpanRef) SetInt(key string, v int64) {
 	if s.t == nil {
 		return
@@ -268,6 +284,8 @@ func (s SpanRef) SetInt(key string, v int64) {
 }
 
 // SetFloat records a float attribute.
+//
+//rumba:hotpath
 func (s SpanRef) SetFloat(key string, v float64) {
 	if s.t == nil {
 		return
@@ -278,4 +296,6 @@ func (s SpanRef) SetFloat(key string, v float64) {
 // AddFlag flags the owning trace (see Trace.SetFlag); instrumented code deep
 // in the pipeline — a recovery worker degrading an element — uses it to make
 // the whole trace always-keep without knowing about the recorder.
+//
+//rumba:hotpath
 func (s SpanRef) AddFlag(f Flag) { s.t.SetFlag(f) }
