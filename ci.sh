@@ -16,7 +16,8 @@
 #   4. fuzz seed smoke             every Fuzz* target replayed over its
 #                                  checked-in seed corpus plus a short live
 #                                  fuzzing burst (quality + predictor
-#                                  adversarial-input hardening)
+#                                  adversarial-input hardening, and the
+#                                  /v1/invoke handler fuzz)
 #   5. bench smoke                 the hot-path benchmark suite at
 #                                  -benchtime=100x -benchmem: catches batch
 #                                  kernels that stop compiling, panic, or
@@ -27,13 +28,19 @@
 #                                  obs.ValidateExposition: a malformed
 #                                  exposition (duplicate family, bad sample,
 #                                  NaN) fails CI before a scraper sees it
-#   7. coverage floors             statement coverage of the hardened runtime
+#   7. rumba-pkg smoke             build a kernel package from a fast fft
+#                                  training run, validate it (checksums +
+#                                  corpus replay vs TOQ) and run a short
+#                                  steady-shape conformance pass against an
+#                                  in-process rumba-serve
+#   8. coverage floors             statement coverage of the hardened runtime
 #                                  (internal/core), the observability layer
 #                                  (internal/obs, internal/trace), the
-#                                  serving layer and the static-analysis
-#                                  engine (internal/analysis) must not
-#                                  regress below the floors
-#   8. rumba-vet ./...             Rumba's own static-analysis suite:
+#                                  serving layer, the kernel-package layer
+#                                  (internal/pkg, internal/bundle) and the
+#                                  static-analysis engine (internal/analysis)
+#                                  must not regress below the floors
+#   9. rumba-vet ./...             Rumba's own static-analysis suite:
 #                                  purity, determinism, floatcmp, kernelsig,
 #                                  concurrency, approxflow, hotpath,
 #                                  directive (see DESIGN.md, "Static
@@ -62,10 +69,11 @@ echo "==> serving layer under -race (drain, overload-shed and restart-persistenc
 go test -race -count=1 ./internal/server/
 
 echo "==> fuzz seeds smoke"
-go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/ ./internal/analysis/
+go test -run='^Fuzz' ./internal/quality/ ./internal/predictor/ ./internal/nn/ ./internal/analysis/ ./internal/server/
 go test -run='^$' -fuzz='^FuzzElementError$' -fuzztime=10s ./internal/quality/
 go test -run='^$' -fuzz='^FuzzTreePredictError$' -fuzztime=10s ./internal/predictor/
 go test -run='^$' -fuzz='^FuzzParseDirective$' -fuzztime=10s ./internal/analysis/
+go test -run='^$' -fuzz='^FuzzHandleInvoke$' -fuzztime=10s ./internal/server/
 
 echo "==> bench smoke (-benchtime=100x -benchmem)"
 go test -run '^$' -bench 'Forward|Predict|Stream' -benchtime=100x -benchmem ./internal/bench/
@@ -74,7 +82,15 @@ echo "==> /metrics exposition smoke (golden render + live scrape parse)"
 go test -run 'TestWritePrometheus|TestValidateExposition' -count=1 ./internal/obs/
 go test -run 'TestMetricsPrometheus' -count=1 ./internal/server/
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%)"
+echo "==> rumba-pkg smoke (build -> validate -> conform, in-process serve)"
+pkg_tmp=$(mktemp -d)
+trap 'rm -rf "$pkg_tmp"' EXIT
+go run ./cmd/rumba-pkg build -benchmark fft -train 400 -epochs 10 -corpus-n 60 -toq 0.5 -out "$pkg_tmp"
+go run ./cmd/rumba-pkg validate "$pkg_tmp/fft-0.1.0"
+go run ./cmd/rumba-pkg conform -shape steady -requests 12 -batch 8 -out "$pkg_tmp/report.json" "$pkg_tmp/fft-0.1.0"
+grep -q '"pass": true' "$pkg_tmp/report.json" || { echo "ci: conformance report did not pass" >&2; exit 1; }
+
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -96,6 +112,9 @@ check_cover ./internal/obs/ 85
 check_cover ./internal/trace/ 85
 check_cover ./internal/server/ 80
 check_cover ./internal/analysis/ 80
+check_cover ./internal/pkg/ 85
+check_cover ./internal/pkg/conformance/ 85
+check_cover ./internal/bundle/ 85
 
 echo "==> rumba-vet ./... (baseline-gated, SARIF artifact at rumba-vet.sarif)"
 go run ./cmd/rumba-vet -fail-on warning -baseline vet-baseline.json ./...

@@ -1,0 +1,256 @@
+// Command rumba-pkg builds, validates, installs and conformance-tests kernel
+// packages (internal/pkg): the versioned artifact rumba-serve loads at
+// startup. A package bundles the rumba-train artifact with a golden corpus
+// and a quality/latency contract, and every subcommand holds it to that
+// contract.
+//
+//	rumba-pkg build -benchmark fft -out ./dist                    # train + package
+//	rumba-pkg build -benchmark fft -bundle fft.json -out ./dist   # package an existing bundle
+//	rumba-pkg validate ./dist/fft-0.1.0
+//	rumba-pkg install -registry /var/lib/rumba/packages ./dist/fft-0.1.0
+//	rumba-pkg conform -shape burst -requests 64 ./dist/fft-0.1.0
+//	rumba-pkg conform -addr http://127.0.0.1:8080 ./dist/fft-0.1.0
+//
+// Exit status: 0 on success, 1 when a package fails its gate, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/pkg"
+	"rumba/internal/pkg/conformance"
+	"rumba/internal/trainer"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: rumba-pkg <command> [flags]
+
+commands:
+  build      train (or load) a kernel bundle and assemble a package
+  validate   check a package: schema, checksums, bundle, corpus replay vs TOQ
+  install    validate a package and copy it into a serve registry directory
+  conform    replay the golden corpus against rumba-serve under a traffic shape
+
+run "rumba-pkg <command> -h" for the command's flags.
+`
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "build":
+		err = runBuild(args[1:], stdout, stderr)
+	case "validate":
+		err = runValidate(args[1:], stdout, stderr)
+	case "install":
+		err = runInstall(args[1:], stdout, stderr)
+	case "conform":
+		err = runConform(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "rumba-pkg: unknown command %q\n%s", args[0], usage)
+		return 2
+	}
+	if err == flag.ErrHelp {
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "rumba-pkg:", err)
+		if _, ok := err.(usageError); ok {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+// usageError marks bad invocations (exit 2) apart from failed gates (exit 1).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func runBuild(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rumba-pkg build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchmark := fs.String("benchmark", "", "benchmark kernel to package (required)")
+	bundlePath := fs.String("bundle", "", "existing rumba-train bundle JSON; empty trains in-process")
+	out := fs.String("out", ".", "directory to write the package directory under")
+	version := fs.String("version", "0.1.0", "package semantic version")
+	toq := fs.Float64("toq", 0.10, "TOQ error bound as a fraction (0.10 = 90% output quality)")
+	maxShed := fs.Float64("max-shed", 0, "max fraction of conformance requests the server may shed")
+	maxDrift := fs.String("max-drift", "", "worst tolerated drift state: ok, drifting or violating (default drifting)")
+	p99 := fs.Float64("p99-ms", 0, "p99 latency SLO in milliseconds (0 = unasserted)")
+	corpusN := fs.Int("corpus-n", 256, "golden corpus size in elements")
+	trainN := fs.Int("train", 0, "in-process training samples (0 = Table 1 size)")
+	epochs := fs.Int("epochs", 0, "in-process training epochs (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchmark == "" {
+		return usageError{"build: -benchmark is required"}
+	}
+	var b *bundle.Bundle
+	if *bundlePath != "" {
+		var err error
+		if b, _, err = bundle.Load(*bundlePath); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if b, err = trainInProcess(stdout, *benchmark, *trainN, *epochs); err != nil {
+			return err
+		}
+	}
+	p, err := pkg.Build(*out, b, pkg.BuildConfig{
+		Version: *version,
+		Quality: pkg.QualitySpec{TOQ: *toq, MaxShedRate: *maxShed, MaxDriftState: *maxDrift},
+		Latency: pkg.LatencySLO{P99Millis: *p99},
+		CorpusN: *corpusN,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "built %s (%s %s, %d corpus elements, toq %.4f)\n",
+		p.Dir, p.Manifest.Name, p.Manifest.Version, p.Manifest.Corpus.Elements, p.Manifest.Quality.TOQ)
+	return nil
+}
+
+// trainInProcess runs the rumba-train pipeline with default sizes so build
+// works straight from a benchmark name.
+func trainInProcess(stdout io.Writer, benchmark string, trainN, epochs int) (*bundle.Bundle, error) {
+	spec, err := bench.Get(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	train := spec.GenTrain(trainN)
+	cfg := trainer.DefaultAccelTrainConfig(benchmark)
+	if epochs > 0 {
+		cfg.NN.Epochs = epochs
+	}
+	fmt.Fprintf(stdout, "training %s accelerator (%s) on %d samples, %d epochs\n",
+		benchmark, spec.RumbaTopo, train.Len(), cfg.NN.Epochs)
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		return nil, err
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		return nil, err
+	}
+	return bundle.New(spec, acfg, preds)
+}
+
+func runValidate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rumba-pkg validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usageError{"validate: exactly one package directory argument"}
+	}
+	p, rep, err := pkg.Validate(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "ok: %s %s (kernel %s, checker %s): replay error %.4f <= toq %.4f (%d/%d fixed, unchecked %.4f)\n",
+		p.Manifest.Name, p.Manifest.Version, p.Manifest.Kernel, rep.Checker,
+		rep.OutputError, rep.TOQ, rep.Fixed, rep.Elements, rep.UncheckedError)
+	return nil
+}
+
+func runInstall(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rumba-pkg install", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	registry := fs.String("registry", "", "serve registry directory rumba-serve -packages loads (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *registry == "" {
+		return usageError{"install: -registry is required"}
+	}
+	if fs.NArg() != 1 {
+		return usageError{"install: exactly one package directory argument"}
+	}
+	dest, err := pkg.Install(*registry, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "installed %s\n", dest)
+	return nil
+}
+
+func runConform(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rumba-pkg conform", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shape := fs.String("shape", "steady", "traffic shape: steady, burst, ramp or mixed-tenant")
+	requests := fs.Int("requests", 32, "number of requests to replay")
+	batch := fs.Int("batch", 16, "elements per request")
+	lanes := fs.Int("lanes", 4, "concurrent lanes (burst and mixed-tenant shapes)")
+	checker := fs.String("checker", "", "checker override (default: the package's)")
+	addr := fs.String("addr", "", "base URL of a live rumba-serve; empty runs one in-process")
+	out := fs.String("out", "", "also write the JSON report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usageError{"conform: exactly one package directory argument"}
+	}
+	sh, ok := conformance.ParseShape(*shape)
+	if !ok {
+		return usageError{fmt.Sprintf("conform: unknown shape %q (have %v)", *shape, conformance.Shapes())}
+	}
+	p, err := pkg.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := conformance.Run(conformance.Config{
+		Package:  p,
+		Shape:    sh,
+		Requests: *requests,
+		Batch:    *batch,
+		Lanes:    *lanes,
+		Checker:  *checker,
+		BaseURL:  *addr,
+	})
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
+	fmt.Fprintln(stdout, rep.Summary())
+	if !rep.Pass {
+		return fmt.Errorf("conformance failed")
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// builtPkg memoises one small built package (training included) for every
+// test in the binary.
+var builtPkg = struct {
+	once sync.Once
+	dir  string
+}{}
+
+// buildOnce builds an fft package with fast training into a shared temp dir
+// and returns the package directory.
+func buildOnce(t *testing.T) string {
+	t.Helper()
+	builtPkg.once.Do(func() {
+		out, err := os.MkdirTemp("", "rumba-pkg-test-*")
+		if err != nil {
+			return
+		}
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"build", "-benchmark", "fft", "-out", out,
+			"-train", "400", "-epochs", "10", "-corpus-n", "60", "-toq", "0.5"}, &stdout, &stderr)
+		if code != 0 {
+			os.RemoveAll(out)
+			return
+		}
+		builtPkg.dir = filepath.Join(out, "fft-0.1.0")
+	})
+	if builtPkg.dir == "" {
+		t.Fatal("shared package build failed")
+	}
+	return builtPkg.dir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if builtPkg.dir != "" {
+		os.RemoveAll(filepath.Dir(builtPkg.dir))
+	}
+	os.Exit(code)
+}
+
+func TestBuildValidateInstallConform(t *testing.T) {
+	dir := buildOnce(t)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"validate", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("validate exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok: fft 0.1.0") {
+		t.Fatalf("validate output = %q", stdout.String())
+	}
+
+	reg := t.TempDir()
+	stdout.Reset()
+	if code := run([]string{"install", "-registry", reg, dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("install exit %d: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(filepath.Join(reg, "fft-0.1.0", "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	// A second install of the same name must fail the gate (exit 1).
+	stderr.Reset()
+	if code := run([]string{"install", "-registry", reg, dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("duplicate install exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "already holds") {
+		t.Fatalf("duplicate install error = %q", stderr.String())
+	}
+
+	report := filepath.Join(t.TempDir(), "report.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"conform", "-requests", "6", "-batch", "5", "-out", report, dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("conform exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "PASS fft 0.1.0 (steady)") {
+		t.Fatalf("conform output = %q", stdout.String())
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"pass": true`) {
+		t.Fatalf("report = %s", data)
+	}
+}
+
+func TestBuildFromBundleFile(t *testing.T) {
+	dir := buildOnce(t)
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"build", "-benchmark", "fft", "-bundle", filepath.Join(dir, "bundle.json"),
+		"-out", out, "-version", "2.0.0", "-corpus-n", "40", "-toq", "0.5"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("build exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "fft 2.0.0, 40 corpus elements") {
+		t.Fatalf("build output = %q", stdout.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no command", nil, "usage: rumba-pkg"},
+		{"unknown command", []string{"frobnicate"}, "unknown command"},
+		{"build without benchmark", []string{"build"}, "-benchmark is required"},
+		{"validate without dir", []string{"validate"}, "exactly one package directory"},
+		{"install without registry", []string{"install", "x"}, "-registry is required"},
+		{"install without dir", []string{"install", "-registry", "r"}, "exactly one package directory"},
+		{"conform without dir", []string{"conform"}, "exactly one package directory"},
+		{"conform bad shape", []string{"conform", "-shape", "sawtooth", "d"}, "unknown shape"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr %q)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr = %q, want %q", stderr.String(), tc.want)
+			}
+		})
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"help"}, &stdout, &stderr); code != 0 || !strings.Contains(stdout.String(), "commands:") {
+		t.Fatalf("help exit %d output %q", code, stdout.String())
+	}
+	if code := run([]string{"build", "-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("build -h exit %d", code)
+	}
+}
+
+func TestGateFailuresExitOne(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"validate", t.TempDir()}, &stdout, &stderr); code != 1 {
+		t.Fatalf("validate on empty dir exit %d", code)
+	}
+	if code := run([]string{"build", "-benchmark", "no-such-kernel"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("build unknown benchmark exit %d", code)
+	}
+	if code := run([]string{"conform", t.TempDir()}, &stdout, &stderr); code != 1 {
+		t.Fatalf("conform on empty dir exit %d", code)
+	}
+}

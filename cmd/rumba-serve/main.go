@@ -7,6 +7,7 @@
 //
 //	rumba-serve -train sobel -train-n 1200 -epochs 25 -state /tmp/rumba-state.json
 //	rumba-serve -bundles ./bundles -addr :8080
+//	rumba-serve -packages /var/lib/rumba/packages -addr :8080
 //
 //	curl -s localhost:8080/v1/invoke -d '{
 //	  "tenant": "acme", "kernel": "sobel",
@@ -38,6 +39,7 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	bundles := flag.String("bundles", "", "directory of rumba-train bundle JSON files to serve")
+	packages := flag.String("packages", "", "kernel-package registry directory (rumba-pkg install target); every package is re-validated, corpus replay included, before serving")
 	train := flag.String("train", "", "comma-separated benchmark names to train in-process at startup")
 	trainN := flag.Int("train-n", 0, "training samples for -train (0 = Table 1 size)")
 	epochs := flag.Int("epochs", 0, "NN training epochs for -train (0 = trainer default)")
@@ -61,7 +63,7 @@ func main() {
 	driftN := flag.Int("drift-n", 0, "window count the drift alert looks back over (0 = 5)")
 	flag.Parse()
 
-	if err := run(*addr, *bundles, *train, *state, *mode,
+	if err := run(*addr, *bundles, *packages, *train, *state, *mode,
 		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation, *batch,
 		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag,
 		*traceCapacity, *traceSample, server.DriftConfig{Window: *driftWindow, K: *driftK, N: *driftN}); err != nil {
@@ -70,7 +72,7 @@ func main() {
 	}
 }
 
-func run(addr, bundles, train, state, mode string,
+func run(addr, bundles, packages, train, state, mode string,
 	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation, batch int,
 	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag bool,
 	traceCapacity, traceSample int, drift server.DriftConfig) error {
@@ -81,6 +83,13 @@ func run(addr, bundles, train, state, mode string,
 			return err
 		}
 		fmt.Printf("== registry: loaded %d bundle(s) from %s\n", n, bundles)
+	}
+	if packages != "" {
+		n, err := reg.LoadPackageDir(packages)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== registry: loaded %d validated package(s) from %s\n", n, packages)
 	}
 	for _, name := range splitList(train) {
 		fmt.Printf("== registry: training %s in-process\n", name)
@@ -93,7 +102,7 @@ func run(addr, bundles, train, state, mode string,
 		}
 	}
 	if len(reg.Names()) == 0 {
-		return errors.New("no kernels to serve (use -bundles and/or -train)")
+		return errors.New("no kernels to serve (use -packages, -bundles and/or -train)")
 	}
 
 	var tm core.TunerMode

@@ -6,8 +6,12 @@ package rumba
 // per-package tests cover the parts.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -18,6 +22,9 @@ import (
 	"rumba/internal/core"
 	"rumba/internal/exec"
 	"rumba/internal/nn"
+	"rumba/internal/pkg"
+	"rumba/internal/pkg/conformance"
+	"rumba/internal/server"
 	"rumba/internal/trainer"
 )
 
@@ -195,5 +202,98 @@ func TestEndToEndStreamEqualsBatch(t *testing.T) {
 	if stats.Fixed != batch.Fixed || math.Abs(stats.OutputError-batch.OutputError) > 1e-12 {
 		t.Fatalf("stream (%d fixed, err %v) != batch (%d fixed, err %v)",
 			stats.Fixed, stats.OutputError, batch.Fixed, batch.OutputError)
+	}
+}
+
+// TestEndToEndPackagePath routes a kernel through the deployment artifact
+// chain: train → package build → install into a serve registry → registry
+// load (full gate, corpus replay included) → HTTP serve → invoke → corpus
+// conformance. This is the path a production kernel takes from rumba-train
+// to live traffic.
+func TestEndToEndPackagePath(t *testing.T) {
+	spec, acc, preds, _ := trainStack(t, "sobel", 600, 20)
+	b, err := bundle.New(spec, acc.Config(), preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	built, err := pkg.Build(t.TempDir(), b, pkg.BuildConfig{
+		Version: "1.0.0",
+		Quality: pkg.QualitySpec{TOQ: 0.30},
+		CorpusN: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := t.TempDir()
+	installed, err := pkg.Install(registry, built.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(installed) != "sobel-1.0.0" {
+		t.Fatalf("installed at %s", installed)
+	}
+
+	reg := server.NewKernelRegistry()
+	n, err := reg.LoadPackageDir(registry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d packages, want 1", n)
+	}
+	srv, err := server.New(reg, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	installedPkg, err := pkg.Load(installed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(server.InvokeRequest{
+		Kernel: "sobel",
+		Inputs: installedPkg.Corpus.Inputs[:8],
+		Mode:   "toq",
+		Target: installedPkg.Manifest.Quality.TOQ,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(hs.URL+"/v1/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke status %d", httpResp.StatusCode)
+	}
+	var resp server.InvokeResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Outputs) != 8 || resp.Checker == "" {
+		t.Fatalf("invoke response = %+v", resp)
+	}
+
+	rep, err := conformance.Run(conformance.Config{
+		Package:  installedPkg,
+		Shape:    conformance.ShapeSteady,
+		Requests: 6,
+		Batch:    8,
+		BaseURL:  hs.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("conformance failed on the installed package: %s", rep.Summary())
 	}
 }

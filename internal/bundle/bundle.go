@@ -55,6 +55,11 @@ func New(spec *bench.Spec, acfg accel.Config, preds trainer.PredictorSet) (*Bund
 }
 
 // Validate checks internal consistency and that the named benchmark exists.
+// It verifies the whole blob shape, not just the version: a bundle that
+// passes Validate must be invokable without panicking, so every index the
+// accelerator or a checker will later trust — feature projections, scaler
+// widths, EMA history — is bounds-checked here, where a corrupt artifact
+// turns into an error instead of a crash in the detection loop.
 func (b *Bundle) Validate() (*bench.Spec, error) {
 	if b.Version != FormatVersion {
 		return nil, fmt.Errorf("bundle: version %d, this build reads %d", b.Version, FormatVersion)
@@ -66,9 +71,64 @@ func (b *Bundle) Validate() (*bench.Spec, error) {
 	if b.Accel.Net == nil || b.Accel.Scaler == nil {
 		return nil, fmt.Errorf("bundle: missing accelerator configuration")
 	}
-	if b.Accel.Net.Topo.Outputs() != spec.OutDim {
+	net := b.Accel.Net
+	if err := net.Topo.Validate(); err != nil {
+		return nil, fmt.Errorf("bundle: accelerator topology: %w", err)
+	}
+	if net.Topo.Outputs() != spec.OutDim {
 		return nil, fmt.Errorf("bundle: accelerator outputs %d, benchmark %s wants %d",
-			b.Accel.Net.Topo.Outputs(), spec.Name, spec.OutDim)
+			net.Topo.Outputs(), spec.Name, spec.OutDim)
+	}
+	// The accelerator stages inputs with row[i] = in[Features[i]] — an
+	// out-of-range index from a corrupt blob would panic on first Invoke.
+	if b.Accel.Features == nil {
+		if net.Topo.Inputs() != spec.InDim {
+			return nil, fmt.Errorf("bundle: accelerator inputs %d, benchmark %s kernel has %d",
+				net.Topo.Inputs(), spec.Name, spec.InDim)
+		}
+	} else {
+		if len(b.Accel.Features) != net.Topo.Inputs() {
+			return nil, fmt.Errorf("bundle: %d projected features but accelerator wants %d inputs",
+				len(b.Accel.Features), net.Topo.Inputs())
+		}
+		for i, idx := range b.Accel.Features {
+			if idx < 0 || idx >= spec.InDim {
+				return nil, fmt.Errorf("bundle: feature %d index %d out of range for %s kernel inputs [0,%d)",
+					i, idx, spec.Name, spec.InDim)
+			}
+		}
+	}
+	// The scaler is indexed per network input/output word; short min/max
+	// vectors would panic inside ScaleInTo/UnscaleOutTo.
+	sc := b.Accel.Scaler
+	if len(sc.InMin) != net.Topo.Inputs() || len(sc.InMax) != net.Topo.Inputs() {
+		return nil, fmt.Errorf("bundle: scaler input range has %d/%d values, accelerator wants %d",
+			len(sc.InMin), len(sc.InMax), net.Topo.Inputs())
+	}
+	if len(sc.OutMin) != spec.OutDim || len(sc.OutMax) != spec.OutDim {
+		return nil, fmt.Errorf("bundle: scaler output range has %d/%d values, benchmark %s wants %d",
+			len(sc.OutMin), len(sc.OutMax), spec.Name, spec.OutDim)
+	}
+	if b.Linear != nil {
+		want := spec.InDim
+		if b.Linear.Features != nil {
+			want = len(b.Linear.Features)
+		}
+		if len(b.Linear.Weights) != want {
+			return nil, fmt.Errorf("bundle: linear checker has %d weights for %d features",
+				len(b.Linear.Weights), want)
+		}
+	}
+	if b.Tree != nil {
+		for i, n := range b.Tree.Nodes {
+			if n.Feature >= 0 && (n.Left < 0 || n.Right < 0 ||
+				int(n.Left) >= len(b.Tree.Nodes) || int(n.Right) >= len(b.Tree.Nodes)) {
+				return nil, fmt.Errorf("bundle: tree checker node %d child index out of range", i)
+			}
+		}
+	}
+	if b.EMAHistory < 0 {
+		return nil, fmt.Errorf("bundle: negative EMA history %d", b.EMAHistory)
 	}
 	return spec, nil
 }

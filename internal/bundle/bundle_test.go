@@ -1,7 +1,9 @@
 package bundle
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -122,5 +124,137 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, _, err := Load(path); err == nil {
 		t.Fatal("bundle without accelerator must fail validation")
+	}
+}
+
+// TestLoadRejectsCorruptedAndTruncatedFiles covers the file-level error
+// paths: syntactically broken JSON and a valid artifact cut off mid-stream.
+func TestLoadRejectsCorruptedAndTruncatedFiles(t *testing.T) {
+	spec, acfg, preds := trainFFT(t)
+	b, err := New(spec, acfg, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := Save(good, b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, append([]byte("{not json"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(corrupt); err == nil {
+		t.Fatal("corrupted JSON must fail")
+	}
+
+	trunc := filepath.Join(dir, "truncated.json")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(trunc); err == nil {
+		t.Fatal("truncated file must fail")
+	}
+}
+
+// TestNilPredictorRoundTrip: a bundle carrying only the accelerator (no
+// checkers at all) must survive the disk round trip and reconstruct an empty
+// predictor set without panicking — the unchecked-NPU artifact is legal.
+func TestNilPredictorRoundTrip(t *testing.T) {
+	spec, acfg, _ := trainFFT(t)
+	b, err := New(spec, acfg, trainer.PredictorSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unchecked.json")
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	back, backSpec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backSpec.Name != spec.Name {
+		t.Fatalf("benchmark = %s", backSpec.Name)
+	}
+	ps := back.Predictors()
+	if ps.Linear != nil || ps.Tree != nil || ps.EMA != nil {
+		t.Fatalf("predictor set should be empty, got %+v", ps)
+	}
+	acc, err := back.Accelerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := acc.Invoke(spec.GenTest(5).Inputs[0]); len(out) != spec.OutDim {
+		t.Fatalf("accelerator output width %d, want %d", len(out), spec.OutDim)
+	}
+}
+
+// TestValidateRejectsShapeCorruption: every index the runtime will later
+// trust must be bounds-checked at Validate, not discovered as a panic on the
+// first Invoke. Each case corrupts one shape aspect of an otherwise valid
+// bundle.
+func TestValidateRejectsShapeCorruption(t *testing.T) {
+	spec, acfg, preds := trainFFT(t)
+	cases := []struct {
+		name    string
+		corrupt func(b *Bundle)
+	}{
+		{"feature index out of kernel range", func(b *Bundle) {
+			b.Accel.Features = make([]int, b.Accel.Net.Topo.Inputs())
+			for i := range b.Accel.Features {
+				b.Accel.Features[i] = spec.InDim + 7 // stageInput would panic on in[idx]
+			}
+		}},
+		{"feature count vs net inputs", func(b *Bundle) {
+			b.Accel.Features = make([]int, b.Accel.Net.Topo.Inputs()+1)
+		}},
+		{"scaler input range truncated", func(b *Bundle) {
+			b.Accel.Scaler.InMin = nil // ScaleInTo would panic
+		}},
+		{"scaler output range truncated", func(b *Bundle) {
+			b.Accel.Scaler.OutMax = nil // UnscaleOutTo would panic
+		}},
+		{"linear weight width mismatch", func(b *Bundle) {
+			b.Linear.Weights = append(b.Linear.Weights, 0.5)
+		}},
+		{"tree child index out of range", func(b *Bundle) {
+			for i := range b.Tree.Nodes {
+				if b.Tree.Nodes[i].Feature >= 0 {
+					b.Tree.Nodes[i].Left = int32(len(b.Tree.Nodes) + 5)
+					return
+				}
+			}
+			t.Fatal("trained tree has no decision node")
+		}},
+		{"negative EMA history", func(b *Bundle) {
+			b.EMAHistory = -3
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := New(spec, acfg, preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deep-copy the pieces the case mutates so cases stay independent.
+			data, err := json.Marshal(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fresh Bundle
+			if err := json.Unmarshal(data, &fresh); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(&fresh)
+			if _, err := fresh.Validate(); err == nil {
+				t.Fatalf("%s: Validate accepted a corrupt bundle", tc.name)
+			}
+		})
 	}
 }

@@ -1,0 +1,362 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/pkg"
+	"rumba/internal/server"
+	"rumba/internal/trainer"
+)
+
+// fftBundle memoises one small trained fft artifact for the whole run.
+var fftBundle = struct {
+	once sync.Once
+	b    *bundle.Bundle
+}{}
+
+func sharedBundle(t *testing.T) *bundle.Bundle {
+	t.Helper()
+	fftBundle.once.Do(func() {
+		spec, err := bench.Get("fft")
+		if err != nil {
+			return
+		}
+		train := spec.GenTrain(400)
+		cfg := trainer.DefaultAccelTrainConfig("fft")
+		cfg.NN.Epochs = 10
+		acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+		if err != nil {
+			return
+		}
+		acc, err := accel.New(acfg, 0)
+		if err != nil {
+			return
+		}
+		preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+		if err != nil {
+			return
+		}
+		fftBundle.b, _ = bundle.New(spec, acfg, preds)
+	})
+	if fftBundle.b == nil {
+		t.Fatal("shared fft bundle failed to train")
+	}
+	return fftBundle.b
+}
+
+// buildPkg builds a package from the shared bundle into a fresh temp dir.
+func buildPkg(t *testing.T, cfg pkg.BuildConfig) *pkg.Package {
+	t.Helper()
+	p, err := pkg.Build(t.TempDir(), sharedBundle(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestScheduleShapes(t *testing.T) {
+	const corpus = 50
+	count := func(rounds [][]step) int {
+		n := 0
+		for _, r := range rounds {
+			n += len(r)
+		}
+		return n
+	}
+
+	steady := schedule(ShapeSteady, 6, 8, 4, corpus)
+	if len(steady) != 6 || count(steady) != 6 {
+		t.Fatalf("steady: %d rounds, %d steps", len(steady), count(steady))
+	}
+	for i, r := range steady {
+		st := r[0]
+		if st.tenant != "conform" || st.count != 8 || st.offset != (i*8)%corpus {
+			t.Fatalf("steady round %d = %+v", i, st)
+		}
+	}
+
+	burst := schedule(ShapeBurst, 10, 8, 4, corpus)
+	if count(burst) != 10 || len(burst) != 3 {
+		t.Fatalf("burst: %d rounds, %d steps", len(burst), count(burst))
+	}
+	for _, r := range burst {
+		seen := map[string]bool{}
+		for _, st := range r {
+			if seen[st.tenant] {
+				t.Fatalf("burst round reuses tenant %s: determinism needs one request per tenant per round", st.tenant)
+			}
+			seen[st.tenant] = true
+		}
+	}
+	if last := burst[2]; len(last) != 2 {
+		t.Fatalf("burst tail round has %d steps, want the 2 leftover requests", len(last))
+	}
+
+	ramp := schedule(ShapeRamp, 5, 3, 1, corpus)
+	want := []int{1, 2, 3, 1, 2}
+	for i, r := range ramp {
+		if r[0].count != want[i] {
+			t.Fatalf("ramp round %d count = %d, want %d", i, r[0].count, want[i])
+		}
+	}
+
+	mixed := schedule(ShapeMixed, 8, 8, 4, corpus)
+	if count(mixed) != 8 {
+		t.Fatalf("mixed: %d steps", count(mixed))
+	}
+	sizes := map[int]bool{}
+	for _, st := range mixed[0] {
+		sizes[st.count] = true
+	}
+	if len(sizes) < 2 {
+		t.Fatalf("mixed round batches %v: want distinct per-lane widths", mixed[0])
+	}
+
+	if got := count(schedule(ShapeSteady, 0, 0, 0, corpus)); got != 32 {
+		t.Fatalf("default schedule = %d steps, want 32", got)
+	}
+}
+
+func TestParseShape(t *testing.T) {
+	for _, sh := range Shapes() {
+		if got, ok := ParseShape(string(sh)); !ok || got != sh {
+			t.Fatalf("ParseShape(%q) = %q, %v", sh, got, ok)
+		}
+	}
+	if _, ok := ParseShape("sawtooth"); ok {
+		t.Fatal("ParseShape accepted an unknown shape")
+	}
+}
+
+func TestRunAllShapesInProcess(t *testing.T) {
+	p := buildPkg(t, pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 60})
+	for _, sh := range Shapes() {
+		t.Run(string(sh), func(t *testing.T) {
+			rep, err := Run(Config{Package: p, Shape: sh, Requests: 8, Batch: 6, Lanes: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Errors != 0 {
+				t.Fatalf("%d request errors, first: %s", rep.Errors, rep.FirstError)
+			}
+			if !rep.Pass {
+				t.Fatalf("conformance failed: %s", rep.Summary())
+			}
+			if rep.Requests != 8 || rep.Elements == 0 {
+				t.Fatalf("requests=%d elements=%d", rep.Requests, rep.Elements)
+			}
+			if rep.Checker != "tree" {
+				t.Fatalf("checker = %q", rep.Checker)
+			}
+			if rep.Quality.MeanError > rep.Quality.TOQ {
+				t.Fatalf("quality section inconsistent: %+v", rep.Quality)
+			}
+		})
+	}
+}
+
+func TestRunQualityIsDeterministic(t *testing.T) {
+	p := buildPkg(t, pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 60})
+	cfg := Config{Package: p, Shape: ShapeMixed, Requests: 12, Batch: 8, Lanes: 3}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shedding.Shed != 0 || b.Shedding.Shed != 0 {
+		t.Skip("a request was shed; quality determinism only holds shed-free")
+	}
+	if a.Quality != b.Quality || a.Elements != b.Elements || a.Fixed != b.Fixed {
+		t.Fatalf("two identical runs diverged:\n%+v (elements %d, fixed %d)\n%+v (elements %d, fixed %d)",
+			a.Quality, a.Elements, a.Fixed, b.Quality, b.Elements, b.Fixed)
+	}
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	p := buildPkg(t, pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 60})
+	reg := server.NewKernelRegistry()
+	if _, err := reg.LoadBundleFile(filepath.Join(p.Dir, pkg.BundleFile)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(reg, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		if err := srv.Shutdown(context.Background()); err != nil {
+			t.Error(err)
+		}
+	})
+	rep, err := Run(Config{Package: p, Shape: ShapeSteady, Requests: 6, Batch: 5, BaseURL: hs.URL + "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("live-server conformance failed: %s", rep.Summary())
+	}
+}
+
+func TestRunFailsTOQViolation(t *testing.T) {
+	// An unchecked tenant delivers the raw approximate error, which cannot
+	// meet a near-zero TOQ — quality must fail, and only quality.
+	p := buildPkg(t, pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 1e-9}, CorpusN: 60})
+	rep, err := Run(Config{Package: p, Shape: ShapeSteady, Requests: 6, Batch: 5, Checker: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Quality.Pass {
+		t.Fatalf("near-zero TOQ passed: %s", rep.Summary())
+	}
+	if rep.Errors != 0 || !rep.Shedding.Pass || !rep.Drift.Pass {
+		t.Fatalf("failure leaked outside the quality section: %s", rep.Summary())
+	}
+	if rep.Checker != "none" {
+		t.Fatalf("checker = %q", rep.Checker)
+	}
+}
+
+func TestRunFailsLatencySLO(t *testing.T) {
+	p := buildPkg(t, pkg.BuildConfig{
+		Quality: pkg.QualitySpec{TOQ: 0.5},
+		Latency: pkg.LatencySLO{P99Millis: 1e-9},
+		CorpusN: 60,
+	})
+	rep, err := Run(Config{Package: p, Shape: ShapeSteady, Requests: 4, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || rep.Latency.Pass {
+		t.Fatalf("an impossible p99 SLO passed: %s", rep.Summary())
+	}
+	if !rep.Quality.Pass {
+		t.Fatalf("failure leaked outside the latency section: %s", rep.Summary())
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil || !strings.Contains(err.Error(), "needs a package") {
+		t.Fatalf("nil package error = %v", err)
+	}
+	p := buildPkg(t, pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 60})
+	if _, err := Run(Config{Package: p, Shape: Shape("sawtooth")}); err == nil || !strings.Contains(err.Error(), "unknown shape") {
+		t.Fatalf("unknown shape error = %v", err)
+	}
+	// An unreachable live server fails every request and then the drift
+	// query, which is a setup error, not a report verdict.
+	if _, err := Run(Config{Package: p, BaseURL: "http://127.0.0.1:1", Requests: 1}); err == nil || !strings.Contains(err.Error(), "drift query") {
+		t.Fatalf("unreachable server error = %v", err)
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	rep := &Report{
+		Package:  "fft",
+		Version:  "1.2.3",
+		Kernel:   "fft",
+		Shape:    "steady",
+		Checker:  "tree",
+		Requests: 32,
+		Elements: 512,
+		Fixed:    41,
+		Quality:  QualitySection{MeanError: 0.0417, TOQ: 0.10},
+		Latency:  LatencySection{P50Ms: 1.25, P95Ms: 2.5, P99Ms: 3.125, SLOMs: 10},
+		Shedding: ShedSection{Shed: 0, Rate: 0, Max: 0.05},
+		Drift:    DriftSection{Worst: "ok", Max: "drifting"},
+	}
+	rep.finalize()
+	if !rep.Pass {
+		t.Fatalf("canned report must pass: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report rendering drifted from %s:\n%s\n(run with UPDATE_GOLDEN=1 to regenerate)", golden, buf.String())
+	}
+	var round Report
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round != *rep {
+		t.Fatalf("report does not round-trip: %+v != %+v", round, *rep)
+	}
+	if s := rep.Summary(); !strings.Contains(s, "PASS fft 1.2.3 (steady)") || !strings.Contains(s, "slo 10.00ms") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestFinalizeVerdicts(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		pass bool
+	}{
+		{"clean", func(r *Report) {}, true},
+		{"request errors", func(r *Report) { r.Errors = 1 }, false},
+		{"toq exceeded", func(r *Report) { r.Quality.MeanError = 0.2 }, false},
+		{"p99 over slo", func(r *Report) { r.Latency.P99Ms = 11 }, false},
+		{"latency unasserted", func(r *Report) { r.Latency.SLOMs = 0; r.Latency.P99Ms = 1e6 }, true},
+		{"shed over budget", func(r *Report) { r.Shedding.Rate = 0.5 }, false},
+		{"drift worse than slo", func(r *Report) { r.Drift.Worst = "violating" }, false},
+		{"drift at slo", func(r *Report) { r.Drift.Worst = "drifting" }, true},
+		{"drift unknown state", func(r *Report) { r.Drift.Worst = "???" }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := Report{
+				Quality:  QualitySection{MeanError: 0.05, TOQ: 0.10},
+				Latency:  LatencySection{P99Ms: 5, SLOMs: 10},
+				Shedding: ShedSection{Max: 0.1},
+				Drift:    DriftSection{Worst: "ok", Max: "drifting"},
+			}
+			tc.mut(&r)
+			r.finalize()
+			if r.Pass != tc.pass {
+				t.Fatalf("pass = %v, want %v (%+v)", r.Pass, tc.pass, r)
+			}
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	xs := []float64{4, 1, 3, 2}
+	if got := percentile(xs, 0.5); got != 2 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(xs, 0.99); got != 4 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("percentile must not mutate its input")
+	}
+}

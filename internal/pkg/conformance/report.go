@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// QualitySection scores delivered output quality against the package TOQ.
+type QualitySection struct {
+	// MeanError is the delivered output error across every returned element,
+	// scored against the golden corpus's exact outputs.
+	MeanError float64 `json:"meanError"`
+	TOQ       float64 `json:"toq"`
+	Pass      bool    `json:"pass"`
+}
+
+// LatencySection holds client-measured request latency percentiles.
+type LatencySection struct {
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	// SLOMs echoes the package's p99 bound; <= 0 leaves latency unasserted.
+	SLOMs float64 `json:"sloMs"`
+	Pass  bool    `json:"pass"`
+}
+
+// ShedSection reports overload shedding against the package's budget.
+type ShedSection struct {
+	// Shed counts requests the server degraded to approximate-only output.
+	Shed int     `json:"shed"`
+	Rate float64 `json:"rate"`
+	Max  float64 `json:"max"`
+	Pass bool    `json:"pass"`
+}
+
+// DriftSection compares the worst post-run drift-monitor state across the
+// run's tenants with the package's declared maximum.
+type DriftSection struct {
+	Worst string `json:"worst"`
+	Max   string `json:"max"`
+	Pass  bool   `json:"pass"`
+}
+
+// Report is the conformance run's machine-readable outcome. Field order is
+// fixed by the struct, so rendering is deterministic; for a given package and
+// shape the quality section is bit-reproducible as long as no request was
+// shed (per-tenant issue order is sequential, so every tenant's tuner walks
+// the same trajectory on every run).
+type Report struct {
+	Package  string `json:"package"`
+	Version  string `json:"version"`
+	Kernel   string `json:"kernel"`
+	Shape    string `json:"shape"`
+	Checker  string `json:"checker"`
+	Requests int    `json:"requests"`
+	Elements int    `json:"elements"`
+	// Fixed counts elements recovery re-executed exactly; Errors counts
+	// requests that failed outright (non-200 or transport error) — any
+	// error fails the run, and FirstError preserves the first failure's
+	// detail for the operator.
+	Fixed      int    `json:"fixed"`
+	Errors     int    `json:"errors"`
+	FirstError string `json:"firstError,omitempty"`
+
+	Quality  QualitySection `json:"quality"`
+	Latency  LatencySection `json:"latency"`
+	Shedding ShedSection    `json:"shedding"`
+	Drift    DriftSection   `json:"drift"`
+
+	Pass bool `json:"pass"`
+}
+
+// finalize computes the per-section and overall verdicts from the measured
+// fields and the echoed bounds.
+func (r *Report) finalize() {
+	r.Quality.Pass = r.Quality.MeanError <= r.Quality.TOQ
+	r.Latency.Pass = r.Latency.SLOMs <= 0 || r.Latency.P99Ms <= r.Latency.SLOMs
+	r.Shedding.Pass = r.Shedding.Rate <= r.Shedding.Max
+	r.Drift.Pass = driftStateRankOK(r.Drift.Worst, r.Drift.Max)
+	r.Pass = r.Errors == 0 && r.Quality.Pass && r.Latency.Pass && r.Shedding.Pass && r.Drift.Pass
+}
+
+// driftStateRankOK reports whether worst is no worse than max in the
+// ok < drifting < violating order; unknown states fail closed.
+func driftStateRankOK(worst, max string) bool {
+	w, m := driftRank(worst), driftRank(max)
+	return w >= 0 && m >= 0 && w <= m
+}
+
+// driftRank mirrors pkg's drift-state ordering without importing it here
+// (the runner passes state strings straight from the server).
+func driftRank(state string) int {
+	switch state {
+	case "ok":
+		return 0
+	case "drifting":
+		return 1
+	case "violating":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("conformance: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Summary is the one-line human verdict the CLI prints.
+func (r *Report) Summary() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	s := fmt.Sprintf("%s %s %s (%s): %d requests, %d elements, mean error %.4f (toq %.4f)",
+		verdict, r.Package, r.Version, r.Shape, r.Requests, r.Elements, r.Quality.MeanError, r.Quality.TOQ)
+	if r.Latency.SLOMs > 0 {
+		s += fmt.Sprintf(", p99 %.2fms (slo %.2fms)", r.Latency.P99Ms, r.Latency.SLOMs)
+	} else {
+		s += fmt.Sprintf(", p99 %.2fms", r.Latency.P99Ms)
+	}
+	s += fmt.Sprintf(", shed %.1f%%, drift %s", 100*r.Shedding.Rate, r.Drift.Worst)
+	if r.Errors > 0 {
+		s += fmt.Sprintf(", %d request errors (first: %s)", r.Errors, r.FirstError)
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rumba/internal/pkg"
+	"rumba/internal/quality"
+	"rumba/internal/server"
+)
+
+// Config parameterises a conformance run.
+type Config struct {
+	// Package is the loaded kernel package under test.
+	Package *pkg.Package
+	// Shape selects the traffic shape; empty selects steady.
+	Shape Shape
+	// Requests/Batch/Lanes size the run; zero values select 32 requests of
+	// 16 elements over 4 concurrent lanes (lanes matter only to the
+	// concurrent shapes).
+	Requests int
+	Batch    int
+	Lanes    int
+	// Checker overrides the checker requested per tenant; empty uses the
+	// package's default (tree, then linear, then EMA).
+	Checker string
+	// BaseURL targets a live rumba-serve (e.g. "http://127.0.0.1:8080").
+	// Empty stands a server up in-process from the package's bundle and
+	// tears it down afterwards.
+	BaseURL string
+	// Server configures the in-process server; ignored when BaseURL is set.
+	Server server.Options
+	// Client optionally overrides the HTTP client (in-process runs default
+	// to a 60s timeout).
+	Client *http.Client
+}
+
+// result is one request's outcome, filled by its lane goroutine and read
+// after the round barrier, so aggregation order is deterministic.
+type result struct {
+	st        step
+	status    int
+	resp      server.InvokeResponse
+	errDetail string
+	latencyMs float64
+}
+
+// Run replays the package's golden corpus against rumba-serve under the
+// configured traffic shape and scores the run against the package's full
+// contract: delivered output error within TOQ, client-measured p99 within the
+// latency SLO, shed rate within budget, and every tenant's drift monitor no
+// worse than the declared state. Request failures never abort the run — they
+// are counted and fail the report — so the returned error covers only setup
+// problems (bad config, unreachable server).
+func Run(cfg Config) (*Report, error) {
+	p := cfg.Package
+	if p == nil {
+		return nil, fmt.Errorf("conformance: config needs a package")
+	}
+	if cfg.Shape == "" {
+		cfg.Shape = ShapeSteady
+	}
+	if _, ok := ParseShape(string(cfg.Shape)); !ok {
+		return nil, fmt.Errorf("conformance: unknown shape %q (have %v)", cfg.Shape, Shapes())
+	}
+	checker := cfg.Checker
+	if checker == "" {
+		_, checker = p.DefaultChecker()
+	}
+
+	baseURL := strings.TrimRight(cfg.BaseURL, "/")
+	client := cfg.Client
+	if baseURL == "" {
+		// In-process: register the package's bundle exactly as rumba-serve
+		// would and serve it behind httptest.
+		reg := server.NewKernelRegistry()
+		if _, err := reg.LoadBundleFile(filepath.Join(p.Dir, pkg.BundleFile)); err != nil {
+			return nil, fmt.Errorf("conformance: %w", err)
+		}
+		srv, err := server.New(reg, cfg.Server)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: %w", err)
+		}
+		hs := httptest.NewServer(srv.Handler())
+		defer func() {
+			hs.Close()
+			_ = srv.Shutdown(context.Background())
+		}()
+		baseURL = hs.URL
+		if client == nil {
+			client = &http.Client{Timeout: 60 * time.Second}
+		}
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	corpus := p.Corpus
+	rounds := schedule(cfg.Shape, cfg.Requests, cfg.Batch, cfg.Lanes, len(corpus.Inputs))
+
+	rep := &Report{
+		Package: p.Manifest.Name,
+		Version: p.Manifest.Version,
+		Kernel:  p.Manifest.Kernel,
+		Shape:   string(cfg.Shape),
+		Checker: checker,
+	}
+	var elementErrors, latencies []float64
+	tenants := map[string]bool{}
+	for _, round := range rounds {
+		results := make([]result, len(round))
+		var wg sync.WaitGroup
+		for i, st := range round {
+			wg.Add(1)
+			go func(i int, st step) {
+				defer wg.Done()
+				results[i] = issue(client, baseURL, p, checker, st)
+			}(i, st)
+		}
+		wg.Wait()
+		// Aggregate strictly in schedule order: sums and append order do not
+		// depend on goroutine interleaving.
+		for _, res := range results {
+			rep.Requests++
+			tenants[res.st.tenant] = true
+			latencies = append(latencies, res.latencyMs)
+			if res.status != http.StatusOK {
+				rep.Errors++
+				if rep.FirstError == "" {
+					rep.FirstError = fmt.Sprintf("tenant %s: status %d: %s", res.st.tenant, res.status, res.errDetail)
+				}
+				continue
+			}
+			rep.Elements += res.resp.Elements
+			rep.Fixed += res.resp.Fixed
+			if res.resp.Degraded {
+				rep.Shedding.Shed++
+			}
+			for j, out := range res.resp.Outputs {
+				idx := (res.st.offset + j) % len(corpus.Inputs)
+				elementErrors = append(elementErrors,
+					quality.ElementError(p.Spec.Metric, corpus.Exact[idx], out, p.Spec.Scale))
+			}
+		}
+	}
+
+	rep.Quality.MeanError = quality.OutputError(elementErrors)
+	rep.Quality.TOQ = p.Manifest.Quality.TOQ
+	rep.Latency.P50Ms = percentile(latencies, 0.50)
+	rep.Latency.P95Ms = percentile(latencies, 0.95)
+	rep.Latency.P99Ms = percentile(latencies, 0.99)
+	rep.Latency.SLOMs = p.Manifest.Latency.P99Millis
+	if rep.Requests > 0 {
+		rep.Shedding.Rate = float64(rep.Shedding.Shed) / float64(rep.Requests)
+	}
+	rep.Shedding.Max = p.Manifest.Quality.MaxShedRate
+	worst, err := worstDrift(client, baseURL, p.Manifest.Kernel, tenants)
+	if err != nil {
+		return nil, err
+	}
+	rep.Drift.Worst = worst
+	rep.Drift.Max = p.Manifest.Quality.MaxDriftState
+	if rep.Drift.Max == "" {
+		rep.Drift.Max = "drifting"
+	}
+	rep.finalize()
+	return rep, nil
+}
+
+// issue POSTs one scheduled request and measures its latency client-side.
+func issue(client *http.Client, baseURL string, p *pkg.Package, checker string, st step) result {
+	corpus := p.Corpus
+	inputs := make([][]float64, st.count)
+	for i := range inputs {
+		inputs[i] = corpus.Inputs[(st.offset+i)%len(corpus.Inputs)]
+	}
+	body, err := json.Marshal(server.InvokeRequest{
+		Tenant:  st.tenant,
+		Kernel:  p.Manifest.Kernel,
+		Inputs:  inputs,
+		Checker: checker,
+		Mode:    "toq",
+		Target:  p.Manifest.Quality.TOQ,
+	})
+	if err != nil {
+		return result{st: st, errDetail: err.Error()}
+	}
+	start := time.Now()
+	httpResp, err := client.Post(baseURL+"/v1/invoke", "application/json", bytes.NewReader(body))
+	res := result{st: st, latencyMs: float64(time.Since(start)) / float64(time.Millisecond)}
+	if err != nil {
+		res.errDetail = err.Error()
+		return res
+	}
+	defer httpResp.Body.Close()
+	res.status = httpResp.StatusCode
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		res.status = 0
+		res.errDetail = err.Error()
+		return res
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		res.errDetail = strings.TrimSpace(string(data))
+		return res
+	}
+	if err := json.Unmarshal(data, &res.resp); err != nil {
+		res.status = 0
+		res.errDetail = err.Error()
+	}
+	return res
+}
+
+// worstDrift asks the server for its tenant list and returns the worst
+// drift-monitor state among the tenants this run drove. Tenants without a
+// drift monitor (unchecked) report "ok".
+func worstDrift(client *http.Client, baseURL, kernel string, ran map[string]bool) (string, error) {
+	httpResp, err := client.Get(baseURL + "/v1/tenants")
+	if err != nil {
+		return "", fmt.Errorf("conformance: tenant drift query: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var payload struct {
+		Tenants []server.TenantInfo `json:"tenants"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&payload); err != nil {
+		return "", fmt.Errorf("conformance: tenant drift query: %w", err)
+	}
+	worst := "ok"
+	for _, t := range payload.Tenants {
+		if t.Kernel != kernel || !ran[t.Tenant] || t.Drift == nil {
+			continue
+		}
+		if driftRank(t.Drift.State) > driftRank(worst) {
+			worst = t.Drift.State
+		}
+	}
+	return worst, nil
+}
+
+// percentile returns the q-th percentile (nearest-rank) of xs in a fresh
+// sort; an empty slice returns 0.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

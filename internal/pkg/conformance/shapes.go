@@ -1,0 +1,121 @@
+// Package conformance replays a kernel package's golden corpus against a
+// running rumba-serve — in-process or live — under configurable traffic
+// shapes, and asserts the package's contract: delivered output error within
+// TOQ, p99 request latency within the SLO, shed rate within budget, and
+// every tenant's quality-drift monitor no worse than the declared state.
+//
+// The runner is the "load harness" half of the kernel-package gate: pkg
+// Validate proves the artifact meets its TOQ on a quiet replay; conformance
+// proves the served system still meets it under the traffic the package
+// declares it can take.
+package conformance
+
+// Shape names a traffic shape the runner can replay.
+type Shape string
+
+const (
+	// ShapeSteady issues requests back to back from a single tenant — the
+	// baseline quality/latency measurement.
+	ShapeSteady Shape = "steady"
+	// ShapeBurst issues rounds of concurrent requests from parallel
+	// tenants with a barrier between rounds — the admission controller
+	// and the shed path see real contention.
+	ShapeBurst Shape = "burst"
+	// ShapeRamp grows the per-request batch from one element up to the
+	// configured batch — exercises the batched detection path across
+	// chunk widths.
+	ShapeRamp Shape = "ramp"
+	// ShapeMixed drives several tenants concurrently with different batch
+	// sizes — per-tenant tuner isolation under parallel load.
+	ShapeMixed Shape = "mixed-tenant"
+)
+
+// Shapes lists every shape in declaration order.
+func Shapes() []Shape { return []Shape{ShapeSteady, ShapeBurst, ShapeRamp, ShapeMixed} }
+
+// ParseShape maps a flag value to a Shape.
+func ParseShape(s string) (Shape, bool) {
+	for _, sh := range Shapes() {
+		if string(sh) == s {
+			return sh, true
+		}
+	}
+	return "", false
+}
+
+// step is one scheduled request: tenant namespaces the tuner state,
+// offset/count slice the corpus cyclically.
+type step struct {
+	tenant string
+	offset int
+	count  int
+}
+
+// schedule expands a shape into a deterministic request plan as rounds: the
+// steps of one round are issued concurrently, and a barrier separates
+// rounds. A tenant appears at most once per round, so every tenant's corpus
+// stream — and therefore its tuner trajectory — is reproducible regardless
+// of goroutine interleaving.
+func schedule(shape Shape, requests, batch, lanes, corpusLen int) [][]step {
+	if requests <= 0 {
+		requests = 32
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	if lanes <= 0 {
+		lanes = 4
+	}
+	offsets := map[string]int{}
+	mk := func(tenant string, count int) step {
+		s := step{tenant: tenant, offset: offsets[tenant] % corpusLen, count: count}
+		offsets[tenant] += count
+		return s
+	}
+	var rounds [][]step
+	switch shape {
+	case ShapeBurst:
+		// Rounds of `lanes` concurrent single-tenant requests; the barrier
+		// between rounds is the idle gap of the burst pattern.
+		for r := 0; r < requests; r += lanes {
+			n := lanes
+			if r+n > requests {
+				n = requests - r
+			}
+			round := make([]step, 0, n)
+			for l := 0; l < n; l++ {
+				round = append(round, mk(laneTenant(l), batch))
+			}
+			rounds = append(rounds, round)
+		}
+	case ShapeRamp:
+		// One sequential tenant, batch ramping 1..batch and wrapping.
+		for r := 0; r < requests; r++ {
+			rounds = append(rounds, []step{mk("conform", 1+r%batch)})
+		}
+	case ShapeMixed:
+		// Every round drives all `lanes` tenants at once, each with its
+		// own batch width.
+		for r := 0; r < requests; r += lanes {
+			n := lanes
+			if r+n > requests {
+				n = requests - r
+			}
+			round := make([]step, 0, n)
+			for l := 0; l < n; l++ {
+				round = append(round, mk(laneTenant(l), 1+(batch*(l+1))/lanes))
+			}
+			rounds = append(rounds, round)
+		}
+	default: // ShapeSteady
+		for r := 0; r < requests; r++ {
+			rounds = append(rounds, []step{mk("conform", batch)})
+		}
+	}
+	return rounds
+}
+
+// laneTenant names the tenant concurrent lane l drives.
+func laneTenant(l int) string {
+	return "conform-" + string(rune('a'+l%26))
+}

@@ -1,0 +1,108 @@
+package pkg
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"rumba/internal/bench"
+	"rumba/internal/nn"
+)
+
+// Corpus is corpus.json: the package's golden input/output set. Inputs are
+// kernel inputs; Exact holds the exact kernel's outputs for them, which is
+// the reference both the validation replay and the conformance runner score
+// delivered outputs against.
+type Corpus struct {
+	Kernel string      `json:"kernel"`
+	InDim  int         `json:"inDim"`
+	OutDim int         `json:"outDim"`
+	Inputs [][]float64 `json:"inputs"`
+	Exact  [][]float64 `json:"exact"`
+}
+
+// GenerateCorpus builds a golden corpus for a benchmark: n held-out test
+// inputs (the spec's deterministic generator, so identical builds produce
+// identical corpora) paired with the exact kernel's outputs.
+func GenerateCorpus(spec *bench.Spec, n int) *Corpus {
+	if n <= 0 {
+		n = 256
+	}
+	d := spec.GenTest(n)
+	return &Corpus{
+		Kernel: spec.Name,
+		InDim:  spec.InDim,
+		OutDim: spec.OutDim,
+		Inputs: d.Inputs,
+		Exact:  d.Targets,
+	}
+}
+
+// Validate checks the corpus against the kernel spec: non-empty, every row
+// the declared width, every value finite. A corpus that passes feeds the
+// replay without surprises.
+func (c *Corpus) Validate(spec *bench.Spec) error {
+	if c.Kernel != spec.Name {
+		return fmt.Errorf("pkg: corpus is for kernel %q, package wants %q", c.Kernel, spec.Name)
+	}
+	if c.InDim != spec.InDim || c.OutDim != spec.OutDim {
+		return fmt.Errorf("pkg: corpus schema %dx%d, kernel %s has %dx%d",
+			c.InDim, c.OutDim, spec.Name, spec.InDim, spec.OutDim)
+	}
+	if len(c.Inputs) == 0 {
+		return fmt.Errorf("pkg: corpus has no elements")
+	}
+	if len(c.Exact) != len(c.Inputs) {
+		return fmt.Errorf("pkg: corpus has %d inputs but %d exact outputs", len(c.Inputs), len(c.Exact))
+	}
+	for i, in := range c.Inputs {
+		if len(in) != c.InDim {
+			return fmt.Errorf("pkg: corpus input %d has %d values, schema says %d", i, len(in), c.InDim)
+		}
+		if len(c.Exact[i]) != c.OutDim {
+			return fmt.Errorf("pkg: corpus exact output %d has %d values, schema says %d", i, len(c.Exact[i]), c.OutDim)
+		}
+		for _, v := range in {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("pkg: corpus input %d contains a non-finite value", i)
+			}
+		}
+		for _, v := range c.Exact[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("pkg: corpus exact output %d contains a non-finite value", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Dataset exposes the corpus as a supervised dataset for the replay.
+func (c *Corpus) Dataset() nn.Dataset {
+	return nn.Dataset{Inputs: c.Inputs, Targets: c.Exact}
+}
+
+// saveCorpus writes the corpus as indented JSON.
+func saveCorpus(path string, c *Corpus) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("pkg: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("pkg: %w", err)
+	}
+	return nil
+}
+
+// loadCorpus reads a corpus file.
+func loadCorpus(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pkg: %w", err)
+	}
+	var c Corpus
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("pkg: corpus %s: %w", path, err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,293 @@
+package pkg
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+)
+
+// rewriteManifest mutates a built package's manifest (re-pinning nothing —
+// callers adjust checksums themselves via the exported fields) and writes it
+// back.
+func rewriteManifest(t *testing.T, dir string, mut func(*Manifest)) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	mut(&m)
+	out, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rewriteCorpus mutates corpus.json and re-pins its checksum in the
+// manifest, so Load proceeds past checksum verification.
+func rewriteCorpus(t *testing.T, dir string, mut func(*Corpus)) {
+	t.Helper()
+	cpath := filepath.Join(dir, CorpusFile)
+	c, err := loadCorpus(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut(c)
+	if err := saveCorpus(cpath, c); err != nil {
+		t.Fatal(err)
+	}
+	rewriteManifest(t, dir, func(m *Manifest) {
+		var err error
+		if m.Corpus.SHA256, err = fileSHA256(cpath); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(t.TempDir(), nil, BuildConfig{}); err == nil || !strings.Contains(err.Error(), "needs a bundle") {
+		t.Fatalf("nil bundle: %v", err)
+	}
+	// An outDir that is a plain file cannot take the package directory.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(blocked, sharedBundle(t), BuildConfig{}); err == nil {
+		t.Fatal("Build into a plain file must fail")
+	}
+	// A bad version string fails the manifest gate before anything is served.
+	if _, err := Build(t.TempDir(), sharedBundle(t), BuildConfig{Version: "not-semver"}); err == nil ||
+		!strings.Contains(err.Error(), "MAJOR.MINOR.PATCH") {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	p := buildShared(t, BuildConfig{})
+	if p.Manifest.Version != "0.1.0" {
+		t.Fatalf("default version = %s", p.Manifest.Version)
+	}
+	if p.Manifest.Quality.TOQ != 0.10 {
+		t.Fatalf("default TOQ = %v", p.Manifest.Quality.TOQ)
+	}
+	if len(p.Corpus.Inputs) != 256 {
+		t.Fatalf("default corpus size = %d", len(p.Corpus.Inputs))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	t.Run("missing directory", func(t *testing.T) {
+		if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("malformed manifest", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), ManifestFile) {
+			t.Fatalf("malformed manifest: %v", err)
+		}
+	})
+	t.Run("invalid manifest schema", func(t *testing.T) {
+		p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.3}, CorpusN: 20})
+		rewriteManifest(t, p.Dir, func(m *Manifest) { m.Version = "bogus" })
+		if _, err := Load(p.Dir); err == nil || !strings.Contains(err.Error(), "MAJOR.MINOR.PATCH") {
+			t.Fatalf("invalid schema: %v", err)
+		}
+	})
+	t.Run("missing bundle file", func(t *testing.T) {
+		p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.3}, CorpusN: 20})
+		if err := os.Remove(filepath.Join(p.Dir, BundleFile)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p.Dir); err == nil || !strings.Contains(err.Error(), "bundle") {
+			t.Fatalf("missing bundle: %v", err)
+		}
+	})
+	t.Run("kernel name mismatch", func(t *testing.T) {
+		p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.3}, CorpusN: 20})
+		rewriteManifest(t, p.Dir, func(m *Manifest) { m.Kernel = "sobel" })
+		if _, err := Load(p.Dir); err == nil || !strings.Contains(err.Error(), "bundle trains") {
+			t.Fatalf("kernel mismatch: %v", err)
+		}
+	})
+	t.Run("schema dims mismatch", func(t *testing.T) {
+		p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.3}, CorpusN: 20})
+		rewriteManifest(t, p.Dir, func(m *Manifest) { m.InDim = 7 })
+		if _, err := Load(p.Dir); err == nil || !strings.Contains(err.Error(), "manifest schema") {
+			t.Fatalf("dims mismatch: %v", err)
+		}
+	})
+	t.Run("corpus fails its own validation", func(t *testing.T) {
+		p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.3}, CorpusN: 20})
+		rewriteCorpus(t, p.Dir, func(c *Corpus) { c.Inputs[0] = []float64{} })
+		if _, err := Load(p.Dir); err == nil || !strings.Contains(err.Error(), "corpus") {
+			t.Fatalf("bad corpus: %v", err)
+		}
+	})
+}
+
+func TestCorpusValidateRejects(t *testing.T) {
+	spec, err := bench.Get("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := func() *Corpus { return GenerateCorpus(spec, 8) }
+	cases := []struct {
+		name string
+		mut  func(*Corpus)
+		want string
+	}{
+		{"wrong kernel", func(c *Corpus) { c.Kernel = "sobel" }, "is for kernel"},
+		{"wrong dims", func(c *Corpus) { c.OutDim = 9 }, "corpus schema"},
+		{"empty", func(c *Corpus) { c.Inputs, c.Exact = nil, nil }, "no elements"},
+		{"count mismatch", func(c *Corpus) { c.Exact = c.Exact[:7] }, "exact outputs"},
+		{"input width", func(c *Corpus) { c.Inputs[3] = []float64{1, 2} }, "input 3"},
+		{"output width", func(c *Corpus) { c.Exact[5] = nil }, "exact output 5"},
+		{"non-finite input", func(c *Corpus) { c.Inputs[2][0] = math.Inf(1) }, "non-finite"},
+		{"non-finite output", func(c *Corpus) { c.Exact[4][0] = math.NaN() }, "non-finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := good()
+			tc.mut(c)
+			err := c.Validate(spec)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want %q", err, tc.want)
+			}
+		})
+	}
+	if err := good().Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusFileErrors(t *testing.T) {
+	if err := saveCorpus(filepath.Join(t.TempDir(), "no", "such", "dir.json"), &Corpus{}); err == nil {
+		t.Fatal("saveCorpus into a missing directory must fail")
+	}
+	if _, err := loadCorpus(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("loadCorpus of a missing file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCorpus(bad); err == nil {
+		t.Fatal("loadCorpus of malformed JSON must fail")
+	}
+}
+
+func TestDriftRanks(t *testing.T) {
+	ranks := map[string]int{"ok": 0, "drifting": 1, "violating": 2, "weird": -1, "": -1}
+	for state, want := range ranks {
+		if got := driftStateRank(state); got != want {
+			t.Fatalf("driftStateRank(%q) = %d, want %d", state, got, want)
+		}
+	}
+	if got := (QualitySpec{}).MaxDriftRank(); got != 1 {
+		t.Fatalf("default MaxDriftRank = %d, want drifting (1)", got)
+	}
+	if got := (QualitySpec{MaxDriftState: "violating"}).MaxDriftRank(); got != 2 {
+		t.Fatalf("violating MaxDriftRank = %d", got)
+	}
+}
+
+func TestDefaultCheckerPriority(t *testing.T) {
+	base := sharedBundle(t)
+	mk := func(mut func(b *bundle.Bundle)) *Package {
+		c := *base
+		mut(&c)
+		p, err := Build(t.TempDir(), &c, BuildConfig{Quality: QualitySpec{TOQ: 1.0}, CorpusN: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, name := mk(func(b *bundle.Bundle) {}).DefaultChecker(); name != "tree" {
+		t.Fatalf("full bundle default = %s", name)
+	}
+	if _, name := mk(func(b *bundle.Bundle) { b.Tree = nil }).DefaultChecker(); name != "linear" {
+		t.Fatalf("no-tree default = %s", name)
+	}
+	noLinear := mk(func(b *bundle.Bundle) { b.Tree, b.Linear = nil, nil })
+	if _, name := noLinear.DefaultChecker(); name != "ema" {
+		t.Fatalf("ema default = %s", name)
+	}
+	bare := mk(func(b *bundle.Bundle) { b.Tree, b.Linear, b.EMAHistory, b.EMAScale = nil, nil, 0, 0 })
+	if ch, name := bare.DefaultChecker(); name != "none" || ch != nil {
+		t.Fatalf("bare default = %s (%v)", name, ch)
+	}
+	// An unchecked replay runs without a tuner and still reports.
+	rep, err := bare.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checker != "none" || rep.Fixed != 0 || !rep.Pass {
+		t.Fatalf("unchecked replay = %+v", rep)
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.5}, CorpusN: 20})
+
+	// The target registry path is a plain file.
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(blocked, p.Dir); err == nil {
+		t.Fatal("Install into a plain file must fail")
+	}
+
+	// An invalid source package never reaches the registry.
+	if _, err := Install(t.TempDir(), t.TempDir()); err == nil {
+		t.Fatal("Install of an empty package dir must fail")
+	}
+
+	// Non-package registry entries are tolerated during the duplicate scan.
+	registry := t.TempDir()
+	if err := os.WriteFile(filepath.Join(registry, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(registry, "stale"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(registry, "junk-1.0.0", ManifestFile), []byte("{"), 0o600); err == nil {
+		t.Fatal("expected junk dir to be missing")
+	}
+	if err := os.MkdirAll(filepath.Join(registry, "junk-1.0.0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(registry, "junk-1.0.0", ManifestFile), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(registry, p.Dir); err != nil {
+		t.Fatalf("Install alongside non-package entries: %v", err)
+	}
+}
+
+// TestReplayPropagatesTunerError covers the NewTuner error branch: a TOQ
+// outside the tuner's accepted range surfaces as a replay error, not a panic.
+func TestReplayPropagatesTunerError(t *testing.T) {
+	p := buildShared(t, BuildConfig{Quality: QualitySpec{TOQ: 0.5}, CorpusN: 10})
+	p.Manifest.Quality.TOQ = -1 // corrupt in memory only
+	if _, err := p.Replay(); err == nil {
+		t.Fatal("negative TOQ must fail the tuner constructor")
+	}
+}

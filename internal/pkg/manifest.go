@@ -1,0 +1,177 @@
+// Package pkg defines the kernel package: the declarative, versioned,
+// self-validating artifact that turns a servable kernel into data. A package
+// is a directory of three JSON files —
+//
+//	manifest.json   name, version, quality spec (TOQ, shed, drift SLOs),
+//	                latency SLO, input schema, and checksummed references
+//	                to the other two files
+//	bundle.json     the rumba-train artifact (internal/bundle): the trained
+//	                accelerator network, scaler, feature projection and the
+//	                error checkers
+//	corpus.json     the golden corpus: kernel inputs plus their exact
+//	                outputs, replayed at validation and conformance time
+//
+// The package is the single gate every kernel passes before rumba-serve
+// loads it: Load checks the schema and the checksums and that the bundle
+// deserialises into an invokable accelerator; Replay re-runs the golden
+// corpus through the full Rumba pipeline and asserts the delivered output
+// error stays inside the package's own TOQ. A package that passes both is
+// servable evidence, not hope — which is the paper's online-quality premise
+// applied to deployment artifacts.
+package pkg
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// ManifestVersion guards against loading packages written by an
+// incompatible build.
+const ManifestVersion = 1
+
+// The fixed file names inside a package directory.
+const (
+	ManifestFile = "manifest.json"
+	BundleFile   = "bundle.json"
+	CorpusFile   = "corpus.json"
+)
+
+// QualitySpec is the package's quality contract: the bound the conformance
+// runner and the registry loader hold the kernel to.
+type QualitySpec struct {
+	// TOQ is the target-output-quality error bound as a fraction (0.10 =
+	// 90% output quality): the corpus replay's delivered output error must
+	// stay at or below it.
+	TOQ float64 `json:"toq"`
+	// MaxShedRate bounds the fraction of conformance requests the server
+	// may shed (degrade to approximate-only output) under the package's
+	// declared traffic shapes; 0 means no shedding is tolerated.
+	MaxShedRate float64 `json:"maxShedRate"`
+	// MaxDriftState is the worst per-tenant drift-monitor state the
+	// conformance run may end in: "ok", "drifting" or "violating". Empty
+	// selects "drifting" (an alert may be forming, but paging level fails).
+	MaxDriftState string `json:"maxDriftState,omitempty"`
+}
+
+// LatencySLO is the package's latency contract under conformance traffic.
+type LatencySLO struct {
+	// P99Millis bounds the 99th-percentile request latency in
+	// milliseconds; <= 0 leaves latency unasserted.
+	P99Millis float64 `json:"p99Ms"`
+}
+
+// FileRef names a package-relative file and pins its content.
+type FileRef struct {
+	File   string `json:"file"`
+	SHA256 string `json:"sha256"`
+}
+
+// CorpusRef is the corpus descriptor: the file reference plus the element
+// count, so a truncated corpus is caught at the manifest level.
+type CorpusRef struct {
+	FileRef
+	Elements int `json:"elements"`
+}
+
+// Manifest is manifest.json: everything about a package except the trained
+// weights and the golden data themselves.
+type Manifest struct {
+	FormatVersion int `json:"formatVersion"`
+	// Name is the package (and registry kernel) name; Version its semantic
+	// version. Two installed versions of one name are a conflict the
+	// registry loader rejects.
+	Name    string `json:"name"`
+	Version string `json:"version"`
+	// Kernel names the exact-kernel spec (internal/bench) recovery
+	// re-executes. It usually equals Name, but a future multi-approximator
+	// package may ship several packages over one kernel.
+	Kernel string `json:"kernel"`
+	// InDim/OutDim are the kernel input/output schema; they must match the
+	// spec and the corpus.
+	InDim  int `json:"inDim"`
+	OutDim int `json:"outDim"`
+
+	Quality QualitySpec `json:"quality"`
+	Latency LatencySLO  `json:"latency"`
+
+	Bundle FileRef   `json:"bundle"`
+	Corpus CorpusRef `json:"corpus"`
+}
+
+// versionRE is MAJOR.MINOR.PATCH with an optional pre-release suffix.
+var versionRE = regexp.MustCompile(`^[0-9]+\.[0-9]+\.[0-9]+(-[0-9A-Za-z.-]+)?$`)
+
+// nameRE keeps names usable as directory components and metric labels.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_-]*$`)
+
+// driftStateRank orders drift states for SLO comparison; unknown states
+// return -1.
+func driftStateRank(state string) int {
+	switch state {
+	case "ok":
+		return 0
+	case "drifting":
+		return 1
+	case "violating":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// MaxDriftRank returns the numeric rank of the package's drift SLO
+// (defaulting empty to "drifting").
+func (q QualitySpec) MaxDriftRank() int {
+	if q.MaxDriftState == "" {
+		return driftStateRank("drifting")
+	}
+	return driftStateRank(q.MaxDriftState)
+}
+
+// Validate checks the manifest schema. Every error names the field and the
+// accepted form, so a hand-edited manifest fails with an actionable message.
+func (m *Manifest) Validate() error {
+	if m.FormatVersion != ManifestVersion {
+		return fmt.Errorf("pkg: manifest formatVersion %d, this build reads %d", m.FormatVersion, ManifestVersion)
+	}
+	if !nameRE.MatchString(m.Name) {
+		return fmt.Errorf("pkg: package name %q must match %s", m.Name, nameRE)
+	}
+	if !versionRE.MatchString(m.Version) {
+		return fmt.Errorf("pkg: version %q must be MAJOR.MINOR.PATCH with an optional -suffix", m.Version)
+	}
+	if m.Kernel == "" {
+		return fmt.Errorf("pkg: manifest must name the exact kernel it approximates")
+	}
+	if m.InDim <= 0 || m.OutDim <= 0 {
+		return fmt.Errorf("pkg: input schema %dx%d must be positive", m.InDim, m.OutDim)
+	}
+	if m.Quality.TOQ <= 0 || m.Quality.TOQ > 1 {
+		return fmt.Errorf("pkg: quality.toq %v must be in (0, 1]", m.Quality.TOQ)
+	}
+	if m.Quality.MaxShedRate < 0 || m.Quality.MaxShedRate > 1 {
+		return fmt.Errorf("pkg: quality.maxShedRate %v must be in [0, 1]", m.Quality.MaxShedRate)
+	}
+	if m.Quality.MaxDriftState != "" && driftStateRank(m.Quality.MaxDriftState) < 0 {
+		return fmt.Errorf("pkg: quality.maxDriftState %q must be ok, drifting or violating", m.Quality.MaxDriftState)
+	}
+	for _, ref := range []struct {
+		field string
+		ref   FileRef
+	}{{"bundle", m.Bundle}, {"corpus", m.Corpus.FileRef}} {
+		if ref.ref.File == "" || strings.ContainsAny(ref.ref.File, "/\\") {
+			return fmt.Errorf("pkg: %s.file %q must be a bare file name inside the package", ref.field, ref.ref.File)
+		}
+		if len(ref.ref.SHA256) != 64 {
+			return fmt.Errorf("pkg: %s.sha256 %q must be 64 hex characters", ref.field, ref.ref.SHA256)
+		}
+	}
+	if m.Corpus.Elements <= 0 {
+		return fmt.Errorf("pkg: corpus.elements %d must be positive", m.Corpus.Elements)
+	}
+	return nil
+}
+
+// DirName is the canonical package directory name, name-version.
+func (m *Manifest) DirName() string { return m.Name + "-" + m.Version }

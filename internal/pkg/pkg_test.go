@@ -1,0 +1,323 @@
+package pkg
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/predictor"
+	"rumba/internal/trainer"
+)
+
+// trainBundle trains a small artifact for one benchmark.
+func trainBundle(t *testing.T, name string, n, epochs int) *bundle.Bundle {
+	t.Helper()
+	spec, err := bench.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := spec.GenTrain(n)
+	cfg := trainer.DefaultAccelTrainConfig(name)
+	cfg.NN.Epochs = epochs
+	acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := accel.New(acfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.New(spec, acfg, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fftBundle memoises one trained fft artifact for the whole test run.
+var fftBundle = struct {
+	once sync.Once
+	b    *bundle.Bundle
+}{}
+
+func sharedBundle(t *testing.T) *bundle.Bundle {
+	t.Helper()
+	fftBundle.once.Do(func() { fftBundle.b = trainBundle(t, "fft", 400, 10) })
+	if fftBundle.b == nil {
+		t.Fatal("shared fft bundle failed to train")
+	}
+	return fftBundle.b
+}
+
+// buildShared builds a package from the shared fft bundle into a fresh dir.
+func buildShared(t *testing.T, cfg BuildConfig) *Package {
+	t.Helper()
+	p, err := Build(t.TempDir(), sharedBundle(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildLoadValidateRoundTrip(t *testing.T) {
+	p := buildShared(t, BuildConfig{Version: "1.2.3", Quality: QualitySpec{TOQ: 0.30}, CorpusN: 80})
+	if p.Manifest.Name != "fft" || p.Manifest.Version != "1.2.3" {
+		t.Fatalf("manifest identity = %s %s", p.Manifest.Name, p.Manifest.Version)
+	}
+	if filepath.Base(p.Dir) != "fft-1.2.3" {
+		t.Fatalf("package dir = %s", p.Dir)
+	}
+	if len(p.Corpus.Inputs) != 80 || p.Manifest.Corpus.Elements != 80 {
+		t.Fatalf("corpus size = %d (manifest %d)", len(p.Corpus.Inputs), p.Manifest.Corpus.Elements)
+	}
+	p2, rep, err := Validate(p.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || rep.Elements != 80 {
+		t.Fatalf("replay = %+v", rep)
+	}
+	if rep.Checker != "tree" {
+		t.Fatalf("default checker = %s", rep.Checker)
+	}
+	if p2.Manifest.Bundle.SHA256 != p.Manifest.Bundle.SHA256 {
+		t.Fatal("checksums changed across reload")
+	}
+}
+
+// TestBuildIsDeterministic: two builds of the same bundle at the same config
+// must produce byte-identical packages (the corpus generator is a named
+// deterministic stream, and the manifest carries no timestamps).
+func TestBuildIsDeterministic(t *testing.T) {
+	cfg := BuildConfig{Version: "0.0.1", Quality: QualitySpec{TOQ: 0.3}, CorpusN: 40}
+	p1 := buildShared(t, cfg)
+	p2 := buildShared(t, cfg)
+	for _, f := range []string{ManifestFile, BundleFile, CorpusFile} {
+		a, err := os.ReadFile(filepath.Join(p1.Dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(p2.Dir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s differs between identical builds", f)
+		}
+	}
+}
+
+// TestBuildAllBenchmarks is the acceptance gate: every internal/bench spec
+// must package and pass the full validation (schema, checksums, bundle
+// shape, corpus replay within TOQ) at test training scale.
+func TestBuildAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains all seven kernels")
+	}
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b := trainBundle(t, name, 300, 8)
+			p, err := Build(t.TempDir(), b, BuildConfig{
+				Version: "0.0.1",
+				Quality: QualitySpec{TOQ: 0.5, MaxShedRate: 0.1},
+				CorpusN: 60,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, rep, err := Validate(p.Dir); err != nil {
+				t.Fatalf("validate: %v (replay %+v)", err, rep)
+			}
+		})
+	}
+}
+
+func TestManifestValidateRejects(t *testing.T) {
+	good := func() Manifest {
+		return Manifest{
+			FormatVersion: ManifestVersion,
+			Name:          "fft",
+			Version:       "1.0.0",
+			Kernel:        "fft",
+			InDim:         1,
+			OutDim:        2,
+			Quality:       QualitySpec{TOQ: 0.1},
+			Bundle:        FileRef{File: BundleFile, SHA256: strings.Repeat("a", 64)},
+			Corpus:        CorpusRef{FileRef: FileRef{File: CorpusFile, SHA256: strings.Repeat("b", 64)}, Elements: 10},
+		}
+	}
+	if err := (&Manifest{}).Validate(); err == nil {
+		t.Fatal("zero manifest must fail")
+	}
+	m := good()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("good manifest rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Manifest)
+		keyword string
+	}{
+		{"bad version", func(m *Manifest) { m.Version = "v1" }, "MAJOR.MINOR.PATCH"},
+		{"bad name", func(m *Manifest) { m.Name = "FFT bad" }, "name"},
+		{"path traversal in file", func(m *Manifest) { m.Bundle.File = "../evil.json" }, "bare file name"},
+		{"short checksum", func(m *Manifest) { m.Corpus.SHA256 = "abc" }, "64 hex"},
+		{"toq out of range", func(m *Manifest) { m.Quality.TOQ = 1.5 }, "toq"},
+		{"negative shed budget", func(m *Manifest) { m.Quality.MaxShedRate = -0.1 }, "maxShedRate"},
+		{"unknown drift state", func(m *Manifest) { m.Quality.MaxDriftState = "panicking" }, "maxDriftState"},
+		{"no corpus elements", func(m *Manifest) { m.Corpus.Elements = 0 }, "elements"},
+		{"missing kernel", func(m *Manifest) { m.Kernel = "" }, "kernel"},
+		{"bad schema dims", func(m *Manifest) { m.InDim = 0 }, "schema"},
+		{"wrong format version", func(m *Manifest) { m.FormatVersion = 99 }, "formatVersion"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := good()
+			tc.mutate(&m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatalf("%s: accepted", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.keyword) {
+				t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.keyword)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsTamperedFiles(t *testing.T) {
+	p := buildShared(t, BuildConfig{Version: "0.0.2", Quality: QualitySpec{TOQ: 0.3}, CorpusN: 30})
+
+	// Flip a byte in the bundle: the checksum must catch it before the
+	// bundle is ever deserialised.
+	path := filepath.Join(p.Dir, BundleFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(p.Dir)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("tampered bundle: %v", err)
+	}
+}
+
+func TestLoadRejectsCorpusCountMismatch(t *testing.T) {
+	p := buildShared(t, BuildConfig{Version: "0.0.3", Quality: QualitySpec{TOQ: 0.3}, CorpusN: 30})
+
+	// Drop a corpus element and re-pin the checksum, so only the manifest
+	// element count disagrees.
+	cpath := filepath.Join(p.Dir, CorpusFile)
+	c, err := loadCorpus(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inputs, c.Exact = c.Inputs[:len(c.Inputs)-1], c.Exact[:len(c.Exact)-1]
+	if err := saveCorpus(cpath, c); err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(p.Dir, ManifestFile)
+	m := p.Manifest
+	if m.Corpus.SHA256, err = fileSHA256(cpath); err != nil {
+		t.Fatal(err)
+	}
+	mdata, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, mdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(p.Dir)
+	if err == nil || !strings.Contains(err.Error(), "corpus elements") {
+		t.Fatalf("corpus count mismatch: %v", err)
+	}
+}
+
+func TestValidateRejectsTOQViolation(t *testing.T) {
+	// A tight TOQ alone is reachable — the tuner fires on everything and
+	// recovery fixes it all. A genuine violation needs a checker that
+	// never fires: a blind single-leaf tree predicting zero error ships
+	// every approximate output unchecked, so the delivered error equals
+	// the unchecked error, far above a 0.0001 bound.
+	shared := sharedBundle(t)
+	blind := *shared
+	blind.Tree = &predictor.Tree{Nodes: []predictor.TreeNode{{Feature: -1, Value: 0}}}
+	blind.Linear, blind.EMAHistory, blind.EMAScale = nil, 0, 0
+	p, err := Build(t.TempDir(), &blind, BuildConfig{Version: "0.0.4", Quality: QualitySpec{TOQ: 0.0001}, CorpusN: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := Validate(p.Dir)
+	if err == nil {
+		t.Fatal("unreachable TOQ must fail validation")
+	}
+	if !strings.Contains(err.Error(), "violates its own TOQ") {
+		t.Fatalf("error %q does not explain the TOQ violation", err)
+	}
+	if rep == nil || rep.Pass {
+		t.Fatalf("replay report = %+v", rep)
+	}
+}
+
+func TestInstall(t *testing.T) {
+	p := buildShared(t, BuildConfig{Version: "1.0.0", Quality: QualitySpec{TOQ: 0.3}, CorpusN: 30})
+	registry := t.TempDir()
+	dest, err := Install(registry, p.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(dest) != "fft-1.0.0" {
+		t.Fatalf("installed as %s", dest)
+	}
+	if _, _, err := Validate(dest); err != nil {
+		t.Fatalf("installed package fails validation: %v", err)
+	}
+
+	// Same name, different version: must be rejected with the versions in
+	// the message.
+	p2 := buildShared(t, BuildConfig{Version: "2.0.0", Quality: QualitySpec{TOQ: 0.3}, CorpusN: 30})
+	_, err = Install(registry, p2.Dir)
+	if err == nil || !strings.Contains(err.Error(), "already holds fft 1.0.0") {
+		t.Fatalf("duplicate install: %v", err)
+	}
+}
+
+func TestGenerateCorpusValidates(t *testing.T) {
+	spec, err := bench.Get("sobel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := GenerateCorpus(spec, 25)
+	if err := c.Validate(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 25 || c.InDim != spec.InDim || c.OutDim != spec.OutDim {
+		t.Fatalf("corpus shape: %d elements, %dx%d", len(c.Inputs), c.InDim, c.OutDim)
+	}
+	other, err := bench.Get("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(other); err == nil {
+		t.Fatal("corpus for sobel must not validate against fft")
+	}
+	c.Exact = c.Exact[:10]
+	if err := c.Validate(spec); err == nil {
+		t.Fatal("truncated exact outputs must fail")
+	}
+}

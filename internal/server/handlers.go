@@ -334,9 +334,17 @@ func parseMode(s string) (core.TunerMode, error) {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before writing the header: a kernel whose outputs overflowed
+	// to ±Inf is not JSON-representable, and streaming would have already
+	// committed a 200 with an empty body by the time Encode fails.
+	data, err := json.Marshal(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data, _ = json.Marshal(errorResponse{Error: "response not representable as JSON: " + err.Error()})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(append(data, '\n'))
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

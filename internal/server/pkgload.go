@@ -1,0 +1,78 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"rumba/internal/pkg"
+)
+
+// LoadPackage runs one kernel package through the full package gate —
+// manifest schema, checksums, bundle shape validation, corpus schema, and
+// the golden-corpus replay against the package's own TOQ — and registers its
+// kernel. A package that fails any part of the gate never reaches the
+// registry: rumba-serve refuses to serve an artifact that cannot prove its
+// quality contract at startup.
+func (r *Registry) LoadPackage(dir string) (*Kernel, error) {
+	p, _, err := pkg.Validate(dir)
+	if err != nil {
+		return nil, err
+	}
+	k := kernelFromParts(p.Spec, p.Bundle.Accel, p.Bundle.Predictors())
+	if err := r.Add(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// LoadPackageDir loads every kernel package installed in a registry
+// directory (the rumba-pkg install target), returning the number registered.
+// The scan is strict: every subdirectory must be a valid package, two
+// packages must not provide the same kernel name (the version-conflict error
+// names both offending directories), and any gate failure aborts startup — a
+// serve registry holds only proven artifacts, so a bad entry is an operator
+// error, not something to skip past silently.
+func (r *Registry) LoadPackageDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("server: package registry: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic load order, so conflict errors are stable
+	loadedBy := map[string]string{}
+	n := 0
+	for _, name := range names {
+		sub := filepath.Join(dir, name)
+		data, err := os.ReadFile(filepath.Join(sub, pkg.ManifestFile))
+		if err != nil {
+			return n, fmt.Errorf("server: package registry %s: %s has no readable %s — not a package; remove it or install with rumba-pkg install",
+				dir, name, pkg.ManifestFile)
+		}
+		// Peek at the identity before the expensive gate, so a version
+		// conflict is reported as such rather than as a duplicate-kernel
+		// registration failure.
+		var m pkg.Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return n, fmt.Errorf("server: package registry %s: %s/%s: %w", dir, name, pkg.ManifestFile, err)
+		}
+		if prev, dup := loadedBy[m.Name]; dup && m.Name != "" {
+			return n, fmt.Errorf("server: package registry %s: %s and %s both provide kernel %q — the registry serves one version per kernel; uninstall one",
+				dir, prev, name, m.Name)
+		}
+		k, err := r.LoadPackage(sub)
+		if err != nil {
+			return n, err
+		}
+		loadedBy[k.Name] = name
+		n++
+	}
+	return n, nil
+}

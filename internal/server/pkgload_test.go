@@ -1,0 +1,237 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/pkg"
+	"rumba/internal/predictor"
+	"rumba/internal/trainer"
+)
+
+// pkgBundle memoises one trained fft bundle for the package-loader tests.
+var pkgBundle = struct {
+	once sync.Once
+	b    *bundle.Bundle
+}{}
+
+func trainedBundle(t *testing.T) *bundle.Bundle {
+	t.Helper()
+	pkgBundle.once.Do(func() {
+		spec, err := bench.Get("fft")
+		if err != nil {
+			return
+		}
+		train := spec.GenTrain(400)
+		cfg := trainer.DefaultAccelTrainConfig("fft")
+		cfg.NN.Epochs = 10
+		acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+		if err != nil {
+			return
+		}
+		acc, err := accel.New(acfg, 0)
+		if err != nil {
+			return
+		}
+		preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+		if err != nil {
+			return
+		}
+		pkgBundle.b, _ = bundle.New(spec, acfg, preds)
+	})
+	if pkgBundle.b == nil {
+		t.Fatal("fft bundle failed to train")
+	}
+	return pkgBundle.b
+}
+
+// installPkg builds a package straight into a registry directory.
+func installPkg(t *testing.T, registry string, b *bundle.Bundle, cfg pkg.BuildConfig) *pkg.Package {
+	t.Helper()
+	p, err := pkg.Build(registry, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// blindBundle clones b with a single-leaf tree that always predicts zero
+// error, so the checker never fires, recovery never runs, and the delivered
+// error equals the raw accelerator error — guaranteed to bust a tiny TOQ.
+func blindBundle(t *testing.T, b *bundle.Bundle) *bundle.Bundle {
+	t.Helper()
+	blind := *b
+	blind.Tree = &predictor.Tree{Nodes: []predictor.TreeNode{{Feature: -1, Value: 0}}}
+	blind.Linear = nil
+	blind.EMAHistory, blind.EMAScale = 0, 0
+	return &blind
+}
+
+func TestLoadPackageDir(t *testing.T) {
+	base := trainedBundle(t)
+	good := pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 40}
+
+	cases := []struct {
+		name string
+		// setup populates a fresh registry directory and returns the number
+		// of packages LoadPackageDir must register; want is a fragment the
+		// error must contain ("" expects success).
+		setup func(t *testing.T, dir string) int
+		want  string
+	}{
+		{
+			name: "empty registry loads nothing",
+			setup: func(t *testing.T, dir string) int {
+				return 0
+			},
+		},
+		{
+			name: "valid package registers its kernel",
+			setup: func(t *testing.T, dir string) int {
+				installPkg(t, dir, base, good)
+				return 1
+			},
+		},
+		{
+			name: "plain files are ignored",
+			setup: func(t *testing.T, dir string) int {
+				installPkg(t, dir, base, good)
+				if err := os.WriteFile(filepath.Join(dir, "README"), []byte("notes"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return 1
+			},
+		},
+		{
+			name: "version conflict names both directories",
+			setup: func(t *testing.T, dir string) int {
+				installPkg(t, dir, base, good)
+				cfg := good
+				cfg.Version = "2.0.0"
+				installPkg(t, dir, base, cfg)
+				return 0
+			},
+			want: `fft-0.1.0 and fft-2.0.0 both provide kernel "fft"`,
+		},
+		{
+			name: "tampered bundle fails its checksum",
+			setup: func(t *testing.T, dir string) int {
+				p := installPkg(t, dir, base, good)
+				path := filepath.Join(p.Dir, pkg.BundleFile)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[len(data)/2] ^= 0xff
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return 0
+			},
+			want: "checksum mismatch",
+		},
+		{
+			name: "TOQ-violating corpus replay is rejected",
+			setup: func(t *testing.T, dir string) int {
+				installPkg(t, dir, blindBundle(t, base),
+					pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 1e-9}, CorpusN: 40})
+				return 0
+			},
+			want: "violates its own TOQ",
+		},
+		{
+			name: "directory without a manifest is not a package",
+			setup: func(t *testing.T, dir string) int {
+				if err := os.MkdirAll(filepath.Join(dir, "junk"), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				return 0
+			},
+			want: "has no readable manifest.json",
+		},
+		{
+			name: "malformed manifest JSON is actionable",
+			setup: func(t *testing.T, dir string) int {
+				sub := filepath.Join(dir, "broken-1.0.0")
+				if err := os.MkdirAll(sub, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(sub, pkg.ManifestFile), []byte("{"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return 0
+			},
+			want: "broken-1.0.0/manifest.json",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			wantN := tc.setup(t, dir)
+			reg := NewKernelRegistry()
+			n, err := reg.LoadPackageDir(dir)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("LoadPackageDir: %v", err)
+				}
+				if n != wantN {
+					t.Fatalf("loaded %d packages, want %d", n, wantN)
+				}
+				if wantN > 0 {
+					k, ok := reg.Get("fft")
+					if !ok || k.DefaultChecker != "tree" {
+						t.Fatalf("kernel fft not registered with its default checker (ok=%v)", ok)
+					}
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("LoadPackageDir succeeded (%d loaded), want error containing %q", n, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadPackageDirMissing(t *testing.T) {
+	reg := NewKernelRegistry()
+	if _, err := reg.LoadPackageDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing registry directory must error")
+	}
+}
+
+// TestLoadPackageServesInvocations proves a package-loaded kernel is
+// end-to-end servable: register, serve, invoke.
+func TestLoadPackageServesInvocations(t *testing.T) {
+	dir := t.TempDir()
+	p := installPkg(t, dir, trainedBundle(t), pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 40})
+	reg := NewKernelRegistry()
+	k, err := reg.LoadPackage(p.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "fft" {
+		t.Fatalf("kernel = %q", k.Name)
+	}
+	_, hs := newTestServer(t, Options{}, k)
+	status, resp, errBody := invoke(t, hs.URL, InvokeRequest{
+		Kernel: "fft",
+		Inputs: p.Corpus.Inputs[:4],
+		Mode:   "toq",
+		Target: p.Manifest.Quality.TOQ,
+	})
+	if status != 200 {
+		t.Fatalf("invoke status %d: %s", status, errBody)
+	}
+	if len(resp.Outputs) != 4 || resp.Checker != "tree" {
+		t.Fatalf("response = %+v", resp)
+	}
+}
