@@ -33,14 +33,22 @@
 #                                  corpus replay vs TOQ) and run a short
 #                                  steady-shape conformance pass against an
 #                                  in-process rumba-serve
-#   8. coverage floors             statement coverage of the hardened runtime
+#   8. cluster smoke               boot a 3-node in-process cluster behind
+#                                  the consistent-hash router, kill a node
+#                                  and assert rerouted invokes succeed, then
+#                                  drain a node through a planned rebalance
+#                                  and assert the migrated tenant's tuner and
+#                                  drift state survived, plus a conformance
+#                                  round through the router's front door
+#   9. coverage floors             statement coverage of the hardened runtime
 #                                  (internal/core), the observability layer
 #                                  (internal/obs, internal/trace), the
 #                                  serving layer, the kernel-package layer
-#                                  (internal/pkg, internal/bundle) and the
+#                                  (internal/pkg, internal/bundle), the
+#                                  cluster layer (internal/cluster) and the
 #                                  static-analysis engine (internal/analysis)
 #                                  must not regress below the floors
-#   9. rumba-vet ./...             Rumba's own static-analysis suite:
+#  10. rumba-vet ./...             Rumba's own static-analysis suite:
 #                                  purity, determinism, floatcmp, kernelsig,
 #                                  concurrency, approxflow, hotpath,
 #                                  directive (see DESIGN.md, "Static
@@ -55,9 +63,11 @@ cd "$(dirname "$0")"
 
 echo "==> go build ./..."
 go build ./...
-# The serving daemon must stay buildable on its own (it is the deployable
-# artifact; ./... would mask a main-package-only breakage message).
+# The serving daemon and its cluster router must stay buildable on their own
+# (they are the deployable artifacts; ./... would mask a main-package-only
+# breakage message).
 go build ./cmd/rumba-serve
+go build ./cmd/rumba-router
 
 echo "==> go vet ./..."
 go vet ./...
@@ -90,7 +100,10 @@ go run ./cmd/rumba-pkg validate "$pkg_tmp/fft-0.1.0"
 go run ./cmd/rumba-pkg conform -shape steady -requests 12 -batch 8 -out "$pkg_tmp/report.json" "$pkg_tmp/fft-0.1.0"
 grep -q '"pass": true' "$pkg_tmp/report.json" || { echo "ci: conformance report did not pass" >&2; exit 1; }
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%)"
+echo "==> cluster smoke (3-node harness + router: kill-a-node failover, rebalance state handoff, conformance through the router)"
+go test -count=1 -run 'TestClusterKillNodeLosesNoTenant|TestClusterDriftStateSurvivesPlannedDrain|TestClusterRebalancePreservesTunerAndDriftState|TestClusterConformanceRound' ./internal/cluster/
+
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%, internal/cluster >= 85%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -115,6 +128,7 @@ check_cover ./internal/analysis/ 80
 check_cover ./internal/pkg/ 85
 check_cover ./internal/pkg/conformance/ 85
 check_cover ./internal/bundle/ 85
+check_cover ./internal/cluster/ 85
 
 echo "==> rumba-vet ./... (baseline-gated, SARIF artifact at rumba-vet.sarif)"
 go run ./cmd/rumba-vet -fail-on warning -baseline vet-baseline.json ./...

@@ -1,0 +1,140 @@
+// Command rumba-router fronts a rumba-serve cluster: it places every tenant
+// on one node with a consistent-hash ring, forwards /v1/invoke and
+// /v1/tenants/* to that owner, probes each node's /readyz, and fails over
+// along the ring when the owner is dead or shedding. Tenant sharding is what
+// scales Rumba's online quality control: each tenant's tuner trajectory and
+// drift history live on exactly one node, so the controller keeps adapting
+// per tenant no matter how many nodes serve the fleet.
+//
+//	rumba-serve -train sobel -addr :8081 &
+//	rumba-serve -train sobel -addr :8082 &
+//	rumba-serve -train sobel -addr :8083 &
+//	rumba-router -addr :8080 -node a=http://localhost:8081 \
+//	    -node b=http://localhost:8082 -node c=http://localhost:8083
+//
+//	curl -s localhost:8080/v1/invoke -d '{"tenant":"acme","kernel":"sobel","inputs":[[...]]}'
+//	curl -s localhost:8080/v1/cluster   # ring + per-node probe state
+//
+// SIGTERM/SIGINT stops the prober and closes the listener; node state is
+// untouched (the nodes own it, the router is stateless and restartable).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rumba/internal/cluster"
+	"rumba/internal/obs"
+)
+
+// nodeList collects repeated -node name=url flags.
+type nodeList []cluster.Node
+
+func (n *nodeList) String() string {
+	parts := make([]string, len(*n))
+	for i, node := range *n {
+		parts[i] = node.Name + "=" + node.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (n *nodeList) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("want name=url, got %q", v)
+	}
+	*n = append(*n, cluster.Node{Name: name, URL: url})
+	return nil
+}
+
+func main() {
+	var nodes nodeList
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Var(&nodes, "node", "cluster member as name=url (repeatable)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = 128)")
+	retries := flag.Int("retries", 0, "failover budget after the owning node fails: 0 tries every replica, < 0 disables failover")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "health probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+	suspectAfter := flag.Int("suspect-after", 1, "consecutive probe failures marking a node suspect")
+	downAfter := flag.Int("down-after", 3, "consecutive probe failures marking a node down (skipped by forwarding)")
+	forwardTimeout := flag.Duration("forward-timeout", 30*time.Second, "per-attempt forward timeout for requests without their own deadline")
+	traceCapacity := flag.Int("trace-capacity", 0, "flight-recorder ring capacity in traces; > 0 records a span per forward attempt, dump at /debug/rumba/traces")
+	traceSample := flag.Int("trace-sample", 1, "tail-sample 1 in N healthy traces (failover/error traces are always kept)")
+	expvarFlag := flag.Bool("expvar", false, "additionally publish the metrics registry at /debug/vars")
+	flag.Parse()
+
+	if err := run(*addr, nodes, *vnodes, *retries, *suspectAfter, *downAfter,
+		*probeInterval, *probeTimeout, *forwardTimeout,
+		*traceCapacity, *traceSample, *expvarFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "rumba-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, nodes []cluster.Node, vnodes, retries, suspectAfter, downAfter int,
+	probeInterval, probeTimeout, forwardTimeout time.Duration,
+	traceCapacity, traceSample int, expvarFlag bool) error {
+	if len(nodes) == 0 {
+		return errors.New("no cluster members (use -node name=url at least once)")
+	}
+	metrics := obs.NewRegistry()
+	rt, err := cluster.NewRouter(nodes, cluster.Options{
+		VNodes:         vnodes,
+		Retries:        retries,
+		ForwardTimeout: forwardTimeout,
+		Probe: cluster.ProbeConfig{
+			Interval:     probeInterval,
+			Timeout:      probeTimeout,
+			SuspectAfter: suspectAfter,
+			DownAfter:    downAfter,
+		},
+		Metrics:          metrics,
+		TraceCapacity:    traceCapacity,
+		TraceSampleEvery: traceSample,
+	})
+	if err != nil {
+		return err
+	}
+	if expvarFlag {
+		obs.Publish("rumba", metrics)
+	}
+	if traceCapacity > 0 {
+		fmt.Printf("== trace: flight recorder on, %d traces/ring, dump at /debug/rumba/traces\n", traceCapacity)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	rt.Start(ctx)
+	defer rt.Stop()
+
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	fmt.Printf("== routing %d node(s) [%s] on http://%s (POST /v1/invoke; /v1/cluster /healthz /readyz /metrics)\n",
+		len(nodes), strings.Join(names, ", "), addr)
+
+	hs := &http.Server{Addr: addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	fmt.Println("== router stopped")
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNodeListFlag(t *testing.T) {
+	var nodes nodeList
+	if err := nodes.Set("a=http://localhost:8081"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes.Set("b=http://localhost:8082"); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || nodes[0].Name != "a" || nodes[1].URL != "http://localhost:8082" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	if got := nodes.String(); got != "a=http://localhost:8081,b=http://localhost:8082" {
+		t.Fatalf("String = %q", got)
+	}
+	for _, bad := range []string{"", "nourl", "=http://x", "name="} {
+		if err := nodes.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	// URLs may contain '=' (query strings); only the first split counts.
+	if err := nodes.Set("c=http://x/?a=b"); err != nil || nodes[2].URL != "http://x/?a=b" {
+		t.Fatalf("query-string URL mangled: %v %+v", err, nodes)
+	}
+}
+
+func TestRunRejectsEmptyCluster(t *testing.T) {
+	err := run("localhost:0", nil, 0, 0, 1, 3, time.Second, time.Second, time.Second, 0, 1, false)
+	if err == nil || !strings.Contains(err.Error(), "no cluster members") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+// Package buildinfo resolves the provenance of the running binary: which
+// commit it was built from, on what toolchain, for what platform. It is the
+// shared home of the stamp that BENCH_*.json baselines carry and that
+// rumba-serve and rumba-router report from /v1/version — in a mixed-version
+// cluster, "which node runs which build" is the first diagnostic question,
+// and it must be answerable over HTTP, not by ssh-ing into the box.
+package buildinfo
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Info is the provenance record. The zero value of every field is legal:
+// provenance is a courtesy, not a gate.
+type Info struct {
+	// GitCommit is the HEAD hash at build/measurement time, best-effort:
+	// empty when the tree is not a git checkout or git is unavailable.
+	// GitDirty marks a working tree with uncommitted changes — numbers (or
+	// binaries) from a dirty tree are not reproducible from the commit alone.
+	GitCommit string `json:"git_commit,omitempty"`
+	GitDirty  bool   `json:"git_dirty,omitempty"`
+	// GoVersion/OS/Arch identify the toolchain and platform; NumCPU and
+	// GOMAXPROCS the parallelism the process has available.
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Resolve builds an Info for the current process. The git subprocess runs at
+// most once per process (the result is memoised): /v1/version sits on every
+// cluster node's probe-adjacent surface and must not fork per request.
+func Resolve() Info {
+	gitOnce.Do(func() {
+		gitCommit, gitDirty = gitHead()
+	})
+	return Info{
+		GitCommit:  gitCommit,
+		GitDirty:   gitDirty,
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+var (
+	gitOnce   sync.Once
+	gitCommit string
+	gitDirty  bool
+)
+
+// gitHead resolves the current commit hash and dirtiness, best-effort: any
+// failure (no git binary, not a checkout) yields ("", false) rather than an
+// error.
+func gitHead() (string, bool) {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "", false
+	}
+	commit := strings.TrimSpace(string(out))
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	dirty := err == nil && len(strings.TrimSpace(string(status))) > 0
+	return commit, dirty
+}

@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestResolveToolchainFields(t *testing.T) {
+	info := Resolve()
+	if info.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.OS != runtime.GOOS || info.Arch != runtime.GOARCH {
+		t.Errorf("platform = %s/%s, want %s/%s", info.OS, info.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if info.NumCPU <= 0 || info.GOMAXPROCS <= 0 {
+		t.Errorf("parallelism fields not positive: %+v", info)
+	}
+}
+
+func TestResolveMemoised(t *testing.T) {
+	a, b := Resolve(), Resolve()
+	if a != b {
+		t.Errorf("Resolve not stable across calls: %+v vs %+v", a, b)
+	}
+}
+
+func TestInfoJSONShape(t *testing.T) {
+	data, err := json.Marshal(Resolve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"go_version", "os", "arch", "num_cpu", "gomaxprocs"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON missing %q: %s", key, data)
+		}
+	}
+}

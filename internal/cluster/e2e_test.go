@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/pkg"
+	"rumba/internal/pkg/conformance"
+	"rumba/internal/server"
+	"rumba/internal/trainer"
+)
+
+// clusterInvoke POSTs one invoke through the router.
+func clusterInvoke(t *testing.T, url string, req server.InvokeRequest) (int, server.InvokeResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	node := resp.Header.Get("X-Rumba-Node")
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, server.InvokeResponse{}, node
+	}
+	var out server.InvokeResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		t.Fatalf("decode invoke reply %q: %v", payload, err)
+	}
+	return resp.StatusCode, out, node
+}
+
+// tripleBatch builds n synthetic {value, spare, score} inputs.
+func tripleBatch(n int, score float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{float64(i), 0, score}
+	}
+	return out
+}
+
+// tenantThreshold reads a tenant's current tuner threshold from its exported
+// state, plus the node that answered.
+func tenantThreshold(t *testing.T, routerURL, tenant string) (float64, string) {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/v1/tenants/" + tenant + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("state GET = %d: %s", resp.StatusCode, payload)
+	}
+	var state struct {
+		States []struct {
+			Kernel string `json:"kernel"`
+			Tuner  *struct {
+				Threshold float64 `json:"threshold"`
+			} `json:"tuner"`
+		} `json:"states"`
+	}
+	if err := json.Unmarshal(payload, &state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.States) != 1 || state.States[0].Tuner == nil {
+		t.Fatalf("unexpected state shape: %s", payload)
+	}
+	return state.States[0].Tuner.Threshold, resp.Header.Get("X-Rumba-Node")
+}
+
+// waitForState polls until the named node reaches the wanted probe state.
+func waitForState(t *testing.T, rt *Router, node string, want NodeState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt.Membership().State(node) == want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("node %s never reached %v (state %v)", node, want, rt.Membership().State(node))
+}
+
+func TestClusterKillNodeLosesNoTenant(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Spread tenants across the cluster and verify placement: each lands on
+	// its ring owner, and repeat requests stick.
+	tenants := make([]string, 9)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%d", i)
+		status, _, node := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: tenants[i], Kernel: "synth", Inputs: tripleBatch(4, 0),
+		})
+		if status != http.StatusOK {
+			t.Fatalf("invoke %s = %d", tenants[i], status)
+		}
+		if want := h.Router.Ring().Owner(tenants[i]); node != want {
+			t.Fatalf("tenant %s served by %s, want ring owner %s", tenants[i], node, want)
+		}
+	}
+
+	// Kill the node owning tenant-0 (real crash: listener closed).
+	victim := h.Router.Ring().Owner("tenant-0")
+	if err := h.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, h.Router, victim, NodeDown)
+
+	// Every tenant still answers: survivors keep their state and their node;
+	// the victim's tenants fail over to the next replica in ring order.
+	for _, tenant := range tenants {
+		status, _, node := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: tenant, Kernel: "synth", Inputs: tripleBatch(4, 0),
+		})
+		if status != http.StatusOK {
+			t.Fatalf("post-kill invoke %s = %d — tenant lost", tenant, status)
+		}
+		if node == victim {
+			t.Fatalf("tenant %s still routed to dead node %s", tenant, victim)
+		}
+		replicas := h.Router.Ring().Replicas(tenant, 0)
+		want := replicas[0]
+		if want == victim {
+			want = replicas[1]
+		}
+		if node != want {
+			t.Fatalf("tenant %s landed on %s, want deterministic failover target %s", tenant, node, want)
+		}
+	}
+	if c := h.Router.Metrics().Counter(MetricUnroutable).Value(); c != 0 {
+		t.Fatalf("unroutable = %d, want 0", c)
+	}
+}
+
+// driveEnergyTenant pushes an energy-mode tenant's threshold off its seed:
+// every element fires (score 0.9 over budget target 0.25), so each observed
+// invocation doubles the threshold.
+func driveEnergyTenant(t *testing.T, url, tenant string, rounds int) float64 {
+	t.Helper()
+	last := 0.0
+	for i := 0; i < rounds; i++ {
+		status, resp, _ := clusterInvoke(t, url, server.InvokeRequest{
+			Tenant: tenant, Kernel: "synth", Inputs: tripleBatch(8, 0.9),
+			Mode: "energy", Target: 0.25,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("drive round %d = %d", i, status)
+		}
+		last = resp.Threshold
+	}
+	return last
+}
+
+func TestClusterRebalancePreservesTunerAndDriftState(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{
+		Nodes: 3,
+		// Small invocation size: the tuner observes every 8-element batch.
+		ServerOptions: func(int) server.Options { return server.Options{InvocationSize: 8} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Adapt "acme" away from its seed threshold, then pull its drift monitor
+	// through some windows: low-score elements ship approximate while the
+	// raised threshold exceeds the drift target, breaching windows.
+	driveEnergyTenant(t, h.URL(), "acme", 4)
+	for i := 0; i < 3; i++ {
+		if status, _, _ := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: "acme", Kernel: "synth", Inputs: tripleBatch(8, 0.15),
+		}); status != http.StatusOK {
+			t.Fatalf("drift round = %d", status)
+		}
+	}
+
+	before, oldOwner := tenantThreshold(t, h.URL(), "acme")
+	if before == 0.1 {
+		t.Fatal("threshold never moved off the seed; the handoff equality check would be vacuous")
+	}
+	healthBefore := tenantHealth(t, h.URL(), "acme")
+
+	// Planned removal of the owner: the rebalance must carry the trajectory
+	// to the new owner, not restart it.
+	report, err := h.Router.RemoveNode(context.Background(), oldOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved *Move
+	for i := range report.Moves {
+		if report.Moves[i].Tenant == "acme" {
+			moved = &report.Moves[i]
+		}
+	}
+	if moved == nil || moved.Err != "" {
+		t.Fatalf("no clean move for acme in %+v", report)
+	}
+	if moved.From != oldOwner || moved.Report == nil || moved.Report.Imported != 1 {
+		t.Fatalf("move = %+v / report %+v", moved, moved.Report)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("rebalance errors: %+v", report)
+	}
+
+	after, newOwner := tenantThreshold(t, h.URL(), "acme")
+	if newOwner == oldOwner {
+		t.Fatalf("state still served by removed node %s", oldOwner)
+	}
+	if newOwner != h.Router.Ring().Owner("acme") {
+		t.Fatalf("state on %s, want new ring owner %s", newOwner, h.Router.Ring().Owner("acme"))
+	}
+	if after != before {
+		t.Fatalf("restored threshold %v != pre-handoff snapshot %v", after, before)
+	}
+
+	healthAfter := tenantHealth(t, h.URL(), "acme")
+	if healthAfter.Drift == nil || healthBefore.Drift == nil {
+		t.Fatalf("drift info missing: before=%+v after=%+v", healthBefore, healthAfter)
+	}
+	if healthAfter.Drift.Windows != healthBefore.Drift.Windows ||
+		healthAfter.Drift.Violations != healthBefore.Drift.Violations {
+		t.Fatalf("drift history rebooted: before=%+v after=%+v", healthBefore.Drift, healthAfter.Drift)
+	}
+
+	// The trajectory keeps adapting where it left off: another all-fire
+	// energy round doubles from the migrated threshold.
+	if got := driveEnergyTenant(t, h.URL(), "acme", 1); got <= after {
+		t.Fatalf("post-move threshold %v did not continue adapting from %v", got, after)
+	}
+}
+
+func TestClusterAddNodeMovesOnlyItsShare(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		if status, _, _ := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: fmt.Sprintf("t-%d", i), Kernel: "synth", Inputs: tripleBatch(4, 0),
+		}); status != http.StatusOK {
+			t.Fatalf("seed invoke %d = %d", i, status)
+		}
+	}
+
+	// Boot a genuine fourth node and grow the cluster onto it.
+	extra, err := h.bootNode(3, HarnessOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Nodes = append(h.Nodes, extra)
+	report, err := h.Router.AddNode(context.Background(), Node{Name: extra.Name, URL: extra.HTTP.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 || len(report.Added) != 1 || report.Added[0] != extra.Name {
+		t.Fatalf("report = %+v", report)
+	}
+	// Consistent hashing: every move lands on the new node, none shuffle
+	// between survivors.
+	for _, mv := range report.Moves {
+		if mv.To != extra.Name {
+			t.Fatalf("move %+v reshuffled between survivors", mv)
+		}
+	}
+
+	// All tenants remain reachable on their (possibly new) owners.
+	for i := 0; i < n; i++ {
+		tenant := fmt.Sprintf("t-%d", i)
+		status, _, node := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: tenant, Kernel: "synth", Inputs: tripleBatch(4, 0),
+		})
+		if status != http.StatusOK {
+			t.Fatalf("post-grow invoke %s = %d", tenant, status)
+		}
+		if want := h.Router.Ring().Owner(tenant); node != want {
+			t.Fatalf("tenant %s on %s, want %s", tenant, node, want)
+		}
+	}
+}
+
+// tenantHealth reads /v1/tenants/{id}/health through the router.
+func tenantHealth(t *testing.T, routerURL, tenant string) server.TenantInfo {
+	t.Helper()
+	resp, err := http.Get(routerURL + "/v1/tenants/" + tenant + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health GET = %d: %s", resp.StatusCode, payload)
+	}
+	var health server.TenantHealth
+	if err := json.Unmarshal(payload, &health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health.Kernels) != 1 {
+		t.Fatalf("tenant %s health lists %d kernels: %s", tenant, len(health.Kernels), payload)
+	}
+	return health.Kernels[0]
+}
+
+// fftBundle memoises one small trained fft artifact for the whole package
+// run (the same economy conformance_test.go uses).
+var fftBundle = struct {
+	once sync.Once
+	b    *bundle.Bundle
+}{}
+
+func sharedBundle(t *testing.T) *bundle.Bundle {
+	t.Helper()
+	fftBundle.once.Do(func() {
+		spec, err := bench.Get("fft")
+		if err != nil {
+			return
+		}
+		train := spec.GenTrain(400)
+		cfg := trainer.DefaultAccelTrainConfig("fft")
+		cfg.NN.Epochs = 10
+		acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+		if err != nil {
+			return
+		}
+		acc, err := accel.New(acfg, 0)
+		if err != nil {
+			return
+		}
+		preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+		if err != nil {
+			return
+		}
+		fftBundle.b, _ = bundle.New(spec, acfg, preds)
+	})
+	if fftBundle.b == nil {
+		t.Fatal("shared fft bundle failed to train")
+	}
+	return fftBundle.b
+}
+
+func TestClusterConformanceRound(t *testing.T) {
+	p, err := pkg.Build(t.TempDir(), sharedBundle(t),
+		pkg.BuildConfig{Quality: pkg.QualitySpec{TOQ: 0.5}, CorpusN: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHarness(HarnessOptions{
+		Nodes: 3,
+		Registry: func(int) (*server.Registry, error) {
+			reg := server.NewKernelRegistry()
+			if _, err := reg.LoadBundleFile(filepath.Join(p.Dir, pkg.BundleFile)); err != nil {
+				return nil, err
+			}
+			return reg, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// The PR 7 conformance contract, enforced through the cluster's front
+	// door: delivered error within TOQ, client-observed p99 in SLO, shed
+	// rate in budget, drift monitors clean — with every request taking the
+	// extra router hop and tenants sharded across three real nodes.
+	rep, err := conformance.Run(conformance.Config{
+		Package: p, Shape: conformance.ShapeMixed,
+		Requests: 12, Batch: 8, Lanes: 3,
+		BaseURL: h.URL(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d request errors through the router, first: %s", rep.Errors, rep.FirstError)
+	}
+	if !rep.Pass {
+		t.Fatalf("cluster conformance failed: %s", rep.Summary())
+	}
+
+	// Same contract while a node dies mid-cluster: kill one and rerun.
+	if err := h.Kill(h.Nodes[1].Name); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, h.Router, h.Nodes[1].Name, NodeDown)
+	rep, err = conformance.Run(conformance.Config{
+		Package: p, Shape: conformance.ShapeSteady,
+		Requests: 8, Batch: 6, Lanes: 2,
+		BaseURL: h.URL(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || !rep.Pass {
+		t.Fatalf("degraded-cluster conformance failed (%d errors, first %q): %s",
+			rep.Errors, rep.FirstError, rep.Summary())
+	}
+}
+
+// TestClusterDriftSurvivesKillAndRebalance is the CI smoke scenario: a
+// violating tenant's drift verdicts survive a planned drain of their node.
+func TestClusterDriftStateSurvivesPlannedDrain(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{
+		Nodes: 3,
+		// Tight drift windows so a short test closes several of them.
+		ServerOptions: func(int) server.Options {
+			return server.Options{InvocationSize: 8, Drift: server.DriftConfig{Window: 4, K: 2, N: 3}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	driveEnergyTenant(t, h.URL(), "drifty", 4)
+	for i := 0; i < 4; i++ {
+		clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: "drifty", Kernel: "synth", Inputs: tripleBatch(8, 0.15),
+		})
+	}
+	before := tenantHealth(t, h.URL(), "drifty")
+	if before.Drift == nil || before.Drift.Windows == 0 {
+		t.Fatalf("drift monitor never accumulated windows: %+v", before)
+	}
+
+	owner := h.Router.Ring().Owner("drifty")
+	if _, err := h.Router.RemoveNode(context.Background(), owner); err != nil {
+		t.Fatal(err)
+	}
+	after := tenantHealth(t, h.URL(), "drifty")
+	if after.Drift == nil || after.Drift.Windows != before.Drift.Windows ||
+		after.Drift.State != before.Drift.State {
+		t.Fatalf("drift state lost in drain: before=%+v after=%+v", before.Drift, after.Drift)
+	}
+}

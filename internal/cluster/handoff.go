@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"rumba/internal/server"
+)
+
+// Move records one tenant's state handoff during a rebalance.
+type Move struct {
+	Tenant string `json:"tenant"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	// Report is the importing node's accounting (nil when the move failed).
+	Report *server.ImportReport `json:"report,omitempty"`
+	// Err carries a failed move's reason; the tenant's state is still on the
+	// source node (export/import failures never delete).
+	Err string `json:"err,omitempty"`
+}
+
+// RebalanceReport summarises one membership change.
+type RebalanceReport struct {
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+	Moves   []Move   `json:"moves"`
+	Errors  int      `json:"errors"`
+}
+
+// Rebalance reconfigures the cluster to a new node set and migrates tenant
+// state to its new owners. The protocol per moved tenant is
+// drain→snapshot→restore:
+//
+//  1. The ring is swapped FIRST, atomically. From that instant every new
+//     request routes to the tenant's new owner; the old owner stops seeing
+//     traffic for it, which is the drain (in-flight invokes finish under the
+//     tenant lock before the export below can snapshot).
+//  2. GET /v1/tenants/{id}/state on the old holder exports the snapshot —
+//     tuner trajectory and drift history, serialized under the tenant lock.
+//  3. PUT /v1/tenants/{id}/state on the new owner imports it. Import
+//     overwrites: if a request raced the migration and created fresh state
+//     at the new owner during the window, the migrated trajectory (weeks of
+//     adaptation) wins over the seconds-old default.
+//  4. DELETE /v1/tenants/{id}/state on the old holder retires the source
+//     copy only after the import succeeded — a failed move leaves the state
+//     where it was, never in zero places.
+//
+// Removed nodes must still be reachable for their exports (planned
+// rebalance); state on an already-dead node moves nothing and its tenants
+// restart fresh at their new owners, which is the same behavior as node
+// loss without rebalance.
+func (rt *Router) Rebalance(ctx context.Context, newNodes []Node) (*RebalanceReport, error) {
+	newMembership, err := NewMembership(newNodes, rt.opts.Probe, rt.metrics)
+	if err != nil {
+		return nil, err
+	}
+	newRing, err := NewRing(newMembership.Names(), rt.opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	// Probe the new set once before taking traffic so forwarding starts with
+	// a real health picture rather than assuming everyone is up.
+	newMembership.ProbeNow(ctx)
+
+	rt.mu.RLock()
+	oldMembership := rt.membership
+	oldRing := rt.ring
+	rt.mu.RUnlock()
+
+	report := &RebalanceReport{Moves: []Move{}}
+	oldSet := make(map[string]bool)
+	for _, n := range oldMembership.Names() {
+		oldSet[n] = true
+	}
+	newSet := make(map[string]bool)
+	for _, n := range newMembership.Names() {
+		newSet[n] = true
+		if !oldSet[n] {
+			report.Added = append(report.Added, n)
+		}
+	}
+	for _, n := range oldMembership.Names() {
+		if !newSet[n] {
+			report.Removed = append(report.Removed, n)
+		}
+	}
+
+	// Locate every tenant before the flip: ask each live old node what it
+	// actually holds. Placement says where a tenant SHOULD be; the holder
+	// list says where its state IS (they can differ after unplanned churn).
+	holders, err := rt.tenantHolders(ctx, oldMembership)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1: flip. From here on the new ring routes all traffic.
+	rt.mu.Lock()
+	rt.ring = newRing
+	rt.membership = newMembership
+	rt.mu.Unlock()
+	rt.startMu.Lock()
+	started, startCtx := rt.started, rt.startCtx
+	rt.startMu.Unlock()
+	if started {
+		oldMembership.Stop()
+		newMembership.Start(startCtx)
+	}
+
+	// Steps 2-4 per tenant whose holder is no longer its owner.
+	tenants := make([]string, 0, len(holders))
+	for tenant := range holders {
+		tenants = append(tenants, tenant)
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		holder := holders[tenant]
+		owner := newRing.Owner(tenant)
+		if holder == owner {
+			continue
+		}
+		mv := Move{Tenant: tenant, From: holder, To: owner}
+		// The holder may have been removed from the membership; its URL
+		// still resolves through the old configuration.
+		fromURL := oldMembership.URL(holder)
+		toURL := newMembership.URL(owner)
+		if rep, err := rt.moveTenant(ctx, tenant, fromURL, toURL); err != nil {
+			mv.Err = err.Error()
+			report.Errors++
+		} else {
+			mv.Report = rep
+		}
+		report.Moves = append(report.Moves, mv)
+	}
+	_ = oldRing // the old ring is garbage once every move has landed
+	return report, nil
+}
+
+// AddNode rebalances the cluster with one more member.
+func (rt *Router) AddNode(ctx context.Context, n Node) (*RebalanceReport, error) {
+	return rt.Rebalance(ctx, append(rt.Membership().Nodes(), n))
+}
+
+// RemoveNode rebalances the cluster without the named member. The node
+// should still be serving: its tenants' state is exported from it during the
+// rebalance.
+func (rt *Router) RemoveNode(ctx context.Context, name string) (*RebalanceReport, error) {
+	current := rt.Membership().Nodes()
+	next := make([]Node, 0, len(current))
+	for _, n := range current {
+		if n.Name != name {
+			next = append(next, n)
+		}
+	}
+	if len(next) == len(current) {
+		return nil, fmt.Errorf("cluster: no member named %q", name)
+	}
+	return rt.Rebalance(ctx, next)
+}
+
+// tenantHolders maps tenant → the node currently holding its state, from
+// each live node's /v1/tenants listing. A tenant reported by several nodes
+// (possible after failover churn) is attributed to the ring-preferred holder
+// so the migration exports the copy traffic was actually reaching.
+func (rt *Router) tenantHolders(ctx context.Context, membership *Membership) (map[string]string, error) {
+	rt.mu.RLock()
+	ring := rt.ring
+	rt.mu.RUnlock()
+	holders := make(map[string]string)
+	preferred := func(tenant, a, b string) string {
+		for _, name := range ring.Replicas(tenant, 0) {
+			if name == a || name == b {
+				return name
+			}
+		}
+		return a
+	}
+	for _, name := range membership.Names() {
+		if membership.State(name) == NodeDown {
+			continue
+		}
+		var payload struct {
+			Tenants []server.TenantInfo `json:"tenants"`
+		}
+		if err := rt.getJSON(ctx, membership.URL(name)+"/v1/tenants", &payload); err != nil {
+			return nil, fmt.Errorf("listing tenants on %s: %w", name, err)
+		}
+		for _, ti := range payload.Tenants {
+			if prev, dup := holders[ti.Tenant]; dup {
+				holders[ti.Tenant] = preferred(ti.Tenant, prev, name)
+			} else {
+				holders[ti.Tenant] = name
+			}
+		}
+	}
+	return holders, nil
+}
+
+// moveTenant runs export→import→retire for one tenant.
+func (rt *Router) moveTenant(ctx context.Context, tenant, fromURL, toURL string) (*server.ImportReport, error) {
+	if fromURL == "" || toURL == "" {
+		return nil, fmt.Errorf("unresolvable endpoints (from=%q to=%q)", fromURL, toURL)
+	}
+	statePath := "/v1/tenants/" + tenant + "/state"
+
+	// Export.
+	state, status, err := rt.do(ctx, http.MethodGet, fromURL+statePath, nil)
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	if status == http.StatusNotFound {
+		// The tenant evaporated between listing and export (e.g. deleted);
+		// nothing to move is a clean no-op, not an error.
+		return &server.ImportReport{Tenant: tenant}, nil
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("export: status %d: %s", status, bytes.TrimSpace(state))
+	}
+
+	// Import.
+	body, status, err := rt.do(ctx, http.MethodPut, toURL+statePath, state)
+	if err != nil {
+		return nil, fmt.Errorf("import: %w", err)
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("import: status %d: %s", status, bytes.TrimSpace(body))
+	}
+	var rep server.ImportReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("import: decoding report: %w", err)
+	}
+
+	// Retire the source copy. A failure here is non-fatal duplication, not
+	// loss: the new owner serves the imported state, and the stale copy is
+	// retired by the next rebalance touching this tenant.
+	if body, status, err := rt.do(ctx, http.MethodDelete, fromURL+statePath, nil); err == nil &&
+		status != http.StatusOK && status != http.StatusNotFound {
+		return &rep, fmt.Errorf("retire: status %d: %s", status, bytes.TrimSpace(body))
+	}
+	return &rep, nil
+}
+
+// do issues one handoff request and returns the body and status.
+func (rt *Router) do(ctx context.Context, method, url string, body []byte) ([]byte, int, error) {
+	cctx, cancel := context.WithTimeout(ctx, rt.opts.ForwardTimeout)
+	defer cancel()
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(cctx, method, url, reader)
+	if err != nil {
+		return nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBytes))
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return payload, resp.StatusCode, nil
+}

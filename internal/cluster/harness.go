@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"rumba/internal/bench"
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+	"rumba/internal/predictor"
+	"rumba/internal/quality"
+	"rumba/internal/server"
+)
+
+// This file is an in-process cluster harness: N real rumba-serve nodes (full
+// server.Server instances behind httptest listeners) fronted by a real
+// Router. The e2e tests and the CI cluster smoke stage both run on it — same
+// HTTP surfaces, same probe traffic, same handoff wire format as a deployed
+// cluster, minus the network.
+
+// synthHarnessExec is the approximate executor of the harness's synthetic
+// kernel: output = 2*in[0] + 0.125, a fixed offset from the exact 2*in[0].
+type synthHarnessExec struct{}
+
+func (synthHarnessExec) Invoke(in []float64) []float64            { return []float64{in[0]*2 + 0.125} }
+func (synthHarnessExec) CyclesPerInvocation() float64             { return 64 }
+func (synthHarnessExec) EnergyPerInvocation(energy.Model) float64 { return 1 }
+
+// harnessScoreChecker reads the predicted error straight from the input
+// triple's third element, so tests choose each element's fate exactly.
+type harnessScoreChecker struct{}
+
+func (harnessScoreChecker) Name() string                         { return "score" }
+func (harnessScoreChecker) PredictError(in, _ []float64) float64 { return in[2] }
+func (c harnessScoreChecker) PredictErrorBatch(dst []float64, ins, outs [][]float64) {
+	predictor.ScalarBatch(c, dst, ins, outs)
+}
+func (harnessScoreChecker) Cost() predictor.Cost { return predictor.Cost{} }
+func (harnessScoreChecker) Reset()               {}
+
+// SynthKernel builds the harness's synthetic kernel: inputs are
+// {value, spare, score} triples, the approximate path returns value*2+0.125,
+// the exact path value*2, and the "score" checker predicts exactly score.
+// Deterministic and training-free, which keeps cluster tests about the
+// cluster.
+func SynthKernel(name string) *server.Kernel {
+	return &server.Kernel{
+		Name: name,
+		Spec: &bench.Spec{
+			Name:   name,
+			InDim:  3,
+			OutDim: 1,
+			Exact:  func(in []float64) []float64 { return []float64{in[0] * 2} },
+			Metric: quality.MeanRelativeError,
+			Scale:  1,
+		},
+		NewAccel: func() (exec.Executor, error) { return synthHarnessExec{}, nil },
+		Checkers: map[string]server.CheckerFactory{
+			"score": func() predictor.Predictor { return harnessScoreChecker{} },
+		},
+		DefaultChecker: "score",
+	}
+}
+
+// HarnessNode is one in-process rumba-serve node.
+type HarnessNode struct {
+	Name   string
+	Server *server.Server
+	HTTP   *httptest.Server
+	killed bool
+}
+
+// HarnessOptions configures NewHarness.
+type HarnessOptions struct {
+	// Nodes is the node count; <= 0 uses 3.
+	Nodes int
+	// Router configures the fronting router. Probe defaults that make tests
+	// brisk are applied when unset (fast interval, single-failure suspect,
+	// two-failure down).
+	Router Options
+	// Kernels supplies each node's kernel set; nil installs SynthKernel
+	// ("synth") everywhere. Called once per node.
+	Kernels func(nodeIndex int) []*server.Kernel
+	// Registry supplies a full registry per node (e.g. loaded from a kernel
+	// package bundle) and takes precedence over Kernels.
+	Registry func(nodeIndex int) (*server.Registry, error)
+	// ServerOptions supplies each node's server options (state paths etc.);
+	// nil uses defaults.
+	ServerOptions func(nodeIndex int) server.Options
+}
+
+// Harness is the assembled in-process cluster.
+type Harness struct {
+	Nodes  []*HarnessNode
+	Router *Router
+	// HTTP fronts the router; clients talk to HTTP.URL exactly as they
+	// would to a single rumba-serve node.
+	HTTP *httptest.Server
+
+	cancel context.CancelFunc
+}
+
+// NewHarness boots n nodes and a fronting router and starts the prober. Call
+// Close when done.
+func NewHarness(opts HarnessOptions) (*Harness, error) {
+	n := opts.Nodes
+	if n <= 0 {
+		n = 3
+	}
+	if opts.Router.Probe.Interval == 0 {
+		opts.Router.Probe.Interval = 50 * time.Millisecond
+	}
+	if opts.Router.Probe.SuspectAfter == 0 {
+		opts.Router.Probe.SuspectAfter = 1
+	}
+	if opts.Router.Probe.DownAfter == 0 {
+		opts.Router.Probe.DownAfter = 2
+	}
+	h := &Harness{}
+	nodes := make([]Node, 0, n)
+	for i := 0; i < n; i++ {
+		node, err := h.bootNode(i, opts)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.Nodes = append(h.Nodes, node)
+		nodes = append(nodes, Node{Name: node.Name, URL: node.HTTP.URL})
+	}
+	rt, err := NewRouter(nodes, opts.Router)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.Router = rt
+	ctx, cancel := context.WithCancel(context.Background())
+	h.cancel = cancel
+	rt.Start(ctx)
+	h.HTTP = httptest.NewServer(rt.Handler())
+	return h, nil
+}
+
+func (h *Harness) bootNode(i int, opts HarnessOptions) (*HarnessNode, error) {
+	var reg *server.Registry
+	if opts.Registry != nil {
+		var err error
+		if reg, err = opts.Registry(i); err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	} else {
+		reg = server.NewKernelRegistry()
+		kernels := []*server.Kernel{SynthKernel("synth")}
+		if opts.Kernels != nil {
+			kernels = opts.Kernels(i)
+		}
+		for _, k := range kernels {
+			if err := reg.Add(k); err != nil {
+				return nil, fmt.Errorf("node %d: %w", i, err)
+			}
+		}
+	}
+	var sopts server.Options
+	if opts.ServerOptions != nil {
+		sopts = opts.ServerOptions(i)
+	}
+	s, err := server.New(reg, sopts)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", i, err)
+	}
+	return &HarnessNode{
+		Name:   fmt.Sprintf("node-%d", i),
+		Server: s,
+		HTTP:   httptest.NewServer(s.Handler()),
+	}, nil
+}
+
+// URL returns the router's base URL — the cluster's front door.
+func (h *Harness) URL() string { return h.HTTP.URL }
+
+// Node returns the named node (nil if unknown).
+func (h *Harness) Node(name string) *HarnessNode {
+	for _, n := range h.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Kill hard-stops one node: its listener closes (connections refuse, like a
+// crashed process) and its server shuts down. The membership discovers the
+// death through probing; the ring is untouched.
+func (h *Harness) Kill(name string) error {
+	node := h.Node(name)
+	if node == nil {
+		return fmt.Errorf("harness: no node %q", name)
+	}
+	if node.killed {
+		return nil
+	}
+	node.killed = true
+	node.HTTP.Close()
+	return node.Server.Shutdown(context.Background())
+}
+
+// Close tears the whole cluster down: router first (stops the prober), then
+// every surviving node.
+func (h *Harness) Close() {
+	if h.HTTP != nil {
+		h.HTTP.Close()
+	}
+	if h.Router != nil {
+		h.Router.Stop()
+	}
+	if h.cancel != nil {
+		h.cancel()
+	}
+	for _, n := range h.Nodes {
+		if !n.killed {
+			n.killed = true
+			n.HTTP.Close()
+			_ = n.Server.Shutdown(context.Background())
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rumba/internal/obs"
+)
+
+// flakyNode is an httptest node whose /readyz answer is switchable at
+// runtime — the probe state machine's test double.
+type flakyNode struct {
+	hs    *httptest.Server
+	ready atomic.Bool
+}
+
+func newFlakyNode(t *testing.T) *flakyNode {
+	t.Helper()
+	n := &flakyNode{}
+	n.ready.Store(true)
+	n.hs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if n.ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ready\n"))
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("draining\n"))
+		}
+	}))
+	t.Cleanup(n.hs.Close)
+	return n
+}
+
+func TestMembershipValidation(t *testing.T) {
+	if _, err := NewMembership(nil, ProbeConfig{}, nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewMembership([]Node{{Name: "", URL: "http://x"}}, ProbeConfig{}, nil); err == nil {
+		t.Error("unnamed node accepted")
+	}
+	if _, err := NewMembership([]Node{{Name: "a", URL: ""}}, ProbeConfig{}, nil); err == nil {
+		t.Error("URL-less node accepted")
+	}
+	dup := []Node{{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"}}
+	if _, err := NewMembership(dup, ProbeConfig{}, nil); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestMembershipProbeStateMachine(t *testing.T) {
+	node := newFlakyNode(t)
+	metrics := obs.NewRegistry()
+	m, err := NewMembership(
+		[]Node{{Name: "n1", URL: node.hs.URL + "/"}}, // trailing slash must be trimmed
+		ProbeConfig{SuspectAfter: 1, DownAfter: 3, Timeout: time.Second},
+		metrics,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if got := m.State("n1"); got != NodeUp {
+		t.Fatalf("initial state = %v, want up", got)
+	}
+	m.ProbeNow(ctx)
+	if got := m.State("n1"); got != NodeUp {
+		t.Fatalf("state after good probe = %v, want up", got)
+	}
+
+	node.ready.Store(false)
+	m.ProbeNow(ctx)
+	if got := m.State("n1"); got != NodeSuspect {
+		t.Fatalf("state after 1 failure = %v, want suspect", got)
+	}
+	m.ProbeNow(ctx)
+	if got := m.State("n1"); got != NodeSuspect {
+		t.Fatalf("state after 2 failures = %v, want suspect (down needs 3)", got)
+	}
+	m.ProbeNow(ctx)
+	if got := m.State("n1"); got != NodeDown {
+		t.Fatalf("state after 3 failures = %v, want down", got)
+	}
+	if g := metrics.Gauge(obs.Labeled(MetricProbeState, "node", "n1")).Value(); g != float64(NodeDown) {
+		t.Fatalf("probe state gauge = %v, want %v", g, float64(NodeDown))
+	}
+
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0].State != "down" || snap[0].ConsecutiveFailures != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].LastError == "" || snap[0].Probes != 4 {
+		t.Fatalf("snapshot bookkeeping = %+v", snap[0])
+	}
+
+	// One good probe fully recovers the node — failures don't linger.
+	node.ready.Store(true)
+	m.ProbeNow(ctx)
+	if got := m.State("n1"); got != NodeUp {
+		t.Fatalf("state after recovery = %v, want up", got)
+	}
+	if snap := m.Snapshot(); snap[0].ConsecutiveFailures != 0 || snap[0].LastError != "" {
+		t.Fatalf("recovery left residue: %+v", snap[0])
+	}
+}
+
+func TestMembershipProbeUnreachableHost(t *testing.T) {
+	// A closed listener (crashed process) must go down on transport errors,
+	// not just HTTP 503s.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+	m, err := NewMembership([]Node{{Name: "gone", URL: url}},
+		ProbeConfig{SuspectAfter: 1, DownAfter: 2, Timeout: 200 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ProbeNow(context.Background())
+	m.ProbeNow(context.Background())
+	if got := m.State("gone"); got != NodeDown {
+		t.Fatalf("state = %v, want down", got)
+	}
+}
+
+func TestMembershipStartStop(t *testing.T) {
+	node := newFlakyNode(t)
+	m, err := NewMembership([]Node{{Name: "n1", URL: node.hs.URL}},
+		ProbeConfig{Interval: 10 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start(context.Background())
+	node.ready.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for m.State("n1") == NodeUp && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := m.State("n1"); got == NodeUp {
+		t.Fatal("prober never noticed the failure")
+	}
+	m.Stop()
+	m.Stop() // idempotent
+}
+
+func TestMembershipAccessors(t *testing.T) {
+	m, err := NewMembership([]Node{
+		{Name: "b", URL: "http://b:1"},
+		{Name: "a", URL: "http://a:1"},
+	}, ProbeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := m.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v, want sorted [a b]", names)
+	}
+	if nodes := m.Nodes(); len(nodes) != 2 || nodes[0].Name != "a" || nodes[1].URL != "http://b:1" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	if m.URL("a") != "http://a:1" || m.URL("ghost") != "" {
+		t.Fatalf("URL lookups wrong: %q %q", m.URL("a"), m.URL("ghost"))
+	}
+	if m.State("ghost") != NodeDown {
+		t.Fatal("unknown member must read as down")
+	}
+}

@@ -1,0 +1,162 @@
+// Package cluster turns single-daemon rumba-serve into a tenant-sharded
+// multi-node service. Rumba's online state — the per-tenant tuner trajectory
+// and drift-monitor history — is inherently per-tenant (the paper's quality
+// controller adapts a per-application firing threshold online), which makes
+// tenant sharding the natural cluster model: each tenant's requests must hit
+// the one node that owns its trajectory, and when ownership moves, the
+// trajectory must move with it.
+//
+// The package has four parts:
+//
+//   - Ring (this file): a consistent-hash ring with virtual nodes giving
+//     every tenant a deterministic owner and a deterministic failover order,
+//     stable under membership change (adding one node to N moves ~1/(N+1)
+//     of the tenants, never reshuffles the rest).
+//   - Membership (membership.go): the static member set with periodic HTTP
+//     health probing of each node's /readyz and an up/suspect/down state
+//     machine per node.
+//   - Router (router.go): the fronting HTTP daemon that forwards /v1/invoke
+//     and /v1/tenants/* by tenant to the owning node, failing over along
+//     the ring's replica order within a retry budget, propagating request
+//     deadlines, and exporting per-node labelled metrics and trace spans
+//     for every forward hop.
+//   - Handoff (handoff.go): the drain→snapshot→restore driver that moves
+//     tenant state between nodes on planned rebalance, over the server's
+//     /v1/tenants/{id}/state export/import endpoints.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per member. 128 vnodes keep the
+// per-member load spread within a few percent of uniform for small static
+// clusters while the ring stays a few KiB.
+const DefaultVNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over member names. Placement
+// depends only on the member set and the vnode count — two routers built
+// over the same membership agree on every tenant's owner without talking to
+// each other, and a restarted router recovers the exact placement from
+// configuration alone.
+type Ring struct {
+	vnodes  int
+	members []string
+	points  []point
+}
+
+// NewRing builds a ring over the member names. vnodes <= 0 uses
+// DefaultVNodes. Duplicate or empty member names are rejected: a duplicate
+// would silently double that member's share.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	r := &Ring{
+		vnodes:  vnodes,
+		members: sorted,
+		points:  make([]point, 0, len(members)*vnodes),
+	}
+	for _, m := range sorted {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+		seen[m] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hashString(fmt.Sprintf("%s#%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare with 64-bit FNV) break by name so the
+		// ring stays deterministic regardless of input order.
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// VNodes returns the per-member virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the first virtual node clockwise from
+// the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.points[r.search(key)].member
+}
+
+// Replicas returns up to n distinct members in the key's ring order: the
+// owner first, then each subsequent distinct member clockwise. This is the
+// failover order — every router derives the same sequence, so a failed-over
+// tenant lands on the same replica no matter which router forwarded it.
+// n <= 0 or n > len(members) returns all members.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.search(key); i < len(r.points) && len(out) < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise of key's hash.
+func (r *Ring) search(key string) int {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hashString is 64-bit FNV-1a with a finalizer. FNV is fast, allocation-
+// free, and stable across processes and architectures (unlike hash/maphash,
+// which is seeded per process — a seeded hash would give every router its
+// own placement), but on short near-identical strings ("n1#17", "n1#18") its
+// raw output is too correlated to spread ring points uniformly, so the
+// 64-bit avalanche mix below (the murmur3 fmix64 constants) decorrelates it.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	// fnv's Write never errors.
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a full-avalanche 64-bit finalizer: every input bit affects every
+// output bit with ~50% probability.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

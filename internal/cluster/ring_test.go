@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustRing(t *testing.T, members []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(members, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty member name accepted")
+	}
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a := mustRing(t, []string{"n1", "n2", "n3"}, 64)
+	b := mustRing(t, []string{"n3", "n1", "n2"}, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner(%s) differs across construction order: %s vs %s",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := mustRing(t, []string{"n1", "n2", "n3", "n4"}, 0)
+	counts := map[string]int{}
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d", i))]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members own keys: %v", len(counts), counts)
+	}
+	// With 128 vnodes the per-member share stays well within 2x of uniform;
+	// a broken hash or sort would skew far beyond this.
+	for m, c := range counts {
+		if c < keys/8 || c > keys/2 {
+			t.Errorf("member %s owns %d of %d keys — badly skewed (%v)", m, c, keys, counts)
+		}
+	}
+}
+
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	before := mustRing(t, []string{"n1", "n2", "n3"}, 0)
+	after := mustRing(t, []string{"n1", "n2", "n3", "n4"}, 0)
+	const keys = 6000
+	moved, toNew := 0, 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was != is {
+			moved++
+			if is == "n4" {
+				toNew++
+			}
+		}
+	}
+	// Consistent hashing: adding the 4th member moves ~1/4 of the keys and
+	// every moved key moves TO the new member, never between survivors.
+	if moved != toNew {
+		t.Errorf("%d keys moved but only %d to the new member — keys reshuffled between survivors", moved, toNew)
+	}
+	frac := float64(moved) / keys
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("membership change moved %.1f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+func TestRingReplicasDistinctAndStable(t *testing.T) {
+	r := mustRing(t, []string{"n1", "n2", "n3", "n4", "n5"}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("tenant-%d", i)
+		reps := r.Replicas(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("Replicas(%s, 3) = %v", key, reps)
+		}
+		if reps[0] != r.Owner(key) {
+			t.Fatalf("first replica %s is not the owner %s", reps[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("Replicas(%s) repeats %s: %v", key, m, reps)
+			}
+			seen[m] = true
+		}
+		// Asking for more than the membership yields everyone exactly once.
+		all := r.Replicas(key, 99)
+		if len(all) != 5 {
+			t.Fatalf("Replicas(%s, 99) = %v, want all 5", key, all)
+		}
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r := mustRing(t, []string{"solo"}, 0)
+	if r.Owner("anything") != "solo" {
+		t.Fatal("single-member ring must own everything")
+	}
+	if reps := r.Replicas("anything", 3); len(reps) != 1 || reps[0] != "solo" {
+		t.Fatalf("Replicas = %v", reps)
+	}
+}

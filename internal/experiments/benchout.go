@@ -3,11 +3,10 @@ package experiments
 import (
 	"encoding/json"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"runtime"
-	"strings"
 	"time"
+
+	"rumba/internal/buildinfo"
 )
 
 // This file is the BENCH_*.json writer: every per-machine benchmark baseline
@@ -17,50 +16,20 @@ import (
 // (b) writes atomically via temp file + rename, so a baseline consumer (or a
 // crashed run) never observes a half-written JSON document.
 
-// BenchStamp is the provenance header carried by every benchmark baseline.
+// BenchStamp is the provenance header carried by every benchmark baseline:
+// the shared buildinfo record (commit, toolchain, machine shape — the same
+// one /v1/version serves) plus the write time.
 type BenchStamp struct {
-	// GitCommit is the HEAD hash at measurement time, best-effort: empty when
-	// the tree is not a git checkout or git is unavailable. GitDirty marks a
-	// working tree with uncommitted changes — numbers from a dirty tree are
-	// not reproducible from the commit alone.
-	GitCommit string `json:"git_commit,omitempty"`
-	GitDirty  bool   `json:"git_dirty,omitempty"`
-	// GoVersion/OS/Arch identify the toolchain and platform; NumCPU and
-	// GOMAXPROCS the parallelism the run had available.
-	GoVersion  string `json:"go_version"`
-	OS         string `json:"os"`
-	Arch       string `json:"arch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	buildinfo.Info
 	// WrittenAt is the RFC 3339 UTC write time.
 	WrittenAt string `json:"written_at"`
 }
 
 func newBenchStamp() BenchStamp {
-	s := BenchStamp{
-		GoVersion:  runtime.Version(),
-		OS:         runtime.GOOS,
-		Arch:       runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		WrittenAt:  time.Now().UTC().Format(time.RFC3339),
+	return BenchStamp{
+		Info:      buildinfo.Resolve(),
+		WrittenAt: time.Now().UTC().Format(time.RFC3339),
 	}
-	s.GitCommit, s.GitDirty = gitHead()
-	return s
-}
-
-// gitHead resolves the current commit hash and dirtiness, best-effort: any
-// failure (no git binary, not a checkout) yields ("", false) rather than an
-// error — provenance is a courtesy, not a gate.
-func gitHead() (string, bool) {
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return "", false
-	}
-	commit := strings.TrimSpace(string(out))
-	status, err := exec.Command("git", "status", "--porcelain").Output()
-	dirty := err == nil && len(strings.TrimSpace(string(status))) > 0
-	return commit, dirty
 }
 
 // writeBenchJSON marshals payload (indented, trailing newline) and writes it

@@ -219,6 +219,103 @@ func (d *driftMonitor) closeWindow() {
 	d.n, d.estSum, d.obsSum, d.obsN, d.fired, d.falsePo = 0, 0, 0, 0, 0, 0
 }
 
+// DriftSnapshot is the serialised monitor state that travels with a tenant:
+// the closed-window verdict ring, the lifetime totals and the alert level.
+// The open window's accumulators are deliberately not carried — a window is
+// scored where it completes, and a handoff mid-window restarts the window on
+// the new owner rather than splicing half-windows from two nodes.
+type DriftSnapshot struct {
+	Target float64 `json:"target"`
+	Window int     `json:"window"`
+	K      int     `json:"k"`
+	N      int     `json:"n"`
+	// Verdicts is the k-of-n ring, oldest first (the restore rebuilds the
+	// ring from it in order, so ring position does not leak into the wire
+	// format).
+	Verdicts []bool `json:"verdicts,omitempty"`
+	State    string `json:"state"`
+
+	Windows      int64   `json:"windows"`
+	Violations   int64   `json:"violations"`
+	ObsTotal     int64   `json:"observedSamples"`
+	FiredTotal   int64   `json:"firedTotal"`
+	FPTotal      int64   `json:"falsePositives"`
+	LastEstimate float64 `json:"lastEstimate"`
+	LastObserved float64 `json:"lastObserved"`
+}
+
+// snapshot exports the monitor's closed-window state. Caller holds the
+// tenant mutex. A nil monitor (unchecked tenant) exports nil.
+func (d *driftMonitor) snapshot() *DriftSnapshot {
+	if d == nil {
+		return nil
+	}
+	s := &DriftSnapshot{
+		Target:       d.target,
+		Window:       d.cfg.Window,
+		K:            d.cfg.K,
+		N:            d.cfg.N,
+		State:        d.state.String(),
+		Windows:      d.windows,
+		Violations:   d.violations,
+		ObsTotal:     d.obsTotal,
+		FiredTotal:   d.firedTotal,
+		FPTotal:      d.fpTotal,
+		LastEstimate: d.lastEstimate,
+		LastObserved: d.lastObserved,
+	}
+	// Unroll the ring oldest-first: with vFilled entries the oldest sits at
+	// vPos when the ring has wrapped, at 0 before that.
+	start := 0
+	if d.vFilled == len(d.verdicts) {
+		start = d.vPos
+	}
+	for i := 0; i < d.vFilled; i++ {
+		s.Verdicts = append(s.Verdicts, d.verdicts[(start+i)%len(d.verdicts)])
+	}
+	return s
+}
+
+// restoreDriftMonitor rebuilds a monitor from a snapshot, under the receiving
+// tenant's configuration-independent wire state: the snapshot's own
+// window/k-of-n geometry wins, so a tenant moved between nodes with different
+// drift defaults keeps the alert behaviour it accumulated history under.
+func restoreDriftMonitor(s *DriftSnapshot) *driftMonitor {
+	if s == nil {
+		return nil
+	}
+	d := newDriftMonitor(DriftConfig{Window: s.Window, K: s.K, N: s.N}, s.Target)
+	// Replay the verdict ring oldest-first; extra entries beyond N (a
+	// hand-edited snapshot) keep only the newest N.
+	verdicts := s.Verdicts
+	if len(verdicts) > len(d.verdicts) {
+		verdicts = verdicts[len(verdicts)-len(d.verdicts):]
+	}
+	for _, v := range verdicts {
+		d.verdicts[d.vPos] = v
+		d.vPos = (d.vPos + 1) % len(d.verdicts)
+		if d.vFilled < len(d.verdicts) {
+			d.vFilled++
+		}
+	}
+	d.windows = s.Windows
+	d.violations = s.Violations
+	d.obsTotal = s.ObsTotal
+	d.firedTotal = s.FiredTotal
+	d.fpTotal = s.FPTotal
+	d.lastEstimate = s.LastEstimate
+	d.lastObserved = s.LastObserved
+	switch s.State {
+	case "drifting":
+		d.state = DriftDrifting
+	case "violating":
+		d.state = DriftViolating
+	default:
+		d.state = DriftOK
+	}
+	return d
+}
+
 // DriftInfo is the exported monitor state (tenant listings, the
 // /v1/tenants/{id}/health endpoint, and the drift gauges).
 type DriftInfo struct {

@@ -10,9 +10,40 @@ import (
 	"sync"
 	"time"
 
+	"rumba/internal/buildinfo"
 	"rumba/internal/core"
 	"rumba/internal/trace"
 )
+
+// VersionInfo is the GET /v1/version reply: which build serves this port.
+// In a rolling-upgrade cluster the router's nodes may briefly run different
+// commits; this endpoint is how an operator (or the cluster status page)
+// tells them apart.
+type VersionInfo struct {
+	Service string `json:"service"`
+	buildinfo.Info
+}
+
+// handleReadyz is the readiness probe — the cluster prober's target. Unlike
+// /healthz (pure liveness) it answers "should a router send traffic here":
+// 503 while draining (SIGTERM received, in-flight work finishing) and 503
+// when the registry is empty (nothing servable — a node that lost its
+// package dir must not attract tenants). The body names the reason so a
+// human reading probe logs sees *why* the node refused.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	if len(s.reg.Names()) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no kernels loaded")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
 
 // maxRequestBytes bounds one request body; a multi-megabyte batch belongs in
 // several requests, not one unbounded allocation.
@@ -68,15 +99,20 @@ type errorResponse struct {
 
 // Handler returns the server's HTTP API:
 //
-//	POST /v1/invoke                 run a batch through a tenant's pipeline
-//	GET  /v1/kernels                registered kernel names
-//	GET  /v1/tenants                live tenant tuner + drift state
-//	GET  /v1/tenants/{id}/health    one tenant's quality-drift verdict
-//	GET  /healthz                   process liveness
-//	GET  /readyz                    200 while serving, 503 while draining
-//	GET  /metrics                   Prometheus text exposition
-//	GET  /metrics.json              observability registry snapshot (JSON)
-//	GET  /debug/rumba/traces        flight-recorder dump (when tracing is on)
+//	POST   /v1/invoke                 run a batch through a tenant's pipeline
+//	GET    /v1/kernels                registered kernel names
+//	GET    /v1/tenants                live tenant tuner + drift state
+//	GET    /v1/tenants/{id}/health    one tenant's quality-drift verdict
+//	GET    /v1/tenants/{id}/state     export the tenant's tuner+drift state
+//	PUT    /v1/tenants/{id}/state     import state exported by another node
+//	DELETE /v1/tenants/{id}/state     drop the tenant's live state (post-handoff)
+//	GET    /v1/version                build provenance (git commit, toolchain)
+//	GET    /healthz                   process liveness
+//	GET    /readyz                    200 while servable, 503 with a reason
+//	                                  (draining, or no kernels loaded)
+//	GET    /metrics                   Prometheus text exposition
+//	GET    /metrics.json              observability registry snapshot (JSON)
+//	GET    /debug/rumba/traces        flight-recorder dump (when tracing is on)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/invoke", s.handleInvoke)
@@ -90,16 +126,14 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if !s.ready.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, VersionInfo{Service: "rumba-serve", Info: buildinfo.Resolve()})
 	})
 	mux.HandleFunc("GET /v1/tenants/{id}/health", s.handleTenantHealth)
+	mux.HandleFunc("GET /v1/tenants/{id}/state", s.handleTenantStateGet)
+	mux.HandleFunc("PUT /v1/tenants/{id}/state", s.handleTenantStatePut)
+	mux.HandleFunc("DELETE /v1/tenants/{id}/state", s.handleTenantStateDelete)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.metrics.Snapshot().WritePrometheus(w, "rumba")

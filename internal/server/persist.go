@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,12 +17,16 @@ const stateVersion = 1
 
 // tenantSnapshot is the persisted form of one tenant×kernel: the complete
 // tuner state (threshold, targets, clamp bounds — see core.Tuner's JSON
-// round trip), the partial-invocation carry, and the lifetime counters.
+// round trip), the drift monitor's closed-window history, the
+// partial-invocation carry, and the lifetime counters. It is both the
+// StatePath on-disk format and the /v1/tenants/{id}/state wire format the
+// cluster handoff moves between nodes.
 type tenantSnapshot struct {
-	Tenant  string      `json:"tenant"`
-	Kernel  string      `json:"kernel"`
-	Checker string      `json:"checker"`
-	Tuner   *core.Tuner `json:"tuner,omitempty"`
+	Tenant  string         `json:"tenant"`
+	Kernel  string         `json:"kernel"`
+	Checker string         `json:"checker"`
+	Tuner   *core.Tuner    `json:"tuner,omitempty"`
+	Drift   *DriftSnapshot `json:"drift,omitempty"`
 
 	CarryElements int `json:"carryElements,omitempty"`
 	CarryFired    int `json:"carryFired,omitempty"`
@@ -37,9 +42,94 @@ type stateFile struct {
 	Tenants []tenantSnapshot `json:"tenants"`
 }
 
+// snapshotLocked exports one tenant's durable state. Caller holds ts.mu —
+// which is exactly the drain: an in-flight request for the tenant finishes
+// before the lock is acquired, so the snapshot always captures a
+// request-boundary-consistent trajectory.
+//
+// The tuner is copied, not aliased: the snapshot outlives the lock (it is
+// JSON-marshalled later, possibly while new invokes mutate the live tuner),
+// and core.Tuner is all value fields so a shallow copy is a full one.
+func (ts *tenant) snapshotLocked() tenantSnapshot {
+	var tuner *core.Tuner
+	if ts.tuner != nil {
+		c := *ts.tuner
+		tuner = &c
+	}
+	return tenantSnapshot{
+		Tenant:        ts.key.Tenant,
+		Kernel:        ts.key.Kernel,
+		Checker:       ts.checkerName,
+		Tuner:         tuner,
+		Drift:         ts.drift.snapshot(),
+		CarryElements: ts.carryElements,
+		CarryFired:    ts.carryFired,
+		Elements:      ts.elements,
+		Fixed:         ts.fixed,
+		Degraded:      ts.degraded,
+	}
+}
+
+// errSkipSnapshot marks a snapshot entry that cannot be restored on this
+// node but should not abort the whole restore (e.g. its kernel is no longer
+// registered).
+var errSkipSnapshot = errors.New("server: snapshot entry not restorable here")
+
+// restoreTenant rebuilds a live tenant from a snapshot against the registry.
+// Entries whose kernel or checker this node does not have return
+// errSkipSnapshot (wrapped, with the reason); structural errors are fatal.
+func (t *Tenants) restoreTenant(snap tenantSnapshot, reg *Registry) (*tenant, error) {
+	k, ok := reg.Get(snap.Kernel)
+	if !ok {
+		return nil, fmt.Errorf("%w: kernel %q not registered", errSkipSnapshot, snap.Kernel)
+	}
+	checker, cerr := k.NewChecker(snap.Checker)
+	if cerr != nil {
+		return nil, fmt.Errorf("%w: %v", errSkipSnapshot, cerr)
+	}
+	acc, aerr := k.NewAccel()
+	if aerr != nil {
+		return nil, aerr
+	}
+	if checker != nil && snap.Tuner == nil {
+		return nil, fmt.Errorf("server: state: tenant %s/%s has a checker but no tuner",
+			snap.Tenant, snap.Kernel)
+	}
+	ts := &tenant{
+		key:           TenantKey{Tenant: snap.Tenant, Kernel: snap.Kernel},
+		checkerName:   snap.Checker,
+		checker:       checker,
+		accel:         acc,
+		carryElements: snap.CarryElements,
+		carryFired:    snap.CarryFired,
+		elements:      snap.Elements,
+		fixed:         snap.Fixed,
+		degraded:      snap.Degraded,
+	}
+	if checker != nil {
+		ts.tuner = snap.Tuner
+		if snap.Drift != nil {
+			// The drift history moved with the tenant (cluster handoff, or a
+			// snapshot written by this build): restore the verdict ring so a
+			// violating tenant is still violating on the new node.
+			ts.drift = restoreDriftMonitor(snap.Drift)
+		} else {
+			// Older snapshot without drift state: fresh monitor over the same
+			// target rule as create().
+			target := ts.tuner.TargetError
+			if target <= 0 {
+				target = t.defaults.Target
+			}
+			ts.drift = newDriftMonitor(t.drift, target)
+		}
+	}
+	return ts, nil
+}
+
 // SaveState writes the tenant tuner state as indented JSON, atomically
-// (temp file + rename), so a crash mid-write never corrupts the previous
-// snapshot.
+// (unique temp file in the destination directory + rename), so a crash
+// mid-write never corrupts the previous snapshot and concurrent savers never
+// interleave bytes.
 func (t *Tenants) SaveState(path string) error {
 	t.mu.Lock()
 	tenants := make([]*tenant, 0, len(t.m))
@@ -51,17 +141,7 @@ func (t *Tenants) SaveState(path string) error {
 	sf := stateFile{Version: stateVersion}
 	for _, ts := range tenants {
 		ts.mu.Lock()
-		sf.Tenants = append(sf.Tenants, tenantSnapshot{
-			Tenant:        ts.key.Tenant,
-			Kernel:        ts.key.Kernel,
-			Checker:       ts.checkerName,
-			Tuner:         ts.tuner,
-			CarryElements: ts.carryElements,
-			CarryFired:    ts.carryFired,
-			Elements:      ts.elements,
-			Fixed:         ts.fixed,
-			Degraded:      ts.degraded,
-		})
+		sf.Tenants = append(sf.Tenants, ts.snapshotLocked())
 		ts.mu.Unlock()
 	}
 	// Deterministic file content: map iteration above is unordered.
@@ -76,11 +156,30 @@ func (t *Tenants) SaveState(path string) error {
 	if err != nil {
 		return fmt.Errorf("server: state: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".rumba-state-*.tmp")
+	if err != nil {
 		return fmt.Errorf("server: state: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("server: state: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return cleanup(err)
+	}
+	// CreateTemp opens 0600; the snapshot is an operational artifact like the
+	// previous fixed-name temp file was.
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: state: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
 		return fmt.Errorf("server: state: %w", err)
 	}
 	return nil
@@ -109,48 +208,15 @@ func (t *Tenants) LoadState(path string, reg *Registry) (restored, skipped int, 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, snap := range sf.Tenants {
-		k, ok := reg.Get(snap.Kernel)
-		if !ok {
-			skipped++
-			continue
-		}
-		checker, cerr := k.NewChecker(snap.Checker)
-		if cerr != nil {
-			skipped++
-			continue
-		}
-		acc, aerr := k.NewAccel()
-		if aerr != nil {
-			return restored, skipped, aerr
-		}
-		if checker != nil && snap.Tuner == nil {
-			return restored, skipped, fmt.Errorf("server: state: tenant %s/%s has a checker but no tuner",
-				snap.Tenant, snap.Kernel)
-		}
-		key := TenantKey{Tenant: snap.Tenant, Kernel: snap.Kernel}
-		ts := &tenant{
-			key:           key,
-			checkerName:   snap.Checker,
-			checker:       checker,
-			accel:         acc,
-			carryElements: snap.CarryElements,
-			carryFired:    snap.CarryFired,
-			elements:      snap.Elements,
-			fixed:         snap.Fixed,
-			degraded:      snap.Degraded,
-		}
-		if checker != nil {
-			ts.tuner = snap.Tuner
-			// A restored tenant gets a fresh drift monitor over the same
-			// target rule as create(): drift state is a live windowed view,
-			// not part of the durable tuner trajectory, so it restarts empty.
-			target := ts.tuner.TargetError
-			if target <= 0 {
-				target = t.defaults.Target
+		ts, rerr := t.restoreTenant(snap, reg)
+		if rerr != nil {
+			if errors.Is(rerr, errSkipSnapshot) {
+				skipped++
+				continue
 			}
-			ts.drift = newDriftMonitor(t.drift, target)
+			return restored, skipped, rerr
 		}
-		t.m[key] = ts
+		t.m[ts.key] = ts
 		restored++
 	}
 	return restored, skipped, nil

@@ -77,14 +77,16 @@ func TestTunerStateSurvivesRestart(t *testing.T) {
 	if got.Elements != 4 || got.Fixed != 4 {
 		t.Fatalf("restored lifetime stats = %d/%d, want 4/4", got.Elements, got.Fixed)
 	}
-	// The restore path must rebuild the drift monitor (drift state is a live
-	// windowed view, not persisted): an energy-mode tuner has no TOQ error
-	// bound, so the monitor holds the manager default target.
+	// The restore path must rebuild the drift monitor. No window closed
+	// before the restart (4 elements under the default 256 window), so the
+	// restored monitor is ok at the target the snapshot carried — an
+	// energy-mode tuner has no TOQ error bound, so that is the manager
+	// default.
 	if got.Drift == nil {
 		t.Fatal("restored tenant has no drift monitor")
 	}
 	if got.Drift.State != "ok" || got.Drift.Target != 0.10 {
-		t.Fatalf("restored drift = %+v, want fresh ok monitor at default target 0.10", got.Drift)
+		t.Fatalf("restored drift = %+v, want ok monitor at default target 0.10", got.Drift)
 	}
 
 	// The restored tuner keeps adapting from where it left off.
@@ -219,5 +221,123 @@ func TestSaveStateDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(string(b1), `"tenant": "alpha"`) {
 		t.Fatalf("snapshot missing tenant: %s", b1)
+	}
+}
+
+// TestSaveStateCrashMidWriteLeavesSnapshotIntact is the atomicity audit: a
+// writer that dies between opening its temp file and the rename must leave
+// the previous snapshot byte-identical and restorable — the stale temp file
+// is garbage, not corruption.
+func TestSaveStateCrashMidWriteLeavesSnapshotIntact(t *testing.T) {
+	reg := NewKernelRegistry()
+	if err := reg.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := reg.Get("synth")
+	tn := NewTenants(TunerDefaults{Mode: 0, Target: 0.10}, 4)
+	if _, err := tn.get(TenantKey{Tenant: "acme", Kernel: "synth"}, k, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := tn.SaveState(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash: a half-written temp file in the snapshot
+	// directory, truncated mid-JSON, exactly as SaveState would leave it if
+	// the process died before the rename.
+	stale := filepath.Join(dir, ".rumba-state-12345.tmp")
+	if err := os.WriteFile(stale, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore ignores the temp file and reads the intact snapshot.
+	tn2 := NewTenants(TunerDefaults{}, 4)
+	restored, skipped, err := tn2.LoadState(path, reg)
+	if err != nil || restored != 1 || skipped != 0 {
+		t.Fatalf("LoadState after crash = %d/%d, %v", restored, skipped, err)
+	}
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(now) != string(good) {
+		t.Fatalf("snapshot changed by crashed writer:\n%s\n----\n%s", now, good)
+	}
+
+	// The next successful save replaces the snapshot atomically; the stale
+	// temp file from the crashed writer does not interfere.
+	if err := tn.SaveState(path); err != nil {
+		t.Fatalf("SaveState over stale temp: %v", err)
+	}
+	if _, _, err := tn2.LoadState(path, reg); err != nil {
+		t.Fatalf("LoadState after re-save: %v", err)
+	}
+}
+
+// TestDriftHistorySurvivesRestart: closed drift windows now ride the
+// StatePath snapshot (they already rode the handoff path), so a violating
+// tenant is still violating after a restart instead of silently resetting
+// its alert.
+func TestDriftHistorySurvivesRestart(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.json")
+	opts := Options{InvocationSize: 8, StatePath: state,
+		Drift: DriftConfig{Window: 4, K: 2, N: 3}}
+
+	reg1 := NewKernelRegistry()
+	if err := reg1.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(reg1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := newTestHTTP(t, s1)
+	send := func(score float64) {
+		t.Helper()
+		inputs := make([][]float64, 8)
+		for i := range inputs {
+			inputs[i] = in(float64(i), score)
+		}
+		status, _, msg := invoke(t, hs1, InvokeRequest{
+			Tenant: "acme", Kernel: "synth", Inputs: inputs,
+			Mode: "energy", Target: 0.25,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("invoke: %d %s", status, msg)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		send(0.9) // raise the threshold over the drift target
+	}
+	for i := 0; i < 2; i++ {
+		send(0.15) // breach: approximate deliveries above the 0.10 target
+	}
+	pre := s1.Tenants()[0].Drift
+	if pre == nil || pre.State != "violating" {
+		t.Fatalf("pre-restart drift = %+v, want violating", pre)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := NewKernelRegistry()
+	if err := reg2.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(reg2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Shutdown(context.Background())
+	post := s2.Tenants()[0].Drift
+	if post == nil || post.State != "violating" ||
+		post.Windows != pre.Windows || post.Violations != pre.Violations {
+		t.Fatalf("post-restart drift = %+v, want %+v", post, pre)
 	}
 }

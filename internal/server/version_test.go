@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}))
+	resp, err := http.Get(hs.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Service != "rumba-serve" {
+		t.Errorf("service = %q", v.Service)
+	}
+	if v.GoVersion != runtime.Version() || v.OS != runtime.GOOS || v.Arch != runtime.GOARCH {
+		t.Errorf("toolchain fields = %+v", v)
+	}
+}
+
+func TestReadyzReportsEmptyRegistry(t *testing.T) {
+	// A node with nothing servable must refuse readiness — the router's
+	// prober keys off this.
+	s, err := New(NewKernelRegistry(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		_ = s.Shutdown(context.Background())
+	}()
+	resp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-registry readyz = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "no kernels") {
+		t.Fatalf("readyz body = %q, want the reason named", body)
+	}
+}
+
+func TestReadyzReportsDraining(t *testing.T) {
+	s, err := New(newTestRegistry(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	if status, body := getText(t, hs.URL+"/readyz"); status != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("pre-drain readyz = %d %q", status, body)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := getText(t, hs.URL+"/readyz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("post-drain readyz = %d %q", status, body)
+	}
+	// Liveness stays green through the drain: the process is healthy, just
+	// not accepting tenants.
+	if status, _ := getText(t, hs.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz during drain = %d", status)
+	}
+}
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewKernelRegistry()
+	if err := reg.Add(synthKernel("synth", synthExec{})); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}

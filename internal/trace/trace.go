@@ -40,10 +40,15 @@ const (
 	// FlagViolating marks a request served while its tenant's quality-drift
 	// monitor was in the violating state.
 	FlagViolating
+	// FlagFailover marks a request the cluster router could not serve from
+	// the tenant's owning node and retried on a replica. Failover traces are
+	// the forensic record of a node loss, so the tail sampler always keeps
+	// them.
+	FlagFailover
 )
 
 // flagNames is the JSON spelling of each flag bit, lowest bit first.
-var flagNames = []string{"error", "shed", "degraded", "violating"}
+var flagNames = []string{"error", "shed", "degraded", "violating", "failover"}
 
 // Names renders the set bits as sorted human-readable strings.
 func (f Flag) Names() []string {

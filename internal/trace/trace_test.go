@@ -202,4 +202,13 @@ func TestFlagNames(t *testing.T) {
 	if Flag(0).Names() != nil {
 		t.Fatal("zero flag has names")
 	}
+	if got := FlagFailover.Names(); len(got) != 1 || got[0] != "failover" {
+		t.Fatalf("FlagFailover.Names() = %v", got)
+	}
+	// Every defined flag bit must have a JSON spelling: a nameless bit would
+	// silently vanish from recorder dumps.
+	all := FlagError | FlagShed | FlagDegraded | FlagViolating | FlagFailover
+	if names := all.Names(); len(names) != 5 {
+		t.Fatalf("all-flags Names() = %v, want 5 entries", names)
+	}
 }
