@@ -33,22 +33,33 @@
 #                                  corpus replay vs TOQ) and run a short
 #                                  steady-shape conformance pass against an
 #                                  in-process rumba-serve
-#   8. cluster smoke               boot a 3-node in-process cluster behind
+#   8. rumba-tune smoke            tiny autotuner sweep over the fft package
+#                                  from stage 7, then the emitted frontier
+#                                  artifact must load into rumba-serve
+#                                  (-frontier -dry-run): the tune -> serve
+#                                  hand-off stays wired end to end
+#   9. bench compare gate          rumba-bench -compare of the checked-in
+#                                  BENCH_hotpath.json against a fresh smoke
+#                                  run at a generous 75% threshold: catches
+#                                  catastrophic hot-path regressions and
+#                                  baseline format drift
+#  10. cluster smoke               boot a 3-node in-process cluster behind
 #                                  the consistent-hash router, kill a node
 #                                  and assert rerouted invokes succeed, then
 #                                  drain a node through a planned rebalance
 #                                  and assert the migrated tenant's tuner and
 #                                  drift state survived, plus a conformance
 #                                  round through the router's front door
-#   9. coverage floors             statement coverage of the hardened runtime
+#  11. coverage floors             statement coverage of the hardened runtime
 #                                  (internal/core), the observability layer
 #                                  (internal/obs, internal/trace), the
 #                                  serving layer, the kernel-package layer
 #                                  (internal/pkg, internal/bundle), the
-#                                  cluster layer (internal/cluster) and the
+#                                  cluster layer (internal/cluster), the
+#                                  autotuner (internal/tune) and the
 #                                  static-analysis engine (internal/analysis)
 #                                  must not regress below the floors
-#  10. rumba-vet ./...             Rumba's own static-analysis suite:
+#  12. rumba-vet ./...             Rumba's own static-analysis suite:
 #                                  purity, determinism, floatcmp, kernelsig,
 #                                  concurrency, approxflow, hotpath,
 #                                  directive (see DESIGN.md, "Static
@@ -100,10 +111,30 @@ go run ./cmd/rumba-pkg validate "$pkg_tmp/fft-0.1.0"
 go run ./cmd/rumba-pkg conform -shape steady -requests 12 -batch 8 -out "$pkg_tmp/report.json" "$pkg_tmp/fft-0.1.0"
 grep -q '"pass": true' "$pkg_tmp/report.json" || { echo "ci: conformance report did not pass" >&2; exit 1; }
 
+echo "==> rumba-tune smoke (tiny sweep on the fft package -> frontier loads into rumba-serve)"
+go run ./cmd/rumba-tune -benchtime 5ms -max-corpus 32 -batches 1,64 -lutbits 8,10 \
+    -out "$pkg_tmp/frontier.json" "$pkg_tmp/fft-0.1.0"
+go run ./cmd/rumba-serve -packages "$pkg_tmp" -frontier "$pkg_tmp/frontier.json" -dry-run
+
+echo "==> bench compare gate (checked-in hotpath baseline vs a fresh run, 75% threshold)"
+# The generous threshold absorbs machine-to-machine and load noise in the
+# wall-clock numbers; what this catches is a kernel that got catastrophically
+# slower (or a -compare/baseline format drift). The checked-in baseline is
+# restored afterwards — regenerating it is a deliberate act, not a CI side
+# effect.
+if [ -f BENCH_hotpath.json ]; then
+    cp BENCH_hotpath.json "$pkg_tmp/hotpath-baseline.json"
+    go run ./cmd/rumba-bench -exp hotpath > /dev/null
+    cp BENCH_hotpath.json "$pkg_tmp/hotpath-new.json"
+    cp "$pkg_tmp/hotpath-baseline.json" BENCH_hotpath.json
+    go run ./cmd/rumba-bench -compare -compare-threshold 75 \
+        "$pkg_tmp/hotpath-baseline.json" "$pkg_tmp/hotpath-new.json"
+fi
+
 echo "==> cluster smoke (3-node harness + router: kill-a-node failover, rebalance state handoff, conformance through the router)"
 go test -count=1 -run 'TestClusterKillNodeLosesNoTenant|TestClusterDriftStateSurvivesPlannedDrain|TestClusterRebalancePreservesTunerAndDriftState|TestClusterConformanceRound' ./internal/cluster/
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%, internal/cluster >= 85%)"
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%, internal/cluster >= 85%, internal/tune >= 85%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -129,6 +160,7 @@ check_cover ./internal/pkg/ 85
 check_cover ./internal/pkg/conformance/ 85
 check_cover ./internal/bundle/ 85
 check_cover ./internal/cluster/ 85
+check_cover ./internal/tune/ 85
 
 echo "==> rumba-vet ./... (baseline-gated, SARIF artifact at rumba-vet.sarif)"
 go run ./cmd/rumba-vet -fail-on warning -baseline vet-baseline.json ./...

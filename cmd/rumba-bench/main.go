@@ -139,6 +139,12 @@ var registry = map[string]runner{
 	"hotpath": func(c *experiments.Context, b string) (string, error) {
 		return render(experiments.ExpHotpath(c, b))
 	},
+	// "tune" runs the autotuner sweep over the trained kernels and writes
+	// BENCH_tune.json; wall-clock like "hotpath", so it too stays out of
+	// -exp all.
+	"tune": func(c *experiments.Context, b string) (string, error) {
+		return render(experiments.ExpTune(c, b))
+	},
 }
 
 func render(t *experiments.Table, err error) (string, error) {
@@ -177,7 +183,30 @@ func main() {
 	reduced := flag.Bool("reduced", false, "use reduced dataset sizes (fast, for smoke runs)")
 	format := flag.String("format", "text", "output format: text or md (markdown)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json baselines: rumba-bench -compare old.json new.json; exits non-zero on any ns/elem regression beyond -compare-threshold")
+	compareThreshold := flag.Float64("compare-threshold", experiments.DefaultCompareThresholdPct, "relative ns/elem regression (percent) that fails -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "rumba-bench: -compare needs exactly two baseline files: old.json new.json")
+			os.Exit(2)
+		}
+		res, err := experiments.CompareBenchFiles(flag.Arg(0), flag.Arg(1), *compareThreshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rumba-bench:", err)
+			os.Exit(1)
+		}
+		if *format == "md" {
+			fmt.Println(res.Table().RenderMarkdown())
+		} else {
+			fmt.Println(res.Table().Render())
+		}
+		if res.Regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	markdown := *format == "md"
 	if *format != "text" && *format != "md" {
 		fmt.Fprintf(os.Stderr, "rumba-bench: unknown format %q\n", *format)

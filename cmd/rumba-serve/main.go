@@ -34,6 +34,7 @@ import (
 	"rumba/internal/core"
 	"rumba/internal/obs"
 	"rumba/internal/server"
+	"rumba/internal/tune"
 )
 
 func main() {
@@ -61,20 +62,22 @@ func main() {
 	driftWindow := flag.Int("drift-window", 0, "quality-drift monitor window in delivered elements (0 = 256)")
 	driftK := flag.Int("drift-k", 0, "drift alert fires when K of the last N windows breach the tenant target (0 = 3)")
 	driftN := flag.Int("drift-n", 0, "window count the drift alert looks back over (0 = 5)")
+	frontierPath := flag.String("frontier", "", "rumba-tune frontier artifact (frontier.json): new tenants are served at the cheapest Pareto point meeting their quality target and the kernel's p99 SLO")
+	dryRun := flag.Bool("dry-run", false, "validate the registry (and -frontier artifact, if any) then exit without serving")
 	flag.Parse()
 
-	if err := run(*addr, *bundles, *packages, *train, *state, *mode,
+	if err := run(*addr, *bundles, *packages, *train, *state, *mode, *frontierPath,
 		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation, *batch,
-		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag,
+		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag, *dryRun,
 		*traceCapacity, *traceSample, server.DriftConfig{Window: *driftWindow, K: *driftK, N: *driftN}); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, bundles, packages, train, state, mode string,
+func run(addr, bundles, packages, train, state, mode, frontierPath string,
 	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation, batch int,
-	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag bool,
+	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag, dryRun bool,
 	traceCapacity, traceSample int, drift server.DriftConfig) error {
 	reg := server.NewKernelRegistry()
 	if bundles != "" {
@@ -103,6 +106,27 @@ func run(addr, bundles, packages, train, state, mode string,
 	}
 	if len(reg.Names()) == 0 {
 		return errors.New("no kernels to serve (use -packages, -bundles and/or -train)")
+	}
+
+	var frontier *tune.Frontier
+	if frontierPath != "" {
+		var err error
+		if frontier, err = tune.LoadFrontier(frontierPath); err != nil {
+			return err
+		}
+		names := frontier.KernelNames()
+		served := 0
+		for _, n := range names {
+			if _, ok := reg.Get(n); ok {
+				served++
+			}
+		}
+		fmt.Printf("== frontier: %s covers %d kernel(s), %d served here (checksum %s)\n",
+			frontierPath, len(names), served, frontier.Checksum[:12])
+	}
+	if dryRun {
+		fmt.Printf("== dry-run: registry and frontier valid, %d kernel(s) servable\n", len(reg.Names()))
+		return nil
 	}
 
 	var tm core.TunerMode
@@ -135,6 +159,7 @@ func run(addr, bundles, packages, train, state, mode string,
 		TraceCapacity:    traceCapacity,
 		TraceSampleEvery: traceSample,
 		Drift:            drift,
+		Frontier:         frontier,
 	})
 	if err != nil {
 		return err

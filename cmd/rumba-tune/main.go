@@ -1,0 +1,229 @@
+// Command rumba-tune sweeps the per-kernel design space — datapath (exp /
+// lut / fixed-point Q16.16) × batch size × activation-table resolution ×
+// checker family — measuring delivered quality on each package's golden
+// corpus and cost through the timed bench loop, prunes dominated regions
+// with cheap surrogate models (internal/tune), and writes a versioned,
+// checksummed Pareto-frontier artifact that rumba-serve loads to pick each
+// tenant's cheapest operating point under its TOQ and p99 SLO.
+//
+//	rumba-tune -packages /var/lib/rumba/packages -out frontier.json
+//	rumba-tune -kernels fft,sobel -packages ./dist
+//	rumba-tune -exhaustive ./dist/fft-0.1.0          # ground-truth sweep
+//	rumba-tune -batches 1,64 -lutbits 8,10 -benchtime 5ms ./dist/fft-0.1.0
+//
+// Exit status: 0 on success, 1 on sweep or artifact errors, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"rumba/internal/pkg"
+	"rumba/internal/tune"
+	"rumba/internal/tune/measure"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks bad invocations (exit 2) apart from failed sweeps (exit 1).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	err := tuneMain(args, stdout, stderr)
+	if err == flag.ErrHelp {
+		return 0
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "rumba-tune:", err)
+		if _, ok := err.(usageError); ok {
+			return 2
+		}
+		return 1
+	}
+	return 0
+}
+
+func tuneMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rumba-tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	packages := fs.String("packages", "", "registry directory whose subdirectories are kernel packages")
+	kernels := fs.String("kernels", "", "comma-separated kernel filter (default: every package found)")
+	out := fs.String("out", tune.FrontierFile, "frontier artifact to write")
+	exhaustive := fs.Bool("exhaustive", false, "measure the full grid, skip the surrogate prune (ground truth)")
+	margin := fs.Float64("margin", tune.DefaultMargin, "surrogate prune safety margin (relative)")
+	maxEvals := fs.Float64("max-evals", tune.DefaultMaxEvalFraction, "measurement budget as a fraction of the grid")
+	benchTime := fs.Duration("benchtime", measure.DefaultBenchTime, "wall-clock spent timing each point's cost")
+	maxCorpus := fs.Int("max-corpus", 0, "cap corpus elements per measurement (0 = whole corpus)")
+	batches := fs.String("batches", "", "comma-separated batch sizes to sweep (default 1,8,32,64,128,256)")
+	lutBits := fs.String("lutbits", "", "comma-separated fixed-datapath table resolutions (default 6,8,10,12)")
+	checkers := fs.String("checkers", "", "comma-separated checker families (default: the package's trained set)")
+	verbose := fs.Bool("v", false, "print each kernel's frontier points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	dirs, err := packageDirs(*packages, fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(dirs) == 0 {
+		return usageError{"no packages: pass -packages DIR or package directories as arguments"}
+	}
+	filter, err := kernelFilter(*kernels)
+	if err != nil {
+		return err
+	}
+
+	cfg := tune.SweepConfig{Margin: *margin, MaxEvalFraction: *maxEvals, Exhaustive: *exhaustive}
+	mcfg := measure.Config{BenchTime: *benchTime, MaxCorpus: *maxCorpus}
+
+	var reports []*tune.SweepReport
+	for _, dir := range dirs {
+		p, err := pkg.Load(dir)
+		if err != nil {
+			return err
+		}
+		if filter != nil && !filter[p.Manifest.Kernel] {
+			continue
+		}
+		if filter != nil {
+			delete(filter, p.Manifest.Kernel)
+		}
+		m, err := measure.NewPackageMeasurer(p, mcfg)
+		if err != nil {
+			return err
+		}
+		axes, err := buildAxes(m, *batches, *lutBits, *checkers)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := tune.Sweep(p.Manifest.Kernel, axes, m, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: grid %d, evaluated %d (%.0f%%), pruned %d, frontier %d points (%.1fs)\n",
+			rep.Kernel, rep.GridSize, rep.Evaluated,
+			100*float64(rep.Evaluated)/float64(rep.GridSize),
+			rep.Pruned, len(rep.Frontier), time.Since(start).Seconds())
+		if *verbose {
+			for _, pt := range rep.Frontier {
+				tag := "measured"
+				if !pt.Measured {
+					tag = "predicted"
+				}
+				fmt.Fprintf(stdout, "  %-24s quality %.4f  %8.1f ns/elem  %10.1f ns/chunk  (%s)\n",
+					pt.Key(), pt.Quality, pt.NsPerElem, pt.ChunkNs, tag)
+			}
+		}
+		reports = append(reports, rep)
+	}
+	for k := range filter {
+		return usageError{fmt.Sprintf("kernel %q matched no package under %v", k, dirs)}
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("no kernels swept")
+	}
+
+	f, err := tune.NewFrontier(reports)
+	if err != nil {
+		return err
+	}
+	if err := f.Save(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d kernels, checksum %s)\n", *out, len(f.Kernels), f.Checksum[:12])
+	return nil
+}
+
+// packageDirs merges the -packages registry scan with positional package
+// directories. A registry subdirectory counts when it holds a manifest.
+func packageDirs(registry string, positional []string) ([]string, error) {
+	var dirs []string
+	if registry != "" {
+		entries, err := os.ReadDir(registry)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			dir := filepath.Join(registry, e.Name())
+			if _, err := os.Stat(filepath.Join(dir, pkg.ManifestFile)); err == nil {
+				dirs = append(dirs, dir)
+			}
+		}
+	}
+	return append(dirs, positional...), nil
+}
+
+func kernelFilter(csv string) (map[string]bool, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	filter := map[string]bool{}
+	for _, k := range strings.Split(csv, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			return nil, usageError{"-kernels has an empty entry"}
+		}
+		filter[k] = true
+	}
+	return filter, nil
+}
+
+// buildAxes derives the sweep axes for one package: the stock design space
+// over its trained checker families, overridden by the CLI flags.
+func buildAxes(m *measure.BundleMeasurer, batches, lutBits, checkers string) (tune.Axes, error) {
+	chk := m.CheckerNames()
+	if checkers != "" {
+		chk = strings.Split(checkers, ",")
+		for i := range chk {
+			chk[i] = strings.TrimSpace(chk[i])
+		}
+	}
+	if len(chk) == 0 {
+		chk = []string{"none"}
+	}
+	axes := tune.DefaultAxes(chk)
+	if batches != "" {
+		v, err := parseInts(batches)
+		if err != nil {
+			return axes, usageError{fmt.Sprintf("-batches: %v", err)}
+		}
+		axes.Batches = v
+	}
+	if lutBits != "" {
+		v, err := parseInts(lutBits)
+		if err != nil {
+			return axes, usageError{fmt.Sprintf("-lutbits: %v", err)}
+		}
+		axes.LUTBits = v
+	}
+	return axes, axes.Validate()
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, s := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

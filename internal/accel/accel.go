@@ -108,6 +108,9 @@ type Accelerator struct {
 	// fixed, when non-nil, routes inference through the quantised
 	// fixed-point datapath instead of float64 (see SetFixedPoint).
 	fixed *nn.FixedNetwork
+	// q16, when non-nil, routes inference through the fast integer Q16.16
+	// datapath (see ApplyDatapath); it takes precedence over fixed.
+	q16 *nn.Q16Network
 
 	// Batch-path scratch, grown lazily on first use and recycled across
 	// invocations so the hot path performs zero steady-state allocations.
@@ -152,6 +155,44 @@ func (a *Accelerator) SetFixedPoint(f nn.FixedFormat) error {
 		return err
 	}
 	a.fixed = q
+	return nil
+}
+
+// Datapath names of the rumba-tune sweep axis (internal/tune) that
+// ApplyDatapath accepts.
+const (
+	// DatapathExp is the bit-exact float64 reference: exp()-based
+	// activations, the path trained goldens were recorded against.
+	DatapathExp = "exp"
+	// DatapathLUT is float64 with table-lookup activations (act.go).
+	DatapathLUT = "lut"
+	// DatapathFixed is the integer Q16.16 datapath with precomputed
+	// activation tables at a configurable resolution (nn/fixedpoint.go).
+	DatapathFixed = "fixed"
+)
+
+// ApplyDatapath configures the forward datapath by its sweep-axis name.
+// lutBits is the activation-table resolution for DatapathFixed (0 selects
+// nn.DefaultLUTBits) and is ignored otherwise. The empty name means
+// DatapathExp. This is what the serving layer calls when a frontier point is
+// selected for a tenant.
+func (a *Accelerator) ApplyDatapath(name string, lutBits int) error {
+	switch name {
+	case "", DatapathExp:
+		a.q16 = nil
+		a.SetBatchLUT(false)
+	case DatapathLUT:
+		a.q16 = nil
+		a.SetBatchLUT(true)
+	case DatapathFixed:
+		q, err := nn.NewQ16(a.cfg.Net, lutBits)
+		if err != nil {
+			return err
+		}
+		a.q16 = q
+	default:
+		return fmt.Errorf("accel: unknown datapath %q", name)
+	}
 	return nil
 }
 
@@ -212,7 +253,9 @@ func (a *Accelerator) stageInput(row, in []float64) {
 //rumba:hotpath
 func (a *Accelerator) forwardStaged(n, inW, outW int) {
 	in, out := a.flatIn[:n*inW], a.flatOut[:n*outW]
-	if a.fixed != nil {
+	if a.q16 != nil {
+		a.q16.ForwardBatch(out, in, n, a.scratch)
+	} else if a.fixed != nil {
 		a.fixed.ForwardBatch(out, in, n, a.scratch)
 	} else {
 		a.cfg.Net.ForwardBatch(out, in, n, a.scratch)

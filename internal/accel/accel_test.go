@@ -240,3 +240,53 @@ func TestConfigWordsAndSetupEnergy(t *testing.T) {
 		t.Fatalf("SetupEnergy = %v", got)
 	}
 }
+
+// TestApplyDatapath pins the sweep-axis datapath routing: exp is the
+// bit-exact reference, lut flips the activation tables, fixed routes through
+// the integer Q16.16 kernel (within its analytic error bound of exp), and
+// unknown names or bad lutBits are rejected without changing the datapath.
+func TestApplyDatapath(t *testing.T) {
+	a, err := New(testConfig(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.5, 0.25}
+	ref := a.Invoke(in)
+
+	if err := a.ApplyDatapath(DatapathFixed, 10); err != nil {
+		t.Fatal(err)
+	}
+	q16, err2 := nn.NewQ16(a.Config().Net, 10)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	got := a.Invoke(in)
+	if d := math.Abs(got[0] - ref[0]); d > 1e-2 || d == 0 && q16.ErrorBound(a.Config().Net) < 1e-9 {
+		t.Fatalf("fixed datapath output %v vs exp %v (delta %v)", got[0], ref[0], d)
+	}
+
+	if err := a.ApplyDatapath(DatapathLUT, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.q16 != nil || !a.lut {
+		t.Fatal("lut datapath must clear q16 and set the LUT flag")
+	}
+
+	if err := a.ApplyDatapath("", 0); err != nil {
+		t.Fatal(err)
+	}
+	back := a.Invoke(in)
+	if math.Float64bits(back[0]) != math.Float64bits(ref[0]) {
+		t.Fatalf("returning to exp must restore bit-exact output: %v != %v", back[0], ref[0])
+	}
+
+	if err := a.ApplyDatapath("warp", 0); err == nil {
+		t.Fatal("unknown datapath must be rejected")
+	}
+	if err := a.ApplyDatapath(DatapathFixed, 99); err == nil {
+		t.Fatal("bad lutBits must be rejected")
+	}
+	if a.q16 != nil {
+		t.Fatal("failed ApplyDatapath must not leave a partial datapath")
+	}
+}

@@ -56,17 +56,21 @@ func reportPerElem(b *testing.B, elems int) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*elems), "ns/elem")
 }
 
-// BenchmarkForward is the scalar reference: one element per Forward call on
-// the float64 exp-based datapath, exactly what the pre-batching runtime ran.
+// BenchmarkForward is the scalar reference: one element per inference on the
+// float64 exp-based datapath, exactly what the pre-batching runtime ran.
+// ForwardInto with a reused output buffer keeps the measurement at 0
+// allocs/op (TestForwardIntoAllocs pins that; Forward's output allocation is
+// convenience cost, not hot-path cost).
 func BenchmarkForward(b *testing.B) {
 	net := hotNet()
 	rows := hotRows(256, 6)
+	dst := make([]float64, 1)
 	var sink float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := net.Forward(rows[i%len(rows)])
-		sink += out[0]
+		net.ForwardInto(dst, rows[i%len(rows)])
+		sink += dst[0]
 	}
 	b.StopTimer()
 	reportPerElem(b, 1)
@@ -134,6 +138,30 @@ func BenchmarkFixedForwardBatch(b *testing.B) {
 			scratch := q.NewBatchScratch(n)
 			in := hotFlat(n, 6)
 			dst := make([]float64, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.ForwardBatch(dst, in, n, scratch)
+			}
+			b.StopTimer()
+			reportPerElem(b, n)
+		})
+	}
+}
+
+// BenchmarkQ16ForwardBatch is the Q16.16 integer datapath (rumba-tune's
+// "fixed" sweep axis) at the default activation-table resolution.
+func BenchmarkQ16ForwardBatch(b *testing.B) {
+	q, err := nn.NewQ16(hotNet(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			scratch := hotNet().NewBatchScratch(n)
+			in := hotFlat(n, 6)
+			dst := make([]float64, n)
+			q.ForwardBatch(dst, in, n, scratch) // warm: the int scratch grows once
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

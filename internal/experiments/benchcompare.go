@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Bench-baseline regression compare: `rumba-bench -compare old.json new.json`
+// diffs two BENCH_hotpath.json files row by row and fails when any kernel got
+// slower than the threshold. It is the CI half of the hotpath contract — the
+// AllocsPerRun guards pin allocation counts at test time, this pins ns/elem
+// drift across commits on the same machine.
+
+// DefaultCompareThresholdPct is the relative ns/elem regression that fails a
+// compare: 15% clears timer noise on a loaded CI machine while still catching
+// a real datapath pessimisation (the batching wins being protected are 3-10x,
+// not percents).
+const DefaultCompareThresholdPct = 15.0
+
+// CompareRow is one matched benchmark row across the two baselines.
+type CompareRow struct {
+	Key       string  `json:"key"` // kernel/datapath/batch
+	OldNs     float64 `json:"old_ns_per_elem"`
+	NewNs     float64 `json:"new_ns_per_elem"`
+	DeltaPct  float64 `json:"delta_pct"` // (new-old)/old × 100; positive = slower
+	Regressed bool    `json:"regressed"`
+}
+
+// CompareResult is the full diff of two bench baselines.
+type CompareResult struct {
+	ThresholdPct float64      `json:"threshold_pct"`
+	Rows         []CompareRow `json:"rows"`
+	// Regressions counts rows slower than the threshold; non-zero fails the
+	// compare.
+	Regressions int `json:"regressions"`
+	// MissingInNew lists row keys present only in the old baseline (a
+	// benchmark was dropped); AddedInNew the reverse. Both are warnings, not
+	// failures: baselines from different commits legitimately grow rows.
+	MissingInNew []string `json:"missing_in_new,omitempty"`
+	AddedInNew   []string `json:"added_in_new,omitempty"`
+}
+
+// benchCompareRow is the subset of a BENCH_*.json row the compare reads; the
+// json tags match what the hotpath experiment writes.
+type benchCompareRow struct {
+	Kernel    string  `json:"kernel"`
+	Datapath  string  `json:"datapath"`
+	Batch     int     `json:"batch"`
+	NsPerElem float64 `json:"ns_per_elem"`
+}
+
+func (r benchCompareRow) key() string {
+	return fmt.Sprintf("%s/%s/b%d", r.Kernel, r.Datapath, r.Batch)
+}
+
+func readBenchRows(path string) (map[string]benchCompareRow, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f struct {
+		Rows []benchCompareRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	if len(f.Rows) == 0 {
+		return nil, nil, fmt.Errorf("experiments: %s has no benchmark rows", path)
+	}
+	m := make(map[string]benchCompareRow, len(f.Rows))
+	order := make([]string, 0, len(f.Rows))
+	for _, r := range f.Rows {
+		k := r.key()
+		if _, dup := m[k]; dup {
+			return nil, nil, fmt.Errorf("experiments: %s has duplicate row %s", path, k)
+		}
+		m[k] = r
+		order = append(order, k)
+	}
+	return m, order, nil
+}
+
+// CompareBenchFiles diffs two BENCH_hotpath.json baselines. Rows are matched
+// by kernel/datapath/batch; a matched row whose ns/elem grew by more than
+// thresholdPct counts as a regression. thresholdPct <= 0 selects the default.
+func CompareBenchFiles(oldPath, newPath string, thresholdPct float64) (*CompareResult, error) {
+	if thresholdPct <= 0 {
+		thresholdPct = DefaultCompareThresholdPct
+	}
+	oldRows, oldOrder, err := readBenchRows(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRows, _, err := readBenchRows(newPath)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompareResult{ThresholdPct: thresholdPct}
+	for _, k := range oldOrder {
+		o := oldRows[k]
+		n, ok := newRows[k]
+		if !ok {
+			res.MissingInNew = append(res.MissingInNew, k)
+			continue
+		}
+		row := CompareRow{Key: k, OldNs: o.NsPerElem, NewNs: n.NsPerElem}
+		if o.NsPerElem > 0 {
+			row.DeltaPct = (n.NsPerElem - o.NsPerElem) / o.NsPerElem * 100
+			row.Regressed = row.DeltaPct > thresholdPct
+		}
+		if row.Regressed {
+			res.Regressions++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for k := range newRows {
+		if _, ok := oldRows[k]; !ok {
+			res.AddedInNew = append(res.AddedInNew, k)
+		}
+	}
+	sort.Strings(res.AddedInNew)
+	return res, nil
+}
+
+// Table renders the diff; regressed rows are marked so the failure is
+// readable without re-deriving percentages.
+func (r *CompareResult) Table() *Table {
+	verdict := "no regressions"
+	if r.Regressions > 0 {
+		verdict = fmt.Sprintf("%d REGRESSION(S)", r.Regressions)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Bench compare — %d rows matched at %.0f%% threshold: %s", len(r.Rows), r.ThresholdPct, verdict),
+		Header: []string{"row", "old ns/elem", "new ns/elem", "delta", "verdict"},
+	}
+	if len(r.MissingInNew) > 0 || len(r.AddedInNew) > 0 {
+		t.Note = fmt.Sprintf("warnings: %d row(s) missing in new baseline, %d added (not failures)",
+			len(r.MissingInNew), len(r.AddedInNew))
+	}
+	for _, row := range r.Rows {
+		v := "ok"
+		if row.Regressed {
+			v = "REGRESSED"
+		}
+		t.AddRow(row.Key, fmt.Sprintf("%.2f", row.OldNs), fmt.Sprintf("%.2f", row.NewNs),
+			fmt.Sprintf("%+.1f%%", row.DeltaPct), v)
+	}
+	return t
+}

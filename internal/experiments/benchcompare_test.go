@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, name string, rows []benchCompareRow) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(struct {
+		Rows []benchCompareRow `json:"rows"`
+	}{rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBenchFiles(t *testing.T) {
+	oldRows := []benchCompareRow{
+		{Kernel: "forward", Datapath: "exp", Batch: 1, NsPerElem: 100},
+		{Kernel: "forward-batch", Datapath: "lut", Batch: 64, NsPerElem: 20},
+		{Kernel: "stream", Datapath: "lut/BatchSize=64", Batch: 64, NsPerElem: 50},
+	}
+	newRows := []benchCompareRow{
+		{Kernel: "forward", Datapath: "exp", Batch: 1, NsPerElem: 110},                    // +10%: within threshold
+		{Kernel: "forward-batch", Datapath: "lut", Batch: 64, NsPerElem: 30},              // +50%: regression
+		{Kernel: "q16-forward-batch", Datapath: "q16.16/lut10", Batch: 64, NsPerElem: 10}, // added
+	}
+	oldPath := writeBaseline(t, "old.json", oldRows)
+	newPath := writeBaseline(t, "new.json", newRows)
+
+	res, err := CompareBenchFiles(oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", res.Regressions)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("matched rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Regressed || !res.Rows[1].Regressed {
+		t.Fatalf("verdicts = %+v", res.Rows)
+	}
+	if got := res.Rows[1].DeltaPct; got < 49.9 || got > 50.1 {
+		t.Fatalf("delta = %v, want ~50", got)
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "stream/lut/BatchSize=64/b64" {
+		t.Fatalf("missing = %v", res.MissingInNew)
+	}
+	if len(res.AddedInNew) != 1 || res.AddedInNew[0] != "q16-forward-batch/q16.16/lut10/b64" {
+		t.Fatalf("added = %v", res.AddedInNew)
+	}
+	out := res.Table().Render()
+	if !strings.Contains(out, "1 REGRESSION") || !strings.Contains(out, "REGRESSED") {
+		t.Fatalf("rendered table misses the verdict:\n%s", out)
+	}
+
+	// Identical baselines: clean.
+	res, err = CompareBenchFiles(oldPath, oldPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 || res.ThresholdPct != DefaultCompareThresholdPct {
+		t.Fatalf("self-compare: %d regressions at %v%%", res.Regressions, res.ThresholdPct)
+	}
+
+	// A speedup is never a regression.
+	fastPath := writeBaseline(t, "fast.json", []benchCompareRow{
+		{Kernel: "forward", Datapath: "exp", Batch: 1, NsPerElem: 10},
+		{Kernel: "forward-batch", Datapath: "lut", Batch: 64, NsPerElem: 2},
+		{Kernel: "stream", Datapath: "lut/BatchSize=64", Batch: 64, NsPerElem: 5},
+	})
+	res, err = CompareBenchFiles(oldPath, fastPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("speedup flagged as regression: %+v", res.Rows)
+	}
+}
+
+func TestCompareBenchFilesErrors(t *testing.T) {
+	good := writeBaseline(t, "good.json", []benchCompareRow{
+		{Kernel: "forward", Datapath: "exp", Batch: 1, NsPerElem: 100},
+	})
+	if _, err := CompareBenchFiles(good, filepath.Join(t.TempDir(), "absent.json"), 15); err == nil {
+		t.Error("missing new baseline: want error")
+	}
+	empty := writeBaseline(t, "empty.json", nil)
+	if _, err := CompareBenchFiles(empty, good, 15); err == nil {
+		t.Error("empty baseline: want error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareBenchFiles(bad, good, 15); err == nil {
+		t.Error("malformed baseline: want error")
+	}
+	dup := writeBaseline(t, "dup.json", []benchCompareRow{
+		{Kernel: "forward", Datapath: "exp", Batch: 1, NsPerElem: 100},
+		{Kernel: "forward", Datapath: "exp", Batch: 1, NsPerElem: 90},
+	})
+	if _, err := CompareBenchFiles(dup, good, 15); err == nil {
+		t.Error("duplicate rows: want error")
+	}
+}

@@ -48,12 +48,21 @@ func ExpHotpath(*Context, string) (*Table, error) {
 	// elements one b.N iteration processes (the ns/elem divisor), batch the
 	// label recorded in the row (they differ only for the stream pair,
 	// where batch is the runtime's BatchSize but every iteration pushes the
-	// whole slice).
+	// whole slice). Each row is the best of three repetitions: min ns/op is
+	// the least-noise estimator for wall-clock timings on a shared machine,
+	// and the small-batch rows (one ~500ns call per iteration) otherwise
+	// swing enough to trip the CI compare gate on scheduler noise alone.
 	measure := func(kernel, datapath string, batch, elems int, body func(b *testing.B)) row {
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			body(b)
-		})
+		var res testing.BenchmarkResult
+		for rep := 0; rep < 3; rep++ {
+			one := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				body(b)
+			})
+			if rep == 0 || one.NsPerOp() < res.NsPerOp() {
+				res = one
+			}
+		}
 		r := row{
 			Kernel:   kernel,
 			Datapath: datapath,
@@ -88,12 +97,15 @@ func ExpHotpath(*Context, string) (*Table, error) {
 		return out
 	}
 
-	// Scalar float forward: the pre-batching reference.
+	// Scalar float forward: the pre-batching reference, via ForwardInto so
+	// the row measures the inference alone (0 allocs/op; the output
+	// allocation of the Forward convenience wrapper is not hot-path cost).
 	scalarNet := net()
 	scalarIn := inRows(256, 6)
+	scalarDst := make([]float64, 1)
 	scalar := measure("forward", "exp", 1, 1, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_ = scalarNet.Forward(scalarIn[i%len(scalarIn)])
+			scalarNet.ForwardInto(scalarDst, scalarIn[i%len(scalarIn)])
 		}
 	})
 
@@ -138,6 +150,25 @@ func ExpHotpath(*Context, string) (*Table, error) {
 		measure("fixed-forward-batch", "q6.10", n, n, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				q.ForwardBatch(dst, in, n, scratch)
+			}
+		})
+	}
+
+	// Q16.16 integer datapath (the rumba-tune "fixed" sweep axis) at the
+	// default table resolution.
+	q16, err := nn.NewQ16(net(), 0)
+	if err != nil {
+		return nil, err
+	}
+	q16Name := fmt.Sprintf("q16.16/lut%d", q16.LUTBits())
+	for _, n := range []int{1, 8, 64, 256} {
+		q16net := net()
+		scratch := q16net.NewBatchScratch(n)
+		in := inFlat(n)
+		dst := make([]float64, n)
+		measure("q16-forward-batch", q16Name, n, n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q16.ForwardBatch(dst, in, n, scratch)
 			}
 		})
 	}

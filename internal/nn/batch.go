@@ -28,6 +28,12 @@ type BatchScratch struct {
 	width    int
 	a, b     []float64
 
+	// qa/qb are the integer Q16.16 planes of Q16Network.ForwardBatch
+	// (fixedpoint.go). They are grown lazily on first use so float-only
+	// callers pay nothing; qmax tracks their batch capacity separately.
+	qmax   int
+	qa, qb []int64
+
 	// LUT selects the NPU lookup-table datapath for sigmoid/tanh
 	// activations (see act.go): ~2.4e-4 worst-case activation error in
 	// exchange for replacing exp() with a table load. Off by default —
@@ -64,6 +70,17 @@ func (s *BatchScratch) grow(maxBatch int) {
 	s.maxBatch = maxBatch
 	s.a = make([]float64, maxBatch*s.width)
 	s.b = make([]float64, maxBatch*s.width)
+}
+
+// growQ ensures the integer planes hold batches of at least maxBatch
+// elements; float planes are untouched.
+func (s *BatchScratch) growQ(maxBatch int) {
+	if maxBatch <= s.qmax {
+		return
+	}
+	s.qmax = maxBatch
+	s.qa = make([]int64, maxBatch*s.width)
+	s.qb = make([]int64, maxBatch*s.width)
 }
 
 // ForwardBatch runs batch inferences in one pass. in is row-major

@@ -1,0 +1,354 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Q16.16 integer inference — the fast fixed-point datapath.
+//
+// FixedNetwork (fixed.go) models NPU quantisation faithfully: it rounds every
+// intermediate through float math, which makes it a good *model* of Q6.10
+// hardware and a terrible way to go fast. Q16Network is the opposite trade:
+// an integer datapath built to be the cheapest point the rumba-tune sweep can
+// find. Weights and activations are Q16.16 raws in int64, a MAC is one
+// integer multiply-add (the Q32.32 product accumulates directly, one shift
+// per neuron instead of one round per term), and the non-linearity is a
+// direct-indexed table of precomputed Q16.16 activation values whose
+// resolution (entries per unit = 2^lutBits) is a swept axis of the tuner.
+//
+// The kernel mirrors the feature-major layout of ForwardBatch (batch.go) with
+// the j-loop unrolled 8-wide: integer adds are associative, so unlike the
+// float kernel there is no accumulation-order contract to preserve, and the
+// wider unroll streams eight input planes per pass. Outputs are identical
+// across batch sizes bit-for-bit — each element's arithmetic is independent
+// of its neighbours — which fixedpoint_test.go locks in, together with an
+// analytic error bound against the float path derived from the table step and
+// the layer weights.
+//
+// Saturation semantics (hardware-style, documented rather than exceptional):
+// non-finite inputs clamp (NaN to 0, ±Inf to ±q16MaxInput), finite inputs and
+// Linear-layer pre-activations clamp to ±q16MaxInput. The datapath therefore
+// never emits NaN/Inf; the checker and drift monitor own the quality
+// consequences, which is exactly what they are for.
+
+const (
+	q16Shift = 16
+	q16One   = int64(1) << q16Shift
+
+	// q16MaxInput bounds the representable activation magnitude. With
+	// |weight| <= q16MaxWeight, |activation| <= q16MaxInput and <= 64 inputs
+	// per neuron, an accumulator stays below 2^(22+27+6) = 2^55, far inside
+	// int64's Q32.32 headroom.
+	q16MaxInput = 2048.0
+	// q16MaxWeight bounds trainable weights; NewQ16 rejects networks beyond
+	// it (Xavier-initialised trained nets sit orders of magnitude below).
+	q16MaxWeight = 64.0
+
+	// Activation tables cover the same [-16, 16] window as the float LUT
+	// datapath (act.go); sigmoid/tanh are flat to ~1e-7 outside it.
+	q16TabLo = -16.0
+	q16TabHi = 16.0
+
+	// DefaultLUTBits is the table resolution used when a caller passes 0:
+	// 2^10 entries per unit, matching the float LUT pitch.
+	DefaultLUTBits = 10
+	// MinLUTBits / MaxLUTBits bound the swept resolution axis.
+	MinLUTBits = 4
+	MaxLUTBits = 14
+)
+
+// q16FromFloat converts a value to a Q16.16 raw with saturating,
+// round-to-nearest semantics. NaN converts to 0 (see the saturation note in
+// the package comment above).
+func q16FromFloat(v float64) int64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v >= q16MaxInput {
+		return int64(q16MaxInput * float64(q16One))
+	}
+	if v <= -q16MaxInput {
+		return -int64(q16MaxInput * float64(q16One))
+	}
+	return int64(math.Round(v * float64(q16One)))
+}
+
+// q16ToFloat converts a Q16.16 raw back to float64 (exact).
+func q16ToFloat(r int64) float64 { return float64(r) / float64(q16One) }
+
+// q16TabKey identifies one precomputed activation table.
+type q16TabKey struct {
+	act  Activation
+	bits int
+}
+
+var (
+	q16TabMu    sync.Mutex
+	q16TabCache = map[q16TabKey][]int32{}
+)
+
+// q16ActTable returns the Q16.16 activation table for act at 2^bits entries
+// per unit, building and caching it on first use. Table values fit int32:
+// sigmoid/tanh outputs are in [-1, 1], so |raw| <= 2^16.
+func q16ActTable(act Activation, bits int) []int32 {
+	q16TabMu.Lock()
+	defer q16TabMu.Unlock()
+	key := q16TabKey{act: act, bits: bits}
+	if t, ok := q16TabCache[key]; ok {
+		return t
+	}
+	scale := float64(int64(1) << bits)
+	n := int((q16TabHi-q16TabLo)*scale) + 1
+	t := make([]int32, n)
+	for i := range t {
+		x := q16TabLo + float64(i)/scale
+		t[i] = int32(math.Round(act.apply(x) * float64(q16One)))
+	}
+	q16TabCache[key] = t
+	return t
+}
+
+// q16Layer is one dense layer in raw form.
+type q16Layer struct {
+	In, Out int
+	Act     Activation
+	W       []int64 // Out x In row-major, Q16.16
+	B       []int64 // Out, Q32.32 (pre-shifted so it adds straight into the accumulator)
+	tab     []int32 // activation table; nil for Linear
+}
+
+// Q16Network is the integer Q16.16 inference datapath for a trained Network.
+// It is immutable after construction and safe for concurrent ForwardBatch
+// calls with per-caller scratch, like the float batch kernel.
+type Q16Network struct {
+	topo    Topology
+	lutBits int
+	layers  []q16Layer
+}
+
+// NewQ16 quantises a trained network into the Q16.16 datapath. lutBits is
+// the activation-table resolution (entries per unit = 2^lutBits); 0 selects
+// DefaultLUTBits. It fails if lutBits is outside [MinLUTBits, MaxLUTBits] or
+// any weight exceeds the q16MaxWeight headroom bound.
+func NewQ16(n *Network, lutBits int) (*Q16Network, error) {
+	if lutBits == 0 {
+		lutBits = DefaultLUTBits
+	}
+	if lutBits < MinLUTBits || lutBits > MaxLUTBits {
+		return nil, fmt.Errorf("nn: Q16 lutBits %d outside [%d, %d]", lutBits, MinLUTBits, MaxLUTBits)
+	}
+	q := &Q16Network{topo: n.Topo, lutBits: lutBits, layers: make([]q16Layer, len(n.layers))}
+	for li, l := range n.layers {
+		ql := q16Layer{In: l.In, Out: l.Out, Act: l.Act,
+			W: make([]int64, len(l.W)), B: make([]int64, len(l.B))}
+		for i, w := range l.W {
+			if math.IsNaN(w) || math.Abs(w) > q16MaxWeight {
+				return nil, fmt.Errorf("nn: Q16 layer %d weight %d is %v, outside ±%g", li, i, w, q16MaxWeight)
+			}
+			ql.W[i] = int64(math.Round(w * float64(q16One)))
+		}
+		for i, b := range l.B {
+			if math.IsNaN(b) || math.Abs(b) > q16MaxWeight {
+				return nil, fmt.Errorf("nn: Q16 layer %d bias %d is %v, outside ±%g", li, i, b, q16MaxWeight)
+			}
+			ql.B[i] = int64(math.Round(b*float64(q16One))) << q16Shift
+		}
+		if l.Act != Linear {
+			ql.tab = q16ActTable(l.Act, lutBits)
+		}
+		q.layers[li] = ql
+	}
+	return q, nil
+}
+
+// Topo returns the network topology.
+func (q *Q16Network) Topo() Topology { return q.topo }
+
+// LUTBits returns the activation-table resolution exponent.
+func (q *Q16Network) LUTBits() int { return q.lutBits }
+
+// Forward is the scalar convenience wrapper: one inference, allocating the
+// output and a transient scratch. Use ForwardBatch on hot paths.
+func (q *Q16Network) Forward(in []float64) []float64 {
+	out := make([]float64, q.topo.Outputs())
+	scr := &BatchScratch{width: q.topo.maxWidth()}
+	q.ForwardBatch(out, in, 1, scr)
+	return out
+}
+
+// ForwardBatch runs batch inferences through the integer datapath. Layout
+// and scratch contract match Network.ForwardBatch: in is row-major
+// (batch x Inputs()), dst row-major (batch x Outputs()), scratch caller-owned
+// and not shared between concurrent calls. Outputs are bit-for-bit identical
+// across batch sizes. scratch.LUT is ignored — the quantised tables are the
+// datapath here.
+//
+//rumba:hotpath
+func (q *Q16Network) ForwardBatch(dst, in []float64, batch int, scratch *BatchScratch) {
+	if batch == 0 {
+		return
+	}
+	ni, no := q.topo.Inputs(), q.topo.Outputs()
+	if batch < 0 || len(in) < batch*ni || len(dst) < batch*no {
+		panic(fmt.Sprintf("nn: Q16 ForwardBatch batch %d needs %d inputs and %d outputs, got %d and %d",
+			batch, batch*ni, batch*no, len(in), len(dst)))
+	}
+	if scratch == nil || scratch.width < q.topo.maxWidth() {
+		panic("nn: Q16 ForwardBatch scratch missing or built for a narrower network")
+	}
+	//rumba:allow hotpath amortised integer-plane growth; steady state is guarded by TestQ16ForwardBatchAllocs
+	scratch.growQ(batch)
+	cur, nxt := scratch.qa, scratch.qb
+
+	// Quantise the row-major input into feature-major Q16.16 planes.
+	for j := 0; j < ni; j++ {
+		col := cur[j*batch : (j+1)*batch]
+		for e := range col {
+			col[e] = q16FromFloat(in[e*ni+j])
+		}
+	}
+
+	const satRaw = int64(q16MaxInput * float64(q16One))
+	for li := range q.layers {
+		l := &q.layers[li]
+		tab := l.tab
+		tabTop := len(tab) - 1
+		// Table geometry: entry i covers q16TabLo + i*2^-lutBits, so a
+		// Q16.16 pre-activation maps to an index with one add and one shift.
+		loRaw := int64(q16TabLo * float64(q16One))
+		hiRaw := int64(q16TabHi * float64(q16One))
+		idxShift := uint(q16Shift - q.lutBits)
+		half := int64(1) << (idxShift - 1)
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			acc := nxt[o*batch : (o+1)*batch]
+			bias := l.B[o]
+			for e := range acc {
+				acc[e] = bias
+			}
+			// 8-wide unroll over input features: integer adds are
+			// associative, so the wider unroll is free of the float kernel's
+			// accumulation-order contract and streams eight planes per pass.
+			j := 0
+			for ; j+8 <= l.In; j += 8 {
+				w0, w1, w2, w3 := row[j], row[j+1], row[j+2], row[j+3]
+				w4, w5, w6, w7 := row[j+4], row[j+5], row[j+6], row[j+7]
+				x0 := cur[j*batch : j*batch+batch]
+				x1 := cur[(j+1)*batch : (j+1)*batch+batch]
+				x2 := cur[(j+2)*batch : (j+2)*batch+batch]
+				x3 := cur[(j+3)*batch : (j+3)*batch+batch]
+				x4 := cur[(j+4)*batch : (j+4)*batch+batch]
+				x5 := cur[(j+5)*batch : (j+5)*batch+batch]
+				x6 := cur[(j+6)*batch : (j+6)*batch+batch]
+				x7 := cur[(j+7)*batch : (j+7)*batch+batch]
+				for e := 0; e < batch; e++ {
+					s := acc[e]
+					s += w0 * x0[e]
+					s += w1 * x1[e]
+					s += w2 * x2[e]
+					s += w3 * x3[e]
+					s += w4 * x4[e]
+					s += w5 * x5[e]
+					s += w6 * x6[e]
+					s += w7 * x7[e]
+					acc[e] = s
+				}
+			}
+			for ; j < l.In; j++ {
+				w := row[j]
+				x := cur[j*batch : j*batch+batch]
+				for e := 0; e < batch; e++ {
+					acc[e] += w * x[e]
+				}
+			}
+			// Shift the Q32.32 accumulator down to Q16.16 once per value
+			// (hardware truncation), then the non-linearity: one clamp and
+			// one table load, or a saturating identity for Linear.
+			if tab != nil {
+				for e := 0; e < batch; e++ {
+					pre := acc[e] >> q16Shift
+					var y int64
+					switch {
+					case pre <= loRaw:
+						y = int64(tab[0])
+					case pre >= hiRaw:
+						y = int64(tab[tabTop])
+					default:
+						y = int64(tab[(pre-loRaw+half)>>idxShift])
+					}
+					acc[e] = y
+				}
+			} else {
+				for e := 0; e < batch; e++ {
+					pre := acc[e] >> q16Shift
+					if pre > satRaw {
+						pre = satRaw
+					} else if pre < -satRaw {
+						pre = -satRaw
+					}
+					acc[e] = pre
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+
+	// Convert the output plane back to row-major float64.
+	for o := 0; o < no; o++ {
+		col := cur[o*batch : (o+1)*batch]
+		for e := range col {
+			dst[e*no+o] = q16ToFloat(col[e])
+		}
+	}
+}
+
+// ErrorBound returns an analytic worst-case bound on |Q16 output - float
+// output| per output coordinate, assuming inputs within ±q16MaxInput and no
+// saturation. It composes, per layer, the input/weight rounding error
+// (half-ULP each, amplified by the layer's weight row sums), the truncating
+// accumulator shift (one ULP) and the activation-table step (half a step
+// times the activation's maximal slope). fixedpoint_test.go asserts observed
+// error stays inside it.
+func (q *Q16Network) ErrorBound(n *Network) float64 {
+	ulp := 1.0 / float64(q16One)
+	step := 1.0 / float64(int64(1)<<q.lutBits)
+	// errIn starts at the input quantisation error and becomes each layer's
+	// output error as the bound composes forward.
+	errIn := ulp / 2
+	for li, l := range n.layers {
+		// |sum w_j x_j - sum ŵ_j x̂_j| <= sum |w_j| errIn + In * (ulp/2) * maxX
+		// where the second term is weight rounding against |x| <= q16MaxInput
+		// for the input layer and <= 1 after a sigmoid/tanh layer.
+		maxX := q16MaxInput
+		if li > 0 && n.layers[li-1].Act != Linear {
+			maxX = 1
+		}
+		preErr := float64(l.In) * (ulp / 2) * maxX
+		layerErr := 0.0
+		for o := 0; o < l.Out; o++ {
+			rowSum := 0.0
+			for _, w := range l.W[o*l.In : (o+1)*l.In] {
+				rowSum += math.Abs(w)
+			}
+			if e := rowSum*errIn + preErr; e > layerErr {
+				layerErr = e
+			}
+		}
+		// Accumulator truncation: one ULP. Bias rounding: half a ULP.
+		pre := layerErr + ulp + ulp/2
+		if l.Act == Linear {
+			errIn = pre
+			continue
+		}
+		// Activation: |act'| <= 1 (tanh; sigmoid is 1/4), table step adds
+		// step/2 * slope plus the table entry's own half-ULP rounding.
+		slope := 1.0
+		if l.Act == Sigmoid {
+			slope = 0.25
+		}
+		errIn = slope*pre + slope*step/2 + ulp/2
+	}
+	return errIn
+}

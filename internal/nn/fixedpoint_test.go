@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rumba/internal/rng"
+)
+
+// TestQ16BatchInvariance: the integer datapath has no accumulation-order
+// sensitivity, so outputs must be bit-for-bit identical at every batch size
+// (batch 1 is the reference), across topologies that exercise the 8-wide
+// unroll and its tail.
+func TestQ16BatchInvariance(t *testing.T) {
+	r := rng.NewNamed("nn/q16/invariance")
+	for _, topo := range fuzzTopologies {
+		for _, bits := range []int{6, 10, 12} {
+			net := randomNet(t, topo, Sigmoid, Linear, r)
+			q, err := NewQ16(net, bits)
+			if err != nil {
+				t.Fatalf("NewQ16 %s bits=%d: %v", topo, bits, err)
+			}
+			ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+			scratch := net.NewBatchScratch(4)
+			const n = 65
+			in := randomInputs(ni, n, r)
+			ref := make([]float64, n*no)
+			for e := 0; e < n; e++ {
+				q.ForwardBatch(ref[e*no:], in[e*ni:], 1, scratch)
+			}
+			for _, bs := range fuzzBatchSizes {
+				if bs > n {
+					continue
+				}
+				got := make([]float64, n*no)
+				for start := 0; start < n; start += bs {
+					end := start + bs
+					if end > n {
+						end = n
+					}
+					q.ForwardBatch(got[start*no:], in[start*ni:], end-start, scratch)
+				}
+				for i := range ref {
+					if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+						t.Fatalf("%s bits=%d batch=%d: element %d differs: %v != %v",
+							topo, bits, bs, i, got[i], ref[i])
+					}
+				}
+			}
+			// The scalar convenience wrapper is the same datapath.
+			one := q.Forward(in[:ni])
+			for o := 0; o < no; o++ {
+				if math.Float64bits(one[o]) != math.Float64bits(ref[o]) {
+					t.Fatalf("%s bits=%d: Forward diverges from ForwardBatch at out %d", topo, bits, o)
+				}
+			}
+		}
+	}
+}
+
+// TestQ16ErrorBound asserts the bit-exactness contract against the float
+// path: observed |q16 - float| stays inside the analytic ErrorBound composed
+// from the table step and the layer weights, and the bound (hence the error)
+// tightens monotonically with lutBits.
+func TestQ16ErrorBound(t *testing.T) {
+	r := rng.NewNamed("nn/q16/bound")
+	for _, topo := range []string{"6->8->4->1", "9->8->1", "18->32->8->2", "5->3->5"} {
+		for _, acts := range [][2]Activation{{Sigmoid, Linear}, {Tanh, Sigmoid}, {Sigmoid, Tanh}} {
+			net := randomNet(t, topo, acts[0], acts[1], r)
+			ni, no := net.Topo.Inputs(), net.Topo.Outputs()
+			const bs = 64
+			in := randomInputs(ni, bs, r)
+			exact := make([]float64, bs*no)
+			scratch := net.NewBatchScratch(bs)
+			net.ForwardBatch(exact, in, bs, scratch)
+
+			prevWorst := math.Inf(1)
+			prevBound := math.Inf(1)
+			for _, bits := range []int{6, 8, 10, 12} {
+				q, err := NewQ16(net, bits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bound := q.ErrorBound(net)
+				got := make([]float64, bs*no)
+				q.ForwardBatch(got, in, bs, scratch)
+				worst := 0.0
+				for i := range got {
+					if d := math.Abs(got[i] - exact[i]); d > worst {
+						worst = d
+					}
+				}
+				if worst > bound {
+					t.Fatalf("%s acts=%v bits=%d: observed error %v exceeds analytic bound %v",
+						topo, acts, bits, worst, bound)
+				}
+				if bound > prevBound {
+					t.Fatalf("%s acts=%v bits=%d: bound %v not monotone (prev %v)", topo, acts, bits, bound, prevBound)
+				}
+				prevBound = bound
+				// The observed error should broadly track resolution; allow
+				// slack for the non-table error floor.
+				if worst > prevWorst*4 {
+					t.Fatalf("%s acts=%v bits=%d: error %v regressed vs coarser table %v", topo, acts, bits, worst, prevWorst)
+				}
+				prevWorst = worst
+			}
+		}
+	}
+}
+
+// TestQ16Saturation pins the documented hardware-style totality semantics:
+// non-finite and huge inputs saturate, and the datapath never emits NaN/Inf.
+func TestQ16Saturation(t *testing.T) {
+	r := rng.NewNamed("nn/q16/sat")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	q, err := NewQ16(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300, -1e300, 0.5}
+	scratch := net.NewBatchScratch(1)
+	out := make([]float64, 1)
+	q.ForwardBatch(out, in, 1, scratch)
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Fatalf("Q16 emitted non-finite output %v", out[0])
+	}
+	// Saturating conversion itself.
+	if got := q16FromFloat(math.NaN()); got != 0 {
+		t.Fatalf("q16FromFloat(NaN) = %d, want 0", got)
+	}
+	if got := q16FromFloat(math.Inf(1)); got != int64(q16MaxInput*float64(q16One)) {
+		t.Fatalf("q16FromFloat(+Inf) = %d, want saturation", got)
+	}
+	if got := q16FromFloat(math.Inf(-1)); got != -int64(q16MaxInput*float64(q16One)) {
+		t.Fatalf("q16FromFloat(-Inf) = %d, want negative saturation", got)
+	}
+}
+
+// TestQ16LinearSaturation drives a Linear hidden layer past the activation
+// clamp and checks the output stays bounded (the saturating identity).
+func TestQ16LinearSaturation(t *testing.T) {
+	tp := MustTopology("2->2->1")
+	net := New(tp, Linear, Linear, rng.NewNamed("nn/q16/linsat"))
+	for li := range net.layers {
+		for i := range net.layers[li].W {
+			net.layers[li].W[i] = 60 // inside q16MaxWeight, huge products
+		}
+	}
+	q, err := NewQ16(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := q.Forward([]float64{2000, 2000})
+	if math.Abs(out[0]) > 2*60*q16MaxInput+1 {
+		t.Fatalf("Linear layer failed to saturate: %v", out[0])
+	}
+	if math.IsInf(out[0], 0) || math.IsNaN(out[0]) {
+		t.Fatalf("Linear saturation emitted non-finite %v", out[0])
+	}
+}
+
+// TestNewQ16Rejects pins constructor validation.
+func TestNewQ16Rejects(t *testing.T) {
+	r := rng.NewNamed("nn/q16/reject")
+	net := randomNet(t, "3->2", Sigmoid, Linear, r)
+	for _, bits := range []int{MinLUTBits - 1, MaxLUTBits + 1, -3} {
+		if _, err := NewQ16(net, bits); err == nil {
+			t.Errorf("lutBits %d: expected error", bits)
+		}
+	}
+	if q, err := NewQ16(net, 0); err != nil || q.LUTBits() != DefaultLUTBits {
+		t.Errorf("lutBits 0 should select the default, got %v, %v", q, err)
+	}
+	net.layers[0].W[0] = q16MaxWeight * 2
+	if _, err := NewQ16(net, 10); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("oversized weight: expected a bound error, got %v", err)
+	}
+	net.layers[0].W[0] = math.NaN()
+	if _, err := NewQ16(net, 10); err == nil {
+		t.Error("NaN weight: expected an error")
+	}
+}
+
+// TestQ16ForwardBatchAllocs and TestForwardIntoAllocs are the AllocsPerRun
+// guards paired with the //rumba:hotpath static proofs.
+func TestQ16ForwardBatchAllocs(t *testing.T) {
+	r := rng.NewNamed("nn/q16/allocs")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	q, err := NewQ16(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bs = 64
+	in := randomInputs(6, bs, r)
+	dst := make([]float64, bs)
+	scratch := net.NewBatchScratch(bs)
+	fn := func() { q.ForwardBatch(dst, in, bs, scratch) }
+	fn() // warm up: integer planes + tables
+	if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+		t.Errorf("Q16 ForwardBatch: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestForwardIntoAllocs(t *testing.T) {
+	r := rng.NewNamed("nn/forwardinto/allocs")
+	net := randomNet(t, "6->8->4->1", Sigmoid, Linear, r)
+	in := randomInputs(6, 1, r)
+	dst := make([]float64, 1)
+	fn := func() { net.ForwardInto(dst, in) }
+	fn()
+	if allocs := testing.AllocsPerRun(50, fn); allocs != 0 {
+		t.Errorf("ForwardInto: %v allocs/op, want 0", allocs)
+	}
+	// ForwardInto must agree with Forward exactly.
+	want := net.Forward(in)
+	net.ForwardInto(dst, in)
+	if math.Float64bits(dst[0]) != math.Float64bits(want[0]) {
+		t.Errorf("ForwardInto %v != Forward %v", dst[0], want[0])
+	}
+	// Argument validation.
+	for name, fn := range map[string]func(){
+		"short in":  func() { net.ForwardInto(dst, in[:3]) },
+		"short dst": func() { net.ForwardInto(nil, in) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -231,16 +231,30 @@ func New(t Topology, hidden, out Activation, r *rng.Stream) *Network {
 }
 
 // Forward runs one inference, returning a freshly allocated output vector.
-//
-// Hidden activations ping-pong through two scratch slices sized at
-// construction, so the only allocation is the returned output. The scratch
-// makes Forward non-reentrant: do not call it concurrently on one Network.
+// It is ForwardInto plus the output allocation; scalar hot paths that can
+// reuse an output buffer should call ForwardInto directly and pay zero
+// allocations.
+func (n *Network) Forward(in []float64) []float64 {
+	out := make([]float64, n.Topo.Outputs())
+	n.ForwardInto(out, in)
+	return out
+}
+
+// ForwardInto runs one inference into the caller-owned dst, which must hold
+// at least Topo.Outputs() values. It performs zero allocations in steady
+// state (TestForwardIntoAllocs pins this): hidden activations ping-pong
+// through two scratch slices sized at construction, which is also what makes
+// it non-reentrant — do not call it concurrently on one Network.
 //
 //rumba:hotpath
-func (n *Network) Forward(in []float64) []float64 {
+func (n *Network) ForwardInto(dst, in []float64) {
 	if len(in) != n.Topo.Inputs() {
-		panic(fmt.Sprintf("nn: Forward got %d inputs, topology %s wants %d",
+		panic(fmt.Sprintf("nn: ForwardInto got %d inputs, topology %s wants %d",
 			len(in), n.Topo, n.Topo.Inputs()))
+	}
+	if len(dst) < n.Topo.Outputs() {
+		panic(fmt.Sprintf("nn: ForwardInto dst holds %d values, topology %s emits %d",
+			len(dst), n.Topo, n.Topo.Outputs()))
 	}
 	if n.scratch[0] == nil {
 		//rumba:allow hotpath one-time lazy scratch init after UnmarshalJSON/Clone
@@ -252,9 +266,7 @@ func (n *Network) Forward(in []float64) []float64 {
 		l := &n.layers[li]
 		var next []float64
 		if li == last {
-			// The output escapes to the caller; it must be fresh.
-			//rumba:allow hotpath the documented single output allocation (AllocsPerRun wants exactly 1)
-			next = make([]float64, l.Out)
+			next = dst[:l.Out]
 		} else {
 			next = n.scratch[li%2][:l.Out]
 		}
@@ -268,7 +280,6 @@ func (n *Network) Forward(in []float64) []float64 {
 		}
 		cur = next
 	}
-	return cur
 }
 
 // forwardTrace runs inference keeping every layer's activations for backprop.

@@ -106,6 +106,14 @@ func (t *Tenants) restoreTenant(snap tenantSnapshot, reg *Registry) (*tenant, er
 		fixed:         snap.Fixed,
 		degraded:      snap.Degraded,
 	}
+	// Re-run frontier selection for the restored tenant against *this node's*
+	// frontier (the operating point is node-local hardware truth, so it is
+	// re-derived, not persisted): same quality bound the tenant tuned to.
+	target := t.defaults.Target
+	if snap.Tuner != nil && snap.Tuner.Mode == core.ModeTOQ && snap.Tuner.TargetError > 0 {
+		target = snap.Tuner.TargetError
+	}
+	t.applyFrontier(ts, k, target)
 	if checker != nil {
 		ts.tuner = snap.Tuner
 		if snap.Drift != nil {

@@ -22,6 +22,7 @@ func (r *Registry) LoadPackage(dir string) (*Kernel, error) {
 		return nil, err
 	}
 	k := kernelFromParts(p.Spec, p.Bundle.Accel, p.Bundle.Predictors())
+	k.P99SLOMillis = p.Manifest.Latency.P99Millis
 	if err := r.Add(k); err != nil {
 		return nil, err
 	}

@@ -53,6 +53,11 @@ type Kernel struct {
 	// DefaultChecker names the one used when a request does not choose.
 	Checkers       map[string]CheckerFactory
 	DefaultChecker string
+	// P99SLOMillis is the kernel package's p99 latency SLO in milliseconds
+	// (0 = unasserted). Frontier selection holds each candidate point's
+	// predicted chunk latency to it — a point that would blow the SLO is
+	// never selected no matter how cheap per element.
+	P99SLOMillis float64
 }
 
 // NewChecker builds the named checker ("" selects the default, "none"

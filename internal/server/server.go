@@ -12,6 +12,7 @@ import (
 	"rumba/internal/core"
 	"rumba/internal/obs"
 	"rumba/internal/trace"
+	"rumba/internal/tune"
 )
 
 // Options configures a Server. The zero value is usable: paper-default
@@ -81,6 +82,12 @@ type Options struct {
 	// DriftConfig); the zero value selects 256-element windows with 3-of-5
 	// alert hysteresis.
 	Drift DriftConfig
+	// Frontier is a rumba-tune Pareto-frontier artifact: when set, each new
+	// tenant is served at the cheapest frontier point whose predicted quality
+	// meets its TOQ target and whose predicted chunk latency meets the
+	// kernel's p99 SLO (see tune.go). nil serves every tenant on the default
+	// datapath at Options.BatchSize.
+	Frontier *tune.Frontier
 }
 
 // Server is the rumba-serve daemon: registry + tenant manager + admission
@@ -136,6 +143,7 @@ func New(reg *Registry, opts Options) (*Server, error) {
 		hLatency:  m.Histogram(MetricLatencyNs),
 	}
 	s.tenants.drift = opts.Drift.withDefaults()
+	s.tenants.frontier = opts.Frontier
 	if opts.TraceCapacity > 0 {
 		s.recorder = trace.NewRecorder(trace.RecorderConfig{
 			Capacity:    opts.TraceCapacity,
@@ -173,6 +181,15 @@ func (s *Server) execute(j *job) {
 	ts := j.tenant
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	// A frontier operating point overrides the server-wide detection chunk:
+	// its measured ns/element was taken at exactly this batch width.
+	batch := s.opts.BatchSize
+	if ts.batch > 0 {
+		batch = ts.batch
+	}
+	if ts.point != nil {
+		streamSpan.SetStr("tune.point", ts.point.Key())
+	}
 	st, err := core.NewStream(core.Config{
 		Spec:             j.kernel.Spec,
 		Accel:            ts.accel,
@@ -180,7 +197,7 @@ func (s *Server) execute(j *job) {
 		Tuner:            ts.tuner,
 		InvocationSize:   s.tenants.invocationSize,
 		RecoveryDeadline: s.opts.RecoveryDeadline,
-		BatchSize:        s.opts.BatchSize,
+		BatchSize:        batch,
 		Metrics:          s.metrics,
 	}, s.opts.StreamWorkers)
 	if err != nil {
@@ -189,7 +206,9 @@ func (s *Server) execute(j *job) {
 		streamSpan.End()
 		return
 	}
+	start := time.Now()
 	results, err := st.ProcessSlice(ctx, j.inputs)
+	elapsed := time.Since(start)
 	j.results = results
 	streamSpan.SetInt("elements", int64(len(results)))
 	if err != nil {
@@ -210,6 +229,14 @@ func (s *Server) execute(j *job) {
 	if len(results) > 0 {
 		s.metrics.Gauge(obs.Labeled("serve.predicted_error",
 			"tenant", ts.key.Tenant, "kernel", ts.key.Kernel)).Set(sum / float64(len(results)))
+	}
+	if ts.point != nil && len(results) > 0 {
+		label := func(name string) *obs.Gauge {
+			return s.metrics.Gauge(obs.Labeled(name, "tenant", ts.key.Tenant, "kernel", ts.key.Kernel))
+		}
+		label(MetricTuneSelected).Set(float64(ts.pointIndex))
+		label(MetricTunePredictedNs).Set(ts.point.NsPerElem)
+		label(MetricTuneDeliveredNs).Set(float64(elapsed.Nanoseconds()) / float64(len(results)))
 	}
 	if info := ts.drift.info(); info != nil {
 		s.publishDrift(ts.key, info)

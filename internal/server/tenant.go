@@ -10,6 +10,7 @@ import (
 	"rumba/internal/energy"
 	"rumba/internal/exec"
 	"rumba/internal/predictor"
+	"rumba/internal/tune"
 )
 
 // TenantKey identifies one tenant's use of one kernel — the granularity at
@@ -45,6 +46,13 @@ type tenant struct {
 	// for unchecked tenants — without a checker there is no error estimate
 	// to monitor).
 	drift *driftMonitor
+	// point is the frontier operating point selected for this tenant (nil
+	// when no frontier is loaded or no point qualifies); pointIndex is its
+	// index within the kernel's frontier (the tune.selected_point gauge) and
+	// batch overrides the server's detection chunk width.
+	point      *tune.Point
+	pointIndex int
+	batch      int
 
 	// carryElements/carryFired accumulate the partial invocation left over
 	// after each request (requests rarely align with the invocation size);
@@ -67,6 +75,9 @@ type Tenants struct {
 	invocationSize int
 	model          energy.Model
 	drift          DriftConfig
+	// frontier, when non-nil, drives per-tenant operating-point selection
+	// (see tune.go).
+	frontier *tune.Frontier
 }
 
 // NewTenants builds a tenant manager. invocationSize <= 0 uses the paper's
@@ -109,6 +120,16 @@ func (t *Tenants) get(key TenantKey, k *Kernel, checkerName string, mode *TunerD
 
 // create builds a fresh tenant (caller holds t.mu).
 func (t *Tenants) create(key TenantKey, k *Kernel, checkerName string, mode *TunerDefaults) (*tenant, error) {
+	d := t.defaults
+	if mode != nil {
+		d = *mode
+	}
+	target := t.frontierTarget(d)
+	if checkerName == "" {
+		// A loaded frontier may pick the checker family along with the rest
+		// of the operating point; an explicit request choice always wins.
+		checkerName = t.adoptChecker(k, target)
+	}
 	checker, err := k.NewChecker(checkerName)
 	if err != nil {
 		return nil, err
@@ -124,11 +145,8 @@ func (t *Tenants) create(key TenantKey, k *Kernel, checkerName string, mode *Tun
 		}
 	}
 	ts := &tenant{key: key, checkerName: checkerName, checker: checker, accel: acc}
+	t.applyFrontier(ts, k, target)
 	if checker != nil {
-		d := t.defaults
-		if mode != nil {
-			d = *mode
-		}
 		if ts.tuner, err = core.NewTuner(d.Mode, d.Target); err != nil {
 			return nil, err
 		}
@@ -216,6 +234,12 @@ type TenantInfo struct {
 	Elements  int64   `json:"elements"`
 	Fixed     int64   `json:"fixed"`
 	Degraded  int64   `json:"degraded"`
+	// TunePoint is the frontier operating point serving this tenant
+	// (tune.Point.Key(), e.g. "fixed/lut10/b64/tree"); empty when no
+	// frontier is loaded or no point qualified. BatchSize is the point's
+	// detection chunk override (0 = server default).
+	TunePoint string `json:"tunePoint,omitempty"`
+	BatchSize int    `json:"batchSize,omitempty"`
 	// Drift is the quality-drift monitor state (nil for unchecked tenants).
 	Drift *DriftInfo `json:"drift,omitempty"`
 }
@@ -242,6 +266,10 @@ func (t *Tenants) List() []TenantInfo {
 		if ts.tuner != nil {
 			info.Mode = ts.tuner.Mode.String()
 			info.Threshold = ts.tuner.Threshold
+		}
+		if ts.point != nil {
+			info.TunePoint = ts.point.Key()
+			info.BatchSize = ts.batch
 		}
 		info.Drift = ts.drift.info()
 		ts.mu.Unlock()

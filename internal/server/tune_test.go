@@ -1,0 +1,283 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rumba/internal/energy"
+	"rumba/internal/exec"
+	"rumba/internal/obs"
+	"rumba/internal/tune"
+)
+
+// tunedExec is a synthetic executor with datapath support: ApplyDatapath
+// records the selection and the per-element delay table makes the chosen
+// datapath observable in wall-clock terms (the frontier e2e test asserts a
+// loose-TOQ tenant is actually served cheaper, not just labelled cheaper).
+type tunedExec struct {
+	mu       sync.Mutex
+	datapath string
+	lutBits  int
+	delay    map[string]time.Duration
+}
+
+func (e *tunedExec) Invoke(in []float64) []float64 {
+	e.mu.Lock()
+	d := e.delay[e.datapath]
+	e.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return []float64{in[0]*2 + 0.125}
+}
+func (e *tunedExec) CyclesPerInvocation() float64             { return 64 }
+func (e *tunedExec) EnergyPerInvocation(energy.Model) float64 { return 1 }
+func (e *tunedExec) ApplyDatapath(name string, lutBits int) error {
+	e.mu.Lock()
+	e.datapath, e.lutBits = name, lutBits
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *tunedExec) applied() (string, int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.datapath, e.lutBits
+}
+
+// testFrontier builds a two-point artifact: a cheap fixed-point configuration
+// that only meets a loose quality target, and an expensive per-element exp
+// configuration that meets any target.
+func testFrontier(t *testing.T, kernel string) *tune.Frontier {
+	t.Helper()
+	rep := &tune.SweepReport{
+		Kernel:    kernel,
+		GridSize:  2,
+		Evaluated: 2,
+		Frontier: []tune.Point{
+			{Datapath: tune.DatapathFixed, LUTBits: 10, Batch: 64, Checker: "score",
+				Quality: 0.08, NsPerElem: 10, ChunkNs: 640, Measured: true},
+			{Datapath: tune.DatapathExp, Batch: 1, Checker: "score",
+				Quality: 0.01, NsPerElem: 1000, ChunkNs: 1000, Measured: true},
+		},
+	}
+	f, err := tune.NewFrontier([]*tune.SweepReport{rep})
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	return f
+}
+
+// TestFrontierSelectionByTOQ is the SLA-selection e2e: through the unchanged
+// /v1/invoke API, a tight-TOQ tenant lands on the expensive exp/b1 frontier
+// point while a loose-TOQ tenant lands on the cheap fixed/b64 point — and the
+// loose tenant's delivered ns/element is measurably lower.
+func TestFrontierSelectionByTOQ(t *testing.T) {
+	var execs []*tunedExec
+	var emu sync.Mutex
+	kernel := synthKernelTuned(&execs, &emu)
+	metrics := obs.NewRegistry()
+	_, hs := newTestServer(t, Options{Frontier: testFrontier(t, "synth"), Metrics: metrics}, kernel)
+
+	inputs := make([][]float64, 128)
+	for i := range inputs {
+		inputs[i] = in(float64(i), 0)
+	}
+	// Tight target 0.03: only the exp point's quality (0.01) qualifies.
+	status, _, msg := invoke(t, hs.URL, InvokeRequest{Tenant: "tight", Kernel: "synth",
+		Mode: "toq", Target: 0.03, Inputs: inputs})
+	if status != http.StatusOK {
+		t.Fatalf("tight invoke: status %d (%s)", status, msg)
+	}
+	// Loose target 0.10: both qualify, fixed/b64 is cheaper.
+	status, _, msg = invoke(t, hs.URL, InvokeRequest{Tenant: "loose", Kernel: "synth",
+		Mode: "toq", Target: 0.10, Inputs: inputs})
+	if status != http.StatusOK {
+		t.Fatalf("loose invoke: status %d (%s)", status, msg)
+	}
+
+	byTenant := map[string]TenantInfo{}
+	var tenants map[string][]TenantInfo
+	getJSON(t, hs.URL+"/v1/tenants", http.StatusOK, &tenants)
+	for _, info := range tenants["tenants"] {
+		byTenant[info.Tenant] = info
+	}
+	tight, loose := byTenant["tight"], byTenant["loose"]
+	if tight.TunePoint != "exp/b1/score" || tight.BatchSize != 1 {
+		t.Fatalf("tight tenant point = %q batch %d, want exp/b1/score batch 1", tight.TunePoint, tight.BatchSize)
+	}
+	if loose.TunePoint != "fixed/lut10/b64/score" || loose.BatchSize != 64 {
+		t.Fatalf("loose tenant point = %q batch %d, want fixed/lut10/b64/score batch 64", loose.TunePoint, loose.BatchSize)
+	}
+
+	// The executors were actually reconfigured, in tenant-creation order.
+	emu.Lock()
+	if len(execs) != 2 {
+		emu.Unlock()
+		t.Fatalf("executors created = %d, want 2", len(execs))
+	}
+	tightExec, looseExec := execs[0], execs[1]
+	emu.Unlock()
+	if dp, _ := tightExec.applied(); dp != tune.DatapathExp {
+		t.Fatalf("tight executor datapath = %q, want exp", dp)
+	}
+	if dp, bits := looseExec.applied(); dp != tune.DatapathFixed || bits != 10 {
+		t.Fatalf("loose executor datapath = %q lut %d, want fixed lut 10", dp, bits)
+	}
+
+	// Gauges: selection index, predicted cost, and delivered cost — the
+	// loose tenant must be measurably cheaper (its executor has no per-invoke
+	// delay; the tight one sleeps 50µs/element).
+	gauge := func(name, tenant string) float64 {
+		return metrics.Gauge(obs.Labeled(name, "tenant", tenant, "kernel", "synth")).Value()
+	}
+	if got := gauge(MetricTuneSelected, "tight"); got != 1 {
+		t.Fatalf("tight %s = %v, want 1", MetricTuneSelected, got)
+	}
+	if got := gauge(MetricTuneSelected, "loose"); got != 0 {
+		t.Fatalf("loose %s = %v, want 0", MetricTuneSelected, got)
+	}
+	if got := gauge(MetricTunePredictedNs, "tight"); got != 1000 {
+		t.Fatalf("tight %s = %v, want 1000", MetricTunePredictedNs, got)
+	}
+	tightNs := gauge(MetricTuneDeliveredNs, "tight")
+	looseNs := gauge(MetricTuneDeliveredNs, "loose")
+	if tightNs <= 0 || looseNs <= 0 {
+		t.Fatalf("delivered gauges not published: tight %v loose %v", tightNs, looseNs)
+	}
+	// 50µs of injected delay per element vs none: well beyond noise.
+	if looseNs*2 > tightNs {
+		t.Fatalf("loose tenant not served cheaper: delivered %v ns/elem vs tight %v", looseNs, tightNs)
+	}
+}
+
+// synthKernelTuned is synthKernel with a fresh datapath-capable executor per
+// tenant, recorded in creation order.
+func synthKernelTuned(execs *[]*tunedExec, mu *sync.Mutex) *Kernel {
+	k := synthKernel("synth", nil)
+	k.NewAccel = func() (ex exec.Executor, err error) {
+		e := &tunedExec{delay: map[string]time.Duration{tune.DatapathExp: 50 * time.Microsecond}}
+		mu.Lock()
+		*execs = append(*execs, e)
+		mu.Unlock()
+		return e, nil
+	}
+	return k
+}
+
+// TestFrontierSLOFilter: a kernel p99 SLO excludes frontier points whose
+// chunk latency would blow it, even when they are cheaper per element.
+func TestFrontierSLOFilter(t *testing.T) {
+	var execs []*tunedExec
+	var mu sync.Mutex
+	k := synthKernelTuned(&execs, &mu)
+	// The fixed/b64 point's ChunkNs is 640; an SLO of 500ns (0.0005ms)
+	// excludes it, leaving only exp/b1 (ChunkNs 1000... also excluded).
+	// Use 700ns: fixed/b64 (640) passes, exp/b1 (1000) fails — then tighten
+	// quality so nothing qualifies and defaults survive.
+	k.P99SLOMillis = 700 * 1e-6
+	_, hs := newTestServer(t, Options{Frontier: testFrontier(t, "synth")}, k)
+
+	// Loose quality + SLO 700ns: fixed/b64 qualifies.
+	status, _, _ := invoke(t, hs.URL, InvokeRequest{Tenant: "a", Kernel: "synth",
+		Mode: "toq", Target: 0.10, Inputs: [][]float64{in(1, 0)}})
+	if status != http.StatusOK {
+		t.Fatalf("invoke: status %d", status)
+	}
+	// Tight quality: only exp/b1 meets quality but its chunk latency blows
+	// the SLO — no point qualifies, tenant keeps server defaults.
+	status, _, _ = invoke(t, hs.URL, InvokeRequest{Tenant: "b", Kernel: "synth",
+		Mode: "toq", Target: 0.03, Inputs: [][]float64{in(1, 0)}})
+	if status != http.StatusOK {
+		t.Fatalf("invoke: status %d", status)
+	}
+
+	var tenants map[string][]TenantInfo
+	getJSON(t, hs.URL+"/v1/tenants", http.StatusOK, &tenants)
+	for _, info := range tenants["tenants"] {
+		switch info.Tenant {
+		case "a":
+			if info.TunePoint != "fixed/lut10/b64/score" {
+				t.Errorf("tenant a point = %q, want fixed/lut10/b64/score", info.TunePoint)
+			}
+		case "b":
+			if info.TunePoint != "" || info.BatchSize != 0 {
+				t.Errorf("tenant b point = %q batch %d, want server defaults", info.TunePoint, info.BatchSize)
+			}
+		}
+	}
+}
+
+// TestFrontierCheckerAdoption: a kernel whose default is unchecked execution
+// adopts the frontier point's checker family when the request doesn't choose.
+func TestFrontierCheckerAdoption(t *testing.T) {
+	var execs []*tunedExec
+	var mu sync.Mutex
+	k := synthKernelTuned(&execs, &mu)
+	k.DefaultChecker = "none"
+	_, hs := newTestServer(t, Options{Frontier: testFrontier(t, "synth")}, k)
+
+	status, resp, _ := invoke(t, hs.URL, InvokeRequest{Tenant: "acme", Kernel: "synth",
+		Inputs: [][]float64{in(1, 0)}})
+	if status != http.StatusOK {
+		t.Fatalf("invoke: status %d", status)
+	}
+	if resp.Checker != "score" {
+		t.Fatalf("adopted checker = %q, want score (from frontier)", resp.Checker)
+	}
+	// An explicit request choice still wins over the frontier.
+	status, resp, _ = invoke(t, hs.URL, InvokeRequest{Tenant: "manual", Kernel: "synth",
+		Checker: "none", Inputs: [][]float64{in(1, 0)}})
+	if status != http.StatusOK {
+		t.Fatalf("invoke: status %d", status)
+	}
+	if resp.Checker != "none" {
+		t.Fatalf("explicit checker = %q, want none", resp.Checker)
+	}
+}
+
+// TestFrontierAppliedOnRestore: a tenant restored from a snapshot re-runs
+// frontier selection against this node's artifact at its own restored target.
+func TestFrontierAppliedOnRestore(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state.json")
+	var execs []*tunedExec
+	var mu sync.Mutex
+	k := synthKernelTuned(&execs, &mu)
+	f := testFrontier(t, "synth")
+
+	s1, hs := newTestServer(t, Options{Frontier: f, StatePath: state}, k)
+	status, _, _ := invoke(t, hs.URL, InvokeRequest{Tenant: "tight", Kernel: "synth",
+		Mode: "toq", Target: 0.03, Inputs: [][]float64{in(1, 0)}})
+	if status != http.StatusOK {
+		t.Fatalf("invoke: status %d", status)
+	}
+	if err := s1.tenants.SaveState(state); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+
+	reg := NewKernelRegistry()
+	k2 := synthKernelTuned(&execs, &mu)
+	if err := reg.Add(k2); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	s2, err := New(reg, Options{Frontier: f, StatePath: state})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { s2.Shutdown(t.Context()) })
+	if s2.Restored != 1 {
+		t.Fatalf("restored = %d, want 1", s2.Restored)
+	}
+	infos := s2.Tenants()
+	if len(infos) != 1 || infos[0].TunePoint != "exp/b1/score" || infos[0].BatchSize != 1 {
+		t.Fatalf("restored tenant = %+v, want exp/b1/score batch 1", infos)
+	}
+}

@@ -1,0 +1,243 @@
+package tune
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rumba/internal/buildinfo"
+)
+
+// The frontier artifact: what rumba-tune writes and rumba-serve loads.
+//
+// frontier.json is versioned (FormatVersion rejects future formats),
+// checksummed (the SHA-256 of the canonical kernels payload detects
+// tampering and truncation independent of the stamp) and stamped with the
+// same buildinfo provenance BENCH_*.json baselines carry — cost numbers are
+// per-machine, so a frontier must say which commit and hardware shape
+// produced them.
+
+// FormatVersion is the frontier.json format this build reads and writes.
+const FormatVersion = 1
+
+// FrontierFile is the conventional artifact name.
+const FrontierFile = "frontier.json"
+
+// KernelFrontier is one kernel's swept frontier plus sweep provenance.
+type KernelFrontier struct {
+	// Points is the Pareto frontier over (Quality, NsPerElem, ChunkNs),
+	// sorted by NsPerElem ascending.
+	Points []Point `json:"points"`
+	// GridSize/Evaluated/Pruned/PredictedOnly record how the sweep spent
+	// its budget (see SweepReport).
+	GridSize      int `json:"gridSize"`
+	Evaluated     int `json:"evaluated"`
+	Pruned        int `json:"pruned"`
+	PredictedOnly int `json:"predictedOnly,omitempty"`
+}
+
+// Stamp is the provenance header: buildinfo plus write time.
+type Stamp struct {
+	buildinfo.Info
+	WrittenAt string `json:"written_at"`
+}
+
+// Frontier is the versioned artifact.
+type Frontier struct {
+	FormatVersion int                       `json:"formatVersion"`
+	Stamp         Stamp                     `json:"stamp"`
+	Checksum      string                    `json:"checksum"`
+	Kernels       map[string]KernelFrontier `json:"kernels"`
+}
+
+// NewFrontier assembles an artifact from sweep reports, stamped and
+// checksummed.
+func NewFrontier(reports []*SweepReport) (*Frontier, error) {
+	f := &Frontier{
+		FormatVersion: FormatVersion,
+		Stamp: Stamp{
+			Info:      buildinfo.Resolve(),
+			WrittenAt: time.Now().UTC().Format(time.RFC3339),
+		},
+		Kernels: map[string]KernelFrontier{},
+	}
+	for _, rep := range reports {
+		if rep.Kernel == "" {
+			return nil, fmt.Errorf("tune: sweep report without a kernel name")
+		}
+		if _, dup := f.Kernels[rep.Kernel]; dup {
+			return nil, fmt.Errorf("tune: duplicate kernel %q in frontier", rep.Kernel)
+		}
+		f.Kernels[rep.Kernel] = KernelFrontier{
+			Points:        append([]Point(nil), rep.Frontier...),
+			GridSize:      rep.GridSize,
+			Evaluated:     rep.Evaluated,
+			Pruned:        rep.Pruned,
+			PredictedOnly: rep.PredictedOnly,
+		}
+	}
+	sum, err := f.kernelsChecksum()
+	if err != nil {
+		return nil, err
+	}
+	f.Checksum = sum
+	return f, nil
+}
+
+// kernelsChecksum hashes the canonical JSON encoding of the kernels payload
+// (encoding/json sorts map keys, so the bytes are deterministic).
+func (f *Frontier) kernelsChecksum() (string, error) {
+	data, err := json.Marshal(f.Kernels)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Validate checks version, checksum and point well-formedness.
+func (f *Frontier) Validate() error {
+	if f.FormatVersion != FormatVersion {
+		return fmt.Errorf("tune: frontier format version %d, this build reads %d", f.FormatVersion, FormatVersion)
+	}
+	sum, err := f.kernelsChecksum()
+	if err != nil {
+		return err
+	}
+	if f.Checksum != sum {
+		return fmt.Errorf("tune: frontier checksum mismatch: artifact says %s, payload hashes to %s", f.Checksum, sum)
+	}
+	for kernel, kf := range f.Kernels {
+		if len(kf.Points) == 0 {
+			return fmt.Errorf("tune: kernel %q has an empty frontier", kernel)
+		}
+		for i, p := range kf.Points {
+			switch p.Datapath {
+			case DatapathExp, DatapathLUT, DatapathFixed:
+			default:
+				return fmt.Errorf("tune: kernel %q point %d has unknown datapath %q", kernel, i, p.Datapath)
+			}
+			if p.Batch < 1 {
+				return fmt.Errorf("tune: kernel %q point %d has batch %d", kernel, i, p.Batch)
+			}
+			if p.Checker == "" {
+				return fmt.Errorf("tune: kernel %q point %d has no checker", kernel, i)
+			}
+			if !isFiniteMeasurement(Measurement{Quality: p.Quality, NsPerElem: p.NsPerElem}) {
+				return fmt.Errorf("tune: kernel %q point %d has non-finite values", kernel, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes the artifact atomically (temp file + rename), like every other
+// versioned baseline in this repo.
+func (f *Frontier) Save(path string) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".frontier-*.json.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// LoadFrontier reads and validates an artifact.
+func LoadFrontier(path string) (*Frontier, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f Frontier
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tune: parsing %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Select applies the SLA-selection rule for one tenant: among the kernel's
+// frontier points whose predicted quality meets targetErr (delivered corpus
+// error ≤ the tenant's TOQ target), whose predicted chunk latency meets
+// sloNs (ChunkNs ≤ the kernel's p99 SLO in nanoseconds; sloNs ≤ 0 means no
+// SLO) and — when checker is non-empty — whose checker family matches, it
+// returns the cheapest by NsPerElem (ties: smaller batch, then frontier
+// order). The returned index identifies the point within the kernel's
+// frontier for the tune.selected_point gauge. ok is false when the kernel is
+// absent or no point qualifies; the caller then keeps its default
+// configuration.
+func (f *Frontier) Select(kernel, checker string, targetErr, sloNs float64) (Point, int, bool) {
+	kf, ok := f.Kernels[kernel]
+	if !ok {
+		return Point{}, 0, false
+	}
+	bestIdx := -1
+	for i, p := range kf.Points {
+		if p.Quality > targetErr {
+			continue
+		}
+		if sloNs > 0 && p.ChunkNs > sloNs {
+			continue
+		}
+		if checker != "" && p.Checker != checker {
+			continue
+		}
+		if bestIdx < 0 {
+			bestIdx = i
+			continue
+		}
+		best := kf.Points[bestIdx]
+		if p.NsPerElem < best.NsPerElem ||
+			(p.NsPerElem == best.NsPerElem && p.Batch < best.Batch) { //rumba:allow floatcmp tiebreak on identical measurements
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Point{}, 0, false
+	}
+	return kf.Points[bestIdx], bestIdx, true
+}
+
+// KernelNames returns the kernels present, sorted.
+func (f *Frontier) KernelNames() []string {
+	names := make([]string, 0, len(f.Kernels))
+	for k := range f.Kernels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

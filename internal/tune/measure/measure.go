@@ -1,0 +1,258 @@
+// Package measure implements tune.Measurer against real kernel artifacts:
+// quality by replaying the package golden corpus through the full Rumba
+// runtime with the point's datapath and checker, cost by a monotonic-clock
+// timing loop over the corpus driven through the fused accelerator and
+// checker batch kernels at the point's batch width.
+//
+// The cost loop deliberately does not use testing.Benchmark: that would link
+// the testing package (and its flags) into every binary that tunes, and the
+// loop here measures exactly what the serving layer runs per element —
+// stage + forward + unscale + checker predict — nothing more.
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/core"
+	"rumba/internal/nn"
+	"rumba/internal/pkg"
+	"rumba/internal/predictor"
+	"rumba/internal/tune"
+)
+
+// Config parameterises a measurer.
+type Config struct {
+	// BenchTime is the minimum wall-clock spent timing one point's cost
+	// (after one warm pass); <= 0 selects 25ms.
+	BenchTime time.Duration
+	// MaxCorpus caps the corpus elements used per measurement; <= 0 uses the
+	// whole corpus. Smoke runs shrink it to keep sweeps fast.
+	MaxCorpus int
+}
+
+// DefaultBenchTime is the per-point cost budget when Config.BenchTime is 0.
+const DefaultBenchTime = 25 * time.Millisecond
+
+// BundleMeasurer measures sweep points against one trained bundle and its
+// golden corpus. It is not safe for concurrent use: each measurement builds
+// a private accelerator, but the corpus views are shared.
+type BundleMeasurer struct {
+	spec   *bench.Spec
+	bnd    *bundle.Bundle
+	corpus *pkg.Corpus
+	toq    float64
+	cfg    Config
+
+	// Recycled cost-loop scratch.
+	dst  [][]float64
+	pred []float64
+}
+
+// NewBundleMeasurer validates the bundle and corpus and builds a measurer.
+// toq is the TOQ bound the quality replay's tuner holds the runtime to;
+// <= 0 selects the paper default 0.10.
+func NewBundleMeasurer(b *bundle.Bundle, corpus *pkg.Corpus, toq float64, cfg Config) (*BundleMeasurer, error) {
+	if b == nil || corpus == nil {
+		return nil, fmt.Errorf("measure: needs a bundle and a corpus")
+	}
+	spec, err := b.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if err := corpus.Validate(spec); err != nil {
+		return nil, err
+	}
+	if toq <= 0 {
+		toq = 0.10
+	}
+	if cfg.BenchTime <= 0 {
+		cfg.BenchTime = DefaultBenchTime
+	}
+	return &BundleMeasurer{spec: spec, bnd: b, corpus: corpus, toq: toq, cfg: cfg}, nil
+}
+
+// NewPackageMeasurer builds a measurer for a loaded kernel package, holding
+// quality to the package's own TOQ.
+func NewPackageMeasurer(p *pkg.Package, cfg Config) (*BundleMeasurer, error) {
+	if p == nil {
+		return nil, fmt.Errorf("measure: needs a package")
+	}
+	return NewBundleMeasurer(p.Bundle, p.Corpus, p.Manifest.Quality.TOQ, cfg)
+}
+
+// Spec returns the kernel spec the measurer replays against.
+func (m *BundleMeasurer) Spec() *bench.Spec { return m.spec }
+
+// TOQ returns the quality bound the replay tuner targets.
+func (m *BundleMeasurer) TOQ() float64 { return m.toq }
+
+// CheckerNames returns the predictor families the bundle can reconstruct, in
+// the sweep-axis order the CLI defaults to.
+func (m *BundleMeasurer) CheckerNames() []string {
+	ps := m.bnd.Predictors()
+	var names []string
+	if ps.Linear != nil {
+		names = append(names, "linear")
+	}
+	if ps.Tree != nil {
+		names = append(names, "tree")
+	}
+	if ps.EMA != nil {
+		names = append(names, "ema")
+	}
+	return names
+}
+
+// checker reconstructs the named predictor family, mirroring the serving
+// registry: linear and tree are stateless and shareable, EMA is stateful and
+// built fresh per measurement so points never observe each other's history.
+// "none" is the unchecked replay (nil predictor).
+func (m *BundleMeasurer) checker(name string) (predictor.Predictor, error) {
+	ps := m.bnd.Predictors()
+	switch name {
+	case "none":
+		return nil, nil
+	case "linear":
+		if ps.Linear == nil {
+			return nil, fmt.Errorf("measure: bundle %s has no linear checker", m.spec.Name)
+		}
+		return ps.Linear, nil
+	case "tree":
+		if ps.Tree == nil {
+			return nil, fmt.Errorf("measure: bundle %s has no tree checker", m.spec.Name)
+		}
+		return ps.Tree, nil
+	case "ema":
+		if ps.EMA == nil {
+			return nil, fmt.Errorf("measure: bundle %s has no EMA checker", m.spec.Name)
+		}
+		return predictor.NewEMA(m.bnd.EMAHistory, m.bnd.EMAScale), nil
+	default:
+		return nil, fmt.Errorf("measure: unknown checker %q", name)
+	}
+}
+
+// accelerator builds a datapath-configured accelerator for a point.
+func (m *BundleMeasurer) accelerator(p tune.Point) (*accel.Accelerator, error) {
+	acc, err := m.bnd.Accelerator()
+	if err != nil {
+		return nil, err
+	}
+	if err := acc.ApplyDatapath(p.Datapath, p.LUTBits); err != nil {
+		return nil, err
+	}
+	return acc, nil
+}
+
+// inputs returns the (possibly capped) corpus input view.
+func (m *BundleMeasurer) inputs() ([][]float64, [][]float64) {
+	ins, exact := m.corpus.Inputs, m.corpus.Exact
+	if m.cfg.MaxCorpus > 0 && len(ins) > m.cfg.MaxCorpus {
+		ins, exact = ins[:m.cfg.MaxCorpus], exact[:m.cfg.MaxCorpus]
+	}
+	return ins, exact
+}
+
+// Measure implements tune.Measurer: delivered corpus error and timed
+// ns/element for one sweep point.
+func (m *BundleMeasurer) Measure(p tune.Point) (tune.Measurement, error) {
+	if p.Batch < 1 {
+		return tune.Measurement{}, fmt.Errorf("measure: batch %d", p.Batch)
+	}
+	q, err := m.quality(p)
+	if err != nil {
+		return tune.Measurement{}, err
+	}
+	ns, err := m.cost(p)
+	if err != nil {
+		return tune.Measurement{}, err
+	}
+	return tune.Measurement{Quality: q, NsPerElem: ns}, nil
+}
+
+// quality replays the golden corpus through the full runtime (accelerator +
+// checker + TOQ tuner + recovery) with the point's configuration and returns
+// the delivered output error — what a tenant at this point would observe.
+func (m *BundleMeasurer) quality(p tune.Point) (float64, error) {
+	acc, err := m.accelerator(p)
+	if err != nil {
+		return 0, err
+	}
+	checker, err := m.checker(p.Checker)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.Config{Spec: m.spec, Accel: acc, Checker: checker, BatchSize: p.Batch}
+	if checker != nil {
+		if cfg.Tuner, err = core.NewTuner(core.ModeTOQ, m.toq); err != nil {
+			return 0, err
+		}
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ins, exact := m.inputs()
+	rep, err := sys.Run(nn.Dataset{Inputs: ins, Targets: exact})
+	if err != nil {
+		return 0, err
+	}
+	return rep.OutputError, nil
+}
+
+// cost times the per-element serving hot path — input staging, the fused
+// forward kernel on the point's datapath, output unscaling, and the
+// checker's batch predict — over the corpus chunked at the point's batch
+// width. One warm pass first (table builds, scratch growth), then whole
+// passes until BenchTime has elapsed.
+func (m *BundleMeasurer) cost(p tune.Point) (float64, error) {
+	acc, err := m.accelerator(p)
+	if err != nil {
+		return 0, err
+	}
+	checker, err := m.checker(p.Checker)
+	if err != nil {
+		return 0, err
+	}
+	ins, _ := m.inputs()
+	if cap(m.dst) < p.Batch {
+		m.dst = make([][]float64, p.Batch)
+	}
+	if cap(m.pred) < p.Batch {
+		m.pred = make([]float64, p.Batch)
+	}
+	dst, pred := m.dst[:p.Batch], m.pred[:p.Batch]
+
+	pass := func() int {
+		elems := 0
+		for at := 0; at < len(ins); at += p.Batch {
+			end := at + p.Batch
+			if end > len(ins) {
+				end = len(ins)
+			}
+			chunk := ins[at:end]
+			acc.InvokeBatch(dst[:len(chunk)], chunk)
+			if checker != nil {
+				checker.PredictErrorBatch(pred[:len(chunk)], chunk, dst[:len(chunk)])
+			}
+			elems += len(chunk)
+		}
+		return elems
+	}
+
+	pass() // warm: activation tables, scratch and dst rows all settle
+	total := 0
+	start := time.Now()
+	for time.Since(start) < m.cfg.BenchTime {
+		total += pass()
+	}
+	elapsed := time.Since(start)
+	if total == 0 {
+		return 0, fmt.Errorf("measure: empty corpus")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(total), nil
+}

@@ -1,0 +1,190 @@
+package measure
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rumba/internal/accel"
+	"rumba/internal/bench"
+	"rumba/internal/bundle"
+	"rumba/internal/pkg"
+	"rumba/internal/trainer"
+	"rumba/internal/tune"
+)
+
+// trainBundle trains a small fft artifact once for the whole test run.
+var fftBundle = struct {
+	once   sync.Once
+	b      *bundle.Bundle
+	corpus *pkg.Corpus
+}{}
+
+func sharedArtifacts(t *testing.T) (*bundle.Bundle, *pkg.Corpus) {
+	t.Helper()
+	fftBundle.once.Do(func() {
+		spec, err := bench.Get("fft")
+		if err != nil {
+			t.Fatal(err)
+		}
+		train := spec.GenTrain(400)
+		cfg := trainer.DefaultAccelTrainConfig("fft")
+		cfg.NN.Epochs = 10
+		acfg, err := trainer.TrainAccelerator(spec, spec.RumbaTopo, spec.RumbaFeatures, train, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := accel.New(acfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds, err := trainer.TrainPredictors(spec, train, trainer.Observe(spec, acc, train))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fftBundle.b, err = bundle.New(spec, acfg, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fftBundle.corpus = pkg.GenerateCorpus(spec, 64)
+	})
+	if fftBundle.b == nil {
+		t.Fatal("shared fft bundle failed to train")
+	}
+	return fftBundle.b, fftBundle.corpus
+}
+
+func sharedMeasurer(t *testing.T) *BundleMeasurer {
+	t.Helper()
+	b, corpus := sharedArtifacts(t)
+	m, err := NewBundleMeasurer(b, corpus, 0.10, Config{BenchTime: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMeasurePoints(t *testing.T) {
+	m := sharedMeasurer(t)
+	checkers := m.CheckerNames()
+	if len(checkers) == 0 {
+		t.Fatal("bundle trained no checkers")
+	}
+	points := []tune.Point{
+		{Datapath: "exp", Batch: 1, Checker: checkers[0]},
+		{Datapath: "lut", Batch: 8, Checker: checkers[0]},
+		{Datapath: "fixed", LUTBits: 10, Batch: 64, Checker: checkers[0]},
+		{Datapath: "exp", Batch: 8, Checker: "none"},
+	}
+	for _, p := range points {
+		got, err := m.Measure(p)
+		if err != nil {
+			t.Fatalf("Measure(%s): %v", p.Key(), err)
+		}
+		if math.IsNaN(got.Quality) || got.Quality < 0 {
+			t.Errorf("Measure(%s) quality = %v", p.Key(), got.Quality)
+		}
+		if !(got.NsPerElem > 0) || math.IsInf(got.NsPerElem, 0) {
+			t.Errorf("Measure(%s) ns/elem = %v", p.Key(), got.NsPerElem)
+		}
+	}
+}
+
+// The checked replay at a point must not be worse than the unchecked one:
+// that is the whole quality-management contract the sweep scores.
+func TestMeasureCheckedBeatsUnchecked(t *testing.T) {
+	m := sharedMeasurer(t)
+	checkers := m.CheckerNames()
+	if len(checkers) == 0 {
+		t.Fatal("bundle trained no checkers")
+	}
+	unchecked, err := m.Measure(tune.Point{Datapath: "exp", Batch: 8, Checker: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := m.Measure(tune.Point{Datapath: "exp", Batch: 8, Checker: checkers[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked.Quality > unchecked.Quality+1e-12 {
+		t.Errorf("checked quality %.4f worse than unchecked %.4f", checked.Quality, unchecked.Quality)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	m := sharedMeasurer(t)
+	if _, err := m.Measure(tune.Point{Datapath: "warp", Batch: 1, Checker: "none"}); err == nil {
+		t.Error("unknown datapath accepted")
+	}
+	if _, err := m.Measure(tune.Point{Datapath: "exp", Batch: 0, Checker: "none"}); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if _, err := m.Measure(tune.Point{Datapath: "exp", Batch: 1, Checker: "evp"}); err == nil {
+		t.Error("unknown checker accepted")
+	}
+	if _, err := m.Measure(tune.Point{Datapath: "fixed", LUTBits: 99, Batch: 1, Checker: "none"}); err == nil {
+		t.Error("out-of-range lutBits accepted")
+	}
+}
+
+func TestNewBundleMeasurerValidates(t *testing.T) {
+	b, corpus := sharedArtifacts(t)
+	if _, err := NewBundleMeasurer(nil, corpus, 0.1, Config{}); err == nil {
+		t.Error("nil bundle accepted")
+	}
+	if _, err := NewBundleMeasurer(b, nil, 0.1, Config{}); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	bad := *corpus
+	bad.Kernel = "sobel"
+	if _, err := NewBundleMeasurer(b, &bad, 0.1, Config{}); err == nil ||
+		!strings.Contains(err.Error(), "corpus") {
+		t.Errorf("mismatched corpus accepted: %v", err)
+	}
+	m, err := NewBundleMeasurer(b, corpus, 0, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TOQ() != 0.10 {
+		t.Errorf("default TOQ = %v, want 0.10", m.TOQ())
+	}
+	if m.cfg.BenchTime != DefaultBenchTime {
+		t.Errorf("default BenchTime = %v", m.cfg.BenchTime)
+	}
+	if m.Spec().Name != "fft" {
+		t.Errorf("Spec() = %s", m.Spec().Name)
+	}
+}
+
+// A tiny end-to-end sweep over the real measurer: the emitted frontier must
+// be non-empty, valid and loadable.
+func TestSweepWithBundleMeasurer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real timed sweep")
+	}
+	m := sharedMeasurer(t)
+	m.cfg.MaxCorpus = 32
+	checkers := m.CheckerNames()
+	axes := tune.Axes{
+		Datapaths: []string{"exp", "fixed"},
+		Batches:   []int{1, 64},
+		LUTBits:   []int{8, 10},
+		Checkers:  checkers[:1],
+	}
+	rep, err := tune.Sweep("fft", axes, m, tune.SweepConfig{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	f, err := tune.NewFrontier([]*tune.SweepReport{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

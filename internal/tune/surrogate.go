@@ -1,0 +1,386 @@
+package tune
+
+import (
+	"math"
+	"sort"
+)
+
+// Surrogate models of the sweep (the autoAx trick): a linear least-squares
+// model over the combo axes — datapath one-hots, activation-table step
+// (2^-lutBits), checker one-hots — plus a monotone batch-shape spline fitted
+// by isotonic regression on the reference combo's measured cost curve.
+// Quality is batch-invariant by construction (the batch kernels are
+// bit-identical across batch sizes), so the quality surrogate is a function
+// of the combo alone; cost is per-combo affine in the shared shape:
+// ns(c, b) ≈ u_c + v_c · s(b), calibrated through the combo's measured batch
+// endpoints or, for combos with no measurements at all, through linear-model
+// predictions of those endpoints.
+
+// surrogates is the fitted model set; predict returns (quality, nsPerElem).
+type surrogates struct {
+	axes    Axes
+	batchLo int
+	batchHi int
+
+	// shape maps a batch size to the monotone (non-increasing) normalised
+	// cost shape, s(batchHi) = 1.
+	shape map[int]float64
+
+	// Per-combo observed data.
+	comboQuality map[combo]float64          // mean measured quality
+	comboNs      map[combo]map[int]float64  // batch -> measured ns
+	// Linear models over combo features.
+	qualityModel []float64
+	nsLoModel    []float64
+	nsHiModel    []float64
+	featIndex    map[string]int
+}
+
+// fitSurrogates builds the model set from the measurements taken so far.
+func fitSurrogates(grid []Point, axes Axes, measured map[int]Measurement) *surrogates {
+	s := &surrogates{
+		axes:         axes,
+		batchLo:      axes.Batches[0],
+		batchHi:      axes.Batches[len(axes.Batches)-1],
+		comboQuality: map[combo]float64{},
+		comboNs:      map[combo]map[int]float64{},
+	}
+	counts := map[combo]int{}
+	for i, meas := range measured {
+		c := grid[i].combo()
+		counts[c]++
+		s.comboQuality[c] += meas.Quality
+		if s.comboNs[c] == nil {
+			s.comboNs[c] = map[int]float64{}
+		}
+		s.comboNs[c][grid[i].Batch] = meas.NsPerElem
+	}
+	for c, n := range counts {
+		s.comboQuality[c] /= float64(n)
+	}
+
+	s.fitShape()
+	s.fitLinearModels()
+	return s
+}
+
+// fitShape derives the monotone batch-shape spline from the combo with the
+// most measured batches (the seed's reference curve), normalised to the
+// largest batch and clamped non-increasing by isotonic regression. Batches
+// the reference never measured interpolate linearly between neighbours.
+func (s *surrogates) fitShape() {
+	var ref combo
+	best := 0
+	// Deterministic choice: most measured batches, ties by combo order in a
+	// sorted walk.
+	combos := make([]combo, 0, len(s.comboNs))
+	for c := range s.comboNs {
+		combos = append(combos, c)
+	}
+	sort.Slice(combos, func(i, j int) bool {
+		a, b := combos[i], combos[j]
+		if a.Datapath != b.Datapath {
+			return a.Datapath < b.Datapath
+		}
+		if a.LUTBits != b.LUTBits {
+			return a.LUTBits < b.LUTBits
+		}
+		return a.Checker < b.Checker
+	})
+	for _, c := range combos {
+		if n := len(s.comboNs[c]); n > best {
+			best, ref = n, c
+		}
+	}
+
+	s.shape = make(map[int]float64, len(s.axes.Batches))
+	if best == 0 {
+		for _, b := range s.axes.Batches {
+			s.shape[b] = 1
+		}
+		return
+	}
+	curve := s.comboNs[ref]
+	base := curve[s.batchHi]
+	if base <= 0 {
+		// No measurement at the top batch: normalise by the largest measured.
+		for _, v := range curve {
+			if v > base {
+				base = v
+			}
+		}
+		if base <= 0 {
+			base = 1
+		}
+	}
+	// Known shape values at measured batches, linear interpolation between
+	// them (flat extrapolation at the ends), then PAVA non-increasing.
+	vals := make([]float64, len(s.axes.Batches))
+	for i, b := range s.axes.Batches {
+		if v, ok := curve[b]; ok {
+			vals[i] = v / base
+			continue
+		}
+		vals[i] = math.NaN()
+	}
+	interpolateNaN(s.axes.Batches, vals)
+	iso := isotonicNonIncreasing(vals)
+	for i, b := range s.axes.Batches {
+		s.shape[b] = iso[i]
+	}
+}
+
+// fitLinearModels fits the least-squares models over combo features for
+// quality and for the cost endpoints.
+func (s *surrogates) fitLinearModels() {
+	s.featIndex = comboFeatureIndex(s.axes)
+	var X [][]float64
+	var yq, ylo, yhi []float64
+	for c, q := range s.comboQuality {
+		row := s.features(c)
+		X = append(X, row)
+		yq = append(yq, q)
+		ylo = append(ylo, s.nsAtOrScaled(c, s.batchLo))
+		yhi = append(yhi, s.nsAtOrScaled(c, s.batchHi))
+	}
+	if len(X) == 0 {
+		return
+	}
+	s.qualityModel = fitLinear(X, yq)
+	s.nsLoModel = fitLinear(X, ylo)
+	s.nsHiModel = fitLinear(X, yhi)
+}
+
+// nsAtOrScaled returns the combo's measured cost at batch b, shape-scaling
+// its nearest measured batch when b itself was not measured.
+func (s *surrogates) nsAtOrScaled(c combo, b int) float64 {
+	curve := s.comboNs[c]
+	if v, ok := curve[b]; ok {
+		return v
+	}
+	// Scale from any measured batch through the shape.
+	for _, mb := range s.axes.Batches {
+		if v, ok := curve[mb]; ok && s.shape[mb] > 0 {
+			return v * s.shape[b] / s.shape[mb]
+		}
+	}
+	return 0
+}
+
+// predict returns the surrogate (quality, nsPerElem) for a point.
+func (s *surrogates) predict(p Point) (float64, float64) {
+	c := p.combo()
+	q, haveQ := s.comboQuality[c]
+	if !haveQ {
+		q = evalLinear(s.qualityModel, s.features(c))
+	}
+	if q < 0 {
+		q = 0
+	}
+
+	lo := s.nsAtOrScaled(c, s.batchLo)
+	hi := s.nsAtOrScaled(c, s.batchHi)
+	if lo <= 0 || hi <= 0 {
+		lo = evalLinear(s.nsLoModel, s.features(c))
+		hi = evalLinear(s.nsHiModel, s.features(c))
+	}
+	ns := s.affineShape(lo, hi, p.Batch)
+	if ns < nsFloor {
+		ns = nsFloor
+	}
+	return q, ns
+}
+
+// nsFloor keeps predictions strictly positive; predicted costs below it are
+// clamped (a nanosecond per kiloelement is beyond any real datapath here).
+const nsFloor = 1e-3
+
+// affineShape evaluates ns(b) = u + v·s(b) with (u, v) solved from the
+// endpoint values lo = ns(batchLo), hi = ns(batchHi).
+func (s *surrogates) affineShape(lo, hi float64, batch int) float64 {
+	sLo, sHi := s.shape[s.batchLo], s.shape[s.batchHi]
+	sB, ok := s.shape[batch]
+	if !ok {
+		sB = 1
+	}
+	den := sLo - sHi
+	if den <= 1e-12 {
+		return hi
+	}
+	// With s normalised to s(batchHi)=1: v = (lo-hi)/(sLo-1), u = hi - v.
+	v := (lo - hi) / den
+	u := hi - v*sHi
+	return u + v*sB
+}
+
+// features encodes a combo for the linear models.
+func (s *surrogates) features(c combo) []float64 {
+	row := make([]float64, len(s.featIndex))
+	row[s.featIndex["intercept"]] = 1
+	if i, ok := s.featIndex["dp:"+c.Datapath]; ok {
+		row[i] = 1
+	}
+	if i, ok := s.featIndex["chk:"+c.Checker]; ok {
+		row[i] = 1
+	}
+	if i, ok := s.featIndex["step"]; ok && c.LUTBits > 0 {
+		// The activation-table step is the resolution knob quality scales
+		// with: step 2^-bits.
+		row[i] = math.Pow(2, -float64(c.LUTBits))
+	}
+	return row
+}
+
+// comboFeatureIndex assigns feature columns for the axes.
+func comboFeatureIndex(axes Axes) map[string]int {
+	idx := map[string]int{"intercept": 0}
+	n := 1
+	for _, dp := range axes.Datapaths {
+		idx["dp:"+dp] = n
+		n++
+	}
+	for _, chk := range axes.Checkers {
+		idx["chk:"+chk] = n
+		n++
+	}
+	idx["step"] = n
+	return idx
+}
+
+// interpolateNaN fills NaN holes in vals by linear interpolation over the
+// batch axis, with flat extrapolation at the ends.
+func interpolateNaN(batches []int, vals []float64) {
+	n := len(vals)
+	for i := 0; i < n; i++ {
+		if !math.IsNaN(vals[i]) {
+			continue
+		}
+		lo := i - 1
+		for lo >= 0 && math.IsNaN(vals[lo]) {
+			lo--
+		}
+		hi := i + 1
+		for hi < n && math.IsNaN(vals[hi]) {
+			hi++
+		}
+		switch {
+		case lo < 0 && hi >= n:
+			vals[i] = 1
+		case lo < 0:
+			vals[i] = vals[hi]
+		case hi >= n:
+			vals[i] = vals[lo]
+		default:
+			t := float64(batches[i]-batches[lo]) / float64(batches[hi]-batches[lo])
+			vals[i] = vals[lo] + t*(vals[hi]-vals[lo])
+		}
+	}
+}
+
+// isotonicNonIncreasing returns the least-squares non-increasing fit of vals
+// (pool-adjacent-violators on the negated sequence).
+func isotonicNonIncreasing(vals []float64) []float64 {
+	n := len(vals)
+	// Blocks of (sum, count) pooled left to right enforcing non-increase.
+	sums := make([]float64, 0, n)
+	counts := make([]int, 0, n)
+	for _, v := range vals {
+		sums = append(sums, v)
+		counts = append(counts, 1)
+		// Pool while the previous block mean is below the current one
+		// (violating non-increasing order).
+		for len(sums) > 1 {
+			k := len(sums)
+			if sums[k-2]/float64(counts[k-2]) >= sums[k-1]/float64(counts[k-1]) {
+				break
+			}
+			sums[k-2] += sums[k-1]
+			counts[k-2] += counts[k-1]
+			sums = sums[:k-1]
+			counts = counts[:k-1]
+		}
+	}
+	out := make([]float64, 0, n)
+	for i, s := range sums {
+		mean := s / float64(counts[i])
+		for j := 0; j < counts[i]; j++ {
+			out = append(out, mean)
+		}
+	}
+	return out
+}
+
+// fitLinear solves the ridge-regularised normal equations (XᵀX + λI)β = Xᵀy
+// by Gaussian elimination with partial pivoting. The tiny λ keeps the system
+// solvable when feature columns are collinear (one-hot groups always are).
+func fitLinear(X [][]float64, y []float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	const lambda = 1e-9
+	// A = XᵀX + λI, b = Xᵀy.
+	A := make([][]float64, d)
+	b := make([]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+		A[i][i] = lambda
+	}
+	for r, row := range X {
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			b[i] += row[i] * y[r]
+			for j := 0; j < d; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	// Gaussian elimination.
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		p := A[col][col]
+		if math.Abs(p) < 1e-15 {
+			continue
+		}
+		for r := 0; r < d; r++ {
+			if r == col || A[r][col] == 0 {
+				continue
+			}
+			f := A[r][col] / p
+			for j := col; j < d; j++ {
+				A[r][j] -= f * A[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	beta := make([]float64, d)
+	for i := 0; i < d; i++ {
+		if math.Abs(A[i][i]) >= 1e-15 {
+			beta[i] = b[i] / A[i][i]
+		}
+	}
+	return beta
+}
+
+// evalLinear evaluates a fitted model; a nil model predicts 0.
+func evalLinear(beta, row []float64) float64 {
+	if beta == nil {
+		return 0
+	}
+	s := 0.0
+	for i, v := range row {
+		if i < len(beta) {
+			s += beta[i] * v
+		}
+	}
+	return s
+}

@@ -1,0 +1,504 @@
+// Package tune is the offline design-space autotuner (rumba-tune): per
+// kernel it sweeps datapath (exp / LUT / fixed-point Q16.16) × batch size ×
+// activation-table resolution × checker family, measures delivered quality on
+// the package golden corpus and cost through the bench harness, and emits a
+// versioned, checksummed Pareto-frontier artifact the serving layer loads to
+// pick each tenant's cheapest operating point under its TOQ and p99 SLO.
+//
+// The sweep follows the autoAx recipe: exhaustive measurement of the grid is
+// the ground truth but most of it is spent on points a cheap model can tell
+// are dominated. Sweep therefore measures a structured seed (every
+// lutBits-endpoint combo at the batch endpoints, plus one full batch curve),
+// fits surrogates — a linear least-squares model over the combo axes and a
+// monotone isotonic batch-shape spline (surrogate.go) — predicts the rest of
+// the grid, prunes points that are predicted dominated by at least the
+// safety margin on every objective, and spends the remaining measurement
+// budget (≤ MaxEvalFraction of the grid) on the surviving points,
+// predicted-Pareto first. Survivors the budget never reaches keep their
+// predicted values and are marked so (Point.Measured=false, the obs layer
+// compares predicted vs delivered cost online).
+//
+// Dominance is three-objective: delivered quality (corpus error, lower is
+// better), steady-state cost (ns per element, lower is better) and chunk
+// latency (ns/elem × batch — the p99 building block; lower is better). The
+// third axis is why a frontier keeps points at several batch sizes: a tight
+// p99 SLO excludes wide batches even when they are cheapest per element.
+package tune
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Datapath names of the sweep axis; they match accel.ApplyDatapath.
+const (
+	DatapathExp   = "exp"
+	DatapathLUT   = "lut"
+	DatapathFixed = "fixed"
+)
+
+// Point is one design point: a configuration half (the swept axes) and a
+// measurement half (quality/cost, measured or surrogate-predicted).
+type Point struct {
+	Datapath string `json:"datapath"`
+	// LUTBits is the activation-table resolution exponent (entries per unit
+	// = 2^LUTBits): swept for the fixed datapath, pinned to 10 for lut (the
+	// float table pitch), 0 for exp.
+	LUTBits int `json:"lutBits,omitempty"`
+	Batch   int `json:"batch"`
+	// Checker is the error-predictor family run alongside ("linear",
+	// "tree", "ema", or "none" for unchecked).
+	Checker string `json:"checker"`
+
+	// Quality is the delivered corpus error replaying the golden corpus at
+	// the package TOQ with this configuration; lower is better.
+	Quality float64 `json:"quality"`
+	// NsPerElem is the steady-state cost of one element (accelerator +
+	// checker) at this batch size.
+	NsPerElem float64 `json:"nsPerElem"`
+	// ChunkNs is NsPerElem × Batch: the latency a caller pays to fill one
+	// chunk, the quantity a p99 SLO bounds.
+	ChunkNs float64 `json:"chunkNs"`
+	// Measured is false when Quality/NsPerElem come from the surrogate
+	// models rather than measurement.
+	Measured bool `json:"measured"`
+}
+
+// combo identifies the batch-invariant half of a configuration.
+type combo struct {
+	Datapath string
+	LUTBits  int
+	Checker  string
+}
+
+func (p Point) combo() combo { return combo{p.Datapath, p.LUTBits, p.Checker} }
+
+// Key names the configuration half uniquely; frontier consumers use it for
+// identity and the trace layer as the span attribute.
+func (p Point) Key() string {
+	if p.LUTBits == 0 {
+		return fmt.Sprintf("%s/b%d/%s", p.Datapath, p.Batch, p.Checker)
+	}
+	return fmt.Sprintf("%s/lut%d/b%d/%s", p.Datapath, p.LUTBits, p.Batch, p.Checker)
+}
+
+// Axes is the swept design space.
+type Axes struct {
+	// Datapaths to sweep (subset of exp/lut/fixed).
+	Datapaths []string `json:"datapaths"`
+	// Batches to sweep, ascending.
+	Batches []int `json:"batches"`
+	// LUTBits resolutions swept for the fixed datapath, ascending.
+	LUTBits []int `json:"lutBits"`
+	// Checkers are the predictor families to sweep.
+	Checkers []string `json:"checkers"`
+}
+
+// DefaultAxes is the stock design space over the given checker families.
+func DefaultAxes(checkers []string) Axes {
+	return Axes{
+		Datapaths: []string{DatapathExp, DatapathLUT, DatapathFixed},
+		Batches:   []int{1, 8, 32, 64, 128, 256},
+		LUTBits:   []int{6, 8, 10, 12},
+		Checkers:  checkers,
+	}
+}
+
+// Validate checks the axes are sweepable.
+func (a Axes) Validate() error {
+	if len(a.Datapaths) == 0 || len(a.Batches) == 0 || len(a.Checkers) == 0 {
+		return fmt.Errorf("tune: axes need at least one datapath, batch and checker")
+	}
+	for _, d := range a.Datapaths {
+		switch d {
+		case DatapathExp, DatapathLUT, DatapathFixed:
+		default:
+			return fmt.Errorf("tune: unknown datapath %q", d)
+		}
+		if d == DatapathFixed && len(a.LUTBits) == 0 {
+			return fmt.Errorf("tune: fixed datapath needs at least one LUTBits value")
+		}
+	}
+	for i, b := range a.Batches {
+		if b < 1 || (i > 0 && b <= a.Batches[i-1]) {
+			return fmt.Errorf("tune: batches must be ascending and >= 1, got %v", a.Batches)
+		}
+	}
+	for i, b := range a.LUTBits {
+		if i > 0 && b <= a.LUTBits[i-1] {
+			return fmt.Errorf("tune: lutBits must be ascending, got %v", a.LUTBits)
+		}
+	}
+	return nil
+}
+
+// lutBitsFor returns the table-resolution axis swept for a datapath: the
+// full LUTBits list for fixed, the float table pitch for lut, none for exp.
+func (a Axes) lutBitsFor(datapath string) []int {
+	switch datapath {
+	case DatapathFixed:
+		return a.LUTBits
+	case DatapathLUT:
+		return []int{10}
+	default:
+		return []int{0}
+	}
+}
+
+// Grid enumerates the full design space in deterministic order.
+func (a Axes) Grid() []Point {
+	var grid []Point
+	for _, dp := range a.Datapaths {
+		for _, bits := range a.lutBitsFor(dp) {
+			for _, chk := range a.Checkers {
+				for _, b := range a.Batches {
+					grid = append(grid, Point{Datapath: dp, LUTBits: bits, Batch: b, Checker: chk})
+				}
+			}
+		}
+	}
+	return grid
+}
+
+// Measurement is what a Measurer reports for one design point.
+type Measurement struct {
+	// Quality is the delivered corpus error at the package TOQ.
+	Quality float64
+	// NsPerElem is the steady-state per-element cost.
+	NsPerElem float64
+}
+
+// Measurer measures one design point. Implementations: the package/bundle
+// measurer in internal/tune/measure (corpus replay + wall-clock bench) and
+// the synthetic models of the property tests.
+type Measurer interface {
+	Measure(Point) (Measurement, error)
+}
+
+// SweepConfig tunes the surrogate pass.
+type SweepConfig struct {
+	// Margin is the relative safety margin of the prune: a point is dropped
+	// only when some other point beats its prediction by at least this
+	// fraction on cost and chunk latency and is at least as good on quality
+	// by the same relative margin. 0 selects DefaultMargin.
+	Margin float64
+	// MaxEvalFraction caps measurer calls at this fraction of the grid.
+	// 0 selects DefaultMaxEvalFraction. Ignored when Exhaustive.
+	MaxEvalFraction float64
+	// Exhaustive measures every grid point and skips the surrogate pass —
+	// the ground-truth mode the property tests compare against.
+	Exhaustive bool
+}
+
+const (
+	// DefaultMargin is the stock prune safety margin.
+	DefaultMargin = 0.15
+	// DefaultMaxEvalFraction is the stock measurement budget: half the grid,
+	// the acceptance bound of the surrogate pass.
+	DefaultMaxEvalFraction = 0.5
+)
+
+// SweepReport is the result of sweeping one kernel.
+type SweepReport struct {
+	Kernel   string `json:"kernel"`
+	GridSize int    `json:"gridSize"`
+	// Evaluated counts measurer calls (≤ MaxEvalFraction × GridSize unless
+	// Exhaustive).
+	Evaluated int `json:"evaluated"`
+	// Pruned counts grid points dropped by the surrogate pass.
+	Pruned int `json:"pruned"`
+	// PredictedOnly counts surviving points the budget never measured; they
+	// carry surrogate values (Measured=false).
+	PredictedOnly int `json:"predictedOnly"`
+	// Points are the surviving design points, in grid order.
+	Points []Point `json:"points"`
+	// Frontier is the Pareto subset of Points over (Quality, NsPerElem,
+	// ChunkNs), sorted by NsPerElem ascending.
+	Frontier []Point `json:"frontier"`
+}
+
+// Sweep explores the design space of one kernel. See the package comment for
+// the algorithm.
+func Sweep(kernel string, axes Axes, m Measurer, cfg SweepConfig) (*SweepReport, error) {
+	if err := axes.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Margin == 0 {
+		cfg.Margin = DefaultMargin
+	}
+	if cfg.MaxEvalFraction == 0 {
+		cfg.MaxEvalFraction = DefaultMaxEvalFraction
+	}
+	if cfg.Margin < 0 || cfg.Margin >= 1 || cfg.MaxEvalFraction <= 0 || cfg.MaxEvalFraction > 1 {
+		return nil, fmt.Errorf("tune: bad sweep config %+v", cfg)
+	}
+
+	grid := axes.Grid()
+	rep := &SweepReport{Kernel: kernel, GridSize: len(grid)}
+	measured := map[int]Measurement{} // grid index -> measurement
+	measure := func(i int) error {
+		if _, ok := measured[i]; ok {
+			return nil
+		}
+		meas, err := m.Measure(grid[i])
+		if err != nil {
+			return fmt.Errorf("tune: measuring %s: %w", grid[i].Key(), err)
+		}
+		if !isFiniteMeasurement(meas) {
+			return fmt.Errorf("tune: non-finite measurement for %s: %+v", grid[i].Key(), meas)
+		}
+		measured[i] = meas
+		rep.Evaluated++
+		return nil
+	}
+
+	if cfg.Exhaustive {
+		for i := range grid {
+			if err := measure(i); err != nil {
+				return nil, err
+			}
+		}
+		finishReport(rep, grid, measured, nil)
+		return rep, nil
+	}
+
+	budget := int(cfg.MaxEvalFraction * float64(len(grid)))
+	if budget < 1 {
+		budget = 1
+	}
+
+	// Seed: every lutBits-endpoint combo at the batch endpoints, plus the
+	// reference combo's full batch curve for the shape spline.
+	seeds := seedIndices(grid, axes)
+	for _, i := range seeds {
+		if rep.Evaluated >= budget {
+			break
+		}
+		if err := measure(i); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fit surrogates and predict every unmeasured point.
+	sur := fitSurrogates(grid, axes, measured)
+	value := func(i int) (q, ns float64) {
+		if meas, ok := measured[i]; ok {
+			return meas.Quality, meas.NsPerElem
+		}
+		return sur.predict(grid[i])
+	}
+
+	// Prune: drop points predicted dominated by at least the margin on every
+	// objective by some other point.
+	pruned := make([]bool, len(grid))
+	for i := range grid {
+		qi, ni := value(i)
+		ci := ni * float64(grid[i].Batch)
+		for j := range grid {
+			if i == j {
+				continue
+			}
+			qj, nj := value(j)
+			cj := nj * float64(grid[j].Batch)
+			if qj <= qi*(1-cfg.Margin)+qualityFloor &&
+				nj <= ni*(1-cfg.Margin) &&
+				cj <= ci*(1-cfg.Margin) {
+				pruned[i] = true
+				rep.Pruned++
+				break
+			}
+		}
+	}
+
+	// Spend the remaining budget on surviving unmeasured points,
+	// predicted-Pareto first, then cheapest-predicted first.
+	var unmeasured []int
+	for i := range grid {
+		if _, ok := measured[i]; !ok && !pruned[i] {
+			unmeasured = append(unmeasured, i)
+		}
+	}
+	predPareto := predictedParetoSet(grid, unmeasured, value)
+	sort.SliceStable(unmeasured, func(x, y int) bool {
+		i, j := unmeasured[x], unmeasured[y]
+		if predPareto[i] != predPareto[j] {
+			return predPareto[i]
+		}
+		_, ni := value(i)
+		_, nj := value(j)
+		if ni != nj { //rumba:allow floatcmp sort tiebreak, not a correctness comparison
+			return ni < nj
+		}
+		return i < j
+	})
+	for _, i := range unmeasured {
+		if rep.Evaluated >= budget {
+			break
+		}
+		if err := measure(i); err != nil {
+			return nil, err
+		}
+	}
+
+	finishReport(rep, grid, measured, func(i int) (Point, bool) {
+		if pruned[i] {
+			return Point{}, false
+		}
+		p := grid[i]
+		if meas, ok := measured[i]; ok {
+			p.Quality, p.NsPerElem, p.Measured = meas.Quality, meas.NsPerElem, true
+		} else {
+			p.Quality, p.NsPerElem = sur.predict(p)
+			rep.PredictedOnly++
+		}
+		p.ChunkNs = p.NsPerElem * float64(p.Batch)
+		return p, true
+	})
+	return rep, nil
+}
+
+// qualityFloor is the absolute slack added to the relative quality margin so
+// a zero-error point cannot be "beaten" only by floating-point dust.
+const qualityFloor = 1e-12
+
+func isFiniteMeasurement(m Measurement) bool {
+	return !math.IsNaN(m.Quality) && !math.IsInf(m.Quality, 0) && m.Quality >= 0 &&
+		!math.IsNaN(m.NsPerElem) && !math.IsInf(m.NsPerElem, 0) && m.NsPerElem > 0
+}
+
+// finishReport materialises Points and Frontier. build maps a grid index to
+// its surviving Point; nil means "all measured, exhaustive".
+func finishReport(rep *SweepReport, grid []Point, measured map[int]Measurement, build func(int) (Point, bool)) {
+	for i := range grid {
+		var p Point
+		if build == nil {
+			meas := measured[i]
+			p = grid[i]
+			p.Quality, p.NsPerElem, p.Measured = meas.Quality, meas.NsPerElem, true
+			p.ChunkNs = p.NsPerElem * float64(p.Batch)
+		} else {
+			var ok bool
+			if p, ok = build(i); !ok {
+				continue
+			}
+		}
+		rep.Points = append(rep.Points, p)
+	}
+	rep.Frontier = Pareto(rep.Points)
+}
+
+// Pareto returns the non-dominated subset of points over (Quality,
+// NsPerElem, ChunkNs), weak dominance, sorted by NsPerElem ascending
+// (quality descending on ties). Duplicate objective vectors keep their first
+// occurrence.
+func Pareto(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p) || (j < i && equalObjectives(q, p)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].NsPerElem != out[j].NsPerElem { //rumba:allow floatcmp sort ordering, not a correctness comparison
+			return out[i].NsPerElem < out[j].NsPerElem
+		}
+		return out[i].Quality < out[j].Quality
+	})
+	return out
+}
+
+// dominates reports whether a weakly dominates b with at least one strict
+// objective.
+func dominates(a, b Point) bool {
+	if a.Quality > b.Quality || a.NsPerElem > b.NsPerElem || a.ChunkNs > b.ChunkNs {
+		return false
+	}
+	return a.Quality < b.Quality || a.NsPerElem < b.NsPerElem || a.ChunkNs < b.ChunkNs
+}
+
+func equalObjectives(a, b Point) bool {
+	return a.Quality == b.Quality && a.NsPerElem == b.NsPerElem && a.ChunkNs == b.ChunkNs //rumba:allow floatcmp duplicate-vector dedupe
+}
+
+// predictedParetoSet marks which of the given grid indices are Pareto among
+// themselves under predicted values.
+func predictedParetoSet(grid []Point, idx []int, value func(int) (float64, float64)) map[int]bool {
+	pts := make([]Point, len(idx))
+	for k, i := range idx {
+		q, ns := value(i)
+		pts[k] = Point{Quality: q, NsPerElem: ns, ChunkNs: ns * float64(grid[i].Batch)}
+	}
+	out := make(map[int]bool, len(idx))
+	for k, i := range idx {
+		dominated := false
+		for l := range pts {
+			if l != k && dominates(pts[l], pts[k]) {
+				dominated = true
+				break
+			}
+		}
+		out[i] = !dominated
+	}
+	return out
+}
+
+// seedIndices picks the structured seed of the surrogate pass: for each
+// datapath × checker, the lutBits endpoints; each such combo at the batch
+// endpoints; plus the full batch curve of the first combo (the shape
+// reference). Indices are deterministic and deduplicated, in grid order.
+func seedIndices(grid []Point, axes Axes) []int {
+	byKey := make(map[string]int, len(grid))
+	for i, p := range grid {
+		byKey[p.Key()] = i
+	}
+	batchLo, batchHi := axes.Batches[0], axes.Batches[len(axes.Batches)-1]
+	var keys []string
+	addKey := func(p Point) { keys = append(keys, p.Key()) }
+	first := true
+	for _, dp := range axes.Datapaths {
+		bitsAxis := axes.lutBitsFor(dp)
+		endpoints := []int{bitsAxis[0]}
+		if last := bitsAxis[len(bitsAxis)-1]; last != endpoints[0] {
+			endpoints = append(endpoints, last)
+		}
+		for _, bits := range endpoints {
+			for _, chk := range axes.Checkers {
+				p := Point{Datapath: dp, LUTBits: bits, Checker: chk}
+				if first {
+					// Shape reference: the whole batch curve.
+					for _, b := range axes.Batches {
+						p.Batch = b
+						addKey(p)
+					}
+					first = false
+					continue
+				}
+				p.Batch = batchLo
+				addKey(p)
+				p.Batch = batchHi
+				addKey(p)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range keys {
+		if i, ok := byKey[k]; ok && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,483 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumba/internal/bench"
+	"rumba/internal/rng"
+)
+
+// syntheticMeasurer is a deterministic analytic quality/cost model shaped
+// like the real datapaths: exp pays the transcendental, lut trades a table
+// error for speed, fixed is cheapest with a resolution-dependent error,
+// checkers add cost and remove error, and per-element cost amortises like
+// 1 + overhead/batch. Every value is a pure function of the design point
+// (noise is keyed on the point, not on call order), so the exhaustive and
+// pruned sweeps observe identical measurements — the property the
+// surrogate-prune test needs.
+type syntheticMeasurer struct {
+	label    string  // seeds the deterministic noise streams
+	macs     float64 // topology size scales the base cost
+	noiseAmp float64 // bounded relative noise on both objectives
+	calls    int
+}
+
+func (m *syntheticMeasurer) noise(key string) float64 {
+	if m.noiseAmp == 0 {
+		return 0
+	}
+	return rng.NewNamed(m.label + "/" + key).Range(-m.noiseAmp, m.noiseAmp)
+}
+
+func (m *syntheticMeasurer) Measure(p Point) (Measurement, error) {
+	m.calls++
+	var base, q float64
+	switch p.Datapath {
+	case DatapathExp:
+		base, q = 4.0, 0.020
+	case DatapathLUT:
+		base, q = 1.6, 0.024
+	case DatapathFixed:
+		base = 0.8 + 0.04*float64(p.LUTBits)
+		q = 0.028 + 3.0*math.Pow(2, -float64(p.LUTBits))
+	default:
+		return Measurement{}, fmt.Errorf("unknown datapath %q", p.Datapath)
+	}
+	base *= m.macs / 100
+	var chkCost, chkEff float64
+	switch p.Checker {
+	case "tree":
+		chkCost, chkEff = 0.9, 0.55
+	case "linear":
+		chkCost, chkEff = 0.4, 0.75
+	case "ema":
+		chkCost, chkEff = 0.2, 0.95
+	default:
+		chkCost, chkEff = 0, 1.0
+	}
+	comboKey := fmt.Sprintf("%s/%d/%s", p.Datapath, p.LUTBits, p.Checker)
+	quality := q * chkEff * (1 + m.noise("q/"+comboKey))
+	overhead := 5.0 * (1 + m.noise("oh/"+comboKey)/2)
+	ns := (base + chkCost*m.macs/100) * (1 + overhead/float64(p.Batch))
+	ns *= 1 + m.noise("ns/"+p.Key())
+	return Measurement{Quality: quality, NsPerElem: ns}, nil
+}
+
+// benchTopoMACs returns the MAC counts of the real bench kernel topologies —
+// the "small bench topologies" the property test sweeps the synthetic model
+// over.
+func benchTopoMACs(t *testing.T) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, s := range bench.All() {
+		out[s.Name] = float64(s.RumbaTopo.MACs())
+	}
+	if len(out) < 5 {
+		t.Fatalf("expected the seven bench kernels, got %d", len(out))
+	}
+	return out
+}
+
+// TestSweepSurrogatePreservesParetoPoints is the satellite property test: on
+// every bench topology's cost model (and across noise seeds), no point the
+// exhaustive sweep measures as Pareto-optimal may be pruned by the surrogate
+// pass, and the pruned sweep must evaluate at most half the grid.
+func TestSweepSurrogatePreservesParetoPoints(t *testing.T) {
+	axes := DefaultAxes([]string{"linear", "tree", "ema"})
+	totalPruned := 0
+	for name, macs := range benchTopoMACs(t) {
+		for seed := 0; seed < 3; seed++ {
+			label := fmt.Sprintf("%s/seed%d", name, seed)
+			mkMeasurer := func() *syntheticMeasurer {
+				return &syntheticMeasurer{label: label, macs: macs, noiseAmp: 0.01}
+			}
+
+			exh, err := Sweep(name, axes, mkMeasurer(), SweepConfig{Exhaustive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exh.Evaluated != exh.GridSize || len(exh.Points) != exh.GridSize {
+				t.Fatalf("%s: exhaustive sweep measured %d of %d", label, exh.Evaluated, exh.GridSize)
+			}
+
+			pruned, err := Sweep(name, axes, mkMeasurer(), SweepConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pruned.Evaluated > exh.GridSize/2 {
+				t.Fatalf("%s: surrogate pass evaluated %d of %d (> 50%%)", label, pruned.Evaluated, exh.GridSize)
+			}
+			totalPruned += pruned.Pruned
+
+			surviving := map[string]Point{}
+			for _, p := range pruned.Points {
+				surviving[p.Key()] = p
+			}
+			for _, want := range exh.Frontier {
+				got, ok := surviving[want.Key()]
+				if !ok {
+					t.Errorf("%s: true-Pareto point %s was pruned by the surrogate pass", label, want.Key())
+					continue
+				}
+				// When the budget did measure a surviving true-Pareto point,
+				// its values must be the exhaustive ground truth (the
+				// measurer is deterministic per point).
+				if got.Measured && math.Abs(got.NsPerElem-want.NsPerElem) > 1e-12 {
+					t.Errorf("%s: %s measured %v vs exhaustive %v", label, want.Key(), got.NsPerElem, want.NsPerElem)
+				}
+			}
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("surrogate pass pruned nothing across every topology and seed — the prune is inert")
+	}
+}
+
+// TestSweepFixedDominatesExp pins the acceptance shape on the synthetic
+// model: at batch >= 64 the fixed datapath strictly beats exp on ns/elem,
+// and the frontier records it.
+func TestSweepFixedDominatesExp(t *testing.T) {
+	axes := DefaultAxes([]string{"linear", "tree"})
+	m := &syntheticMeasurer{label: "dom", macs: 88, noiseAmp: 0.005}
+	rep, err := Sweep("fft", axes, m, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestExp, bestFixed := math.Inf(1), math.Inf(1)
+	for _, p := range rep.Points {
+		if p.Batch < 64 {
+			continue
+		}
+		switch p.Datapath {
+		case DatapathExp:
+			if p.NsPerElem < bestExp {
+				bestExp = p.NsPerElem
+			}
+		case DatapathFixed:
+			if p.NsPerElem < bestFixed {
+				bestFixed = p.NsPerElem
+			}
+		}
+	}
+	if !(bestFixed < bestExp) {
+		t.Fatalf("fixed (%v ns/elem) does not dominate exp (%v ns/elem) at batch >= 64", bestFixed, bestExp)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+}
+
+// TestSweepExhaustiveFrontierSane checks frontier structure on the
+// exhaustive sweep: sorted by cost, mutually non-dominated, subset of points.
+func TestSweepExhaustiveFrontierSane(t *testing.T) {
+	axes := Axes{
+		Datapaths: []string{DatapathExp, DatapathFixed},
+		Batches:   []int{1, 64},
+		LUTBits:   []int{8, 12},
+		Checkers:  []string{"linear"},
+	}
+	m := &syntheticMeasurer{label: "sane", macs: 100}
+	rep, err := Sweep("k", axes, m, SweepConfig{Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Frontier); i++ {
+		if rep.Frontier[i].NsPerElem < rep.Frontier[i-1].NsPerElem {
+			t.Fatal("frontier not sorted by NsPerElem")
+		}
+	}
+	for i, a := range rep.Frontier {
+		for j, b := range rep.Frontier {
+			if i != j && dominates(a, b) {
+				t.Fatalf("frontier point %s dominates frontier point %s", a.Key(), b.Key())
+			}
+		}
+	}
+}
+
+// TestSweepErrors pins config/measurement validation.
+func TestSweepErrors(t *testing.T) {
+	good := DefaultAxes([]string{"linear"})
+	m := &syntheticMeasurer{label: "err", macs: 100}
+	if _, err := Sweep("k", Axes{}, m, SweepConfig{}); err == nil {
+		t.Error("empty axes must fail")
+	}
+	if _, err := Sweep("k", Axes{Datapaths: []string{"warp"}, Batches: []int{1}, Checkers: []string{"x"}}, m, SweepConfig{}); err == nil {
+		t.Error("unknown datapath must fail")
+	}
+	if _, err := Sweep("k", Axes{Datapaths: []string{DatapathFixed}, Batches: []int{1}, Checkers: []string{"x"}}, m, SweepConfig{}); err == nil {
+		t.Error("fixed without lutBits must fail")
+	}
+	if _, err := Sweep("k", Axes{Datapaths: []string{DatapathExp}, Batches: []int{4, 2}, Checkers: []string{"x"}}, m, SweepConfig{}); err == nil {
+		t.Error("non-ascending batches must fail")
+	}
+	if _, err := Sweep("k", Axes{Datapaths: []string{DatapathFixed}, Batches: []int{1}, LUTBits: []int{10, 8}, Checkers: []string{"x"}}, m, SweepConfig{}); err == nil {
+		t.Error("non-ascending lutBits must fail")
+	}
+	if _, err := Sweep("k", good, m, SweepConfig{Margin: 2}); err == nil {
+		t.Error("margin >= 1 must fail")
+	}
+	if _, err := Sweep("k", good, m, SweepConfig{MaxEvalFraction: 1.5}); err == nil {
+		t.Error("fraction > 1 must fail")
+	}
+	if _, err := Sweep("k", good, errMeasurer{}, SweepConfig{}); err == nil {
+		t.Error("measurer errors must propagate")
+	}
+	if _, err := Sweep("k", good, nanMeasurer{}, SweepConfig{}); err == nil {
+		t.Error("non-finite measurements must fail")
+	}
+}
+
+type errMeasurer struct{}
+
+func (errMeasurer) Measure(Point) (Measurement, error) { return Measurement{}, fmt.Errorf("boom") }
+
+type nanMeasurer struct{}
+
+func (nanMeasurer) Measure(Point) (Measurement, error) {
+	return Measurement{Quality: math.NaN(), NsPerElem: 1}, nil
+}
+
+// TestParetoBasics pins dominance corner cases.
+func TestParetoBasics(t *testing.T) {
+	mk := func(q, ns float64, b int) Point {
+		return Point{Quality: q, NsPerElem: ns, Batch: b, ChunkNs: ns * float64(b)}
+	}
+	pts := []Point{
+		mk(0.1, 100, 1),  // Pareto: best chunk latency among cheap-quality... dominated? see below
+		mk(0.1, 50, 64),  // cheaper, same quality, worse chunk: Pareto
+		mk(0.2, 200, 1),  // dominated by pts[0] on every axis
+		mk(0.05, 300, 1), // best quality: Pareto
+		mk(0.1, 100, 1),  // duplicate of pts[0]: deduped
+	}
+	fr := Pareto(pts)
+	keys := map[string]bool{}
+	for _, p := range fr {
+		keys[fmt.Sprintf("%v/%v/%v", p.Quality, p.NsPerElem, p.ChunkNs)] = true
+	}
+	if len(fr) != 3 {
+		t.Fatalf("frontier size %d, want 3: %+v", len(fr), fr)
+	}
+	if keys["0.2/200/200"] {
+		t.Fatal("dominated point survived")
+	}
+}
+
+// TestIsotonicNonIncreasing pins the PAVA fit.
+func TestIsotonicNonIncreasing(t *testing.T) {
+	got := isotonicNonIncreasing([]float64{5, 6, 3, 2, 2.5})
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1]+1e-12 {
+			t.Fatalf("not non-increasing: %v", got)
+		}
+	}
+	// Already monotone input is unchanged.
+	mono := []float64{9, 7, 7, 1}
+	got = isotonicNonIncreasing(mono)
+	for i := range mono {
+		if math.Abs(got[i]-mono[i]) > 1e-12 {
+			t.Fatalf("monotone input changed: %v -> %v", mono, got)
+		}
+	}
+}
+
+// TestFitLinearRecovers pins the least-squares solver on an exactly linear
+// target.
+func TestFitLinearRecovers(t *testing.T) {
+	X := [][]float64{{1, 0, 2}, {1, 1, 0}, {1, 1, 3}, {1, 0, 5}, {1, 1, 1}}
+	want := []float64{2, -1, 0.5}
+	y := make([]float64, len(X))
+	for i, row := range X {
+		for j := range row {
+			y[i] += row[j] * want[j]
+		}
+	}
+	got := fitLinear(X, y)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-6 {
+			t.Fatalf("beta = %v, want %v", got, want)
+		}
+	}
+	if fitLinear(nil, nil) != nil {
+		t.Fatal("empty fit should be nil")
+	}
+	if evalLinear(nil, []float64{1}) != 0 {
+		t.Fatal("nil model must predict 0")
+	}
+}
+
+func TestInterpolateNaN(t *testing.T) {
+	batches := []int{1, 2, 4, 8}
+	vals := []float64{math.NaN(), 4, math.NaN(), 1}
+	interpolateNaN(batches, vals)
+	if vals[0] != 4 || math.Abs(vals[2]-3) > 1e-12 {
+		t.Fatalf("interpolation wrong: %v", vals)
+	}
+	all := []float64{math.NaN(), math.NaN()}
+	interpolateNaN([]int{1, 2}, all)
+	if all[0] != 1 || all[1] != 1 {
+		t.Fatalf("all-NaN should fill 1: %v", all)
+	}
+}
+
+// TestFrontierRoundTrip: build → save → load, with tamper and version
+// rejection.
+func TestFrontierRoundTrip(t *testing.T) {
+	axes := DefaultAxes([]string{"linear", "tree"})
+	m := &syntheticMeasurer{label: "rt", macs: 88}
+	rep, err := Sweep("fft", axes, m, SweepConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFrontier([]*SweepReport{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFrontier([]*SweepReport{rep, rep}); err == nil {
+		t.Fatal("duplicate kernel must be rejected")
+	}
+	if _, err := NewFrontier([]*SweepReport{{}}); err == nil {
+		t.Fatal("unnamed report must be rejected")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, FrontierFile)
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFrontier(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Kernels["fft"].Points) != len(rep.Frontier) {
+		t.Fatal("frontier points lost in round trip")
+	}
+	if got := loaded.KernelNames(); len(got) != 1 || got[0] != "fft" {
+		t.Fatalf("KernelNames = %v", got)
+	}
+
+	// Tamper with a point: checksum must catch it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"datapath": "`, `"datapath": "x`, 1)
+	bad := filepath.Join(dir, "tampered.json")
+	if err := os.WriteFile(bad, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrontier(bad); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered artifact must fail the checksum, got %v", err)
+	}
+
+	// Future version must be rejected.
+	future := strings.Replace(string(data), `"formatVersion": 1`, `"formatVersion": 99`, 1)
+	badv := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(badv, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrontier(badv); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version must be rejected, got %v", err)
+	}
+	if _, err := LoadFrontier(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := LoadFrontier(bad + "x"); err == nil {
+		t.Fatal("unparseable file must error")
+	}
+}
+
+// TestFrontierSelect pins the SLA-selection rule.
+func TestFrontierSelect(t *testing.T) {
+	mk := func(dp string, batch int, chk string, q, ns float64) Point {
+		return Point{Datapath: dp, Batch: batch, Checker: chk,
+			Quality: q, NsPerElem: ns, ChunkNs: ns * float64(batch), Measured: true}
+	}
+	f := &Frontier{
+		FormatVersion: FormatVersion,
+		Kernels: map[string]KernelFrontier{
+			"fft": {Points: []Point{
+				mk(DatapathExp, 1, "tree", 0.01, 400),
+				mk(DatapathLUT, 64, "tree", 0.02, 150),
+				mk(DatapathFixed, 64, "linear", 0.12, 40),
+				mk(DatapathFixed, 256, "linear", 0.12, 30),
+			}},
+		},
+	}
+
+	// Loose TOQ, no SLO: the cheapest point wins.
+	p, idx, ok := f.Select("fft", "", 0.5, 0)
+	if !ok || p.NsPerElem != 30 || idx != 3 {
+		t.Fatalf("loose select = %+v idx=%d ok=%v", p, idx, ok)
+	}
+	// Tight TOQ: only exp qualifies.
+	p, _, ok = f.Select("fft", "", 0.015, 0)
+	if !ok || p.Datapath != DatapathExp {
+		t.Fatalf("tight select = %+v", p)
+	}
+	// SLO excludes the batch-256 point (chunk 7680ns) but not batch-64.
+	p, _, ok = f.Select("fft", "", 0.5, 3000)
+	if !ok || p.Batch != 64 || p.NsPerElem != 40 {
+		t.Fatalf("slo select = %+v", p)
+	}
+	// Checker filter restricts the family.
+	p, _, ok = f.Select("fft", "tree", 0.5, 0)
+	if !ok || p.Checker != "tree" || p.NsPerElem != 150 {
+		t.Fatalf("checker select = %+v", p)
+	}
+	// Nothing qualifies.
+	if _, _, ok := f.Select("fft", "", 0.001, 0); ok {
+		t.Fatal("impossible TOQ must select nothing")
+	}
+	if _, _, ok := f.Select("nope", "", 1, 0); ok {
+		t.Fatal("unknown kernel must select nothing")
+	}
+}
+
+// TestFrontierValidateRejects walks the validation table.
+func TestFrontierValidateRejects(t *testing.T) {
+	ok := Point{Datapath: DatapathExp, Batch: 1, Checker: "linear", Quality: 0.1, NsPerElem: 10, ChunkNs: 10}
+	cases := map[string]Point{
+		"unknown datapath": {Datapath: "x", Batch: 1, Checker: "l", Quality: 0.1, NsPerElem: 1},
+		"zero batch":       {Datapath: DatapathExp, Batch: 0, Checker: "l", Quality: 0.1, NsPerElem: 1},
+		"no checker":       {Datapath: DatapathExp, Batch: 1, Quality: 0.1, NsPerElem: 1},
+		"nan quality":      {Datapath: DatapathExp, Batch: 1, Checker: "l", Quality: math.NaN(), NsPerElem: 1},
+	}
+	for name, bad := range cases {
+		f := &Frontier{FormatVersion: FormatVersion, Kernels: map[string]KernelFrontier{"k": {Points: []Point{ok, bad}}}}
+		// NaN values cannot even be checksummed (JSON rejects them) — that
+		// failure mode is a rejection too.
+		if sum, err := f.kernelsChecksum(); err == nil {
+			f.Checksum = sum
+		}
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: expected validation failure", name)
+		}
+	}
+	empty := &Frontier{FormatVersion: FormatVersion, Kernels: map[string]KernelFrontier{"k": {}}}
+	sum, _ := empty.kernelsChecksum()
+	empty.Checksum = sum
+	if err := empty.Validate(); err == nil {
+		t.Error("empty kernel frontier must be rejected")
+	}
+	if err := (&Frontier{FormatVersion: FormatVersion}).Save(filepath.Join(t.TempDir(), "f.json")); err == nil {
+		t.Error("saving an unsealed artifact must fail validation")
+	}
+}
+
+// TestPointKey pins the config identity / trace-attr format.
+func TestPointKey(t *testing.T) {
+	p := Point{Datapath: DatapathFixed, LUTBits: 10, Batch: 64, Checker: "tree"}
+	if p.Key() != "fixed/lut10/b64/tree" {
+		t.Fatalf("Key = %s", p.Key())
+	}
+	p = Point{Datapath: DatapathExp, Batch: 1, Checker: "ema"}
+	if p.Key() != "exp/b1/ema" {
+		t.Fatalf("Key = %s", p.Key())
+	}
+}
