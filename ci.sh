@@ -49,7 +49,13 @@
 #                                  drain a node through a planned rebalance
 #                                  and assert the migrated tenant's tuner and
 #                                  drift state survived, plus a conformance
-#                                  round through the router's front door
+#                                  round through the router's front door;
+#                                  the observability pass stitches a failover
+#                                  trace across router + survivor, pages a
+#                                  TOQ-violating tenant through the cluster
+#                                  alert view, and scrapes the router's
+#                                  federated /metrics through the strict
+#                                  exposition parser
 #  11. coverage floors             statement coverage of the hardened runtime
 #                                  (internal/core), the observability layer
 #                                  (internal/obs, internal/trace), the
@@ -134,7 +140,10 @@ fi
 echo "==> cluster smoke (3-node harness + router: kill-a-node failover, rebalance state handoff, conformance through the router)"
 go test -count=1 -run 'TestClusterKillNodeLosesNoTenant|TestClusterDriftStateSurvivesPlannedDrain|TestClusterRebalancePreservesTunerAndDriftState|TestClusterConformanceRound' ./internal/cluster/
 
-echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%, internal/cluster >= 85%, internal/tune >= 85%)"
+echo "==> cluster observability smoke (cross-node trace stitch, SLO burn-rate paging, federated /metrics through the strict parser)"
+go test -count=1 -run 'TestClusterStitchedFailoverTrace|TestClusterSLOAlertsAndNodeDeath|TestClusterFederatedMetricsRoundTrip' ./internal/cluster/
+
+echo "==> coverage floors (internal/core >= 85%, internal/obs >= 85%, internal/trace >= 85%, internal/server >= 80%, internal/analysis >= 80%, internal/pkg >= 85%, internal/bundle >= 85%, internal/cluster >= 85%, internal/tune >= 85%, internal/slo >= 85%)"
 check_cover() {
     pkg="$1"
     floor="$2"
@@ -161,6 +170,7 @@ check_cover ./internal/pkg/conformance/ 85
 check_cover ./internal/bundle/ 85
 check_cover ./internal/cluster/ 85
 check_cover ./internal/tune/ 85
+check_cover ./internal/slo/ 85
 
 echo "==> rumba-vet ./... (baseline-gated, SARIF artifact at rumba-vet.sarif)"
 go run ./cmd/rumba-vet -fail-on warning -baseline vet-baseline.json ./...

@@ -69,11 +69,12 @@ func main() {
 	traceCapacity := flag.Int("trace-capacity", 0, "flight-recorder ring capacity in traces; > 0 records a span per forward attempt, dump at /debug/rumba/traces")
 	traceSample := flag.Int("trace-sample", 1, "tail-sample 1 in N healthy traces (failover/error traces are always kept)")
 	expvarFlag := flag.Bool("expvar", false, "additionally publish the metrics registry at /debug/vars")
+	federate := flag.Bool("federate", false, "serve GET /metrics as the cluster-wide exposition: every live member's metrics merged under a node label (one scrape config for the whole cluster)")
 	flag.Parse()
 
 	if err := run(*addr, nodes, *vnodes, *retries, *suspectAfter, *downAfter,
 		*probeInterval, *probeTimeout, *forwardTimeout,
-		*traceCapacity, *traceSample, *expvarFlag); err != nil {
+		*traceCapacity, *traceSample, *expvarFlag, *federate); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-router:", err)
 		os.Exit(1)
 	}
@@ -81,7 +82,7 @@ func main() {
 
 func run(addr string, nodes []cluster.Node, vnodes, retries, suspectAfter, downAfter int,
 	probeInterval, probeTimeout, forwardTimeout time.Duration,
-	traceCapacity, traceSample int, expvarFlag bool) error {
+	traceCapacity, traceSample int, expvarFlag, federate bool) error {
 	if len(nodes) == 0 {
 		return errors.New("no cluster members (use -node name=url at least once)")
 	}
@@ -99,6 +100,7 @@ func run(addr string, nodes []cluster.Node, vnodes, retries, suspectAfter, downA
 		Metrics:          metrics,
 		TraceCapacity:    traceCapacity,
 		TraceSampleEvery: traceSample,
+		Federate:         federate,
 	})
 	if err != nil {
 		return err
@@ -108,6 +110,9 @@ func run(addr string, nodes []cluster.Node, vnodes, retries, suspectAfter, downA
 	}
 	if traceCapacity > 0 {
 		fmt.Printf("== trace: flight recorder on, %d traces/ring, dump at /debug/rumba/traces\n", traceCapacity)
+	}
+	if federate {
+		fmt.Println("== federate: /metrics serves the cluster-wide node-labeled exposition")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

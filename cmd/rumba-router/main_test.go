@@ -32,7 +32,7 @@ func TestNodeListFlag(t *testing.T) {
 }
 
 func TestRunRejectsEmptyCluster(t *testing.T) {
-	err := run("localhost:0", nil, 0, 0, 1, 3, time.Second, time.Second, time.Second, 0, 1, false)
+	err := run("localhost:0", nil, 0, 0, 1, 3, time.Second, time.Second, time.Second, 0, 1, false, false)
 	if err == nil || !strings.Contains(err.Error(), "no cluster members") {
 		t.Fatalf("err = %v", err)
 	}

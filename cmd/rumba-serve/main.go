@@ -64,12 +64,33 @@ func main() {
 	driftN := flag.Int("drift-n", 0, "window count the drift alert looks back over (0 = 5)")
 	frontierPath := flag.String("frontier", "", "rumba-tune frontier artifact (frontier.json): new tenants are served at the cheapest Pareto point meeting their quality target and the kernel's p99 SLO")
 	dryRun := flag.Bool("dry-run", false, "validate the registry (and -frontier artifact, if any) then exit without serving")
+	historyInterval := flag.Duration("history-interval", 0, "metrics history sampling period; > 0 records periodic registry snapshots served at /v1/metrics/history (0 = disabled)")
+	historyCapacity := flag.Int("history-capacity", 0, "metrics history ring capacity in snapshots (0 = 240; at 15s sampling that is one hour)")
+	sloEnabled := flag.Bool("slo", false, "enable per-tenant SLO burn-rate alerting (/v1/alerts, slo.* gauges, alert state in tenant health)")
+	sloFast := flag.Duration("slo-fast", 0, "fast burn window (0 = 5m); both windows must burn for an alert to fire")
+	sloSlow := flag.Duration("slo-slow", 0, "slow burn window (0 = 1h)")
+	sloPageBurn := flag.Float64("slo-page-burn", 0, "burn-rate multiple of budget that pages (0 = 14.4 — a 30d budget gone in ~2d)")
+	sloTicketBurn := flag.Float64("slo-ticket-burn", 0, "burn-rate multiple that opens a ticket (0 = 3)")
+	sloTOQBudget := flag.Float64("slo-toq-budget", 0, "error budget: tolerated fraction of delivered elements missing their TOQ target (0 = 0.05)")
+	sloLatencyBudget := flag.Float64("slo-latency-budget", 0, "error budget: tolerated fraction of stream chunks over the package p99 SLO (0 = 0.01)")
+	sloShedBudget := flag.Float64("slo-shed-budget", 0, "error budget: tolerated fraction of requests shed by admission control (0 = 0.01)")
 	flag.Parse()
 
+	slo := server.SLOOptions{
+		Enabled:         *sloEnabled,
+		FastWindow:      *sloFast,
+		SlowWindow:      *sloSlow,
+		PageBurn:        *sloPageBurn,
+		TicketBurn:      *sloTicketBurn,
+		TOQMissBudget:   *sloTOQBudget,
+		SlowChunkBudget: *sloLatencyBudget,
+		ShedBudget:      *sloShedBudget,
+	}
 	if err := run(*addr, *bundles, *packages, *train, *state, *mode, *frontierPath,
 		*trainN, *epochs, *workers, *streamWorkers, *queueCap, *maxInFlight, *invocation, *batch,
 		*target, *recoveryDeadline, *drain, *expvarFlag, *pprofFlag, *dryRun,
-		*traceCapacity, *traceSample, server.DriftConfig{Window: *driftWindow, K: *driftK, N: *driftN}); err != nil {
+		*traceCapacity, *traceSample, server.DriftConfig{Window: *driftWindow, K: *driftK, N: *driftN},
+		slo, *historyInterval, *historyCapacity); err != nil {
 		fmt.Fprintln(os.Stderr, "rumba-serve:", err)
 		os.Exit(1)
 	}
@@ -78,7 +99,8 @@ func main() {
 func run(addr, bundles, packages, train, state, mode, frontierPath string,
 	trainN, epochs, workers, streamWorkers, queueCap, maxInFlight, invocation, batch int,
 	target float64, recoveryDeadline, drain time.Duration, expvarFlag, pprofFlag, dryRun bool,
-	traceCapacity, traceSample int, drift server.DriftConfig) error {
+	traceCapacity, traceSample int, drift server.DriftConfig,
+	slo server.SLOOptions, historyInterval time.Duration, historyCapacity int) error {
 	reg := server.NewKernelRegistry()
 	if bundles != "" {
 		n, err := reg.LoadBundleDir(bundles)
@@ -160,9 +182,18 @@ func run(addr, bundles, packages, train, state, mode, frontierPath string,
 		TraceSampleEvery: traceSample,
 		Drift:            drift,
 		Frontier:         frontier,
+		SLO:              slo,
+		HistoryInterval:  historyInterval,
+		HistoryCapacity:  historyCapacity,
 	})
 	if err != nil {
 		return err
+	}
+	if slo.Enabled {
+		fmt.Println("== slo: burn-rate engine on, alerts at /v1/alerts, slo.* gauges in /metrics")
+	}
+	if historyInterval > 0 {
+		fmt.Printf("== history: sampling metrics every %v into /v1/metrics/history\n", historyInterval)
 	}
 	if srv.Restored > 0 || srv.RestoreSkipped > 0 {
 		fmt.Printf("== state: restored %d tenant tuner(s), skipped %d from %s\n",

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+
+	"rumba/internal/obs"
+	"rumba/internal/slo"
+)
+
+// This file is the router's cluster-wide observability fan-out: the federated
+// /metrics exposition (every member's registry re-emitted under one scrape
+// with a node label) and /v1/cluster/alerts (every member's SLO alert state
+// plus a synthesized availability page for members the prober says are dead).
+// Both are pull-time fan-outs over live members — the router keeps no metric
+// state of its own beyond its registry, so a member that just died simply
+// drops out of the next scrape and shows up in the alert view instead.
+
+// BudgetAvailability is the synthetic budget name the router uses for the
+// alert it fabricates when a member is down. Nodes never emit it — a dead
+// node cannot speak for itself, so the router does.
+const BudgetAvailability = "availability"
+
+// handleMetricsFederated serves GET /metrics when Options.Federate is on:
+// each live member's /metrics.json snapshot is relabeled with node=<name>,
+// the router's own with node="router", and the merged set written as one
+// exposition. Counters sum, gauges take the freshest value, histograms add
+// bucket-wise — so cluster totals are one PromQL sum() away and per-node
+// drill-down is a label matcher.
+func (rt *Router) handleMetricsFederated(w http.ResponseWriter, r *http.Request) {
+	membership := rt.Membership()
+	names := membership.Names()
+	scraped := make([]*obs.Snapshot, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		if membership.State(name) == NodeDown {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			var snap obs.Snapshot
+			if err := rt.getJSON(r.Context(), url+"/metrics.json", &snap); err == nil {
+				scraped[i] = &snap
+			}
+		}(i, membership.URL(name))
+	}
+	wg.Wait()
+	merged := make([]obs.Snapshot, 0, len(names)+1)
+	merged = append(merged, obs.Relabel(rt.metrics.Snapshot(), "node", RouterNodeName))
+	for i, name := range names {
+		// A member that failed its scrape contributes nothing this pull; its
+		// absence is visible through the router's own probe-state gauges.
+		if scraped[i] != nil {
+			merged = append(merged, obs.Relabel(*scraped[i], "node", name))
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Merge(merged...).WritePrometheus(w, "rumba")
+}
+
+// NodeAlerts is one member's contribution to the cluster alert view.
+type NodeAlerts struct {
+	Node string `json:"node"`
+	// Down marks a member the prober considers dead; its Alerts hold the
+	// router-synthesized availability page instead of node-reported state.
+	Down bool `json:"down,omitempty"`
+	// Enabled echoes whether the node runs the SLO engine (false also for
+	// nodes whose alert fetch failed).
+	Enabled bool        `json:"enabled"`
+	Alerts  []slo.Alert `json:"alerts"`
+}
+
+// ClusterAlerts is the GET /v1/cluster/alerts reply.
+type ClusterAlerts struct {
+	// Paging counts page-severity alerts cluster-wide, synthetic ones
+	// included — the "is anything on fire" scalar.
+	Paging int          `json:"paging"`
+	Nodes  []NodeAlerts `json:"nodes"`
+}
+
+// handleClusterAlerts fans GET /v1/alerts out to every live member and merges
+// the answers; down members get a synthesized availability page, so a tenant
+// whose owner died flips to paging at the router the moment the prober agrees.
+func (rt *Router) handleClusterAlerts(w http.ResponseWriter, r *http.Request) {
+	membership := rt.Membership()
+	names := membership.Names()
+	out := ClusterAlerts{Nodes: make([]NodeAlerts, len(names))}
+	var wg sync.WaitGroup
+	for i, name := range names {
+		out.Nodes[i] = NodeAlerts{Node: name, Alerts: []slo.Alert{}}
+		if membership.State(name) == NodeDown {
+			out.Nodes[i].Down = true
+			out.Nodes[i].Alerts = []slo.Alert{{
+				Key:      slo.Key{Budget: BudgetAvailability},
+				Severity: slo.SeverityPage,
+				// Fast/Slow stay zero: there is no window math behind a
+				// probe-declared death.
+			}}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			var resp struct {
+				Enabled bool        `json:"enabled"`
+				Alerts  []slo.Alert `json:"alerts"`
+			}
+			if err := rt.getJSON(r.Context(), url+"/v1/alerts", &resp); err == nil {
+				out.Nodes[i].Enabled = resp.Enabled
+				if resp.Alerts != nil {
+					out.Nodes[i].Alerts = resp.Alerts
+				}
+			}
+		}(i, membership.URL(name))
+	}
+	wg.Wait()
+	for i := range out.Nodes {
+		sort.Slice(out.Nodes[i].Alerts, func(a, b int) bool {
+			x, y := out.Nodes[i].Alerts[a], out.Nodes[i].Alerts[b]
+			if x.Tenant != y.Tenant {
+				return x.Tenant < y.Tenant
+			}
+			if x.Budget != y.Budget {
+				return x.Budget < y.Budget
+			}
+			return x.Kernel < y.Kernel
+		})
+		for _, a := range out.Nodes[i].Alerts {
+			if a.Severity == slo.SeverityPage {
+				out.Paging++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rumba/internal/obs"
+	"rumba/internal/server"
+	"rumba/internal/slo"
+	"rumba/internal/trace"
+)
+
+// TestClusterStitchedFailoverTrace is the tentpole observability scenario: a
+// failover-retried invoke leaves half a trace on the router (the route span,
+// the dead-node attempt, the retried attempt) and half on the surviving node
+// (its full invoke subtree), and the router's stitch endpoint reassembles
+// them into one tree.
+func TestClusterStitchedFailoverTrace(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{
+		Nodes: 3,
+		Router: Options{
+			TraceCapacity: 16,
+			// A glacial probe keeps the membership oblivious to the kill, so
+			// the router genuinely attempts the dead node instead of skipping
+			// it — that failed attempt is the span the stitch must show.
+			Probe: ProbeConfig{Interval: time.Hour, SuspectAfter: 1, DownAfter: 2},
+		},
+		ServerOptions: func(int) server.Options {
+			return server.Options{TraceCapacity: 16}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Learn the tenant's owner while everything is healthy, then crash it.
+	_, _, owner := clusterInvoke(t, h.URL(), server.InvokeRequest{
+		Tenant: "acme", Kernel: "synth", Inputs: tripleBatch(4, 0),
+	})
+	if owner == "" {
+		t.Fatal("no owner learned")
+	}
+	if err := h.Kill(owner); err != nil {
+		t.Fatal(err)
+	}
+
+	// The failover-retried invoke: owner refuses, a replica answers.
+	body, _ := json.Marshal(server.InvokeRequest{
+		Tenant: "acme", Kernel: "synth", Inputs: tripleBatch(4, 0),
+	})
+	resp, err := http.Post(h.URL()+"/v1/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover invoke = %d: %s", resp.StatusCode, payload)
+	}
+	survivor := resp.Header.Get("X-Rumba-Node")
+	if survivor == "" || survivor == owner {
+		t.Fatalf("served by %q, want a survivor (owner %s dead)", survivor, owner)
+	}
+	traceID := resp.Header.Get(trace.TraceHeader)
+	if traceID == "" {
+		t.Fatal("router response carries no trace identity")
+	}
+
+	var st StitchedTrace
+	getClusterJSON(t, h.URL()+"/debug/rumba/traces/"+traceID, http.StatusOK, &st)
+	if st.TraceID != traceID {
+		t.Fatalf("stitched trace %q, want %q", st.TraceID, traceID)
+	}
+	// Exactly one trace spanning router + surviving node — the dead node
+	// could not record anything.
+	if len(st.Nodes) != 2 || st.Nodes[0] != RouterNodeName || st.Nodes[1] != survivor {
+		t.Fatalf("stitched nodes %v, want [%s %s]", st.Nodes, RouterNodeName, survivor)
+	}
+	if st.Orphans != 0 {
+		t.Fatalf("%d orphan subtrees — node root did not link under its hop", st.Orphans)
+	}
+	hasFlag := false
+	for _, f := range st.Flags {
+		if f == "failover" {
+			hasFlag = true
+		}
+	}
+	if !hasFlag {
+		t.Fatalf("stitched flags %v missing failover", st.Flags)
+	}
+
+	// The span tree: route → dead-node attempt (error) and route → retried
+	// attempt, with the survivor's whole invoke subtree under the retry.
+	var routeID, deadAttempt, liveAttempt, nodeRoot *StitchedSpan
+	nodeSpans := 0
+	for i := range st.Spans {
+		sp := &st.Spans[i]
+		switch {
+		case sp.Node == RouterNodeName && sp.Name == "route":
+			routeID = sp
+		case sp.Node == RouterNodeName && sp.Name == "forward":
+			if sp.Attrs["node"] == owner {
+				deadAttempt = sp
+			} else if sp.Attrs["node"] == survivor {
+				liveAttempt = sp
+			}
+		case sp.Node == survivor:
+			nodeSpans++
+			if sp.Name == "invoke" {
+				nodeRoot = sp
+			}
+		}
+	}
+	if routeID == nil || deadAttempt == nil || liveAttempt == nil || nodeRoot == nil {
+		t.Fatalf("span tree incomplete (route=%v dead=%v live=%v nodeRoot=%v):\n%+v",
+			routeID != nil, deadAttempt != nil, liveAttempt != nil, nodeRoot != nil, st.Spans)
+	}
+	if deadAttempt.Parent != routeID.ID || liveAttempt.Parent != routeID.ID {
+		t.Fatalf("forward attempts not under the route span: %+v", st.Spans)
+	}
+	if _, failed := deadAttempt.Attrs["error"]; !failed {
+		t.Fatalf("dead-node attempt recorded no error: %+v", deadAttempt)
+	}
+	if nodeRoot.Parent != liveAttempt.ID {
+		t.Fatalf("survivor's root (parent %d) not under the retried attempt (id %d)",
+			nodeRoot.Parent, liveAttempt.ID)
+	}
+	if nodeSpans < 2 {
+		t.Fatalf("survivor contributed %d spans, want its full subtree", nodeSpans)
+	}
+}
+
+// TestClusterSLOAlertsAndNodeDeath drives a TOQ-violating tenant into a
+// fast-window page — visible through the router in both the tenant's health
+// and the merged cluster alert view — then kills the tenant's node and
+// checks the router flips that node's alert state to a synthesized
+// availability page.
+func TestClusterSLOAlertsAndNodeDeath(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{
+		Nodes: 3,
+		ServerOptions: func(int) server.Options {
+			return server.Options{
+				InvocationSize: 8,
+				SLO: server.SLOOptions{
+					Enabled:      true,
+					FastWindow:   80 * time.Millisecond,
+					SlowWindow:   160 * time.Millisecond,
+					EvalInterval: 10 * time.Millisecond,
+				},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Raise acme's threshold past 0.15, age that healthy traffic out of both
+	// burn windows, then ship pure TOQ misses (0.15-score elements sail under
+	// the raised threshold while breaching the 0.10 drift target).
+	if got := driveEnergyTenant(t, h.URL(), "acme", 5); got <= 0.15 {
+		t.Fatalf("threshold %v never rose above 0.15", got)
+	}
+	time.Sleep(200 * time.Millisecond)
+	for i := 0; i < 6; i++ {
+		if status, _, _ := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: "acme", Kernel: "synth", Inputs: tripleBatch(8, 0.15),
+		}); status != http.StatusOK {
+			t.Fatalf("miss round %d = %d", i, status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Through the router: the tenant's own health carries the page...
+	var health server.TenantHealth
+	getClusterJSON(t, h.URL()+"/v1/tenants/acme/health", http.StatusOK, &health)
+	if health.Healthy {
+		t.Fatal("paging tenant reports healthy through the router")
+	}
+	paged := false
+	for _, a := range health.SLO {
+		if a.Budget == slo.BudgetTOQ && a.Severity == slo.SeverityPage {
+			paged = true
+		}
+	}
+	if !paged {
+		t.Fatalf("health.SLO missing the TOQ page: %+v", health.SLO)
+	}
+
+	// ...and so does the merged cluster view, attributed to the owner node.
+	owner := h.Router.Ring().Owner("acme")
+	var alerts ClusterAlerts
+	getClusterJSON(t, h.URL()+"/v1/cluster/alerts", http.StatusOK, &alerts)
+	if alerts.Paging < 1 {
+		t.Fatalf("cluster view sees no paging alerts: %+v", alerts)
+	}
+	found := false
+	for _, na := range alerts.Nodes {
+		if na.Node != owner {
+			continue
+		}
+		if !na.Enabled || na.Down {
+			t.Fatalf("owner entry wrong: %+v", na)
+		}
+		for _, a := range na.Alerts {
+			if a.Tenant == "acme" && a.Budget == slo.BudgetTOQ && a.Severity == slo.SeverityPage {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no acme TOQ page under owner %s: %+v", owner, alerts.Nodes)
+	}
+
+	// Kill the owner: once the prober agrees, the router replaces the node's
+	// self-reported alerts with a synthesized availability page.
+	if err := h.Kill(owner); err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, h.Router, owner, NodeDown)
+	getClusterJSON(t, h.URL()+"/v1/cluster/alerts", http.StatusOK, &alerts)
+	flipped := false
+	for _, na := range alerts.Nodes {
+		if na.Node == owner {
+			if !na.Down || len(na.Alerts) != 1 ||
+				na.Alerts[0].Budget != BudgetAvailability ||
+				na.Alerts[0].Severity != slo.SeverityPage {
+				t.Fatalf("dead owner's alert state: %+v", na)
+			}
+			flipped = true
+		}
+	}
+	if !flipped {
+		t.Fatalf("dead owner %s missing from cluster alerts: %+v", owner, alerts.Nodes)
+	}
+	if alerts.Paging < 1 {
+		t.Fatalf("availability page not counted: %+v", alerts)
+	}
+}
+
+// TestClusterFederatedMetricsRoundTrip scrapes the router's federated
+// /metrics and re-parses it with the strict exposition validator: every
+// member's metrics appear under a node label and the merged text is still a
+// legal exposition.
+func TestClusterFederatedMetricsRoundTrip(t *testing.T) {
+	h, err := NewHarness(HarnessOptions{
+		Nodes:  3,
+		Router: Options{Federate: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	for i := 0; i < 6; i++ {
+		tenant := []string{"a", "b", "c"}[i%3]
+		if status, _, _ := clusterInvoke(t, h.URL(), server.InvokeRequest{
+			Tenant: tenant, Kernel: "synth", Inputs: tripleBatch(4, 0),
+		}); status != http.StatusOK {
+			t.Fatalf("seed invoke = %d", status)
+		}
+	}
+
+	resp, err := http.Get(h.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("federated /metrics = %d", resp.StatusCode)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("federated exposition is not strictly parseable: %v\n%s", err, body)
+	}
+	text := string(body)
+	// The router's per-member probe states keep the member they describe
+	// (an existing node label wins over the federation stamp)...
+	if !strings.Contains(text, `rumba_cluster_probe_state{node="node-0"}`) {
+		t.Fatalf("probe-state family lost its member labels:\n%s", text)
+	}
+	// ...its unlabeled metrics pick up the router's identity...
+	if !strings.Contains(text, `node="`+RouterNodeName+`"`) {
+		t.Fatalf("router's own metrics carry no node label:\n%s", text)
+	}
+	// ...and every member shows up with its serve counters under its name.
+	for _, n := range h.Nodes {
+		if !strings.Contains(text, `rumba_serve_requests{node="`+n.Name+`"}`) {
+			t.Fatalf("member %s serve counter absent from federated exposition:\n%s", n.Name, text)
+		}
+	}
+}
+
+// getClusterJSON GETs and decodes one JSON endpoint, asserting the status.
+func getClusterJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d: %s", url, resp.StatusCode, wantStatus, payload)
+	}
+	if err := json.Unmarshal(payload, into); err != nil {
+		t.Fatalf("decode %s: %v\n%s", url, err, payload)
+	}
+}

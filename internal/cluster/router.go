@@ -50,6 +50,11 @@ type Options struct {
 	// TraceSampleEvery tail-samples healthy traces, 1 in N; failover and
 	// error traces are always kept. <= 1 keeps every trace.
 	TraceSampleEvery int
+	// Federate turns GET /metrics into a cluster-wide exposition: the router
+	// scrapes every live member's /metrics.json, stamps each snapshot with a
+	// node label (its own metrics as node="router"), and re-emits the merged
+	// set. Off by default — a federated scrape costs one fan-out per pull.
+	Federate bool
 	// Client optionally overrides the forwarding HTTP client (tests); nil
 	// uses a dedicated client with sane connection reuse.
 	Client *http.Client
@@ -168,12 +173,16 @@ func (rt *Router) Stop() {
 //	GET    /v1/tenants                fanned out to all live nodes, merged
 //	GET    /v1/kernels                forwarded to the first live node
 //	GET    /v1/cluster                ring + membership + placement status
+//	GET    /v1/cluster/alerts         every member's SLO alert state, merged
 //	GET    /v1/version                router build provenance
 //	GET    /healthz                   router liveness
 //	GET    /readyz                    200 while >= 1 node is not down
 //	GET    /metrics, /metrics.json    router metrics (forwards, failovers,
-//	                                  probe states — per-node labels)
+//	                                  probe states — per-node labels);
+//	                                  with Options.Federate, /metrics is the
+//	                                  cluster-wide node-labeled exposition
 //	GET    /debug/rumba/traces        forward-hop flight recorder
+//	GET    /debug/rumba/traces/{id}   cross-node stitched trace
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/invoke", rt.handleInvoke)
@@ -184,6 +193,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/tenants", rt.handleTenantsMerge)
 	mux.HandleFunc("GET /v1/kernels", rt.handleKernels)
 	mux.HandleFunc("GET /v1/cluster", rt.handleClusterStatus)
+	mux.HandleFunc("GET /v1/cluster/alerts", rt.handleClusterAlerts)
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, server.VersionInfo{Service: "rumba-router", Info: buildinfo.Resolve()})
 	})
@@ -203,6 +213,10 @@ func (rt *Router) Handler() http.Handler {
 		fmt.Fprintln(w, "no nodes ready")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if rt.opts.Federate {
+			rt.handleMetricsFederated(w, r)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = rt.metrics.Snapshot().WritePrometheus(w, "rumba")
 	})
@@ -217,6 +231,7 @@ func (rt *Router) Handler() http.Handler {
 		}
 		rt.recorder.ServeHTTP(w, r)
 	})
+	mux.HandleFunc("GET /debug/rumba/traces/{traceID}", rt.handleTraceStitch)
 	return mux
 }
 
@@ -249,7 +264,7 @@ func (rt *Router) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(peek.DeadlineMs)*time.Millisecond)
 		defer cancel()
 	}
-	rt.forward(ctx, w, tenant, http.MethodPost, "/v1/invoke", body, r.Header.Get("Content-Type"))
+	rt.forward(ctx, w, tenant, http.MethodPost, "/v1/invoke", body, r.Header.Get("Content-Type"), r.Header.Get(trace.TraceparentHeader))
 }
 
 // handleTenantScoped forwards any /v1/tenants/{id}/... request to the
@@ -264,7 +279,7 @@ func (rt *Router) handleTenantScoped(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rt.forward(r.Context(), w, tenant, r.Method, r.URL.Path, body, r.Header.Get("Content-Type"))
+	rt.forward(r.Context(), w, tenant, r.Method, r.URL.Path, body, r.Header.Get("Content-Type"), r.Header.Get(trace.TraceparentHeader))
 }
 
 // retryableStatus reports whether a node's response means "another replica
@@ -281,7 +296,12 @@ func retryableStatus(status int) bool {
 // answers, then copies that answer to the client. Down nodes are skipped
 // without consuming retry budget (their failure is already known); transport
 // errors and retryable statuses consume budget and move on.
-func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, tenant, method, path string, body []byte, contentType string) {
+//
+// inboundTP is the client's X-Rumba-Traceparent (usually empty — the router
+// is the trace edge and mints IDs, but a traced upstream may hand one in).
+// Each attempt's span is stamped into the outbound traceparent, so a node's
+// root span links under exactly the hop that reached it.
+func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, tenant, method, path string, body []byte, contentType, inboundTP string) {
 	rt.mu.RLock()
 	ring, membership := rt.ring, rt.membership
 	rt.mu.RUnlock()
@@ -296,7 +316,14 @@ func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, tenant, me
 
 	var tr *trace.Trace
 	if rt.recorder != nil {
-		tr = trace.New("route", 0)
+		if tid, parent, ok := trace.ParseTraceparent(inboundTP); ok {
+			tr = trace.NewLinked("route", tid, parent, 0)
+		} else {
+			tr = trace.New("route", 0)
+		}
+		// Name the trace before any attempt commits the response headers, so
+		// even a failed forward tells the client where its trace lives.
+		w.Header().Set(trace.TraceHeader, tr.TraceID())
 		root := tr.Root()
 		root.SetStr("tenant", tenant)
 		root.SetStr("path", path)
@@ -326,7 +353,7 @@ func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, tenant, me
 		}
 		span := tr.Root().Start("forward")
 		span.SetStr("node", name)
-		status, err := rt.attempt(ctx, w, membership.URL(name)+path, method, body, contentType, name)
+		status, err := rt.attempt(ctx, w, membership.URL(name)+path, method, body, contentType, name, span.Traceparent())
 		if err == nil && !retryableStatus(status) {
 			span.SetInt("status", int64(status))
 			span.End()
@@ -364,7 +391,7 @@ func (rt *Router) forward(ctx context.Context, w http.ResponseWriter, tenant, me
 // streamed to the client and its status returned; on transport failure
 // nothing has been written (the response is buffered) so the caller is free
 // to fail over.
-func (rt *Router) attempt(ctx context.Context, w http.ResponseWriter, url, method string, body []byte, contentType, node string) (int, error) {
+func (rt *Router) attempt(ctx context.Context, w http.ResponseWriter, url, method string, body []byte, contentType, node, traceparent string) (int, error) {
 	actx := ctx
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
@@ -381,6 +408,9 @@ func (rt *Router) attempt(ctx context.Context, w http.ResponseWriter, url, metho
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if traceparent != "" {
+		req.Header.Set(trace.TraceparentHeader, traceparent)
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"rumba/internal/trace"
+)
+
+// This file is the cross-node trace stitcher behind the router's
+// GET /debug/rumba/traces/{traceID}. Each process's flight recorder retains
+// its own half of a routed request — the router the per-attempt forward
+// spans, each node its detect/recover/commit subtree — all sharing the trace
+// ID the router minted at the edge. The stitcher fans the lookup out, remaps
+// every snapshot's trace-local span IDs into one space, and hangs each node's
+// root span under the forward hop whose wire span ID the node recorded as its
+// remote parent. No shared storage, no clock agreement beyond each node's own
+// wall clock (span times are re-based to absolute unix nanoseconds, so skew
+// shows up as skew instead of corrupting the tree).
+
+// RouterNodeName labels the router's own spans in a stitched trace; it is
+// reserved (harness nodes are named node-N, deployments name nodes by
+// host:port).
+const RouterNodeName = "router"
+
+// StitchedSpan is one span of a merged cross-node trace. IDs are remapped
+// into a single space; times are absolute unix nanoseconds (unlike the
+// per-process dumps, whose span times are relative to their trace's begin).
+type StitchedSpan struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent,omitempty"`
+	Node   string `json:"node"`
+	Name   string `json:"name"`
+	Start  int64  `json:"startUnixNs"`
+	End    int64  `json:"endUnixNs"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// StitchedTrace is the GET /debug/rumba/traces/{traceID} reply.
+type StitchedTrace struct {
+	TraceID string `json:"traceID"`
+	// Nodes lists every process that contributed spans, router first.
+	Nodes []string `json:"nodes"`
+	// Flags is the union of the member traces' flags.
+	Flags []string `json:"flags,omitempty"`
+	// Orphans counts subtrees whose remote parent span was not found (the
+	// forwarding trace was sampled out or evicted); they keep parent 0.
+	Orphans int            `json:"orphans,omitempty"`
+	Spans   []StitchedSpan `json:"spans"`
+}
+
+// nodeTraces is one process's contribution to a stitch.
+type nodeTraces struct {
+	node  string
+	snaps []trace.Snapshot
+}
+
+// stitchTrace merges per-process trace dumps into one span tree. parts must
+// lead with the edge process (the router): its span wire IDs are registered
+// first, so a node's RemoteParent resolves to the forwarding hop even if a
+// node reused the same small trace-local IDs.
+func stitchTrace(traceID string, parts []nodeTraces) StitchedTrace {
+	st := StitchedTrace{TraceID: traceID}
+	flagSeen := make(map[string]bool, 4)
+	wireToID := make(map[string]int, 8)
+	next := 0
+	type orphanRef struct {
+		span   int // index into st.Spans
+		remote string
+	}
+	var orphans []orphanRef
+	for _, part := range parts {
+		// Only the edge's spans are ever named as a remote parent in this
+		// topology, so only they enter the wire-ID map; matching against node
+		// spans (which reuse the same small trace-local IDs) would mis-link
+		// subtrees whenever the edge trace has been evicted.
+		isEdge := part.node == RouterNodeName
+		st.Nodes = append(st.Nodes, part.node)
+		for _, snap := range part.snaps {
+			base := next
+			beginNs := snap.Begin.UnixNano()
+			for _, f := range snap.Flags {
+				if !flagSeen[f] {
+					flagSeen[f] = true
+					st.Flags = append(st.Flags, f)
+				}
+			}
+			for _, sp := range snap.Spans {
+				out := StitchedSpan{
+					ID:    base + sp.ID,
+					Node:  part.node,
+					Name:  sp.Name,
+					Start: beginNs + sp.Start,
+					End:   beginNs + sp.End,
+					Attrs: sp.Attrs,
+				}
+				if sp.Parent != 0 {
+					out.Parent = base + sp.Parent
+				} else if snap.RemoteParent != "" {
+					orphans = append(orphans, orphanRef{span: len(st.Spans), remote: snap.RemoteParent})
+				}
+				if isEdge {
+					if w := trace.WireSpanID(sp.ID); wireToID[w] == 0 {
+						wireToID[w] = out.ID
+					}
+				}
+				if base+sp.ID > next {
+					next = base + sp.ID
+				}
+				st.Spans = append(st.Spans, out)
+			}
+		}
+	}
+	for _, o := range orphans {
+		if id, ok := wireToID[o.remote]; ok && id != st.Spans[o.span].ID {
+			st.Spans[o.span].Parent = id
+		} else {
+			st.Orphans++
+		}
+	}
+	return st
+}
+
+// handleTraceStitch is GET /debug/rumba/traces/{traceID}: the router's own
+// retained spans plus every live member's, merged into one tree.
+func (rt *Router) handleTraceStitch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("traceID")
+	var parts []nodeTraces
+	if rt.recorder != nil {
+		if snaps := rt.recorder.Lookup(id); len(snaps) > 0 {
+			parts = append(parts, nodeTraces{node: RouterNodeName, snaps: snaps})
+		}
+	}
+	membership := rt.Membership()
+	names := membership.Names()
+	results := make([][]trace.Snapshot, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		if membership.State(name) == NodeDown {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			var payload struct {
+				Traces []trace.Snapshot `json:"traces"`
+			}
+			// A node without the trace answers 404; getJSON's error drops it
+			// from the stitch, which is exactly right.
+			if err := rt.getJSON(r.Context(), url+"/debug/rumba/traces/"+id, &payload); err == nil {
+				results[i] = payload.Traces
+			}
+		}(i, membership.URL(name))
+	}
+	wg.Wait()
+	for i, name := range names {
+		if len(results[i]) > 0 {
+			parts = append(parts, nodeTraces{node: name, snaps: results[i]})
+		}
+	}
+	if len(parts) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no process retains trace %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, stitchTrace(id, parts))
+}

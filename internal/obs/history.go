@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// History is a fixed-capacity ring of timestamped registry snapshots — the
+// node-local metrics store behind /v1/metrics/history. A collector goroutine
+// Records the registry every interval; queries then answer the questions a
+// point-in-time Snapshot cannot: counter rates over a window (via Delta) and
+// windowed latency quantiles (via the bucket-interpolated QuantileInterp over
+// the window's histogram delta). Capacity × interval is the retention horizon;
+// with the defaults (240 samples × 15s) one hour of history costs a few
+// hundred kilobytes per node and no external TSDB.
+type History struct {
+	mu      sync.Mutex
+	samples []HistorySample // ring storage, len == capacity once allocated
+	next    int             // slot the next Record writes
+	count   int             // live samples, <= capacity
+}
+
+// HistorySample is one timestamped registry snapshot.
+type HistorySample struct {
+	At   time.Time `json:"at"`
+	Snap Snapshot  `json:"snapshot"`
+}
+
+// DefaultHistoryCapacity retains one hour at the default 15s interval.
+const DefaultHistoryCapacity = 240
+
+// NewHistory builds a ring retaining the last capacity snapshots
+// (<= 0 uses DefaultHistoryCapacity).
+func NewHistory(capacity int) *History {
+	if capacity <= 0 {
+		capacity = DefaultHistoryCapacity
+	}
+	return &History{samples: make([]HistorySample, capacity)}
+}
+
+// Record appends one snapshot, displacing the oldest when full.
+func (h *History) Record(at time.Time, s Snapshot) {
+	h.mu.Lock()
+	h.samples[h.next] = HistorySample{At: at, Snap: s}
+	h.next = (h.next + 1) % len(h.samples)
+	if h.count < len(h.samples) {
+		h.count++
+	}
+	h.mu.Unlock()
+}
+
+// Capacity returns the ring size.
+func (h *History) Capacity() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Len returns the number of retained samples.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Samples returns the retained samples, oldest first. The slice is fresh but
+// the snapshots are shared — callers must treat them as immutable (they are:
+// Registry.Snapshot detaches).
+func (h *History) Samples() []HistorySample {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.window(0)
+}
+
+// window returns the retained samples no older than `since` (zero time keeps
+// everything), oldest first. Caller holds h.mu.
+func (h *History) window(sinceNanos int64) []HistorySample {
+	out := make([]HistorySample, 0, h.count)
+	start := h.next - h.count
+	if start < 0 {
+		start += len(h.samples)
+	}
+	for i := 0; i < h.count; i++ {
+		s := h.samples[(start+i)%len(h.samples)]
+		if sinceNanos != 0 && s.At.UnixNano() < sinceNanos {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// bounds returns the oldest and newest sample inside the window ending at the
+// newest sample. ok is false with fewer than two in-window samples — a rate
+// needs a span.
+func (h *History) bounds(window time.Duration) (oldest, newest HistorySample, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count < 2 {
+		return HistorySample{}, HistorySample{}, false
+	}
+	all := h.window(0)
+	newest = all[len(all)-1]
+	cut := newest.At.Add(-window)
+	oldest = all[0]
+	if window > 0 {
+		for _, s := range all {
+			if !s.At.Before(cut) {
+				oldest = s
+				break
+			}
+		}
+	}
+	if !newest.At.After(oldest.At) {
+		return HistorySample{}, HistorySample{}, false
+	}
+	return oldest, newest, true
+}
+
+// Rate returns the named counter's per-second increase over the window ending
+// at the newest sample (window <= 0 spans the whole ring). ok is false when
+// fewer than two samples cover the window.
+func (h *History) Rate(counter string, window time.Duration) (perSec float64, ok bool) {
+	oldest, newest, ok := h.bounds(window)
+	if !ok {
+		return 0, false
+	}
+	d := newest.Snap.Counters[counter] - oldest.Snap.Counters[counter]
+	return float64(d) / newest.At.Sub(oldest.At).Seconds(), true
+}
+
+// Quantile returns the interpolated q-quantile of the named histogram's
+// observations within the window ending at the newest sample — the Delta of
+// the histogram between the window's edge samples, so only fresh observations
+// count. ok is false when the window holds fewer than two samples or no
+// observations landed inside it.
+func (h *History) Quantile(hist string, q float64, window time.Duration) (float64, bool) {
+	oldest, newest, ok := h.bounds(window)
+	if !ok {
+		return 0, false
+	}
+	d := Delta(oldest.Snap, newest.Snap)
+	hs := d.Histograms[hist]
+	if hs.Count <= 0 {
+		return 0, false
+	}
+	return QuantileInterp(hs, q), true
+}
+
+// HistoryDump is the /v1/metrics/history payload.
+type HistoryDump struct {
+	Capacity int             `json:"capacity"`
+	Samples  []HistorySample `json:"samples"`
+}
+
+// Dump freezes the ring for JSON export, oldest sample first.
+func (h *History) Dump() HistoryDump {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistoryDump{Capacity: len(h.samples), Samples: h.window(0)}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func histAt(t0 time.Time, secs int) time.Time { return t0.Add(time.Duration(secs) * time.Second) }
+
+func TestHistoryRingEviction(t *testing.T) {
+	h := NewHistory(3)
+	if h.Capacity() != 3 || h.Len() != 0 {
+		t.Fatalf("fresh ring cap=%d len=%d", h.Capacity(), h.Len())
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 5; i++ {
+		h.Record(histAt(t0, i), Snapshot{Counters: map[string]int64{"n": int64(i)}})
+	}
+	got := h.Samples()
+	if len(got) != 3 || h.Len() != 3 {
+		t.Fatalf("retained %d samples, want 3", len(got))
+	}
+	for i, s := range got {
+		if want := int64(i + 2); s.Snap.Counters["n"] != want {
+			t.Fatalf("sample %d holds n=%d, want %d (oldest-first after eviction)", i, s.Snap.Counters["n"], want)
+		}
+	}
+	if d := h.Dump(); d.Capacity != 3 || len(d.Samples) != 3 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if NewHistory(0).Capacity() != DefaultHistoryCapacity {
+		t.Fatal("zero capacity did not default")
+	}
+}
+
+func TestHistoryRate(t *testing.T) {
+	h := NewHistory(16)
+	t0 := time.Unix(1_700_000_000, 0)
+	if _, ok := h.Rate("req", 0); ok {
+		t.Fatal("empty history produced a rate")
+	}
+	h.Record(histAt(t0, 0), Snapshot{Counters: map[string]int64{"req": 0}})
+	if _, ok := h.Rate("req", 0); ok {
+		t.Fatal("single sample produced a rate")
+	}
+	h.Record(histAt(t0, 10), Snapshot{Counters: map[string]int64{"req": 50}})
+	h.Record(histAt(t0, 20), Snapshot{Counters: map[string]int64{"req": 250}})
+
+	// Whole-ring rate: 250 events over 20s.
+	if r, ok := h.Rate("req", 0); !ok || math.Abs(r-12.5) > 1e-9 {
+		t.Fatalf("full-span rate = %v ok=%v, want 12.5", r, ok)
+	}
+	// Windowed rate: the last 10s saw 200 events.
+	if r, ok := h.Rate("req", 10*time.Second); !ok || math.Abs(r-20) > 1e-9 {
+		t.Fatalf("10s rate = %v ok=%v, want 20", r, ok)
+	}
+	// Unknown counter rates at zero rather than erroring.
+	if r, ok := h.Rate("nope", 0); !ok || r != 0 {
+		t.Fatalf("unknown counter rate = %v ok=%v", r, ok)
+	}
+}
+
+func TestHistoryQuantileWindowsDelta(t *testing.T) {
+	reg := NewRegistry()
+	lat := reg.Histogram("lat")
+	h := NewHistory(8)
+	t0 := time.Unix(1_700_000_000, 0)
+
+	for i := 0; i < 100; i++ {
+		lat.Observe(3) // (2,4]
+	}
+	h.Record(histAt(t0, 0), reg.Snapshot())
+	for i := 0; i < 100; i++ {
+		lat.Observe(1000) // (512,1024]
+	}
+	h.Record(histAt(t0, 15), reg.Snapshot())
+
+	// The window covers only the second batch: the old fast observations must
+	// not drag the quantile down, because the delta strips them.
+	q, ok := h.Quantile("lat", 0.5, time.Minute)
+	if !ok || q <= 512 || q > 1024 {
+		t.Fatalf("windowed median = %v ok=%v, want inside (512,1024]", q, ok)
+	}
+
+	// A window with no new observations reports !ok instead of a stale 0.
+	h.Record(histAt(t0, 30), reg.Snapshot())
+	if _, ok := h.Quantile("lat", 0.5, 10*time.Second); ok {
+		t.Fatal("idle window produced a quantile")
+	}
+	if _, ok := h.Quantile("missing", 0.5, time.Minute); ok {
+		t.Fatal("unknown histogram produced a quantile")
+	}
+}

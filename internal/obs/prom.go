@@ -179,13 +179,39 @@ func promLabels(labels [][2]string, le string) string {
 	}
 	pairs := make([]string, 0, len(labels)+1)
 	for _, kv := range labels {
-		pairs = append(pairs, promLabelName(kv[0])+"="+strconv.Quote(kv[1]))
+		pairs = append(pairs, promLabelName(kv[0])+"="+promEscape(kv[1]))
 	}
 	if le != "" {
 		pairs = append(pairs, `le="`+le+`"`)
 	}
 	sort.Strings(pairs)
 	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// promEscape quotes a label value for the exposition format, which defines
+// exactly three escapes inside label values: \\, \" and \n. strconv.Quote is
+// the wrong tool here — it emits \uXXXX and \xXX escapes for non-ASCII and
+// control bytes, which exposition parsers read as literal backslash-u
+// garbage, and a federated node name like `host:9090` or a quoted shard name
+// must survive the round trip through ValidateExposition byte-exactly.
+func promEscape(v string) string {
+	var sb strings.Builder
+	sb.Grow(len(v) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
 }
 
 // promLabelName sanitises a label key ([a-zA-Z_][a-zA-Z0-9_]*).

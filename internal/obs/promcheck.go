@@ -68,16 +68,20 @@ func ValidateExposition(r io.Reader) error {
 }
 
 // parseSample splits one sample line into its series name (labels stripped)
-// and value.
+// and value. Labels are lexed strictly — quoted values, legal escapes only,
+// no duplicate keys — rather than brace-stripped by index search, so a label
+// value containing '}' or '"' parses correctly and an illegally escaped one
+// (strconv.Quote-style \uXXXX) is rejected instead of silently mangled, which
+// is exactly the class of bug federation-relabelled node names can smuggle in.
 func parseSample(line string) (name string, value float64, err error) {
 	rest := line
 	if open := strings.IndexByte(line, '{'); open >= 0 {
-		close := strings.LastIndexByte(line, '}')
-		if close < open {
-			return "", 0, fmt.Errorf("unbalanced braces in sample %q", line)
-		}
 		name = line[:open]
-		rest = name + line[close+1:]
+		tail, lerr := lexLabels(line[open+1:])
+		if lerr != nil {
+			return "", 0, fmt.Errorf("%v in sample %q", lerr, line)
+		}
+		rest = name + " " + tail
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 2 || len(fields) > 3 { // optional trailing timestamp
@@ -92,4 +96,92 @@ func parseSample(line string) (name string, value float64, err error) {
 		return name, 0, fmt.Errorf("bad sample value in %q: %v", line, err)
 	}
 	return name, v, nil
+}
+
+// lexLabels consumes a label set starting just after its opening '{' and
+// returns the text after the closing '}'. Grammar enforced, matching what a
+// Prometheus scraper accepts:
+//
+//	labels  = [ pair { "," pair } ] "}"
+//	pair    = label-name "=" '"' { char | escape } '"'
+//	escape  = `\\` | `\"` | `\n`
+//
+// with label names in [a-zA-Z_][a-zA-Z0-9_]* and no key repeated.
+func lexLabels(s string) (rest string, err error) {
+	seen := map[string]bool{}
+	i := 0
+	for {
+		if i >= len(s) {
+			return "", fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return s[i+1:], nil
+		}
+		start := i
+		for i < len(s) && labelNameByte(s[i], i == start) {
+			i++
+		}
+		if i == start {
+			return "", fmt.Errorf("bad label name at offset %d", start)
+		}
+		key := s[start:i]
+		if seen[key] {
+			return "", fmt.Errorf("duplicate label %q", key)
+		}
+		seen[key] = true
+		if i >= len(s) || s[i] != '=' {
+			return "", fmt.Errorf("missing '=' after label %q", key)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return "", fmt.Errorf("unquoted value for label %q", key)
+		}
+		i++
+		for {
+			if i >= len(s) {
+				return "", fmt.Errorf("unterminated value for label %q", key)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return "", fmt.Errorf("raw newline in value for label %q", key)
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return "", fmt.Errorf("dangling escape in value for label %q", key)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return "", fmt.Errorf("illegal escape \\%c in value for label %q", s[i+1], key)
+				}
+				i += 2
+				continue
+			}
+			i++
+		}
+		switch {
+		case i < len(s) && s[i] == ',':
+			i++
+		case i < len(s) && s[i] == '}':
+			// loop re-reads it and returns
+		default:
+			return "", fmt.Errorf("expected ',' or '}' after label %q", key)
+		}
+	}
+}
+
+// labelNameByte reports whether c is legal in a label name at the given
+// position (digits only after the first byte).
+func labelNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
 }

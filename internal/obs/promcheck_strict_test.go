@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateExpositionStrictLabels pins the strict label lexer: legal
+// escaped values (including '}' and '"' inside quotes) pass, while the
+// strconv.Quote-style escapes the old renderer could emit are rejected.
+func TestValidateExpositionStrictLabels(t *testing.T) {
+	ok := []string{
+		"a_metric 1\n",
+		`m{node="127.0.0.1:9090"} 1` + "\n",
+		`m{node="br}ace",k="v"} 2` + "\n",
+		`m{node="qu\"oted",other="\\back\\"} 3` + "\n",
+		`m{} 4` + "\n",
+		`m{n="line\nbreak"} 5` + "\n",
+	}
+	for _, body := range ok {
+		if err := ValidateExposition(strings.NewReader(body)); err != nil {
+			t.Errorf("valid exposition rejected: %v\n%s", err, body)
+		}
+	}
+
+	bad := []struct{ body, why string }{
+		{`m{node="\u0041"} 1` + "\n", "strconv-style unicode escape"},
+		{`m{node="\x41"} 1` + "\n", "hex escape"},
+		{`m{node="unterminated} 1` + "\n", "unterminated quote"},
+		{`m{node=bare} 1` + "\n", "unquoted value"},
+		{`m{node="a" extra="b"} 1` + "\n", "missing comma"},
+		{`m{node="a",node="b"} 1` + "\n", "duplicate label"},
+		{`m{1ode="a"} 1` + "\n", "label name starting with digit"},
+		{`m{node="a"` + "\n", "unterminated label set"},
+		{`m{node="dangling\` + "\n", "dangling escape"},
+	}
+	for _, c := range bad {
+		if err := ValidateExposition(strings.NewReader(c.body)); err == nil {
+			t.Errorf("accepted %s:\n%s", c.why, c.body)
+		}
+	}
+}
+
+// TestPromEscape pins the exposition escaping table.
+func TestPromEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `"plain"`},
+		{`host:9090`, `"host:9090"`},
+		{`say "hi"`, `"say \"hi\""`},
+		{`a\b`, `"a\\b"`},
+		{"two\nlines", `"two\nlines"`},
+		{`curly } brace`, `"curly } brace"`},
+		{"ünïcode", `"ünïcode"`}, // passes through raw, never \uXXXX
+	}
+	for _, c := range cases {
+		if got := promEscape(c.in); got != c.want {
+			t.Errorf("promEscape(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}

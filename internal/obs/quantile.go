@@ -1,0 +1,51 @@
+package obs
+
+// QuantileInterp estimates the q-quantile of a histogram snapshot by linear
+// interpolation inside the bucket the quantile rank lands in, the same
+// estimate PromQL's histogram_quantile computes. The registry's buckets are
+// power-of-two: bucket Le holds observations in (Le/2, Le], except Le == 1
+// which holds everything <= 1, so a bucket's lower edge is Le/2 (0 for the
+// first). HistogramSnapshot.Quantile's bucket upper bound is the right answer
+// for "did we beat the SLO"; the interpolated form is what trend queries and
+// burn-rate math want, because steps between bucket edges would otherwise
+// alias into rate spikes.
+//
+// Empty histograms return 0. q is clamped to [0,1]; q == 1 returns the upper
+// edge of the last occupied bucket.
+func QuantileInterp(h HistogramSnapshot, q float64) float64 {
+	if h.Count <= 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	var seen float64
+	for _, b := range h.Buckets {
+		if b.Count <= 0 {
+			continue
+		}
+		lo := b.Le / 2
+		if b.Le <= 1 {
+			lo = 0
+		}
+		if seen+float64(b.Count) >= target {
+			frac := (target - seen) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(b.Le-lo)
+		}
+		seen += float64(b.Count)
+	}
+	return h.Buckets[len(h.Buckets)-1].Le
+}
+
+// Quantile is the snapshot-level spelling of QuantileInterp: the interpolated
+// q-quantile of the named histogram, 0 when the histogram is absent or empty.
+func (s Snapshot) Quantile(hist string, q float64) float64 {
+	return QuantileInterp(s.Histograms[hist], q)
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpEdgeCases(t *testing.T) {
+	if got := QuantileInterp(HistogramSnapshot{}, 0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := (Snapshot{}).Quantile("missing", 0.99); got != 0 {
+		t.Fatalf("absent histogram quantile = %v, want 0", got)
+	}
+
+	// Single bucket (2,4]: interpolation walks the bucket linearly from the
+	// lower edge 2 to the upper edge 4.
+	single := HistogramSnapshot{Count: 4, Buckets: []Bucket{{Le: 4, Count: 4}}}
+	cases := []struct{ q, want float64 }{
+		{0, 2}, {0.5, 3}, {1, 4}, {-1, 2}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := QuantileInterp(single, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("single-bucket q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// The first bucket (Le == 1) spans [0,1], not (0.5,1].
+	first := HistogramSnapshot{Count: 2, Buckets: []Bucket{{Le: 1, Count: 2}}}
+	if got := QuantileInterp(first, 0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("first-bucket median = %v, want 0.5", got)
+	}
+}
+
+func TestQuantileInterpGolden(t *testing.T) {
+	// 10 observations: 4 in (1,2], 4 in (2,4], 2 in (4,8].
+	h := HistogramSnapshot{Count: 10, Buckets: []Bucket{
+		{Le: 2, Count: 4}, {Le: 4, Count: 4}, {Le: 8, Count: 2},
+	}}
+	cases := []struct{ q, want float64 }{
+		{0.2, 1.5},  // rank 2 of 4 in (1,2]: 1 + 0.5*1
+		{0.4, 2.0},  // rank 4 exactly exhausts the first bucket
+		{0.5, 2.5},  // rank 5: 1 of 4 into (2,4]
+		{0.8, 4.0},  // rank 8 exhausts the second bucket
+		{0.9, 6.0},  // rank 9: 1 of 2 into (4,8]
+		{1.0, 8.0},  // the top edge
+		{0.05, 1.125}, // rank 0.5 of 4 in (1,2]
+	}
+	for _, c := range cases {
+		if got := QuantileInterp(h, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%v: got %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// The interpolated estimate never exceeds the bucket-upper-bound answer.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		if lo, hi := QuantileInterp(h, q), h.Quantile(q); lo > hi {
+			t.Errorf("q=%v: interpolated %v above bucket bound %v", q, lo, hi)
+		}
+	}
+}
+
+func TestSnapshotQuantileFromRegistry(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // all in bucket (512,1024]
+	}
+	got := r.Snapshot().Quantile("lat", 0.5)
+	if got <= 512 || got > 1024 {
+		t.Fatalf("median %v outside the occupied bucket (512,1024]", got)
+	}
+}

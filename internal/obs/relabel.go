@@ -1,0 +1,113 @@
+package obs
+
+// This file is the snapshot algebra behind the router's /metrics federation:
+// each member's snapshot is Relabel-ed with its node name and the results
+// Merge-d into one registry-shaped snapshot, which WritePrometheus then
+// renders as a single exposition — one scrape config for the whole cluster.
+
+// Relabel returns a copy of the snapshot with label key=value stamped onto
+// every metric name that does not already carry the key. An existing pair
+// wins (Prometheus honor_labels semantics): the router's own per-member
+// metrics — probe states, forward counters — keep the member they describe
+// instead of being squashed under the router's identity. The encoding
+// round-trips through Labeled, so values are sanitized the same way live
+// instrumentation sanitizes them and the result renders identically to a
+// registry that carried the label from the start.
+func Relabel(s Snapshot, key, value string) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[relabelName(name, key, value)] = v
+	}
+	for name, g := range s.Gauges {
+		out.Gauges[relabelName(name, key, value)] = g
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[relabelName(name, key, value)] = h
+	}
+	return out
+}
+
+// relabelName rewrites one metric name with the extra label pair folded in.
+func relabelName(name, key, value string) string {
+	base, labels := splitLabels(name)
+	kv := make([]string, 0, 2*len(labels)+2)
+	skey := sanitizeLabel(key)
+	for _, l := range labels {
+		if l[0] == skey {
+			return name // the existing pair wins
+		}
+		kv = append(kv, l[0], l[1])
+	}
+	kv = append(kv, key, value)
+	return Labeled(base, kv...)
+}
+
+// Merge unions snapshots into one. Metric names colliding across inputs —
+// which federation avoids by construction, every input carrying a distinct
+// node label — combine by kind: counters and histograms add (they are sums of
+// disjoint event sets), gauges keep the later input's level and the larger
+// high-water mark.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]GaugeSnapshot{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, g := range s.Gauges {
+			if prev, ok := out.Gauges[name]; ok && prev.Max > g.Max {
+				g.Max = prev.Max
+			}
+			out.Gauges[name] = g
+		}
+		for name, h := range s.Histograms {
+			out.Histograms[name] = addHistograms(out.Histograms[name], h)
+		}
+	}
+	return out
+}
+
+// addHistograms sums two histogram snapshots bucket-wise, keeping the
+// ascending-Le order WritePrometheus needs.
+func addHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	if a.Count == 0 && len(a.Buckets) == 0 {
+		return b
+	}
+	sum := HistogramSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	byLe := make(map[float64]int64, len(a.Buckets)+len(b.Buckets))
+	for _, bk := range a.Buckets {
+		byLe[bk.Le] += bk.Count
+	}
+	for _, bk := range b.Buckets {
+		byLe[bk.Le] += bk.Count
+	}
+	for _, bk := range a.Buckets {
+		if n, ok := byLe[bk.Le]; ok {
+			sum.Buckets = append(sum.Buckets, Bucket{Le: bk.Le, Count: n})
+			delete(byLe, bk.Le)
+		}
+	}
+	for _, bk := range b.Buckets {
+		if n, ok := byLe[bk.Le]; ok {
+			sum.Buckets = append(sum.Buckets, Bucket{Le: bk.Le, Count: n})
+			delete(byLe, bk.Le)
+		}
+	}
+	sortBucketsByLe(sum.Buckets)
+	return sum
+}
+
+func sortBucketsByLe(bs []Bucket) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Le < bs[j-1].Le; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}

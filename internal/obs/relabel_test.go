@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelabelStampsEveryKind(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("req.total", "tenant", "acme")).Add(7)
+	r.Gauge("queue.depth").Set(3)
+	r.Histogram("lat").Observe(100)
+
+	out := Relabel(r.Snapshot(), "node", "n1")
+	if out.Counters[`req.total{node=n1,tenant=acme}`] != 7 {
+		t.Fatalf("counter not relabelled: %v", out.Counters)
+	}
+	if out.Gauges[`queue.depth{node=n1}`].Value != 3 {
+		t.Fatalf("gauge not relabelled: %v", out.Gauges)
+	}
+	if out.Histograms[`lat{node=n1}`].Count != 1 {
+		t.Fatalf("histogram not relabelled: %v", out.Histograms)
+	}
+
+	// Re-stamping the same key is a no-op: the existing pair wins, so a
+	// router metric already naming a member keeps that member.
+	again := Relabel(out, "node", "n2")
+	if _, ok := again.Counters[`req.total{node=n1,tenant=acme}`]; !ok {
+		t.Fatalf("existing label did not win: %v", again.Counters)
+	}
+	for name := range again.Counters {
+		if strings.Count(name, "node=") != 1 {
+			t.Fatalf("duplicated node label in %q", name)
+		}
+	}
+}
+
+func TestMergeCombinesByKind(t *testing.T) {
+	a := Snapshot{
+		Counters: map[string]int64{"shared": 2, "onlyA": 1},
+		Gauges:   map[string]GaugeSnapshot{"g": {Value: 1, Max: 9}},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 2, Sum: 6, Buckets: []Bucket{
+			{Le: 2, Count: 1}, {Le: 4, Count: 1},
+		}}},
+	}
+	b := Snapshot{
+		Counters: map[string]int64{"shared": 3, "onlyB": 5},
+		Gauges:   map[string]GaugeSnapshot{"g": {Value: 4, Max: 4}},
+		Histograms: map[string]HistogramSnapshot{"h": {Count: 3, Sum: 9, Buckets: []Bucket{
+			{Le: 4, Count: 2}, {Le: 1, Count: 1},
+		}}},
+	}
+	m := Merge(a, b)
+	if m.Counters["shared"] != 5 || m.Counters["onlyA"] != 1 || m.Counters["onlyB"] != 5 {
+		t.Fatalf("counters = %v", m.Counters)
+	}
+	if g := m.Gauges["g"]; g.Value != 4 || g.Max != 9 {
+		t.Fatalf("gauge merge = %+v, want later value 4 with max 9", g)
+	}
+	h := m.Histograms["h"]
+	if h.Count != 5 || h.Sum != 15 {
+		t.Fatalf("histogram totals = %+v", h)
+	}
+	wantLes := []float64{1, 2, 4}
+	if len(h.Buckets) != 3 {
+		t.Fatalf("buckets = %+v", h.Buckets)
+	}
+	for i, le := range wantLes {
+		if h.Buckets[i].Le != le {
+			t.Fatalf("bucket %d Le=%v, want ascending %v", i, h.Buckets[i].Le, wantLes)
+		}
+	}
+	if h.Buckets[2].Count != 3 { // 1 from a + 2 from b at Le=4
+		t.Fatalf("Le=4 bucket count = %d, want 3", h.Buckets[2].Count)
+	}
+}
+
+// TestFederatedNamesRoundTripExposition is the satellite's escaping check:
+// node names carrying ':' (host:port) and '"' must survive Relabel →
+// WritePrometheus → ValidateExposition.
+func TestFederatedNamesRoundTripExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("req.total", "tenant", "acme")).Add(1)
+	r.Histogram("lat").Observe(5)
+
+	for _, node := range []string{`127.0.0.1:9090`, `node"quoted"`, `back\slash`} {
+		relabelled := Relabel(r.Snapshot(), "node", node)
+		var sb strings.Builder
+		if err := relabelled.WritePrometheus(&sb, "rumba"); err != nil {
+			t.Fatalf("node %q: write: %v", node, err)
+		}
+		if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("node %q: exposition invalid: %v\n%s", node, err, sb.String())
+		}
+	}
+}

@@ -141,6 +141,13 @@ type driftMonitor struct {
 	obsTotal   int64
 	firedTotal int64
 	fpTotal    int64
+	// elemTotal/missTotal count every delivered element and the subset whose
+	// delivered-error estimate exceeded the target — the cumulative good/bad
+	// feed for the TOQ error budget (internal/slo). Unlike the windowed
+	// verdicts these move per element, so the burn-rate engine sees a
+	// violation building before the first window closes.
+	elemTotal int64
+	missTotal int64
 
 	state        DriftState
 	lastEstimate float64
@@ -165,6 +172,10 @@ func (d *driftMonitor) note(results []core.StreamResult) {
 		}
 		d.estSum += est
 		d.n++
+		d.elemTotal++
+		if est > d.target {
+			d.missTotal++
+		}
 		if r.Fixed || r.Degraded {
 			d.fired++
 		}
@@ -240,6 +251,8 @@ type DriftSnapshot struct {
 	ObsTotal     int64   `json:"observedSamples"`
 	FiredTotal   int64   `json:"firedTotal"`
 	FPTotal      int64   `json:"falsePositives"`
+	ElemTotal    int64   `json:"elemTotal,omitempty"`
+	MissTotal    int64   `json:"missTotal,omitempty"`
 	LastEstimate float64 `json:"lastEstimate"`
 	LastObserved float64 `json:"lastObserved"`
 }
@@ -261,6 +274,8 @@ func (d *driftMonitor) snapshot() *DriftSnapshot {
 		ObsTotal:     d.obsTotal,
 		FiredTotal:   d.firedTotal,
 		FPTotal:      d.fpTotal,
+		ElemTotal:    d.elemTotal,
+		MissTotal:    d.missTotal,
 		LastEstimate: d.lastEstimate,
 		LastObserved: d.lastObserved,
 	}
@@ -303,6 +318,8 @@ func restoreDriftMonitor(s *DriftSnapshot) *driftMonitor {
 	d.obsTotal = s.ObsTotal
 	d.firedTotal = s.FiredTotal
 	d.fpTotal = s.FPTotal
+	d.elemTotal = s.ElemTotal
+	d.missTotal = s.MissTotal
 	d.lastEstimate = s.LastEstimate
 	d.lastObserved = s.LastObserved
 	switch s.State {
@@ -342,6 +359,15 @@ type DriftInfo struct {
 	// the target although the checker fired.
 	ObservedSamples   int64   `json:"observedSamples"`
 	FalsePositiveRate float64 `json:"falsePositiveRate"`
+}
+
+// toqTotals exports the cumulative delivered-element and TOQ-miss totals —
+// the TOQ error budget's good/bad feed. Caller holds the tenant mutex.
+func (d *driftMonitor) toqTotals() (total, miss int64) {
+	if d == nil {
+		return 0, 0
+	}
+	return d.elemTotal, d.missTotal
 }
 
 // info exports the monitor state. Caller holds the tenant mutex.

@@ -12,6 +12,7 @@ import (
 
 	"rumba/internal/buildinfo"
 	"rumba/internal/core"
+	"rumba/internal/slo"
 	"rumba/internal/trace"
 )
 
@@ -107,12 +108,15 @@ type errorResponse struct {
 //	PUT    /v1/tenants/{id}/state     import state exported by another node
 //	DELETE /v1/tenants/{id}/state     drop the tenant's live state (post-handoff)
 //	GET    /v1/version                build provenance (git commit, toolchain)
+//	GET    /v1/alerts                 SLO burn-rate alert state (all tenants)
 //	GET    /healthz                   process liveness
 //	GET    /readyz                    200 while servable, 503 with a reason
 //	                                  (draining, or no kernels loaded)
 //	GET    /metrics                   Prometheus text exposition
 //	GET    /metrics.json              observability registry snapshot (JSON)
+//	GET    /v1/metrics/history        snapshot ring (when HistoryInterval > 0)
 //	GET    /debug/rumba/traces        flight-recorder dump (when tracing is on)
+//	GET    /debug/rumba/traces/{traceID}  retained traces for one trace ID
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/invoke", s.handleInvoke)
@@ -130,6 +134,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, VersionInfo{Service: "rumba-serve", Info: buildinfo.Resolve()})
 	})
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)
 	mux.HandleFunc("GET /v1/tenants/{id}/health", s.handleTenantHealth)
 	mux.HandleFunc("GET /v1/tenants/{id}/state", s.handleTenantStateGet)
 	mux.HandleFunc("PUT /v1/tenants/{id}/state", s.handleTenantStatePut)
@@ -149,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.recorder.ServeHTTP(w, r)
 	})
+	mux.HandleFunc("GET /debug/rumba/traces/{traceID}", s.handleTraceByID)
 	if s.opts.EnablePprof {
 		// Opt-in only (Options.EnablePprof / rumba-serve -pprof): these
 		// endpoints expose goroutine stacks, heap contents and the command
@@ -240,10 +247,18 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 	// Request tracing (Options.TraceCapacity > 0): the trace rides the
 	// context into the pipeline; every method below is nil-safe, so the
-	// disabled path costs nil checks only.
+	// disabled path costs nil checks only. A routed request carries the
+	// cluster trace identity in X-Rumba-Traceparent — adopting it is what
+	// lets the router stitch this node's span subtree under its forward hop;
+	// direct (edge) requests mint a fresh trace ID here.
 	var tr *trace.Trace
 	if s.recorder != nil {
-		tr = trace.New("invoke", 0)
+		if tid, parent, ok := trace.ParseTraceparent(r.Header.Get(trace.TraceparentHeader)); ok {
+			tr = trace.NewLinked("invoke", tid, parent, 0)
+		} else {
+			tr = trace.New("invoke", 0)
+		}
+		w.Header().Set(trace.TraceHeader, tr.TraceID())
 		root := tr.Root()
 		root.SetStr("tenant", req.Tenant)
 		root.SetStr("kernel", req.Kernel)
@@ -265,6 +280,11 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		j.span.End()
 		tr.SetFlag(trace.FlagShed)
 		s.mShed.Inc()
+		ts.mu.Lock()
+		ts.reqTotal++
+		ts.reqShed++
+		s.feedSLO(ts, k)
+		ts.mu.Unlock()
 		outputs, err := s.shed(k, req.Inputs)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
@@ -330,9 +350,13 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 // verdict for every kernel the tenant touches.
 type TenantHealth struct {
 	Tenant string `json:"tenant"`
-	// Healthy is false when any kernel's drift monitor is violating.
+	// Healthy is false when any kernel's drift monitor is violating, or any
+	// SLO error budget is burning at page severity.
 	Healthy bool         `json:"healthy"`
 	Kernels []TenantInfo `json:"kernels"`
+	// SLO is the tenant's evaluated burn-rate alert state, one entry per
+	// budget series (absent when the engine is disabled).
+	SLO []slo.Alert `json:"slo,omitempty"`
 }
 
 func (s *Server) handleTenantHealth(w http.ResponseWriter, r *http.Request) {
@@ -350,6 +374,12 @@ func (s *Server) handleTenantHealth(w http.ResponseWriter, r *http.Request) {
 	if len(health.Kernels) == 0 {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
 		return
+	}
+	health.SLO = s.sloEngine.Tenant(id, time.Now())
+	for _, a := range health.SLO {
+		if a.Severity == slo.SeverityPage {
+			health.Healthy = false
+		}
 	}
 	writeJSON(w, http.StatusOK, health)
 }

@@ -165,5 +165,9 @@ func (s *Server) handleTenantStateDelete(w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown tenant %q", id))
 		return
 	}
+	// The moved tenant's budget series go with it: the new owner rebuilds
+	// them from the handed-off cumulative totals, and keeping them here would
+	// leave a stale alert pinned to a tenant this node no longer serves.
+	s.sloEngine.Forget(id)
 	writeJSON(w, http.StatusOK, map[string]any{"tenant": id, "removed": removed})
 }

@@ -11,6 +11,7 @@ import (
 
 	"rumba/internal/core"
 	"rumba/internal/obs"
+	"rumba/internal/slo"
 	"rumba/internal/trace"
 	"rumba/internal/tune"
 )
@@ -88,6 +89,16 @@ type Options struct {
 	// kernel's p99 SLO (see tune.go). nil serves every tenant on the default
 	// datapath at Options.BatchSize.
 	Frontier *tune.Frontier
+	// HistoryInterval enables the metrics history ring: every interval the
+	// registry is snapshotted into a fixed ring served from
+	// /v1/metrics/history. <= 0 disables (the default).
+	HistoryInterval time.Duration
+	// HistoryCapacity is the ring size; <= 0 uses obs.DefaultHistoryCapacity
+	// (240 — one hour at a 15s interval).
+	HistoryCapacity int
+	// SLO configures the per-tenant burn-rate alerting engine (see
+	// SLOOptions); the zero value disables it.
+	SLO SLOOptions
 }
 
 // Server is the rumba-serve daemon: registry + tenant manager + admission
@@ -100,6 +111,15 @@ type Server struct {
 	metrics *obs.Registry
 	// recorder is the trace flight recorder (nil when tracing is disabled).
 	recorder *trace.Recorder
+	// history is the metrics snapshot ring (nil when HistoryInterval <= 0);
+	// sloEngine the burn-rate engine (nil when SLO.Enabled is false). stopCh
+	// stops their background loops — closed once in Shutdown. The loops start
+	// in New, not Run, because tests and the cluster harness mount Handler()
+	// directly under httptest without ever calling Run.
+	history   *obs.History
+	sloEngine *slo.Engine
+	sloOpts   SLOOptions
+	stopCh    chan struct{}
 
 	mRequests, mShed, mDeadline *obs.Counter
 	hLatency                    *obs.Histogram
@@ -149,6 +169,22 @@ func New(reg *Registry, opts Options) (*Server, error) {
 			Capacity:    opts.TraceCapacity,
 			SampleEvery: opts.TraceSampleEvery,
 		})
+	}
+	s.stopCh = make(chan struct{})
+	if opts.SLO.Enabled {
+		s.sloOpts = opts.SLO.withDefaults()
+		s.sloEngine = slo.New(slo.Config{
+			FastWindow: s.sloOpts.FastWindow,
+			SlowWindow: s.sloOpts.SlowWindow,
+			PageBurn:   s.sloOpts.PageBurn,
+			TicketBurn: s.sloOpts.TicketBurn,
+			MinEvents:  s.sloOpts.MinEvents,
+		})
+		go s.sloLoop(s.sloOpts.EvalInterval)
+	}
+	if opts.HistoryInterval > 0 {
+		s.history = obs.NewHistory(opts.HistoryCapacity)
+		go s.historyLoop(opts.HistoryInterval)
 	}
 	if opts.StatePath != "" {
 		restored, skipped, err := s.tenants.LoadState(opts.StatePath, reg)
@@ -218,6 +254,9 @@ func (s *Server) execute(j *job) {
 		return
 	}
 	s.tenants.noteResults(ts, j.kernel.Spec.Cost, results)
+	ts.reqTotal++
+	ts.noteChunks(j.kernel, len(results), batch, elapsed)
+	s.feedSLO(ts, j.kernel)
 	if ts.tuner != nil {
 		s.metrics.Gauge(obs.Labeled(core.MetricThreshold,
 			"tenant", ts.key.Tenant, "kernel", ts.key.Kernel)).Set(ts.tuner.Threshold)
@@ -330,6 +369,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.shutdownOnce.Do(func() {
 		s.ready.Store(false)
+		close(s.stopCh)
 		if s.http != nil {
 			err = s.http.Shutdown(ctx)
 		}

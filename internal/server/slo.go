@@ -1,0 +1,184 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rumba/internal/slo"
+)
+
+// This file wires the SLO burn-rate engine (internal/slo) and the metrics
+// history ring (obs.History) into the serving layer. The engine consumes
+// three cumulative per-tenant feeds, all maintained under the tenant mutex on
+// paths that already hold it:
+//
+//   - TOQ: the drift monitor's delivered-element / miss totals (an element
+//     misses when its delivered-error estimate exceeds the tenant's target)
+//   - latency: stream chunks processed vs chunks whose mean latency exceeded
+//     the kernel package's declared p99 SLO
+//   - shed: requests completed vs refused by admission control
+//
+// A background loop publishes the evaluated burn rates as slo.* gauges; the
+// /v1/alerts endpoint and the tenant health reply evaluate on demand, so
+// alert state is current even between publish ticks.
+
+// SLOOptions configures the burn-rate engine. The zero value (Enabled false)
+// disables it entirely: no engine, no goroutine, no per-request overhead
+// beyond a nil check.
+type SLOOptions struct {
+	// Enabled turns the engine on (rumba-serve -slo).
+	Enabled bool
+	// FastWindow/SlowWindow are the multi-window burn horizons
+	// (defaults 5m / 1h — see slo.Config).
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// PageBurn/TicketBurn are the severity thresholds both windows must
+	// exceed (defaults 14.4 / 3).
+	PageBurn   float64
+	TicketBurn float64
+	// MinEvents is the fast-window event floor below which a series cannot
+	// alert (default 10).
+	MinEvents int64
+	// TOQMissBudget is the tolerated fraction of elements missing their TOQ
+	// target; <= 0 uses 0.05.
+	TOQMissBudget float64
+	// SlowChunkBudget is the tolerated fraction of stream chunks over the
+	// package p99 SLO; <= 0 uses 0.01.
+	SlowChunkBudget float64
+	// ShedBudget is the tolerated fraction of requests shed by admission;
+	// <= 0 uses 0.01.
+	ShedBudget float64
+	// EvalInterval is the gauge publish cadence; <= 0 uses 5s.
+	EvalInterval time.Duration
+}
+
+func (o SLOOptions) withDefaults() SLOOptions {
+	if o.TOQMissBudget <= 0 {
+		o.TOQMissBudget = 0.05
+	}
+	if o.SlowChunkBudget <= 0 {
+		o.SlowChunkBudget = 0.01
+	}
+	if o.ShedBudget <= 0 {
+		o.ShedBudget = 0.01
+	}
+	if o.EvalInterval <= 0 {
+		o.EvalInterval = 5 * time.Second
+	}
+	return o
+}
+
+// feedSLO pushes one tenant's cumulative budget feeds into the engine.
+// Caller holds ts.mu; k may be nil (shed path after a registry miss cannot
+// happen, but the latency budget simply needs the kernel's SLO).
+func (s *Server) feedSLO(ts *tenant, k *Kernel) {
+	if s.sloEngine == nil {
+		return
+	}
+	now := time.Now()
+	key := slo.Key{Tenant: ts.key.Tenant, Kernel: ts.key.Kernel}
+	if total, miss := ts.drift.toqTotals(); total > 0 {
+		key.Budget = slo.BudgetTOQ
+		s.sloEngine.Record(key, s.sloOpts.TOQMissBudget, total-miss, miss, now)
+	}
+	if k != nil && k.P99SLOMillis > 0 && ts.chunkTotal > 0 {
+		key.Budget = slo.BudgetLatency
+		s.sloEngine.Record(key, s.sloOpts.SlowChunkBudget, ts.chunkTotal-ts.chunkSlow, ts.chunkSlow, now)
+	}
+	if ts.reqTotal > 0 {
+		key.Budget = slo.BudgetShed
+		s.sloEngine.Record(key, s.sloOpts.ShedBudget, ts.reqTotal-ts.reqShed, ts.reqShed, now)
+	}
+}
+
+// noteChunks folds one executed request's chunk-latency verdict into the
+// tenant's latency budget: the request's chunks count slow when their mean
+// latency exceeded the kernel's p99 SLO. Caller holds ts.mu.
+func (ts *tenant) noteChunks(k *Kernel, elements, batch int, elapsed time.Duration) {
+	if elements <= 0 || batch <= 0 {
+		return
+	}
+	chunks := int64((elements + batch - 1) / batch)
+	ts.chunkTotal += chunks
+	if k.P99SLOMillis > 0 {
+		perChunkNs := float64(elapsed.Nanoseconds()) / float64(chunks)
+		if perChunkNs > k.P99SLOMillis*1e6 {
+			ts.chunkSlow += chunks
+		}
+	}
+}
+
+// sloLoop periodically mirrors the evaluated burn rates into slo.* gauges.
+func (s *Server) sloLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case now := <-t.C:
+			s.sloEngine.Publish(s.metrics, now)
+		}
+	}
+}
+
+// historyLoop records periodic registry snapshots into the history ring.
+func (s *Server) historyLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case now := <-t.C:
+			s.history.Record(now, s.metrics.Snapshot())
+		}
+	}
+}
+
+// AlertsResponse is the GET /v1/alerts reply.
+type AlertsResponse struct {
+	Enabled bool        `json:"enabled"`
+	Alerts  []slo.Alert `json:"alerts"`
+}
+
+// handleAlerts is GET /v1/alerts: every budget series' evaluated state.
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	resp := AlertsResponse{Enabled: s.sloEngine != nil}
+	if s.sloEngine != nil {
+		resp.Alerts = s.sloEngine.Evaluate(time.Now())
+	}
+	if resp.Alerts == nil {
+		resp.Alerts = []slo.Alert{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetricsHistory is GET /v1/metrics/history: the node's snapshot ring.
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("metrics history disabled; enable with Options.HistoryInterval (rumba-serve -history-interval)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.history.Dump())
+}
+
+// handleTraceByID is GET /debug/rumba/traces/{traceID}: the flight-recorder
+// lookup behind the router's cross-node stitcher.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("tracing disabled; enable with Options.TraceCapacity (rumba-serve -trace-capacity)"))
+		return
+	}
+	id := r.PathValue("traceID")
+	snaps := s.recorder.Lookup(id)
+	if len(snaps) == 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no retained trace %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traceID": id, "traces": snaps})
+}

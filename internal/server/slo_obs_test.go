@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"rumba/internal/slo"
+	"rumba/internal/trace"
+)
+
+// batchOf builds n synthetic triples sharing one checker score.
+func batchOf(n int, score float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = in(float64(i), score)
+	}
+	return out
+}
+
+// TestSLOBurnRateAlerts drives a TOQ violation end to end: an energy-mode
+// tenant's threshold is pushed above 0.15, then 0.15-score elements ship
+// approximate — every one missing the 0.10 drift target — and the fast
+// burn-rate window pages, visible in /v1/alerts and the tenant health reply.
+func TestSLOBurnRateAlerts(t *testing.T) {
+	srv, hs := newTestServer(t, Options{
+		InvocationSize: 8,
+		SLO: SLOOptions{
+			Enabled:    true,
+			FastWindow: 80 * time.Millisecond,
+			SlowWindow: 160 * time.Millisecond,
+			// Publish fast so the slo.* gauges exist by the time we scrape.
+			EvalInterval: 10 * time.Millisecond,
+		},
+	}, synthKernel("synth", synthExec{}))
+
+	// Drive: every element fires (0.9 > energy budget 0.25), so each
+	// 8-element invocation doubles the threshold past 0.15.
+	threshold := 0.0
+	for i := 0; i < 5; i++ {
+		status, resp, msg := invoke(t, hs.URL, InvokeRequest{
+			Tenant: "acme", Kernel: "synth", Inputs: batchOf(8, 0.9),
+			Mode: "energy", Target: 0.25,
+		})
+		if status != http.StatusOK {
+			t.Fatalf("drive round %d: %d (%s)", i, status, msg)
+		}
+		threshold = resp.Threshold
+	}
+	if threshold <= 0.15 {
+		t.Fatalf("threshold %v never rose above 0.15; the miss traffic below would fire", threshold)
+	}
+
+	// Age the (healthy) drive phase out of both burn windows.
+	time.Sleep(200 * time.Millisecond)
+
+	// Violation: 0.15-score elements pass the raised threshold unfired, so
+	// the delivered-error estimate 0.15 breaches the 0.10 drift target on
+	// every element.
+	for i := 0; i < 6; i++ {
+		if status, _, msg := invoke(t, hs.URL, InvokeRequest{
+			Tenant: "acme", Kernel: "synth", Inputs: batchOf(8, 0.15),
+		}); status != http.StatusOK {
+			t.Fatalf("miss round %d: %d (%s)", i, status, msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var alerts AlertsResponse
+	getJSON(t, hs.URL+"/v1/alerts", http.StatusOK, &alerts)
+	if !alerts.Enabled {
+		t.Fatal("/v1/alerts says the engine is disabled")
+	}
+	var toq *slo.Alert
+	for i := range alerts.Alerts {
+		if a := &alerts.Alerts[i]; a.Tenant == "acme" && a.Budget == slo.BudgetTOQ {
+			toq = a
+		}
+	}
+	if toq == nil {
+		t.Fatalf("no TOQ series for acme in %+v", alerts.Alerts)
+	}
+	if toq.Severity != slo.SeverityPage {
+		t.Fatalf("TOQ severity %q (fast burn %.1f over %d events), want page",
+			toq.Severity, toq.Fast.Burn, toq.Fast.Total)
+	}
+
+	var health TenantHealth
+	getJSON(t, hs.URL+"/v1/tenants/acme/health", http.StatusOK, &health)
+	if health.Healthy {
+		t.Fatal("paging tenant still reports healthy")
+	}
+	paged := false
+	for _, a := range health.SLO {
+		if a.Budget == slo.BudgetTOQ && a.Severity == slo.SeverityPage {
+			paged = true
+		}
+	}
+	if !paged {
+		t.Fatalf("health.SLO missing the page: %+v", health.SLO)
+	}
+
+	// The publisher loop mirrors the alert into slo.* gauges.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := srv.Metrics().Snapshot()
+		if v, ok := snap.Gauges["slo.alert{budget=toq,tenant=acme}"]; ok && v.Value == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slo.alert gauge never reached page level; gauges: %v", snap.Gauges)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestAlertsDisabledByDefault(t *testing.T) {
+	_, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}))
+	var alerts AlertsResponse
+	getJSON(t, hs.URL+"/v1/alerts", http.StatusOK, &alerts)
+	if alerts.Enabled || len(alerts.Alerts) != 0 {
+		t.Fatalf("zero-config server reports %+v", alerts)
+	}
+}
+
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{
+		HistoryInterval: 10 * time.Millisecond,
+		HistoryCapacity: 4,
+	}, synthKernel("synth", synthExec{}))
+	if status, _, _ := invoke(t, hs.URL, InvokeRequest{Kernel: "synth", Inputs: batchOf(4, 0)}); status != 200 {
+		t.Fatalf("seed invoke failed")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var dump struct {
+			Capacity int `json:"capacity"`
+			Samples  []struct {
+				At   time.Time `json:"at"`
+				Snap struct {
+					Counters map[string]int64 `json:"counters"`
+				} `json:"snapshot"`
+			} `json:"samples"`
+		}
+		getJSON(t, hs.URL+"/v1/metrics/history", http.StatusOK, &dump)
+		if dump.Capacity != 4 {
+			t.Fatalf("capacity = %d, want 4", dump.Capacity)
+		}
+		if n := len(dump.Samples); n >= 2 {
+			if n > 4 {
+				t.Fatalf("ring overflowed: %d samples", n)
+			}
+			if !dump.Samples[0].At.Before(dump.Samples[n-1].At) {
+				t.Fatalf("samples not oldest-first")
+			}
+			if dump.Samples[n-1].Snap.Counters[MetricRequests] < 1 {
+				t.Fatalf("newest snapshot missing the request count")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("history collector never produced 2 samples")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMetricsHistoryDisabled(t *testing.T) {
+	_, hs := newTestServer(t, Options{}, synthKernel("synth", synthExec{}))
+	resp, err := http.Get(hs.URL + "/v1/metrics/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled history = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestInvokeAdoptsTraceparent pins the propagation contract: a request
+// carrying X-Rumba-Traceparent is recorded under the propagated trace ID with
+// the sender's span as remote parent, the response names the trace, and the
+// per-ID endpoint returns it.
+func TestInvokeAdoptsTraceparent(t *testing.T) {
+	_, hs := newTestServer(t, Options{TraceCapacity: 8}, synthKernel("synth", synthExec{}))
+
+	const traceID = "aaaabbbbccccddddaaaabbbbccccdddd"
+	const parent = "00000000000000ff"
+	body, _ := json.Marshal(InvokeRequest{Kernel: "synth", Inputs: batchOf(4, 0)})
+	req, _ := http.NewRequest("POST", hs.URL+"/v1/invoke", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.TraceparentHeader, trace.FormatTraceparent(traceID, parent))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(trace.TraceHeader); got != traceID {
+		t.Fatalf("%s = %q, want adopted %q", trace.TraceHeader, got, traceID)
+	}
+
+	var lookup struct {
+		TraceID string           `json:"traceID"`
+		Traces  []trace.Snapshot `json:"traces"`
+	}
+	getJSON(t, hs.URL+"/debug/rumba/traces/"+traceID, http.StatusOK, &lookup)
+	if len(lookup.Traces) != 1 {
+		t.Fatalf("lookup returned %d traces, want 1", len(lookup.Traces))
+	}
+	snap := lookup.Traces[0]
+	if snap.TraceID != traceID || snap.RemoteParent != parent {
+		t.Fatalf("trace identity %s/%s, want %s/%s", snap.TraceID, snap.RemoteParent, traceID, parent)
+	}
+	if len(snap.Spans) < 2 || snap.Spans[0].Name != "invoke" {
+		t.Fatalf("span tree: %+v", snap.Spans)
+	}
+
+	// A junk traceparent mints a fresh trace instead of failing the request.
+	req2, _ := http.NewRequest("POST", hs.URL+"/v1/invoke", bytes.NewReader(body))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(trace.TraceparentHeader, "garbage")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("junk-header invoke = %d", resp2.StatusCode)
+	}
+	fresh := resp2.Header.Get(trace.TraceHeader)
+	if fresh == "" || fresh == traceID {
+		t.Fatalf("junk header yielded trace %q", fresh)
+	}
+
+	// Unknown IDs 404.
+	r404, err := http.Get(hs.URL + "/debug/rumba/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", r404.StatusCode)
+	}
+}

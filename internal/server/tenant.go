@@ -63,6 +63,13 @@ type tenant struct {
 	carryElements, carryFired int
 
 	elements, fixed, degraded int64
+
+	// Error-budget feeds for the SLO burn-rate engine (internal/slo), all
+	// cumulative: requests served vs shed by admission, and stream chunks
+	// processed vs slower than the kernel package's p99 latency SLO. Guarded
+	// by mu like the stats above.
+	reqTotal, reqShed     int64
+	chunkTotal, chunkSlow int64
 }
 
 // Tenants keeps one live tenant per tenant×kernel and creates them on first

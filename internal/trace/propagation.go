@@ -1,0 +1,131 @@
+package trace
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// This file is the cross-node half of the tracing layer: a W3C-traceparent-
+// style wire format that lets the cluster router and its nodes agree on one
+// trace identity per routed request. The router mints a 16-byte trace ID at
+// the edge, stamps every forward (and failover) attempt's span into an
+// X-Rumba-Traceparent header, and the serving node adopts both IDs for its
+// own root span — so the router's stitch endpoint can later reassemble the
+// hop-by-hop spans into one tree without any shared storage.
+//
+// The format mirrors W3C trace-context (version "00", lowercase hex,
+// sampled flag "01") but rides a private header: the router's span IDs are
+// trace-local small integers widened to 16 hex digits, not random 8-byte
+// IDs, and nothing between Rumba processes speaks standard traceparent.
+
+// TraceparentHeader carries the trace identity across forward hops.
+const TraceparentHeader = "X-Rumba-Traceparent"
+
+// TraceHeader is the response header naming the trace a request was recorded
+// under (set by both the router and the nodes when tracing is enabled), so a
+// client — or an operator holding a failed curl — can go straight to
+// /debug/rumba/traces/{traceID}.
+const TraceHeader = "X-Rumba-Trace"
+
+// idEntropy is the per-process half of every minted trace ID: 8 random bytes
+// rendered as 16 hex digits. Two processes minting trace IDs concurrently
+// (router and an edge-exposed node) cannot collide on the sequence number
+// alone; the entropy prefix makes the full 32-hex ID unique across the
+// cluster for any realistic lifetime.
+var idEntropy = func() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively a broken platform; degrade to a
+		// time-derived prefix rather than refusing to trace.
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+// mintTraceID builds the 32-hex trace ID for local sequence number seq.
+func mintTraceID(seq uint64) string {
+	return idEntropy + fmt.Sprintf("%016x", seq)
+}
+
+// wireSpanID widens a trace-local span ID to the 16-hex wire spelling used
+// in traceparent headers.
+func wireSpanID(id int) string {
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// WireSpanID widens a snapshot span ID to its 16-hex wire spelling — the
+// spelling Snapshot.RemoteParent records — so the cluster stitcher can match
+// a node trace's adopted parent back to the forwarding hop's span.
+func WireSpanID(id int) string { return wireSpanID(id) }
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatTraceparent renders the header value "00-<traceID>-<parentSpanID>-01".
+// Both IDs must already be lowercase hex of the wire width (32 and 16).
+func FormatTraceparent(traceID, parentSpanID string) string {
+	return "00-" + traceID + "-" + parentSpanID + "-01"
+}
+
+// ParseTraceparent splits a header value minted by FormatTraceparent.
+// Unknown versions, malformed fields and the all-zero IDs the W3C spec
+// forbids are rejected with ok == false; callers then mint a fresh trace
+// instead of adopting garbage.
+func ParseTraceparent(v string) (traceID, parentSpanID string, ok bool) {
+	// "00-" + 32 + "-" + 16 + "-01" = 55 bytes; checking length first keeps
+	// the reject path allocation-free for arbitrary junk headers.
+	if len(v) != 55 || v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return "", "", false
+	}
+	traceID, parentSpanID = v[3:35], v[36:52]
+	if !isHex(traceID, 32) || !isHex(parentSpanID, 16) {
+		return "", "", false
+	}
+	if traceID == "00000000000000000000000000000000" || parentSpanID == "0000000000000000" {
+		return "", "", false
+	}
+	if v[53] != '0' || (v[54] != '0' && v[54] != '1') {
+		return "", "", false
+	}
+	return traceID, parentSpanID, true
+}
+
+// Traceparent renders the header value naming this span as the remote
+// parent — what the router stamps on a forward attempt so the downstream
+// node's root span links under exactly this hop. The zero ref returns ""
+// (nothing to propagate), so the disabled path stays allocation-free.
+func (s SpanRef) Traceparent() string {
+	if s.t == nil {
+		return ""
+	}
+	return FormatTraceparent(s.t.TraceID(), wireSpanID(s.id))
+}
+
+// NewLinked starts a trace that adopts a remote trace identity: its trace ID
+// is the propagated one and its root span remembers the remote parent span,
+// so a cross-node stitch can hang this trace's whole subtree under the hop
+// that forwarded the request. Invalid IDs (wrong width, non-hex) fall back
+// to minting a fresh trace — a node must never refuse to trace because an
+// upstream sent junk.
+func NewLinked(name, traceID, parentSpanID string, maxSpans int) *Trace {
+	t := New(name, maxSpans)
+	if isHex(traceID, 32) && isHex(parentSpanID, 16) {
+		t.traceID = traceID
+		t.remoteParent = parentSpanID
+	}
+	return t
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := New("invoke", 0)
+	hdr := tr.Root().Traceparent()
+	traceID, parent, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent rejected own output %q", hdr)
+	}
+	if traceID != tr.TraceID() {
+		t.Fatalf("trace ID %q, want %q", traceID, tr.TraceID())
+	}
+	if parent != wireSpanID(1) {
+		t.Fatalf("parent %q, want root wire ID %q", parent, wireSpanID(1))
+	}
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("header %q not in 00-…-01 form", hdr)
+	}
+}
+
+func TestTraceIDShape(t *testing.T) {
+	a, b := New("a", 0), New("b", 0)
+	if !isHex(a.TraceID(), 32) {
+		t.Fatalf("trace ID %q is not 32 hex digits", a.TraceID())
+	}
+	if a.TraceID() == b.TraceID() {
+		t.Fatalf("two traces minted the same ID %q", a.TraceID())
+	}
+	if a.TraceID()[:16] != b.TraceID()[:16] {
+		t.Fatalf("same process, different entropy prefixes: %q vs %q", a.TraceID(), b.TraceID())
+	}
+	if a.RemoteParent() != "" {
+		t.Fatalf("edge-minted trace has remote parent %q", a.RemoteParent())
+	}
+	var nilT *Trace
+	if nilT.TraceID() != "" || nilT.RemoteParent() != "" {
+		t.Fatal("nil trace leaks identity")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := FormatTraceparent(strings.Repeat("ab", 16), strings.Repeat("cd", 8))
+	if _, _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("fixture %q should parse", valid)
+	}
+	bad := []string{
+		"",
+		"00",
+		valid[:54],                                   // truncated
+		valid + "0",                                  // too long
+		"01" + valid[2:],                             // unknown version
+		strings.Replace(valid, "-", "_", 1),          // wrong separator
+		strings.Replace(valid, "ab", "AB", 1),        // uppercase hex
+		strings.Replace(valid, "ab", "zz", 1),        // non-hex
+		FormatTraceparent(strings.Repeat("0", 32), strings.Repeat("cd", 8)), // all-zero trace ID
+		FormatTraceparent(strings.Repeat("ab", 16), strings.Repeat("0", 16)), // all-zero parent
+		valid[:53] + "02",                            // unknown flag
+		valid[:53] + "11",                            // flag high nibble
+	}
+	for _, v := range bad {
+		if _, _, ok := ParseTraceparent(v); ok {
+			t.Errorf("ParseTraceparent(%q) accepted junk", v)
+		}
+	}
+}
+
+func TestNewLinkedAdoptsAndFallsBack(t *testing.T) {
+	up := New("router", 0)
+	hdr := up.Root().Traceparent()
+	traceID, parent, _ := ParseTraceparent(hdr)
+
+	linked := NewLinked("invoke", traceID, parent, 0)
+	if linked.TraceID() != up.TraceID() {
+		t.Fatalf("linked trace ID %q, want adopted %q", linked.TraceID(), up.TraceID())
+	}
+	if linked.RemoteParent() != wireSpanID(1) {
+		t.Fatalf("remote parent %q, want %q", linked.RemoteParent(), wireSpanID(1))
+	}
+	s := linked.Snapshot()
+	if s.TraceID != up.TraceID() || s.RemoteParent != wireSpanID(1) {
+		t.Fatalf("snapshot lost identity: %+v", s)
+	}
+
+	junk := NewLinked("invoke", "nope", "also-nope", 0)
+	if junk.TraceID() == "" || !isHex(junk.TraceID(), 32) {
+		t.Fatalf("fallback trace ID %q malformed", junk.TraceID())
+	}
+	if junk.TraceID() == up.TraceID() || junk.RemoteParent() != "" {
+		t.Fatalf("junk IDs adopted: %q / %q", junk.TraceID(), junk.RemoteParent())
+	}
+}
+
+func TestRecorderLookupByTraceID(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 4})
+	tr := New("invoke", 0)
+	tr.Finish()
+	r.Record(tr)
+
+	got := r.Lookup(tr.TraceID())
+	if len(got) != 1 || got[0].TraceID != tr.TraceID() {
+		t.Fatalf("Lookup = %+v, want the recorded trace", got)
+	}
+	if r.Lookup("ffffffffffffffffffffffffffffffff") != nil {
+		t.Fatal("unknown trace ID returned snapshots")
+	}
+
+	// Two retained traces sharing one trace ID (a retried request whose
+	// attempts both hit this node) come back oldest-first.
+	a := NewLinked("attempt1", tr.TraceID(), wireSpanID(2), 0)
+	b := NewLinked("attempt2", tr.TraceID(), wireSpanID(3), 0)
+	a.Finish()
+	b.Finish()
+	r.Record(b)
+	r.Record(a)
+	got = r.Lookup(tr.TraceID())
+	if len(got) != 3 {
+		t.Fatalf("got %d traces, want 3", len(got))
+	}
+	if got[1].Spans[0].Name != "attempt1" || got[2].Spans[0].Name != "attempt2" {
+		t.Fatalf("lookup not oldest-first: %q then %q", got[1].Spans[0].Name, got[2].Spans[0].Name)
+	}
+}
+
+func TestRecorderIndexEvictsWithRing(t *testing.T) {
+	r := NewRecorder(RecorderConfig{Capacity: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := New("req", 0)
+		tr.Finish()
+		r.Record(tr)
+		ids = append(ids, tr.TraceID())
+	}
+	// Capacity 2: only the last two survive the ring, and the index must
+	// agree exactly — no leaked entries for displaced traces.
+	for _, id := range ids[:3] {
+		if got := r.Lookup(id); got != nil {
+			t.Fatalf("displaced trace %s still indexed: %+v", id, got)
+		}
+	}
+	for _, id := range ids[3:] {
+		if got := r.Lookup(id); len(got) != 1 {
+			t.Fatalf("retained trace %s lookup = %+v", id, got)
+		}
+	}
+	r.idxMu.Lock()
+	n := len(r.byTraceID)
+	r.idxMu.Unlock()
+	if n != 2 {
+		t.Fatalf("index holds %d trace IDs, want 2", n)
+	}
+
+	// Flagged traces live in the separate always-keep ring; they must not
+	// evict recent-ring index entries and vice versa.
+	fl := New("flagged", 0)
+	fl.SetFlag(FlagError)
+	fl.Finish()
+	r.Record(fl)
+	if got := r.Lookup(fl.TraceID()); len(got) != 1 {
+		t.Fatalf("flagged trace lookup = %+v", got)
+	}
+	for _, id := range ids[3:] {
+		if got := r.Lookup(id); len(got) != 1 {
+			t.Fatalf("flagged record evicted recent trace %s", id)
+		}
+	}
+}
+
+// TestDisabledPropagationAllocFree extends the disabled-path guard to the
+// propagation surface: a zero SpanRef's Traceparent, parsing junk headers,
+// and recording into a nil recorder must all stay allocation-free.
+func TestDisabledPropagationAllocFree(t *testing.T) {
+	var ref SpanRef
+	var rec *Recorder
+	var tr *Trace
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if ref.Traceparent() != "" {
+			t.Fatal("zero ref propagated")
+		}
+		if _, _, ok := ParseTraceparent(""); ok {
+			t.Fatal("empty header parsed")
+		}
+		if _, _, ok := ParseTraceparent("junk-header-value"); ok {
+			t.Fatal("junk header parsed")
+		}
+		rec.Record(tr)
+		_ = tr.TraceID()
+		_ = tr.RemoteParent()
+	}); allocs != 0 {
+		t.Fatalf("disabled propagation allocated %.1f times per op", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -23,7 +24,13 @@ type SpanSnapshot struct {
 // deterministic (attr maps sort their keys), which the flight-recorder
 // golden test relies on.
 type Snapshot struct {
-	ID           string         `json:"id"`
+	ID string `json:"id"`
+	// TraceID is the 32-hex cluster-wide identity; RemoteParent the 16-hex
+	// upstream span adopted from the wire ("" for edge-minted traces). The
+	// cluster stitcher hangs this snapshot's root span under the hop whose
+	// wire span ID equals RemoteParent.
+	TraceID      string         `json:"traceID"`
+	RemoteParent string         `json:"remoteParent,omitempty"`
 	Begin        time.Time      `json:"begin"`
 	DurationNs   int64          `json:"durationNs"`
 	Flags        []string       `json:"flags,omitempty"`
@@ -41,6 +48,8 @@ func (t *Trace) Snapshot() Snapshot {
 	defer t.mu.Unlock()
 	s := Snapshot{
 		ID:           fmt.Sprintf("%016x", t.id),
+		TraceID:      t.traceID,
+		RemoteParent: t.remoteParent,
 		Begin:        t.begin,
 		DurationNs:   t.spans[0].End,
 		Flags:        t.flags.Names(),
@@ -77,9 +86,13 @@ type ring struct {
 
 func newRing(n int) ring { return ring{slots: make([]atomic.Pointer[Trace], n)} }
 
-func (r *ring) add(t *Trace) {
+// add claims the next slot and returns the trace it displaced (nil while the
+// ring is still filling). Swap keeps the displaced pointer exact under
+// concurrent adds, which is what lets the recorder's trace-ID index evict
+// precisely instead of leaking entries.
+func (r *ring) add(t *Trace) (displaced *Trace) {
 	i := r.next.Add(1) - 1
-	r.slots[i%uint64(len(r.slots))].Store(t)
+	return r.slots[i%uint64(len(r.slots))].Swap(t)
 }
 
 func (r *ring) collect(dst []*Trace) []*Trace {
@@ -113,6 +126,13 @@ type Recorder struct {
 	taken   atomic.Uint64 // traces recorded (both rings)
 	recent  ring
 	flagged ring
+
+	// byTraceID indexes every retained trace by its 32-hex trace ID so the
+	// /debug/rumba/traces/{traceID} lookup is a map hit, not a scan of both
+	// rings. Entries are evicted exactly when the ring displaces their trace,
+	// so the index never outgrows 2×Capacity.
+	idxMu     sync.Mutex
+	byTraceID map[string][]*Trace
 }
 
 // NewRecorder builds a flight recorder.
@@ -123,7 +143,12 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 	if cfg.SampleEvery < 1 {
 		cfg.SampleEvery = 1
 	}
-	return &Recorder{cfg: cfg, recent: newRing(cfg.Capacity), flagged: newRing(cfg.Capacity)}
+	return &Recorder{
+		cfg:       cfg,
+		recent:    newRing(cfg.Capacity),
+		flagged:   newRing(cfg.Capacity),
+		byTraceID: make(map[string][]*Trace, 2*cfg.Capacity),
+	}
 }
 
 // Record files a completed trace. Flagged traces bypass sampling and land in
@@ -136,15 +161,60 @@ func (r *Recorder) Record(t *Trace) {
 	}
 	r.offered.Add(1)
 	if t.Flags() != 0 {
-		r.flagged.add(t)
+		r.index(t, r.flagged.add(t))
 		r.taken.Add(1)
 		return
 	}
 	if n := r.sampled.Add(1); r.cfg.SampleEvery > 1 && (n-1)%uint64(r.cfg.SampleEvery) != 0 {
 		return
 	}
-	r.recent.add(t)
+	r.index(t, r.recent.add(t))
 	r.taken.Add(1)
+}
+
+// index files t under its trace ID and evicts the ring-displaced trace (when
+// any) from the index. Record's callers are request goroutines finishing a
+// trace, never the per-element hot path, so one short mutex hold is fine.
+func (r *Recorder) index(t, displaced *Trace) {
+	r.idxMu.Lock()
+	defer r.idxMu.Unlock()
+	r.byTraceID[t.traceID] = append(r.byTraceID[t.traceID], t)
+	if displaced == nil {
+		return
+	}
+	kept := r.byTraceID[displaced.traceID]
+	for i, old := range kept {
+		if old == displaced {
+			kept = append(kept[:i], kept[i+1:]...)
+			break
+		}
+	}
+	if len(kept) == 0 {
+		delete(r.byTraceID, displaced.traceID)
+	} else {
+		r.byTraceID[displaced.traceID] = kept
+	}
+}
+
+// Lookup returns the snapshots of every retained trace with the given trace
+// ID, oldest first. Normally one trace matches; a retried request whose two
+// attempts both landed on this node yields several.
+func (r *Recorder) Lookup(traceID string) []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.idxMu.Lock()
+	traces := append([]*Trace(nil), r.byTraceID[traceID]...)
+	r.idxMu.Unlock()
+	if len(traces) == 0 {
+		return nil
+	}
+	sort.Slice(traces, func(a, b int) bool { return traces[a].id < traces[b].id })
+	out := make([]Snapshot, len(traces))
+	for i, t := range traces {
+		out[i] = t.Snapshot()
+	}
+	return out
 }
 
 // Dump is the /debug/rumba/traces payload. Offered counts every completed

@@ -121,6 +121,14 @@ type Trace struct {
 	limit   int
 	dropped int
 	flags   Flag
+
+	// traceID is the 32-hex cluster-wide identity (minted at New, adopted
+	// from the wire by NewLinked); remoteParent is the 16-hex span of the
+	// upstream hop this trace's root hangs under ("" at the edge). Both are
+	// written before the trace is shared and immutable afterwards, so reads
+	// need no lock.
+	traceID      string
+	remoteParent string
 }
 
 // New starts a trace whose root span carries the given name. maxSpans <= 0
@@ -135,6 +143,7 @@ func New(name string, maxSpans int) *Trace {
 		limit: maxSpans,
 		spans: make([]Span, 1, 16),
 	}
+	t.traceID = mintTraceID(t.id)
 	t.spans[0] = Span{ID: 1, Name: name}
 	return t
 }
@@ -145,6 +154,25 @@ func (t *Trace) ID() uint64 {
 		return 0
 	}
 	return t.id
+}
+
+// TraceID returns the 32-hex cluster-wide trace identity ("" for nil): the
+// key the flight recorder indexes by and the ID that travels in
+// X-Rumba-Traceparent headers.
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// RemoteParent returns the 16-hex upstream span this trace's root hangs
+// under, or "" for a trace minted at the edge.
+func (t *Trace) RemoteParent() string {
+	if t == nil {
+		return ""
+	}
+	return t.remoteParent
 }
 
 // Root returns the root span's ref (zero for nil).
